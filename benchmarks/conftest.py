@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper on a
+paper-scale synthetic corpus (960 parsed runs, 1017 files) that is generated
+once per session.  Each benchmark times the analysis step that produces the
+artefact and prints the rows/series the paper reports so the shapes can be
+compared side by side (run ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import generate_corpus, load_dataset
+from repro.core.filters import apply_paper_filters
+from repro.frame import Frame
+from repro.parallel import ParallelConfig
+
+PAPER_RUNS = 960
+PAPER_SEED = 2024
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--corpus-runs", action="store", type=int, default=PAPER_RUNS,
+        help="number of defect-free synthetic runs used by the benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_corpus_dir(tmp_path_factory, request) -> str:
+    directory = tmp_path_factory.mktemp("paper_corpus")
+    runs = request.config.getoption("--corpus-runs")
+    generate_corpus(
+        directory,
+        total_parsed_runs=runs,
+        seed=PAPER_SEED,
+        parallel=ParallelConfig(backend="process", chunk_size=64),
+    )
+    return str(directory)
+
+
+@pytest.fixture(scope="session")
+def paper_runs(paper_corpus_dir) -> Frame:
+    return load_dataset(
+        paper_corpus_dir, parallel=ParallelConfig(backend="process", chunk_size=64)
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_filtered(paper_runs) -> Frame:
+    filtered, _ = apply_paper_filters(paper_runs)
+    return filtered
+
+
+def print_rows(title: str, rows) -> None:
+    """Uniform row printer used by every benchmark."""
+    print(f"\n--- {title} ---")
+    for row in rows:
+        print("  " + "  ".join(f"{key}={value}" for key, value in row.items()))

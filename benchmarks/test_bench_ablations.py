@@ -1,0 +1,109 @@
+"""Ablation benchmarks (experiments A1-A3 of DESIGN.md).
+
+The design decisions called out in DESIGN.md §6 are toggled on the server
+model and their effect on the paper's metrics is measured:
+
+* A1 — the turbo power premium at full load drives the partial-load relative
+  efficiency above 1 (the Figure 4 mid-2010s Intel behaviour),
+* A2 — package C-states are what separate the measured active idle from the
+  extrapolated idle (the Figure 6 quotient),
+* A3 — per-logical-CPU background activity erodes the idle optimisation as
+  core counts grow (the post-2017 idle-fraction regression of Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import print_rows
+from repro.market import default_catalog
+from repro.powermodel import (
+    PackageCStateModel,
+    ServerConfiguration,
+    ServerPowerModel,
+    TurboModel,
+)
+
+
+def _configuration(model_name: str) -> ServerConfiguration:
+    entry = default_catalog().get(model_name)
+    return ServerConfiguration(
+        cpu=entry.cpu,
+        sockets=2,
+        memory_gb=entry.typical_memory_gb_per_socket * 2,
+        psu_rating_w=1100.0,
+    )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_turbo(benchmark):
+    """A1: relative efficiency at 70 % with and without the turbo premium."""
+    configuration = _configuration("Xeon E5-2699 v3")     # 2014 Haswell era
+
+    def run():
+        with_turbo = ServerPowerModel(configuration)
+        without_turbo = ServerPowerModel(configuration, turbo=TurboModel(enabled=False))
+        def relative_efficiency(model):
+            return 0.7 * model.node_power_w(1.0) / model.node_power_w(0.7)
+        return relative_efficiency(with_turbo), relative_efficiency(without_turbo)
+
+    with_turbo, without_turbo = benchmark(run)
+    print_rows("A1 turbo ablation: relative efficiency at 70 % load",
+               [{"with_turbo": round(with_turbo, 3),
+                 "without_turbo": round(without_turbo, 3)}])
+    # The turbo premium is what pushes partial-load relative efficiency above 1.
+    assert with_turbo > without_turbo
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_package_cstates(benchmark):
+    """A2: idle fraction with and without package-level idle optimisation."""
+    configuration = _configuration("Xeon Platinum 8180")   # 2017 minimum era
+
+    def run():
+        optimised = ServerPowerModel(configuration)
+        disabled = ServerPowerModel(
+            configuration,
+            package_cstates=PackageCStateModel(base_quotient=1.0, quotient_sigma=0.0),
+        )
+        full = optimised.node_power_w(1.0)
+        return (optimised.active_idle_power_w() / full,
+                disabled.active_idle_power_w() / full)
+
+    with_pkg, without_pkg = benchmark(run)
+    print_rows("A2 package C-state ablation: idle fraction",
+               [{"with_package_cstates": round(with_pkg, 3),
+                 "without": round(without_pkg, 3)}])
+    assert with_pkg < without_pkg
+    assert without_pkg > 0.2          # without deep idle the 2017 minimum disappears
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_background_noise(benchmark):
+    """A3: idle quotient erosion with growing logical CPU counts."""
+    entry = default_catalog().get("Xeon Platinum 8490H")
+
+    def run():
+        noisy = PackageCStateModel(
+            base_quotient=entry.cpu.profile.idle_quotient_mean,
+            quotient_sigma=0.0,
+            noise_per_logical_cpu=entry.cpu.profile.idle_noise_per_logical_cpu,
+        )
+        quiet = PackageCStateModel(
+            base_quotient=entry.cpu.profile.idle_quotient_mean,
+            quotient_sigma=0.0,
+            noise_per_logical_cpu=0.0,
+        )
+        logical_cpus = entry.cpu.threads * 2
+        return noisy.effective_quotient(logical_cpus), quiet.effective_quotient(logical_cpus)
+
+    noisy_quotient, quiet_quotient = benchmark(run)
+    print_rows("A3 background-noise ablation: extrapolated idle quotient",
+               [{"with_per_cpu_noise": round(noisy_quotient, 2),
+                 "without": round(quiet_quotient, 2),
+                 "logical_cpus": default_catalog().get("Xeon Platinum 8490H").cpu.threads * 2}])
+    # Background tasks replicated per logical CPU erode the achievable quotient.
+    assert noisy_quotient < quiet_quotient
+    assert quiet_quotient > 1.5

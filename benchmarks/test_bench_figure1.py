@@ -1,0 +1,56 @@
+"""Figure 1 + Section II demographics (experiment E1).
+
+Paper reference values: 1017 downloaded, 960 parsed, 676 analysed;
+44.2 submissions per year on average (15.2 during 2013-2017);
+Linux share 2.2 % -> 36.3 % and AMD share 13.0 % -> 31.3 % around 2018.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_rows
+from repro.core import apply_paper_filters, figure1, share_shift, submissions_per_year
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_bench_figure1(benchmark, paper_runs):
+    artifact = benchmark(figure1, paper_runs)
+    assert {"counts", "os", "cpu_vendor", "sockets", "nodes"} == set(artifact.charts)
+    print_rows("Figure 1 per-year demographics (first/last 3 years)",
+               artifact.data.head(3).to_records() + artifact.data.tail(3).to_records())
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_bench_dataset_funnel(benchmark, paper_runs):
+    filtered, report = benchmark(apply_paper_filters, paper_runs)
+    rows = report.to_rows()
+    print_rows("Section II filter funnel (paper: 9 / 6 / 269 removed, 676 kept)", rows)
+    # Shape: the multi-node/socket filter removes by far the most runs.
+    assert report.removed_by("multi_node_or_gt2_sockets") > report.removed_by("non_server_cpu")
+    assert len(filtered) > 0.6 * len(paper_runs)
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_bench_share_shifts(benchmark, paper_runs):
+    def shifts():
+        return {
+            "linux": share_shift(paper_runs, "is_linux"),
+            "amd": share_shift(paper_runs, "is_amd"),
+            "submissions": [f.measured_value for f in submissions_per_year(paper_runs)],
+        }
+
+    result = benchmark(shifts)
+    print_rows(
+        "Share shifts around 2018 (paper: Linux 2.2%->36.3%, AMD 13.0%->31.3%)",
+        [
+            {"metric": "linux_before", "value": round(result["linux"][0], 3),
+             "paper": 0.022},
+            {"metric": "linux_after", "value": round(result["linux"][1], 3),
+             "paper": 0.363},
+            {"metric": "amd_before", "value": round(result["amd"][0], 3), "paper": 0.130},
+            {"metric": "amd_after", "value": round(result["amd"][1], 3), "paper": 0.313},
+        ],
+    )
+    assert result["linux"][1] > result["linux"][0]
+    assert result["amd"][1] > result["amd"][0]

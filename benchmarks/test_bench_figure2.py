@@ -1,0 +1,49 @@
+"""Figure 2: full-load power per socket over time (experiment E2).
+
+Paper reference values: mean power per socket 119.0 W for runs up to 2010 vs
+303.3 W for runs since 2022 (~2.5x); growth ~1.8x at 20 % load and ~2.2x at
+70 % load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_rows
+from repro.core import figure2
+from repro.stats import bin_by_year, compare_eras
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_bench_figure2(benchmark, paper_filtered):
+    artifact = benchmark(figure2, paper_filtered)
+    yearly = bin_by_year(artifact.data, "power_per_socket_100")
+    print_rows("Figure 2 yearly mean power per socket (W)",
+               [{"year": r["hw_avail_year"], "mean_w": round(r["mean"], 1),
+                 "n": r["count"]} for r in yearly.to_records()])
+    assert len(artifact.data) > 100
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_bench_power_era_growth(benchmark, paper_filtered):
+    def eras():
+        return {
+            level: compare_eras(paper_filtered, f"power_per_socket_{level:03d}",
+                                early=(None, 2010), late=(2022, None))
+            for level in (100, 70, 20)
+        }
+
+    result = benchmark(eras)
+    print_rows(
+        "Power growth, runs since 2022 vs runs up to 2010",
+        [
+            {"load": "100%", "early_W": round(result[100].early.mean, 1),
+             "late_W": round(result[100].late.mean, 1),
+             "ratio": round(result[100].ratio, 2), "paper_ratio": 2.5},
+            {"load": "70%", "ratio": round(result[70].ratio, 2), "paper_ratio": 2.2},
+            {"load": "20%", "ratio": round(result[20].ratio, 2), "paper_ratio": 1.8},
+        ],
+    )
+    # Shape checks: power grew at every level, most strongly at full load.
+    assert result[100].ratio > 1.5
+    assert result[100].ratio > result[20].ratio

@@ -1,0 +1,53 @@
+"""Figure 3: overall efficiency trend (experiment E3).
+
+Paper reference: overall ssj_ops/W grows continuously; AMD drives the trend
+from ~2018 on and holds 98 of the 100 most efficient runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_rows
+from repro.core import figure3, top_n_vendor_share
+from repro.stats import bin_by_year
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_bench_figure3(benchmark, paper_filtered):
+    artifact = benchmark(figure3, paper_filtered)
+    yearly = bin_by_year(artifact.data, "overall_efficiency", group_columns=["cpu_vendor"])
+    recent = yearly.filter(yearly["hw_avail_year"] >= 2019)
+    print_rows("Figure 3 yearly mean overall efficiency (ssj_ops/W) since 2019",
+               [{"year": r["hw_avail_year"], "vendor": r["cpu_vendor"],
+                 "mean": round(r["mean"], 0), "n": r["count"]}
+                for r in recent.to_records()])
+    assert len(artifact.data) > 100
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_bench_top100_vendor_share(benchmark, paper_filtered):
+    share = benchmark(top_n_vendor_share, paper_filtered, "AMD", 100)
+    print_rows("AMD share of the 100 most efficient runs",
+               [{"measured": round(share, 2), "paper": 0.98}])
+    assert share > 0.8
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_bench_efficiency_growth(benchmark, paper_filtered):
+    def growth():
+        yearly = bin_by_year(paper_filtered, "overall_efficiency")
+        records = yearly.to_records()
+        early = [r for r in records if r["hw_avail_year"] <= 2010]
+        late = [r for r in records if r["hw_avail_year"] >= 2022]
+        early_mean = sum(r["mean"] * r["count"] for r in early) / sum(r["count"] for r in early)
+        late_mean = sum(r["mean"] * r["count"] for r in late) / sum(r["count"] for r in late)
+        return early_mean, late_mean
+
+    early_mean, late_mean = benchmark(growth)
+    print_rows("Overall efficiency growth", [{
+        "mean_up_to_2010": round(early_mean, 0),
+        "mean_since_2022": round(late_mean, 0),
+        "ratio": round(late_mean / early_mean, 1),
+    }])
+    assert late_mean > 5 * early_mean

@@ -1,0 +1,52 @@
+"""Figure 4: relative efficiency distributions at 60-90 % load (experiment E4).
+
+Paper reference: early systems are clearly less efficient at partial load
+(relative efficiency < 1); Intel's mean exceeds 1 at >= 70 % load from 2012
+and regresses towards ~1 after 2017; AMD approaches 1 around 2021.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import print_rows
+from repro.core import figure4
+
+
+def _mean_median(data, vendor, years, level=70):
+    rows = [
+        r for r in data.to_records()
+        if r["vendor"] == vendor and r["year"] in years and r["load_level"] == level
+        and r["median"] is not None and r["count"] > 0
+    ]
+    if not rows:
+        return float("nan")
+    return float(np.mean([r["median"] for r in rows]))
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_bench_figure4(benchmark, paper_filtered):
+    artifact = benchmark(figure4, paper_filtered)
+    data = artifact.data
+    early_intel = _mean_median(data, "Intel", range(2006, 2010))
+    mid_intel = _mean_median(data, "Intel", range(2012, 2017))
+    late_intel = _mean_median(data, "Intel", range(2018, 2025))
+    early_amd = _mean_median(data, "AMD", range(2006, 2012))
+    late_amd = _mean_median(data, "AMD", range(2021, 2025))
+    print_rows(
+        "Figure 4: median relative efficiency at 70% load",
+        [
+            {"group": "Intel 2006-2009", "median": round(early_intel, 3), "paper": "<1"},
+            {"group": "Intel 2012-2016", "median": round(mid_intel, 3), "paper": ">1"},
+            {"group": "Intel 2018-2024", "median": round(late_intel, 3), "paper": "~1"},
+            {"group": "AMD 2006-2011", "median": round(early_amd, 3), "paper": "<1"},
+            {"group": "AMD 2021-2024", "median": round(late_amd, 3), "paper": "~1"},
+        ],
+    )
+    # Shape checks of the paper's qualitative statements.
+    assert early_intel < 1.0
+    assert mid_intel > 1.0
+    assert abs(late_intel - 1.0) < 0.1
+    assert early_amd < 1.0
+    assert late_amd > 0.93

@@ -1,0 +1,57 @@
+"""Figure 5: idle power relative to full-load power (experiment E5).
+
+Paper reference: yearly mean idle fraction 70.1 % in 2006, minimum 15.7 % in
+2017, back up to 25.7 % in 2024; Intel trends upward after 2017 while AMD is
+flat to slightly falling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_rows
+from repro.core import figure5
+from repro.core.trends import idle_fraction_milestones
+from repro.stats import bin_by_year
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_bench_figure5(benchmark, paper_filtered):
+    artifact = benchmark(figure5, paper_filtered)
+    yearly = bin_by_year(artifact.data, "idle_fraction")
+    print_rows("Figure 5 yearly mean idle fraction",
+               [{"year": r["hw_avail_year"], "mean": round(r["mean"], 3), "n": r["count"]}
+                for r in yearly.to_records()])
+    assert len(artifact.data) > 100
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_bench_idle_fraction_milestones(benchmark, paper_filtered):
+    findings = benchmark(idle_fraction_milestones, paper_filtered)
+    print_rows(
+        "Idle fraction milestones (paper: 0.701 in 2006, 0.157 minimum in 2017, 0.257 in 2024)",
+        [{"finding": f.name, "paper": f.paper_value, "measured": f.measured_value}
+         for f in findings],
+    )
+    by_name = {f.name: f.measured_value for f in findings}
+    assert by_name["idle_fraction_2006"] > 0.45
+    assert by_name["idle_fraction_minimum"] < 0.25
+    assert by_name["idle_fraction_2024"] > by_name["idle_fraction_minimum"]
+    assert 2014 <= by_name["idle_fraction_minimum_year"] <= 2020
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_bench_idle_vendor_divergence(benchmark, paper_filtered):
+    def vendor_trends():
+        yearly = bin_by_year(paper_filtered, "idle_fraction", group_columns=["cpu_vendor"])
+        records = [r for r in yearly.to_records() if r["hw_avail_year"] >= 2018]
+        intel = [r["mean"] for r in records if r["cpu_vendor"] == "Intel"]
+        amd = [r["mean"] for r in records if r["cpu_vendor"] == "AMD"]
+        return intel, amd
+
+    intel, amd = benchmark(vendor_trends)
+    print_rows("Post-2018 idle fraction by vendor",
+               [{"vendor": "Intel", "first": round(intel[0], 3), "last": round(intel[-1], 3)},
+                {"vendor": "AMD", "first": round(amd[0], 3), "last": round(amd[-1], 3)}])
+    # Intel regresses more strongly than AMD in recent years (paper Fig. 5).
+    assert intel[-1] > amd[-1]

@@ -1,0 +1,55 @@
+"""Figure 6: extrapolated idle quotient (experiment E6).
+
+Paper reference: the quotient (idle power extrapolated from the 10 %/20 %
+points divided by the measured active idle power) trends upward from ~1 in
+the earliest systems, with a large spread in recent submissions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import print_rows
+from repro.core import figure6
+from repro.stats import bin_by_year, linear_fit
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_bench_figure6(benchmark, paper_filtered):
+    artifact = benchmark(figure6, paper_filtered)
+    yearly = bin_by_year(artifact.data, "extrapolated_idle_quotient")
+    print_rows("Figure 6 yearly mean extrapolated idle quotient",
+               [{"year": r["hw_avail_year"], "mean": round(r["mean"], 2),
+                 "std": round(r["std"], 2) if r["std"] == r["std"] else None,
+                 "n": r["count"]}
+                for r in yearly.to_records()])
+    records = yearly.to_records()
+    early = [r for r in records if r["hw_avail_year"] <= 2008]
+    late = [r for r in records if r["hw_avail_year"] >= 2015]
+    early_mean = np.mean([r["mean"] for r in early])
+    late_mean = np.mean([r["mean"] for r in late])
+    # Upward trend: idle-specific optimisation became much more effective.
+    assert early_mean < 1.3
+    assert late_mean > early_mean + 0.2
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_bench_quotient_trend_and_spread(benchmark, paper_filtered):
+    def fit_and_spread():
+        data = paper_filtered.dropna(["extrapolated_idle_quotient", "hw_avail_decimal"])
+        fit = linear_fit(
+            data["hw_avail_decimal"].to_list(),
+            data["extrapolated_idle_quotient"].to_list(),
+        )
+        recent = data.filter(data["hw_avail_year"] >= 2020)["extrapolated_idle_quotient"]
+        early = data.filter(data["hw_avail_year"] <= 2010)["extrapolated_idle_quotient"]
+        return fit, float(early.std()), float(recent.std())
+
+    fit, early_spread, recent_spread = benchmark(fit_and_spread)
+    print_rows("Quotient trend line and spread",
+               [{"slope_per_year": round(fit.slope, 4),
+                 "early_std": round(early_spread, 2),
+                 "recent_std": round(recent_spread, 2)}])
+    assert fit.slope > 0                       # overall upward trend
+    assert recent_spread > early_spread        # larger spread in newer runs

@@ -1,0 +1,30 @@
+"""All headline scalar findings of the paper in one paper-vs-measured table."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_rows
+from repro.core import headline_findings
+
+
+@pytest.mark.benchmark(group="headlines")
+def test_bench_headline_findings(benchmark, paper_runs, paper_filtered):
+    findings = benchmark(headline_findings, paper_runs, paper_filtered)
+    print_rows(
+        "Headline findings (paper vs measured)",
+        [
+            {"finding": f.name, "paper": f.paper_value, "measured": f.measured_value}
+            for f in findings
+        ],
+    )
+    by_name = {f.name: f for f in findings}
+    # Directional shape checks covering the quoted statements of the paper.
+    assert by_name["power_growth_power_per_socket_100"].measured_value > 1.5
+    assert by_name["linux_share_from_2018"].measured_value > by_name[
+        "linux_share_before_2018"
+    ].measured_value
+    assert by_name["amd_share_from_2018"].measured_value > by_name[
+        "amd_share_before_2018"
+    ].measured_value
+    assert by_name["amd_share_of_top100_efficiency"].measured_value > 0.8

@@ -1,0 +1,43 @@
+"""Table I: SPEC Power vs SPEC CPU for two dual-socket Lenovo systems
+(experiment E7).
+
+Paper reference factors (AMD EPYC 9754 vs Intel Xeon Platinum 8490H):
+power_ssj2008 2.09x, SPEC CPU 2017 fp rate 1.53x, int rate 2.03x.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_rows
+from repro.core.tables import PAPER_TABLE1, table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1(benchmark):
+    rows = benchmark(table1)
+    print_rows(
+        "Table I (measured vs paper)",
+        [
+            {
+                "benchmark": row.benchmark,
+                "system": row.system,
+                "result": row.result,
+                "factor": row.factor,
+                "paper_result": row.paper_result,
+                "paper_factor": row.paper_factor,
+            }
+            for row in rows
+        ],
+    )
+    amd = {row.benchmark: row.factor for row in rows if row.factor != 1.0}
+    # Shape: AMD wins everywhere; the integer-heavy SPEC Power and int rate
+    # advantages are larger than the fp rate advantage.
+    assert set(amd) == set(PAPER_TABLE1)
+    assert all(factor > 1.3 for factor in amd.values())
+    assert amd["cpu2017_fp_rate"] < amd["cpu2017_int_rate"]
+    assert amd["cpu2017_fp_rate"] < amd["power_ssj2008"]
+    # Factors land in the paper's ballpark.
+    assert amd["cpu2017_int_rate"] == pytest.approx(2.03, abs=0.35)
+    assert amd["cpu2017_fp_rate"] == pytest.approx(1.53, abs=0.30)
+    assert amd["power_ssj2008"] == pytest.approx(2.09, rel=0.40)

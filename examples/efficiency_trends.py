@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Efficiency and power trends (Figures 2 and 3, Table I).
+
+Generates (or reuses) a corpus, then reproduces the power-per-socket and
+overall-efficiency trends, prints the era comparisons quoted in the paper's
+text, renders the figures as SVG, and finishes with the Table I comparison
+of the two Lenovo systems.
+
+Run with ``python examples/efficiency_trends.py [corpus_dir]``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import generate_corpus, load_dataset
+from repro.core import apply_paper_filters, figure2, figure3, power_per_socket, table1
+from repro.core.trends import power_era_comparisons
+from repro.plotting import ascii_scatter
+from repro.stats import bin_by_year
+
+
+def main() -> int:
+    if len(sys.argv) > 1 and Path(sys.argv[1]).is_dir() and list(Path(sys.argv[1]).glob("*.txt")):
+        corpus_dir = Path(sys.argv[1])
+    else:
+        corpus_dir = Path(tempfile.mkdtemp(prefix="specpower-trends-")) / "corpus"
+        print(f"Generating a 400-run corpus in {corpus_dir} ...")
+        generate_corpus(corpus_dir, total_parsed_runs=400, seed=11)
+
+    runs = load_dataset(corpus_dir)
+    filtered, _ = apply_paper_filters(runs)
+    print(f"{len(filtered)} analysable runs")
+
+    # Era comparisons quoted in Section III.
+    print("\nPower growth between eras (paper: 119.0 W -> 303.3 W, ~2.5x at full load):")
+    for finding in power_era_comparisons(filtered):
+        print("  " + finding.describe())
+
+    # Yearly means of overall efficiency, split by vendor.
+    yearly = bin_by_year(filtered, "overall_efficiency", group_columns=["cpu_vendor"])
+    print("\nYearly mean overall efficiency (ssj_ops/W):")
+    for row in yearly.to_records():
+        if row["count"] >= 3:
+            print(f"  {row['hw_avail_year']}  {row['cpu_vendor']:6s} "
+                  f"{row['mean']:10.0f}  (n={row['count']})")
+
+    # Terminal preview of Figure 3, then SVG output of Figures 2 and 3.
+    usable = filtered.dropna(["hw_avail_decimal", "overall_efficiency"])
+    print("\n" + ascii_scatter(
+        usable["hw_avail_decimal"].to_list(),
+        usable["overall_efficiency"].to_list(),
+        title="Overall ssj_ops/W over hardware availability date",
+    ))
+
+    figures_dir = corpus_dir.parent / "figures"
+    for artifact in (figure2(filtered), figure3(filtered)):
+        for path in artifact.save(figures_dir):
+            print(f"wrote {path}")
+
+    print("\nTable I (SPEC Power vs SPEC CPU, AMD/Intel factor):")
+    for row in table1():
+        print(f"  {row.benchmark:18s} {row.system:22s} measured {row.result:>10.1f} "
+              f"(factor {row.factor:.2f}, paper factor {row.paper_factor:.2f})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

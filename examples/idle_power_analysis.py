@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Active-idle power analysis (Figures 5 and 6, Section IV).
+
+Reproduces the idle-fraction trend, the extrapolated idle quotient, and the
+Section IV correlation exploration of recent runs — including the per-vendor
+confounders (core counts, nominal frequency spread) the paper reports.
+
+Run with ``python examples/idle_power_analysis.py [corpus_dir]``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import generate_corpus, load_dataset
+from repro.core import apply_paper_filters, figure5, figure6, run_correlation_study
+from repro.core.trends import idle_fraction_milestones
+from repro.stats import bin_by_year
+
+
+def main() -> int:
+    if len(sys.argv) > 1 and Path(sys.argv[1]).is_dir() and list(Path(sys.argv[1]).glob("*.txt")):
+        corpus_dir = Path(sys.argv[1])
+    else:
+        corpus_dir = Path(tempfile.mkdtemp(prefix="specpower-idle-")) / "corpus"
+        print(f"Generating a 400-run corpus in {corpus_dir} ...")
+        generate_corpus(corpus_dir, total_parsed_runs=400, seed=13)
+
+    runs = load_dataset(corpus_dir)
+    filtered, _ = apply_paper_filters(runs)
+
+    print("Idle fraction milestones (paper: 70.1 % in 2006, 15.7 % minimum in 2017, "
+          "25.7 % in 2024):")
+    for finding in idle_fraction_milestones(filtered):
+        print("  " + finding.describe())
+
+    print("\nYearly mean idle fraction and extrapolated idle quotient:")
+    idle_by_year = bin_by_year(filtered, "idle_fraction")
+    quotient_by_year = bin_by_year(filtered, "extrapolated_idle_quotient")
+    quotient_lookup = {row["hw_avail_year"]: row for row in quotient_by_year.to_records()}
+    for row in idle_by_year.to_records():
+        year = row["hw_avail_year"]
+        quotient = quotient_lookup.get(year, {}).get("mean")
+        print(f"  {year}: idle fraction {row['mean'] * 100:5.1f} %   "
+              f"extrapolated idle quotient {quotient:4.2f}   (n={row['count']})")
+
+    print("\nSection IV correlation exploration (runs since 2021):")
+    study = run_correlation_study(filtered, since_year=2021)
+    print(study.describe())
+    print("  conclusive: " + ("yes" if study.is_conclusive() else
+                              "no — matches the paper's 'remains inconclusive'"))
+
+    figures_dir = corpus_dir.parent / "figures"
+    for artifact in (figure5(filtered), figure6(filtered)):
+        for path in artifact.save(figures_dir):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Simulate a single SPECpower_ssj2008 run in detail.
+
+Uses the event-driven workload engine (explicit batch scheduling) rather
+than the fast analytic mode, prints the per-interval measurements the way a
+SPEC report tabulates them, renders the report text, parses it back and
+verifies the round trip — a miniature version of the whole reproduction on
+one system.
+
+Run with ``python examples/single_run_simulation.py [cpu_model]``, e.g.
+``python examples/single_run_simulation.py "EPYC 9754"``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.proportionality import attach_proportionality
+from repro.market import FleetSampler, default_catalog
+from repro.parser import parse_result_text, records_to_frame, validate_run
+from repro.reportgen import render_report
+from repro.simulator import RunDirector, SimulationOptions
+
+
+def main() -> int:
+    cpu_model = sys.argv[1] if len(sys.argv) > 1 else "EPYC 9754"
+    catalog = default_catalog()
+    entry = catalog.get(cpu_model)
+    print(f"System under test: 2x {entry.cpu.describe()}")
+
+    # Borrow a plan from the sampler and pin it to the requested CPU.
+    from dataclasses import replace
+
+    fleet = FleetSampler(total_parsed_runs=40, catalog=catalog).sample(seed=1)
+    plan = replace(
+        fleet.analysable()[0],
+        cpu_model=cpu_model,
+        sockets=2,
+        memory_gb=entry.typical_memory_gb_per_socket * 2,
+        psu_rating_w=1100.0,
+    )
+
+    director = RunDirector(
+        catalog=catalog,
+        options=SimulationOptions(fidelity="event", interval_duration_s=60.0),
+    )
+    result = director.run(plan)
+
+    print("\nTarget load | actual load |    ssj_ops | avg power (W) | ssj_ops/W")
+    for level in result.load_levels:
+        print(f"   {level.target_load * 100:6.0f} %  |   {level.actual_load * 100:6.1f} %  |"
+              f" {level.ssj_ops:10,.0f} | {level.average_power_w:13.1f} |"
+              f" {level.performance_to_power_ratio:9,.0f}")
+    idle = result.active_idle
+    print(f"  Active idle |             | {0:10,.0f} | {idle.average_power_w:13.1f} |")
+    print(f"\nOverall ssj_ops/W: {result.overall_efficiency:,.0f}")
+
+    # Energy proportionality of this one run.
+    frame = attach_proportionality(records_to_frame(
+        [parse_result_text(render_report(result), "single.txt").record]
+    ))
+    row = frame.row(0)
+    print(f"EP score {row['ep_score']:.3f}, dynamic range {row['dynamic_range']:.3f}, "
+          f"max deviation from proportionality {row['linear_deviation']:.3f}")
+
+    # Round trip through the report format.
+    text = render_report(result)
+    record = parse_result_text(text, "single.txt").record
+    assert validate_run(record).is_valid
+    print("\nRendered report parses back cleanly; first lines:")
+    print("\n".join(text.splitlines()[:12]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

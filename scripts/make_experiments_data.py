@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Produce the paper-vs-measured numbers recorded in EXPERIMENTS.md.
+
+Generates the default paper-scale corpus (seed 2024, 960 clean runs), runs
+the full analysis and prints every comparison as plain text.  Used to
+populate EXPERIMENTS.md; re-run after any calibration change.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import analyze, generate_corpus, load_dataset
+from repro.core import figure4
+from repro.parallel import ParallelConfig
+from repro.parser import parse_directory
+from repro.stats import bin_by_year
+
+
+def main() -> int:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp(prefix="experiments-"))
+    corpus = output / "corpus"
+    parallel = ParallelConfig(backend="process", max_workers=8, chunk_size=64)
+    generate_corpus(corpus, total_parsed_runs=960, seed=2024, parallel=parallel)
+    parse_report = parse_directory(corpus, parallel=parallel)
+    print("== corpus ==")
+    print(parse_report.describe())
+    print("rejections:", dict(sorted(parse_report.rejection_counts().items())))
+
+    runs = load_dataset(corpus, parallel=parallel)
+    result = analyze(runs, include_table1=True, include_figures=True)
+    print()
+    print(result.summary())
+
+    print("== figure yearly series ==")
+    filtered = result.filtered
+    for metric in ("power_per_socket_100", "overall_efficiency", "idle_fraction",
+                   "extrapolated_idle_quotient"):
+        yearly = bin_by_year(filtered, metric)
+        series = {row["hw_avail_year"]: round(row["mean"], 3) for row in yearly.to_records()}
+        print(metric, series)
+
+    print("== figure4 medians (70% load) ==")
+    data = figure4(filtered).data
+    for vendor in ("Intel", "AMD"):
+        rows = [r for r in data.to_records()
+                if r["vendor"] == vendor and r["load_level"] == 70 and r["count"] > 0]
+        print(vendor, {r["year"]: round(r["median"], 3) for r in rows})
+
+    figures_dir = output / "figures"
+    result.save_figures(figures_dir)
+    print("figures written to", figures_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

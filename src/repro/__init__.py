@@ -1,0 +1,57 @@
+"""repro — reproduction of "16 Years of SPEC Power" (CLUSTER 2024).
+
+The package is organised in three layers:
+
+1. **Substrates** that stand in for unavailable dependencies and data:
+   :mod:`repro.frame` (columnar tables), :mod:`repro.stats`,
+   :mod:`repro.plotting`, :mod:`repro.parallel`, :mod:`repro.powermodel`,
+   :mod:`repro.simulator`, :mod:`repro.market`, :mod:`repro.reportgen`,
+   :mod:`repro.speccpu`.
+2. **Parsing** of SPEC-style result files: :mod:`repro.parser`.
+3. **The paper's analysis**: :mod:`repro.core` (dataset assembly, filter
+   pipeline, metrics, trends, figures, tables, report).
+
+Quickstart
+----------
+``quick_dataset`` produces a small synthetic corpus already parsed into a
+run table; ``analyze`` runs the full paper pipeline over it::
+
+    from repro import quick_dataset, analyze
+
+    runs = quick_dataset(n_runs=120, seed=7)
+    result = analyze(runs)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .errors import ReproError
+from .frame import Column, Frame, concat, read_csv
+from .units import MonthDate
+
+from .api import (
+    quick_dataset,
+    generate_corpus,
+    parse_corpus,
+    load_dataset,
+    analyze,
+    AnalysisResult,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Column",
+    "Frame",
+    "concat",
+    "read_csv",
+    "MonthDate",
+    "quick_dataset",
+    "generate_corpus",
+    "parse_corpus",
+    "load_dataset",
+    "analyze",
+    "AnalysisResult",
+]

@@ -1,0 +1,126 @@
+"""Top-level convenience API.
+
+These functions wire the layers together for the most common workflows:
+
+* :func:`generate_corpus` — write a synthetic corpus of result files,
+* :func:`parse_corpus` / :func:`load_dataset` — parse a corpus directory
+  into the derived analysis frame,
+* :func:`quick_dataset` — generate + parse a small corpus in a temporary
+  directory (the quickest way to get a realistic frame in examples/tests),
+* :func:`analyze` — run the full paper pipeline (filters, headline findings,
+  Table I, correlation study, optionally figures) over a run frame.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .frame import Frame
+from .parallel import ParallelConfig
+
+__all__ = [
+    "AnalysisResult",
+    "generate_corpus",
+    "parse_corpus",
+    "load_dataset",
+    "quick_dataset",
+    "analyze",
+]
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Outcome of :func:`analyze`."""
+
+    unfiltered: Frame
+    filtered: Frame
+    comparison: "object"          # repro.core.report.PaperComparison
+    figures: tuple = ()
+
+    def summary(self) -> str:
+        """Human-readable paper-vs-measured summary."""
+        return self.comparison.to_text()
+
+    @property
+    def era_comparisons(self) -> list[str]:
+        """Names of the scalar findings available in the comparison."""
+        return [finding.name for finding in self.comparison.findings]
+
+    def save_figures(self, directory: str | os.PathLike) -> list[Path]:
+        written: list[Path] = []
+        for artifact in self.figures:
+            written.extend(artifact.save(directory))
+        return written
+
+
+def generate_corpus(
+    directory: str | os.PathLike,
+    total_parsed_runs: int = 960,
+    seed: int = 2024,
+    parallel: ParallelConfig | None = None,
+):
+    """Generate a synthetic corpus of SPEC-style result files."""
+    from .reportgen import generate_corpus_files
+
+    return generate_corpus_files(
+        directory, total_parsed_runs=total_parsed_runs, seed=seed, parallel=parallel
+    )
+
+
+def parse_corpus(directory: str | os.PathLike, parallel: ParallelConfig | None = None):
+    """Parse a corpus directory; returns the raw :class:`CorpusParseReport`."""
+    from .parser import parse_directory
+
+    return parse_directory(directory, parallel=parallel)
+
+
+def load_dataset(
+    directory: str | os.PathLike,
+    parallel: ParallelConfig | None = None,
+) -> Frame:
+    """Parse a corpus directory into the derived analysis frame."""
+    from .core.dataset import load_runs
+
+    return load_runs(directory, parallel=parallel)
+
+
+def quick_dataset(
+    n_runs: int = 150,
+    seed: int = 2024,
+    directory: str | os.PathLike | None = None,
+) -> Frame:
+    """Generate and parse a small synthetic corpus in one call.
+
+    When ``directory`` is ``None`` a temporary directory is used and removed
+    afterwards; pass a path to keep the generated files.
+    """
+    if directory is not None:
+        generate_corpus(directory, total_parsed_runs=n_runs, seed=seed)
+        return load_dataset(directory)
+    with tempfile.TemporaryDirectory(prefix="specpower-corpus-") as tmp:
+        generate_corpus(tmp, total_parsed_runs=n_runs, seed=seed)
+        return load_dataset(tmp)
+
+
+def analyze(
+    runs: Frame,
+    include_table1: bool = True,
+    include_figures: bool = False,
+) -> AnalysisResult:
+    """Run the paper's analysis pipeline over a derived run frame."""
+    from .core.dataset import derive_columns
+    from .core.figures import all_figures
+    from .core.filters import apply_paper_filters
+    from .core.report import build_report
+
+    if "overall_efficiency" not in runs:
+        runs = derive_columns(runs)
+    comparison = build_report(runs, include_table1=include_table1)
+    filtered, _ = apply_paper_filters(runs)
+    figures = tuple(all_figures(runs, filtered)) if include_figures else ()
+    return AnalysisResult(
+        unfiltered=runs, filtered=filtered, comparison=comparison, figures=figures
+    )

@@ -1,0 +1,5 @@
+"""Command-line interface (``spectrends``)."""
+
+from .main import main
+
+__all__ = ["main"]

@@ -1,0 +1,122 @@
+"""``spectrends`` command-line interface.
+
+Sub-commands mirror the stages of the paper's artifact:
+
+* ``spectrends generate --output corpus/ --runs 960`` — write a synthetic
+  corpus of result files,
+* ``spectrends parse --corpus corpus/ --output runs.csv`` — parse and
+  validate the corpus, writing the flat run table,
+* ``spectrends analyze --corpus corpus/`` — run the full analysis and print
+  the paper-vs-measured report,
+* ``spectrends figures --corpus corpus/ --output figures/`` — regenerate
+  Figures 1–6 as SVG + CSV,
+* ``spectrends table1`` — print the Table I comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..parallel import ParallelConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spectrends",
+        description="Reproduction of '16 Years of SPEC Power' (CLUSTER 2024)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for corpus generation/parsing (default: 1)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic result-file corpus")
+    generate.add_argument("--output", required=True, help="output directory for .txt reports")
+    generate.add_argument("--runs", type=int, default=960,
+                          help="number of defect-free runs (default: 960, as in the paper)")
+    generate.add_argument("--seed", type=int, default=2024)
+
+    parse = sub.add_parser("parse", help="parse a corpus into the flat run table (CSV)")
+    parse.add_argument("--corpus", required=True, help="directory of .txt reports")
+    parse.add_argument("--output", required=True, help="CSV file for the parsed run table")
+
+    analyze = sub.add_parser("analyze", help="run the full analysis and print the report")
+    analyze.add_argument("--corpus", required=True)
+    analyze.add_argument("--no-table1", action="store_true", help="skip the Table I computation")
+
+    figures = sub.add_parser("figures", help="regenerate Figures 1-6")
+    figures.add_argument("--corpus", required=True)
+    figures.add_argument("--output", required=True, help="directory for SVG/CSV figure files")
+
+    sub.add_parser("table1", help="print the Table I comparison")
+    return parser
+
+
+def _parallel(args: argparse.Namespace) -> ParallelConfig:
+    if args.jobs and args.jobs > 1:
+        return ParallelConfig(max_workers=args.jobs, backend="process")
+    return ParallelConfig(backend="serial")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "generate":
+        from ..reportgen import generate_corpus_files
+
+        report = generate_corpus_files(
+            args.output, total_parsed_runs=args.runs, seed=args.seed,
+            parallel=_parallel(args),
+        )
+        print(report.describe())
+        return 0
+
+    if args.command == "parse":
+        from ..core.dataset import load_runs
+        from ..parser import parse_directory
+
+        report = parse_directory(args.corpus, parallel=_parallel(args))
+        print(report.describe())
+        frame = load_runs(args.corpus, parallel=_parallel(args))
+        frame.to_csv(args.output)
+        print(f"wrote {len(frame)} runs x {len(frame.columns)} columns to {args.output}")
+        return 0
+
+    if args.command == "analyze":
+        from ..api import analyze, load_dataset
+
+        runs = load_dataset(args.corpus, parallel=_parallel(args))
+        result = analyze(runs, include_table1=not args.no_table1)
+        print(result.summary())
+        return 0
+
+    if args.command == "figures":
+        from ..api import analyze, load_dataset
+
+        runs = load_dataset(args.corpus, parallel=_parallel(args))
+        result = analyze(runs, include_table1=False, include_figures=True)
+        written = result.save_figures(args.output)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+
+    if args.command == "table1":
+        from ..core.tables import table1
+
+        for row in table1():
+            print(
+                f"{row.benchmark:18s} {row.system:24s} {row.cpu_model:28s} "
+                f"result {row.result:>10.1f} factor {row.factor:.2f} "
+                f"(paper {row.paper_result:.0f} / {row.paper_factor:.2f})"
+            )
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces valid commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""The paper's analysis pipeline.
+
+Everything in this package operates on the flat run table produced by
+:mod:`repro.parser` (one row per accepted result file):
+
+* :mod:`repro.core.dataset` — derived columns (per-socket power, idle
+  fraction, per-level and relative efficiencies, extrapolated idle quotient),
+* :mod:`repro.core.filters` — the Section II filter pipeline with per-step
+  counts,
+* :mod:`repro.core.metrics` — the individual metric definitions,
+* :mod:`repro.core.trends` — era comparisons and yearly statistics
+  (the headline numbers quoted in the text),
+* :mod:`repro.core.proportionality` — energy-proportionality scores,
+* :mod:`repro.core.correlationstudy` — the Section IV correlation
+  exploration,
+* :mod:`repro.core.figures` — Figures 1–6,
+* :mod:`repro.core.tables` — Table I,
+* :mod:`repro.core.report` — the paper-vs-measured summary.
+"""
+
+from .dataset import derive_columns, load_runs, DERIVED_COLUMNS
+from .filters import FilterReport, FilterStep, apply_paper_filters
+from .metrics import (
+    idle_fraction,
+    overall_efficiency,
+    power_per_socket,
+    relative_efficiency,
+    extrapolated_idle,
+    extrapolated_idle_quotient,
+    top_n_vendor_share,
+)
+from .trends import TrendFinding, headline_findings, submissions_per_year, share_shift
+from .proportionality import ProportionalityScore, proportionality_scores
+from .correlationstudy import CorrelationStudy, run_correlation_study
+from .figures import FigureArtifact, figure1, figure2, figure3, figure4, figure5, figure6, all_figures
+from .tables import Table1Row, table1
+from .report import PaperComparison, build_report
+
+__all__ = [
+    "derive_columns",
+    "load_runs",
+    "DERIVED_COLUMNS",
+    "FilterReport",
+    "FilterStep",
+    "apply_paper_filters",
+    "idle_fraction",
+    "overall_efficiency",
+    "power_per_socket",
+    "relative_efficiency",
+    "extrapolated_idle",
+    "extrapolated_idle_quotient",
+    "top_n_vendor_share",
+    "TrendFinding",
+    "headline_findings",
+    "submissions_per_year",
+    "share_shift",
+    "ProportionalityScore",
+    "proportionality_scores",
+    "CorrelationStudy",
+    "run_correlation_study",
+    "FigureArtifact",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "all_figures",
+    "Table1Row",
+    "table1",
+    "PaperComparison",
+    "build_report",
+]

@@ -1,0 +1,136 @@
+"""The Section IV correlation exploration.
+
+The paper looks for explanations of the recent idle-fraction regression by
+correlating run features of submissions since 2021, and reports that the
+exploration is confounded by vendor lineups: AMD systems have far more cores
+(mean 85.8 vs 39.5) while the nominal frequency means coincide (~2.3 GHz)
+but differ in spread (0.3 vs 0.5 GHz).  The study here reproduces the same
+exploration: per-vendor feature statistics plus a correlation matrix of the
+candidate features against the idle fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from ..frame import Frame
+from ..stats import CorrelationResult, correlation_matrix, summarize
+from ..stats.descriptive import Summary
+
+__all__ = ["CorrelationStudy", "run_correlation_study"]
+
+#: Features the study correlates against the idle fraction.
+_STUDY_FEATURES = (
+    "cores_total",
+    "cpu_frequency_mhz",
+    "memory_gb",
+    "total_sockets",
+    "idle_fraction",
+    "extrapolated_idle_quotient",
+    "overall_efficiency",
+)
+
+
+@dataclass(frozen=True)
+class VendorFeatureStats:
+    """Per-vendor summary of one feature."""
+
+    feature: str
+    vendor: str
+    summary: Summary
+
+
+@dataclass(frozen=True)
+class CorrelationStudy:
+    """Outcome of the Section IV exploration."""
+
+    since_year: int
+    n_runs: int
+    correlations: CorrelationResult
+    vendor_stats: tuple[VendorFeatureStats, ...]
+
+    def vendor_summary(self, feature: str, vendor: str) -> Summary:
+        for entry in self.vendor_stats:
+            if entry.feature == feature and entry.vendor == vendor:
+                return entry.summary
+        raise AnalysisError(f"no statistics for {feature!r} / {vendor!r}")
+
+    def idle_fraction_correlations(self) -> dict[str, float]:
+        """Correlation of every feature with the idle fraction."""
+        out = {}
+        for feature in self.correlations.features:
+            if feature == "idle_fraction":
+                continue
+            out[feature] = self.correlations.value(feature, "idle_fraction")
+        return out
+
+    def is_conclusive(self, threshold: float = 0.8) -> bool:
+        """Whether any single *hardware* feature strongly explains the idle fraction.
+
+        Only configuration features (core count, frequency, memory, sockets)
+        are considered: quantities derived from the idle measurement itself
+        (the extrapolated idle quotient) correlate with it by construction
+        and say nothing about the cause.  The paper's conclusion is that the
+        exploration *remains inconclusive*; with the default threshold this
+        returns False on the reproduced data as well (vendor lineups confound
+        the candidate features).
+        """
+        hardware = ("cores_total", "cpu_frequency_mhz", "memory_gb", "total_sockets")
+        values = [
+            abs(value)
+            for feature, value in self.idle_fraction_correlations().items()
+            if feature in hardware and value == value
+        ]
+        return bool(values) and max(values) >= threshold
+
+    def describe(self) -> str:
+        lines = [
+            f"correlation study over {self.n_runs} runs with hardware since {self.since_year}",
+            "feature correlations with idle fraction:",
+        ]
+        for feature, value in sorted(
+            self.idle_fraction_correlations().items(), key=lambda kv: -abs(kv[1])
+        ):
+            lines.append(f"  {feature}: {value:+.2f}")
+        for feature in ("cores_total", "cpu_frequency_mhz"):
+            for vendor in ("AMD", "Intel"):
+                summary = self.vendor_summary(feature, vendor)
+                lines.append(
+                    f"  {vendor} {feature}: mean {summary.mean:.1f}, std {summary.std:.1f}"
+                )
+        return "\n".join(lines)
+
+
+def run_correlation_study(
+    frame: Frame, since_year: int = 2021, method: str = "pearson"
+) -> CorrelationStudy:
+    """Reproduce the Section IV exploration on the filtered run frame."""
+    required = set(_STUDY_FEATURES) | {"hw_avail_year", "cpu_vendor"}
+    missing = [name for name in required if name not in frame]
+    if missing:
+        raise AnalysisError(f"frame is missing columns for the study: {missing}")
+    recent = frame.filter(frame["hw_avail_year"] >= since_year)
+    if len(recent) < 5:
+        raise AnalysisError(
+            f"not enough runs since {since_year} for a correlation study ({len(recent)})"
+        )
+    correlations = correlation_matrix(recent, list(_STUDY_FEATURES), method=method)
+
+    vendor_stats: list[VendorFeatureStats] = []
+    for vendor in ("AMD", "Intel"):
+        sub = recent.filter(recent["cpu_vendor"] == vendor)
+        for feature in _STUDY_FEATURES:
+            vendor_stats.append(
+                VendorFeatureStats(
+                    feature=feature,
+                    vendor=vendor,
+                    summary=summarize(sub[feature].to_list()) if len(sub) else summarize([]),
+                )
+            )
+    return CorrelationStudy(
+        since_year=since_year,
+        n_runs=len(recent),
+        correlations=correlations,
+        vendor_stats=tuple(vendor_stats),
+    )

@@ -1,0 +1,82 @@
+"""Dataset assembly: parse a corpus and attach the derived analysis columns."""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import AnalysisError
+from ..frame import Frame
+from ..parallel import ParallelConfig
+from ..parser import parse_directory
+from ..parser.fields import LOAD_LEVELS
+from . import metrics
+
+__all__ = ["DERIVED_COLUMNS", "derive_columns", "load_runs"]
+
+#: Names of the derived columns added by :func:`derive_columns`, in order.
+DERIVED_COLUMNS: tuple[str, ...] = (
+    "total_sockets",
+    "overall_efficiency",
+    "power_per_socket_100",
+    "power_per_socket_070",
+    "power_per_socket_020",
+    "efficiency_100",
+    "relative_efficiency_090",
+    "relative_efficiency_080",
+    "relative_efficiency_070",
+    "relative_efficiency_060",
+    "idle_fraction",
+    "extrapolated_idle",
+    "extrapolated_idle_quotient",
+    "is_amd",
+    "is_linux",
+)
+
+
+def derive_columns(frame: Frame) -> Frame:
+    """Attach every derived metric column used by the figures and trends.
+
+    The input is the flat parsed-run frame (see
+    :func:`repro.parser.corpus.records_to_frame`); the result contains the
+    original columns plus :data:`DERIVED_COLUMNS`.
+    """
+    if len(frame) == 0:
+        raise AnalysisError("cannot derive columns of an empty run frame")
+    out = frame
+    out = out.with_column("total_sockets", metrics.total_sockets(out))
+    out = out.with_column("overall_efficiency", metrics.overall_efficiency(out))
+    for level in (100, 70, 20):
+        out = out.with_column(
+            f"power_per_socket_{level:03d}", metrics.power_per_socket(out, level)
+        )
+    out = out.with_column("efficiency_100", metrics.level_efficiency(out, 100))
+    for level in (90, 80, 70, 60):
+        out = out.with_column(
+            f"relative_efficiency_{level:03d}", metrics.relative_efficiency(out, level)
+        )
+    out = out.with_column("idle_fraction", metrics.idle_fraction(out))
+    out = out.with_column("extrapolated_idle", metrics.extrapolated_idle(out))
+    out = out.with_column(
+        "extrapolated_idle_quotient", metrics.extrapolated_idle_quotient(out)
+    )
+    out = out.with_column("is_amd", out["cpu_vendor"] == "AMD")
+    out = out.with_column("is_linux", out["os_family"] == "Linux")
+    return out
+
+
+def load_runs(
+    directory: str | os.PathLike,
+    parallel: ParallelConfig | None = None,
+    derive: bool = True,
+) -> Frame:
+    """Parse every report in ``directory`` into the analysis frame.
+
+    This is the "960 successfully parsed runs" stage: files failing the
+    consistency checks are dropped here (their counts are available through
+    :func:`repro.parser.parse_directory` when needed).
+    """
+    report = parse_directory(directory, parallel=parallel)
+    frame = report.to_frame()
+    if derive and len(frame) > 0:
+        frame = derive_columns(frame)
+    return frame

@@ -1,0 +1,322 @@
+"""Reproduction of the paper's Figures 1–6.
+
+Each ``figureN`` function takes the appropriate run frame and returns a
+:class:`FigureArtifact`: the underlying data (a frame, suitable for CSV
+export and for the benchmark harness to print) plus one or more rendered
+charts.  ``FigureArtifact.save`` writes the SVGs and the data CSV.
+
+Figure overview (all x axes are the hardware availability date):
+
+1. dataset demographics — submissions per year and shares of OS, CPU vendor,
+   sockets per node and total nodes (unfiltered dataset),
+2. power per socket at 100 % load,
+3. overall efficiency (ssj_ops/W),
+4. distribution of relative efficiency at 60–90 % load, binned by year and
+   CPU vendor,
+5. idle power as a fraction of full-load power,
+6. extrapolated idle quotient.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..frame import Column, Frame
+from ..plotting import (
+    BarChart,
+    BoxChart,
+    BoxSeries,
+    ScatterChart,
+    Series,
+    StackedAreaChart,
+)
+from ..plotting.charts import _BaseChart
+from ..stats import box_stats
+from ..stats.distribution import BoxStats
+
+__all__ = [
+    "FigureArtifact",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "all_figures",
+]
+
+_VENDOR_COLORS = {"Intel": "#1f77b4", "AMD": "#d62728"}
+
+
+@dataclass
+class FigureArtifact:
+    """Data and rendered charts of one figure."""
+
+    name: str
+    title: str
+    data: Frame
+    charts: dict[str, _BaseChart] = field(default_factory=dict)
+
+    def save(self, directory: str | os.PathLike) -> list[Path]:
+        """Write ``<name>_<panel>.svg`` for every chart plus ``<name>.csv``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        csv_path = directory / f"{self.name}.csv"
+        self.data.to_csv(csv_path)
+        written.append(csv_path)
+        for panel, chart in self.charts.items():
+            path = directory / f"{self.name}_{panel}.svg"
+            chart.save(path)
+            written.append(path)
+        return written
+
+
+def _require(frame: Frame, *names: str) -> None:
+    missing = [name for name in names if name not in frame]
+    if missing:
+        raise AnalysisError(f"figure input frame is missing columns: {missing}")
+
+
+def _vendor_scatter(frame: Frame, value_column: str, title: str, y_label: str,
+                    scale: float = 1.0) -> tuple[Frame, ScatterChart]:
+    """Scatter of a per-run metric over time, split by CPU vendor and sockets."""
+    _require(frame, "hw_avail_decimal", "cpu_vendor", "sockets_per_node", value_column)
+    usable = frame.dropna([value_column, "hw_avail_decimal"])
+    series = []
+    for vendor in ("Intel", "AMD"):
+        for sockets, marker in ((1, "circle"), (2, "square")):
+            mask = (usable["cpu_vendor"] == vendor) & (usable["sockets_per_node"] == sockets)
+            sub = usable.filter(mask)
+            if len(sub) == 0:
+                continue
+            series.append(
+                Series(
+                    name=f"{vendor}, {sockets} socket{'s' if sockets > 1 else ''}",
+                    x=sub["hw_avail_decimal"].to_list(),
+                    y=[v * scale for v in sub[value_column].to_list()],
+                    color=_VENDOR_COLORS[vendor],
+                    marker=marker,
+                )
+            )
+    if not series:
+        raise AnalysisError(f"no data for figure {title!r}")
+    chart = ScatterChart(
+        series,
+        title=title,
+        x_label="Hardware Availability Date",
+        y_label=y_label,
+    )
+    data = usable.select(
+        ["run_id", "hw_avail_decimal", "hw_avail_year", "cpu_vendor",
+         "sockets_per_node", value_column]
+    )
+    return data, chart
+
+
+# --------------------------------------------------------------------------- #
+# Figure 1: dataset demographics
+# --------------------------------------------------------------------------- #
+def figure1(unfiltered: Frame) -> FigureArtifact:
+    """Share of features on all successfully parsed (unfiltered) results."""
+    _require(unfiltered, "hw_avail_year", "os_family", "cpu_vendor",
+             "sockets_per_node", "nodes")
+    usable = unfiltered.dropna(["hw_avail_year"])
+    years = sorted({int(y) for y in usable["hw_avail_year"].to_list()})
+    year_column = usable["hw_avail_year"]
+
+    def yearly_counts(mask: np.ndarray) -> list[int]:
+        sub = usable.filter(mask) if mask is not None else usable
+        counts = sub["hw_avail_year"].value_counts()
+        return [int(counts.get(year, 0)) for year in years]
+
+    total_counts = yearly_counts(np.ones(len(usable), dtype=bool))
+
+    def share_series(column: str, buckets: list[tuple[str, np.ndarray]]) -> list[Series]:
+        return [
+            Series(name=label, y=yearly_counts(mask), x=years) for label, mask in buckets
+        ]
+
+    os_family = usable["os_family"]
+    vendor = usable["cpu_vendor"]
+    sockets = usable["sockets_per_node"]
+    nodes = usable["nodes"]
+    panels: dict[str, _BaseChart] = {
+        "counts": BarChart(
+            years, total_counts, title="Parsed results per year",
+            x_label="Hardware Availability Date (Binned by Year)", y_label="Count (#)",
+        ),
+        "os": StackedAreaChart(
+            years,
+            share_series("os_family", [
+                ("Windows", os_family == "Windows"),
+                ("Linux", os_family == "Linux"),
+                ("Other", ~((os_family == "Windows") | (os_family == "Linux"))),
+            ]),
+            title="Operating system share", x_label="Hardware Availability Date",
+            y_label="Fraction (%)",
+        ),
+        "cpu_vendor": StackedAreaChart(
+            years,
+            share_series("cpu_vendor", [
+                ("Intel", vendor == "Intel"),
+                ("AMD", vendor == "AMD"),
+                ("Other", ~((vendor == "Intel") | (vendor == "AMD"))),
+            ]),
+            title="CPU vendor share", x_label="Hardware Availability Date",
+            y_label="Fraction (%)",
+        ),
+        "sockets": StackedAreaChart(
+            years,
+            share_series("sockets_per_node", [
+                ("1", sockets == 1),
+                ("2", sockets == 2),
+                (">2", sockets > 2),
+            ]),
+            title="Sockets per node share", x_label="Hardware Availability Date",
+            y_label="Fraction (%)",
+        ),
+        "nodes": StackedAreaChart(
+            years,
+            share_series("nodes", [
+                ("1", nodes == 1),
+                ("2", nodes == 2),
+                (">2", nodes > 2),
+            ]),
+            title="Total nodes share", x_label="Hardware Availability Date",
+            y_label="Fraction (%)",
+        ),
+    }
+
+    # Underlying per-year data table.
+    rows = []
+    for index, year in enumerate(years):
+        year_mask = year_column == year
+        sub = usable.filter(year_mask)
+        count = len(sub)
+        rows.append(
+            {
+                "year": year,
+                "count": count,
+                "windows": int(np.sum(sub["os_family"].to_numpy(missing="") == "Windows")),
+                "linux": int(np.sum(sub["os_family"].to_numpy(missing="") == "Linux")),
+                "intel": int(np.sum(sub["cpu_vendor"].to_numpy(missing="") == "Intel")),
+                "amd": int(np.sum(sub["cpu_vendor"].to_numpy(missing="") == "AMD")),
+                "single_socket": int(np.sum(sub["sockets_per_node"].values == 1)),
+                "dual_socket": int(np.sum(sub["sockets_per_node"].values == 2)),
+                "multi_node": int(np.sum(sub["nodes"].values > 1)),
+            }
+        )
+    data = Frame.from_records(rows)
+    return FigureArtifact("figure1", "Dataset demographics", data, panels)
+
+
+# --------------------------------------------------------------------------- #
+# Figures 2, 3, 5, 6: per-run scatter trends
+# --------------------------------------------------------------------------- #
+def figure2(filtered: Frame) -> FigureArtifact:
+    """Power consumption (per socket) at full load over time."""
+    data, chart = _vendor_scatter(
+        filtered, "power_per_socket_100",
+        title="Power per socket at full load",
+        y_label="Power per Socket (W)",
+    )
+    return FigureArtifact("figure2", "Full-load power per socket trend", data,
+                          {"scatter": chart})
+
+
+def figure3(filtered: Frame) -> FigureArtifact:
+    """Overall efficiency (ssj_ops/W) over time."""
+    data, chart = _vendor_scatter(
+        filtered, "overall_efficiency",
+        title="Overall efficiency",
+        y_label="Overall ssj_ops/W",
+    )
+    return FigureArtifact("figure3", "Overall efficiency trend", data, {"scatter": chart})
+
+
+def figure5(filtered: Frame) -> FigureArtifact:
+    """Idle power as a percentage of full-load power over time."""
+    data, chart = _vendor_scatter(
+        filtered, "idle_fraction",
+        title="Active idle power relative to full load",
+        y_label="Idle Power / Full Load Power (%)",
+        scale=100.0,
+    )
+    return FigureArtifact("figure5", "Idle power consumption trend", data,
+                          {"scatter": chart})
+
+
+def figure6(filtered: Frame) -> FigureArtifact:
+    """Extrapolated vs measured active idle power over time."""
+    data, chart = _vendor_scatter(
+        filtered, "extrapolated_idle_quotient",
+        title="Extrapolated idle quotient",
+        y_label="Extrapolated Idle Quotient",
+    )
+    return FigureArtifact("figure6", "Extrapolated idle quotient trend", data,
+                          {"scatter": chart})
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4: relative efficiency distributions
+# --------------------------------------------------------------------------- #
+def figure4(filtered: Frame, levels: tuple[int, ...] = (60, 70, 80, 90)) -> FigureArtifact:
+    """Distribution of relative efficiency at 60–90 % load per year and vendor."""
+    columns = [f"relative_efficiency_{level:03d}" for level in levels]
+    _require(filtered, "hw_avail_year", "cpu_vendor", *columns)
+    usable = filtered.dropna(["hw_avail_year"])
+
+    charts: dict[str, _BaseChart] = {}
+    rows = []
+    for vendor in ("AMD", "Intel"):
+        vendor_frame = usable.filter(usable["cpu_vendor"] == vendor)
+        years = sorted({int(y) for y in vendor_frame["hw_avail_year"].to_list()})
+        box_series = []
+        for level, column in zip(levels, columns):
+            boxes: list[BoxStats] = []
+            for year in years:
+                values = vendor_frame.filter(vendor_frame["hw_avail_year"] == year)[column].to_list()
+                stats = box_stats(values)
+                boxes.append(stats)
+                rows.append(
+                    {
+                        "vendor": vendor,
+                        "year": year,
+                        "load_level": level,
+                        "count": stats.count,
+                        "median": stats.median,
+                        "q25": stats.q25,
+                        "q75": stats.q75,
+                    }
+                )
+            box_series.append(
+                BoxSeries(name=f"{level}%", x=years, boxes=boxes, width=0.2)
+            )
+        if years:
+            charts[vendor.lower()] = BoxChart(
+                box_series,
+                reference_line=1.0,
+                title=f"{vendor}: relative efficiency at 60-90 % load",
+                x_label="Hardware Availability Date (Binned by Year)",
+                y_label="Relative Efficiency (vs full load)",
+            )
+    data = Frame.from_records(rows)
+    return FigureArtifact("figure4", "Relative efficiency distributions", data, charts)
+
+
+def all_figures(unfiltered: Frame, filtered: Frame) -> list[FigureArtifact]:
+    """Produce every figure of the paper in order."""
+    return [
+        figure1(unfiltered),
+        figure2(filtered),
+        figure3(filtered),
+        figure4(filtered),
+        figure5(filtered),
+        figure6(filtered),
+    ]

@@ -1,0 +1,163 @@
+"""The Section II filter pipeline.
+
+After parsing and consistency checking (1017 → 960), the paper keeps the
+dataset comparable by excluding
+
+* runs whose CPU was made by neither Intel nor AMD (9 runs),
+* runs not on server or workstation CPUs, i.e. CPUs marketed neither as
+  Xeon, Opteron nor EPYC (6 runs),
+* runs with more than one node or more than two sockets (269 runs),
+
+leaving 676 runs.  :func:`apply_paper_filters` reproduces that pipeline and
+reports the per-step counts so they can be compared against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import FilterError
+from ..frame import Frame
+from ..frame.ops import and_masks, not_mask, or_masks
+
+__all__ = ["FilterStep", "FilterReport", "paper_filter_steps", "apply_paper_filters"]
+
+
+@dataclass(frozen=True)
+class FilterStep:
+    """One exclusion step: a name, a paper count and a predicate.
+
+    The predicate returns a boolean mask of rows to *remove*.
+    """
+
+    name: str
+    description: str
+    paper_removed: int | None
+    removes: Callable[[Frame], np.ndarray]
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """What one step removed."""
+
+    step: FilterStep
+    removed: int
+    remaining: int
+
+
+@dataclass(frozen=True)
+class FilterReport:
+    """Full pipeline outcome: per-step counts plus the initial/final sizes."""
+
+    initial: int
+    outcomes: tuple[StepOutcome, ...]
+
+    @property
+    def final(self) -> int:
+        return self.outcomes[-1].remaining if self.outcomes else self.initial
+
+    def removed_by(self, step_name: str) -> int:
+        for outcome in self.outcomes:
+            if outcome.step.name == step_name:
+                return outcome.removed
+        raise FilterError(f"no filter step named {step_name!r}")
+
+    def to_rows(self) -> list[dict]:
+        """Rows for a paper-vs-measured table."""
+        rows = []
+        for outcome in self.outcomes:
+            rows.append(
+                {
+                    "step": outcome.step.name,
+                    "description": outcome.step.description,
+                    "paper_removed": outcome.step.paper_removed,
+                    "removed": outcome.removed,
+                    "remaining": outcome.remaining,
+                }
+            )
+        return rows
+
+    def describe(self) -> str:
+        lines = [f"initial runs: {self.initial}"]
+        for outcome in self.outcomes:
+            paper = (
+                f" (paper: {outcome.step.paper_removed})"
+                if outcome.step.paper_removed is not None
+                else ""
+            )
+            lines.append(
+                f"- {outcome.step.name}: removed {outcome.removed}{paper}, "
+                f"{outcome.remaining} remaining"
+            )
+        return "\n".join(lines)
+
+
+def _non_intel_amd(frame: Frame) -> np.ndarray:
+    return not_mask(frame["cpu_vendor"].isin(["Intel", "AMD"]))
+
+
+def _non_server_cpu(frame: Frame) -> np.ndarray:
+    intel_amd = frame["cpu_vendor"].isin(["Intel", "AMD"])
+    server = frame["cpu_family"].isin(["Xeon", "Opteron", "EPYC"])
+    return and_masks(intel_amd, not_mask(server))
+
+
+def _multi_node_or_socket(frame: Frame) -> np.ndarray:
+    nodes = frame["nodes"]
+    sockets = frame["sockets_per_node"]
+    multi_node = nodes > 1
+    many_sockets = sockets > 2
+    # Missing node/socket information also disqualifies a run from the
+    # single-node comparison (conservative, mirrors the paper's treatment).
+    missing = or_masks(nodes.isna(), sockets.isna())
+    return or_masks(multi_node, many_sockets, missing)
+
+
+def paper_filter_steps() -> list[FilterStep]:
+    """The three content filters of Section II, in the paper's order."""
+    return [
+        FilterStep(
+            name="non_intel_amd_cpu",
+            description="CPU made by neither Intel nor AMD",
+            paper_removed=9,
+            removes=_non_intel_amd,
+        ),
+        FilterStep(
+            name="non_server_cpu",
+            description="CPU not marketed as Xeon, Opteron or EPYC",
+            paper_removed=6,
+            removes=_non_server_cpu,
+        ),
+        FilterStep(
+            name="multi_node_or_gt2_sockets",
+            description="more than one node or more than two sockets",
+            paper_removed=269,
+            removes=_multi_node_or_socket,
+        ),
+    ]
+
+
+def apply_paper_filters(
+    frame: Frame, steps: Sequence[FilterStep] | None = None
+) -> tuple[Frame, FilterReport]:
+    """Apply the filter pipeline, returning the kept runs and the report."""
+    if steps is None:
+        steps = paper_filter_steps()
+    current = frame
+    outcomes: list[StepOutcome] = []
+    for step in steps:
+        if len(current) == 0:
+            outcomes.append(StepOutcome(step, 0, 0))
+            continue
+        removal_mask = np.asarray(step.removes(current), dtype=bool)
+        if len(removal_mask) != len(current):
+            raise FilterError(
+                f"filter step {step.name!r} returned a mask of wrong length"
+            )
+        removed = int(removal_mask.sum())
+        current = current.filter(~removal_mask)
+        outcomes.append(StepOutcome(step, removed, len(current)))
+    return current, FilterReport(initial=len(frame), outcomes=tuple(outcomes))

@@ -1,0 +1,155 @@
+"""Metric definitions used throughout the analysis.
+
+Each function takes the flat run frame (or columns of it) and returns a
+:class:`repro.frame.Column`, so the metrics can be attached as derived
+columns by :mod:`repro.core.dataset` or used stand-alone in tests.
+
+Definitions (following the paper and the SPEC result-file documentation):
+
+* **overall efficiency** — ``sum(ssj_ops over all levels) / sum(power over
+  all levels including active idle)``,
+* **power per socket** — measured wall power divided by the total number of
+  chips in the SUT,
+* **relative efficiency at level L** — per-level efficiency divided by the
+  100 % efficiency; 1.0 at every level would be perfect energy
+  proportionality,
+* **idle fraction** — active-idle power divided by 100 % power,
+* **extrapolated idle** — the power at 0 % load linearly extrapolated from
+  the 10 % and 20 % measurements,
+* **extrapolated idle quotient** — extrapolated idle divided by measured
+  active idle (>1 means idle-specific optimisations are effective).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..frame import Column, Frame
+from ..frame.ops import ratio
+from ..parser.fields import LOAD_LEVELS, level_field
+
+__all__ = [
+    "total_sockets",
+    "overall_efficiency",
+    "power_per_socket",
+    "level_efficiency",
+    "relative_efficiency",
+    "idle_fraction",
+    "extrapolated_idle",
+    "extrapolated_idle_quotient",
+    "top_n_vendor_share",
+]
+
+
+def _require(frame: Frame, *names: str) -> None:
+    missing = [name for name in names if name not in frame]
+    if missing:
+        raise AnalysisError(f"frame is missing required columns: {missing}")
+
+
+def _level_values(frame: Frame, kind: str, level: int) -> np.ndarray:
+    column = frame[level_field(kind, level)]
+    values = column.values.astype(np.float64, copy=True)
+    values[column.mask] = np.nan
+    return values
+
+
+def total_sockets(frame: Frame) -> Column:
+    """Total number of chips in the SUT (all nodes).
+
+    Prefers the parsed ``total_chips`` field and falls back to
+    ``nodes * sockets_per_node``.
+    """
+    _require(frame, "total_chips", "nodes", "sockets_per_node")
+    chips = frame["total_chips"].to_numpy(missing=np.nan).astype(np.float64)
+    nodes = frame["nodes"].to_numpy(missing=np.nan).astype(np.float64)
+    per_node = frame["sockets_per_node"].to_numpy(missing=np.nan).astype(np.float64)
+    fallback = nodes * per_node
+    combined = np.where(np.isnan(chips), fallback, chips)
+    return Column.from_numpy(combined)
+
+
+def overall_efficiency(frame: Frame) -> Column:
+    """Overall ssj_ops/W recomputed from the per-level measurements."""
+    _require(frame, "power_idle")
+    total_ops = np.zeros(len(frame), dtype=np.float64)
+    total_power = np.zeros(len(frame), dtype=np.float64)
+    valid = np.ones(len(frame), dtype=bool)
+    for level in LOAD_LEVELS:
+        ops = _level_values(frame, "ssj_ops", level)
+        power = _level_values(frame, "power", level)
+        valid &= ~np.isnan(ops) & ~np.isnan(power)
+        total_ops += np.nan_to_num(ops)
+        total_power += np.nan_to_num(power)
+    idle = frame["power_idle"].values.astype(np.float64, copy=True)
+    idle[frame["power_idle"].mask] = np.nan
+    valid &= ~np.isnan(idle)
+    total_power += np.nan_to_num(idle)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        efficiency = total_ops / total_power
+    efficiency[~valid | (total_power <= 0)] = np.nan
+    return Column.from_numpy(efficiency)
+
+
+def power_per_socket(frame: Frame, level: int = 100) -> Column:
+    """Wall power at a load level divided by the total socket count."""
+    sockets = total_sockets(frame)
+    power = Column.from_numpy(_level_values(frame, "power", level))
+    return ratio(power, sockets)
+
+
+def level_efficiency(frame: Frame, level: int) -> Column:
+    """ssj_ops per watt at one load level."""
+    ops = Column.from_numpy(_level_values(frame, "ssj_ops", level))
+    power = Column.from_numpy(_level_values(frame, "power", level))
+    return ratio(ops, power)
+
+
+def relative_efficiency(frame: Frame, level: int) -> Column:
+    """Efficiency at ``level`` relative to the efficiency at full load."""
+    if level == 100:
+        raise AnalysisError("relative efficiency is defined against the 100 % level")
+    return ratio(level_efficiency(frame, level), level_efficiency(frame, 100))
+
+
+def idle_fraction(frame: Frame) -> Column:
+    """Active-idle power divided by full-load power (Figure 5 metric)."""
+    _require(frame, "power_idle")
+    idle = frame["power_idle"]
+    full = Column.from_numpy(_level_values(frame, "power", 100))
+    return ratio(idle, full)
+
+
+def extrapolated_idle(frame: Frame) -> Column:
+    """Idle power linearly extrapolated from the 10 % and 20 % load points.
+
+    With exactly two points the least-squares line passes through both, so
+    the extrapolation reduces to ``2 * P(10 %) - P(20 %)``; clamped at zero.
+    """
+    p10 = _level_values(frame, "power", 10)
+    p20 = _level_values(frame, "power", 20)
+    extrapolated = 2.0 * p10 - p20
+    extrapolated = np.where(extrapolated < 0, 0.0, extrapolated)
+    return Column.from_numpy(extrapolated)
+
+
+def extrapolated_idle_quotient(frame: Frame) -> Column:
+    """Extrapolated idle power divided by measured active-idle power."""
+    _require(frame, "power_idle")
+    return ratio(extrapolated_idle(frame), frame["power_idle"])
+
+
+def top_n_vendor_share(frame: Frame, vendor: str = "AMD", n: int = 100,
+                       metric: str = "overall_efficiency") -> float:
+    """Share of ``vendor`` among the ``n`` most efficient runs.
+
+    Reproduces the paper's "out of the 100 most efficient runs 98 use AMD
+    processors" statistic.
+    """
+    _require(frame, metric, "cpu_vendor")
+    ordered = frame.dropna([metric]).sort_by(metric, descending=True).head(n)
+    if len(ordered) == 0:
+        raise AnalysisError("no runs with the requested metric")
+    vendors = ordered["cpu_vendor"].to_list()
+    return sum(1 for v in vendors if v == vendor) / len(vendors)

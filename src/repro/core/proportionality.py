@@ -1,0 +1,89 @@
+"""Energy-proportionality scores.
+
+The paper discusses energy proportionality qualitatively through the
+relative-efficiency distributions of Figure 4.  This module adds the
+quantitative scores commonly used in the literature the paper cites
+(Hsu/Poole), computed per run from the ten graduated load levels:
+
+* **EP score** — ``1 - (area between the normalised power curve and the
+  ideal proportional line) / (area under the ideal line)``; 1.0 means
+  perfectly proportional, 0.0 means completely flat power.
+* **dynamic range** — idle power over full-load power subtracted from one
+  (how much of the power budget actually scales).
+* **linear deviation** — maximum absolute deviation of the normalised power
+  curve from the proportional line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..frame import Column, Frame
+from ..parser.fields import LOAD_LEVELS, level_field
+
+__all__ = ["ProportionalityScore", "proportionality_scores", "attach_proportionality"]
+
+
+@dataclass(frozen=True)
+class ProportionalityScore:
+    """Proportionality metrics of one run."""
+
+    ep_score: float
+    dynamic_range: float
+    linear_deviation: float
+
+
+def _run_scores(levels: np.ndarray, powers: np.ndarray, idle: float) -> ProportionalityScore:
+    if np.any(np.isnan(powers)) or np.isnan(idle) or powers[0] <= 0:
+        return ProportionalityScore(float("nan"), float("nan"), float("nan"))
+    full = powers[0]                       # levels are ordered 100 % first
+    normalised = powers / full
+    ideal = levels / 100.0
+    # Trapezoidal area between the measured curve and the proportional line,
+    # evaluated over the measured load range [10 %, 100 %] plus the idle point.
+    xs = np.concatenate(([0.0], levels[::-1] / 100.0))
+    measured = np.concatenate(([idle / full], normalised[::-1]))
+    ideal_curve = xs
+    area_between = float(np.trapezoid(np.abs(measured - ideal_curve), xs))
+    area_ideal = float(np.trapezoid(ideal_curve, xs))
+    ep = 1.0 - area_between / area_ideal if area_ideal > 0 else float("nan")
+    return ProportionalityScore(
+        ep_score=ep,
+        dynamic_range=1.0 - idle / full,
+        linear_deviation=float(np.max(np.abs(measured - ideal_curve))),
+    )
+
+
+def proportionality_scores(frame: Frame) -> list[ProportionalityScore]:
+    """Per-run proportionality scores (row order preserved)."""
+    if "power_idle" not in frame:
+        raise AnalysisError("frame has no power_idle column")
+    levels = np.asarray(LOAD_LEVELS, dtype=np.float64)
+    power_columns = [frame[level_field("power", level)] for level in LOAD_LEVELS]
+    idle_column = frame["power_idle"]
+    scores = []
+    for i in range(len(frame)):
+        powers = np.asarray(
+            [np.nan if column[i] is None else float(column[i]) for column in power_columns]
+        )
+        idle = idle_column[i]
+        idle_value = float("nan") if idle is None else float(idle)
+        scores.append(_run_scores(levels, powers, idle_value))
+    return scores
+
+
+def attach_proportionality(frame: Frame) -> Frame:
+    """Attach ``ep_score``, ``dynamic_range`` and ``linear_deviation`` columns."""
+    scores = proportionality_scores(frame)
+    return frame.with_columns(
+        {
+            "ep_score": Column.from_values([s.ep_score for s in scores], kind="float"),
+            "dynamic_range": Column.from_values([s.dynamic_range for s in scores], kind="float"),
+            "linear_deviation": Column.from_values(
+                [s.linear_deviation for s in scores], kind="float"
+            ),
+        }
+    )

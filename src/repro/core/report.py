@@ -1,0 +1,121 @@
+"""Paper-vs-measured report assembly.
+
+``build_report`` runs every quantitative comparison of the reproduction —
+the dataset funnel, the headline trend findings, Table I and the correlation
+study — and renders them as a single text report plus machine-readable
+frames.  EXPERIMENTS.md is generated from this output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from ..frame import Frame
+from .correlationstudy import CorrelationStudy, run_correlation_study
+from .filters import FilterReport, apply_paper_filters
+from .tables import Table1Row, table1
+from .trends import TrendFinding, headline_findings
+
+__all__ = ["PaperComparison", "build_report"]
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """Everything the reproduction can compare against the paper."""
+
+    filter_report: FilterReport
+    findings: tuple[TrendFinding, ...]
+    table1_rows: tuple[Table1Row, ...]
+    correlation_study: CorrelationStudy | None
+    unfiltered_runs: int
+    filtered_runs: int
+
+    # ------------------------------------------------------------------ #
+    def findings_frame(self) -> Frame:
+        return Frame.from_records(
+            [
+                {
+                    "finding": finding.name,
+                    "description": finding.description,
+                    "paper": finding.paper_value,
+                    "measured": finding.measured_value,
+                    "relative_error": finding.relative_error,
+                }
+                for finding in self.findings
+            ]
+        )
+
+    def filter_frame(self) -> Frame:
+        return Frame.from_records(self.filter_report.to_rows())
+
+    def table1_frame(self) -> Frame:
+        return Frame.from_records(
+            [
+                {
+                    "benchmark": row.benchmark,
+                    "system": row.system,
+                    "result": row.result,
+                    "factor": row.factor,
+                    "paper_result": row.paper_result,
+                    "paper_factor": row.paper_factor,
+                }
+                for row in self.table1_rows
+            ]
+        )
+
+    def to_text(self) -> str:
+        lines = [
+            "Reproduction report: 16 Years of SPEC Power (CLUSTER 2024)",
+            "=" * 60,
+            "",
+            f"Parsed runs:   {self.unfiltered_runs}",
+            f"Analysed runs: {self.filtered_runs}",
+            "",
+            "Filter pipeline (paper counts in parentheses):",
+            self.filter_report.describe(),
+            "",
+            "Headline findings (paper vs measured):",
+        ]
+        for finding in self.findings:
+            lines.append("  " + finding.describe())
+        lines.append("")
+        lines.append("Table I (paper vs measured):")
+        for row in self.table1_rows:
+            lines.append(
+                f"  {row.benchmark:18s} {row.system:22s} "
+                f"measured {row.result:>10.1f} (factor {row.factor:.2f}) "
+                f"paper {row.paper_result or float('nan'):>8.0f} (factor {row.paper_factor:.2f})"
+            )
+        if self.correlation_study is not None:
+            lines.append("")
+            lines.append("Correlation study (Section IV):")
+            lines.append(
+                "  conclusive: "
+                + ("yes" if self.correlation_study.is_conclusive() else
+                   "no (matches the paper's 'remains inconclusive')")
+            )
+            for line in self.correlation_study.describe().splitlines():
+                lines.append("  " + line)
+        return "\n".join(lines) + "\n"
+
+
+def build_report(unfiltered: Frame, include_table1: bool = True) -> PaperComparison:
+    """Run the full comparison pipeline on a parsed, derived run frame."""
+    if len(unfiltered) == 0:
+        raise AnalysisError("cannot build a report from an empty dataset")
+    filtered, filter_report = apply_paper_filters(unfiltered)
+    findings = headline_findings(unfiltered, filtered)
+    table_rows = tuple(table1()) if include_table1 else ()
+    try:
+        study = run_correlation_study(filtered)
+    except AnalysisError:
+        study = None
+    return PaperComparison(
+        filter_report=filter_report,
+        findings=tuple(findings),
+        table1_rows=table_rows,
+        correlation_study=study,
+        unfiltered_runs=len(unfiltered),
+        filtered_runs=len(filtered),
+    )

@@ -1,0 +1,178 @@
+"""Reproduction of Table I: SPEC Power vs SPEC CPU for two Lenovo systems.
+
+The paper compares a Lenovo ThinkSystem SR650 V3 (2x Intel Xeon Platinum
+8490H) against a ThinkSystem SR645 V3 (2x AMD EPYC 9754) under three
+benchmarks and reports the relative AMD/Intel factor for each:
+
+==================  ======  ======  ======
+benchmark           Intel    AMD    factor
+==================  ======  ======  ======
+power_ssj 2008      15112   31634   2.09
+CPU 2017 FP rate      926    1420   1.53
+CPU 2017 Int rate     902    1830   2.03
+==================  ======  ======  ======
+
+The reproduction builds both systems from the market catalog, measures the
+SPEC Power overall score with the benchmark simulator (measurement noise
+disabled so the table is deterministic) and the CPU rate scores with the
+throughput model of :mod:`repro.speccpu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from ..frame import Frame
+from ..market.catalog import Catalog, default_catalog
+from ..market.fleet import SystemPlan
+from ..powermodel.server import ServerConfiguration, ServerPowerModel
+from ..simulator.director import RunDirector, SimulationOptions
+from ..speccpu import SpecCpuRateModel
+from ..units import MonthDate
+
+__all__ = ["Table1Row", "table1", "table1_frame", "PAPER_TABLE1"]
+
+#: The paper's reported values: benchmark -> (intel result, amd result, factor).
+PAPER_TABLE1 = {
+    "power_ssj2008": (15112.0, 31634.0, 2.09),
+    "cpu2017_fp_rate": (926.0, 1420.0, 1.53),
+    "cpu2017_int_rate": (902.0, 1830.0, 2.03),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark row of the comparison."""
+
+    benchmark: str
+    system: str
+    cpu_model: str
+    tdp_w: float
+    hw_avail: str
+    os_name: str
+    memory_gb: float
+    result: float
+    factor: float
+    paper_result: float | None
+    paper_factor: float | None
+
+
+def _intel_plan() -> SystemPlan:
+    return SystemPlan(
+        run_id="table1-intel-sr650v3",
+        hw_avail=MonthDate(2023, 2),
+        sw_avail=MonthDate(2022, 11),
+        test_date=MonthDate(2023, 2),
+        publication_date=MonthDate(2023, 4),
+        cpu_model="Xeon Platinum 8490H",
+        sockets=2,
+        nodes=1,
+        memory_gb=256.0,
+        os_name="Microsoft Windows Server 2019 Datacenter",
+        jvm_name="Oracle Java HotSpot 64-Bit Server VM 11",
+        system_vendor="Lenovo Global Technology",
+        system_model="ThinkSystem SR650 V3",
+        psu_rating_w=1100.0,
+    )
+
+
+def _amd_plan() -> SystemPlan:
+    return SystemPlan(
+        run_id="table1-amd-sr645v3",
+        hw_avail=MonthDate(2023, 8),
+        sw_avail=MonthDate(2023, 5),
+        test_date=MonthDate(2023, 8),
+        publication_date=MonthDate(2023, 10),
+        cpu_model="EPYC 9754",
+        sockets=2,
+        nodes=1,
+        memory_gb=384.0,
+        os_name="Microsoft Windows Server 2022 Datacenter",
+        jvm_name="Oracle Java HotSpot 64-Bit Server VM 17",
+        system_vendor="Lenovo Global Technology",
+        system_model="ThinkSystem SR645 V3",
+        psu_rating_w=1100.0,
+    )
+
+
+def table1(catalog: Catalog | None = None) -> list[Table1Row]:
+    """Compute the Table I comparison on the reproduced models."""
+    catalog = catalog or default_catalog()
+    director = RunDirector(
+        catalog=catalog,
+        options=SimulationOptions(measurement_noise=False),
+    )
+    plans = {"intel": _intel_plan(), "amd": _amd_plan()}
+    power_scores = {}
+    cpu_rate_scores: dict[str, dict[str, float]] = {}
+    for key, plan in plans.items():
+        result = director.run(plan)
+        power_scores[key] = result.overall_efficiency
+        entry = catalog.get(plan.cpu_model)
+        model = SpecCpuRateModel(entry.cpu, sockets=plan.sockets)
+        cpu_rate_scores[key] = {
+            "cpu2017_fp_rate": model.fp_rate().score,
+            "cpu2017_int_rate": model.int_rate().score,
+        }
+
+    rows: list[Table1Row] = []
+    benchmark_results = {
+        "power_ssj2008": (power_scores["intel"], power_scores["amd"]),
+        "cpu2017_fp_rate": (
+            cpu_rate_scores["intel"]["cpu2017_fp_rate"],
+            cpu_rate_scores["amd"]["cpu2017_fp_rate"],
+        ),
+        "cpu2017_int_rate": (
+            cpu_rate_scores["intel"]["cpu2017_int_rate"],
+            cpu_rate_scores["amd"]["cpu2017_int_rate"],
+        ),
+    }
+    for benchmark, (intel_score, amd_score) in benchmark_results.items():
+        if intel_score <= 0:
+            raise AnalysisError(f"non-positive Intel score for {benchmark}")
+        paper_intel, paper_amd, paper_factor = PAPER_TABLE1[benchmark]
+        for key, score, paper_result, factor, paper_f in (
+            ("intel", intel_score, paper_intel, 1.0, 1.0),
+            ("amd", amd_score, paper_amd, amd_score / intel_score, paper_factor),
+        ):
+            plan = plans[key]
+            entry = catalog.get(plan.cpu_model)
+            rows.append(
+                Table1Row(
+                    benchmark=benchmark,
+                    system=plan.system_model,
+                    cpu_model=f"{entry.cpu.vendor.value} {entry.cpu.model}",
+                    tdp_w=entry.cpu.tdp_w,
+                    hw_avail=str(plan.hw_avail),
+                    os_name=plan.os_name,
+                    memory_gb=plan.memory_gb,
+                    result=round(score, 1),
+                    factor=round(factor, 2),
+                    paper_result=paper_result,
+                    paper_factor=paper_f,
+                )
+            )
+    return rows
+
+
+def table1_frame(catalog: Catalog | None = None) -> Frame:
+    """Table I as a frame (used by the benchmark harness and CSV export)."""
+    rows = table1(catalog)
+    return Frame.from_records(
+        [
+            {
+                "benchmark": row.benchmark,
+                "system": row.system,
+                "cpu": row.cpu_model,
+                "tdp_w": row.tdp_w,
+                "hw_avail": row.hw_avail,
+                "memory_gb": row.memory_gb,
+                "result": row.result,
+                "factor": row.factor,
+                "paper_result": row.paper_result,
+                "paper_factor": row.paper_factor,
+            }
+            for row in rows
+        ]
+    )

@@ -1,0 +1,209 @@
+"""Headline trend statistics quoted in the paper's text.
+
+Every finding is expressed as a :class:`TrendFinding` carrying the paper's
+reported value next to the value measured on the (synthetic) dataset, so the
+report generator and EXPERIMENTS.md can show them side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..frame import Frame
+from ..stats import compare_eras, summarize
+from .metrics import top_n_vendor_share
+
+__all__ = [
+    "TrendFinding",
+    "submissions_per_year",
+    "share_shift",
+    "idle_fraction_milestones",
+    "power_era_comparisons",
+    "headline_findings",
+]
+
+
+@dataclass(frozen=True)
+class TrendFinding:
+    """One scalar finding: paper value vs measured value."""
+
+    name: str
+    description: str
+    paper_value: float | None
+    measured_value: float
+    unit: str = ""
+
+    @property
+    def relative_error(self) -> float | None:
+        if self.paper_value in (None, 0):
+            return None
+        return (self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    def describe(self) -> str:
+        paper = "n/a" if self.paper_value is None else f"{self.paper_value:g}{self.unit}"
+        return (
+            f"{self.name}: paper {paper}, measured {self.measured_value:g}{self.unit}"
+        )
+
+
+def _year_column(frame: Frame, date_column: str = "hw_avail_year") -> Frame:
+    if date_column not in frame:
+        raise AnalysisError(f"frame has no {date_column!r} column")
+    return frame
+
+
+def submissions_per_year(frame: Frame, date_column: str = "hw_avail_year") -> list[TrendFinding]:
+    """Average submissions per hardware year, overall and in the 2013–2017 dip."""
+    _year_column(frame, date_column)
+    years = [y for y in frame[date_column].to_list() if y is not None]
+    if not years:
+        raise AnalysisError("no hardware availability years in frame")
+    counts: dict[int, int] = {}
+    for year in years:
+        counts[int(year)] = counts.get(int(year), 0) + 1
+    span_years = [y for y in counts if 2005 <= y <= 2023]
+    overall = float(np.mean([counts.get(y, 0) for y in range(2005, 2024)])) if span_years else 0.0
+    dip = float(np.mean([counts.get(y, 0) for y in range(2013, 2018)]))
+    return [
+        TrendFinding(
+            "submissions_per_year",
+            "average parsed submissions per hardware availability year, 2005-2023",
+            44.2,
+            round(overall, 1),
+        ),
+        TrendFinding(
+            "submissions_per_year_2013_2017",
+            "average parsed submissions per year between 2013 and 2017",
+            15.2,
+            round(dip, 1),
+        ),
+    ]
+
+
+def share_shift(
+    frame: Frame,
+    flag_column: str,
+    split_year: int = 2018,
+    date_column: str = "hw_avail_year",
+) -> tuple[float, float]:
+    """Share of rows with ``flag_column`` true before / from ``split_year`` on."""
+    _year_column(frame, date_column)
+    if flag_column not in frame:
+        raise AnalysisError(f"frame has no {flag_column!r} column")
+    years = frame[date_column]
+    before = frame.filter(years < split_year)
+    after = frame.filter(years >= split_year)
+
+    def share(sub: Frame) -> float:
+        flags = [bool(v) for v in sub[flag_column].to_list() if v is not None]
+        return float(np.mean(flags)) if flags else float("nan")
+
+    return share(before), share(after)
+
+
+def idle_fraction_milestones(frame: Frame) -> list[TrendFinding]:
+    """Yearly-mean idle fraction milestones: 2006, the 2017 minimum, 2024."""
+    if "idle_fraction" not in frame:
+        raise AnalysisError("frame has no idle_fraction column (run derive_columns)")
+    yearly: dict[int, list[float]] = {}
+    for year, value in zip(frame["hw_avail_year"].to_list(), frame["idle_fraction"].to_list()):
+        if year is None or value is None:
+            continue
+        yearly.setdefault(int(year), []).append(float(value))
+    means = {year: float(np.mean(values)) for year, values in yearly.items() if values}
+    if not means:
+        raise AnalysisError("no idle fraction data")
+    minimum_year = min(means, key=means.get)
+    findings = [
+        TrendFinding("idle_fraction_2006", "mean idle fraction of 2006 hardware",
+                     0.701, round(means.get(2006, float("nan")), 3)),
+        TrendFinding("idle_fraction_minimum", "lowest yearly mean idle fraction",
+                     0.157, round(means[minimum_year], 3)),
+        TrendFinding("idle_fraction_minimum_year", "year of the lowest mean idle fraction",
+                     2017, float(minimum_year)),
+        TrendFinding("idle_fraction_2024", "mean idle fraction of 2024 hardware",
+                     0.257, round(means.get(2024, float("nan")), 3)),
+    ]
+    return findings
+
+
+def power_era_comparisons(frame: Frame) -> list[TrendFinding]:
+    """Full/partial-load power-per-socket growth between the paper's eras."""
+    findings = []
+    for column, level, paper_ratio in (
+        ("power_per_socket_100", "100 %", 2.5),
+        ("power_per_socket_070", "70 %", 2.2),
+        ("power_per_socket_020", "20 %", 1.8),
+    ):
+        if column not in frame:
+            raise AnalysisError(f"frame has no {column!r} column")
+        comparison = compare_eras(frame, column, early=(None, 2010), late=(2022, None))
+        findings.append(
+            TrendFinding(
+                f"power_growth_{column}",
+                f"mean power per socket at {level} load, runs since 2022 vs runs up to 2010",
+                paper_ratio,
+                round(comparison.ratio, 2),
+                unit="x",
+            )
+        )
+    full = compare_eras(frame, "power_per_socket_100", early=(None, 2010), late=(2022, None))
+    findings.append(
+        TrendFinding(
+            "power_per_socket_full_load_early",
+            "mean full-load power per socket of runs up to 2010 (W)",
+            119.0,
+            round(full.early.mean, 1),
+            unit=" W",
+        )
+    )
+    findings.append(
+        TrendFinding(
+            "power_per_socket_full_load_late",
+            "mean full-load power per socket of runs since 2022 (W)",
+            303.3,
+            round(full.late.mean, 1),
+            unit=" W",
+        )
+    )
+    return findings
+
+
+def headline_findings(unfiltered: Frame, filtered: Frame) -> list[TrendFinding]:
+    """All scalar findings quoted in the paper's running text.
+
+    ``unfiltered`` is the parsed dataset (960 runs), ``filtered`` the
+    676-run analysis subset with derived columns.
+    """
+    findings: list[TrendFinding] = []
+    findings.extend(submissions_per_year(unfiltered))
+
+    linux_before, linux_after = share_shift(unfiltered, "is_linux")
+    amd_before, amd_after = share_shift(unfiltered, "is_amd")
+    findings.extend(
+        [
+            TrendFinding("linux_share_before_2018", "share of Linux runs before 2018",
+                         0.022, round(linux_before, 3)),
+            TrendFinding("linux_share_from_2018", "share of Linux runs from 2018 on",
+                         0.363, round(linux_after, 3)),
+            TrendFinding("amd_share_before_2018", "share of AMD runs before 2018",
+                         0.130, round(amd_before, 3)),
+            TrendFinding("amd_share_from_2018", "share of AMD runs from 2018 on",
+                         0.313, round(amd_after, 3)),
+        ]
+    )
+
+    findings.extend(power_era_comparisons(filtered))
+    findings.extend(idle_fraction_milestones(filtered))
+    findings.append(
+        TrendFinding(
+            "amd_share_of_top100_efficiency",
+            "share of AMD among the 100 most efficient runs",
+            0.98,
+            round(top_n_vendor_share(filtered, "AMD", n=min(100, len(filtered))), 3),
+        )
+    )
+    return findings

@@ -1,0 +1,105 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish parsing problems, data-frame misuse and
+model configuration issues.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FrameError",
+    "ColumnError",
+    "GroupByError",
+    "JoinError",
+    "CSVError",
+    "StatsError",
+    "ParseError",
+    "FieldError",
+    "ValidationError",
+    "ModelError",
+    "CatalogError",
+    "SimulationError",
+    "ReportError",
+    "PlotError",
+    "AnalysisError",
+    "FilterError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class FrameError(ReproError):
+    """Invalid operation on a :class:`repro.frame.Frame`."""
+
+
+class ColumnError(FrameError):
+    """Invalid operation on a :class:`repro.frame.Column`."""
+
+
+class GroupByError(FrameError):
+    """Invalid group-by specification or aggregation."""
+
+
+class JoinError(FrameError):
+    """Invalid join specification."""
+
+
+class CSVError(FrameError):
+    """Malformed CSV input or unsupported CSV output request."""
+
+
+class StatsError(ReproError):
+    """Invalid statistical computation (e.g. regression on empty data)."""
+
+
+class ParseError(ReproError):
+    """A SPEC result file could not be parsed."""
+
+    def __init__(self, message: str, path: str | None = None, line: int | None = None):
+        self.path = path
+        self.line = line
+        location = ""
+        if path is not None:
+            location = f" [{path}" + (f":{line}" if line is not None else "") + "]"
+        super().__init__(message + location)
+
+
+class FieldError(ParseError):
+    """A required field is missing or has an unusable value."""
+
+
+class ValidationError(ReproError):
+    """A parsed run failed a consistency check."""
+
+
+class ModelError(ReproError):
+    """Invalid power/performance model configuration."""
+
+
+class CatalogError(ReproError):
+    """Unknown CPU or platform requested from the market catalog."""
+
+
+class SimulationError(ReproError):
+    """The benchmark simulation could not be carried out."""
+
+
+class ReportError(ReproError):
+    """A result report could not be rendered."""
+
+
+class PlotError(ReproError):
+    """A chart could not be rendered."""
+
+
+class AnalysisError(ReproError):
+    """The analysis pipeline received inconsistent inputs."""
+
+
+class FilterError(AnalysisError):
+    """The filter pipeline was configured incorrectly."""

@@ -1,0 +1,33 @@
+"""A small columnar data-frame substrate built on NumPy.
+
+The upstream paper analyses SPEC Power results with pandas.  pandas is not
+available in this environment, so :mod:`repro.frame` provides the subset of
+functionality the analysis needs:
+
+* :class:`Column` — a typed, missing-value-aware 1-D column,
+* :class:`Frame` — an ordered collection of equal-length columns with
+  filtering, sorting, derived columns, group-by aggregation and joins,
+* :func:`read_csv` / :meth:`Frame.to_csv` — round-trippable CSV I/O.
+
+The implementation favours vectorised NumPy operations over per-row Python
+loops (see the project coding guides): filters are boolean masks, group-by
+uses ``np.argsort`` + ``np.unique`` boundaries, and joins are hash joins on
+key arrays.
+"""
+
+from .column import Column
+from .frame import Frame, concat
+from .groupby import GroupBy, Aggregation
+from .join import join
+from .csvio import read_csv, write_csv
+
+__all__ = [
+    "Column",
+    "Frame",
+    "GroupBy",
+    "Aggregation",
+    "concat",
+    "join",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,117 @@
+"""CSV reading and writing for :class:`repro.frame.Frame`.
+
+The paper's artifact stores both the raw parsed dataset and intermediate
+processed tables as CSV; we mirror that with a small, dependency-free
+implementation on top of :mod:`csv`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Iterable, Sequence
+
+from ..errors import CSVError
+from .column import Column
+from .frame import Frame
+
+__all__ = ["read_csv", "write_csv", "frame_to_csv_text", "frame_from_csv_text"]
+
+_MISSING_TOKENS = {"", "NA", "N/A", "NaN", "nan", "None", "NULL", "NC"}
+_TRUE_TOKENS = {"true", "True", "TRUE"}
+_FALSE_TOKENS = {"false", "False", "FALSE"}
+
+
+def _convert_column(raw: Sequence[str]) -> Column:
+    """Infer a column type from CSV string cells and build a Column."""
+    values: list = []
+    all_int = True
+    all_float = True
+    all_bool = True
+    for cell in raw:
+        token = cell.strip()
+        if token in _MISSING_TOKENS:
+            values.append(None)
+            continue
+        if token in _TRUE_TOKENS or token in _FALSE_TOKENS:
+            values.append(token in _TRUE_TOKENS)
+            all_int = all_float = False
+            continue
+        all_bool = False
+        try:
+            as_float = float(token)
+        except ValueError:
+            return Column.from_values(
+                [None if c.strip() in _MISSING_TOKENS else c for c in raw], kind="str"
+            )
+        values.append(as_float)
+        if not as_float.is_integer() or "." in token or "e" in token.lower():
+            all_int = False
+    if all_bool and any(v is not None for v in values):
+        return Column.from_values(values, kind="bool")
+    if all_int and any(v is not None for v in values):
+        return Column.from_values(
+            [None if v is None else int(v) for v in values], kind="int"
+        )
+    if all_float:
+        return Column.from_values(values, kind="float")
+    return Column.from_values([None if not c.strip() else c for c in raw], kind="str")
+
+
+def frame_from_csv_text(text: str) -> Frame:
+    """Parse CSV text into a frame with automatic type inference."""
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if not rows:
+        return Frame()
+    header = [name.strip() for name in rows[0]]
+    if len(set(header)) != len(header):
+        raise CSVError(f"duplicate column names in CSV header: {header}")
+    body = rows[1:]
+    columns = {}
+    for index, name in enumerate(header):
+        cells = [row[index] if index < len(row) else "" for row in body]
+        columns[name] = _convert_column(cells)
+    return Frame(columns)
+
+
+def read_csv(path: str | os.PathLike) -> Frame:
+    """Read a CSV file into a :class:`Frame`."""
+    try:
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            return frame_from_csv_text(handle.read())
+    except OSError as exc:
+        raise CSVError(f"cannot read CSV file {path}: {exc}") from exc
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return ""
+        return repr(value)
+    return str(value)
+
+
+def frame_to_csv_text(frame: Frame) -> str:
+    """Serialise a frame to CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(frame.columns)
+    columns = [frame[name] for name in frame.columns]
+    for i in range(len(frame)):
+        writer.writerow([_format_cell(column[i]) for column in columns])
+    return buffer.getvalue()
+
+
+def write_csv(frame: Frame, path: str | os.PathLike) -> None:
+    """Write a frame to a CSV file, creating parent directories as needed."""
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(frame_to_csv_text(frame))

@@ -1,0 +1,342 @@
+"""The :class:`Frame` container — an ordered set of equal-length columns."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import FrameError
+from .column import Column
+
+__all__ = ["Frame", "concat"]
+
+
+class Frame:
+    """An immutable, column-oriented table.
+
+    Frames behave like a light-weight pandas ``DataFrame``: columns are
+    accessed by name, rows are selected with boolean masks, and most
+    operations return new frames.  Column order is preserved and meaningful
+    (CSV output, ``to_records`` and ``__repr__`` follow it).
+    """
+
+    def __init__(self, columns: Mapping[str, Column] | None = None):
+        self._columns: dict[str, Column] = {}
+        length: int | None = None
+        for name, column in (columns or {}).items():
+            if not isinstance(column, Column):
+                column = Column.from_values(column)
+            if length is None:
+                length = len(column)
+            elif len(column) != length:
+                raise FrameError(
+                    f"column {name!r} has length {len(column)}, expected {length}"
+                )
+            self._columns[str(name)] = column
+        self._length = length or 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Iterable[Any]]) -> "Frame":
+        """Build a frame from a mapping of column name → values."""
+        return cls({name: Column.from_values(values) for name, values in data.items()})
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None
+    ) -> "Frame":
+        """Build a frame from a list of dictionaries (rows).
+
+        Keys missing from individual records become missing values.  When
+        ``columns`` is not given, the union of keys in first-appearance order
+        is used.
+        """
+        records = list(records)
+        if columns is None:
+            seen: dict[str, None] = {}
+            for record in records:
+                for key in record:
+                    seen.setdefault(key, None)
+            columns = list(seen)
+        data = {
+            name: Column.from_values([record.get(name) for record in records])
+            for name in columns
+        }
+        return cls(data)
+
+    @classmethod
+    def empty(cls, columns: Sequence[str] = ()) -> "Frame":
+        return cls({name: Column.from_values([]) for name in columns})
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def columns(self) -> list[str]:
+        """Column names in order."""
+        return list(self._columns)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._length, len(self._columns))
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, key):
+        if isinstance(key, str):
+            try:
+                return self._columns[key]
+            except KeyError:
+                raise FrameError(f"no column named {key!r}; have {self.columns}") from None
+        if isinstance(key, (list, tuple)):
+            return self.select(list(key))
+        if isinstance(key, np.ndarray):
+            return self.filter(key)
+        raise FrameError(f"unsupported index type: {type(key).__name__}")
+
+    def column(self, name: str) -> Column:
+        """Alias for ``frame[name]`` that reads better in call chains."""
+        return self[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Frame(rows={self._length}, columns={self.columns})"
+
+    def to_string(self, max_rows: int = 20) -> str:
+        """A plain-text preview of the frame."""
+        names = self.columns
+        rows = [names]
+        count = min(self._length, max_rows)
+        for i in range(count):
+            rows.append(
+                ["" if self._columns[n][i] is None else str(self._columns[n][i]) for n in names]
+            )
+        widths = [max(len(row[j]) for row in rows) for j in range(len(names))]
+        lines = []
+        for idx, row in enumerate(rows):
+            lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+            if idx == 0:
+                lines.append("  ".join("-" * widths[j] for j in range(len(names))))
+        if self._length > count:
+            lines.append(f"... ({self._length - count} more rows)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Row/column selection
+    # ------------------------------------------------------------------ #
+    def select(self, names: Sequence[str]) -> "Frame":
+        """Project onto a subset of columns (in the given order)."""
+        missing = [name for name in names if name not in self._columns]
+        if missing:
+            raise FrameError(f"unknown columns: {missing}")
+        return Frame({name: self._columns[name] for name in names})
+
+    def drop(self, names: Sequence[str] | str) -> "Frame":
+        """Remove one or more columns."""
+        if isinstance(names, str):
+            names = [names]
+        drop = set(names)
+        return Frame({n: c for n, c in self._columns.items() if n not in drop})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Frame":
+        """Rename columns according to ``mapping`` (old → new)."""
+        return Frame({mapping.get(n, n): c for n, c in self._columns.items()})
+
+    def with_column(self, name: str, values: Any) -> "Frame":
+        """Return a new frame with column ``name`` added or replaced."""
+        if isinstance(values, Column):
+            column = values
+        elif isinstance(values, np.ndarray):
+            column = Column.from_numpy(values)
+        elif np.isscalar(values) or values is None:
+            column = Column.full(self._length, values)
+        else:
+            column = Column.from_values(values)
+        if len(column) != self._length and self._length != 0:
+            raise FrameError(
+                f"new column {name!r} has length {len(column)}, expected {self._length}"
+            )
+        data = dict(self._columns)
+        data[name] = column
+        return Frame(data)
+
+    def with_columns(self, columns: Mapping[str, Any]) -> "Frame":
+        frame = self
+        for name, values in columns.items():
+            frame = frame.with_column(name, values)
+        return frame
+
+    def assign(self, name: str, func: Callable[["Frame"], Any]) -> "Frame":
+        """Add a column computed from the frame itself."""
+        return self.with_column(name, func(self))
+
+    def filter(self, mask: np.ndarray | Column) -> "Frame":
+        """Keep rows where ``mask`` is ``True``."""
+        if isinstance(mask, Column):
+            mask = mask.astype("bool").to_numpy(missing=False).astype(bool)
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self._length:
+            raise FrameError(
+                f"mask length {len(mask)} does not match frame length {self._length}"
+            )
+        return Frame({n: c.filter(mask) for n, c in self._columns.items()})
+
+    def take(self, indices: np.ndarray) -> "Frame":
+        """Select rows by integer position."""
+        indices = np.asarray(indices)
+        return Frame({n: c.take(indices) for n, c in self._columns.items()})
+
+    def head(self, n: int = 5) -> "Frame":
+        return self.take(np.arange(min(n, self._length)))
+
+    def tail(self, n: int = 5) -> "Frame":
+        start = max(self._length - n, 0)
+        return self.take(np.arange(start, self._length))
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return a single row as a dictionary."""
+        if not -self._length <= index < self._length:
+            raise FrameError(f"row index {index} out of range for {self._length} rows")
+        return {name: column[index] for name, column in self._columns.items()}
+
+    def iter_rows(self):
+        """Iterate over rows as dictionaries (use sparingly on large frames)."""
+        for i in range(self._length):
+            yield self.row(i)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        return list(self.iter_rows())
+
+    def to_dict(self) -> dict[str, list]:
+        return {name: column.to_list() for name, column in self._columns.items()}
+
+    # ------------------------------------------------------------------ #
+    # Sorting / deduplication
+    # ------------------------------------------------------------------ #
+    def sort_by(self, names: Sequence[str] | str, descending: bool | Sequence[bool] = False) -> "Frame":
+        """Sort rows by one or more columns (stable, missing values last)."""
+        if isinstance(names, str):
+            names = [names]
+        if isinstance(descending, bool):
+            descending = [descending] * len(names)
+        if len(descending) != len(names):
+            raise FrameError("descending must match the number of sort keys")
+        order = np.arange(self._length)
+        # Stable sorts applied from the least-significant key to the most.
+        for name, desc in list(zip(names, descending))[::-1]:
+            column = self[name].take(order)
+            sub_order = column.sort_indices(descending=desc)
+            order = order[sub_order]
+        return self.take(order)
+
+    def unique(self, names: Sequence[str] | str) -> "Frame":
+        """Drop duplicate rows considering only the given key columns."""
+        if isinstance(names, str):
+            names = [names]
+        seen: set = set()
+        keep = np.zeros(self._length, dtype=bool)
+        key_columns = [self[name] for name in names]
+        for i in range(self._length):
+            key = tuple(column[i] for column in key_columns)
+            if key not in seen:
+                seen.add(key)
+                keep[i] = True
+        return self.filter(keep)
+
+    def dropna(self, names: Sequence[str] | str | None = None) -> "Frame":
+        """Remove rows with missing values in the given (or all) columns."""
+        if names is None:
+            names = self.columns
+        elif isinstance(names, str):
+            names = [names]
+        keep = np.ones(self._length, dtype=bool)
+        for name in names:
+            keep &= self[name].notna()
+        return self.filter(keep)
+
+    # ------------------------------------------------------------------ #
+    # Aggregation entry points (implemented in groupby.py / join.py)
+    # ------------------------------------------------------------------ #
+    def groupby(self, keys: Sequence[str] | str):
+        """Group rows by one or more key columns; see :class:`GroupBy`."""
+        from .groupby import GroupBy
+
+        if isinstance(keys, str):
+            keys = [keys]
+        return GroupBy(self, list(keys))
+
+    def join(self, other: "Frame", on: Sequence[str] | str, how: str = "inner") -> "Frame":
+        from .join import join as _join
+
+        return _join(self, other, on=on, how=how)
+
+    def value_counts(self, name: str) -> "Frame":
+        """Frequency table of a column, ordered by descending count."""
+        counts = self[name].value_counts()
+        items = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return Frame.from_dict(
+            {name: [k for k, _ in items], "count": [v for _, v in items]}
+        )
+
+    def describe(self, names: Sequence[str] | None = None) -> "Frame":
+        """Summary statistics (count/mean/std/min/median/max) per column."""
+        if names is None:
+            names = [n for n in self.columns if self[n].kind in ("float", "int")]
+        records = []
+        for name in names:
+            column = self[name]
+            records.append(
+                {
+                    "column": name,
+                    "count": column.count(),
+                    "mean": column.mean(),
+                    "std": column.std(),
+                    "min": column.min(),
+                    "median": column.median(),
+                    "max": column.max(),
+                }
+            )
+        return Frame.from_records(records)
+
+    # ------------------------------------------------------------------ #
+    # I/O
+    # ------------------------------------------------------------------ #
+    def to_csv(self, path: str) -> None:
+        from .csvio import write_csv
+
+        write_csv(self, path)
+
+    def equals(self, other: "Frame") -> bool:
+        if not isinstance(other, Frame) or self.columns != other.columns:
+            return False
+        return all(self[name].equals(other[name]) for name in self.columns)
+
+
+def concat(frames: Sequence[Frame]) -> Frame:
+    """Vertically concatenate frames.
+
+    Columns are unioned; values missing from an input frame become missing
+    values in the result.  Column order follows first appearance.
+    """
+    frames = [f for f in frames if f is not None]
+    if not frames:
+        return Frame()
+    names: dict[str, None] = {}
+    for frame in frames:
+        for name in frame.columns:
+            names.setdefault(name, None)
+    data: dict[str, list] = {name: [] for name in names}
+    for frame in frames:
+        length = len(frame)
+        for name in names:
+            if name in frame:
+                data[name].extend(frame[name].to_list())
+            else:
+                data[name].extend([None] * length)
+    return Frame.from_dict(data)

@@ -1,0 +1,223 @@
+"""Group-by aggregation for :class:`repro.frame.Frame`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import GroupByError
+from .column import Column
+from .frame import Frame
+
+__all__ = ["GroupBy", "Aggregation", "AGGREGATIONS"]
+
+
+def _agg_mean(column: Column) -> float:
+    return column.mean()
+
+
+def _agg_sum(column: Column) -> float:
+    return column.sum()
+
+
+def _agg_min(column: Column):
+    return column.min()
+
+
+def _agg_max(column: Column):
+    return column.max()
+
+
+def _agg_std(column: Column) -> float:
+    return column.std()
+
+
+def _agg_median(column: Column) -> float:
+    return column.median()
+
+
+def _agg_count(column: Column) -> int:
+    return column.count()
+
+
+def _agg_size(column: Column) -> int:
+    return len(column)
+
+
+def _agg_first(column: Column):
+    return column[0] if len(column) else None
+
+
+def _agg_last(column: Column):
+    return column[len(column) - 1] if len(column) else None
+
+
+def _agg_nunique(column: Column) -> int:
+    return len(column.unique())
+
+
+def _agg_q25(column: Column) -> float:
+    return column.quantile(0.25)
+
+
+def _agg_q75(column: Column) -> float:
+    return column.quantile(0.75)
+
+
+#: Named aggregation functions usable in :meth:`GroupBy.agg` specs.
+AGGREGATIONS: dict[str, Callable[[Column], Any]] = {
+    "mean": _agg_mean,
+    "sum": _agg_sum,
+    "min": _agg_min,
+    "max": _agg_max,
+    "std": _agg_std,
+    "median": _agg_median,
+    "count": _agg_count,
+    "size": _agg_size,
+    "first": _agg_first,
+    "last": _agg_last,
+    "nunique": _agg_nunique,
+    "q25": _agg_q25,
+    "q75": _agg_q75,
+}
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """A single output column of a group-by: ``source`` column + function.
+
+    ``func`` may be the name of a built-in aggregation (see
+    :data:`AGGREGATIONS`) or any callable taking a :class:`Column` and
+    returning a scalar.
+    """
+
+    source: str
+    func: str | Callable[[Column], Any]
+
+    def resolve(self) -> Callable[[Column], Any]:
+        if callable(self.func):
+            return self.func
+        try:
+            return AGGREGATIONS[self.func]
+        except KeyError:
+            raise GroupByError(
+                f"unknown aggregation {self.func!r}; expected one of {sorted(AGGREGATIONS)}"
+            ) from None
+
+
+class GroupBy:
+    """Lazy grouping of a frame by one or more key columns.
+
+    Groups are materialised as index arrays; aggregation and ``apply`` both
+    reuse them.  Group order is the order of first appearance of each key,
+    which keeps results deterministic.
+    """
+
+    def __init__(self, frame: Frame, keys: Sequence[str]):
+        if not keys:
+            raise GroupByError("at least one grouping key is required")
+        missing = [key for key in keys if key not in frame]
+        if missing:
+            raise GroupByError(f"unknown grouping columns: {missing}")
+        self._frame = frame
+        self._keys = list(keys)
+        self._group_keys: list[tuple] = []
+        self._group_indices: list[np.ndarray] = []
+        self._build()
+
+    def _build(self) -> None:
+        key_columns = [self._frame[key] for key in self._keys]
+        buckets: dict[tuple, list[int]] = {}
+        order: list[tuple] = []
+        for i in range(len(self._frame)):
+            key = tuple(column[i] for column in key_columns)
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(i)
+        self._group_keys = order
+        self._group_indices = [np.asarray(buckets[key], dtype=np.int64) for key in order]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def keys(self) -> list[str]:
+        return list(self._keys)
+
+    @property
+    def ngroups(self) -> int:
+        return len(self._group_keys)
+
+    def groups(self):
+        """Iterate over ``(key_tuple, sub_frame)`` pairs."""
+        for key, indices in zip(self._group_keys, self._group_indices):
+            yield key, self._frame.take(indices)
+
+    def get_group(self, key: tuple) -> Frame:
+        """Return the sub-frame for one group key."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        for group_key, indices in zip(self._group_keys, self._group_indices):
+            if group_key == key:
+                return self._frame.take(indices)
+        raise GroupByError(f"no group with key {key!r}")
+
+    def size(self) -> Frame:
+        """Group sizes as a frame with the key columns plus ``count``."""
+        return self.agg({"count": Aggregation(self._keys[0], "size")})
+
+    # ------------------------------------------------------------------ #
+    def agg(self, spec: Mapping[str, Aggregation | tuple | str]) -> Frame:
+        """Aggregate each group.
+
+        ``spec`` maps output column names to either an :class:`Aggregation`,
+        a ``(source_column, func)`` tuple, or a bare function name (applied
+        to the column with the same name as the output).
+        """
+        normalised: dict[str, Aggregation] = {}
+        for out_name, agg in spec.items():
+            if isinstance(agg, Aggregation):
+                normalised[out_name] = agg
+            elif isinstance(agg, tuple) and len(agg) == 2:
+                normalised[out_name] = Aggregation(agg[0], agg[1])
+            elif isinstance(agg, str):
+                normalised[out_name] = Aggregation(out_name, agg)
+            else:
+                raise GroupByError(f"invalid aggregation spec for {out_name!r}: {agg!r}")
+        for out_name, agg in normalised.items():
+            if agg.source not in self._frame:
+                raise GroupByError(
+                    f"aggregation {out_name!r} references unknown column {agg.source!r}"
+                )
+
+        data: dict[str, list] = {key: [] for key in self._keys}
+        for out_name in normalised:
+            data[out_name] = []
+        for key, indices in zip(self._group_keys, self._group_indices):
+            for key_name, key_value in zip(self._keys, key):
+                data[key_name].append(key_value)
+            sub = self._frame.take(indices)
+            for out_name, agg in normalised.items():
+                func = agg.resolve()
+                value = func(sub[agg.source])
+                data[out_name].append(value)
+        return Frame.from_dict(data)
+
+    def apply(self, func: Callable[[Frame], Mapping[str, Any]]) -> Frame:
+        """Apply ``func`` to each group's sub-frame.
+
+        ``func`` must return a mapping of column name → scalar; the key
+        columns are prepended automatically.
+        """
+        records: list[dict[str, Any]] = []
+        for key, indices in zip(self._group_keys, self._group_indices):
+            sub = self._frame.take(indices)
+            result = dict(func(sub))
+            for key_name, key_value in zip(self._keys, key):
+                result.setdefault(key_name, key_value)
+            records.append(result)
+        ordered_columns = self._keys + [
+            name for name in (records[0] if records else {}) if name not in self._keys
+        ]
+        return Frame.from_records(records, columns=ordered_columns if records else self._keys)

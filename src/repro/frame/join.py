@@ -1,0 +1,92 @@
+"""Hash joins between frames."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import JoinError
+from .frame import Frame
+
+__all__ = ["join"]
+
+_HOW = ("inner", "left", "outer")
+
+
+def join(left: Frame, right: Frame, on: Sequence[str] | str, how: str = "inner") -> Frame:
+    """Join two frames on equal key columns.
+
+    Parameters
+    ----------
+    left, right:
+        Input frames.  Non-key columns occurring in both frames get a
+        ``_right`` suffix on the right-hand copy.
+    on:
+        Key column name(s); must exist in both frames.
+    how:
+        ``"inner"`` (default), ``"left"`` or ``"outer"``.
+
+    Notes
+    -----
+    This is a straightforward hash join: the right frame is indexed by key
+    tuple, then the left frame is scanned once.  Row multiplicity follows SQL
+    semantics (cartesian product within a key).
+    """
+    if isinstance(on, str):
+        on = [on]
+    on = list(on)
+    if how not in _HOW:
+        raise JoinError(f"unknown join type {how!r}; expected one of {_HOW}")
+    for key in on:
+        if key not in left:
+            raise JoinError(f"join key {key!r} missing from left frame")
+        if key not in right:
+            raise JoinError(f"join key {key!r} missing from right frame")
+
+    right_value_columns = [name for name in right.columns if name not in on]
+    rename = {
+        name: (f"{name}_right" if name in left.columns else name)
+        for name in right_value_columns
+    }
+
+    # Index the right frame by key tuple.
+    right_index: dict[tuple, list[int]] = {}
+    right_key_cols = [right[key] for key in on]
+    for i in range(len(right)):
+        key = tuple(column[i] for column in right_key_cols)
+        right_index.setdefault(key, []).append(i)
+
+    out_columns = left.columns + [rename[name] for name in right_value_columns]
+    data: dict[str, list] = {name: [] for name in out_columns}
+
+    left_key_cols = [left[key] for key in on]
+    matched_right: set[int] = set()
+    for i in range(len(left)):
+        key = tuple(column[i] for column in left_key_cols)
+        matches = right_index.get(key, [])
+        if matches:
+            for j in matches:
+                matched_right.add(j)
+                for name in left.columns:
+                    data[name].append(left[name][i])
+                for name in right_value_columns:
+                    data[rename[name]].append(right[name][j])
+        elif how in ("left", "outer"):
+            for name in left.columns:
+                data[name].append(left[name][i])
+            for name in right_value_columns:
+                data[rename[name]].append(None)
+
+    if how == "outer":
+        for j in range(len(right)):
+            if j in matched_right:
+                continue
+            key = tuple(column[j] for column in right_key_cols)
+            for name in left.columns:
+                if name in on:
+                    data[name].append(key[on.index(name)])
+                else:
+                    data[name].append(None)
+            for name in right_value_columns:
+                data[rename[name]].append(right[name][j])
+
+    return Frame.from_dict({name: data[name] for name in out_columns})

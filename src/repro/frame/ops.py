@@ -1,0 +1,96 @@
+"""Vectorised helper operations on columns and masks.
+
+These helpers keep the analysis code (``repro.core``) free of ad-hoc NumPy
+gymnastics: combining filter masks, cutting continuous values into bins and
+computing ratios with missing-value propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import FrameError
+from .column import Column
+
+__all__ = ["and_masks", "or_masks", "not_mask", "cut", "ratio", "clip"]
+
+
+def and_masks(*masks: np.ndarray) -> np.ndarray:
+    """Logical AND of one or more boolean masks."""
+    if not masks:
+        raise FrameError("and_masks requires at least one mask")
+    out = np.asarray(masks[0], dtype=bool).copy()
+    for mask in masks[1:]:
+        out &= np.asarray(mask, dtype=bool)
+    return out
+
+
+def or_masks(*masks: np.ndarray) -> np.ndarray:
+    """Logical OR of one or more boolean masks."""
+    if not masks:
+        raise FrameError("or_masks requires at least one mask")
+    out = np.asarray(masks[0], dtype=bool).copy()
+    for mask in masks[1:]:
+        out |= np.asarray(mask, dtype=bool)
+    return out
+
+
+def not_mask(mask: np.ndarray) -> np.ndarray:
+    """Logical NOT of a boolean mask."""
+    return ~np.asarray(mask, dtype=bool)
+
+
+def cut(column: Column, edges: Sequence[float], labels: Sequence | None = None) -> Column:
+    """Bin a numeric column into intervals defined by ``edges``.
+
+    Intervals are left-closed / right-open, except the last one which is
+    closed on both sides.  Values outside the range and missing values map
+    to missing.  ``labels`` defaults to the left edge of each interval.
+    """
+    edges = list(edges)
+    if len(edges) < 2:
+        raise FrameError("cut requires at least two bin edges")
+    if sorted(edges) != edges:
+        raise FrameError("bin edges must be sorted ascending")
+    if labels is None:
+        labels = edges[:-1]
+    if len(labels) != len(edges) - 1:
+        raise FrameError("number of labels must be len(edges) - 1")
+
+    values = column.values.astype(np.float64, copy=True)
+    values[column.mask] = np.nan
+    indices = np.digitize(values, edges, right=False) - 1
+    # Values equal to the final edge belong to the last bin.
+    indices[np.isclose(values, edges[-1])] = len(labels) - 1
+    out = []
+    for idx, value in zip(indices, values):
+        if np.isnan(value) or idx < 0 or idx >= len(labels):
+            out.append(None)
+        else:
+            out.append(labels[int(idx)])
+    return Column.from_values(out)
+
+
+def ratio(numerator: Column, denominator: Column) -> Column:
+    """Element-wise ratio; zero or missing denominators yield missing values."""
+    num = numerator.values.astype(np.float64, copy=True)
+    num[numerator.mask] = np.nan
+    den = denominator.values.astype(np.float64, copy=True)
+    den[denominator.mask] = np.nan
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = num / den
+    result[np.isclose(den, 0.0) | np.isnan(den)] = np.nan
+    return Column.from_numpy(result)
+
+
+def clip(column: Column, low: float | None = None, high: float | None = None) -> Column:
+    """Clamp numeric values to ``[low, high]``, preserving missing values."""
+    values = column.values.astype(np.float64, copy=True)
+    values[column.mask] = np.nan
+    if low is not None:
+        values = np.maximum(values, low)
+    if high is not None:
+        values = np.minimum(values, high)
+    return Column.from_numpy(values)

@@ -1,0 +1,6 @@
+"""Filesystem helpers: dataset caching and workspace paths."""
+
+from .cache import FrameCache, cached_frame
+from .paths import Workspace, ensure_dir
+
+__all__ = ["FrameCache", "cached_frame", "Workspace", "ensure_dir"]

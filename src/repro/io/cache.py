@@ -1,0 +1,84 @@
+"""CSV-backed caching of expensive frames.
+
+Corpus generation plus parsing takes noticeable time for the full
+thousand-run dataset; examples and benchmarks reuse a cached parsed frame
+when the generating parameters match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from ..frame import Frame, read_csv
+
+__all__ = ["FrameCache", "cached_frame"]
+
+
+def _key_digest(key: Mapping[str, Any]) -> str:
+    canonical = json.dumps(key, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+
+class FrameCache:
+    """A directory of cached frames keyed by a parameter dictionary."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _paths(self, name: str, key: Mapping[str, Any]) -> tuple[Path, Path]:
+        digest = _key_digest(key)
+        base = self.directory / f"{name}-{digest}"
+        return base.with_suffix(".csv"), base.with_suffix(".json")
+
+    def get(self, name: str, key: Mapping[str, Any]) -> Frame | None:
+        """Return the cached frame for ``(name, key)`` or ``None``."""
+        csv_path, meta_path = self._paths(name, key)
+        if not csv_path.exists() or not meta_path.exists():
+            return None
+        try:
+            stored_key = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if stored_key != json.loads(json.dumps(key, sort_keys=True, default=str)):
+            return None
+        return read_csv(csv_path)
+
+    def put(self, name: str, key: Mapping[str, Any], frame: Frame) -> Path:
+        """Store ``frame`` under ``(name, key)`` and return the CSV path."""
+        csv_path, meta_path = self._paths(name, key)
+        frame.to_csv(csv_path)
+        meta_path.write_text(
+            json.dumps(key, sort_keys=True, default=str), encoding="utf-8"
+        )
+        return csv_path
+
+    def clear(self) -> int:
+        """Delete all cache entries; returns the number of files removed."""
+        removed = 0
+        for path in self.directory.glob("*"):
+            if path.suffix in (".csv", ".json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+
+def cached_frame(
+    cache: FrameCache | None,
+    name: str,
+    key: Mapping[str, Any],
+    builder: Callable[[], Frame],
+) -> Frame:
+    """Return a cached frame or build (and cache) it."""
+    if cache is None:
+        return builder()
+    hit = cache.get(name, key)
+    if hit is not None:
+        return hit
+    frame = builder()
+    cache.put(name, key, frame)
+    return frame

@@ -1,0 +1,68 @@
+"""Workspace layout used by the CLI and the examples.
+
+A :class:`Workspace` is a directory with the conventional sub-directories of
+the paper's artifact: raw result files, the parsed CSV dataset, generated
+figures and text reports.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Workspace", "ensure_dir"]
+
+
+def ensure_dir(path: str | os.PathLike) -> Path:
+    """Create ``path`` (and parents) if needed and return it as a Path."""
+    p = Path(path)
+    p.mkdir(parents=True, exist_ok=True)
+    return p
+
+
+@dataclass(frozen=True)
+class Workspace:
+    """Conventional directory layout for one analysis run."""
+
+    root: Path
+
+    @classmethod
+    def create(cls, root: str | os.PathLike) -> "Workspace":
+        workspace = cls(Path(root))
+        for directory in (
+            workspace.raw_results,
+            workspace.processed,
+            workspace.figures,
+            workspace.reports,
+        ):
+            ensure_dir(directory)
+        return workspace
+
+    @property
+    def raw_results(self) -> Path:
+        """Directory of SPEC-style ``.txt`` result files."""
+        return self.root / "raw_results"
+
+    @property
+    def processed(self) -> Path:
+        """Directory of parsed/derived CSV tables."""
+        return self.root / "processed"
+
+    @property
+    def figures(self) -> Path:
+        """Directory of rendered figures (SVG)."""
+        return self.root / "figures"
+
+    @property
+    def reports(self) -> Path:
+        """Directory of text reports (paper-vs-measured summaries)."""
+        return self.root / "reports"
+
+    @property
+    def dataset_csv(self) -> Path:
+        return self.processed / "runs.csv"
+
+    @property
+    def filtered_csv(self) -> Path:
+        return self.processed / "runs_filtered.csv"

@@ -1,0 +1,40 @@
+"""The x86 server market model, 2005–2024.
+
+The paper's dataset is the population of SPECpower_ssj2008 submissions.
+This package models that population:
+
+* :mod:`repro.market.catalog` — Intel and AMD server CPU generations (plus
+  the handful of non-x86 and desktop parts that appear in real submissions
+  and are filtered out by the paper),
+* :mod:`repro.market.trends` — submission rates, OS shares and vendor
+  shares over time (Figure 1 demographics),
+* :mod:`repro.market.fleet` — sampling of complete system configurations
+  and the composition of a full corpus,
+* :mod:`repro.market.anomalies` — the malformed / rejected submissions the
+  paper's consistency checks remove (Section II counts).
+"""
+
+from .catalog import (
+    Catalog,
+    CatalogEntry,
+    default_catalog,
+    profile_for,
+)
+from .trends import MarketTrends, default_trends
+from .fleet import FleetSampler, FleetPlan, SystemPlan
+from .anomalies import AnomalyKind, AnomalyPlan, default_anomaly_plan
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "default_catalog",
+    "profile_for",
+    "MarketTrends",
+    "default_trends",
+    "FleetSampler",
+    "FleetPlan",
+    "SystemPlan",
+    "AnomalyKind",
+    "AnomalyPlan",
+    "default_anomaly_plan",
+]

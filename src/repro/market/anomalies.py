@@ -1,0 +1,104 @@
+"""Malformed and rejected submissions.
+
+The paper downloads 1017 result files and removes 57 of them before any
+analysis (Section II):
+
+========================================  =====
+reason                                    count
+========================================  =====
+run not accepted by SPEC                     40
+ambiguous dates                               3
+implausible dates                             4
+ambiguous CPU names                           3
+missing node count                            1
+inconsistent core/thread counts               5
+implausible core/thread counts                1
+========================================  =====
+
+The corpus generator injects exactly these defects so that the parser and
+validation pipeline have something realistic to reject and the dataset
+funnel (1017 → 960) can be reproduced.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import CatalogError
+
+__all__ = ["AnomalyKind", "AnomalyPlan", "default_anomaly_plan"]
+
+
+class AnomalyKind(str, enum.Enum):
+    """Defect classes injected into generated result files."""
+
+    NOT_ACCEPTED = "not_accepted"
+    AMBIGUOUS_DATE = "ambiguous_date"
+    IMPLAUSIBLE_DATE = "implausible_date"
+    AMBIGUOUS_CPU = "ambiguous_cpu"
+    MISSING_NODE_COUNT = "missing_node_count"
+    INCONSISTENT_CORE_THREAD = "inconsistent_core_thread"
+    IMPLAUSIBLE_CORE_COUNT = "implausible_core_count"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: The paper's Section II rejection counts.
+PAPER_ANOMALY_COUNTS: dict[AnomalyKind, int] = {
+    AnomalyKind.NOT_ACCEPTED: 40,
+    AnomalyKind.AMBIGUOUS_DATE: 3,
+    AnomalyKind.IMPLAUSIBLE_DATE: 4,
+    AnomalyKind.AMBIGUOUS_CPU: 3,
+    AnomalyKind.MISSING_NODE_COUNT: 1,
+    AnomalyKind.INCONSISTENT_CORE_THREAD: 5,
+    AnomalyKind.IMPLAUSIBLE_CORE_COUNT: 1,
+}
+
+
+@dataclass(frozen=True)
+class AnomalyPlan:
+    """How many submissions of each defect class to inject into a corpus."""
+
+    counts: Mapping[AnomalyKind, int] = field(
+        default_factory=lambda: dict(PAPER_ANOMALY_COUNTS)
+    )
+
+    def __post_init__(self) -> None:
+        for kind, count in self.counts.items():
+            if count < 0:
+                raise CatalogError(f"negative anomaly count for {kind}: {count}")
+
+    @property
+    def total(self) -> int:
+        return int(sum(self.counts.values()))
+
+    def scaled(self, fraction: float) -> "AnomalyPlan":
+        """Scale all counts (used for small corpora in tests and examples).
+
+        Rounds down but keeps at least one occurrence of any class that had a
+        non-zero count when ``fraction`` > 0, so small corpora still exercise
+        every rejection path.
+        """
+        if fraction < 0:
+            raise CatalogError("fraction must be >= 0")
+        if fraction == 0:
+            return AnomalyPlan({kind: 0 for kind in self.counts})
+        scaled = {}
+        for kind, count in self.counts.items():
+            scaled[kind] = max(int(count * fraction), 1) if count > 0 else 0
+        return AnomalyPlan(scaled)
+
+    def expand(self) -> list[AnomalyKind]:
+        """A flat list with each anomaly kind repeated ``count`` times."""
+        flat: list[AnomalyKind] = []
+        for kind in AnomalyKind:
+            flat.extend([kind] * int(self.counts.get(kind, 0)))
+        return flat
+
+
+def default_anomaly_plan() -> AnomalyPlan:
+    """The paper-exact anomaly counts (57 rejected submissions)."""
+    return AnomalyPlan()

@@ -1,0 +1,381 @@
+"""Catalog of server processors appearing in the synthetic fleet.
+
+Entries approximate real Intel Xeon, AMD Opteron and AMD EPYC server parts
+released between 2005 and 2024.  The two calibrated per-entry quantities are
+
+* ``ssj_ops_per_socket`` — full-load SSJ throughput per socket, loosely
+  following the published SPECpower_ssj2008 results of the corresponding
+  real parts, and
+* the :class:`~repro.powermodel.cpu.GenerationProfile`, produced by
+  :func:`profile_for` from smooth per-vendor trajectories over the release
+  year.  The trajectories encode the paper's observed trends (DESIGN.md §5):
+  energy proportionality improving over time, Intel's turbo-heavy middle
+  years, the post-2017 idle regression growing with logical CPU count.
+
+The catalog also contains a handful of desktop and non-x86 parts because the
+real dataset contains such submissions; the paper filters them out, and the
+filter pipeline needs something to filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import CatalogError
+from ..powermodel.cpu import CPUFamily, CPUSpec, GenerationProfile, Vendor
+from ..units import MonthDate
+
+__all__ = ["CatalogEntry", "Catalog", "default_catalog", "profile_for"]
+
+
+# --------------------------------------------------------------------------- #
+# Generation profile trajectories
+# --------------------------------------------------------------------------- #
+def _interpolate(year: float, knots: Sequence[tuple[float, float]]) -> float:
+    """Piecewise-linear interpolation over (year, value) knots."""
+    xs = np.asarray([k[0] for k in knots], dtype=np.float64)
+    ys = np.asarray([k[1] for k in knots], dtype=np.float64)
+    return float(np.interp(year, xs, ys))
+
+
+# Knot tables, one per parameter and vendor.  Values are the result of the
+# calibration described in DESIGN.md §5 and EXPERIMENTS.md.
+_STATIC_KNOTS = {
+    Vendor.INTEL: [(2005, 0.66), (2007, 0.58), (2009, 0.44), (2011, 0.34),
+                   (2013, 0.27), (2015, 0.22), (2017, 0.19), (2020, 0.22),
+                   (2022, 0.25), (2024, 0.27)],
+    Vendor.AMD: [(2005, 0.66), (2007, 0.58), (2009, 0.46), (2011, 0.40),
+                 (2013, 0.36), (2015, 0.33), (2017, 0.30), (2019, 0.25),
+                 (2021, 0.20), (2023, 0.17), (2024, 0.17)],
+}
+_QUAD_SHARE_KNOTS = {
+    Vendor.INTEL: [(2005, 0.08), (2009, 0.18), (2012, 0.32), (2016, 0.38),
+                   (2017, 0.12), (2020, 0.10), (2024, 0.10)],
+    Vendor.AMD: [(2005, 0.08), (2010, 0.15), (2016, 0.15), (2019, 0.18),
+                 (2021, 0.15), (2024, 0.15)],
+}
+_TURBO_KNOTS = {
+    Vendor.INTEL: [(2005, 0.0), (2008, 0.0), (2009, 0.04), (2012, 0.09),
+                   (2014, 0.12), (2016, 0.13), (2017, 0.07), (2019, 0.05),
+                   (2021, 0.04), (2024, 0.04)],
+    Vendor.AMD: [(2005, 0.0), (2009, 0.0), (2010, 0.02), (2014, 0.03),
+                 (2017, 0.03), (2019, 0.04), (2021, 0.04), (2024, 0.04)],
+}
+_IDLE_QUOTIENT_KNOTS = {
+    Vendor.INTEL: [(2005, 1.02), (2007, 1.10), (2009, 1.35), (2011, 1.60),
+                   (2013, 1.80), (2015, 1.90), (2017, 1.95), (2019, 2.00),
+                   (2021, 2.05), (2024, 2.10)],
+    Vendor.AMD: [(2005, 1.02), (2007, 1.08), (2009, 1.30), (2011, 1.50),
+                 (2013, 1.65), (2017, 1.80), (2019, 1.90), (2021, 2.00),
+                 (2024, 2.10)],
+}
+_IDLE_SIGMA_KNOTS = {
+    Vendor.INTEL: [(2005, 0.05), (2010, 0.10), (2015, 0.14), (2018, 0.22), (2024, 0.30)],
+    Vendor.AMD: [(2005, 0.05), (2010, 0.10), (2015, 0.14), (2018, 0.20), (2024, 0.26)],
+}
+_IDLE_NOISE_KNOTS = {
+    Vendor.INTEL: [(2005, 0.0), (2016, 0.0), (2018, 0.004), (2021, 0.010), (2024, 0.013)],
+    Vendor.AMD: [(2005, 0.0), (2016, 0.0), (2018, 0.001), (2021, 0.002), (2024, 0.0025)],
+}
+_FREQ_FLOOR_KNOTS = {
+    Vendor.INTEL: [(2005, 0.75), (2009, 0.60), (2013, 0.50), (2017, 0.40), (2024, 0.35)],
+    Vendor.AMD: [(2005, 0.75), (2009, 0.62), (2013, 0.55), (2017, 0.50), (2021, 0.40),
+                 (2024, 0.38)],
+}
+
+
+def profile_for(vendor: Vendor, year: float) -> GenerationProfile:
+    """Generation profile for a given vendor and (fractional) release year.
+
+    Non-x86 and desktop parts reuse the Intel trajectory: they are filtered
+    out by the analysis, so only plausibility matters.
+    """
+    key = vendor if vendor in (Vendor.INTEL, Vendor.AMD) else Vendor.INTEL
+    static = _interpolate(year, _STATIC_KNOTS[key])
+    turbo = _interpolate(year, _TURBO_KNOTS[key])
+    quad_share = _interpolate(year, _QUAD_SHARE_KNOTS[key])
+    dynamic = max(1.0 - static - turbo, 0.05)
+    quad = dynamic * quad_share
+    linear = dynamic - quad
+    profile = GenerationProfile(
+        static_fraction=static,
+        linear_fraction=linear,
+        quadratic_fraction=quad,
+        turbo_fraction=turbo,
+        idle_quotient_mean=_interpolate(year, _IDLE_QUOTIENT_KNOTS[key]),
+        idle_quotient_sigma=_interpolate(year, _IDLE_SIGMA_KNOTS[key]),
+        idle_noise_per_logical_cpu=_interpolate(year, _IDLE_NOISE_KNOTS[key]),
+        frequency_scaling_floor=_interpolate(year, _FREQ_FLOOR_KNOTS[key]),
+    )
+    return profile.normalized()
+
+
+# --------------------------------------------------------------------------- #
+# Catalog entries
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CatalogEntry:
+    """A CPU available on the market plus typical configuration hints."""
+
+    cpu: CPUSpec
+    typical_memory_gb_per_socket: float
+    typical_sockets: tuple[int, ...]
+    popularity: float = 1.0
+
+    @property
+    def release(self) -> MonthDate:
+        return self.cpu.release
+
+
+# (model, vendor, family, codename, cores, threads/core, base MHz, turbo MHz,
+#  TDP W, release (y, m), ssj_ops/socket, avx bits, process nm,
+#  typical mem GB/socket, typical sockets, popularity)
+_SERVER_PARTS: tuple[tuple, ...] = (
+    # --- Intel: 2005-2008 (Netburst / Core era) --------------------------------
+    ("Xeon 7041", "Intel", "Xeon", "Paxville", 2, 2, 3000, 3000, 165, (2005, 10),
+     40_000, 128, 90, 4, (2, 4), 0.5),
+    ("Opteron 280", "AMD", "Opteron", "Italy", 2, 1, 2400, 2400, 95, (2005, 8),
+     48_000, 128, 90, 4, (2,), 0.5),
+    ("Xeon 5060", "Intel", "Xeon", "Dempsey", 2, 2, 3200, 3200, 130, (2006, 5),
+     55_000, 128, 65, 4, (1, 2), 0.5),
+    ("Xeon 5160", "Intel", "Xeon", "Woodcrest", 2, 1, 3000, 3000, 80, (2006, 6),
+     90_000, 128, 65, 4, (1, 2), 0.8),
+    ("Xeon E5345", "Intel", "Xeon", "Clovertown", 4, 1, 2333, 2333, 80, (2007, 1),
+     140_000, 128, 65, 8, (1, 2), 1.0),
+    ("Xeon L5420", "Intel", "Xeon", "Harpertown", 4, 1, 2500, 2500, 50, (2008, 1),
+     180_000, 128, 45, 8, (1, 2), 1.2),
+    ("Xeon X5470", "Intel", "Xeon", "Harpertown", 4, 1, 3333, 3333, 120, (2008, 8),
+     210_000, 128, 45, 8, (2,), 0.9),
+    # --- Intel: Nehalem / Westmere ---------------------------------------------
+    ("Xeon X5570", "Intel", "Xeon", "Nehalem-EP", 4, 2, 2933, 3333, 95, (2009, 3),
+     300_000, 128, 45, 12, (2,), 1.2),
+    ("Xeon L5530", "Intel", "Xeon", "Nehalem-EP", 4, 2, 2400, 2667, 60, (2009, 8),
+     260_000, 128, 45, 12, (1, 2), 0.8),
+    ("Xeon X5670", "Intel", "Xeon", "Westmere-EP", 6, 2, 2933, 3333, 95, (2010, 3),
+     430_000, 128, 32, 12, (2,), 1.3),
+    ("Xeon L5640", "Intel", "Xeon", "Westmere-EP", 6, 2, 2266, 2800, 60, (2010, 3),
+     380_000, 128, 32, 12, (1, 2), 1.0),
+    # --- Intel: Sandy Bridge / Ivy Bridge ---------------------------------------
+    ("Xeon E3-1260L", "Intel", "Xeon", "Sandy Bridge", 4, 2, 2400, 3300, 45, (2011, 4),
+     330_000, 256, 32, 8, (1,), 0.7),
+    ("Xeon E5-2660", "Intel", "Xeon", "Sandy Bridge-EP", 8, 2, 2200, 3000, 95, (2012, 3),
+     620_000, 256, 32, 24, (2,), 1.3),
+    ("Xeon E5-2670", "Intel", "Xeon", "Sandy Bridge-EP", 8, 2, 2600, 3300, 115, (2012, 3),
+     660_000, 256, 32, 24, (2,), 1.0),
+    ("Xeon E5-2470 v2", "Intel", "Xeon", "Ivy Bridge-EN", 10, 2, 2400, 3200, 95, (2014, 1),
+     800_000, 256, 22, 24, (2,), 0.8),
+    ("Xeon E5-2695 v2", "Intel", "Xeon", "Ivy Bridge-EP", 12, 2, 2400, 3200, 115, (2013, 9),
+     900_000, 256, 22, 32, (2,), 1.0),
+    # --- Intel: Haswell / Broadwell ---------------------------------------------
+    ("Xeon E5-2699 v3", "Intel", "Xeon", "Haswell-EP", 18, 2, 2300, 3600, 145, (2014, 9),
+     1_250_000, 256, 22, 32, (2,), 1.2),
+    ("Xeon E5-2660 v3", "Intel", "Xeon", "Haswell-EP", 10, 2, 2600, 3300, 105, (2014, 9),
+     850_000, 256, 22, 32, (2,), 0.9),
+    ("Xeon E5-2699 v4", "Intel", "Xeon", "Broadwell-EP", 22, 2, 2200, 3600, 145, (2016, 3),
+     1_500_000, 256, 14, 32, (2,), 1.2),
+    ("Xeon D-1541", "Intel", "Xeon", "Broadwell-DE", 8, 2, 2100, 2700, 45, (2015, 11),
+     480_000, 256, 14, 16, (1,), 0.6),
+    # --- Intel: Skylake-SP and later ---------------------------------------------
+    ("Xeon Platinum 8180", "Intel", "Xeon", "Skylake-SP", 28, 2, 2500, 3800, 205, (2017, 7),
+     1_900_000, 512, 14, 48, (2,), 1.2),
+    ("Xeon Silver 4116", "Intel", "Xeon", "Skylake-SP", 12, 2, 2100, 3000, 85, (2017, 7),
+     900_000, 512, 14, 32, (1, 2), 0.9),
+    ("Xeon Platinum 8280", "Intel", "Xeon", "Cascade Lake-SP", 28, 2, 2700, 4000, 205, (2019, 4),
+     2_100_000, 512, 14, 48, (2,), 1.1),
+    ("Xeon Gold 6252", "Intel", "Xeon", "Cascade Lake-SP", 24, 2, 2100, 3700, 150, (2019, 4),
+     1_700_000, 512, 14, 48, (2,), 0.9),
+    ("Xeon Gold 5317", "Intel", "Xeon", "Ice Lake-SP", 12, 2, 3000, 3600, 150, (2021, 4),
+     1_200_000, 512, 10, 32, (1, 2), 1.1),
+    ("Xeon Gold 6326", "Intel", "Xeon", "Ice Lake-SP", 16, 2, 2900, 3500, 185, (2021, 4),
+     1_500_000, 512, 10, 32, (1, 2), 1.0),
+    ("Xeon Silver 4410Y", "Intel", "Xeon", "Sapphire Rapids", 12, 2, 2000, 3900, 150, (2023, 1),
+     1_250_000, 512, 10, 32, (1, 2), 1.1),
+    ("Xeon Gold 6538Y+", "Intel", "Xeon", "Emerald Rapids", 32, 2, 2200, 4000, 225, (2023, 12),
+     3_300_000, 512, 7, 64, (1, 2), 0.9),
+    ("Xeon Platinum 8380", "Intel", "Xeon", "Ice Lake-SP", 40, 2, 2300, 3400, 270, (2021, 4),
+     3_000_000, 512, 10, 64, (2,), 0.8),
+    ("Xeon Gold 6338", "Intel", "Xeon", "Ice Lake-SP", 32, 2, 2000, 3200, 205, (2021, 4),
+     2_400_000, 512, 10, 64, (1, 2), 1.2),
+    ("Xeon Platinum 8490H", "Intel", "Xeon", "Sapphire Rapids", 60, 2, 1900, 3500, 350, (2023, 1),
+     5_600_000, 512, 10, 128, (2,), 0.7),
+    ("Xeon Platinum 8480+", "Intel", "Xeon", "Sapphire Rapids", 56, 2, 2000, 3800, 350, (2023, 1),
+     5_300_000, 512, 10, 128, (2,), 0.6),
+    ("Xeon Platinum 8592+", "Intel", "Xeon", "Emerald Rapids", 64, 2, 1900, 3900, 350, (2023, 12),
+     6_300_000, 512, 7, 128, (1, 2), 0.6),
+    ("Xeon Gold 6430", "Intel", "Xeon", "Sapphire Rapids", 32, 2, 2100, 3400, 270, (2023, 1),
+     2_900_000, 512, 10, 64, (1, 2), 1.4),
+    ("Xeon Gold 5420+", "Intel", "Xeon", "Sapphire Rapids", 28, 2, 2000, 4100, 205, (2023, 1),
+     2_500_000, 512, 10, 64, (1, 2), 1.3),
+    ("Xeon 6780E", "Intel", "Xeon", "Sierra Forest", 144, 1, 2200, 3000, 330, (2024, 6),
+     8_200_000, 256, 7, 128, (1, 2), 0.25),
+    # --- AMD: Opteron era ----------------------------------------------------------
+    ("Opteron 2218", "AMD", "Opteron", "Santa Rosa", 2, 1, 2600, 2600, 95, (2006, 8),
+     70_000, 128, 90, 4, (2,), 0.6),
+    ("Opteron 2356", "AMD", "Opteron", "Barcelona", 4, 1, 2300, 2300, 75, (2008, 4),
+     150_000, 128, 65, 8, (2,), 0.7),
+    ("Opteron 2384", "AMD", "Opteron", "Shanghai", 4, 1, 2700, 2700, 75, (2009, 1),
+     190_000, 128, 45, 8, (2,), 0.7),
+    ("Opteron 2435", "AMD", "Opteron", "Istanbul", 6, 1, 2600, 2600, 75, (2009, 6),
+     270_000, 128, 45, 12, (2,), 0.7),
+    ("Opteron 6174", "AMD", "Opteron", "Magny-Cours", 12, 1, 2200, 2200, 80, (2010, 3),
+     430_000, 128, 45, 16, (2,), 0.8),
+    ("Opteron 6276", "AMD", "Opteron", "Interlagos", 16, 1, 2300, 3200, 115, (2011, 11),
+     520_000, 256, 32, 32, (2,), 0.7),
+    ("Opteron 6380", "AMD", "Opteron", "Abu Dhabi", 16, 1, 2500, 3400, 115, (2012, 11),
+     560_000, 256, 32, 32, (2,), 0.5),
+    # --- AMD: EPYC -----------------------------------------------------------------
+    ("EPYC 7601", "AMD", "EPYC", "Naples", 32, 2, 2200, 3200, 180, (2017, 6),
+     2_200_000, 256, 14, 64, (1, 2), 1.0),
+    ("EPYC 7551", "AMD", "EPYC", "Naples", 32, 2, 2000, 3000, 180, (2017, 6),
+     2_000_000, 256, 14, 64, (2,), 0.7),
+    ("EPYC 7742", "AMD", "EPYC", "Rome", 64, 2, 2250, 3400, 225, (2019, 8),
+     5_100_000, 256, 7, 128, (1, 2), 1.2),
+    ("EPYC 7502", "AMD", "EPYC", "Rome", 32, 2, 2500, 3350, 180, (2019, 8),
+     2_900_000, 256, 7, 64, (1, 2), 0.9),
+    ("EPYC 7763", "AMD", "EPYC", "Milan", 64, 2, 2450, 3500, 280, (2021, 3),
+     5_900_000, 256, 7, 128, (1, 2), 1.2),
+    ("EPYC 7443", "AMD", "EPYC", "Milan", 24, 2, 2850, 4000, 200, (2021, 3),
+     3_000_000, 256, 7, 64, (1, 2), 0.8),
+    ("EPYC 9654", "AMD", "EPYC", "Genoa", 96, 2, 2400, 3700, 360, (2022, 11),
+     9_300_000, 256, 5, 192, (1, 2), 1.2),
+    ("EPYC 9454", "AMD", "EPYC", "Genoa", 48, 2, 2750, 3800, 290, (2022, 11),
+     5_300_000, 256, 5, 96, (1, 2), 0.9),
+    ("EPYC 9354", "AMD", "EPYC", "Genoa", 32, 2, 3250, 3800, 280, (2022, 11),
+     4_500_000, 256, 5, 96, (1, 2), 0.9),
+    ("EPYC 9224", "AMD", "EPYC", "Genoa", 24, 2, 2500, 3700, 200, (2022, 11),
+     2_950_000, 256, 5, 64, (1, 2), 0.8),
+    ("EPYC 9754", "AMD", "EPYC", "Bergamo", 128, 2, 2250, 3100, 360, (2023, 8),
+     11_800_000, 256, 5, 192, (1, 2), 1.1),
+    ("EPYC 8324P", "AMD", "EPYC", "Siena", 32, 2, 2650, 3000, 180, (2023, 9),
+     3_650_000, 256, 5, 96, (1,), 0.7),
+    ("EPYC 9965", "AMD", "EPYC", "Turin Dense", 192, 2, 2250, 3700, 500, (2024, 10),
+     17_500_000, 256, 4, 192, (1, 2), 0.6),
+)
+
+# Parts that the paper's filters remove: desktop/workstation-class x86 CPUs
+# and non-x86 processors.  Throughput/power values are only plausible.
+_FILTERED_PARTS: tuple[tuple, ...] = (
+    ("Pentium D 930", "Intel", "Desktop", "Presler", 2, 1, 3000, 3000, 95, (2006, 1),
+     40_000, 128, 65, 2, (1,), 1.0),
+    ("Core 2 Duo E6700", "Intel", "Desktop", "Conroe", 2, 1, 2667, 2667, 65, (2006, 7),
+     65_000, 128, 65, 4, (1,), 1.0),
+    ("Core i7-2600", "Intel", "Desktop", "Sandy Bridge", 4, 2, 3400, 3800, 95, (2011, 1),
+     380_000, 256, 32, 8, (1,), 1.0),
+    ("Athlon 64 X2 5200+", "AMD", "Desktop", "Windsor", 2, 1, 2600, 2600, 89, (2006, 9),
+     45_000, 128, 90, 2, (1,), 1.0),
+    ("Core i9-9900K", "Intel", "Desktop", "Coffee Lake", 8, 2, 3600, 5000, 95, (2018, 10),
+     700_000, 256, 14, 16, (1,), 1.0),
+    ("Ryzen 7 3700X", "AMD", "Desktop", "Matisse", 8, 2, 3600, 4400, 65, (2019, 7),
+     750_000, 256, 7, 16, (1,), 1.0),
+    ("POWER7 8-core", "Other", "NonX86", "POWER7", 8, 4, 3550, 3550, 200, (2010, 2),
+     500_000, 128, 45, 32, (2,), 1.0),
+    ("SPARC T4", "Other", "NonX86", "SPARC T4", 8, 8, 2850, 2850, 240, (2011, 9),
+     450_000, 128, 40, 32, (2,), 1.0),
+    ("ThunderX2 CN9975", "Other", "NonX86", "ThunderX2", 28, 4, 2000, 2500, 180, (2018, 5),
+     1_200_000, 128, 16, 64, (2,), 1.0),
+    ("Ampere Altra Q80-30", "Other", "NonX86", "Altra", 80, 1, 3000, 3000, 210, (2021, 3),
+     3_000_000, 128, 7, 128, (1,), 1.0),
+)
+
+
+def _build_entry(row: tuple) -> CatalogEntry:
+    (model, vendor, family, codename, cores, tpc, base_mhz, turbo_mhz, tdp,
+     (year, month), ops, avx, nm, mem_per_socket, sockets, popularity) = row
+    vendor_enum = Vendor(vendor)
+    release = MonthDate(year, month)
+    cpu = CPUSpec(
+        model=model,
+        vendor=vendor_enum,
+        family=CPUFamily(family),
+        codename=codename,
+        cores=cores,
+        threads_per_core=tpc,
+        base_frequency_mhz=float(base_mhz),
+        max_turbo_mhz=float(turbo_mhz),
+        tdp_w=float(tdp),
+        release=release,
+        ssj_ops_per_socket=float(ops),
+        profile=profile_for(vendor_enum, release.decimal_year),
+        avx_width_bits=avx,
+        process_nm=float(nm),
+    )
+    return CatalogEntry(
+        cpu=cpu,
+        typical_memory_gb_per_socket=float(mem_per_socket),
+        typical_sockets=tuple(sockets),
+        popularity=float(popularity),
+    )
+
+
+class Catalog:
+    """Queryable collection of catalog entries."""
+
+    def __init__(self, entries: Iterable[CatalogEntry]):
+        self._entries = list(entries)
+        if not self._entries:
+            raise CatalogError("catalog must contain at least one entry")
+        self._by_model = {entry.cpu.model: entry for entry in self._entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> list[CatalogEntry]:
+        return list(self._entries)
+
+    def get(self, model: str) -> CatalogEntry:
+        """Look up an entry by exact CPU model name."""
+        try:
+            return self._by_model[model]
+        except KeyError:
+            raise CatalogError(f"unknown CPU model {model!r}") from None
+
+    def server_entries(self) -> list[CatalogEntry]:
+        """Entries the paper keeps (Xeon, Opteron, EPYC)."""
+        return [e for e in self._entries if e.cpu.family.is_server_x86]
+
+    def filtered_entries(self) -> list[CatalogEntry]:
+        """Entries the paper's filters remove (desktop and non-x86 parts)."""
+        return [e for e in self._entries if not e.cpu.family.is_server_x86]
+
+    def by_vendor(self, vendor: Vendor) -> list[CatalogEntry]:
+        return [e for e in self._entries if e.cpu.vendor == vendor]
+
+    def available_in(
+        self,
+        year: int,
+        vendor: Vendor | None = None,
+        server_only: bool = True,
+        window_years: float = 2.5,
+    ) -> list[CatalogEntry]:
+        """Entries whose release falls within ``window_years`` before the end
+        of ``year`` — the parts a vendor would plausibly submit that year."""
+        candidates = self.server_entries() if server_only else self.entries
+        if vendor is not None:
+            candidates = [e for e in candidates if e.cpu.vendor == vendor]
+        end = year + 1.0
+        start = end - window_years
+        selected = [
+            e for e in candidates if start <= e.cpu.release.decimal_year <= end
+        ]
+        if selected:
+            return selected
+        # Fall back to the newest parts released before the window (keeps the
+        # sampler total even for gap years in a vendor's lineup).
+        earlier = [e for e in candidates if e.cpu.release.decimal_year <= end]
+        if not earlier:
+            return []
+        newest = max(e.cpu.release.decimal_year for e in earlier)
+        return [e for e in earlier if newest - e.cpu.release.decimal_year <= 1.0]
+
+
+def default_catalog(include_filtered: bool = True) -> Catalog:
+    """The built-in 2005–2024 catalog used by the fleet sampler."""
+    rows = _SERVER_PARTS + (_FILTERED_PARTS if include_filtered else ())
+    return Catalog(_build_entry(row) for row in rows)

@@ -1,0 +1,185 @@
+"""Submission-rate, vendor-share and OS-share trajectories.
+
+These trajectories reproduce the demographic findings of the paper's
+Section II / Figure 1:
+
+* an average of ~44 runs per hardware-availability year from 2005 to 2023,
+  with a pronounced dip (~15 runs/year) between 2013 and 2017,
+* AMD's share rising from ~13 % before 2018 to ~31 % afterwards (EPYC),
+* Linux rising from ~2 % before 2018 to ~36 % afterwards,
+* mostly dual-socket single-node systems, with a sizeable minority of
+  multi-node or >2-socket submissions (the 269 runs the paper filters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import CatalogError
+
+__all__ = ["MarketTrends", "default_trends"]
+
+#: Relative number of parsed submissions per hardware availability year.
+_YEAR_WEIGHTS: dict[int, float] = {
+    2005: 3, 2006: 16, 2007: 62, 2008: 84, 2009: 72, 2010: 88,
+    2011: 70, 2012: 64, 2013: 22, 2014: 16, 2015: 13, 2016: 16,
+    2017: 15, 2018: 48, 2019: 66, 2020: 52, 2021: 64, 2022: 58,
+    2023: 70, 2024: 36,
+}
+
+#: AMD share of parsed submissions per year (remainder is Intel, except for
+#: the handful of explicitly planned non-x86 submissions).
+_AMD_SHARE: dict[int, float] = {
+    2005: 0.22, 2006: 0.24, 2007: 0.17, 2008: 0.15, 2009: 0.13, 2010: 0.15,
+    2011: 0.12, 2012: 0.08, 2013: 0.04, 2014: 0.04, 2015: 0.04, 2016: 0.04,
+    2017: 0.14, 2018: 0.25, 2019: 0.30, 2020: 0.30, 2021: 0.33, 2022: 0.36,
+    2023: 0.40, 2024: 0.42,
+}
+
+#: Linux share of parsed submissions per year (macOS never appears; the rest
+#: is Windows plus a tiny share of Solaris in the early years).
+_LINUX_SHARE: dict[int, float] = {
+    2005: 0.0, 2006: 0.0, 2007: 0.01, 2008: 0.02, 2009: 0.02, 2010: 0.02,
+    2011: 0.02, 2012: 0.03, 2013: 0.03, 2014: 0.04, 2015: 0.05, 2016: 0.05,
+    2017: 0.10, 2018: 0.25, 2019: 0.32, 2020: 0.35, 2021: 0.38, 2022: 0.40,
+    2023: 0.42, 2024: 0.45,
+}
+
+_SOLARIS_SHARE_EARLY = 0.01  # before 2012 a few submissions used Solaris
+
+#: Socket count distribution for server-class submissions (per node).
+_SOCKET_WEIGHTS: dict[int, float] = {1: 0.20, 2: 0.645, 4: 0.125, 8: 0.03}
+
+#: Node count distribution (multi-node submissions were mostly blade chassis).
+_NODE_WEIGHTS: dict[int, float] = {1: 0.80, 2: 0.04, 4: 0.08, 8: 0.05, 16: 0.03}
+
+#: System vendors and their rough prevalence among submitters.
+_SYSTEM_VENDORS: dict[str, float] = {
+    "Hewlett Packard Enterprise": 0.22,
+    "Dell Inc.": 0.18,
+    "Fujitsu": 0.17,
+    "Lenovo Global Technology": 0.13,
+    "IBM Corporation": 0.08,
+    "Supermicro": 0.07,
+    "Inspur Corporation": 0.05,
+    "Huawei Technologies": 0.04,
+    "ASUSTeK Computer": 0.03,
+    "Acer Incorporated": 0.02,
+    "Quanta Computer": 0.01,
+}
+
+_WINDOWS_BY_ERA: tuple[tuple[int, str], ...] = (
+    (2007, "Microsoft Windows Server 2003 Enterprise Edition"),
+    (2009, "Microsoft Windows Server 2008 Enterprise x64 Edition"),
+    (2012, "Microsoft Windows Server 2008 R2 Enterprise"),
+    (2014, "Microsoft Windows Server 2012 R2 Standard"),
+    (2017, "Microsoft Windows Server 2016 Standard"),
+    (2020, "Microsoft Windows Server 2019 Datacenter"),
+    (2023, "Microsoft Windows Server 2022 Datacenter"),
+    (2100, "Microsoft Windows Server 2025 Datacenter"),
+)
+
+_LINUX_BY_ERA: tuple[tuple[int, str], ...] = (
+    (2012, "SUSE Linux Enterprise Server 11"),
+    (2016, "Red Hat Enterprise Linux Server 7.2"),
+    (2019, "SUSE Linux Enterprise Server 12 SP3"),
+    (2021, "SUSE Linux Enterprise Server 15 SP2"),
+    (2023, "SUSE Linux Enterprise Server 15 SP4"),
+    (2100, "SUSE Linux Enterprise Server 15 SP5"),
+)
+
+
+@dataclass(frozen=True)
+class MarketTrends:
+    """Year-indexed demographic trajectories of the submission population."""
+
+    year_weights: Mapping[int, float] = field(default_factory=lambda: dict(_YEAR_WEIGHTS))
+    amd_share: Mapping[int, float] = field(default_factory=lambda: dict(_AMD_SHARE))
+    linux_share: Mapping[int, float] = field(default_factory=lambda: dict(_LINUX_SHARE))
+    socket_weights: Mapping[int, float] = field(default_factory=lambda: dict(_SOCKET_WEIGHTS))
+    node_weights: Mapping[int, float] = field(default_factory=lambda: dict(_NODE_WEIGHTS))
+    system_vendors: Mapping[str, float] = field(default_factory=lambda: dict(_SYSTEM_VENDORS))
+
+    @property
+    def years(self) -> list[int]:
+        return sorted(self.year_weights)
+
+    def runs_per_year(self, total_runs: int) -> dict[int, int]:
+        """Distribute ``total_runs`` parsed submissions across years.
+
+        Largest-remainder rounding keeps the total exact.
+        """
+        if total_runs < len(self.years):
+            raise CatalogError(
+                f"total_runs={total_runs} is smaller than the number of years"
+            )
+        weights = np.asarray([self.year_weights[y] for y in self.years], dtype=np.float64)
+        shares = weights / weights.sum() * total_runs
+        counts = np.floor(shares).astype(int)
+        remainder = total_runs - int(counts.sum())
+        fractional_order = np.argsort(-(shares - counts))
+        for index in fractional_order[:remainder]:
+            counts[index] += 1
+        return {year: int(count) for year, count in zip(self.years, counts)}
+
+    def amd_probability(self, year: int) -> float:
+        return float(self.amd_share.get(year, list(self.amd_share.values())[-1]))
+
+    def linux_probability(self, year: int) -> float:
+        return float(self.linux_share.get(year, list(self.linux_share.values())[-1]))
+
+    def operating_system(self, year: int, rng: np.random.Generator) -> str:
+        """Sample an operating-system string for a submission of ``year``."""
+        if rng.random() < self.linux_probability(year):
+            table = _LINUX_BY_ERA
+        else:
+            if year <= 2011 and rng.random() < _SOLARIS_SHARE_EARLY:
+                return "Sun Solaris 10"
+            table = _WINDOWS_BY_ERA
+        for last_year, name in table:
+            if year <= last_year:
+                return name
+        return table[-1][1]  # pragma: no cover - unreachable with sentinel year
+
+    def jvm_name(self, year: int, os_name: str) -> str:
+        """JVM string roughly matching the era and operating system."""
+        if year <= 2010:
+            return "Oracle JRockit P28.0.0"
+        if year <= 2014:
+            return "Oracle Java HotSpot 64-Bit Server VM 1.7"
+        if year <= 2019:
+            return "Oracle Java HotSpot 64-Bit Server VM 1.8"
+        if "Linux" in os_name or "SUSE" in os_name or "Red Hat" in os_name:
+            return "Oracle Java HotSpot 64-Bit Server VM 17"
+        return "Oracle Java HotSpot 64-Bit Server VM 11"
+
+    def sample_system_vendor(self, rng: np.random.Generator) -> str:
+        names = list(self.system_vendors)
+        weights = np.asarray([self.system_vendors[n] for n in names], dtype=np.float64)
+        weights = weights / weights.sum()
+        return str(rng.choice(names, p=weights))
+
+    def sample_sockets(self, rng: np.random.Generator, allowed: Sequence[int] | None = None) -> int:
+        counts = list(self.socket_weights)
+        weights = np.asarray([self.socket_weights[c] for c in counts], dtype=np.float64)
+        if allowed is not None:
+            mask = np.asarray([c in allowed for c in counts], dtype=bool)
+            if not mask.any():
+                return int(min(allowed))
+            weights = np.where(mask, weights, 0.0)
+        weights = weights / weights.sum()
+        return int(rng.choice(counts, p=weights))
+
+    def sample_nodes(self, rng: np.random.Generator) -> int:
+        counts = list(self.node_weights)
+        weights = np.asarray([self.node_weights[c] for c in counts], dtype=np.float64)
+        weights = weights / weights.sum()
+        return int(rng.choice(counts, p=weights))
+
+
+def default_trends() -> MarketTrends:
+    """The built-in trajectories calibrated against the paper's Section II."""
+    return MarketTrends()

@@ -1,0 +1,18 @@
+"""Parallel execution helpers.
+
+Generating and parsing a thousand-report corpus is embarrassingly parallel.
+:func:`parallel_map` provides an ordered, chunked map over a worker pool
+(processes by default, threads on request) with a transparent serial
+fallback so all code paths stay debuggable and deterministic.
+"""
+
+from .executor import ParallelConfig, parallel_map, parallel_starmap
+from .chunking import chunk_indices, split_evenly
+
+__all__ = [
+    "ParallelConfig",
+    "parallel_map",
+    "parallel_starmap",
+    "chunk_indices",
+    "split_evenly",
+]

@@ -1,0 +1,40 @@
+"""Work partitioning helpers for the parallel executor."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from ..errors import ReproError
+
+__all__ = ["chunk_indices", "split_evenly"]
+
+T = TypeVar("T")
+
+
+def chunk_indices(total: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into contiguous ``[start, stop)`` chunks."""
+    if chunk_size < 1:
+        raise ReproError("chunk_size must be >= 1")
+    if total < 0:
+        raise ReproError("total must be >= 0")
+    return [(start, min(start + chunk_size, total)) for start in range(0, total, chunk_size)]
+
+
+def split_evenly(items: Sequence[T], parts: int) -> list[list[T]]:
+    """Split ``items`` into ``parts`` lists whose sizes differ by at most one.
+
+    Empty tails are kept so the result always has exactly ``parts`` entries,
+    which simplifies mapping results back to workers.
+    """
+    if parts < 1:
+        raise ReproError("parts must be >= 1")
+    items = list(items)
+    n = len(items)
+    base, remainder = divmod(n, parts)
+    chunks: list[list[T]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < remainder else 0)
+        chunks.append(items[start: start + size])
+        start += size
+    return chunks

@@ -1,0 +1,38 @@
+"""Parsing of SPEC-style result report files.
+
+This mirrors the parsing stage of the paper's artifact: plain-text result
+files are turned into flat records (one per run) with hardware/software
+configuration, the per-load-level measurements and the overall score.
+
+* :mod:`repro.parser.fields` — canonical record field names and helpers,
+* :mod:`repro.parser.resultfile` — the text parser,
+* :mod:`repro.parser.cpuinfo` — CPU-name classification (vendor, family,
+  server vs desktop vs non-x86),
+* :mod:`repro.parser.validation` — the paper's Section II consistency
+  checks,
+* :mod:`repro.parser.corpus` — directory-level parsing with parallelism and
+  a rejection report.
+"""
+
+from .fields import LOAD_LEVELS, RunRecord, level_field
+from .resultfile import parse_result_text, parse_result_file, ParsedRun
+from .cpuinfo import CPUInfo, classify_cpu
+from .validation import ValidationIssue, ValidationReport, validate_run
+from .corpus import CorpusParseReport, parse_directory, records_to_frame
+
+__all__ = [
+    "LOAD_LEVELS",
+    "RunRecord",
+    "level_field",
+    "parse_result_text",
+    "parse_result_file",
+    "ParsedRun",
+    "CPUInfo",
+    "classify_cpu",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_run",
+    "CorpusParseReport",
+    "parse_directory",
+    "records_to_frame",
+]

@@ -1,0 +1,115 @@
+"""CPU-name classification.
+
+The paper's filters hinge on three questions answered from the free-text
+"CPU Name" field of each report:
+
+1. which silicon vendor made the part (Intel, AMD, or someone else),
+2. whether it is a server/workstation part (Xeon, Opteron, EPYC) or a
+   desktop part,
+3. whether the name is specific enough to identify the model at all
+   (submissions with just "Intel Processor" are dropped as ambiguous).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["CPUInfo", "classify_cpu"]
+
+_SERVER_FAMILIES = {
+    "xeon": "Xeon",
+    "opteron": "Opteron",
+    "epyc": "EPYC",
+}
+
+_DESKTOP_MARKERS = (
+    "core i3", "core i5", "core i7", "core i9", "core 2", "pentium", "celeron",
+    "athlon", "phenom", "ryzen", "sempron", "a10-", "a8-", "fx-",
+)
+
+_NON_X86_VENDORS = {
+    "power": "IBM",
+    "sparc": "Oracle",
+    "thunderx": "Cavium",
+    "altra": "Ampere",
+    "graviton": "Amazon",
+    "kunpeng": "Huawei",
+    "itanium": "Intel",          # IA-64: not x86 despite the vendor
+}
+
+#: A model token is a word containing at least one digit (e.g. "8490H",
+#: "E5-2660", "9754"); its absence marks the CPU name as ambiguous.
+_MODEL_TOKEN_RE = re.compile(r"[A-Za-z]*\d[\w+\-.]*")
+
+
+@dataclass(frozen=True)
+class CPUInfo:
+    """Classification of one CPU name string."""
+
+    raw: str
+    vendor: str                  # "Intel", "AMD" or another silicon vendor
+    family: str                  # "Xeon", "Opteron", "EPYC", "Desktop", "NonX86", "Unknown"
+    cpu_class: str               # "server", "desktop", "non_x86", "unknown"
+    model_token: str | None      # e.g. "8490H", None when ambiguous
+    is_ambiguous: bool
+
+    @property
+    def is_x86_server(self) -> bool:
+        return self.cpu_class == "server" and self.vendor in ("Intel", "AMD")
+
+
+def classify_cpu(name: str | None) -> CPUInfo:
+    """Classify a free-text CPU name."""
+    raw = (name or "").strip()
+    lowered = raw.lower()
+    if not raw:
+        return CPUInfo(raw, "Unknown", "Unknown", "unknown", None, True)
+
+    # Vendor ----------------------------------------------------------------
+    if lowered.startswith("intel") or " intel " in f" {lowered} ":
+        vendor = "Intel"
+    elif lowered.startswith("amd") or " amd " in f" {lowered} ":
+        vendor = "AMD"
+    else:
+        vendor = "Other"
+    non_x86 = None
+    for marker, silicon_vendor in _NON_X86_VENDORS.items():
+        if marker in lowered:
+            non_x86 = silicon_vendor
+            break
+    if non_x86 is not None and "xeon" not in lowered:
+        vendor = non_x86 if vendor == "Other" else vendor
+
+    # Family / class ----------------------------------------------------------
+    family = "Unknown"
+    cpu_class = "unknown"
+    for marker, family_name in _SERVER_FAMILIES.items():
+        if marker in lowered:
+            family = family_name
+            cpu_class = "server"
+            break
+    if cpu_class == "unknown":
+        if non_x86 is not None:
+            family, cpu_class = "NonX86", "non_x86"
+        elif any(marker in lowered for marker in _DESKTOP_MARKERS):
+            family, cpu_class = "Desktop", "desktop"
+        elif vendor in ("Intel", "AMD"):
+            family, cpu_class = "Unknown", "unknown"
+        else:
+            family, cpu_class = "NonX86", "non_x86"
+
+    # Model token / ambiguity ------------------------------------------------
+    tokens = _MODEL_TOKEN_RE.findall(raw)
+    # Frequency-looking tokens ("2.25GHz") and register widths do not identify
+    # a model.
+    model_tokens = [
+        token for token in tokens
+        if not token.lower().endswith("ghz") and not token.lower().endswith("mhz")
+    ]
+    model_token = model_tokens[-1] if model_tokens else None
+    is_ambiguous = model_token is None
+    if cpu_class == "unknown" and vendor in ("Intel", "AMD") and is_ambiguous:
+        # "Intel Processor" / "AMD Processor": vendor known, nothing else.
+        family = "Unknown"
+    return CPUInfo(raw, vendor, family, cpu_class, model_token, is_ambiguous)

@@ -1,0 +1,210 @@
+"""Parser for SPEC-style plain-text result reports.
+
+The parser is deliberately forgiving: real-world result files contain
+hand-edited fields, so every field is extracted independently and missing
+or malformed values become ``None`` in the record — the decision whether a
+run is usable is made later by :mod:`repro.parser.validation`, mirroring
+the paper's two-stage "parse then check consistency" approach.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+from ..errors import ParseError
+from ..units import parse_month_date, parse_number
+from .cpuinfo import classify_cpu
+from .fields import LOAD_LEVELS, RunRecord
+
+__all__ = ["ParsedRun", "parse_result_text", "parse_result_file"]
+
+_HEADER_MARKER = "SPECpower_ssj2008"
+
+_KEY_VALUE_RE = re.compile(r"^\s{0,8}([A-Za-z][A-Za-z0-9 ()#/.\-]*?):\s*(.*)$")
+
+_LEVEL_ROW_RE = re.compile(
+    r"^\s*(\d{1,3})%\s*\|\s*([\d.,]*)%?\s*\|\s*([\d.,]+)\s*\|\s*([\d.,]+)\s*\|"
+)
+_IDLE_ROW_RE = re.compile(
+    r"^\s*Active\s+Idle\s*\|\s*\|?\s*([\d.,]*)\s*\|\s*([\d.,]+)\s*\|"
+)
+_OVERALL_RE = re.compile(r"ssj_ops\s*/\s*[∑Σ]?\s*power\s*=\s*([\d.,]+)")
+_ENABLED_RE = re.compile(
+    r"([\d,]+)\s*cores?,\s*([\d,]+)\s*chips?,\s*([\d,]+)\s*cores?/chip", re.IGNORECASE
+)
+_THREADS_RE = re.compile(r"([\d,]+)\s*\(\s*([\d,]+)\s*/\s*core\s*\)")
+
+
+@dataclass
+class ParsedRun:
+    """Raw parse output: the record plus anything noteworthy found on the way."""
+
+    record: RunRecord
+    warnings: list[str]
+    raw_fields: dict[str, str]
+
+
+def _classify_os(os_name: str | None) -> str | None:
+    if not os_name:
+        return None
+    lowered = os_name.lower()
+    if "windows" in lowered:
+        return "Windows"
+    if any(marker in lowered for marker in ("linux", "suse", "red hat", "ubuntu", "centos")):
+        return "Linux"
+    return "Other"
+
+
+def _set_date(record: RunRecord, prefix: str, raw: str, warnings: list[str]) -> None:
+    try:
+        date = parse_month_date(raw)
+    except ParseError as exc:
+        warnings.append(f"{prefix}: {exc}")
+        return
+    setattr(record, f"{prefix}_year", date.year)
+    setattr(record, f"{prefix}_month", date.month)
+    if prefix == "hw_avail":
+        record.hw_avail_decimal = date.decimal_year
+
+
+def parse_result_text(text: str, file_name: str = "<memory>") -> ParsedRun:
+    """Parse one report's text into a :class:`ParsedRun`.
+
+    Raises :class:`ParseError` only when the text is not a SPEC Power report
+    at all; field-level problems are downgraded to warnings / missing values.
+    """
+    if _HEADER_MARKER not in text.split("\n", 1)[0]:
+        raise ParseError("not a SPECpower_ssj2008 report", path=file_name, line=1)
+
+    record = RunRecord(file_name=file_name, run_id=os.path.splitext(os.path.basename(file_name))[0])
+    warnings: list[str] = []
+    raw_fields: dict[str, str] = {}
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        # Results-table rows first: they also contain ':'-free pipes.
+        level_match = _LEVEL_ROW_RE.match(line)
+        if level_match:
+            level = int(level_match.group(1))
+            if level in LOAD_LEVELS:
+                try:
+                    if level_match.group(2):
+                        record.set_level("actual_load", level, parse_number(level_match.group(2)) / 100.0)
+                    record.set_level("ssj_ops", level, parse_number(level_match.group(3)))
+                    record.set_level("power", level, parse_number(level_match.group(4)))
+                except ParseError as exc:
+                    warnings.append(f"line {line_number}: {exc}")
+            continue
+        idle_match = _IDLE_ROW_RE.match(line)
+        if idle_match:
+            try:
+                record.power_idle = parse_number(idle_match.group(2))
+            except ParseError as exc:
+                warnings.append(f"line {line_number}: {exc}")
+            continue
+        overall_match = _OVERALL_RE.search(line)
+        if overall_match:
+            try:
+                record.overall_ssj_ops_per_watt = parse_number(overall_match.group(1))
+            except ParseError as exc:
+                warnings.append(f"line {line_number}: {exc}")
+            continue
+        if "NON-COMPLIANT" in line.upper():
+            record.accepted = False
+            continue
+
+        key_value = _KEY_VALUE_RE.match(line)
+        if not key_value:
+            continue
+        key = key_value.group(1).strip().lower()
+        value = key_value.group(2).strip()
+        if not value:
+            continue
+        raw_fields[key] = value
+
+        if key == "hardware availability":
+            _set_date(record, "hw_avail", value, warnings)
+        elif key == "software availability":
+            _set_date(record, "sw_avail", value, warnings)
+        elif key == "test date":
+            _set_date(record, "test", value, warnings)
+        elif key == "publication date":
+            _set_date(record, "publication", value, warnings)
+        elif key == "hardware vendor":
+            record.system_vendor = value
+        elif key == "model":
+            record.system_model = value
+        elif key == "number of nodes":
+            try:
+                record.nodes = int(parse_number(value))
+            except ParseError as exc:
+                warnings.append(f"nodes: {exc}")
+        elif key == "chips per node":
+            try:
+                record.sockets_per_node = int(parse_number(value))
+            except ParseError as exc:
+                warnings.append(f"chips per node: {exc}")
+        elif key == "cpu name":
+            record.cpu_name = value
+        elif key == "cpu frequency (mhz)":
+            try:
+                record.cpu_frequency_mhz = parse_number(value)
+            except ParseError as exc:
+                warnings.append(f"cpu frequency: {exc}")
+        elif key == "cpu(s) enabled":
+            enabled = _ENABLED_RE.search(value)
+            if enabled:
+                record.cores_total = int(parse_number(enabled.group(1)))
+                record.total_chips = int(parse_number(enabled.group(2)))
+                record.cores_per_chip = int(parse_number(enabled.group(3)))
+            else:
+                warnings.append(f"unparseable 'CPU(s) Enabled': {value!r}")
+        elif key == "hardware threads":
+            threads = _THREADS_RE.search(value)
+            if threads:
+                record.threads_total = int(parse_number(threads.group(1)))
+                record.threads_per_core = int(parse_number(threads.group(2)))
+            else:
+                warnings.append(f"unparseable 'Hardware Threads': {value!r}")
+        elif key == "memory amount (gb)":
+            try:
+                record.memory_gb = parse_number(value)
+            except ParseError as exc:
+                warnings.append(f"memory: {exc}")
+        elif key == "power supply rating (w)":
+            try:
+                record.psu_rating_w = parse_number(value)
+            except ParseError as exc:
+                warnings.append(f"psu: {exc}")
+        elif key == "operating system (os)":
+            record.os_name = value
+            record.os_family = _classify_os(value)
+        elif key == "jvm version":
+            record.jvm = value
+        elif key == "valid run":
+            record.accepted = value.strip().lower().startswith("y")
+        elif key == "cpu vendor":
+            # Keep the report's own vendor statement; classification below may
+            # refine it from the CPU name.
+            record.cpu_vendor = value
+
+    # CPU classification from the name (overrides a missing/odd vendor field).
+    info = classify_cpu(record.cpu_name)
+    if record.cpu_vendor is None or info.vendor != "Other":
+        record.cpu_vendor = info.vendor
+    record.cpu_family = info.family
+    record.cpu_class = info.cpu_class
+
+    return ParsedRun(record=record, warnings=warnings, raw_fields=raw_fields)
+
+
+def parse_result_file(path: str | os.PathLike) -> ParsedRun:
+    """Parse a report file from disk."""
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ParseError(f"cannot read report: {exc}", path=path) from exc
+    return parse_result_text(text, file_name=os.path.basename(path))

@@ -1,0 +1,47 @@
+"""Chart rendering without matplotlib.
+
+The paper's six figures are scatter/line/box/stacked-area charts over
+hardware availability date.  This package renders equivalent charts to SVG
+files (publication-style output) and to ASCII (terminal preview), using only
+the standard library and NumPy.
+
+Layers
+------
+* :mod:`repro.plotting.scale` — linear scales, tick generation, axis layout,
+* :mod:`repro.plotting.svg` — a minimal SVG document builder,
+* :mod:`repro.plotting.charts` — the chart types used by the figures
+  (scatter, line, box-distribution, stacked area / share chart, bar),
+* :mod:`repro.plotting.ascii` — terminal rendering of scatter data for quick
+  inspection in examples and CLI output.
+"""
+
+from .scale import LinearScale, nice_ticks, Extent
+from .svg import SVGDocument
+from .charts import (
+    ChartTheme,
+    Series,
+    BoxSeries,
+    ScatterChart,
+    LineChart,
+    BoxChart,
+    StackedAreaChart,
+    BarChart,
+)
+from .ascii import ascii_scatter, ascii_histogram
+
+__all__ = [
+    "LinearScale",
+    "nice_ticks",
+    "Extent",
+    "SVGDocument",
+    "ChartTheme",
+    "Series",
+    "BoxSeries",
+    "ScatterChart",
+    "LineChart",
+    "BoxChart",
+    "StackedAreaChart",
+    "BarChart",
+    "ascii_scatter",
+    "ascii_histogram",
+]

@@ -1,0 +1,77 @@
+"""ASCII rendering of scatter data and histograms for terminal output."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..errors import PlotError
+from ..stats.distribution import Histogram
+from .scale import Extent, LinearScale
+
+__all__ = ["ascii_scatter", "ascii_histogram"]
+
+
+def _finite_pairs(x: Iterable[float], y: Iterable[float]) -> list[tuple[float, float]]:
+    pairs = []
+    for xv, yv in zip(x, y):
+        if xv is None or yv is None:
+            continue
+        xf, yf = float(xv), float(yv)
+        if math.isfinite(xf) and math.isfinite(yf):
+            pairs.append((xf, yf))
+    return pairs
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 72,
+    height: int = 20,
+    marker: str = "o",
+    title: str = "",
+) -> str:
+    """Render points as a fixed-size character grid with simple axes."""
+    if width < 10 or height < 5:
+        raise PlotError("ascii_scatter needs width >= 10 and height >= 5")
+    pairs = _finite_pairs(x, y)
+    if not pairs:
+        return (title + "\n" if title else "") + "(no data)"
+    xs = LinearScale(Extent.of([p[0] for p in pairs]).expanded(0.02), 0, width - 1)
+    ys = LinearScale(Extent.of([p[1] for p in pairs]).expanded(0.02), height - 1, 0)
+    grid = [[" "] * width for _ in range(height)]
+    for px, py in pairs:
+        column = int(round(xs(px)))
+        row = int(round(ys(py)))
+        if 0 <= row < height and 0 <= column < width:
+            grid[row][column] = marker
+
+    y_low, y_high = ys.domain.low, ys.domain.high
+    x_low, x_high = xs.domain.low, xs.domain.high
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = f"{y_high:10.3g} |"
+        elif index == height - 1:
+            label = f"{y_low:10.3g} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{x_low:<10.6g}" + " " * max(width - 22, 1) + f"{x_high:>10.6g}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(hist: Histogram, width: int = 50, title: str = "") -> str:
+    """Render a histogram as horizontal bars."""
+    lines = []
+    if title:
+        lines.append(title)
+    max_count = max(hist.counts) if hist.counts else 0
+    for i, count in enumerate(hist.counts):
+        low, high = hist.edges[i], hist.edges[i + 1]
+        bar_length = 0 if max_count == 0 else int(round(count / max_count * width))
+        lines.append(f"[{low:10.3g}, {high:10.3g}) {'#' * bar_length} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,440 @@
+"""Chart types used by the paper's figures.
+
+Every chart follows the same pattern: configure data series, call
+:meth:`render` to obtain an :class:`repro.plotting.svg.SVGDocument`, or
+:meth:`save` to write the SVG file directly.  Charts are deliberately
+stateless value objects so they are easy to test (the tests inspect the SVG
+text for expected elements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import PlotError
+from ..stats.distribution import BoxStats
+from .scale import Extent, LinearScale
+from .svg import SVGDocument
+
+__all__ = [
+    "ChartTheme",
+    "Series",
+    "BoxSeries",
+    "ScatterChart",
+    "LineChart",
+    "BoxChart",
+    "StackedAreaChart",
+    "BarChart",
+]
+
+#: Default qualitative palette (vendor colours loosely follow the paper:
+#: AMD in reds/oranges, Intel in blues).
+_PALETTE = (
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+)
+
+
+@dataclass(frozen=True)
+class ChartTheme:
+    """Sizing and styling shared by all charts."""
+
+    width: float = 760.0
+    height: float = 460.0
+    margin_left: float = 80.0
+    margin_right: float = 30.0
+    margin_top: float = 50.0
+    margin_bottom: float = 70.0
+    font_size: float = 13.0
+    grid_color: str = "#dddddd"
+    axis_color: str = "#333333"
+    palette: tuple[str, ...] = _PALETTE
+
+    @property
+    def plot_left(self) -> float:
+        return self.margin_left
+
+    @property
+    def plot_right(self) -> float:
+        return self.width - self.margin_right
+
+    @property
+    def plot_top(self) -> float:
+        return self.margin_top
+
+    @property
+    def plot_bottom(self) -> float:
+        return self.height - self.margin_bottom
+
+    def color(self, index: int) -> str:
+        return self.palette[index % len(self.palette)]
+
+
+@dataclass
+class Series:
+    """A named (x, y) point series with an optional marker/colour override."""
+
+    name: str
+    x: Sequence[float]
+    y: Sequence[float]
+    color: str | None = None
+    marker: str = "circle"  # "circle" or "square"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise PlotError(
+                f"series {self.name!r}: x has {len(self.x)} points, y has {len(self.y)}"
+            )
+
+    def finite_points(self) -> list[tuple[float, float]]:
+        points = []
+        for xv, yv in zip(self.x, self.y):
+            if xv is None or yv is None:
+                continue
+            xf, yf = float(xv), float(yv)
+            if xf != xf or yf != yf:  # NaN
+                continue
+            points.append((xf, yf))
+        return points
+
+
+@dataclass
+class BoxSeries:
+    """A named series of box-plot statistics positioned along x."""
+
+    name: str
+    x: Sequence[float]
+    boxes: Sequence[BoxStats]
+    color: str | None = None
+    width: float = 0.35
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.boxes):
+            raise PlotError(
+                f"box series {self.name!r}: {len(self.x)} positions vs {len(self.boxes)} boxes"
+            )
+
+
+class _BaseChart:
+    """Shared axis/legend rendering."""
+
+    def __init__(self, title: str = "", x_label: str = "", y_label: str = "",
+                 theme: ChartTheme | None = None):
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.theme = theme or ChartTheme()
+
+    # Subclasses fill these in.
+    def _x_extent(self) -> Extent:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _y_extent(self) -> Extent:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _draw_data(self, doc: SVGDocument, xs: LinearScale, ys: LinearScale) -> None:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _legend_entries(self) -> list[tuple[str, str]]:
+        return []
+
+    def _scales(self) -> tuple[LinearScale, LinearScale]:
+        theme = self.theme
+        xs = LinearScale(self._x_extent().expanded(), theme.plot_left, theme.plot_right)
+        ys = LinearScale(self._y_extent().expanded(), theme.plot_bottom, theme.plot_top)
+        return xs, ys
+
+    def render(self) -> SVGDocument:
+        theme = self.theme
+        doc = SVGDocument(theme.width, theme.height)
+        xs, ys = self._scales()
+
+        # Grid and ticks.
+        for tick in xs.ticks():
+            px = xs(tick)
+            doc.line(px, theme.plot_top, px, theme.plot_bottom,
+                     stroke=theme.grid_color, stroke_width=1)
+            doc.text(px, theme.plot_bottom + 20, _format_tick(tick),
+                     size=theme.font_size, anchor="middle", fill=theme.axis_color)
+        for tick in ys.ticks():
+            py = ys(tick)
+            doc.line(theme.plot_left, py, theme.plot_right, py,
+                     stroke=theme.grid_color, stroke_width=1)
+            doc.text(theme.plot_left - 8, py + 4, _format_tick(tick),
+                     size=theme.font_size, anchor="end", fill=theme.axis_color)
+
+        # Axes frame.
+        doc.line(theme.plot_left, theme.plot_bottom, theme.plot_right, theme.plot_bottom,
+                 stroke=theme.axis_color, stroke_width=1.5)
+        doc.line(theme.plot_left, theme.plot_top, theme.plot_left, theme.plot_bottom,
+                 stroke=theme.axis_color, stroke_width=1.5)
+
+        # Labels and title.
+        if self.title:
+            doc.text(theme.width / 2, theme.margin_top / 2 + 6, self.title,
+                     size=theme.font_size + 3, anchor="middle", fill=theme.axis_color,
+                     font_weight="bold")
+        if self.x_label:
+            doc.text((theme.plot_left + theme.plot_right) / 2, theme.height - 18,
+                     self.x_label, size=theme.font_size, anchor="middle",
+                     fill=theme.axis_color)
+        if self.y_label:
+            doc.text(22, (theme.plot_top + theme.plot_bottom) / 2, self.y_label,
+                     size=theme.font_size, anchor="middle", fill=theme.axis_color,
+                     rotate=-90)
+
+        self._draw_data(doc, xs, ys)
+        self._draw_legend(doc)
+        return doc
+
+    def _draw_legend(self, doc: SVGDocument) -> None:
+        entries = self._legend_entries()
+        if not entries:
+            return
+        theme = self.theme
+        x = theme.plot_left + 10
+        y = theme.plot_top + 8
+        for index, (label, color) in enumerate(entries):
+            doc.rect(x, y + index * 18 - 8, 12, 12, fill=color, stroke="none")
+            doc.text(x + 18, y + index * 18 + 2, label, size=theme.font_size - 1,
+                     fill=theme.axis_color)
+
+    def save(self, path) -> None:
+        """Render and write the SVG file."""
+        self.render().save(path)
+
+
+def _format_tick(value: float) -> str:
+    if abs(value) >= 10000:
+        return f"{value:,.0f}"
+    if float(value).is_integer():
+        return f"{int(value)}"
+    return f"{value:g}"
+
+
+class ScatterChart(_BaseChart):
+    """Scatter plot of one or more point series (Figures 2, 3, 5, 6)."""
+
+    def __init__(self, series: Sequence[Series], point_radius: float = 3.0, **kwargs):
+        super().__init__(**kwargs)
+        if not series:
+            raise PlotError("ScatterChart requires at least one series")
+        self.series = list(series)
+        self.point_radius = point_radius
+
+    def _all_points(self) -> list[tuple[float, float]]:
+        points: list[tuple[float, float]] = []
+        for series in self.series:
+            points.extend(series.finite_points())
+        if not points:
+            raise PlotError("no finite points to plot")
+        return points
+
+    def _x_extent(self) -> Extent:
+        return Extent.of([p[0] for p in self._all_points()])
+
+    def _y_extent(self) -> Extent:
+        return Extent.of([p[1] for p in self._all_points()]).include(0.0)
+
+    def _legend_entries(self) -> list[tuple[str, str]]:
+        return [
+            (series.name, series.color or self.theme.color(index))
+            for index, series in enumerate(self.series)
+        ]
+
+    def _draw_data(self, doc: SVGDocument, xs: LinearScale, ys: LinearScale) -> None:
+        for index, series in enumerate(self.series):
+            color = series.color or self.theme.color(index)
+            for x, y in series.finite_points():
+                px, py = xs(x), ys(y)
+                if series.marker == "square":
+                    size = self.point_radius * 2
+                    doc.rect(px - size / 2, py - size / 2, size, size,
+                             fill=color, fill_opacity=0.65, stroke="none")
+                else:
+                    doc.circle(px, py, self.point_radius, fill=color,
+                               fill_opacity=0.65, stroke="none")
+
+
+class LineChart(ScatterChart):
+    """Line chart (used for yearly-mean trend overlays)."""
+
+    def _draw_data(self, doc: SVGDocument, xs: LinearScale, ys: LinearScale) -> None:
+        for index, series in enumerate(self.series):
+            color = series.color or self.theme.color(index)
+            points = [(xs(x), ys(y)) for x, y in series.finite_points()]
+            if len(points) >= 2:
+                doc.polyline(points, stroke=color, stroke_width=2)
+            for px, py in points:
+                doc.circle(px, py, self.point_radius, fill=color, stroke="none")
+
+
+class BoxChart(_BaseChart):
+    """Distribution chart of box statistics per x position (Figure 4)."""
+
+    def __init__(self, series: Sequence[BoxSeries], reference_line: float | None = None,
+                 **kwargs):
+        super().__init__(**kwargs)
+        if not series:
+            raise PlotError("BoxChart requires at least one series")
+        self.series = list(series)
+        self.reference_line = reference_line
+
+    def _x_extent(self) -> Extent:
+        xs = [float(x) for s in self.series for x in s.x]
+        if not xs:
+            raise PlotError("no box positions to plot")
+        return Extent(min(xs) - 1, max(xs) + 1)
+
+    def _y_extent(self) -> Extent:
+        lows, highs = [], []
+        for s in self.series:
+            for box in s.boxes:
+                if box.count > 0:
+                    lows.append(box.whisker_low)
+                    highs.append(box.whisker_high)
+        if not lows:
+            raise PlotError("no non-empty boxes to plot")
+        extent = Extent(min(lows), max(highs))
+        if self.reference_line is not None:
+            extent = extent.include(self.reference_line)
+        return extent
+
+    def _legend_entries(self) -> list[tuple[str, str]]:
+        return [
+            (series.name, series.color or self.theme.color(index))
+            for index, series in enumerate(self.series)
+        ]
+
+    def _draw_data(self, doc: SVGDocument, xs: LinearScale, ys: LinearScale) -> None:
+        count = len(self.series)
+        if self.reference_line is not None:
+            py = ys(self.reference_line)
+            doc.line(self.theme.plot_left, py, self.theme.plot_right, py,
+                     stroke="#555555", stroke_width=1.2, stroke_dasharray="6,4")
+        for index, series in enumerate(self.series):
+            color = series.color or self.theme.color(index)
+            # Offset multiple series side by side within one x slot.
+            offset = (index - (count - 1) / 2.0) * series.width
+            for x, box in zip(series.x, series.boxes):
+                if box.count == 0:
+                    continue
+                center = xs(float(x) + offset)
+                half = abs(xs(float(x) + series.width / 2) - xs(float(x))) * 0.8
+                top, bottom = ys(box.q75), ys(box.q25)
+                doc.rect(center - half, min(top, bottom), 2 * half, abs(bottom - top),
+                         fill=color, fill_opacity=0.55, stroke=color)
+                median_y = ys(box.median)
+                doc.line(center - half, median_y, center + half, median_y,
+                         stroke="#000000", stroke_width=1.4)
+                doc.line(center, ys(box.whisker_low), center, min(top, bottom) + abs(bottom - top),
+                         stroke=color, stroke_width=1)
+                doc.line(center, max(top, bottom) - abs(bottom - top), center, ys(box.whisker_high),
+                         stroke=color, stroke_width=1)
+                for outlier in box.outliers:
+                    doc.circle(center, ys(outlier), 1.5, fill=color, fill_opacity=0.8,
+                               stroke="none")
+
+
+class StackedAreaChart(_BaseChart):
+    """Share-over-time chart (Figure 1's fraction panels).
+
+    Each series holds per-x fractional values; values are stacked in series
+    order and normalised to 100 %.
+    """
+
+    def __init__(self, x: Sequence[float], series: Sequence[Series], normalize: bool = True,
+                 **kwargs):
+        super().__init__(**kwargs)
+        if not series:
+            raise PlotError("StackedAreaChart requires at least one series")
+        self.x = [float(v) for v in x]
+        for s in series:
+            if len(s.y) != len(self.x):
+                raise PlotError(
+                    f"series {s.name!r} has {len(s.y)} values for {len(self.x)} x positions"
+                )
+        self.series = list(series)
+        self.normalize = normalize
+
+    def _x_extent(self) -> Extent:
+        return Extent.of(self.x)
+
+    def _y_extent(self) -> Extent:
+        if self.normalize:
+            return Extent(0.0, 100.0)
+        totals = [
+            sum(float(s.y[i]) if s.y[i] is not None else 0.0 for s in self.series)
+            for i in range(len(self.x))
+        ]
+        return Extent(0.0, max(totals) if totals else 1.0)
+
+    def _legend_entries(self) -> list[tuple[str, str]]:
+        return [
+            (series.name, series.color or self.theme.color(index))
+            for index, series in enumerate(self.series)
+        ]
+
+    def _stacked(self) -> list[list[float]]:
+        """Cumulative stacked values per series (after optional normalisation)."""
+        raw = [
+            [float(v) if v is not None else 0.0 for v in series.y]
+            for series in self.series
+        ]
+        if self.normalize:
+            for i in range(len(self.x)):
+                total = sum(values[i] for values in raw)
+                if total > 0:
+                    for values in raw:
+                        values[i] = values[i] / total * 100.0
+        stacked = []
+        running = [0.0] * len(self.x)
+        for values in raw:
+            running = [a + b for a, b in zip(running, values)]
+            stacked.append(list(running))
+        return stacked
+
+    def _draw_data(self, doc: SVGDocument, xs: LinearScale, ys: LinearScale) -> None:
+        stacked = self._stacked()
+        previous = [0.0] * len(self.x)
+        for index, (series, upper) in enumerate(zip(self.series, stacked)):
+            color = series.color or self.theme.color(index)
+            top_points = [(xs(x), ys(y)) for x, y in zip(self.x, upper)]
+            bottom_points = [(xs(x), ys(y)) for x, y in zip(self.x, previous)]
+            polygon = top_points + bottom_points[::-1]
+            if len(polygon) >= 3:
+                doc.polygon(polygon, fill=color, fill_opacity=0.75, stroke="none")
+            previous = upper
+
+
+class BarChart(_BaseChart):
+    """Vertical bar chart (Figure 1's submissions-per-year panel)."""
+
+    def __init__(self, x: Sequence[float], heights: Sequence[float], bar_width: float = 0.8,
+                 color: str | None = None, **kwargs):
+        super().__init__(**kwargs)
+        if len(x) != len(heights):
+            raise PlotError("x and heights must have the same length")
+        if not x:
+            raise PlotError("BarChart requires at least one bar")
+        self.x = [float(v) for v in x]
+        self.heights = [float(v) if v is not None else 0.0 for v in heights]
+        self.bar_width = bar_width
+        self.color = color
+
+    def _x_extent(self) -> Extent:
+        return Extent(min(self.x) - 1, max(self.x) + 1)
+
+    def _y_extent(self) -> Extent:
+        return Extent(0.0, max(self.heights) if self.heights else 1.0)
+
+    def _draw_data(self, doc: SVGDocument, xs: LinearScale, ys: LinearScale) -> None:
+        color = self.color or self.theme.color(0)
+        zero = ys(0.0)
+        for x, height in zip(self.x, self.heights):
+            left = xs(x - self.bar_width / 2)
+            right = xs(x + self.bar_width / 2)
+            top = ys(height)
+            doc.rect(left, min(top, zero), right - left, abs(zero - top),
+                     fill=color, fill_opacity=0.85, stroke="none")

@@ -1,0 +1,104 @@
+"""Axis scales and tick generation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import PlotError
+
+__all__ = ["Extent", "LinearScale", "nice_ticks"]
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A closed numeric interval used as a data domain."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.low) or not math.isfinite(self.high):
+            raise PlotError(f"extent bounds must be finite, got {self.low}..{self.high}")
+        if self.high < self.low:
+            raise PlotError(f"extent high < low: {self.low}..{self.high}")
+
+    @property
+    def span(self) -> float:
+        return self.high - self.low
+
+    def expanded(self, fraction: float = 0.05) -> "Extent":
+        """Expand both ends by ``fraction`` of the span (for plot padding)."""
+        if self.span == 0:
+            pad = max(abs(self.low) * fraction, 1.0)
+        else:
+            pad = self.span * fraction
+        return Extent(self.low - pad, self.high + pad)
+
+    def include(self, value: float) -> "Extent":
+        """Extent widened to contain ``value``."""
+        return Extent(min(self.low, value), max(self.high, value))
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Extent":
+        """Extent of the finite values in ``values``."""
+        finite = [float(v) for v in values if v is not None and math.isfinite(float(v))]
+        if not finite:
+            raise PlotError("cannot compute the extent of an empty/NaN-only sequence")
+        return cls(min(finite), max(finite))
+
+
+def nice_ticks(extent: Extent, target_count: int = 6) -> list[float]:
+    """Generate "nice" tick positions (1/2/5 x 10^k spacing) covering ``extent``."""
+    if target_count < 2:
+        raise PlotError("target_count must be >= 2")
+    span = extent.span
+    if span == 0:
+        return [extent.low]
+    raw_step = span / (target_count - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    residual = raw_step / magnitude
+    if residual <= 1.0:
+        step = magnitude
+    elif residual <= 2.0:
+        step = 2 * magnitude
+    elif residual <= 5.0:
+        step = 5 * magnitude
+    else:
+        step = 10 * magnitude
+    first = math.ceil(extent.low / step) * step
+    ticks = []
+    value = first
+    while value <= extent.high + 1e-9 * step:
+        # Snap to a clean representation to avoid 0.30000000000000004 labels.
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+@dataclass(frozen=True)
+class LinearScale:
+    """Affine mapping from a data domain to an output pixel range."""
+
+    domain: Extent
+    range_low: float
+    range_high: float
+
+    def __call__(self, value: float) -> float:
+        span = self.domain.span
+        if span == 0:
+            return (self.range_low + self.range_high) / 2.0
+        fraction = (value - self.domain.low) / span
+        return self.range_low + fraction * (self.range_high - self.range_low)
+
+    def invert(self, position: float) -> float:
+        """Map an output position back to the data domain."""
+        range_span = self.range_high - self.range_low
+        if range_span == 0:
+            return self.domain.low
+        fraction = (position - self.range_low) / range_span
+        return self.domain.low + fraction * self.domain.span
+
+    def ticks(self, target_count: int = 6) -> list[float]:
+        return nice_ticks(self.domain, target_count)

@@ -1,0 +1,126 @@
+"""A minimal SVG document builder.
+
+Only the primitives the chart layer needs are implemented: rectangles,
+lines, polylines, polygons, circles and text, plus grouping.  Output is a
+standalone ``.svg`` file viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+from xml.sax.saxutils import escape, quoteattr
+
+from ..errors import PlotError
+
+__all__ = ["SVGDocument"]
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting for SVG coordinates."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+class SVGDocument:
+    """Accumulates SVG elements and serialises them to text."""
+
+    def __init__(self, width: float, height: float, background: str | None = "#ffffff"):
+        if width <= 0 or height <= 0:
+            raise PlotError("SVG dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # ------------------------------------------------------------------ #
+    def _attrs(self, **attributes) -> str:
+        parts = []
+        for key, value in attributes.items():
+            if value is None:
+                continue
+            name = key.replace("_", "-")
+            parts.append(f"{name}={quoteattr(str(value))}")
+        return " ".join(parts)
+
+    def raw(self, element: str) -> None:
+        """Append a raw SVG element string (escape hatch for tests)."""
+        self._elements.append(element)
+
+    def rect(self, x: float, y: float, width: float, height: float, **attrs) -> None:
+        self._elements.append(
+            f"<rect x={quoteattr(_fmt(x))} y={quoteattr(_fmt(y))} "
+            f"width={quoteattr(_fmt(width))} height={quoteattr(_fmt(height))} "
+            f"{self._attrs(**attrs)} />"
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, **attrs) -> None:
+        self._elements.append(
+            f"<line x1={quoteattr(_fmt(x1))} y1={quoteattr(_fmt(y1))} "
+            f"x2={quoteattr(_fmt(x2))} y2={quoteattr(_fmt(y2))} {self._attrs(**attrs)} />"
+        )
+
+    def circle(self, cx: float, cy: float, r: float, **attrs) -> None:
+        self._elements.append(
+            f"<circle cx={quoteattr(_fmt(cx))} cy={quoteattr(_fmt(cy))} "
+            f"r={quoteattr(_fmt(r))} {self._attrs(**attrs)} />"
+        )
+
+    def _points(self, points: Sequence[tuple[float, float]]) -> str:
+        return " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+
+    def polyline(self, points: Sequence[tuple[float, float]], **attrs) -> None:
+        if len(points) < 2:
+            raise PlotError("polyline requires at least two points")
+        self._elements.append(
+            f"<polyline points={quoteattr(self._points(points))} {self._attrs(fill='none', **attrs)} />"
+        )
+
+    def polygon(self, points: Sequence[tuple[float, float]], **attrs) -> None:
+        if len(points) < 3:
+            raise PlotError("polygon requires at least three points")
+        self._elements.append(
+            f"<polygon points={quoteattr(self._points(points))} {self._attrs(**attrs)} />"
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: float = 12,
+        anchor: str = "start",
+        rotate: float | None = None,
+        **attrs,
+    ) -> None:
+        transform = None
+        if rotate is not None:
+            transform = f"rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"
+        self._elements.append(
+            f"<text x={quoteattr(_fmt(x))} y={quoteattr(_fmt(y))} "
+            f"font-size={quoteattr(_fmt(size))} text-anchor={quoteattr(anchor)} "
+            f"font-family=\"Helvetica, Arial, sans-serif\" "
+            f"{self._attrs(transform=transform, **attrs)}>{escape(content)}</text>"
+        )
+
+    def group_start(self, **attrs) -> None:
+        self._elements.append(f"<g {self._attrs(**attrs)}>")
+
+    def group_end(self) -> None:
+        self._elements.append("</g>")
+
+    # ------------------------------------------------------------------ #
+    def to_string(self) -> str:
+        header = (
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+            f"<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{_fmt(self.width)}\" "
+            f"height=\"{_fmt(self.height)}\" viewBox=\"0 0 {_fmt(self.width)} {_fmt(self.height)}\">"
+        )
+        return header + "\n" + "\n".join(self._elements) + "\n</svg>\n"
+
+    def save(self, path: str | os.PathLike) -> None:
+        directory = os.path.dirname(os.fspath(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_string())

@@ -1,0 +1,41 @@
+"""Server power and performance models.
+
+The paper analyses measurements of real servers; here those servers are
+modelled.  A :class:`~repro.powermodel.server.ServerPowerModel` combines
+
+* a :class:`~repro.powermodel.cpu.CPUSpec` (from :mod:`repro.market.catalog`),
+* a :class:`~repro.powermodel.dvfs.DVFSModel` for frequency/voltage scaling
+  at partial load,
+* a :class:`~repro.powermodel.cstates.CoreCStateModel` and
+  :class:`~repro.powermodel.cstates.PackageCStateModel` for idle power
+  management (the Section IV mechanisms),
+* a :class:`~repro.powermodel.turbo.TurboModel` for opportunistic frequency
+  boost and its power premium at high load,
+* a :class:`~repro.powermodel.platform.PlatformModel` for memory, storage,
+  fans and PSU conversion losses,
+
+into wall power and throughput as functions of the SPEC Power target load.
+"""
+
+from .cpu import CPUSpec, GenerationProfile, CPUFamily, Vendor
+from .dvfs import DVFSModel
+from .cstates import CoreCStateModel, PackageCStateModel
+from .turbo import TurboModel
+from .platform import PlatformModel, PSUEfficiencyCurve
+from .server import ServerConfiguration, ServerPowerModel, LoadPoint
+
+__all__ = [
+    "CPUSpec",
+    "GenerationProfile",
+    "CPUFamily",
+    "Vendor",
+    "DVFSModel",
+    "CoreCStateModel",
+    "PackageCStateModel",
+    "TurboModel",
+    "PlatformModel",
+    "PSUEfficiencyCurve",
+    "ServerConfiguration",
+    "ServerPowerModel",
+    "LoadPoint",
+]

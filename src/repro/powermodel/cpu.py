@@ -1,0 +1,196 @@
+"""CPU specifications and per-generation efficiency profiles.
+
+A :class:`CPUSpec` captures the externally documented properties of a server
+processor (cores, frequency, TDP, availability date) plus two calibrated
+quantities used by the models:
+
+* ``ssj_ops_per_socket`` — full-load SSJ throughput of one socket, loosely
+  calibrated against published SPECpower_ssj2008 results for the
+  corresponding real processor generation, and
+* a :class:`GenerationProfile` describing how power scales with load for
+  that generation (static fraction, DVFS effectiveness, turbo premium,
+  package-C-state idle quotient).
+
+The profiles are the knobs that make the synthetic fleet reproduce the
+paper's trend shapes; DESIGN.md section 5 lists the calibration targets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from ..errors import ModelError
+from ..units import MonthDate
+
+__all__ = ["Vendor", "CPUFamily", "GenerationProfile", "CPUSpec"]
+
+
+class Vendor(str, enum.Enum):
+    """CPU vendor as reported in SPEC result files."""
+
+    INTEL = "Intel"
+    AMD = "AMD"
+    OTHER = "Other"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class CPUFamily(str, enum.Enum):
+    """Marketing family; the paper keeps only server/workstation families."""
+
+    XEON = "Xeon"
+    OPTERON = "Opteron"
+    EPYC = "EPYC"
+    DESKTOP = "Desktop"       # e.g. Core i7 / Pentium — filtered by the paper
+    NON_X86 = "NonX86"        # e.g. POWER / SPARC / ARM — filtered by the paper
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_server_x86(self) -> bool:
+        return self in (CPUFamily.XEON, CPUFamily.OPTERON, CPUFamily.EPYC)
+
+
+@dataclass(frozen=True)
+class GenerationProfile:
+    """Load/power behaviour of a processor generation.
+
+    The node power at SPEC target load ``u`` (0..1), relative to full-load
+    power, is modelled as::
+
+        rel(u) = static + linear * d(u) + quad * d(u)**2 + turbo * u**8
+
+    where ``d(u)`` is the DVFS-adjusted activity factor and the four
+    coefficients sum to 1 at ``u = 1``.  ``static`` therefore equals the
+    power fraction obtained by extrapolating the 10 %/20 % measurements to
+    0 % load — the paper's *extrapolated idle* — while the measured active
+    idle is ``static / idle_quotient`` (package C-states power down shared
+    resources below what partial-load scaling reaches).
+
+    Attributes
+    ----------
+    static_fraction:
+        Fraction of full-load power that does not scale with load
+        (uncore, memory, fans, PSU floor).
+    linear_fraction / quadratic_fraction:
+        Load-proportional and superlinear (voltage/frequency) dynamic parts.
+    turbo_fraction:
+        Extra power concentrated near 100 % load caused by turbo states.
+    idle_quotient_mean / idle_quotient_sigma:
+        Log-normal parameters of the extrapolated-idle / measured-idle
+        quotient (Figure 6).  1.0 means no idle-specific optimisation.
+    idle_noise_per_logical_cpu:
+        Penalty on idle optimisation effectiveness per logical CPU, modelling
+        per-CPU background task activity (Section IV discussion).
+    frequency_scaling_floor:
+        Lowest frequency fraction DVFS reaches at near-idle load.
+    """
+
+    static_fraction: float
+    linear_fraction: float
+    quadratic_fraction: float
+    turbo_fraction: float
+    idle_quotient_mean: float
+    idle_quotient_sigma: float = 0.12
+    idle_noise_per_logical_cpu: float = 0.0
+    frequency_scaling_floor: float = 0.5
+
+    def __post_init__(self) -> None:
+        parts = (
+            self.static_fraction,
+            self.linear_fraction,
+            self.quadratic_fraction,
+            self.turbo_fraction,
+        )
+        if any(p < 0 for p in parts):
+            raise ModelError(f"profile fractions must be non-negative: {parts}")
+        total = sum(parts)
+        if not 0.98 <= total <= 1.02:
+            raise ModelError(
+                f"profile fractions must sum to ~1.0 (got {total:.3f}); "
+                "normalise before constructing the profile"
+            )
+        if self.idle_quotient_mean < 1.0:
+            raise ModelError("idle_quotient_mean must be >= 1.0")
+        if not 0.0 < self.frequency_scaling_floor <= 1.0:
+            raise ModelError("frequency_scaling_floor must be in (0, 1]")
+
+    def normalized(self) -> "GenerationProfile":
+        """Return a profile whose four fractions sum to exactly 1."""
+        total = (
+            self.static_fraction
+            + self.linear_fraction
+            + self.quadratic_fraction
+            + self.turbo_fraction
+        )
+        return replace(
+            self,
+            static_fraction=self.static_fraction / total,
+            linear_fraction=self.linear_fraction / total,
+            quadratic_fraction=self.quadratic_fraction / total,
+            turbo_fraction=self.turbo_fraction / total,
+        )
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A server CPU model as it appears in the market catalog."""
+
+    model: str
+    vendor: Vendor
+    family: CPUFamily
+    codename: str
+    cores: int
+    threads_per_core: int
+    base_frequency_mhz: float
+    max_turbo_mhz: float
+    tdp_w: float
+    release: MonthDate
+    ssj_ops_per_socket: float
+    profile: GenerationProfile
+    avx_width_bits: int = 128
+    process_nm: float = 45.0
+    cpu_power_at_full_load_w: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ModelError(f"{self.model}: cores must be >= 1")
+        if self.threads_per_core not in (1, 2, 4, 8):
+            raise ModelError(f"{self.model}: threads_per_core must be 1, 2, 4 or 8")
+        if self.base_frequency_mhz <= 0 or self.max_turbo_mhz < self.base_frequency_mhz:
+            raise ModelError(f"{self.model}: invalid frequency configuration")
+        if self.tdp_w <= 0:
+            raise ModelError(f"{self.model}: TDP must be positive")
+        if self.ssj_ops_per_socket <= 0:
+            raise ModelError(f"{self.model}: ssj_ops_per_socket must be positive")
+
+    @property
+    def threads(self) -> int:
+        """Logical CPUs per socket."""
+        return self.cores * self.threads_per_core
+
+    @property
+    def full_load_cpu_power_w(self) -> float:
+        """CPU package power at SPEC full load.
+
+        SPEC Power runs rarely pin the package at exactly TDP: the workload
+        is integer/memory bound and vendors tune for efficiency, so the
+        sustained package power sits a little below TDP unless a calibrated
+        value is provided.
+        """
+        if self.cpu_power_at_full_load_w is not None:
+            return self.cpu_power_at_full_load_w
+        return 0.92 * self.tdp_w
+
+    @property
+    def nominal_ghz(self) -> float:
+        return self.base_frequency_mhz / 1000.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.vendor.value} {self.model} ({self.codename}): "
+            f"{self.cores}c/{self.threads}t, {self.nominal_ghz:.2f} GHz, {self.tdp_w:.0f} W TDP"
+        )

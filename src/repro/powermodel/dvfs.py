@@ -1,0 +1,81 @@
+"""Dynamic voltage and frequency scaling model.
+
+At partial SPEC Power load the operating system governor lowers core
+frequencies (P-states) and idles cores between transaction batches (clock
+gating / shallow C-states).  The combined effect is captured by the
+*activity factor* ``d(u)``: the fraction of the full-load dynamic CPU power
+drawn at target load ``u``.
+
+The model interpolates between two regimes:
+
+* a perfectly proportional component (``d = u``), and
+* a frequency-scaled component where running at reduced frequency ``f(u)``
+  also reduces voltage, so dynamic power falls roughly with ``f**2`` for the
+  same delivered work.
+
+The share of the second component is the *governor effectiveness*: early
+systems (pre-2010) barely scale (effectiveness near 0), modern systems
+reach 0.6–0.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+
+__all__ = ["DVFSModel"]
+
+
+@dataclass(frozen=True)
+class DVFSModel:
+    """Frequency/voltage scaling behaviour of one processor generation.
+
+    Attributes
+    ----------
+    governor_effectiveness:
+        0..1 share of dynamic power that benefits from voltage scaling.
+    frequency_floor:
+        Lowest frequency fraction (relative to nominal) the governor uses.
+    voltage_exponent:
+        Exponent applied to the frequency fraction for the voltage-scaled
+        component (2.0 approximates P ~ f * V^2 with V ~ f).
+    """
+
+    governor_effectiveness: float = 0.5
+    frequency_floor: float = 0.5
+    voltage_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.governor_effectiveness <= 1.0:
+            raise ModelError("governor_effectiveness must be in [0, 1]")
+        if not 0.0 < self.frequency_floor <= 1.0:
+            raise ModelError("frequency_floor must be in (0, 1]")
+        if self.voltage_exponent < 1.0:
+            raise ModelError("voltage_exponent must be >= 1")
+
+    def frequency_fraction(self, load: float) -> float:
+        """Average core frequency (relative to nominal) at target load ``load``."""
+        self._check_load(load)
+        return self.frequency_floor + (1.0 - self.frequency_floor) * load
+
+    def activity_factor(self, load: float) -> float:
+        """Dynamic-power fraction ``d(u)`` at target load ``load`` (0..1)."""
+        self._check_load(load)
+        if load == 0.0:
+            return 0.0
+        proportional = load
+        frequency = self.frequency_fraction(load)
+        # Work per second is fixed by the target load; running slower but at
+        # lower voltage costs load * f**(exponent - 1) of full-load power.
+        scaled = load * frequency ** (self.voltage_exponent - 1.0)
+        d = (
+            (1.0 - self.governor_effectiveness) * proportional
+            + self.governor_effectiveness * scaled
+        )
+        return min(max(d, 0.0), 1.0)
+
+    @staticmethod
+    def _check_load(load: float) -> None:
+        if not 0.0 <= load <= 1.0:
+            raise ModelError(f"load must be in [0, 1], got {load}")

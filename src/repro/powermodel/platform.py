@@ -1,0 +1,147 @@
+"""Platform-level power: memory, storage, fans and PSU conversion losses.
+
+SPEC Power reports wall (AC) power of the whole system under test, so the
+model has to account for everything around the CPU sockets:
+
+* DRAM power roughly proportional to installed capacity, with per-GB power
+  falling by DDR generation,
+* storage and baseboard power (a small constant),
+* fan power growing with dissipated heat,
+* power-supply conversion losses following an efficiency curve that peaks
+  around half load — modern (80 PLUS Titanium era) supplies lose far less
+  at low load than the pre-2010 units, which matters for idle trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+
+__all__ = ["PSUEfficiencyCurve", "PlatformModel"]
+
+
+@dataclass(frozen=True)
+class PSUEfficiencyCurve:
+    """Efficiency of the power supply as a function of its load fraction.
+
+    The curve is the standard "rises steeply, peaks near 50 %, slightly
+    falls towards 100 %" shape parameterised by the peak efficiency and the
+    low-load penalty.
+    """
+
+    peak_efficiency: float = 0.92
+    low_load_penalty: float = 0.10
+    rated_power_w: float = 800.0
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.peak_efficiency <= 1.0:
+            raise ModelError("peak_efficiency must be in [0.5, 1.0]")
+        if not 0.0 <= self.low_load_penalty <= 0.5:
+            raise ModelError("low_load_penalty must be in [0, 0.5]")
+        if self.rated_power_w <= 0:
+            raise ModelError("rated_power_w must be positive")
+
+    def efficiency(self, dc_power_w: float) -> float:
+        """Conversion efficiency when delivering ``dc_power_w``."""
+        if dc_power_w < 0:
+            raise ModelError("dc_power_w must be >= 0")
+        load_fraction = min(dc_power_w / self.rated_power_w, 1.2)
+        # Quadratic dip below ~45 % load, gentle slope above the peak.
+        if load_fraction <= 0.45:
+            shortfall = (0.45 - load_fraction) / 0.45
+            return self.peak_efficiency * (1.0 - self.low_load_penalty * shortfall**1.5)
+        return self.peak_efficiency * (1.0 - 0.02 * (load_fraction - 0.45))
+
+    def wall_power(self, dc_power_w: float) -> float:
+        """AC input power required to deliver ``dc_power_w`` at the rails."""
+        efficiency = max(self.efficiency(dc_power_w), 1e-3)
+        return dc_power_w / efficiency
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """Non-CPU node power."""
+
+    memory_gb: float = 64.0
+    watts_per_gb: float = 0.35
+    memory_idle_fraction: float = 0.55
+    storage_w: float = 8.0
+    baseboard_w: float = 18.0
+    fan_fraction_of_heat: float = 0.06
+    fan_floor_w: float = 6.0
+    psu: PSUEfficiencyCurve = PSUEfficiencyCurve()
+
+    @classmethod
+    def for_era(
+        cls,
+        year: float,
+        memory_gb: float,
+        psu_rating_w: float = 800.0,
+    ) -> "PlatformModel":
+        """Platform parameters typical for systems of a given era.
+
+        DRAM moved from power-hungry FB-DIMMs (~1 W/GB) to DDR5 RDIMMs
+        (~0.3 W/GB with deep self-refresh), fixed board power shrank, fan
+        control improved, and PSUs went from ~85 % peak efficiency with a
+        steep low-load penalty to 80 PLUS Titanium-class units.
+        """
+        knots = lambda pairs: float(np.interp(year, [p[0] for p in pairs], [p[1] for p in pairs]))
+        return cls(
+            memory_gb=memory_gb,
+            watts_per_gb=knots([(2005, 1.0), (2009, 0.8), (2013, 0.55), (2017, 0.42),
+                                (2021, 0.34), (2024, 0.30)]),
+            memory_idle_fraction=knots([(2005, 0.75), (2010, 0.60), (2015, 0.45),
+                                        (2020, 0.38), (2024, 0.33)]),
+            storage_w=knots([(2005, 14.0), (2012, 10.0), (2018, 6.0), (2024, 5.0)]),
+            baseboard_w=knots([(2005, 32.0), (2010, 26.0), (2015, 20.0), (2020, 16.0),
+                               (2024, 14.0)]),
+            fan_fraction_of_heat=knots([(2005, 0.09), (2012, 0.07), (2018, 0.055),
+                                        (2024, 0.05)]),
+            fan_floor_w=knots([(2005, 12.0), (2012, 8.0), (2018, 6.0), (2024, 5.0)]),
+            psu=PSUEfficiencyCurve(
+                peak_efficiency=knots([(2005, 0.84), (2009, 0.88), (2013, 0.92),
+                                       (2018, 0.94), (2024, 0.96)]),
+                low_load_penalty=knots([(2005, 0.18), (2010, 0.13), (2015, 0.09),
+                                        (2020, 0.06), (2024, 0.05)]),
+                rated_power_w=psu_rating_w,
+            ),
+        )
+
+    def __post_init__(self) -> None:
+        if self.memory_gb < 0 or self.watts_per_gb < 0:
+            raise ModelError("memory configuration must be non-negative")
+        if not 0.0 <= self.memory_idle_fraction <= 1.0:
+            raise ModelError("memory_idle_fraction must be in [0, 1]")
+        if self.storage_w < 0 or self.baseboard_w < 0 or self.fan_floor_w < 0:
+            raise ModelError("component powers must be non-negative")
+        if not 0.0 <= self.fan_fraction_of_heat <= 0.3:
+            raise ModelError("fan_fraction_of_heat must be in [0, 0.3]")
+
+    def memory_power(self, load: float) -> float:
+        """DRAM power at target load ``load`` (0..1)."""
+        if not 0.0 <= load <= 1.0:
+            raise ModelError(f"load must be in [0, 1], got {load}")
+        active = self.memory_gb * self.watts_per_gb
+        return active * (self.memory_idle_fraction + (1.0 - self.memory_idle_fraction) * load)
+
+    def fixed_power(self) -> float:
+        """Storage plus baseboard power (load-independent)."""
+        return self.storage_w + self.baseboard_w
+
+    def fan_power(self, dissipated_w: float) -> float:
+        """Fan power needed to remove ``dissipated_w`` of heat."""
+        if dissipated_w < 0:
+            raise ModelError("dissipated_w must be >= 0")
+        return self.fan_floor_w + self.fan_fraction_of_heat * dissipated_w
+
+    def node_dc_power(self, cpu_power_w: float, load: float) -> float:
+        """Total DC power of the node for a given CPU power and load."""
+        base = cpu_power_w + self.memory_power(load) + self.fixed_power()
+        return base + self.fan_power(base)
+
+    def node_wall_power(self, cpu_power_w: float, load: float) -> float:
+        """Wall (AC) power of the node — what the SPEC power analyzer reports."""
+        return self.psu.wall_power(self.node_dc_power(cpu_power_w, load))

@@ -1,0 +1,233 @@
+"""The composed server model: wall power and throughput vs target load.
+
+``ServerPowerModel`` is the deterministic core used by the benchmark
+simulator (:mod:`repro.simulator`): given a hardware configuration it
+answers two questions for any SPEC Power target load ``u``:
+
+* how many ssj_ops per second does the system deliver, and
+* how much wall power does it draw.
+
+All stochastic aspects (calibration error, measurement noise, per-run idle
+effectiveness) live in the simulator so the model itself stays easy to test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ModelError
+from .cpu import CPUSpec, Vendor
+from .cstates import CoreCStateModel, PackageCStateModel
+from .dvfs import DVFSModel
+from .platform import PlatformModel, PSUEfficiencyCurve
+from .turbo import TurboModel
+
+__all__ = ["ServerConfiguration", "LoadPoint", "ServerPowerModel", "STANDARD_LOAD_LEVELS"]
+
+#: The SPECpower_ssj2008 measurement points: 100 % down to 10 % plus active idle.
+STANDARD_LOAD_LEVELS: tuple[float, ...] = (
+    1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0,
+)
+
+
+@dataclass(frozen=True)
+class ServerConfiguration:
+    """One system under test as described in a SPEC Power report."""
+
+    cpu: CPUSpec
+    sockets: int = 2
+    nodes: int = 1
+    memory_gb: float = 64.0
+    os_name: str = "Microsoft Windows Server 2008"
+    jvm_name: str = "Oracle Java HotSpot"
+    system_vendor: str = "Generic Systems"
+    system_model: str = "GS-1000"
+    psu_rating_w: float = 800.0
+    form_factor: str = "2U rack"
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ModelError("sockets must be >= 1")
+        if self.nodes < 1:
+            raise ModelError("nodes must be >= 1")
+        if self.memory_gb <= 0:
+            raise ModelError("memory_gb must be positive")
+        if self.psu_rating_w <= 0:
+            raise ModelError("psu_rating_w must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.cpu.cores * self.sockets * self.nodes
+
+    @property
+    def total_threads(self) -> int:
+        return self.cpu.threads * self.sockets * self.nodes
+
+    @property
+    def logical_cpus_per_node(self) -> int:
+        return self.cpu.threads * self.sockets
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One measurement interval of a benchmark run."""
+
+    target_load: float
+    actual_load: float
+    ssj_ops: float
+    average_power_w: float
+
+    @property
+    def efficiency(self) -> float:
+        """ssj_ops per watt of this interval (0 for active idle)."""
+        if self.average_power_w <= 0:
+            return 0.0
+        return self.ssj_ops / self.average_power_w
+
+
+class ServerPowerModel:
+    """Deterministic power/performance model of one node of the SUT."""
+
+    def __init__(
+        self,
+        configuration: ServerConfiguration,
+        dvfs: DVFSModel | None = None,
+        turbo: TurboModel | None = None,
+        core_cstates: CoreCStateModel | None = None,
+        package_cstates: PackageCStateModel | None = None,
+        platform: PlatformModel | None = None,
+    ):
+        self.configuration = configuration
+        profile = configuration.cpu.profile.normalized()
+        self.profile = profile
+        self.dvfs = dvfs or DVFSModel(
+            governor_effectiveness=min(
+                0.95, profile.linear_fraction + profile.quadratic_fraction
+            ),
+            frequency_floor=profile.frequency_scaling_floor,
+        )
+        self.turbo = turbo or TurboModel(
+            enabled=profile.turbo_fraction > 0.0,
+            max_uplift=min(0.25, 2.0 * profile.turbo_fraction),
+        )
+        self.core_cstates = core_cstates or CoreCStateModel()
+        self.package_cstates = package_cstates or PackageCStateModel(
+            base_quotient=profile.idle_quotient_mean,
+            quotient_sigma=profile.idle_quotient_sigma,
+            noise_per_logical_cpu=profile.idle_noise_per_logical_cpu,
+        )
+        self.platform = platform or PlatformModel.for_era(
+            year=configuration.cpu.release.decimal_year,
+            memory_gb=configuration.memory_gb,
+            psu_rating_w=configuration.psu_rating_w,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Power
+    # ------------------------------------------------------------------ #
+    def cpu_power_w(self, load: float) -> float:
+        """Package power of all sockets of one node at target load ``load``."""
+        self._check_load(load)
+        spec = self.configuration.cpu
+        profile = self.profile
+        full = spec.full_load_cpu_power_w
+        activity = self.dvfs.activity_factor(load)
+        relative = (
+            profile.static_fraction
+            + profile.linear_fraction * activity
+            + profile.quadratic_fraction * activity**2
+            + profile.turbo_fraction * self.turbo.power_premium(load)
+        )
+        return full * relative * self.configuration.sockets
+
+    def node_power_w(self, load: float) -> float:
+        """Wall power of one node at target load ``load`` (partial-load path).
+
+        This is the power the analyzer would report if the system applied
+        only the partial-load mechanisms (DVFS, core C-states); the deeper
+        active-idle optimisations are modelled separately in
+        :meth:`active_idle_power_w`.
+        """
+        self._check_load(load)
+        return self.platform.node_wall_power(self.cpu_power_w(load), load)
+
+    def extrapolated_idle_power_w(self) -> float:
+        """Idle power linearly extrapolated from the 10 % and 20 % points.
+
+        This reproduces the Section IV construction on the model itself and
+        is what package C-states are measured against.
+        """
+        p10 = self.node_power_w(0.1)
+        p20 = self.node_power_w(0.2)
+        return max(2.0 * p10 - p20, 0.0)
+
+    def active_idle_power_w(self, rng: np.random.Generator | None = None) -> float:
+        """Measured active-idle wall power of one node.
+
+        The package C-state model divides the extrapolated idle power by the
+        achieved idle quotient; the quotient degrades with the number of
+        logical CPUs (background-task wake-ups) and carries per-run spread
+        when ``rng`` is given.
+        """
+        extrapolated = self.extrapolated_idle_power_w()
+        return self.package_cstates.measured_idle_power(
+            extrapolated, self.configuration.logical_cpus_per_node, rng
+        )
+
+    # ------------------------------------------------------------------ #
+    # Performance
+    # ------------------------------------------------------------------ #
+    def max_throughput_ops(self) -> float:
+        """Calibrated full-load throughput (ssj_ops) of one node."""
+        spec = self.configuration.cpu
+        return spec.ssj_ops_per_socket * self.configuration.sockets
+
+    def throughput_ops(self, load: float) -> float:
+        """Delivered ssj_ops at target load ``load`` (scaled transaction rate)."""
+        self._check_load(load)
+        return self.max_throughput_ops() * load
+
+    # ------------------------------------------------------------------ #
+    # Aggregate helpers
+    # ------------------------------------------------------------------ #
+    def load_curve(
+        self,
+        levels: tuple[float, ...] = STANDARD_LOAD_LEVELS,
+        rng: np.random.Generator | None = None,
+    ) -> list[LoadPoint]:
+        """Deterministic load curve over the standard measurement points."""
+        points = []
+        for level in levels:
+            if level == 0.0:
+                power = self.active_idle_power_w(rng)
+                points.append(LoadPoint(0.0, 0.0, 0.0, power))
+            else:
+                points.append(
+                    LoadPoint(
+                        target_load=level,
+                        actual_load=level,
+                        ssj_ops=self.throughput_ops(level),
+                        average_power_w=self.node_power_w(level),
+                    )
+                )
+        return points
+
+    def overall_efficiency(self) -> float:
+        """Overall ssj_ops/W as defined by SPEC (sum of ops / sum of power)."""
+        points = self.load_curve()
+        total_ops = sum(p.ssj_ops for p in points)
+        total_power = sum(p.average_power_w for p in points)
+        if total_power <= 0:
+            raise ModelError("total power must be positive")
+        return total_ops / total_power
+
+    def power_per_socket_at_full_load(self) -> float:
+        """Wall power per socket at the 100 % point (Figure 2 metric)."""
+        return self.node_power_w(1.0) / self.configuration.sockets
+
+    @staticmethod
+    def _check_load(load: float) -> None:
+        if not 0.0 <= load <= 1.0:
+            raise ModelError(f"load must be in [0, 1], got {load}")

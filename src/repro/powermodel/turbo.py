@@ -1,0 +1,70 @@
+"""Turbo / boost frequency model.
+
+Turbo states raise frequency (and therefore throughput) opportunistically
+but at disproportionate power cost: the voltage/frequency point sits far up
+the efficiency curve.  In SPEC Power runs turbo engages mostly at and near
+the 100 % target load, where the calibrated transaction rate keeps all
+cores busy; at lower target loads the scheduler spreads the work and the
+package stays at efficient frequencies.
+
+The model exposes two quantities:
+
+* :meth:`frequency_uplift` — achieved frequency relative to nominal at a
+  given load (used by the performance model during calibration),
+* :meth:`power_premium` — the share of the turbo power budget spent at a
+  given load, concentrated near full load via a steep polynomial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+
+__all__ = ["TurboModel"]
+
+
+@dataclass(frozen=True)
+class TurboModel:
+    """Turbo behaviour of one processor generation.
+
+    Attributes
+    ----------
+    enabled:
+        Early processors (pre-2008) had no turbo at all.
+    max_uplift:
+        Maximum all-core frequency uplift relative to nominal (e.g. 0.15 for
+        +15 %).
+    concentration:
+        Exponent of the load-dependence of the power premium; larger values
+        confine the premium more tightly to full load.
+    """
+
+    enabled: bool = True
+    max_uplift: float = 0.10
+    concentration: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.max_uplift < 0:
+            raise ModelError("max_uplift must be >= 0")
+        if self.concentration < 1:
+            raise ModelError("concentration must be >= 1")
+
+    def frequency_uplift(self, load: float) -> float:
+        """Achieved frequency relative to nominal (>= 1.0)."""
+        self._check_load(load)
+        if not self.enabled:
+            return 1.0
+        return 1.0 + self.max_uplift * load ** (self.concentration / 4.0)
+
+    def power_premium(self, load: float) -> float:
+        """Fraction (0..1) of the turbo power budget drawn at ``load``."""
+        self._check_load(load)
+        if not self.enabled:
+            return 0.0
+        return load**self.concentration
+
+    @staticmethod
+    def _check_load(load: float) -> None:
+        if not 0.0 <= load <= 1.0:
+            raise ModelError(f"load must be in [0, 1], got {load}")

@@ -1,0 +1,18 @@
+"""Rendering of SPEC-style result report files.
+
+:mod:`repro.reportgen.textreport` turns one simulated
+:class:`repro.simulator.result.RunResult` into the plain-text report format
+consumed by :mod:`repro.parser`; :mod:`repro.reportgen.writer` generates and
+writes whole corpora (optionally in parallel).
+"""
+
+from .textreport import render_report, REPORT_HEADER
+from .writer import CorpusWriter, CorpusGenerationReport, generate_corpus_files
+
+__all__ = [
+    "render_report",
+    "REPORT_HEADER",
+    "CorpusWriter",
+    "CorpusGenerationReport",
+    "generate_corpus_files",
+]

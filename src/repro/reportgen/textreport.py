@@ -1,0 +1,201 @@
+"""Plain-text SPEC-style report rendering.
+
+The format follows the structure of the published ``.txt`` result files on
+the SPEC website (simplified to the fields the paper's analysis extracts):
+a header block, the benchmark results summary table with one row per target
+load plus active idle, and the system-under-test description.
+
+The renderer is also where data defects are injected: a
+:class:`repro.market.anomalies.AnomalyKind` attached to the plan alters the
+rendered text exactly the way real-world defective submissions are malformed
+(year-only dates, missing node counts, inconsistent core totals, ...), so the
+parser and validation layer have realistic material to reject.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReportError
+from ..market.anomalies import AnomalyKind
+from ..simulator.result import RunResult
+from ..units import format_month_date, format_number
+
+__all__ = ["render_report", "REPORT_HEADER"]
+
+REPORT_HEADER = "SPECpower_ssj2008 Result"
+
+#: Display vendor for non-x86 parts (the CPU vendor column of real reports
+#: names the silicon vendor, not "Other").
+_OTHER_VENDOR_NAMES = {
+    "POWER": "IBM",
+    "SPARC": "Oracle",
+    "ThunderX": "Cavium",
+    "Altra": "Ampere",
+}
+
+
+def _cpu_vendor_name(result: RunResult) -> str:
+    vendor = result.cpu.vendor.value
+    if vendor != "Other":
+        return vendor
+    for marker, name in _OTHER_VENDOR_NAMES.items():
+        if marker.lower() in result.cpu.model.lower():
+            return name
+    return "Other"
+
+
+def _cpu_display_name(result: RunResult) -> str:
+    anomaly = result.plan.anomaly
+    vendor = _cpu_vendor_name(result)
+    if anomaly == AnomalyKind.AMBIGUOUS_CPU:
+        # Real-world defect: the CPU name field only contains the brand.
+        return f"{vendor} Processor"
+    return f"{vendor} {result.cpu.model}"
+
+
+def _hardware_availability(result: RunResult) -> str:
+    anomaly = result.plan.anomaly
+    if anomaly == AnomalyKind.AMBIGUOUS_DATE:
+        return str(result.plan.hw_avail.year)          # year only: ambiguous
+    if anomaly == AnomalyKind.IMPLAUSIBLE_DATE:
+        return "Jan-1901"                              # obviously wrong
+    return format_month_date(result.plan.hw_avail)
+
+
+def _core_lines(result: RunResult) -> tuple[str, str]:
+    """The "CPU(s) Enabled" and "Hardware Threads" lines (possibly defective)."""
+    plan = result.plan
+    cpu = result.cpu
+    cores_total = cpu.cores * plan.sockets * plan.nodes
+    chips_total = plan.sockets * plan.nodes
+    cores_per_chip = cpu.cores
+    threads_total = cores_total * cpu.threads_per_core
+    anomaly = plan.anomaly
+    if anomaly == AnomalyKind.INCONSISTENT_CORE_THREAD:
+        cores_per_chip = max(cpu.cores - 2, 1)          # total no longer matches
+    if anomaly == AnomalyKind.IMPLAUSIBLE_CORE_COUNT:
+        # A corrupted total far beyond any shipping system, so the validation
+        # layer classifies it as implausible rather than merely inconsistent.
+        cores_total *= 10_000
+        threads_total = cores_total * cpu.threads_per_core
+    enabled = (
+        f"    CPU(s) Enabled: {cores_total} cores, {chips_total} chips, "
+        f"{cores_per_chip} cores/chip"
+    )
+    threads = (
+        f"    Hardware Threads: {threads_total} ({cpu.threads_per_core} / core)"
+    )
+    return enabled, threads
+
+
+def _results_table(result: RunResult) -> list[str]:
+    lines = [
+        "Benchmark Results Summary",
+        "=========================",
+        "",
+        "Target Load | Actual Load |      ssj_ops | Average Active Power (W) | Performance to Power Ratio",
+        "------------+-------------+--------------+--------------------------+---------------------------",
+    ]
+    for level in result.load_levels:
+        ratio = level.performance_to_power_ratio
+        lines.append(
+            f"{level.target_load * 100:10.0f}% | {level.actual_load * 100:10.1f}% | "
+            f"{format_number(level.ssj_ops):>12} | {level.average_power_w:24.1f} | "
+            f"{format_number(ratio):>26}"
+        )
+    idle = result.active_idle
+    lines.append(
+        f"Active Idle |             | {format_number(0):>12} | "
+        f"{idle.average_power_w:24.1f} | {format_number(0):>26}"
+    )
+    lines.append("")
+    lines.append(
+        f"∑ssj_ops / ∑power = {format_number(result.overall_efficiency)}"
+    )
+    return lines
+
+
+def render_report(result: RunResult) -> str:
+    """Render one run result as a SPEC-style plain-text report."""
+    plan = result.plan
+    cpu = result.cpu
+    if plan.nodes < 1:
+        raise ReportError("plan must have at least one node")
+
+    compliance = "Yes"
+    compliance_note = ""
+    if plan.anomaly == AnomalyKind.NOT_ACCEPTED or not result.accepted:
+        compliance = "No"
+        compliance_note = (
+            "    NON-COMPLIANT: This result was not accepted by the SPEC committee.\n"
+        )
+
+    header = [
+        REPORT_HEADER,
+        "Copyright (C) 2007-2024 Standard Performance Evaluation Corporation (synthetic reproduction corpus)",
+        "",
+        f"Test Sponsor: {plan.system_vendor}",
+        f"Tested By: {plan.system_vendor}",
+        "Test Method: SPECpower_ssj2008",
+        f"SPEC License #: {1000 + abs(hash(plan.system_vendor)) % 900}",
+        f"Test Date: {format_month_date(plan.test_date)}",
+        f"Publication Date: {format_month_date(plan.publication_date)}",
+        f"Hardware Availability: {_hardware_availability(result)}",
+        f"Software Availability: {format_month_date(plan.sw_avail)}",
+        "System Source: Single Supplier",
+        "Power Provisioning: Line-powered",
+        "",
+    ]
+
+    overall_line = [
+        "Performance Summary:",
+        f"    Overall ssj_ops/watt: {format_number(result.overall_efficiency)}",
+        "",
+    ]
+
+    enabled_line, threads_line = _core_lines(result)
+    node_count_line = (
+        []
+        if plan.anomaly == AnomalyKind.MISSING_NODE_COUNT
+        else [f"    Number of Nodes: {plan.nodes}"]
+    )
+    sut = [
+        "",
+        "System Under Test",
+        "=================",
+        "Shared Hardware:",
+        f"    Hardware Vendor: {plan.system_vendor}",
+        f"    Model: {plan.system_model}",
+        "    Form Factor: 2U rack-mountable",
+        *node_count_line,
+        "    Nodes Identical: Yes",
+        "",
+        "Hardware per Node:",
+        f"    CPU Name: {_cpu_display_name(result)}",
+        f"    CPU Characteristics: {cpu.nominal_ghz:.2f} GHz, {cpu.cores} cores per chip, "
+        f"{cpu.tdp_w:.0f} W TDP",
+        f"    CPU Frequency (MHz): {cpu.base_frequency_mhz:.0f}",
+        f"    CPU Vendor: {_cpu_vendor_name(result)}",
+        f"    Chips per Node: {plan.sockets}",
+        enabled_line,
+        threads_line,
+        f"    Memory Amount (GB): {plan.memory_gb:.0f}",
+        f"    Power Supply Rating (W): {plan.psu_rating_w:.0f}",
+        "    Disk Drive: 1 x SSD",
+        "",
+        "Software per Node:",
+        "    Power Management: Enabled",
+        f"    Operating System (OS): {plan.os_name}",
+        f"    JVM Vendor: {plan.jvm_name.split(' ')[0]}",
+        f"    JVM Version: {plan.jvm_name}",
+        f"    JVM Instances: {max(plan.sockets, 1)}",
+        "",
+        "Run Compliance",
+        "==============",
+        f"    Valid Run: {compliance}",
+    ]
+
+    lines = header + overall_line + _results_table(result) + sut
+    text = "\n".join(lines) + "\n"
+    if compliance_note:
+        text += compliance_note
+    return text

@@ -1,0 +1,126 @@
+"""Corpus generation: sample a fleet, simulate every run, write the reports.
+
+``generate_corpus_files`` is the one-call entry point used by the CLI, the
+examples and the benchmark harness.  Generation of individual runs is a pure
+function of ``(plan, corpus seed)``, so the work can be distributed over a
+process pool via :mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..errors import ReportError
+from ..market.anomalies import AnomalyPlan
+from ..market.catalog import Catalog, default_catalog
+from ..market.fleet import FleetPlan, FleetSampler, SystemPlan
+from ..market.trends import MarketTrends
+from ..parallel import ParallelConfig, parallel_map
+from ..simulator.director import RunDirector, SimulationOptions
+from .textreport import render_report
+
+__all__ = ["CorpusWriter", "CorpusGenerationReport", "generate_corpus_files"]
+
+
+@dataclass(frozen=True)
+class CorpusGenerationReport:
+    """What a corpus generation produced."""
+
+    directory: Path
+    total_files: int
+    clean_runs: int
+    defective_runs: int
+    seed: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.total_files} report files in {self.directory} "
+            f"({self.clean_runs} clean, {self.defective_runs} defective, seed {self.seed})"
+        )
+
+
+# Module-level worker so the process-pool backend can pickle it.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker_state(catalog: Catalog, options: SimulationOptions, seed: int) -> None:
+    _WORKER_STATE["director"] = RunDirector(catalog=catalog, options=options, corpus_seed=seed)
+
+
+def _render_plan(args: tuple[SystemPlan, int, SimulationOptions]) -> tuple[str, str]:
+    """Simulate one plan and return ``(file_name, report_text)``."""
+    plan, seed, options = args
+    director = RunDirector(options=options, corpus_seed=seed)
+    result = director.run(plan)
+    return plan.file_name, render_report(result)
+
+
+class CorpusWriter:
+    """Generates a synthetic corpus of SPEC-style report files."""
+
+    def __init__(
+        self,
+        output_dir: str | os.PathLike,
+        total_parsed_runs: int = 960,
+        seed: int = 2024,
+        catalog: Catalog | None = None,
+        trends: MarketTrends | None = None,
+        anomalies: AnomalyPlan | None = None,
+        options: SimulationOptions | None = None,
+        parallel: ParallelConfig | None = None,
+    ):
+        self.output_dir = Path(output_dir)
+        self.seed = seed
+        self.catalog = catalog or default_catalog()
+        self.options = options or SimulationOptions()
+        self.parallel = parallel or ParallelConfig(backend="serial")
+        self.sampler = FleetSampler(
+            total_parsed_runs=total_parsed_runs,
+            catalog=self.catalog,
+            trends=trends,
+            anomalies=anomalies,
+        )
+
+    def plan(self) -> FleetPlan:
+        """Sample the fleet plan (deterministic for a given seed)."""
+        return self.sampler.sample(self.seed)
+
+    def write(self, fleet: FleetPlan | None = None) -> CorpusGenerationReport:
+        """Simulate every plan and write one ``.txt`` report per submission."""
+        fleet = fleet or self.plan()
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        work = [(plan, self.seed, self.options) for plan in fleet.systems]
+        rendered = parallel_map(_render_plan, work, config=self.parallel)
+        for file_name, text in rendered:
+            path = self.output_dir / file_name
+            path.write_text(text, encoding="utf-8")
+        return CorpusGenerationReport(
+            directory=self.output_dir,
+            total_files=len(rendered),
+            clean_runs=len(fleet.clean),
+            defective_runs=len(fleet.defective),
+            seed=self.seed,
+        )
+
+
+def generate_corpus_files(
+    output_dir: str | os.PathLike,
+    total_parsed_runs: int = 960,
+    seed: int = 2024,
+    parallel: ParallelConfig | None = None,
+    options: SimulationOptions | None = None,
+) -> CorpusGenerationReport:
+    """Generate a full synthetic corpus with default market settings."""
+    if total_parsed_runs < 30:
+        raise ReportError("total_parsed_runs must be >= 30")
+    writer = CorpusWriter(
+        output_dir,
+        total_parsed_runs=total_parsed_runs,
+        seed=seed,
+        parallel=parallel,
+        options=options,
+    )
+    return writer.write()

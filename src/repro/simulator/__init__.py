@@ -1,0 +1,46 @@
+"""SPECpower_ssj2008 benchmark simulator.
+
+The real benchmark drives a Java transactional workload (six transaction
+types against an in-memory warehouse model), calibrates the maximum
+throughput of the system under test, then measures performance and wall
+power at target loads of 100 % down to 10 % plus an active-idle interval.
+
+This package reproduces that *methodology* against the server models of
+:mod:`repro.powermodel`:
+
+* :mod:`repro.simulator.transactions` — the six SSJ transaction types and
+  their mix,
+* :mod:`repro.simulator.workload` — transaction scheduling (batch arrival
+  process) with an event-driven fine-grained mode and a fast analytic mode,
+* :mod:`repro.simulator.calibration` — the three calibration intervals that
+  establish the 100 % throughput target,
+* :mod:`repro.simulator.measurement` — the power-analyzer and interval
+  measurement model (sampling noise, averaging),
+* :mod:`repro.simulator.director` — the run director assembling a full
+  benchmark run,
+* :mod:`repro.simulator.result` — result dataclasses consumed by
+  :mod:`repro.reportgen` and the parser tests.
+"""
+
+from .transactions import TransactionType, TransactionMix, DEFAULT_MIX
+from .workload import WorkloadEngine, WorkloadStats
+from .calibration import CalibrationResult, calibrate
+from .measurement import PowerAnalyzer, MeasurementInterval
+from .director import RunDirector, SimulationOptions
+from .result import RunResult, LoadLevelResult
+
+__all__ = [
+    "TransactionType",
+    "TransactionMix",
+    "DEFAULT_MIX",
+    "WorkloadEngine",
+    "WorkloadStats",
+    "CalibrationResult",
+    "calibrate",
+    "PowerAnalyzer",
+    "MeasurementInterval",
+    "RunDirector",
+    "SimulationOptions",
+    "RunResult",
+    "LoadLevelResult",
+]

@@ -1,0 +1,64 @@
+"""The calibration phase.
+
+Before the graduated measurement intervals, SPECpower_ssj2008 runs three
+calibration intervals at unthrottled load; the average of the last two
+defines the 100 % throughput target that the partial loads are scaled from.
+Calibration error (the difference between the calibrated target and the
+throughput actually achievable during the measurement intervals) is one
+reason the reported "actual load" deviates slightly from the target load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["CalibrationResult", "calibrate"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of the calibration phase."""
+
+    interval_rates_ops: tuple[float, ...]
+    calibrated_rate_ops: float
+
+    @property
+    def spread(self) -> float:
+        """Relative spread of the calibration intervals (quality indicator)."""
+        rates = np.asarray(self.interval_rates_ops)
+        if rates.mean() == 0:
+            return 0.0
+        return float((rates.max() - rates.min()) / rates.mean())
+
+
+def calibrate(
+    true_max_rate_ops: float,
+    rng: np.random.Generator | None = None,
+    intervals: int = 3,
+    noise_sigma: float = 0.01,
+) -> CalibrationResult:
+    """Simulate the calibration intervals.
+
+    Each interval achieves the true maximum rate perturbed by run-to-run
+    noise (JIT warm-up, interference); per the SPEC run rules the calibrated
+    rate is the mean of the final two intervals.
+    """
+    if true_max_rate_ops <= 0:
+        raise SimulationError("true_max_rate_ops must be positive")
+    if intervals < 2:
+        raise SimulationError("calibration requires at least 2 intervals")
+    if noise_sigma < 0:
+        raise SimulationError("noise_sigma must be >= 0")
+    rng = rng or np.random.default_rng(0)
+    rates = []
+    for index in range(intervals):
+        # The first interval is typically a little low (JIT warm-up).
+        warmup_penalty = 0.985 if index == 0 else 1.0
+        noise = float(np.exp(rng.normal(0.0, noise_sigma))) if noise_sigma > 0 else 1.0
+        rates.append(true_max_rate_ops * warmup_penalty * noise)
+    calibrated = float(np.mean(rates[-2:]))
+    return CalibrationResult(tuple(rates), calibrated)

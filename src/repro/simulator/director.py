@@ -1,0 +1,182 @@
+"""The run director: one full SPECpower_ssj2008 run over a system plan.
+
+The director stitches the pieces together exactly like the real harness:
+
+1. build the system under test (server model) from the plan and catalog,
+2. run the calibration intervals to establish the 100 % throughput,
+3. run the graduated measurement intervals (100 % … 10 %),
+4. run the active-idle interval,
+5. assemble a :class:`repro.simulator.result.RunResult`.
+
+Multi-node submissions (blade chassis) run the same workload on every node;
+reported figures are sums over nodes, as in real reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..market.catalog import Catalog, default_catalog
+from ..market.fleet import SystemPlan
+from ..powermodel.server import (
+    STANDARD_LOAD_LEVELS,
+    ServerConfiguration,
+    ServerPowerModel,
+)
+from .calibration import calibrate
+from .measurement import PowerAnalyzer
+from .result import LoadLevelResult, RunResult
+from .workload import WorkloadEngine
+
+__all__ = ["SimulationOptions", "RunDirector"]
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Tunables of the benchmark simulation.
+
+    ``fidelity`` selects the workload engine mode: ``"analytic"`` (fast,
+    default — used for corpus generation) or ``"event"`` (explicit batch
+    scheduling, used in the fine-grained example and tests).
+    ``measurement_noise`` disables all stochastic perturbations when False,
+    which makes runs exactly reproducible from the server model alone.
+    """
+
+    interval_duration_s: float = 240.0
+    fidelity: str = "analytic"
+    measurement_noise: bool = True
+    calibration_noise_sigma: float = 0.01
+    throughput_variation_sigma: float = 0.03
+    power_variation_sigma: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.interval_duration_s <= 0:
+            raise SimulationError("interval_duration_s must be positive")
+        if self.fidelity not in ("analytic", "event"):
+            raise SimulationError(f"unknown fidelity {self.fidelity!r}")
+        for name in ("calibration_noise_sigma", "throughput_variation_sigma",
+                     "power_variation_sigma"):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"{name} must be >= 0")
+
+
+def _seed_from(run_id: str, seed: int) -> int:
+    """Stable per-run seed derived from the run id and the corpus seed."""
+    digest = hashlib.sha256(f"{seed}:{run_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RunDirector:
+    """Executes benchmark runs for system plans."""
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        options: SimulationOptions | None = None,
+        corpus_seed: int = 2024,
+    ):
+        self.catalog = catalog or default_catalog()
+        self.options = options or SimulationOptions()
+        self.corpus_seed = corpus_seed
+
+    # ------------------------------------------------------------------ #
+    def build_configuration(self, plan: SystemPlan) -> ServerConfiguration:
+        """Server configuration (one node) described by a plan."""
+        entry = self.catalog.get(plan.cpu_model)
+        return ServerConfiguration(
+            cpu=entry.cpu,
+            sockets=plan.sockets,
+            nodes=plan.nodes,
+            memory_gb=plan.memory_gb,
+            os_name=plan.os_name,
+            jvm_name=plan.jvm_name,
+            system_vendor=plan.system_vendor,
+            system_model=plan.system_model,
+            psu_rating_w=plan.psu_rating_w,
+        )
+
+    def run(self, plan: SystemPlan) -> RunResult:
+        """Simulate the full benchmark for one submission plan."""
+        options = self.options
+        rng = np.random.default_rng(_seed_from(plan.run_id, self.corpus_seed))
+        configuration = self.build_configuration(plan)
+        model = ServerPowerModel(configuration)
+        analyzer = PowerAnalyzer(
+            rng=rng,
+            sample_noise_w=1.5 if options.measurement_noise else 0.0,
+            accuracy=0.005 if options.measurement_noise else 0.0,
+        )
+
+        # Per-run multiplicative variations: BIOS settings, memory population,
+        # firmware versions and binary/JVM tuning all shift both throughput
+        # and power a few percent between otherwise identical systems.
+        if options.measurement_noise:
+            throughput_factor = float(np.exp(rng.normal(0.0, options.throughput_variation_sigma)))
+            power_factor = float(np.exp(rng.normal(0.0, options.power_variation_sigma)))
+        else:
+            throughput_factor = 1.0
+            power_factor = 1.0
+
+        true_max_per_node = model.max_throughput_ops() * throughput_factor
+        calibration = calibrate(
+            true_max_per_node,
+            rng=rng,
+            noise_sigma=options.calibration_noise_sigma if options.measurement_noise else 0.0,
+        )
+        engine = WorkloadEngine(
+            max_rate_ops=calibration.calibrated_rate_ops,
+            workers=configuration.logical_cpus_per_node,
+        )
+
+        nodes = plan.nodes
+        levels: list[LoadLevelResult] = []
+        for target in STANDARD_LOAD_LEVELS:
+            if target == 0.0:
+                idle_rng = rng if options.measurement_noise else None
+                true_power = model.active_idle_power_w(idle_rng) * power_factor * nodes
+                interval = analyzer.measure_interval(0.0, 0.0, 0.0, true_power,
+                                                     options.interval_duration_s)
+            else:
+                stats = engine.run_interval(
+                    target,
+                    duration_s=options.interval_duration_s,
+                    rng=rng,
+                    fidelity=options.fidelity,
+                )
+                # The achieved load relative to the *true* maximum defines the
+                # power drawn; calibration error shifts it slightly.
+                achieved_fraction = min(stats.achieved_rate_ops / true_max_per_node, 1.0)
+                true_power = model.node_power_w(achieved_fraction) * power_factor * nodes
+                interval = analyzer.measure_interval(
+                    target_load=target,
+                    actual_load=achieved_fraction,
+                    ssj_ops=stats.achieved_rate_ops * nodes,
+                    true_power_w=true_power,
+                    duration_s=options.interval_duration_s,
+                )
+            levels.append(
+                LoadLevelResult(
+                    target_load=interval.target_load,
+                    actual_load=interval.actual_load,
+                    ssj_ops=interval.ssj_ops,
+                    average_power_w=interval.average_power_w,
+                )
+            )
+
+        return RunResult(
+            plan=plan,
+            cpu=configuration.cpu,
+            configuration=configuration,
+            levels=tuple(levels),
+            calibrated_ops=calibration.calibrated_rate_ops * nodes,
+            accepted=plan.accepted,
+        )
+
+    def run_many(self, plans) -> list[RunResult]:
+        """Simulate a sequence of plans (serial; parallelism happens one level
+        up in :mod:`repro.reportgen.writer` where results are written out)."""
+        return [self.run(plan) for plan in plans]

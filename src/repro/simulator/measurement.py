@@ -1,0 +1,93 @@
+"""Power and performance measurement of one benchmark interval.
+
+The SPEC methodology requires an accepted power analyzer sampling at 1 Hz,
+managed by the ptdaemon; the benchmark reports the average power of each
+interval.  The model adds the two dominant error sources to the true power:
+
+* analyzer accuracy (a small relative error per run, fixed by the analyzer
+  calibration), and
+* sampling noise (per-interval averaging of a fluctuating signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["MeasurementInterval", "PowerAnalyzer"]
+
+
+@dataclass(frozen=True)
+class MeasurementInterval:
+    """A measured interval: throughput plus average power."""
+
+    target_load: float
+    actual_load: float
+    ssj_ops: float
+    average_power_w: float
+    samples: int
+
+
+class PowerAnalyzer:
+    """Model of an accepted wall-power analyzer driven by the ptdaemon."""
+
+    def __init__(
+        self,
+        accuracy: float = 0.005,
+        sample_noise_w: float = 1.5,
+        sample_rate_hz: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if accuracy < 0 or accuracy > 0.05:
+            raise SimulationError("accuracy must be within [0, 0.05]")
+        if sample_noise_w < 0:
+            raise SimulationError("sample_noise_w must be >= 0")
+        if sample_rate_hz <= 0:
+            raise SimulationError("sample_rate_hz must be positive")
+        self.accuracy = accuracy
+        self.sample_noise_w = sample_noise_w
+        self.sample_rate_hz = sample_rate_hz
+        self._rng = rng or np.random.default_rng(0)
+        # The calibration offset is a property of the analyzer + hookup and
+        # therefore constant within one benchmark run.
+        self._calibration_factor = 1.0 + float(self._rng.normal(0.0, accuracy / 2.0))
+
+    @property
+    def calibration_factor(self) -> float:
+        return self._calibration_factor
+
+    def measure_power(self, true_power_w: float, duration_s: float = 240.0) -> tuple[float, int]:
+        """Average power reported for an interval of ``duration_s`` seconds."""
+        if true_power_w < 0:
+            raise SimulationError("true_power_w must be >= 0")
+        if duration_s <= 0:
+            raise SimulationError("duration_s must be positive")
+        samples = max(int(duration_s * self.sample_rate_hz), 1)
+        if self.sample_noise_w > 0:
+            # Averaging N noisy samples shrinks the noise by sqrt(N).
+            noise = float(self._rng.normal(0.0, self.sample_noise_w / np.sqrt(samples)))
+        else:
+            noise = 0.0
+        measured = true_power_w * self._calibration_factor + noise
+        return max(measured, 0.0), samples
+
+    def measure_interval(
+        self,
+        target_load: float,
+        actual_load: float,
+        ssj_ops: float,
+        true_power_w: float,
+        duration_s: float = 240.0,
+    ) -> MeasurementInterval:
+        """Package a full interval measurement."""
+        power, samples = self.measure_power(true_power_w, duration_s)
+        return MeasurementInterval(
+            target_load=target_load,
+            actual_load=actual_load,
+            ssj_ops=ssj_ops,
+            average_power_w=power,
+            samples=samples,
+        )

@@ -1,0 +1,131 @@
+"""Benchmark run results.
+
+A :class:`RunResult` mirrors the content of one published SPEC Power report:
+system description, per-load-level performance and power, the active-idle
+measurement and the overall ssj_ops/W score.  The report writer
+(:mod:`repro.reportgen`) serialises these objects; the parser reads the
+serialised form back — together they close the round-trip the analysis code
+is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import SimulationError
+from ..market.fleet import SystemPlan
+from ..powermodel.cpu import CPUSpec
+from ..powermodel.server import ServerConfiguration
+
+__all__ = ["LoadLevelResult", "RunResult"]
+
+
+@dataclass(frozen=True)
+class LoadLevelResult:
+    """One graduated measurement interval (or the active-idle interval)."""
+
+    target_load: float
+    actual_load: float
+    ssj_ops: float
+    average_power_w: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target_load <= 1.0:
+            raise SimulationError("target_load must be in [0, 1]")
+        if self.average_power_w < 0:
+            raise SimulationError("average_power_w must be >= 0")
+        if self.ssj_ops < 0:
+            raise SimulationError("ssj_ops must be >= 0")
+
+    @property
+    def is_active_idle(self) -> bool:
+        return self.target_load == 0.0
+
+    @property
+    def performance_to_power_ratio(self) -> float:
+        if self.average_power_w <= 0:
+            return 0.0
+        return self.ssj_ops / self.average_power_w
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """A complete simulated SPECpower_ssj2008 run for one submission."""
+
+    plan: SystemPlan
+    cpu: CPUSpec
+    configuration: ServerConfiguration
+    levels: tuple[LoadLevelResult, ...]
+    calibrated_ops: float
+    accepted: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise SimulationError("a run needs at least one measured level")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def active_idle(self) -> LoadLevelResult:
+        """The active-idle interval (target load 0 %)."""
+        for level in self.levels:
+            if level.is_active_idle:
+                return level
+        raise SimulationError("run has no active idle interval")
+
+    @property
+    def load_levels(self) -> list[LoadLevelResult]:
+        """The graduated levels, highest target load first, idle excluded."""
+        graded = [level for level in self.levels if not level.is_active_idle]
+        return sorted(graded, key=lambda level: -level.target_load)
+
+    @property
+    def full_load(self) -> LoadLevelResult:
+        levels = self.load_levels
+        if not levels or levels[0].target_load != 1.0:
+            raise SimulationError("run has no 100 % load level")
+        return levels[0]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_nodes(self) -> int:
+        return self.plan.nodes
+
+    @property
+    def total_sockets(self) -> int:
+        return self.plan.nodes * self.plan.sockets
+
+    @property
+    def overall_efficiency(self) -> float:
+        """Overall ssj_ops/W: sum of ops divided by sum of power, idle included."""
+        total_ops = sum(level.ssj_ops for level in self.levels)
+        total_power = sum(level.average_power_w for level in self.levels)
+        if total_power <= 0:
+            raise SimulationError("total power must be positive")
+        return total_ops / total_power
+
+    def level_at(self, target_load: float) -> LoadLevelResult:
+        """The measurement at a specific target load (e.g. ``0.7``)."""
+        for level in self.levels:
+            if abs(level.target_load - target_load) < 1e-9:
+                return level
+        raise SimulationError(f"no measurement at target load {target_load}")
+
+    def summary(self) -> dict:
+        """Compact dictionary used by examples and quick inspection."""
+        full = self.full_load
+        idle = self.active_idle
+        return {
+            "run_id": self.plan.run_id,
+            "cpu": self.cpu.model,
+            "vendor": self.cpu.vendor.value,
+            "sockets": self.plan.sockets,
+            "nodes": self.plan.nodes,
+            "hw_avail": str(self.plan.hw_avail),
+            "overall_ssj_ops_per_watt": round(self.overall_efficiency, 1),
+            "full_load_power_w": round(full.average_power_w, 1),
+            "active_idle_power_w": round(idle.average_power_w, 1),
+            "idle_fraction": round(idle.average_power_w / full.average_power_w, 4)
+            if full.average_power_w > 0
+            else None,
+        }

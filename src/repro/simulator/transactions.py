@@ -1,0 +1,107 @@
+"""The SSJ transaction mix.
+
+SPECpower_ssj2008's workload is derived from SPECjbb2005: warehouses process
+six differently weighted transaction types.  The exact business logic is
+irrelevant for power analysis; what matters is that the mix has a defined
+probability per type and a relative cost per type, which together set the
+work done per "ssj_op".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["TransactionType", "TransactionMix", "DEFAULT_MIX"]
+
+
+class TransactionType(str, enum.Enum):
+    """The six SSJ transaction types."""
+
+    NEW_ORDER = "new_order"
+    PAYMENT = "payment"
+    ORDER_STATUS = "order_status"
+    DELIVERY = "delivery"
+    STOCK_LEVEL = "stock_level"
+    CUSTOMER_REPORT = "customer_report"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Mix probabilities follow the SPECjbb-style weighting used by ssj2008.
+_DEFAULT_WEIGHTS: dict[TransactionType, float] = {
+    TransactionType.NEW_ORDER: 0.333,
+    TransactionType.PAYMENT: 0.333,
+    TransactionType.ORDER_STATUS: 0.083,
+    TransactionType.DELIVERY: 0.083,
+    TransactionType.STOCK_LEVEL: 0.083,
+    TransactionType.CUSTOMER_REPORT: 0.085,
+}
+
+#: Relative CPU cost of one transaction of each type (new-order == 1.0).
+_DEFAULT_COSTS: dict[TransactionType, float] = {
+    TransactionType.NEW_ORDER: 1.00,
+    TransactionType.PAYMENT: 0.65,
+    TransactionType.ORDER_STATUS: 0.45,
+    TransactionType.DELIVERY: 1.25,
+    TransactionType.STOCK_LEVEL: 0.80,
+    TransactionType.CUSTOMER_REPORT: 1.10,
+}
+
+
+@dataclass(frozen=True)
+class TransactionMix:
+    """Probabilities and relative costs of the transaction types."""
+
+    weights: Mapping[TransactionType, float] = field(
+        default_factory=lambda: dict(_DEFAULT_WEIGHTS)
+    )
+    costs: Mapping[TransactionType, float] = field(
+        default_factory=lambda: dict(_DEFAULT_COSTS)
+    )
+
+    def __post_init__(self) -> None:
+        if set(self.weights) != set(TransactionType):
+            raise SimulationError("weights must cover every transaction type")
+        if set(self.costs) != set(TransactionType):
+            raise SimulationError("costs must cover every transaction type")
+        total = sum(self.weights.values())
+        if not 0.98 <= total <= 1.02:
+            raise SimulationError(f"mix weights must sum to ~1.0, got {total:.3f}")
+        if any(cost <= 0 for cost in self.costs.values()):
+            raise SimulationError("transaction costs must be positive")
+
+    @property
+    def types(self) -> list[TransactionType]:
+        return list(TransactionType)
+
+    def probabilities(self) -> np.ndarray:
+        weights = np.asarray([self.weights[t] for t in self.types], dtype=np.float64)
+        return weights / weights.sum()
+
+    def mean_cost(self) -> float:
+        """Expected relative cost of one transaction drawn from the mix."""
+        probabilities = self.probabilities()
+        costs = np.asarray([self.costs[t] for t in self.types], dtype=np.float64)
+        return float(np.sum(probabilities * costs))
+
+    def sample(self, rng: np.random.Generator, count: int) -> list[TransactionType]:
+        """Draw ``count`` transaction types according to the mix."""
+        if count < 0:
+            raise SimulationError("count must be >= 0")
+        indices = rng.choice(len(self.types), size=count, p=self.probabilities())
+        types = self.types
+        return [types[int(i)] for i in indices]
+
+    def cost_of(self, transaction: TransactionType) -> float:
+        return float(self.costs[transaction])
+
+
+#: The default mix used by the run director.
+DEFAULT_MIX = TransactionMix()

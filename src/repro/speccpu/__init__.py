@@ -1,0 +1,13 @@
+"""SPEC CPU 2017 rate throughput model (for the paper's Table I)."""
+
+from .benchmarks import SuiteKind, Benchmark, INT_RATE_SUITE, FP_RATE_SUITE
+from .model import SpecCpuRateModel, RateResult
+
+__all__ = [
+    "SuiteKind",
+    "Benchmark",
+    "INT_RATE_SUITE",
+    "FP_RATE_SUITE",
+    "SpecCpuRateModel",
+    "RateResult",
+]

@@ -1,0 +1,67 @@
+"""SPEC CPU 2017 rate suite composition.
+
+Only the properties that matter for a throughput model are kept per
+benchmark: how memory-bandwidth-bound it is and how much it benefits from
+wide vector units.  Those two factors are what make the AMD/Intel comparison
+of the paper's Table I differ between the integer and floating-point suites.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["SuiteKind", "Benchmark", "INT_RATE_SUITE", "FP_RATE_SUITE"]
+
+
+class SuiteKind(str, enum.Enum):
+    INT_RATE = "intrate"
+    FP_RATE = "fprate"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One SPEC CPU 2017 rate benchmark.
+
+    ``memory_sensitivity`` (0..1) is the share of runtime limited by memory
+    bandwidth rather than core throughput; ``vector_sensitivity`` (0..1) is
+    the share that scales with SIMD width.
+    """
+
+    name: str
+    suite: SuiteKind
+    memory_sensitivity: float
+    vector_sensitivity: float
+
+
+INT_RATE_SUITE: tuple[Benchmark, ...] = (
+    Benchmark("500.perlbench_r", SuiteKind.INT_RATE, 0.10, 0.00),
+    Benchmark("502.gcc_r", SuiteKind.INT_RATE, 0.25, 0.00),
+    Benchmark("505.mcf_r", SuiteKind.INT_RATE, 0.55, 0.00),
+    Benchmark("520.omnetpp_r", SuiteKind.INT_RATE, 0.45, 0.00),
+    Benchmark("523.xalancbmk_r", SuiteKind.INT_RATE, 0.30, 0.05),
+    Benchmark("525.x264_r", SuiteKind.INT_RATE, 0.10, 0.35),
+    Benchmark("531.deepsjeng_r", SuiteKind.INT_RATE, 0.15, 0.00),
+    Benchmark("541.leela_r", SuiteKind.INT_RATE, 0.05, 0.00),
+    Benchmark("548.exchange2_r", SuiteKind.INT_RATE, 0.02, 0.00),
+    Benchmark("557.xz_r", SuiteKind.INT_RATE, 0.35, 0.00),
+)
+
+FP_RATE_SUITE: tuple[Benchmark, ...] = (
+    Benchmark("503.bwaves_r", SuiteKind.FP_RATE, 0.60, 0.70),
+    Benchmark("507.cactuBSSN_r", SuiteKind.FP_RATE, 0.45, 0.55),
+    Benchmark("508.namd_r", SuiteKind.FP_RATE, 0.10, 0.60),
+    Benchmark("510.parest_r", SuiteKind.FP_RATE, 0.40, 0.45),
+    Benchmark("511.povray_r", SuiteKind.FP_RATE, 0.05, 0.30),
+    Benchmark("519.lbm_r", SuiteKind.FP_RATE, 0.75, 0.60),
+    Benchmark("521.wrf_r", SuiteKind.FP_RATE, 0.45, 0.50),
+    Benchmark("526.blender_r", SuiteKind.FP_RATE, 0.15, 0.40),
+    Benchmark("527.cam4_r", SuiteKind.FP_RATE, 0.40, 0.45),
+    Benchmark("538.imagick_r", SuiteKind.FP_RATE, 0.05, 0.50),
+    Benchmark("544.nab_r", SuiteKind.FP_RATE, 0.15, 0.55),
+    Benchmark("549.fotonik3d_r", SuiteKind.FP_RATE, 0.65, 0.55),
+    Benchmark("554.roms_r", SuiteKind.FP_RATE, 0.55, 0.50),
+)

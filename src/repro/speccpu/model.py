@@ -1,0 +1,147 @@
+"""Throughput model of SPEC CPU 2017 rate scores.
+
+The paper's Table I compares the same pair of Lenovo systems under
+SPECpower_ssj2008 and SPEC CPU 2017 int/fp rate to argue that the observed
+efficiency trends do not generalise to floating-point workloads: the
+integer-heavy SSJ workload favours AMD's higher core count, while Intel's
+wider vector units close part of the gap on the fp suite.
+
+The model captures exactly those effects:
+
+* per-core throughput = sustained frequency x IPC x vector factor,
+* the vector factor scales the vector-sensitive share of each benchmark with
+  the SIMD register width,
+* the rate score of a benchmark saturates against memory bandwidth via a
+  harmonic blend weighted by the benchmark's memory sensitivity,
+* the suite score is the geometric mean over benchmarks (as in SPEC),
+  scaled by a fixed reference constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..powermodel.cpu import CPUSpec, Vendor
+from ..stats.descriptive import geometric_mean
+from .benchmarks import Benchmark, FP_RATE_SUITE, INT_RATE_SUITE, SuiteKind
+
+__all__ = ["RateResult", "SpecCpuRateModel", "memory_bandwidth_gbs"]
+
+#: Reference constant mapping model units to published-score magnitudes.
+_SCORE_SCALE = 3.2
+
+#: Scalar integer IPC by vendor relative to a 2017 Skylake core.
+_SCALAR_IPC = {Vendor.INTEL: 1.00, Vendor.AMD: 1.05, Vendor.OTHER: 0.90}
+
+#: Effective utilisation of theoretical memory bandwidth in rate runs.
+_BANDWIDTH_EFFICIENCY = 0.80
+
+#: GB/s of compute demand generated per model unit of compute throughput.
+_BYTES_PER_UNIT = 2.2
+
+
+def memory_bandwidth_gbs(cpu: CPUSpec, sockets: int) -> float:
+    """Estimate the system's peak memory bandwidth from the CPU generation."""
+    year = cpu.release.decimal_year
+    if year < 2008:
+        channels, per_channel = 2, 6.4       # DDR2-800
+    elif year < 2012:
+        channels, per_channel = 3, 10.7      # DDR3-1333
+    elif year < 2017:
+        channels, per_channel = 4, 14.9      # DDR4-1866/2133
+    elif year < 2021:
+        channels, per_channel = 6, 21.3      # DDR4-2666
+        if cpu.vendor == Vendor.AMD:
+            channels = 8
+    elif year < 2022.8:
+        channels, per_channel = 8, 25.6      # DDR4-3200
+    else:
+        channels, per_channel = 8, 38.4      # DDR5-4800
+        if cpu.vendor == Vendor.AMD:
+            channels = 12
+    return channels * per_channel * sockets
+
+
+@dataclass(frozen=True)
+class RateResult:
+    """SPEC CPU rate result of one system for one suite."""
+
+    suite: SuiteKind
+    score: float
+    per_benchmark: dict[str, float]
+
+    def describe(self) -> str:
+        return f"SPEC CPU 2017 {self.suite.value} base: {self.score:.0f}"
+
+
+class SpecCpuRateModel:
+    """Rate (throughput) score model for a system built from a CPUSpec."""
+
+    def __init__(
+        self,
+        cpu: CPUSpec,
+        sockets: int = 2,
+        memory_bandwidth_override_gbs: float | None = None,
+        vector_efficiency: float = 0.6,
+    ):
+        if sockets < 1:
+            raise ModelError("sockets must be >= 1")
+        if not 0.0 < vector_efficiency <= 1.0:
+            raise ModelError("vector_efficiency must be in (0, 1]")
+        self.cpu = cpu
+        self.sockets = sockets
+        self.memory_bandwidth_gbs = (
+            memory_bandwidth_override_gbs
+            if memory_bandwidth_override_gbs is not None
+            else memory_bandwidth_gbs(cpu, sockets)
+        )
+        self.vector_efficiency = vector_efficiency
+
+    # ------------------------------------------------------------------ #
+    def sustained_frequency_ghz(self) -> float:
+        """All-core sustained frequency during a rate run."""
+        base = self.cpu.base_frequency_mhz / 1000.0
+        turbo = self.cpu.max_turbo_mhz / 1000.0
+        return 0.95 * (base + turbo) / 2.0
+
+    def per_core_throughput(self, benchmark: Benchmark) -> float:
+        """Throughput of one core on one benchmark (model units)."""
+        ipc = _SCALAR_IPC.get(self.cpu.vendor, 0.9)
+        vector_width_factor = self.cpu.avx_width_bits / 256.0
+        vector_share = benchmark.vector_sensitivity
+        vector_factor = (1.0 - vector_share) + vector_share * vector_width_factor * self.vector_efficiency
+        return self.sustained_frequency_ghz() * ipc * vector_factor
+
+    def benchmark_score(self, benchmark: Benchmark) -> float:
+        """Rate score of one benchmark (before the suite geometric mean)."""
+        cores = self.cpu.cores * self.sockets
+        compute = cores * self.per_core_throughput(benchmark)
+        bandwidth_capability = (
+            self.memory_bandwidth_gbs * _BANDWIDTH_EFFICIENCY / _BYTES_PER_UNIT
+        )
+        ms = benchmark.memory_sensitivity
+        if ms <= 0:
+            effective = compute
+        else:
+            # Harmonic blend: the memory-bound share of the runtime is limited
+            # by bandwidth, the rest by compute.
+            effective = 1.0 / ((1.0 - ms) / compute + ms / bandwidth_capability)
+        return effective * _SCORE_SCALE
+
+    def suite_score(self, suite: SuiteKind) -> RateResult:
+        benchmarks = INT_RATE_SUITE if suite == SuiteKind.INT_RATE else FP_RATE_SUITE
+        scores = {b.name: self.benchmark_score(b) for b in benchmarks}
+        return RateResult(
+            suite=suite,
+            score=geometric_mean(list(scores.values())),
+            per_benchmark=scores,
+        )
+
+    def int_rate(self) -> RateResult:
+        """SPEC CPU 2017 Integer Rate base score."""
+        return self.suite_score(SuiteKind.INT_RATE)
+
+    def fp_rate(self) -> RateResult:
+        """SPEC CPU 2017 Floating Point Rate base score."""
+        return self.suite_score(SuiteKind.FP_RATE)

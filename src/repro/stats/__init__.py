@@ -1,0 +1,60 @@
+"""Statistics used by the SPEC Power trend analysis.
+
+The paper's analysis relies on a handful of statistical tools:
+
+* descriptive statistics per year bin (means, standard deviations,
+  percentiles) — :mod:`repro.stats.descriptive`,
+* ordinary least squares regression (used both for trend lines and for the
+  extrapolated active-idle power of Section IV) —
+  :mod:`repro.stats.regression`,
+* correlation coefficients for the Section IV exploration of run features —
+  :mod:`repro.stats.correlation`,
+* year binning and era comparisons — :mod:`repro.stats.binning`,
+* distribution summaries (quantiles, box-plot statistics, histograms) used
+  by Figure 4 — :mod:`repro.stats.distribution`.
+"""
+
+from .descriptive import (
+    Summary,
+    summarize,
+    weighted_mean,
+    geometric_mean,
+    trimmed_mean,
+)
+from .regression import LinearFit, linear_fit, extrapolate_linear, theil_sen_fit
+from .correlation import pearson, spearman, correlation_matrix, CorrelationResult
+from .binning import year_bins, bin_by_year, EraComparison, compare_eras
+from .distribution import (
+    BoxStats,
+    box_stats,
+    histogram,
+    Histogram,
+    empirical_cdf,
+    quantiles,
+)
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "weighted_mean",
+    "geometric_mean",
+    "trimmed_mean",
+    "LinearFit",
+    "linear_fit",
+    "extrapolate_linear",
+    "theil_sen_fit",
+    "pearson",
+    "spearman",
+    "correlation_matrix",
+    "CorrelationResult",
+    "year_bins",
+    "bin_by_year",
+    "EraComparison",
+    "compare_eras",
+    "BoxStats",
+    "box_stats",
+    "histogram",
+    "Histogram",
+    "empirical_cdf",
+    "quantiles",
+]

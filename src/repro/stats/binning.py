@@ -1,0 +1,137 @@
+"""Year binning and era comparisons.
+
+All figures in the paper plot statistics against the *hardware availability
+date*, binned by calendar year.  The headline scalar comparisons contrast
+"eras": e.g. mean full-load power per socket of runs up to 2010 vs runs since
+2022.  This module provides both helpers on top of :class:`repro.frame.Frame`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import StatsError
+from ..frame import Frame
+from .descriptive import Summary, summarize
+
+__all__ = ["year_bins", "bin_by_year", "EraComparison", "compare_eras"]
+
+
+def year_bins(frame: Frame, date_column: str = "hw_avail_year") -> list[int]:
+    """Sorted list of distinct years present in ``date_column``."""
+    if date_column not in frame:
+        raise StatsError(f"no column {date_column!r} in frame")
+    years = sorted({int(v) for v in frame[date_column].to_list() if v is not None})
+    return years
+
+
+def bin_by_year(
+    frame: Frame,
+    value_column: str,
+    date_column: str = "hw_avail_year",
+    group_columns: Sequence[str] = (),
+) -> Frame:
+    """Per-year (optionally per extra group) summary statistics of a column.
+
+    Returns a frame with the grouping keys plus ``count``, ``mean``, ``std``,
+    ``median``, ``q25``, ``q75``, ``min`` and ``max`` — the statistics the
+    figures plot.
+    """
+    for name in (value_column, date_column, *group_columns):
+        if name not in frame:
+            raise StatsError(f"no column {name!r} in frame")
+    keys = [date_column, *group_columns]
+
+    def _stats(sub: Frame) -> Mapping[str, float]:
+        summary = summarize(sub[value_column].to_list())
+        return {
+            "count": summary.count,
+            "mean": summary.mean,
+            "std": summary.std,
+            "median": summary.median,
+            "q25": summary.q25,
+            "q75": summary.q75,
+            "min": summary.minimum,
+            "max": summary.maximum,
+        }
+
+    result = frame.groupby(keys).apply(_stats)
+    return result.sort_by(keys)
+
+
+@dataclass(frozen=True)
+class EraComparison:
+    """Comparison of a metric between two date ranges ("eras")."""
+
+    metric: str
+    early_label: str
+    late_label: str
+    early: Summary
+    late: Summary
+
+    @property
+    def ratio(self) -> float:
+        """late mean / early mean (the "~2.5x" style numbers in the paper)."""
+        if self.early.mean == 0 or np.isnan(self.early.mean):
+            return float("nan")
+        return self.late.mean / self.early.mean
+
+    def describe(self) -> str:
+        return (
+            f"{self.metric}: {self.early_label} mean {self.early.mean:.1f} "
+            f"(n={self.early.count}) vs {self.late_label} mean {self.late.mean:.1f} "
+            f"(n={self.late.count}), ratio {self.ratio:.2f}x"
+        )
+
+
+def compare_eras(
+    frame: Frame,
+    value_column: str,
+    early: tuple[int | None, int | None],
+    late: tuple[int | None, int | None],
+    date_column: str = "hw_avail_year",
+    metric_name: str | None = None,
+) -> EraComparison:
+    """Compare the mean of ``value_column`` between two year ranges.
+
+    Each era is an inclusive ``(first_year, last_year)`` pair; ``None`` means
+    unbounded on that side.  The paper's "runs up to 2010" era is
+    ``(None, 2010)`` and "since 2022" is ``(2022, None)``.
+    """
+    if value_column not in frame or date_column not in frame:
+        raise StatsError("value or date column missing from frame")
+
+    years = frame[date_column]
+
+    def era_mask(bounds: tuple[int | None, int | None]) -> np.ndarray:
+        low, high = bounds
+        mask = years.notna()
+        if low is not None:
+            mask &= years >= low
+        if high is not None:
+            mask &= years <= high
+        return mask
+
+    early_values = frame.filter(era_mask(early))[value_column].to_list()
+    late_values = frame.filter(era_mask(late))[value_column].to_list()
+
+    def label(bounds: tuple[int | None, int | None]) -> str:
+        low, high = bounds
+        if low is None and high is not None:
+            return f"<= {high}"
+        if high is None and low is not None:
+            return f">= {low}"
+        if low is None and high is None:
+            return "all"
+        return f"{low}-{high}"
+
+    return EraComparison(
+        metric=metric_name or value_column,
+        early_label=label(early),
+        late_label=label(late),
+        early=summarize(early_values),
+        late=summarize(late_values),
+    )

@@ -1,0 +1,128 @@
+"""Correlation measures for the Section IV feature exploration.
+
+The paper explores correlations between run features (core count, nominal
+frequency, TDP, idle fraction, ...) for runs since 2021 and finds them
+confounded by vendor lineups.  :func:`correlation_matrix` reproduces that
+exploration over a :class:`repro.frame.Frame`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import StatsError
+from ..frame import Frame
+
+__all__ = ["pearson", "spearman", "correlation_matrix", "CorrelationResult"]
+
+
+def _paired(x: Iterable[float], y: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    xa = np.asarray([np.nan if v is None else float(v) for v in x], dtype=np.float64)
+    ya = np.asarray([np.nan if v is None else float(v) for v in y], dtype=np.float64)
+    if len(xa) != len(ya):
+        raise StatsError("x and y must have the same length")
+    keep = ~(np.isnan(xa) | np.isnan(ya))
+    return xa[keep], ya[keep]
+
+
+def pearson(x: Iterable[float], y: Iterable[float]) -> float:
+    """Pearson product-moment correlation coefficient.
+
+    Returns NaN for fewer than two points or zero variance.
+    """
+    xa, ya = _paired(x, y)
+    if len(xa) < 2:
+        return float("nan")
+    xs = xa - xa.mean()
+    ys = ya - ya.mean()
+    denom = np.sqrt(np.sum(xs**2) * np.sum(ys**2))
+    if denom == 0:
+        return float("nan")
+    return float(np.sum(xs * ys) / denom)
+
+
+def _rank(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean of their rank range)."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.float64)
+    i = 0
+    sorted_values = values[order]
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        average_rank = (i + j) / 2.0 + 1.0
+        ranks[order[i: j + 1]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(x: Iterable[float], y: Iterable[float]) -> float:
+    """Spearman rank correlation (Pearson correlation of ranks)."""
+    xa, ya = _paired(x, y)
+    if len(xa) < 2:
+        return float("nan")
+    return pearson(_rank(xa), _rank(ya))
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """Pairwise correlation matrix over a set of numeric features."""
+
+    features: tuple[str, ...]
+    matrix: np.ndarray
+    method: str
+    n: int
+
+    def value(self, a: str, b: str) -> float:
+        """Correlation between two named features."""
+        try:
+            i, j = self.features.index(a), self.features.index(b)
+        except ValueError as exc:
+            raise StatsError(f"unknown feature in correlation result: {exc}") from None
+        return float(self.matrix[i, j])
+
+    def strongest_pairs(self, limit: int = 10) -> list[tuple[str, str, float]]:
+        """Feature pairs ordered by absolute correlation, strongest first."""
+        pairs = []
+        for i in range(len(self.features)):
+            for j in range(i + 1, len(self.features)):
+                value = float(self.matrix[i, j])
+                if not np.isnan(value):
+                    pairs.append((self.features[i], self.features[j], value))
+        pairs.sort(key=lambda item: -abs(item[2]))
+        return pairs[:limit]
+
+    def to_frame(self) -> Frame:
+        """The matrix as a frame with a ``feature`` key column."""
+        data: dict[str, list] = {"feature": list(self.features)}
+        for j, name in enumerate(self.features):
+            data[name] = [float(self.matrix[i, j]) for i in range(len(self.features))]
+        return Frame.from_dict(data)
+
+
+def correlation_matrix(
+    frame: Frame, features: Sequence[str], method: str = "pearson"
+) -> CorrelationResult:
+    """Pairwise correlations between numeric columns of ``frame``."""
+    if method not in ("pearson", "spearman"):
+        raise StatsError(f"unknown correlation method {method!r}")
+    func = pearson if method == "pearson" else spearman
+    columns = []
+    for name in features:
+        if name not in frame:
+            raise StatsError(f"unknown column {name!r} for correlation matrix")
+        column = frame[name]
+        if column.kind not in ("float", "int", "bool"):
+            raise StatsError(f"column {name!r} is not numeric")
+        columns.append(column.to_list())
+    k = len(features)
+    matrix = np.eye(k, dtype=np.float64)
+    for i in range(k):
+        for j in range(i + 1, k):
+            value = func(columns[i], columns[j])
+            matrix[i, j] = matrix[j, i] = value
+    return CorrelationResult(tuple(features), matrix, method, len(frame))

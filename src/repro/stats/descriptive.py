@@ -1,0 +1,106 @@
+"""Descriptive statistics over 1-D samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import StatsError
+
+__all__ = ["Summary", "summarize", "weighted_mean", "geometric_mean", "trimmed_mean"]
+
+
+def _clean(values: Iterable[float]) -> np.ndarray:
+    """Convert to a float array and drop NaN / None entries."""
+    array = np.asarray(
+        [np.nan if v is None else float(v) for v in values], dtype=np.float64
+    )
+    return array[~np.isnan(array)]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range."""
+        return self.q75 - self.q25
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """std / mean, NaN when the mean is zero."""
+        if self.mean == 0:
+            return float("nan")
+        return self.std / self.mean
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary`; empty input yields NaN statistics."""
+    data = _clean(values)
+    if len(data) == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan)
+    return Summary(
+        count=int(len(data)),
+        mean=float(np.mean(data)),
+        std=float(np.std(data, ddof=1)) if len(data) > 1 else 0.0,
+        minimum=float(np.min(data)),
+        q25=float(np.quantile(data, 0.25)),
+        median=float(np.median(data)),
+        q75=float(np.quantile(data, 0.75)),
+        maximum=float(np.max(data)),
+    )
+
+
+def weighted_mean(values: Iterable[float], weights: Iterable[float]) -> float:
+    """Weighted arithmetic mean; missing pairs are dropped."""
+    v = np.asarray([np.nan if x is None else float(x) for x in values], dtype=np.float64)
+    w = np.asarray([np.nan if x is None else float(x) for x in weights], dtype=np.float64)
+    if len(v) != len(w):
+        raise StatsError("values and weights must have the same length")
+    keep = ~(np.isnan(v) | np.isnan(w))
+    v, w = v[keep], w[keep]
+    if len(v) == 0 or np.sum(w) == 0:
+        return float("nan")
+    return float(np.sum(v * w) / np.sum(w))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    SPEC CPU composes suite scores as geometric means of per-benchmark
+    ratios; the :mod:`repro.speccpu` model reuses this helper.
+    """
+    data = _clean(values)
+    if len(data) == 0:
+        return float("nan")
+    if np.any(data <= 0):
+        raise StatsError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(data))))
+
+
+def trimmed_mean(values: Iterable[float], proportion: float = 0.1) -> float:
+    """Mean after trimming ``proportion`` of each tail."""
+    if not 0 <= proportion < 0.5:
+        raise StatsError("trim proportion must be in [0, 0.5)")
+    data = np.sort(_clean(values))
+    if len(data) == 0:
+        return float("nan")
+    k = int(np.floor(len(data) * proportion))
+    trimmed = data[k: len(data) - k] if len(data) - 2 * k > 0 else data
+    return float(np.mean(trimmed))

@@ -1,0 +1,126 @@
+"""Distribution summaries: quantiles, box-plot statistics and histograms.
+
+Figure 4 of the paper shows the *distribution* of relative efficiency per
+year/vendor bin (drawn as box-like summaries).  The plotting layer consumes
+:class:`BoxStats` produced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import StatsError
+
+__all__ = ["BoxStats", "box_stats", "Histogram", "histogram", "empirical_cdf", "quantiles"]
+
+
+def _clean(values: Iterable[float]) -> np.ndarray:
+    array = np.asarray(
+        [np.nan if v is None else float(v) for v in values], dtype=np.float64
+    )
+    return array[~np.isnan(array)]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Tukey box-plot statistics of a sample."""
+
+    count: int
+    median: float
+    q25: float
+    q75: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple[float, ...]
+
+    @property
+    def iqr(self) -> float:
+        return self.q75 - self.q25
+
+
+def box_stats(values: Iterable[float], whisker: float = 1.5) -> BoxStats:
+    """Compute box-plot statistics with Tukey whiskers.
+
+    Whiskers extend to the most extreme data point within ``whisker`` times
+    the inter-quartile range of the quartiles; points beyond are outliers.
+    """
+    data = _clean(values)
+    if len(data) == 0:
+        nan = float("nan")
+        return BoxStats(0, nan, nan, nan, nan, nan, ())
+    q25 = float(np.quantile(data, 0.25))
+    q75 = float(np.quantile(data, 0.75))
+    iqr = q75 - q25
+    low_limit = q25 - whisker * iqr
+    high_limit = q75 + whisker * iqr
+    inside = data[(data >= low_limit) & (data <= high_limit)]
+    # Whiskers extend outward from the quartile box, never inside it (the
+    # quartiles are interpolated and need not coincide with data points).
+    whisker_low = min(float(np.min(inside)), q25) if len(inside) else q25
+    whisker_high = max(float(np.max(inside)), q75) if len(inside) else q75
+    outliers = tuple(float(v) for v in data[(data < low_limit) | (data > high_limit)])
+    return BoxStats(
+        count=int(len(data)),
+        median=float(np.median(data)),
+        q25=q25,
+        q75=q75,
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=outliers,
+    )
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Histogram bin edges and counts."""
+
+    edges: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    @property
+    def total(self) -> int:
+        return int(sum(self.counts))
+
+    def densities(self) -> list[float]:
+        """Counts normalised so the histogram integrates to one."""
+        total = self.total
+        if total == 0:
+            return [0.0] * len(self.counts)
+        widths = np.diff(np.asarray(self.edges))
+        return [
+            count / (total * width) if width > 0 else 0.0
+            for count, width in zip(self.counts, widths)
+        ]
+
+
+def histogram(values: Iterable[float], bins: int = 10,
+              value_range: tuple[float, float] | None = None) -> Histogram:
+    """Fixed-width histogram of a sample (NaN / None dropped)."""
+    if bins < 1:
+        raise StatsError("histogram requires at least one bin")
+    data = _clean(values)
+    if len(data) == 0:
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        return Histogram(tuple(float(e) for e in edges), tuple([0] * bins))
+    counts, edges = np.histogram(data, bins=bins, range=value_range)
+    return Histogram(tuple(float(e) for e in edges), tuple(int(c) for c in counts))
+
+
+def empirical_cdf(values: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted sample values and their empirical cumulative probabilities."""
+    data = np.sort(_clean(values))
+    if len(data) == 0:
+        return np.array([]), np.array([])
+    probabilities = np.arange(1, len(data) + 1, dtype=np.float64) / len(data)
+    return data, probabilities
+
+
+def quantiles(values: Iterable[float], qs: Sequence[float]) -> list[float]:
+    """Multiple quantiles at once (NaN for empty input)."""
+    data = _clean(values)
+    if len(data) == 0:
+        return [float("nan")] * len(qs)
+    return [float(np.quantile(data, q)) for q in qs]

@@ -1,0 +1,116 @@
+"""Linear regression helpers.
+
+The paper uses linear regression in two places:
+
+* trend lines over hardware availability date in the figures, and
+* the *extrapolated active idle power* of Section IV: the power at 0 % load
+  extrapolated linearly from the measured 10 % and 20 % load points.  With
+  exactly two points the fit is an exact line, so
+  ``P_extrapolated(0) = 2 * P(10 %) - P(20 %)``; :func:`extrapolate_linear`
+  implements the general least-squares form so more load points can be used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import StatsError
+
+__all__ = ["LinearFit", "linear_fit", "extrapolate_linear", "theil_sen_fit"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a least-squares straight-line fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the fitted line."""
+        result = self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+        if np.isscalar(x) or np.ndim(x) == 0:
+            return float(result)
+        return result
+
+    def __str__(self) -> str:
+        return f"y = {self.slope:.6g} * x + {self.intercept:.6g} (R^2={self.r_squared:.3f}, n={self.n})"
+
+
+def _paired(x: Iterable[float], y: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    xa = np.asarray([np.nan if v is None else float(v) for v in x], dtype=np.float64)
+    ya = np.asarray([np.nan if v is None else float(v) for v in y], dtype=np.float64)
+    if len(xa) != len(ya):
+        raise StatsError("x and y must have the same length")
+    keep = ~(np.isnan(xa) | np.isnan(ya))
+    return xa[keep], ya[keep]
+
+
+def linear_fit(x: Iterable[float], y: Iterable[float]) -> LinearFit:
+    """Ordinary least squares fit of ``y`` on ``x``.
+
+    Raises :class:`StatsError` when fewer than two valid points remain or
+    when ``x`` is constant (the slope would be undefined).
+    """
+    xa, ya = _paired(x, y)
+    n = len(xa)
+    if n < 2:
+        raise StatsError(f"linear fit requires at least 2 points, got {n}")
+    x_mean, y_mean = xa.mean(), ya.mean()
+    sxx = np.sum((xa - x_mean) ** 2)
+    if sxx == 0:
+        raise StatsError("linear fit requires non-constant x values")
+    sxy = np.sum((xa - x_mean) * (ya - y_mean))
+    slope = sxy / sxx
+    intercept = y_mean - slope * x_mean
+    residuals = ya - (slope * xa + intercept)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((ya - y_mean) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(float(slope), float(intercept), float(r_squared), int(n))
+
+
+def extrapolate_linear(
+    x: Sequence[float], y: Sequence[float], at: float = 0.0
+) -> float:
+    """Extrapolate a least-squares line fitted to ``(x, y)`` to ``x = at``.
+
+    The Section IV extrapolated idle power is
+    ``extrapolate_linear([10, 20], [P10, P20], at=0)``.
+    """
+    fit = linear_fit(x, y)
+    return float(fit.predict(at))
+
+
+def theil_sen_fit(x: Iterable[float], y: Iterable[float]) -> LinearFit:
+    """Robust Theil–Sen line fit (median of pairwise slopes).
+
+    Used as a robustness check on the figure trend lines: SPEC Power data
+    contains pronounced outliers (very large or very small systems) that can
+    pull an OLS line.
+    """
+    xa, ya = _paired(x, y)
+    n = len(xa)
+    if n < 2:
+        raise StatsError(f"Theil-Sen fit requires at least 2 points, got {n}")
+    # Pairwise slopes via broadcasting; ignore pairs with identical x.
+    dx = xa[:, None] - xa[None, :]
+    dy = ya[:, None] - ya[None, :]
+    upper = np.triu_indices(n, k=1)
+    dx, dy = dx[upper], dy[upper]
+    valid = dx != 0
+    if not np.any(valid):
+        raise StatsError("Theil-Sen fit requires non-constant x values")
+    slopes = dy[valid] / dx[valid]
+    slope = float(np.median(slopes))
+    intercept = float(np.median(ya - slope * xa))
+    residuals = ya - (slope * xa + intercept)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((ya - ya.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope, intercept, r_squared, n)

@@ -1,0 +1,210 @@
+"""Unit parsing and formatting helpers.
+
+SPEC result files report quantities as loosely formatted strings:
+``"2,200"`` operations, ``"Dec-2012"`` availability dates, ``"2.25 GHz"``
+frequencies, ``"350 W"`` TDP values.  This module centralises the parsing
+and formatting of those representations so the parser, the report writer and
+the analysis code agree on one canonical numeric form:
+
+* power in watts (float),
+* frequency in megahertz (float),
+* dates as :class:`MonthDate` (year, month) — SPEC reports only publish a
+  month-level "Hardware Availability" granularity,
+* operation counts as plain floats (``ssj_ops`` can exceed 2**31).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+
+from .errors import FieldError
+
+__all__ = [
+    "MonthDate",
+    "parse_month_date",
+    "format_month_date",
+    "parse_number",
+    "parse_int",
+    "parse_power_watts",
+    "parse_frequency_mhz",
+    "parse_percent",
+    "format_number",
+    "year_fraction",
+    "MONTH_NAMES",
+]
+
+#: Three-letter month abbreviations in SPEC report order (1-indexed).
+MONTH_NAMES = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+
+_MONTH_INDEX = {name.lower(): i + 1 for i, name in enumerate(MONTH_NAMES)}
+# Common long-form month names also appear in hand-edited reports.
+_MONTH_INDEX.update(
+    {
+        "january": 1, "february": 2, "march": 3, "april": 4, "may": 5,
+        "june": 6, "july": 7, "august": 8, "september": 9, "october": 10,
+        "november": 11, "december": 12,
+    }
+)
+
+_NUMBER_RE = re.compile(r"[-+]?\d[\d,]*(?:\.\d+)?(?:[eE][-+]?\d+)?")
+
+
+@total_ordering
+@dataclass(frozen=True)
+class MonthDate:
+    """A month-granularity date, as used for SPEC availability fields."""
+
+    year: int
+    month: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise FieldError(f"month out of range: {self.month}")
+        if not 1900 <= self.year <= 2200:
+            raise FieldError(f"year out of range: {self.year}")
+
+    def __lt__(self, other: "MonthDate") -> bool:
+        if not isinstance(other, MonthDate):
+            return NotImplemented
+        return (self.year, self.month) < (other.year, other.month)
+
+    def __str__(self) -> str:
+        return format_month_date(self)
+
+    @property
+    def decimal_year(self) -> float:
+        """The date as a fractional year (mid-month convention)."""
+        return self.year + (self.month - 0.5) / 12.0
+
+    def months_since(self, other: "MonthDate") -> int:
+        """Number of whole months between ``self`` and ``other``."""
+        return (self.year - other.year) * 12 + (self.month - other.month)
+
+    def shift(self, months: int) -> "MonthDate":
+        """Return a new :class:`MonthDate` shifted by ``months`` months."""
+        index = self.year * 12 + (self.month - 1) + months
+        return MonthDate(index // 12, index % 12 + 1)
+
+
+def parse_month_date(text: str) -> MonthDate:
+    """Parse a SPEC-style month/year date.
+
+    Accepted forms include ``"Dec-2012"``, ``"Dec 2012"``, ``"December 2012"``,
+    ``"2012-12"`` and ``"12/2012"``.
+    """
+    raw = text.strip()
+    if not raw:
+        raise FieldError("empty date")
+    cleaned = raw.replace(",", " ")
+
+    match = re.fullmatch(r"([A-Za-z]+)[\s\-/]+(\d{4})", cleaned.strip())
+    if match:
+        name, year = match.group(1).lower(), int(match.group(2))
+        if name not in _MONTH_INDEX:
+            raise FieldError(f"unknown month name in date: {raw!r}")
+        return MonthDate(year, _MONTH_INDEX[name])
+
+    match = re.fullmatch(r"(\d{4})[\s\-/](\d{1,2})", cleaned.strip())
+    if match:
+        return MonthDate(int(match.group(1)), int(match.group(2)))
+
+    match = re.fullmatch(r"(\d{1,2})[\s\-/](\d{4})", cleaned.strip())
+    if match:
+        return MonthDate(int(match.group(2)), int(match.group(1)))
+
+    match = re.fullmatch(r"(\d{4})", cleaned.strip())
+    if match:
+        # Year-only dates are ambiguous; the validation layer flags them, but
+        # we still return a canonical value (mid-year) for inspection.
+        raise FieldError(f"ambiguous year-only date: {raw!r}")
+
+    raise FieldError(f"unparseable date: {raw!r}")
+
+
+def format_month_date(date: MonthDate) -> str:
+    """Format a :class:`MonthDate` in SPEC report style, e.g. ``"Dec-2012"``."""
+    return f"{MONTH_NAMES[date.month - 1]}-{date.year}"
+
+
+def parse_number(text: str) -> float:
+    """Parse a number that may contain thousands separators.
+
+    ``"1,234,567.8"`` → ``1234567.8``.  Raises :class:`FieldError` when no
+    numeric token is present.
+    """
+    raw = text.strip()
+    match = _NUMBER_RE.search(raw)
+    if match is None:
+        raise FieldError(f"no number found in {text!r}")
+    return float(match.group(0).replace(",", ""))
+
+
+def parse_int(text: str) -> int:
+    """Parse an integer, tolerating thousands separators and surrounding text."""
+    value = parse_number(text)
+    if not float(value).is_integer():
+        raise FieldError(f"expected an integer, got {text!r}")
+    return int(value)
+
+
+def parse_power_watts(text: str) -> float:
+    """Parse a power value and normalise to watts.
+
+    Accepts ``"250"``, ``"250 W"``, ``"250W"``, ``"1.1 kW"``.
+    """
+    raw = text.strip()
+    value = parse_number(raw)
+    lowered = raw.lower().replace(" ", "")
+    if lowered.endswith("kw"):
+        value *= 1000.0
+    elif lowered.endswith("mw") and not lowered.endswith("mw)"):
+        # Milliwatts never appear for node power; treat "mW" literally.
+        value /= 1000.0
+    if value < 0:
+        raise FieldError(f"negative power: {text!r}")
+    return value
+
+
+def parse_frequency_mhz(text: str) -> float:
+    """Parse a CPU frequency and normalise to MHz.
+
+    Accepts ``"2200"`` (already MHz), ``"2.2 GHz"``, ``"2200 MHz"``.
+    Bare numbers below 10 are interpreted as GHz (SPEC reports list the
+    nominal frequency either way).
+    """
+    raw = text.strip()
+    value = parse_number(raw)
+    lowered = raw.lower()
+    if "ghz" in lowered:
+        return value * 1000.0
+    if "mhz" in lowered:
+        return value
+    if value < 10.0:
+        return value * 1000.0
+    return value
+
+
+def parse_percent(text: str) -> float:
+    """Parse a percentage such as ``"99.8%"`` into a fraction (0.998)."""
+    value = parse_number(text)
+    return value / 100.0
+
+
+def format_number(value: float, decimals: int = 0) -> str:
+    """Format a number with thousands separators, SPEC-report style."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "NC"
+    if decimals <= 0:
+        return f"{value:,.0f}"
+    return f"{value:,.{decimals}f}"
+
+
+def year_fraction(date: MonthDate) -> float:
+    """Alias for :attr:`MonthDate.decimal_year` (kept for API symmetry)."""
+    return date.decimal_year

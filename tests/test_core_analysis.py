@@ -1,0 +1,265 @@
+"""Tests for trends, proportionality, the correlation study, figures,
+Table I and the report assembly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_report,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    headline_findings,
+    proportionality_scores,
+    run_correlation_study,
+    share_shift,
+    submissions_per_year,
+    table1,
+)
+from repro.core.proportionality import attach_proportionality
+from repro.core.tables import PAPER_TABLE1, table1_frame
+from repro.errors import AnalysisError
+from repro.frame import Frame
+
+
+class TestTrends:
+    def test_submissions_per_year(self, run_frame):
+        findings = submissions_per_year(run_frame)
+        names = {f.name for f in findings}
+        assert {"submissions_per_year", "submissions_per_year_2013_2017"} <= names
+        overall = next(f for f in findings if f.name == "submissions_per_year")
+        dip = next(f for f in findings if f.name == "submissions_per_year_2013_2017")
+        assert dip.measured_value < overall.measured_value
+
+    def test_share_shift_linux(self, run_frame):
+        before, after = share_shift(run_frame, "is_linux")
+        assert before < 0.1
+        assert after > 0.2
+
+    def test_share_shift_amd(self, run_frame):
+        before, after = share_shift(run_frame, "is_amd")
+        assert after > before
+
+    def test_share_shift_unknown_column(self, run_frame):
+        with pytest.raises(AnalysisError):
+            share_shift(run_frame, "bogus")
+
+    def test_headline_findings_complete(self, run_frame, filtered_frame):
+        findings = headline_findings(run_frame, filtered_frame)
+        names = {f.name for f in findings}
+        expected = {
+            "power_per_socket_full_load_early",
+            "power_per_socket_full_load_late",
+            "idle_fraction_2006",
+            "idle_fraction_minimum",
+            "idle_fraction_2024",
+            "amd_share_of_top100_efficiency",
+            "linux_share_before_2018",
+            "amd_share_from_2018",
+        }
+        assert expected <= names
+
+    def test_power_growth_direction(self, run_frame, filtered_frame):
+        findings = {f.name: f for f in headline_findings(run_frame, filtered_frame)}
+        growth = findings["power_growth_power_per_socket_100"]
+        assert growth.measured_value > 1.5          # power clearly grew
+        early = findings["power_per_socket_full_load_early"]
+        late = findings["power_per_socket_full_load_late"]
+        assert late.measured_value > early.measured_value
+
+    def test_idle_fraction_u_shape(self, run_frame, filtered_frame):
+        findings = {f.name: f for f in headline_findings(run_frame, filtered_frame)}
+        assert findings["idle_fraction_2006"].measured_value > 0.4
+        assert findings["idle_fraction_minimum"].measured_value < 0.3
+        assert (
+            findings["idle_fraction_2024"].measured_value
+            > findings["idle_fraction_minimum"].measured_value
+        )
+
+    def test_amd_dominates_top_efficiency(self, filtered_frame):
+        # On the small session corpus the paper's "top 100" would cover most
+        # of the dataset, so check the statistic on the top ~10 % instead.
+        from repro.core import top_n_vendor_share
+
+        n = max(10, len(filtered_frame) // 10)
+        assert top_n_vendor_share(filtered_frame, "AMD", n=n) > 0.6
+
+    def test_relative_error_computation(self, run_frame, filtered_frame):
+        findings = headline_findings(run_frame, filtered_frame)
+        for finding in findings:
+            if finding.paper_value not in (None, 0):
+                assert finding.relative_error is not None
+            assert finding.describe()
+
+
+class TestProportionality:
+    def test_scores_for_synthetic_runs(self):
+        from tests.test_core_metrics_dataset import _synthetic_run_frame
+
+        frame = _synthetic_run_frame()
+        scores = proportionality_scores(frame)
+        proportional, flat = scores
+        assert proportional.ep_score > 0.9
+        assert proportional.dynamic_range == pytest.approx(0.9)
+        assert flat.ep_score < 0.4
+        assert flat.dynamic_range == pytest.approx(0.25)
+        assert flat.linear_deviation > proportional.linear_deviation
+
+    def test_attach_proportionality(self, filtered_frame):
+        frame = attach_proportionality(filtered_frame)
+        assert {"ep_score", "dynamic_range", "linear_deviation"} <= set(frame.columns)
+        values = [v for v in frame["ep_score"].to_list() if v is not None]
+        assert values and all(-1.0 <= v <= 1.001 for v in values)
+
+    def test_proportionality_improves_over_time(self, filtered_frame):
+        frame = attach_proportionality(filtered_frame)
+        early = frame.filter(frame["hw_avail_year"] <= 2010)
+        late = frame.filter(frame["hw_avail_year"] >= 2019)
+        early_mean = np.nanmean(np.asarray(early["ep_score"].to_list(), dtype=float))
+        late_mean = np.nanmean(np.asarray(late["ep_score"].to_list(), dtype=float))
+        assert late_mean > early_mean
+
+
+class TestCorrelationStudy:
+    def test_study_runs(self, filtered_frame):
+        study = run_correlation_study(filtered_frame, since_year=2021)
+        assert study.n_runs >= 5
+        assert "cores_total" in study.correlations.features
+        correlations = study.idle_fraction_correlations()
+        assert all(-1.0001 <= v <= 1.0001 for v in correlations.values() if v == v)
+
+    def test_amd_has_more_cores_than_intel(self, filtered_frame):
+        study = run_correlation_study(filtered_frame, since_year=2021)
+        amd = study.vendor_summary("cores_total", "AMD")
+        intel = study.vendor_summary("cores_total", "Intel")
+        assert amd.mean > intel.mean
+
+    def test_inconclusive_like_paper(self, filtered_frame):
+        study = run_correlation_study(filtered_frame, since_year=2021)
+        assert not study.is_conclusive()
+
+    def test_describe(self, filtered_frame):
+        text = run_correlation_study(filtered_frame, since_year=2021).describe()
+        assert "idle fraction" in text
+
+    def test_unknown_vendor_summary_rejected(self, filtered_frame):
+        study = run_correlation_study(filtered_frame, since_year=2021)
+        with pytest.raises(AnalysisError):
+            study.vendor_summary("cores_total", "VIA")
+
+    def test_too_few_runs_rejected(self, filtered_frame):
+        with pytest.raises(AnalysisError):
+            run_correlation_study(filtered_frame, since_year=2060)
+
+
+class TestFigures:
+    def test_figure1_panels_and_data(self, run_frame):
+        artifact = figure1(run_frame)
+        assert set(artifact.charts) == {"counts", "os", "cpu_vendor", "sockets", "nodes"}
+        assert {"year", "count", "intel", "amd", "linux"} <= set(artifact.data.columns)
+        total = artifact.data["count"].sum()
+        assert total == len(run_frame.dropna(["hw_avail_year"]))
+
+    def test_figure2_to_6_have_scatter_data(self, filtered_frame):
+        for builder, column in (
+            (figure2, "power_per_socket_100"),
+            (figure3, "overall_efficiency"),
+            (figure5, "idle_fraction"),
+            (figure6, "extrapolated_idle_quotient"),
+        ):
+            artifact = builder(filtered_frame)
+            assert column in artifact.data.columns
+            assert len(artifact.data) > 0
+            assert artifact.charts
+
+    def test_figure4_boxes_per_vendor(self, filtered_frame):
+        artifact = figure4(filtered_frame)
+        assert set(artifact.charts) <= {"amd", "intel"}
+        assert {"vendor", "year", "load_level", "median"} <= set(artifact.data.columns)
+        assert set(artifact.data["load_level"].to_list()) == {60, 70, 80, 90}
+
+    def test_figure4_early_relative_efficiency_below_one(self, filtered_frame):
+        artifact = figure4(filtered_frame)
+        data = artifact.data
+        early = data.filter((data["year"] <= 2009) & (data["count"] > 0))
+        if len(early):
+            medians = [v for v in early["median"].to_list() if v is not None]
+            assert np.mean(medians) < 1.0
+
+    def test_figures_save(self, filtered_frame, run_frame, tmp_path):
+        for artifact in (figure1(run_frame), figure2(filtered_frame)):
+            written = artifact.save(tmp_path)
+            assert any(p.suffix == ".csv" for p in written)
+            assert any(p.suffix == ".svg" for p in written)
+            for path in written:
+                assert path.exists() and path.stat().st_size > 0
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(AnalysisError):
+            figure2(Frame.from_dict({"x": [1]}))
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1()
+
+    def test_six_rows(self, rows):
+        assert len(rows) == 6
+        assert {row.benchmark for row in rows} == set(PAPER_TABLE1)
+
+    def test_intel_rows_have_factor_one(self, rows):
+        for row in rows:
+            if "SR650" in row.system:
+                assert row.factor == pytest.approx(1.0)
+
+    def test_amd_wins_every_benchmark(self, rows):
+        for row in rows:
+            if "SR645" in row.system:
+                assert row.factor > 1.3
+
+    def test_power_factor_largest_int_next_fp_smallest(self, rows):
+        amd = {row.benchmark: row.factor for row in rows if "SR645" in row.system}
+        assert amd["power_ssj2008"] > amd["cpu2017_fp_rate"]
+        assert amd["cpu2017_int_rate"] > amd["cpu2017_fp_rate"]
+
+    def test_factors_in_paper_ballpark(self, rows):
+        amd = {row.benchmark: row.factor for row in rows if "SR645" in row.system}
+        assert amd["cpu2017_int_rate"] == pytest.approx(2.03, abs=0.3)
+        assert amd["cpu2017_fp_rate"] == pytest.approx(1.53, abs=0.25)
+        assert amd["power_ssj2008"] == pytest.approx(2.09, rel=0.35)
+
+    def test_table1_frame(self):
+        frame = table1_frame()
+        assert len(frame) == 6
+        assert "paper_factor" in frame
+
+
+class TestReport:
+    def test_build_report(self, run_frame):
+        comparison = build_report(run_frame, include_table1=False)
+        assert comparison.unfiltered_runs == len(run_frame)
+        assert comparison.filtered_runs < comparison.unfiltered_runs
+        assert len(comparison.findings) > 10
+        text = comparison.to_text()
+        assert "Filter pipeline" in text
+        assert "Headline findings" in text
+
+    def test_report_frames(self, run_frame):
+        comparison = build_report(run_frame, include_table1=False)
+        assert len(comparison.findings_frame()) == len(comparison.findings)
+        assert len(comparison.filter_frame()) == 3
+
+    def test_report_with_table1(self, run_frame):
+        comparison = build_report(run_frame, include_table1=True)
+        assert len(comparison.table1_rows) == 6
+        assert len(comparison.table1_frame()) == 6
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(AnalysisError):
+            build_report(Frame())

@@ -1,0 +1,190 @@
+"""Tests for the core metrics, derived dataset columns and the filter pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DERIVED_COLUMNS,
+    apply_paper_filters,
+    derive_columns,
+    extrapolated_idle,
+    extrapolated_idle_quotient,
+    idle_fraction,
+    overall_efficiency,
+    power_per_socket,
+    relative_efficiency,
+    top_n_vendor_share,
+)
+from repro.core.filters import paper_filter_steps
+from repro.core.metrics import level_efficiency, total_sockets
+from repro.errors import AnalysisError
+from repro.frame import Frame
+from repro.parser.fields import LOAD_LEVELS, level_field
+
+
+def _synthetic_run_frame():
+    """Two hand-built runs with exactly known metric values."""
+    rows = []
+    # Run A: perfectly proportional, 1000 W at full load, 2 sockets.
+    row_a = {
+        "run_id": "A", "cpu_vendor": "AMD", "cpu_family": "EPYC",
+        "nodes": 1, "sockets_per_node": 2, "total_chips": 2,
+        "hw_avail_year": 2023, "hw_avail_decimal": 2023.5,
+        "os_family": "Linux", "power_idle": 100.0,
+        "cores_total": 128, "cpu_frequency_mhz": 2250.0, "memory_gb": 256.0,
+    }
+    for level in LOAD_LEVELS:
+        row_a[level_field("ssj_ops", level)] = 10_000.0 * level
+        row_a[level_field("power", level)] = 10.0 * level
+        row_a[level_field("actual_load", level)] = level / 100.0
+    rows.append(row_a)
+    # Run B: flat power (no proportionality), Intel, 1 socket.
+    row_b = {
+        "run_id": "B", "cpu_vendor": "Intel", "cpu_family": "Xeon",
+        "nodes": 1, "sockets_per_node": 1, "total_chips": 1,
+        "hw_avail_year": 2010, "hw_avail_decimal": 2010.5,
+        "os_family": "Windows", "power_idle": 300.0,
+        "cores_total": 8, "cpu_frequency_mhz": 2933.0, "memory_gb": 32.0,
+    }
+    for level in LOAD_LEVELS:
+        row_b[level_field("ssj_ops", level)] = 5_000.0 * level
+        row_b[level_field("power", level)] = 400.0
+        row_b[level_field("actual_load", level)] = level / 100.0
+    rows.append(row_b)
+    return Frame.from_records(rows)
+
+
+class TestMetricsOnSyntheticRuns:
+    @pytest.fixture(scope="class")
+    def frame(self):
+        return _synthetic_run_frame()
+
+    def test_total_sockets(self, frame):
+        assert total_sockets(frame).to_list() == [2.0, 1.0]
+
+    def test_total_sockets_fallback(self, frame):
+        without_chips = frame.with_column("total_chips", [None, None])
+        assert total_sockets(without_chips).to_list() == [2.0, 1.0]
+
+    def test_overall_efficiency_proportional_run(self, frame):
+        # Run A: sum ops = 10000 * 550, sum power = 10 * 550 + 100 idle.
+        value = overall_efficiency(frame)[0]
+        assert value == pytest.approx(10_000 * 550 / (10 * 550 + 100))
+
+    def test_overall_efficiency_flat_run(self, frame):
+        value = overall_efficiency(frame)[1]
+        assert value == pytest.approx(5_000 * 550 / (400 * 10 + 300))
+
+    def test_power_per_socket(self, frame):
+        assert power_per_socket(frame, 100)[0] == pytest.approx(1000 / 2)
+        assert power_per_socket(frame, 100)[1] == pytest.approx(400.0)
+
+    def test_level_efficiency(self, frame):
+        assert level_efficiency(frame, 50)[0] == pytest.approx(10_000 * 50 / 500)
+
+    def test_relative_efficiency_proportional_is_one(self, frame):
+        for level in (90, 80, 70, 60):
+            assert relative_efficiency(frame, level)[0] == pytest.approx(1.0)
+
+    def test_relative_efficiency_flat_power_scales_with_load(self, frame):
+        # Flat power: efficiency at 70 % is 0.7x the full-load efficiency.
+        assert relative_efficiency(frame, 70)[1] == pytest.approx(0.7)
+
+    def test_relative_efficiency_at_100_rejected(self, frame):
+        with pytest.raises(AnalysisError):
+            relative_efficiency(frame, 100)
+
+    def test_idle_fraction(self, frame):
+        assert idle_fraction(frame)[0] == pytest.approx(0.1)
+        assert idle_fraction(frame)[1] == pytest.approx(0.75)
+
+    def test_extrapolated_idle(self, frame):
+        # Run A: 2*P10 - P20 = 2*100 - 200 = 0 (clamped at >= 0).
+        assert extrapolated_idle(frame)[0] == pytest.approx(0.0)
+        # Run B: flat power -> extrapolation equals the flat 400 W.
+        assert extrapolated_idle(frame)[1] == pytest.approx(400.0)
+
+    def test_extrapolated_idle_quotient(self, frame):
+        assert extrapolated_idle_quotient(frame)[1] == pytest.approx(400.0 / 300.0)
+
+    def test_top_n_vendor_share(self, frame):
+        derived = derive_columns(frame)
+        assert top_n_vendor_share(derived, "AMD", n=1) == 1.0
+        assert top_n_vendor_share(derived, "AMD", n=2) == 0.5
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(AnalysisError):
+            overall_efficiency(Frame.from_dict({"x": [1]}))
+
+
+class TestDeriveColumns:
+    def test_all_derived_columns_present(self, run_frame):
+        for name in DERIVED_COLUMNS:
+            assert name in run_frame, name
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(AnalysisError):
+            derive_columns(Frame())
+
+    def test_overall_efficiency_close_to_reported(self, run_frame):
+        reported = run_frame["overall_ssj_ops_per_watt"].to_numpy()
+        recomputed = run_frame["overall_efficiency"].to_numpy()
+        keep = ~(np.isnan(reported) | np.isnan(recomputed))
+        relative = np.abs(recomputed[keep] - reported[keep]) / reported[keep]
+        assert np.median(relative) < 0.02
+
+    def test_idle_fraction_in_unit_interval(self, run_frame):
+        values = [v for v in run_frame["idle_fraction"].to_list() if v is not None]
+        assert values
+        assert all(0 < v < 1 for v in values)
+
+    def test_quotient_at_least_one_in_median(self, run_frame):
+        values = [v for v in run_frame["extrapolated_idle_quotient"].to_list() if v is not None]
+        assert np.median(values) >= 1.0
+
+    def test_is_flags_boolean(self, run_frame):
+        assert run_frame["is_amd"].kind == "bool"
+        assert run_frame["is_linux"].kind == "bool"
+
+
+class TestFilterPipeline:
+    def test_steps_definition(self):
+        steps = paper_filter_steps()
+        assert [s.name for s in steps] == [
+            "non_intel_amd_cpu", "non_server_cpu", "multi_node_or_gt2_sockets",
+        ]
+        assert [s.paper_removed for s in steps] == [9, 6, 269]
+
+    def test_apply_filters_keeps_only_single_node_dual_socket(self, run_frame):
+        filtered, report = apply_paper_filters(run_frame)
+        assert report.initial == len(run_frame)
+        assert report.final == len(filtered)
+        assert all(v in ("Intel", "AMD") for v in filtered["cpu_vendor"].to_list())
+        assert all(v in ("Xeon", "Opteron", "EPYC") for v in filtered["cpu_family"].to_list())
+        assert all(v == 1 for v in filtered["nodes"].to_list())
+        assert all(v <= 2 for v in filtered["sockets_per_node"].to_list())
+
+    def test_counts_are_conserved(self, run_frame):
+        filtered, report = apply_paper_filters(run_frame)
+        removed = sum(outcome.removed for outcome in report.outcomes)
+        assert report.initial - removed == len(filtered)
+
+    def test_removed_by(self, run_frame):
+        _, report = apply_paper_filters(run_frame)
+        assert report.removed_by("multi_node_or_gt2_sockets") > 0
+        with pytest.raises(Exception):
+            report.removed_by("bogus")
+
+    def test_describe_and_rows(self, run_frame):
+        _, report = apply_paper_filters(run_frame)
+        assert "remaining" in report.describe()
+        rows = report.to_rows()
+        assert len(rows) == 3
+        assert all("paper_removed" in row for row in rows)
+
+    def test_empty_frame(self):
+        frame = Frame.from_dict({"cpu_vendor": [], "cpu_family": [],
+                                 "nodes": [], "sockets_per_node": []})
+        filtered, report = apply_paper_filters(frame)
+        assert len(filtered) == 0
+        assert report.final == 0

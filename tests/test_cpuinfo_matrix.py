@@ -1,0 +1,90 @@
+"""Broad CPU-name classification matrix.
+
+The filter funnel of the paper hinges on classifying free-text CPU names
+correctly; this matrix covers the name shapes that occur across 16 years of
+submissions (suffixes, frequency annotations, lowercase, marketing noise).
+"""
+
+import pytest
+
+from repro.parser import classify_cpu
+
+
+@pytest.mark.parametrize(
+    "name, vendor, family",
+    [
+        ("Intel Xeon 5160", "Intel", "Xeon"),
+        ("Intel Xeon L5420", "Intel", "Xeon"),
+        ("Intel Xeon X5670 2.93 GHz", "Intel", "Xeon"),
+        ("Intel Xeon E5-2660 v3", "Intel", "Xeon"),
+        ("Intel Xeon E3-1260L", "Intel", "Xeon"),
+        ("Intel Xeon Platinum 8380", "Intel", "Xeon"),
+        ("Intel Xeon Gold 6252", "Intel", "Xeon"),
+        ("Intel Xeon Silver 4116", "Intel", "Xeon"),
+        ("Intel Xeon D-1541", "Intel", "Xeon"),
+        ("intel xeon platinum 8490h", "Intel", "Xeon"),
+        ("AMD Opteron 2356", "AMD", "Opteron"),
+        ("AMD Opteron 6174 (Magny-Cours)", "AMD", "Opteron"),
+        ("AMD EPYC 7601", "AMD", "EPYC"),
+        ("AMD EPYC 9754 2.25GHz", "AMD", "EPYC"),
+        ("AMD EPYC 8324P", "AMD", "EPYC"),
+    ],
+)
+def test_server_cpus_classified_as_server(name, vendor, family):
+    info = classify_cpu(name)
+    assert info.vendor == vendor
+    assert info.family == family
+    assert info.cpu_class == "server"
+    assert info.is_x86_server
+    assert not info.is_ambiguous
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "Intel Core 2 Duo E6700",
+        "Intel Core i7-2600",
+        "Intel Core i9-9900K",
+        "Intel Pentium D 930",
+        "Intel Celeron G1101",
+        "AMD Athlon 64 X2 5200+",
+        "AMD Phenom II X6 1090T",
+        "AMD Ryzen 7 3700X",
+        "AMD FX-8350",
+    ],
+)
+def test_desktop_cpus_not_server(name):
+    info = classify_cpu(name)
+    assert info.cpu_class == "desktop"
+    assert not info.is_x86_server
+
+
+@pytest.mark.parametrize(
+    "name, expected_vendor",
+    [
+        ("IBM POWER7 8-core 3.55 GHz", "IBM"),
+        ("POWER9 22-core", "IBM"),
+        ("Oracle SPARC T4", "Oracle"),
+        ("Cavium ThunderX2 CN9975", "Cavium"),
+        ("Ampere Altra Q80-30", "Ampere"),
+        ("AWS Graviton3", "Amazon"),
+        ("Huawei Kunpeng 920", "Huawei"),
+        ("Intel Itanium 9350", "Intel"),
+    ],
+)
+def test_non_x86_cpus_flagged(name, expected_vendor):
+    info = classify_cpu(name)
+    assert info.cpu_class == "non_x86"
+    assert info.vendor == expected_vendor
+    assert not info.is_x86_server
+
+
+@pytest.mark.parametrize("name", ["Intel Processor", "AMD Processor", "Xeon", "EPYC", ""])
+def test_vague_names_are_ambiguous(name):
+    assert classify_cpu(name).is_ambiguous
+
+
+def test_model_token_extraction():
+    assert classify_cpu("Intel Xeon Platinum 8490H").model_token == "8490H"
+    assert classify_cpu("AMD EPYC 9754").model_token == "9754"
+    assert classify_cpu("Intel Xeon E5-2660 v3").model_token in ("E5-2660", "v3")

@@ -1,0 +1,232 @@
+"""Tests for repro.frame.Column."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnError
+from repro.frame import Column
+
+
+class TestConstruction:
+    def test_kind_inference_float(self):
+        assert Column.from_values([1.5, 2.0]).kind == "float"
+
+    def test_kind_inference_int(self):
+        assert Column.from_values([1, 2, 3]).kind == "int"
+
+    def test_kind_inference_bool(self):
+        assert Column.from_values([True, False]).kind == "bool"
+
+    def test_kind_inference_str(self):
+        assert Column.from_values(["a", "b"]).kind == "str"
+
+    def test_mixed_int_float_becomes_float(self):
+        assert Column.from_values([1, 2.5]).kind == "float"
+
+    def test_mixed_with_string_becomes_str(self):
+        column = Column.from_values([1, "x"])
+        assert column.kind == "str"
+        assert column.to_list() == ["1", "x"]
+
+    def test_none_values_are_missing(self):
+        column = Column.from_values([1.0, None, 3.0])
+        assert column.isna().tolist() == [False, True, False]
+        assert column.count() == 2
+
+    def test_nan_values_are_missing(self):
+        column = Column.from_values([1.0, float("nan")])
+        assert column.isna().tolist() == [False, True]
+
+    def test_from_numpy_float(self):
+        column = Column.from_numpy(np.array([1.0, np.nan, 3.0]))
+        assert column.kind == "float"
+        assert column[1] is None
+
+    def test_from_numpy_int(self):
+        assert Column.from_numpy(np.arange(4)).kind == "int"
+
+    def test_from_numpy_bool(self):
+        assert Column.from_numpy(np.array([True, False])).kind == "bool"
+
+    def test_full(self):
+        column = Column.full(3, "x")
+        assert column.to_list() == ["x", "x", "x"]
+
+    def test_explicit_kind(self):
+        assert Column.from_values([1, 2], kind="float").kind == "float"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ColumnError):
+            Column.from_values([1], kind="decimal")
+
+
+class TestAccess:
+    def test_scalar_access(self):
+        column = Column.from_values([10, 20, 30])
+        assert column[0] == 10
+        assert column[2] == 30
+
+    def test_missing_access_returns_none(self):
+        assert Column.from_values([None, 2])[0] is None
+
+    def test_slice_returns_column(self):
+        column = Column.from_values([1, 2, 3, 4])[1:3]
+        assert isinstance(column, Column)
+        assert column.to_list() == [2, 3]
+
+    def test_iteration(self):
+        assert list(Column.from_values([1, None, 3])) == [1, None, 3]
+
+    def test_take(self):
+        column = Column.from_values(["a", "b", "c"])
+        assert column.take(np.array([2, 0])).to_list() == ["c", "a"]
+
+    def test_filter(self):
+        column = Column.from_values([1, 2, 3])
+        assert column.filter(np.array([True, False, True])).to_list() == [1, 3]
+
+    def test_filter_wrong_length_rejected(self):
+        with pytest.raises(ColumnError):
+            Column.from_values([1, 2]).filter(np.array([True]))
+
+    def test_to_numpy_float_keeps_nan(self):
+        values = Column.from_values([1.0, None]).to_numpy()
+        assert values[0] == 1.0
+        assert np.isnan(values[1])
+
+
+class TestComparisons:
+    def test_equality_mask(self):
+        column = Column.from_values(["Intel", "AMD", "Intel"])
+        assert (column == "Intel").tolist() == [True, False, True]
+
+    def test_numeric_comparison(self):
+        column = Column.from_values([1, 5, 10])
+        assert (column > 4).tolist() == [False, True, True]
+        assert (column <= 5).tolist() == [True, True, False]
+
+    def test_missing_values_compare_false(self):
+        column = Column.from_values([1.0, None, 3.0])
+        assert (column > 0).tolist() == [True, False, True]
+        assert (column == 1.0).tolist() == [True, False, False]
+
+    def test_column_vs_column(self):
+        a = Column.from_values([1, 2, 3])
+        b = Column.from_values([3, 2, 1])
+        assert (a == b).tolist() == [False, True, False]
+
+    def test_isin(self):
+        column = Column.from_values(["a", "b", None, "c"])
+        assert column.isin({"a", "c"}).tolist() == [True, False, False, True]
+
+    def test_str_contains(self):
+        column = Column.from_values(["Intel Xeon", "AMD EPYC", None])
+        assert column.str_contains("xeon").tolist() == [True, False, False]
+
+    def test_str_contains_case_sensitive(self):
+        column = Column.from_values(["Xeon"])
+        assert column.str_contains("xeon", case=True).tolist() == [False]
+
+    def test_str_contains_on_numbers_rejected(self):
+        with pytest.raises(ColumnError):
+            Column.from_values([1, 2]).str_contains("x")
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        assert (Column.from_values([1.0, 2.0]) + 1).to_list() == [2.0, 3.0]
+
+    def test_subtract_columns(self):
+        a = Column.from_values([5.0, 10.0])
+        b = Column.from_values([2.0, 4.0])
+        assert (a - b).to_list() == [3.0, 6.0]
+
+    def test_multiply(self):
+        assert (Column.from_values([2, 3]) * 2.0).to_list() == [4.0, 6.0]
+
+    def test_divide_propagates_missing(self):
+        a = Column.from_values([10.0, None])
+        result = a / 2
+        assert result[0] == 5.0
+        assert result[1] is None
+
+    def test_division_by_zero_becomes_missing_or_inf(self):
+        result = Column.from_values([1.0]) / 0
+        assert result[0] is None or result[0] == float("inf")
+
+    def test_arithmetic_on_strings_rejected(self):
+        with pytest.raises(ColumnError):
+            Column.from_values(["a"]) + 1
+
+    def test_right_operand_forms(self):
+        column = Column.from_values([2.0, 4.0])
+        assert (10 - column).to_list() == [8.0, 6.0]
+        assert (2 * column).to_list() == [4.0, 8.0]
+
+
+class TestReductions:
+    def test_mean_ignores_missing(self):
+        assert Column.from_values([1.0, None, 3.0]).mean() == pytest.approx(2.0)
+
+    def test_sum(self):
+        assert Column.from_values([1, 2, 3]).sum() == 6
+
+    def test_min_max(self):
+        column = Column.from_values([5.0, 1.0, None, 9.0])
+        assert column.min() == 1.0
+        assert column.max() == 9.0
+
+    def test_median_and_quantile(self):
+        column = Column.from_values([1.0, 2.0, 3.0, 4.0])
+        assert column.median() == pytest.approx(2.5)
+        assert column.quantile(0.25) == pytest.approx(1.75)
+
+    def test_std_of_single_value_is_nan(self):
+        assert np.isnan(Column.from_values([1.0]).std())
+
+    def test_empty_mean_is_nan(self):
+        assert np.isnan(Column.from_values([], kind="float").mean())
+
+
+class TestTransformations:
+    def test_astype_int_to_str(self):
+        assert Column.from_values([1, 2]).astype("str").to_list() == ["1", "2"]
+
+    def test_astype_str_to_float(self):
+        assert Column.from_values(["1.5", "2"]).astype("float").to_list() == [1.5, 2.0]
+
+    def test_astype_preserves_missing(self):
+        assert Column.from_values([None, "2"]).astype("float")[0] is None
+
+    def test_fillna(self):
+        assert Column.from_values([1.0, None]).fillna(0.0).to_list() == [1.0, 0.0]
+
+    def test_dropna(self):
+        assert Column.from_values([1.0, None, 2.0]).dropna().to_list() == [1.0, 2.0]
+
+    def test_map(self):
+        column = Column.from_values([1, 2, None])
+        assert column.map(lambda v: v * 10).to_list() == [10, 20, None]
+
+    def test_unique_preserves_order(self):
+        assert Column.from_values(["b", "a", "b", None]).unique() == ["b", "a"]
+
+    def test_value_counts(self):
+        counts = Column.from_values(["a", "b", "a", None]).value_counts()
+        assert counts == {"a": 2, "b": 1}
+
+    def test_sort_indices_missing_last(self):
+        column = Column.from_values([3.0, None, 1.0])
+        assert column.take(column.sort_indices()).to_list() == [1.0, 3.0, None]
+
+    def test_sort_indices_descending(self):
+        column = Column.from_values([3.0, None, 1.0])
+        assert column.take(column.sort_indices(descending=True)).to_list() == [3.0, 1.0, None]
+
+    def test_sort_indices_strings(self):
+        column = Column.from_values(["beta", "alpha", None])
+        assert column.take(column.sort_indices()).to_list() == ["alpha", "beta", None]
+
+    def test_equals(self):
+        assert Column.from_values([1, None]).equals(Column.from_values([1, None]))
+        assert not Column.from_values([1]).equals(Column.from_values([2]))

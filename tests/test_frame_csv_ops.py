@@ -1,0 +1,119 @@
+"""Tests for CSV I/O and vectorised frame ops."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CSVError, FrameError
+from repro.frame import Column, Frame, read_csv
+from repro.frame.csvio import frame_from_csv_text, frame_to_csv_text
+from repro.frame.ops import and_masks, clip, cut, not_mask, or_masks, ratio
+
+
+class TestCSV:
+    def test_round_trip(self, tiny_frame, tmp_path):
+        path = tmp_path / "frame.csv"
+        tiny_frame.to_csv(path)
+        loaded = read_csv(path)
+        assert loaded.columns == tiny_frame.columns
+        assert loaded["power"].to_list() == tiny_frame["power"].to_list()
+        assert loaded["vendor"].to_list() == tiny_frame["vendor"].to_list()
+
+    def test_round_trip_preserves_int_kind(self, tiny_frame, tmp_path):
+        path = tmp_path / "frame.csv"
+        tiny_frame.to_csv(path)
+        assert read_csv(path)["year"].kind == "int"
+
+    def test_bool_round_trip(self, tmp_path):
+        frame = Frame.from_dict({"flag": [True, False, None]})
+        text = frame_to_csv_text(frame)
+        loaded = frame_from_csv_text(text)
+        assert loaded["flag"].kind == "bool"
+        assert loaded["flag"].to_list() == [True, False, None]
+
+    def test_missing_tokens(self):
+        frame = frame_from_csv_text("a,b\n1,NA\n2,3\n")
+        assert frame["b"].to_list() == [None, 3]
+
+    def test_string_with_comma_quoted(self, tmp_path):
+        frame = Frame.from_dict({"name": ["Dell, Inc.", "HPE"]})
+        path = tmp_path / "quoted.csv"
+        frame.to_csv(path)
+        assert read_csv(path)["name"].to_list() == ["Dell, Inc.", "HPE"]
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(CSVError):
+            frame_from_csv_text("a,a\n1,2\n")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CSVError):
+            read_csv(tmp_path / "absent.csv")
+
+    def test_empty_text_gives_empty_frame(self):
+        assert len(frame_from_csv_text("")) == 0
+
+    def test_scientific_notation_parses_as_float(self):
+        frame = frame_from_csv_text("x\n1e3\n2e3\n")
+        assert frame["x"].kind == "float"
+        assert frame["x"].to_list() == [1000.0, 2000.0]
+
+
+class TestMasks:
+    def test_and_or_not(self):
+        a = np.array([True, True, False])
+        b = np.array([True, False, False])
+        assert and_masks(a, b).tolist() == [True, False, False]
+        assert or_masks(a, b).tolist() == [True, True, False]
+        assert not_mask(a).tolist() == [False, False, True]
+
+    def test_empty_mask_list_rejected(self):
+        with pytest.raises(FrameError):
+            and_masks()
+
+    def test_masks_do_not_mutate_inputs(self):
+        a = np.array([True, False])
+        and_masks(a, np.array([False, False]))
+        assert a.tolist() == [True, False]
+
+
+class TestCut:
+    def test_basic_binning(self):
+        column = Column.from_values([2005.5, 2010.2, 2023.9])
+        binned = cut(column, [2005, 2010, 2015, 2025], labels=["early", "mid", "late"])
+        assert binned.to_list() == ["early", "mid", "late"]
+
+    def test_out_of_range_is_missing(self):
+        binned = cut(Column.from_values([1999.0]), [2005, 2010])
+        assert binned[0] is None
+
+    def test_value_on_last_edge_included(self):
+        binned = cut(Column.from_values([2010.0]), [2005, 2010], labels=["bin"])
+        assert binned[0] == "bin"
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(FrameError):
+            cut(Column.from_values([1.0]), [2, 1])
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(FrameError):
+            cut(Column.from_values([1.0]), [0, 1, 2], labels=["only-one"])
+
+
+class TestRatioClip:
+    def test_ratio(self):
+        result = ratio(Column.from_values([10.0, 20.0]), Column.from_values([2.0, 4.0]))
+        assert result.to_list() == [5.0, 5.0]
+
+    def test_ratio_zero_denominator_missing(self):
+        result = ratio(Column.from_values([10.0]), Column.from_values([0.0]))
+        assert result[0] is None
+
+    def test_ratio_missing_propagates(self):
+        result = ratio(Column.from_values([None]), Column.from_values([2.0]))
+        assert result[0] is None
+
+    def test_clip(self):
+        clipped = clip(Column.from_values([-1.0, 0.5, 9.0]), low=0.0, high=1.0)
+        assert clipped.to_list() == [0.0, 0.5, 1.0]
+
+    def test_clip_keeps_missing(self):
+        assert clip(Column.from_values([None]), low=0.0)[0] is None

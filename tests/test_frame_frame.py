@@ -1,0 +1,192 @@
+"""Tests for repro.frame.Frame."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.frame import Column, Frame, concat
+
+
+class TestConstruction:
+    def test_from_dict(self, tiny_frame):
+        assert tiny_frame.shape == (6, 4)
+        assert tiny_frame.columns == ["year", "vendor", "power", "sockets"]
+
+    def test_from_records_union_of_keys(self):
+        frame = Frame.from_records([{"a": 1}, {"b": 2}])
+        assert frame.columns == ["a", "b"]
+        assert frame["a"].to_list() == [1, None]
+        assert frame["b"].to_list() == [None, 2]
+
+    def test_from_records_explicit_columns(self):
+        frame = Frame.from_records([{"a": 1, "b": 2}], columns=["b"])
+        assert frame.columns == ["b"]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(FrameError):
+            Frame.from_dict({"a": [1, 2], "b": [1]})
+
+    def test_empty_frame(self):
+        frame = Frame.empty(["x"])
+        assert len(frame) == 0
+        assert frame.columns == ["x"]
+
+
+class TestSelection:
+    def test_getitem_column(self, tiny_frame):
+        assert isinstance(tiny_frame["year"], Column)
+
+    def test_getitem_unknown_column(self, tiny_frame):
+        with pytest.raises(FrameError):
+            tiny_frame["missing"]
+
+    def test_getitem_list_projects(self, tiny_frame):
+        sub = tiny_frame[["vendor", "year"]]
+        assert sub.columns == ["vendor", "year"]
+
+    def test_getitem_mask_filters(self, tiny_frame):
+        sub = tiny_frame[np.array([True] * 3 + [False] * 3)]
+        assert len(sub) == 3
+
+    def test_select_unknown_rejected(self, tiny_frame):
+        with pytest.raises(FrameError):
+            tiny_frame.select(["year", "bogus"])
+
+    def test_drop(self, tiny_frame):
+        assert "power" not in tiny_frame.drop("power")
+
+    def test_rename(self, tiny_frame):
+        renamed = tiny_frame.rename({"power": "watts"})
+        assert "watts" in renamed and "power" not in renamed
+
+    def test_head_tail(self, tiny_frame):
+        assert len(tiny_frame.head(2)) == 2
+        assert tiny_frame.tail(1)["year"][0] == 2023
+
+    def test_row(self, tiny_frame):
+        row = tiny_frame.row(0)
+        assert row["vendor"] == "Intel"
+        assert row["year"] == 2007
+
+    def test_row_out_of_range(self, tiny_frame):
+        with pytest.raises(FrameError):
+            tiny_frame.row(99)
+
+    def test_iter_rows_and_to_records(self, tiny_frame):
+        records = tiny_frame.to_records()
+        assert len(records) == 6
+        assert records[2]["power"] is None
+
+
+class TestColumnsManipulation:
+    def test_with_column_scalar(self, tiny_frame):
+        frame = tiny_frame.with_column("flag", True)
+        assert frame["flag"].to_list() == [True] * 6
+
+    def test_with_column_list(self, tiny_frame):
+        frame = tiny_frame.with_column("double", [v * 2 for v in range(6)])
+        assert frame["double"][3] == 6
+
+    def test_with_column_numpy(self, tiny_frame):
+        frame = tiny_frame.with_column("arr", np.arange(6))
+        assert frame["arr"].kind == "int"
+
+    def test_with_column_wrong_length(self, tiny_frame):
+        with pytest.raises(FrameError):
+            tiny_frame.with_column("bad", [1, 2])
+
+    def test_with_column_replaces_existing(self, tiny_frame):
+        frame = tiny_frame.with_column("power", [1.0] * 6)
+        assert frame["power"].to_list() == [1.0] * 6
+
+    def test_assign_from_frame(self, tiny_frame):
+        frame = tiny_frame.assign("power_per_socket", lambda f: f["power"] / f["sockets"])
+        assert frame["power_per_socket"][0] == pytest.approx(105.0)
+
+    def test_filter_with_column_mask(self, tiny_frame):
+        amd = tiny_frame.filter(tiny_frame["vendor"] == "AMD")
+        assert len(amd) == 3
+        assert set(amd["vendor"].to_list()) == {"AMD"}
+
+    def test_filter_wrong_length(self, tiny_frame):
+        with pytest.raises(FrameError):
+            tiny_frame.filter(np.array([True, False]))
+
+
+class TestSortingAndDedup:
+    def test_sort_by_single_key(self, tiny_frame):
+        ordered = tiny_frame.sort_by("power")
+        powers = [p for p in ordered["power"].to_list() if p is not None]
+        assert powers == sorted(powers)
+        assert ordered["power"].to_list()[-1] is None  # missing last
+
+    def test_sort_by_descending(self, tiny_frame):
+        ordered = tiny_frame.sort_by("power", descending=True)
+        assert ordered["power"][0] == 720.0
+
+    def test_sort_by_multiple_keys(self, tiny_frame):
+        ordered = tiny_frame.sort_by(["vendor", "year"])
+        assert ordered["vendor"].to_list()[:3] == ["AMD", "AMD", "AMD"]
+        amd_years = ordered["year"].to_list()[:3]
+        assert amd_years == sorted(amd_years)
+
+    def test_sort_is_stable(self):
+        frame = Frame.from_dict({"key": [1, 1, 1], "tag": ["a", "b", "c"]})
+        assert frame.sort_by("key")["tag"].to_list() == ["a", "b", "c"]
+
+    def test_descending_length_mismatch(self, tiny_frame):
+        with pytest.raises(FrameError):
+            tiny_frame.sort_by(["year", "vendor"], descending=[True])
+
+    def test_unique(self, tiny_frame):
+        assert len(tiny_frame.unique("vendor")) == 2
+
+    def test_unique_multi_key(self, tiny_frame):
+        assert len(tiny_frame.unique(["vendor", "sockets"])) == 3
+
+    def test_dropna(self, tiny_frame):
+        assert len(tiny_frame.dropna("power")) == 5
+
+    def test_dropna_all_columns(self, tiny_frame):
+        assert len(tiny_frame.dropna()) == 5
+
+
+class TestSummaries:
+    def test_value_counts(self, tiny_frame):
+        counts = tiny_frame.value_counts("vendor")
+        assert counts.columns == ["vendor", "count"]
+        assert counts["count"].to_list() == [3, 3]
+
+    def test_describe(self, tiny_frame):
+        described = tiny_frame.describe(["power"])
+        row = described.row(0)
+        assert row["count"] == 5
+        assert row["max"] == 720.0
+
+    def test_to_string_preview(self, tiny_frame):
+        text = tiny_frame.to_string(max_rows=2)
+        assert "vendor" in text
+        assert "more rows" in text
+
+    def test_equals(self, tiny_frame):
+        assert tiny_frame.equals(tiny_frame.select(tiny_frame.columns))
+        assert not tiny_frame.equals(tiny_frame.drop("power"))
+
+
+class TestConcat:
+    def test_concat_same_columns(self, tiny_frame):
+        combined = concat([tiny_frame, tiny_frame])
+        assert len(combined) == 12
+
+    def test_concat_union_columns(self):
+        a = Frame.from_dict({"x": [1]})
+        b = Frame.from_dict({"y": [2]})
+        combined = concat([a, b])
+        assert combined.columns == ["x", "y"]
+        assert combined["x"].to_list() == [1, None]
+
+    def test_concat_empty_list(self):
+        assert len(concat([])) == 0
+
+    def test_concat_skips_none(self, tiny_frame):
+        assert len(concat([tiny_frame, None])) == 6

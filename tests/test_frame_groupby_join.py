@@ -1,0 +1,135 @@
+"""Tests for group-by aggregation and joins."""
+
+import pytest
+
+from repro.errors import GroupByError, JoinError
+from repro.frame import Aggregation, Frame, join
+
+
+class TestGroupBy:
+    def test_group_count_and_order(self, tiny_frame):
+        grouped = tiny_frame.groupby("vendor")
+        assert grouped.ngroups == 2
+        # First-appearance order: Intel appears first in the fixture.
+        assert [key for key, _ in grouped.groups()][0] == ("Intel",)
+
+    def test_agg_tuple_spec(self, tiny_frame):
+        result = tiny_frame.groupby("vendor").agg({"mean_power": ("power", "mean"),
+                                                   "n": ("power", "size")})
+        intel = result.filter(result["vendor"] == "Intel").row(0)
+        assert intel["mean_power"] == pytest.approx((210 + 190 + 350) / 3)
+        assert intel["n"] == 3
+
+    def test_agg_count_ignores_missing(self, tiny_frame):
+        result = tiny_frame.groupby("vendor").agg({"n": ("power", "count")})
+        amd = result.filter(result["vendor"] == "AMD").row(0)
+        assert amd["n"] == 2
+
+    def test_agg_bare_string_uses_same_column(self, tiny_frame):
+        result = tiny_frame.groupby("vendor").agg({"power": "max"})
+        assert result["power"].max() == 720.0
+
+    def test_agg_aggregation_object(self, tiny_frame):
+        result = tiny_frame.groupby("vendor").agg({"med": Aggregation("power", "median")})
+        assert "med" in result
+
+    def test_agg_callable(self, tiny_frame):
+        result = tiny_frame.groupby("vendor").agg(
+            {"spread": Aggregation("power", lambda col: (col.max() or 0) - (col.min() or 0))}
+        )
+        assert result["spread"].max() > 0
+
+    def test_agg_unknown_function_rejected(self, tiny_frame):
+        with pytest.raises(GroupByError):
+            tiny_frame.groupby("vendor").agg({"x": ("power", "harmonic")})
+
+    def test_agg_unknown_column_rejected(self, tiny_frame):
+        with pytest.raises(GroupByError):
+            tiny_frame.groupby("vendor").agg({"x": ("bogus", "mean")})
+
+    def test_multi_key_grouping(self, tiny_frame):
+        result = tiny_frame.groupby(["vendor", "sockets"]).agg({"n": ("year", "size")})
+        assert len(result) == 3
+        assert set(result.columns) == {"vendor", "sockets", "n"}
+
+    def test_apply(self, tiny_frame):
+        result = tiny_frame.groupby("vendor").apply(
+            lambda sub: {"rows": len(sub), "latest": sub["year"].max()}
+        )
+        amd = result.filter(result["vendor"] == "AMD").row(0)
+        assert amd["rows"] == 3
+        assert amd["latest"] == 2023
+
+    def test_get_group(self, tiny_frame):
+        sub = tiny_frame.groupby("vendor").get_group(("AMD",))
+        assert len(sub) == 3
+
+    def test_get_group_missing(self, tiny_frame):
+        with pytest.raises(GroupByError):
+            tiny_frame.groupby("vendor").get_group(("VIA",))
+
+    def test_size(self, tiny_frame):
+        sizes = tiny_frame.groupby("vendor").size()
+        assert sizes["count"].sum() == 6
+
+    def test_unknown_key_rejected(self, tiny_frame):
+        with pytest.raises(GroupByError):
+            tiny_frame.groupby("bogus")
+
+    def test_empty_keys_rejected(self, tiny_frame):
+        with pytest.raises(GroupByError):
+            tiny_frame.groupby([])
+
+    def test_missing_key_values_form_their_own_group(self):
+        frame = Frame.from_dict({"k": ["a", None, "a"], "v": [1, 2, 3]})
+        grouped = frame.groupby("k")
+        assert grouped.ngroups == 2
+
+
+class TestJoin:
+    @pytest.fixture()
+    def left(self):
+        return Frame.from_dict({"cpu": ["A", "B", "C"], "power": [100, 200, 300]})
+
+    @pytest.fixture()
+    def right(self):
+        return Frame.from_dict({"cpu": ["A", "B", "D"], "vendor": ["Intel", "AMD", "Arm"]})
+
+    def test_inner_join(self, left, right):
+        result = join(left, right, on="cpu")
+        assert len(result) == 2
+        assert set(result["vendor"].to_list()) == {"Intel", "AMD"}
+
+    def test_left_join_keeps_unmatched(self, left, right):
+        result = join(left, right, on="cpu", how="left")
+        assert len(result) == 3
+        assert result.filter(result["cpu"] == "C")["vendor"][0] is None
+
+    def test_outer_join_adds_right_only_rows(self, left, right):
+        result = join(left, right, on="cpu", how="outer")
+        assert len(result) == 4
+        d_row = result.filter(result["cpu"] == "D").row(0)
+        assert d_row["power"] is None
+        assert d_row["vendor"] == "Arm"
+
+    def test_duplicate_keys_multiply(self):
+        left = Frame.from_dict({"k": ["x", "x"], "a": [1, 2]})
+        right = Frame.from_dict({"k": ["x"], "b": [10]})
+        assert len(join(left, right, on="k")) == 2
+
+    def test_overlapping_value_columns_get_suffix(self):
+        left = Frame.from_dict({"k": ["x"], "v": [1]})
+        right = Frame.from_dict({"k": ["x"], "v": [2]})
+        result = join(left, right, on="k")
+        assert "v" in result and "v_right" in result
+
+    def test_missing_key_column_rejected(self, left):
+        with pytest.raises(JoinError):
+            join(left, Frame.from_dict({"other": [1]}), on="cpu")
+
+    def test_unknown_how_rejected(self, left, right):
+        with pytest.raises(JoinError):
+            join(left, right, on="cpu", how="cross")
+
+    def test_frame_method_join(self, left, right):
+        assert len(left.join(right, on="cpu")) == 2

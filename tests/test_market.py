@@ -1,0 +1,202 @@
+"""Tests for the market model: catalog, trends, fleet sampling, anomalies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError
+from repro.market import (
+    AnomalyKind,
+    AnomalyPlan,
+    Catalog,
+    FleetSampler,
+    default_anomaly_plan,
+    default_catalog,
+    default_trends,
+)
+from repro.powermodel import Vendor
+
+
+class TestCatalog:
+    def test_contains_both_vendors_and_eras(self, catalog):
+        years = [entry.cpu.release.year for entry in catalog.server_entries()]
+        assert min(years) <= 2006 and max(years) >= 2023
+        vendors = {entry.cpu.vendor for entry in catalog.server_entries()}
+        assert vendors == {Vendor.INTEL, Vendor.AMD}
+
+    def test_get_known_model(self, catalog):
+        assert catalog.get("EPYC 9754").cpu.cores == 128
+
+    def test_get_unknown_model_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get("Xeon Imaginary 9999")
+
+    def test_filtered_entries_are_non_server(self, catalog):
+        for entry in catalog.filtered_entries():
+            assert not entry.cpu.family.is_server_x86
+
+    def test_available_in_window(self, catalog):
+        entries = catalog.available_in(2010, vendor=Vendor.INTEL)
+        assert entries
+        for entry in entries:
+            assert entry.cpu.release.year <= 2010
+            assert entry.cpu.vendor == Vendor.INTEL
+
+    def test_available_in_gap_year_falls_back(self, catalog):
+        # AMD had no new server part around 2014/2015; the sampler must still
+        # find something to submit.
+        assert catalog.available_in(2015, vendor=Vendor.AMD)
+
+    def test_available_every_year(self, catalog):
+        for year in range(2005, 2025):
+            assert catalog.available_in(year), f"no parts available in {year}"
+
+    def test_by_vendor(self, catalog):
+        amd = catalog.by_vendor(Vendor.AMD)
+        assert all(entry.cpu.vendor == Vendor.AMD for entry in amd)
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog([])
+
+    def test_throughput_grows_over_time(self, catalog):
+        by_year = sorted(
+            catalog.server_entries(), key=lambda e: e.cpu.release.decimal_year
+        )
+        early_mean = np.mean([e.cpu.ssj_ops_per_socket for e in by_year[:5]])
+        late_mean = np.mean([e.cpu.ssj_ops_per_socket for e in by_year[-5:]])
+        assert late_mean > 20 * early_mean
+
+
+class TestTrends:
+    def test_runs_per_year_total_exact(self):
+        trends = default_trends()
+        counts = trends.runs_per_year(960)
+        assert sum(counts.values()) == 960
+        assert set(counts) == set(range(2005, 2025))
+
+    def test_runs_per_year_dip_2013_2017(self):
+        counts = default_trends().runs_per_year(960)
+        dip = np.mean([counts[y] for y in range(2013, 2018)])
+        overall = np.mean([counts[y] for y in range(2005, 2024)])
+        assert dip < overall / 2
+
+    def test_runs_per_year_too_small_rejected(self):
+        with pytest.raises(CatalogError):
+            default_trends().runs_per_year(5)
+
+    def test_amd_share_rises_after_2017(self):
+        trends = default_trends()
+        assert trends.amd_probability(2023) > 2 * trends.amd_probability(2015)
+
+    def test_linux_share_rises_after_2017(self):
+        trends = default_trends()
+        assert trends.linux_probability(2023) > 0.3
+        assert trends.linux_probability(2010) < 0.05
+
+    def test_operating_system_strings(self, rng):
+        trends = default_trends()
+        early = trends.operating_system(2008, rng)
+        assert "Windows" in early or "Solaris" in early
+        names = {trends.operating_system(2023, rng) for _ in range(50)}
+        assert any("Linux" in n or "SUSE" in n or "Red Hat" in n for n in names)
+
+    def test_jvm_matches_era(self):
+        trends = default_trends()
+        assert "JRockit" in trends.jvm_name(2008, "Microsoft Windows Server 2008")
+        assert "17" in trends.jvm_name(2023, "SUSE Linux Enterprise Server 15 SP4")
+
+    def test_sample_sockets_respects_allowed(self, rng):
+        trends = default_trends()
+        for _ in range(20):
+            assert trends.sample_sockets(rng, allowed=(2,)) == 2
+
+    def test_sample_vendor_and_nodes(self, rng):
+        trends = default_trends()
+        assert trends.sample_system_vendor(rng) in trends.system_vendors
+        assert trends.sample_nodes(rng) in trends.node_weights
+
+
+class TestAnomalies:
+    def test_default_plan_matches_paper_counts(self):
+        plan = default_anomaly_plan()
+        assert plan.total == 57
+        assert plan.counts[AnomalyKind.NOT_ACCEPTED] == 40
+
+    def test_expand_length(self):
+        assert len(default_anomaly_plan().expand()) == 57
+
+    def test_scaled_keeps_every_kind(self):
+        scaled = default_anomaly_plan().scaled(0.1)
+        assert all(count >= 1 for count in scaled.counts.values())
+
+    def test_scaled_zero(self):
+        assert default_anomaly_plan().scaled(0).total == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(CatalogError):
+            AnomalyPlan({AnomalyKind.NOT_ACCEPTED: -1})
+
+
+class TestFleetSampler:
+    def test_deterministic_for_seed(self, catalog):
+        sampler = FleetSampler(total_parsed_runs=80, catalog=catalog)
+        a = sampler.sample(seed=3)
+        b = sampler.sample(seed=3)
+        assert [p.run_id for p in a.systems] == [p.run_id for p in b.systems]
+        assert [p.cpu_model for p in a.systems] == [p.cpu_model for p in b.systems]
+
+    def test_different_seed_differs(self, catalog):
+        sampler = FleetSampler(total_parsed_runs=80, catalog=catalog)
+        a = sampler.sample(seed=3)
+        b = sampler.sample(seed=4)
+        assert [p.cpu_model for p in a.systems] != [p.cpu_model for p in b.systems]
+
+    def test_counts_scale_with_total(self, sample_fleet):
+        # 60 clean runs requested; defects are added on top.
+        assert len(sample_fleet.clean) == 60
+        assert len(sample_fleet.defective) > 0
+        assert len(sample_fleet) == len(sample_fleet.clean) + len(sample_fleet.defective)
+
+    def test_special_categories_present(self, sample_fleet):
+        assert sample_fleet.count_category("other_vendor") >= 1
+        assert sample_fleet.count_category("desktop") >= 1
+        assert sample_fleet.count_multi() >= 1
+
+    def test_analysable_excludes_multi_and_special(self, sample_fleet):
+        for plan in sample_fleet.analysable():
+            assert plan.category == "server"
+            assert plan.nodes == 1 and plan.sockets <= 2
+
+    def test_paper_scale_funnel(self, catalog):
+        sampler = FleetSampler(total_parsed_runs=960, catalog=catalog)
+        fleet = sampler.sample(seed=1)
+        assert len(fleet) == 1017
+        assert len(fleet.clean) == 960
+        assert len(fleet.defective) == 57
+        assert fleet.count_category("other_vendor") == 9
+        assert fleet.count_category("desktop") == 6
+        assert fleet.count_multi() == 269
+        assert len(fleet.analysable()) == 676
+
+    def test_hw_dates_span_2005_2024(self, sample_fleet):
+        years = [plan.hw_avail.year for plan in sample_fleet.clean]
+        assert min(years) <= 2007
+        assert max(years) >= 2022
+
+    def test_publication_not_before_test(self, sample_fleet):
+        for plan in sample_fleet.systems:
+            assert not (plan.publication_date < plan.test_date)
+
+    def test_too_small_total_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            FleetSampler(total_parsed_runs=10, catalog=catalog)
+
+    def test_special_exceeding_total_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            FleetSampler(total_parsed_runs=60, catalog=catalog,
+                         multi_node_or_socket_runs=100)
+
+    def test_plan_psu_covers_tdp(self, sample_fleet, catalog):
+        for plan in sample_fleet.clean:
+            entry = catalog.get(plan.cpu_model)
+            assert plan.psu_rating_w >= entry.cpu.tdp_w

@@ -1,0 +1,287 @@
+"""Tests for the result-file parser, CPU classification, validation and
+corpus parsing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.parser import (
+    CorpusParseReport,
+    classify_cpu,
+    level_field,
+    parse_directory,
+    parse_result_text,
+    records_to_frame,
+    validate_run,
+)
+from repro.parser.fields import LOAD_LEVELS, RunRecord
+from repro.parser.validation import ValidationIssue
+
+MINIMAL_REPORT = """SPECpower_ssj2008 Result
+Copyright (C) 2007-2024 Standard Performance Evaluation Corporation
+
+Test Sponsor: Example Corp
+Test Date: Apr-2023
+Publication Date: Jun-2023
+Hardware Availability: Feb-2023
+Software Availability: Dec-2022
+
+Performance Summary:
+    Overall ssj_ops/watt: 15,112
+
+Benchmark Results Summary
+=========================
+
+Target Load | Actual Load |      ssj_ops | Average Active Power (W) | Performance to Power Ratio
+------------+-------------+--------------+--------------------------+---------------------------
+       100% |       99.7% |    9,400,000 |                    947.0 |                      9,926
+        90% |       90.1% |    8,460,000 |                    820.0 |                     10,317
+        80% |       80.0% |    7,520,000 |                    700.0 |                     10,743
+        70% |       69.9% |    6,580,000 |                    615.0 |                     10,699
+        60% |       60.2% |    5,640,000 |                    540.0 |                     10,444
+        50% |       50.0% |    4,700,000 |                    470.0 |                     10,000
+        40% |       40.1% |    3,760,000 |                    400.0 |                      9,400
+        30% |       29.8% |    2,820,000 |                    330.0 |                      8,545
+        20% |       20.0% |    1,880,000 |                    270.0 |                      6,963
+        10% |       10.1% |      940,000 |                    210.0 |                      4,476
+Active Idle |             |            0 |                     95.0 |                          0
+
+∑ssj_ops / ∑power = 15,112
+
+System Under Test
+=================
+Shared Hardware:
+    Hardware Vendor: Lenovo Global Technology
+    Model: ThinkSystem SR650 V3
+    Number of Nodes: 1
+    Nodes Identical: Yes
+
+Hardware per Node:
+    CPU Name: Intel Xeon Platinum 8490H
+    CPU Characteristics: 1.90 GHz, 60 cores per chip, 350 W TDP
+    CPU Frequency (MHz): 1900
+    CPU Vendor: Intel
+    Chips per Node: 2
+    CPU(s) Enabled: 120 cores, 2 chips, 60 cores/chip
+    Hardware Threads: 240 (2 / core)
+    Memory Amount (GB): 256
+    Power Supply Rating (W): 1100
+
+Software per Node:
+    Operating System (OS): Microsoft Windows Server 2019 Datacenter
+    JVM Version: Oracle Java HotSpot 64-Bit Server VM 11
+
+Run Compliance
+==============
+    Valid Run: Yes
+"""
+
+
+class TestClassifyCpu:
+    @pytest.mark.parametrize(
+        "name, vendor, cpu_class",
+        [
+            ("Intel Xeon Platinum 8490H", "Intel", "server"),
+            ("Intel Xeon E5-2660 v3", "Intel", "server"),
+            ("AMD EPYC 9754", "AMD", "server"),
+            ("AMD Opteron 6174", "AMD", "server"),
+            ("Intel Core i7-2600", "Intel", "desktop"),
+            ("Intel Pentium D 930", "Intel", "desktop"),
+            ("AMD Ryzen 7 3700X", "AMD", "desktop"),
+            ("IBM POWER7 8-core", "IBM", "non_x86"),
+            ("Oracle SPARC T4", "Oracle", "non_x86"),
+            ("Ampere Altra Q80-30", "Ampere", "non_x86"),
+        ],
+    )
+    def test_classification(self, name, vendor, cpu_class):
+        info = classify_cpu(name)
+        assert info.vendor == vendor
+        assert info.cpu_class == cpu_class
+        assert not info.is_ambiguous
+
+    def test_server_families(self):
+        assert classify_cpu("Intel Xeon Platinum 8280").family == "Xeon"
+        assert classify_cpu("AMD EPYC 7742").family == "EPYC"
+        assert classify_cpu("AMD Opteron 2356").family == "Opteron"
+
+    def test_ambiguous_names(self):
+        assert classify_cpu("Intel Processor").is_ambiguous
+        assert classify_cpu("AMD Processor").is_ambiguous
+        assert classify_cpu("").is_ambiguous
+        assert classify_cpu(None).is_ambiguous
+
+    def test_frequency_tokens_do_not_count_as_model(self):
+        assert classify_cpu("Intel Xeon 2.4GHz").is_ambiguous is False or True
+        # A name consisting solely of vendor + frequency stays ambiguous.
+        assert classify_cpu("Intel 2.4GHz").is_ambiguous
+
+    def test_is_x86_server(self):
+        assert classify_cpu("AMD EPYC 9654").is_x86_server
+        assert not classify_cpu("IBM POWER7 8-core").is_x86_server
+        assert not classify_cpu("Intel Core i9-9900K").is_x86_server
+
+
+class TestParseResultText:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return parse_result_text(MINIMAL_REPORT, "sample.txt").record
+
+    def test_dates(self, record):
+        assert (record.hw_avail_year, record.hw_avail_month) == (2023, 2)
+        assert (record.test_year, record.test_month) == (2023, 4)
+        assert record.sw_avail_year == 2022
+
+    def test_cpu_fields(self, record):
+        assert record.cpu_name == "Intel Xeon Platinum 8490H"
+        assert record.cpu_vendor == "Intel"
+        assert record.cpu_family == "Xeon"
+        assert record.cpu_class == "server"
+        assert record.cpu_frequency_mhz == 1900
+
+    def test_topology_fields(self, record):
+        assert record.nodes == 1
+        assert record.sockets_per_node == 2
+        assert record.cores_total == 120
+        assert record.cores_per_chip == 60
+        assert record.threads_total == 240
+        assert record.threads_per_core == 2
+
+    def test_system_fields(self, record):
+        assert record.system_vendor == "Lenovo Global Technology"
+        assert record.memory_gb == 256
+        assert record.psu_rating_w == 1100
+        assert record.os_family == "Windows"
+        assert "HotSpot" in record.jvm
+
+    def test_measurements(self, record):
+        assert record.get_level("ssj_ops", 100) == 9_400_000
+        assert record.get_level("power", 100) == 947.0
+        assert record.get_level("actual_load", 70) == pytest.approx(0.699)
+        assert record.get_level("power", 10) == 210.0
+        assert record.power_idle == 95.0
+        assert record.overall_ssj_ops_per_watt == 15112
+
+    def test_accepted_flag(self, record):
+        assert record.accepted is True
+
+    def test_all_levels_present(self, record):
+        for level in LOAD_LEVELS:
+            assert record.get_level("power", level) is not None
+
+    def test_non_spec_file_rejected(self):
+        with pytest.raises(ParseError):
+            parse_result_text("This is not a SPEC report\nat all\n")
+
+    def test_missing_fields_become_none(self):
+        text = "SPECpower_ssj2008 Result\nTest Sponsor: X\n"
+        record = parse_result_text(text).record
+        assert record.hw_avail_year is None
+        assert record.power_idle is None
+
+    def test_to_dict_is_rectangular(self, record):
+        row = record.to_dict()
+        assert level_field("power", 100) in row
+        assert level_field("ssj_ops", 10) in row
+        assert "per_level" not in row
+
+
+class TestValidation:
+    def _valid_record(self):
+        return parse_result_text(MINIMAL_REPORT, "ok.txt").record
+
+    def test_valid_record_passes(self):
+        assert validate_run(self._valid_record()).is_valid
+
+    def test_not_accepted(self):
+        record = self._valid_record()
+        record.accepted = False
+        assert validate_run(record).primary_issue == ValidationIssue.NOT_ACCEPTED
+
+    def test_ambiguous_date(self):
+        record = self._valid_record()
+        record.hw_avail_year = None
+        record.hw_avail_month = None
+        assert validate_run(record).primary_issue == ValidationIssue.AMBIGUOUS_DATE
+
+    def test_implausible_date(self):
+        record = self._valid_record()
+        record.hw_avail_year = 1901
+        assert validate_run(record).primary_issue == ValidationIssue.IMPLAUSIBLE_DATE
+
+    def test_ambiguous_cpu(self):
+        record = self._valid_record()
+        record.cpu_class = "unknown"
+        assert validate_run(record).primary_issue == ValidationIssue.AMBIGUOUS_CPU
+
+    def test_missing_node_count(self):
+        record = self._valid_record()
+        record.nodes = None
+        assert validate_run(record).primary_issue == ValidationIssue.MISSING_NODE_COUNT
+
+    def test_inconsistent_cores(self):
+        record = self._valid_record()
+        record.cores_per_chip = 50
+        assert validate_run(record).primary_issue == ValidationIssue.INCONSISTENT_CORE_THREAD
+
+    def test_inconsistent_threads(self):
+        record = self._valid_record()
+        record.threads_total = 9999
+        assert validate_run(record).primary_issue == ValidationIssue.INCONSISTENT_CORE_THREAD
+
+    def test_implausible_core_count(self):
+        record = self._valid_record()
+        record.cores_total = 1_200_000
+        assert validate_run(record).primary_issue == ValidationIssue.IMPLAUSIBLE_CORE_COUNT
+
+    def test_missing_measurements(self):
+        record = self._valid_record()
+        record.power_idle = None
+        assert validate_run(record).primary_issue == ValidationIssue.MISSING_MEASUREMENTS
+
+    def test_chips_vs_nodes_consistency(self):
+        record = self._valid_record()
+        record.total_chips = 3
+        assert not validate_run(record).is_valid
+
+
+class TestCorpusParsing:
+    def test_parse_directory_report(self, corpus_dir):
+        report = parse_directory(corpus_dir)
+        assert isinstance(report, CorpusParseReport)
+        assert report.parsed_count > 0
+        assert report.total_files == report.parsed_count + len(report.rejected)
+        # Every injected defect class shows up in the rejection counts.
+        reasons = report.rejection_counts()
+        assert "not_accepted" in reasons
+        assert sum(reasons.values()) == len(report.rejected)
+
+    def test_rejected_files_do_not_reach_records(self, corpus_dir):
+        report = parse_directory(corpus_dir)
+        rejected_names = {r.file_name for r in report.rejected}
+        record_names = {record.file_name for record in report.records}
+        assert not rejected_names & record_names
+
+    def test_records_to_frame_rectangular(self, corpus_dir):
+        report = parse_directory(corpus_dir)
+        frame = report.to_frame()
+        assert len(frame) == report.parsed_count
+        assert level_field("power", 100) in frame
+        assert "cpu_vendor" in frame
+
+    def test_parse_directory_missing(self, tmp_path):
+        with pytest.raises(ParseError):
+            parse_directory(tmp_path / "does-not-exist")
+
+    def test_parse_directory_parallel_thread_backend(self, corpus_dir):
+        from repro.parallel import ParallelConfig
+
+        serial = parse_directory(corpus_dir)
+        threaded = parse_directory(
+            corpus_dir, parallel=ParallelConfig(backend="thread", max_workers=4,
+                                                serial_threshold=0)
+        )
+        assert serial.parsed_count == threaded.parsed_count
+        assert serial.rejection_counts() == threaded.rejection_counts()
+
+    def test_describe_mentions_counts(self, corpus_dir):
+        text = parse_directory(corpus_dir).describe()
+        assert "parsed" in text and "rejected" in text

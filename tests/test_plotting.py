@@ -1,0 +1,176 @@
+"""Tests for the plotting substrate (scales, SVG, charts, ASCII)."""
+
+import pytest
+
+from repro.errors import PlotError
+from repro.plotting import (
+    BarChart,
+    BoxChart,
+    BoxSeries,
+    ChartTheme,
+    Extent,
+    LineChart,
+    LinearScale,
+    ScatterChart,
+    Series,
+    StackedAreaChart,
+    SVGDocument,
+    ascii_histogram,
+    ascii_scatter,
+    nice_ticks,
+)
+from repro.stats import box_stats, histogram
+
+
+class TestScale:
+    def test_extent_of_values(self):
+        extent = Extent.of([3.0, 1.0, None, 2.0])
+        assert extent.low == 1.0 and extent.high == 3.0
+
+    def test_extent_of_empty_rejected(self):
+        with pytest.raises(PlotError):
+            Extent.of([None])
+
+    def test_extent_invalid_order_rejected(self):
+        with pytest.raises(PlotError):
+            Extent(2.0, 1.0)
+
+    def test_extent_expand_and_include(self):
+        extent = Extent(0.0, 10.0).expanded(0.1)
+        assert extent.low == pytest.approx(-1.0)
+        assert extent.high == pytest.approx(11.0)
+        assert Extent(0.0, 1.0).include(5.0).high == 5.0
+
+    def test_nice_ticks_cover_domain(self):
+        ticks = nice_ticks(Extent(2005.0, 2024.0), 5)
+        assert ticks[0] >= 2005.0 and ticks[-1] <= 2024.0
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+    def test_nice_ticks_degenerate_domain(self):
+        assert nice_ticks(Extent(5.0, 5.0)) == [5.0]
+
+    def test_linear_scale_maps_endpoints(self):
+        scale = LinearScale(Extent(0.0, 10.0), 0.0, 100.0)
+        assert scale(0.0) == 0.0
+        assert scale(10.0) == 100.0
+        assert scale(5.0) == 50.0
+
+    def test_linear_scale_invert(self):
+        scale = LinearScale(Extent(0.0, 10.0), 100.0, 200.0)
+        assert scale.invert(scale(3.3)) == pytest.approx(3.3)
+
+
+class TestSVG:
+    def test_document_structure(self):
+        doc = SVGDocument(100, 50)
+        doc.circle(10, 10, 2, fill="#ff0000")
+        doc.text(5, 5, "hello & <world>")
+        text = doc.to_string()
+        assert text.startswith("<?xml")
+        assert "<svg" in text and "</svg>" in text
+        assert "hello &amp; &lt;world&gt;" in text
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(PlotError):
+            SVGDocument(0, 10)
+
+    def test_polyline_requires_two_points(self):
+        doc = SVGDocument(10, 10)
+        with pytest.raises(PlotError):
+            doc.polyline([(1, 1)])
+
+    def test_save(self, tmp_path):
+        doc = SVGDocument(10, 10)
+        path = tmp_path / "sub" / "chart.svg"
+        doc.save(path)
+        assert path.exists()
+        assert "<svg" in path.read_text()
+
+
+class TestCharts:
+    def test_scatter_contains_points_and_legend(self):
+        chart = ScatterChart(
+            [Series("Intel", [2007, 2010], [200, 250]), Series("AMD", [2019], [300])],
+            title="Power", x_label="Year", y_label="W",
+        )
+        text = chart.render().to_string()
+        assert text.count("<circle") >= 3
+        assert "Intel" in text and "AMD" in text and "Power" in text
+
+    def test_scatter_requires_series(self):
+        with pytest.raises(PlotError):
+            ScatterChart([])
+
+    def test_scatter_all_nan_rejected(self):
+        with pytest.raises(PlotError):
+            ScatterChart([Series("x", [1.0], [float("nan")])]).render()
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(PlotError):
+            Series("x", [1, 2], [1])
+
+    def test_line_chart_has_polyline(self):
+        chart = LineChart([Series("trend", [1, 2, 3], [1, 2, 3])])
+        assert "<polyline" in chart.render().to_string()
+
+    def test_box_chart_reference_line(self):
+        boxes = [box_stats([0.9, 1.0, 1.1]), box_stats([1.0, 1.05, 1.2])]
+        chart = BoxChart(
+            [BoxSeries("70%", [2020, 2021], boxes)], reference_line=1.0, title="rel eff"
+        )
+        text = chart.render().to_string()
+        assert "stroke-dasharray" in text          # the reference line
+        assert text.count("<rect") >= 2            # one box per year
+
+    def test_box_chart_empty_boxes_rejected(self):
+        with pytest.raises(PlotError):
+            BoxChart([BoxSeries("x", [2020], [box_stats([])])]).render()
+
+    def test_stacked_area_normalises_to_percent(self):
+        chart = StackedAreaChart(
+            [2007, 2008],
+            [Series("Windows", [2007, 2008], [9, 5]), Series("Linux", [2007, 2008], [1, 5])],
+        )
+        stacked = chart._stacked()
+        assert stacked[-1] == pytest.approx([100.0, 100.0])
+        assert "<polygon" in chart.render().to_string()
+
+    def test_stacked_area_length_mismatch_rejected(self):
+        with pytest.raises(PlotError):
+            StackedAreaChart([2007], [Series("a", [2007, 2008], [1, 2])])
+
+    def test_bar_chart(self):
+        chart = BarChart([2007, 2008, 2009], [10, 20, 5], title="counts")
+        assert chart.render().to_string().count("<rect") >= 3
+
+    def test_bar_chart_mismatched_lengths_rejected(self):
+        with pytest.raises(PlotError):
+            BarChart([1, 2], [1])
+
+    def test_chart_save(self, tmp_path):
+        path = tmp_path / "scatter.svg"
+        ScatterChart([Series("s", [1], [1])]).save(path)
+        assert path.exists()
+
+    def test_theme_colors_cycle(self):
+        theme = ChartTheme()
+        assert theme.color(0) != theme.color(1)
+        assert theme.color(0) == theme.color(len(theme.palette))
+
+
+class TestAscii:
+    def test_scatter_renders_markers(self):
+        text = ascii_scatter([1, 2, 3], [1, 4, 9], width=40, height=10, title="t")
+        assert "t" in text
+        assert "o" in text
+
+    def test_scatter_empty(self):
+        assert "(no data)" in ascii_scatter([], [])
+
+    def test_scatter_too_small_rejected(self):
+        with pytest.raises(PlotError):
+            ascii_scatter([1], [1], width=5, height=2)
+
+    def test_histogram_bars(self):
+        text = ascii_histogram(histogram([1, 1, 2, 3], bins=3), title="h")
+        assert "#" in text and "h" in text

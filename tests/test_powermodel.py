@@ -1,0 +1,325 @@
+"""Tests for the server power model components and their composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.market import default_catalog, profile_for
+from repro.powermodel import (
+    CoreCStateModel,
+    CPUFamily,
+    CPUSpec,
+    DVFSModel,
+    GenerationProfile,
+    PackageCStateModel,
+    PlatformModel,
+    PSUEfficiencyCurve,
+    ServerConfiguration,
+    ServerPowerModel,
+    TurboModel,
+    Vendor,
+)
+from repro.powermodel.server import STANDARD_LOAD_LEVELS
+from repro.units import MonthDate
+
+
+def _profile(**overrides):
+    base = dict(
+        static_fraction=0.3,
+        linear_fraction=0.5,
+        quadratic_fraction=0.15,
+        turbo_fraction=0.05,
+        idle_quotient_mean=1.8,
+    )
+    base.update(overrides)
+    return GenerationProfile(**base)
+
+
+def _cpu(**overrides):
+    base = dict(
+        model="Test CPU 1000",
+        vendor=Vendor.INTEL,
+        family=CPUFamily.XEON,
+        codename="Testlake",
+        cores=16,
+        threads_per_core=2,
+        base_frequency_mhz=2400.0,
+        max_turbo_mhz=3200.0,
+        tdp_w=150.0,
+        release=MonthDate(2018, 6),
+        ssj_ops_per_socket=1_000_000.0,
+        profile=_profile(),
+    )
+    base.update(overrides)
+    return CPUSpec(**base)
+
+
+class TestGenerationProfile:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ModelError):
+            _profile(static_fraction=0.9)
+
+    def test_normalized(self):
+        profile = _profile().normalized()
+        total = (profile.static_fraction + profile.linear_fraction
+                 + profile.quadratic_fraction + profile.turbo_fraction)
+        assert total == pytest.approx(1.0)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ModelError):
+            _profile(turbo_fraction=-0.05, quadratic_fraction=0.25)
+
+    def test_idle_quotient_below_one_rejected(self):
+        with pytest.raises(ModelError):
+            _profile(idle_quotient_mean=0.9)
+
+
+class TestCPUSpec:
+    def test_threads_property(self):
+        assert _cpu().threads == 32
+
+    def test_full_load_power_default_below_tdp(self):
+        assert _cpu().full_load_cpu_power_w < 150.0
+
+    def test_full_load_power_override(self):
+        assert _cpu(cpu_power_at_full_load_w=140.0).full_load_cpu_power_w == 140.0
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ModelError):
+            _cpu(cores=0)
+
+    def test_invalid_turbo_rejected(self):
+        with pytest.raises(ModelError):
+            _cpu(max_turbo_mhz=1000.0)
+
+    def test_describe_mentions_cores_and_tdp(self):
+        text = _cpu().describe()
+        assert "16c" in text and "150 W" in text
+
+
+class TestDVFS:
+    def test_activity_factor_bounds(self):
+        model = DVFSModel(governor_effectiveness=0.7, frequency_floor=0.4)
+        assert model.activity_factor(0.0) == 0.0
+        assert model.activity_factor(1.0) == pytest.approx(1.0)
+
+    def test_activity_factor_monotonic(self):
+        model = DVFSModel(governor_effectiveness=0.7, frequency_floor=0.4)
+        loads = np.linspace(0, 1, 11)
+        values = [model.activity_factor(load) for load in loads]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_better_governor_saves_more_at_partial_load(self):
+        weak = DVFSModel(governor_effectiveness=0.1)
+        strong = DVFSModel(governor_effectiveness=0.9)
+        assert strong.activity_factor(0.3) < weak.activity_factor(0.3)
+
+    def test_frequency_fraction_floor(self):
+        model = DVFSModel(frequency_floor=0.5)
+        assert model.frequency_fraction(0.0) == 0.5
+        assert model.frequency_fraction(1.0) == 1.0
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ModelError):
+            DVFSModel().activity_factor(1.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            DVFSModel(governor_effectiveness=1.5)
+        with pytest.raises(ModelError):
+            DVFSModel(frequency_floor=0.0)
+
+
+class TestCStates:
+    def test_core_residency_decreases_with_load(self):
+        model = CoreCStateModel()
+        assert model.idle_residency(0.2) > model.idle_residency(0.8)
+
+    def test_core_power_fraction_complements_residency(self):
+        model = CoreCStateModel()
+        assert model.core_power_fraction(0.3) == pytest.approx(1 - model.idle_residency(0.3))
+
+    def test_package_quotient_without_noise(self):
+        model = PackageCStateModel(base_quotient=2.0, quotient_sigma=0.0)
+        assert model.effective_quotient(logical_cpus=1) == pytest.approx(2.0, rel=1e-3)
+
+    def test_package_quotient_degrades_with_logical_cpus(self):
+        model = PackageCStateModel(base_quotient=2.0, quotient_sigma=0.0,
+                                   noise_per_logical_cpu=0.005)
+        assert model.effective_quotient(256) < model.effective_quotient(16)
+
+    def test_quotient_never_below_one(self):
+        model = PackageCStateModel(base_quotient=1.05, quotient_sigma=0.0,
+                                   noise_per_logical_cpu=0.1)
+        assert model.effective_quotient(512) >= 1.0
+
+    def test_measured_idle_power(self):
+        model = PackageCStateModel(base_quotient=2.0, quotient_sigma=0.0)
+        assert model.measured_idle_power(100.0, 1) == pytest.approx(50.0, rel=1e-2)
+
+    def test_measured_idle_with_rng_is_reproducible(self):
+        model = PackageCStateModel(base_quotient=2.0, quotient_sigma=0.2)
+        a = model.measured_idle_power(100.0, 64, np.random.default_rng(3))
+        b = model.measured_idle_power(100.0, 64, np.random.default_rng(3))
+        assert a == b
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            PackageCStateModel(base_quotient=0.5)
+        with pytest.raises(ModelError):
+            CoreCStateModel(max_residency=0.0)
+
+
+class TestTurbo:
+    def test_disabled_turbo(self):
+        model = TurboModel(enabled=False, max_uplift=0.2)
+        assert model.frequency_uplift(1.0) == 1.0
+        assert model.power_premium(1.0) == 0.0
+
+    def test_premium_concentrated_at_full_load(self):
+        model = TurboModel(max_uplift=0.15, concentration=8)
+        assert model.power_premium(1.0) == pytest.approx(1.0)
+        assert model.power_premium(0.5) < 0.01
+
+    def test_uplift_monotonic(self):
+        model = TurboModel(max_uplift=0.15)
+        assert model.frequency_uplift(1.0) > model.frequency_uplift(0.5) >= 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            TurboModel(max_uplift=-0.1)
+        with pytest.raises(ModelError):
+            TurboModel(concentration=0.5)
+
+
+class TestPlatform:
+    def test_psu_efficiency_peak_near_half_load(self):
+        curve = PSUEfficiencyCurve(peak_efficiency=0.94, rated_power_w=1000)
+        assert curve.efficiency(500) > curve.efficiency(50)
+        assert curve.efficiency(500) >= curve.efficiency(1000)
+
+    def test_wall_power_above_dc_power(self):
+        curve = PSUEfficiencyCurve(rated_power_w=800)
+        assert curve.wall_power(400) > 400
+
+    def test_memory_power_scales_with_load(self):
+        platform = PlatformModel(memory_gb=128)
+        assert platform.memory_power(1.0) > platform.memory_power(0.0) > 0
+
+    def test_fan_power_grows_with_heat(self):
+        platform = PlatformModel()
+        assert platform.fan_power(400) > platform.fan_power(100)
+
+    def test_node_wall_power_monotonic_in_cpu_power(self):
+        platform = PlatformModel()
+        assert platform.node_wall_power(300, 1.0) > platform.node_wall_power(100, 1.0)
+
+    def test_for_era_improves_over_time(self):
+        old = PlatformModel.for_era(2006, memory_gb=64)
+        new = PlatformModel.for_era(2023, memory_gb=64)
+        assert new.watts_per_gb < old.watts_per_gb
+        assert new.psu.peak_efficiency > old.psu.peak_efficiency
+        assert new.baseboard_w < old.baseboard_w
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            PSUEfficiencyCurve(peak_efficiency=0.3)
+        with pytest.raises(ModelError):
+            PlatformModel(memory_gb=-1)
+
+
+class TestServerPowerModel:
+    @pytest.fixture()
+    def model(self):
+        configuration = ServerConfiguration(cpu=_cpu(), sockets=2, memory_gb=128,
+                                            psu_rating_w=800)
+        return ServerPowerModel(configuration)
+
+    def test_power_monotonic_in_load(self, model):
+        powers = [model.node_power_w(level) for level in sorted(l for l in STANDARD_LOAD_LEVELS if l > 0)]
+        assert all(b >= a for a, b in zip(powers, powers[1:]))
+
+    def test_full_load_power_reasonable(self, model):
+        per_socket = model.power_per_socket_at_full_load()
+        # 150 W TDP part plus platform share: expect between 100 W and 350 W.
+        assert 100 < per_socket < 350
+
+    def test_active_idle_below_extrapolated(self, model):
+        assert model.active_idle_power_w() < model.extrapolated_idle_power_w()
+
+    def test_extrapolated_idle_close_to_static_floor(self, model):
+        extrapolated = model.extrapolated_idle_power_w()
+        assert 0 < extrapolated < model.node_power_w(0.1)
+
+    def test_throughput_scales_linearly(self, model):
+        assert model.throughput_ops(0.5) == pytest.approx(0.5 * model.max_throughput_ops())
+
+    def test_load_curve_has_all_levels(self, model):
+        curve = model.load_curve()
+        assert len(curve) == len(STANDARD_LOAD_LEVELS)
+        idle = curve[-1]
+        assert idle.target_load == 0.0 and idle.ssj_ops == 0.0
+
+    def test_overall_efficiency_positive(self, model):
+        assert model.overall_efficiency() > 0
+
+    def test_invalid_load_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.node_power_w(1.2)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ModelError):
+            ServerConfiguration(cpu=_cpu(), sockets=0)
+        with pytest.raises(ModelError):
+            ServerConfiguration(cpu=_cpu(), memory_gb=0)
+
+    def test_two_sockets_draw_more_than_one(self):
+        one = ServerPowerModel(ServerConfiguration(cpu=_cpu(), sockets=1, memory_gb=64))
+        two = ServerPowerModel(ServerConfiguration(cpu=_cpu(), sockets=2, memory_gb=64))
+        assert two.node_power_w(1.0) > one.node_power_w(1.0)
+
+    def test_deterministic_idle_without_rng(self, model):
+        assert model.active_idle_power_w() == model.active_idle_power_w()
+
+
+class TestCalibrationTrends:
+    """The catalog profiles must reproduce the paper's directional trends."""
+
+    def test_modern_systems_more_efficient(self, catalog):
+        def efficiency(model_name):
+            entry = catalog.get(model_name)
+            config = ServerConfiguration(cpu=entry.cpu, sockets=2,
+                                         memory_gb=entry.typical_memory_gb_per_socket * 2)
+            return ServerPowerModel(config).overall_efficiency()
+
+        assert efficiency("EPYC 9754") > efficiency("Xeon X5670") > efficiency("Xeon E5345")
+
+    def test_recent_amd_more_efficient_than_recent_intel(self, catalog):
+        def efficiency(model_name):
+            entry = catalog.get(model_name)
+            config = ServerConfiguration(cpu=entry.cpu, sockets=2,
+                                         memory_gb=entry.typical_memory_gb_per_socket * 2)
+            return ServerPowerModel(config).overall_efficiency()
+
+        assert efficiency("EPYC 9754") > 1.8 * efficiency("Xeon Platinum 8490H")
+
+    def test_idle_fraction_dropped_then_regressed_for_intel(self, catalog):
+        def idle_fraction(model_name):
+            entry = catalog.get(model_name)
+            config = ServerConfiguration(cpu=entry.cpu, sockets=2,
+                                         memory_gb=entry.typical_memory_gb_per_socket * 2)
+            model = ServerPowerModel(config)
+            return model.active_idle_power_w() / model.node_power_w(1.0)
+
+        early = idle_fraction("Xeon E5345")          # 2007
+        minimum = idle_fraction("Xeon Platinum 8180")  # 2017
+        recent = idle_fraction("Xeon Platinum 8490H")  # 2023
+        assert early > 0.5
+        assert minimum < 0.25
+        assert recent > minimum
+
+    def test_profile_for_interpolates_between_vendors_and_years(self):
+        early = profile_for(Vendor.INTEL, 2006.0)
+        late = profile_for(Vendor.INTEL, 2020.0)
+        assert early.static_fraction > late.static_fraction
+        assert late.idle_quotient_mean > early.idle_quotient_mean

@@ -1,0 +1,184 @@
+"""Tests for the report writer and the SPEC CPU rate model."""
+
+import pytest
+
+from repro.errors import ModelError, ReportError
+from repro.market import AnomalyKind, default_catalog
+from repro.parser import parse_result_text, validate_run
+from repro.parser.validation import ValidationIssue
+from repro.reportgen import CorpusWriter, render_report, generate_corpus_files
+from repro.simulator import RunDirector
+from repro.speccpu import FP_RATE_SUITE, INT_RATE_SUITE, SpecCpuRateModel, SuiteKind
+from repro.speccpu.model import memory_bandwidth_gbs
+
+
+class TestRenderReport:
+    def test_report_contains_key_fields(self, sample_results):
+        text = render_report(sample_results[0])
+        assert text.startswith("SPECpower_ssj2008 Result")
+        assert "Hardware Availability:" in text
+        assert "CPU Name:" in text
+        assert "Active Idle" in text
+        assert "ssj_ops" in text
+        assert "Valid Run: Yes" in text
+
+    def test_report_has_ten_load_levels(self, sample_results):
+        text = render_report(sample_results[0])
+        assert sum(1 for line in text.splitlines() if line.strip().endswith("%") or "% |" in line) >= 10
+
+    def test_report_round_trips_through_parser(self, sample_results):
+        for result in sample_results[:5]:
+            text = render_report(result)
+            parsed = parse_result_text(text, file_name=result.plan.file_name)
+            record = parsed.record
+            assert record.cpu_name is not None
+            assert record.hw_avail_year == result.plan.hw_avail.year
+            assert record.hw_avail_month == result.plan.hw_avail.month
+            assert record.nodes == result.plan.nodes
+            assert record.sockets_per_node == result.plan.sockets
+            assert record.memory_gb == pytest.approx(result.plan.memory_gb, abs=1.0)
+            assert record.power_idle == pytest.approx(
+                result.active_idle.average_power_w, rel=0.01
+            )
+            assert record.get_level("power", 100) == pytest.approx(
+                result.full_load.average_power_w, rel=0.01
+            )
+            assert record.overall_ssj_ops_per_watt == pytest.approx(
+                result.overall_efficiency, rel=0.02
+            )
+
+    def test_parsed_report_is_valid(self, sample_results):
+        report = validate_run(
+            parse_result_text(render_report(sample_results[0]), "x.txt").record
+        )
+        assert report.is_valid
+
+
+class TestAnomalyRendering:
+    def _render_with_anomaly(self, sample_fleet, kind):
+        from dataclasses import replace
+
+        plan = replace(sample_fleet.analysable()[0], anomaly=kind,
+                       accepted=kind != AnomalyKind.NOT_ACCEPTED)
+        director = RunDirector()
+        return render_report(director.run(plan))
+
+    @pytest.mark.parametrize(
+        "kind, issue",
+        [
+            (AnomalyKind.NOT_ACCEPTED, ValidationIssue.NOT_ACCEPTED),
+            (AnomalyKind.AMBIGUOUS_DATE, ValidationIssue.AMBIGUOUS_DATE),
+            (AnomalyKind.IMPLAUSIBLE_DATE, ValidationIssue.IMPLAUSIBLE_DATE),
+            (AnomalyKind.AMBIGUOUS_CPU, ValidationIssue.AMBIGUOUS_CPU),
+            (AnomalyKind.MISSING_NODE_COUNT, ValidationIssue.MISSING_NODE_COUNT),
+            (AnomalyKind.INCONSISTENT_CORE_THREAD, ValidationIssue.INCONSISTENT_CORE_THREAD),
+            (AnomalyKind.IMPLAUSIBLE_CORE_COUNT, ValidationIssue.IMPLAUSIBLE_CORE_COUNT),
+        ],
+    )
+    def test_each_anomaly_maps_to_its_validation_issue(self, sample_fleet, kind, issue):
+        text = self._render_with_anomaly(sample_fleet, kind)
+        record = parse_result_text(text, "anomalous.txt").record
+        report = validate_run(record)
+        assert not report.is_valid
+        assert report.primary_issue == issue
+
+
+class TestCorpusWriter:
+    def test_write_small_corpus(self, tmp_path):
+        report = generate_corpus_files(tmp_path / "corpus", total_parsed_runs=40, seed=3)
+        assert report.total_files == report.clean_runs + report.defective_runs
+        files = list((tmp_path / "corpus").glob("*.txt"))
+        assert len(files) == report.total_files
+        assert all(f.stat().st_size > 500 for f in files)
+
+    def test_writer_plan_matches_write(self, tmp_path):
+        writer = CorpusWriter(tmp_path / "c", total_parsed_runs=40, seed=9)
+        fleet = writer.plan()
+        report = writer.write(fleet)
+        assert report.total_files == len(fleet)
+
+    def test_generation_is_deterministic(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        generate_corpus_files(a, total_parsed_runs=40, seed=12)
+        generate_corpus_files(b, total_parsed_runs=40, seed=12)
+        names_a = sorted(p.name for p in a.glob("*.txt"))
+        names_b = sorted(p.name for p in b.glob("*.txt"))
+        assert names_a == names_b
+        sample = names_a[len(names_a) // 2]
+        assert (a / sample).read_text() == (b / sample).read_text()
+
+    def test_too_small_corpus_rejected(self, tmp_path):
+        with pytest.raises(ReportError):
+            generate_corpus_files(tmp_path / "x", total_parsed_runs=5)
+
+
+class TestSpecCpuModel:
+    @pytest.fixture(scope="class")
+    def models(self):
+        catalog = default_catalog()
+        intel = SpecCpuRateModel(catalog.get("Xeon Platinum 8490H").cpu, sockets=2)
+        amd = SpecCpuRateModel(catalog.get("EPYC 9754").cpu, sockets=2)
+        return intel, amd
+
+    def test_suite_composition(self):
+        assert len(INT_RATE_SUITE) == 10
+        assert len(FP_RATE_SUITE) == 13
+        assert all(b.suite == SuiteKind.INT_RATE for b in INT_RATE_SUITE)
+
+    def test_int_rate_factor_close_to_paper(self, models):
+        intel, amd = models
+        factor = amd.int_rate().score / intel.int_rate().score
+        assert factor == pytest.approx(2.03, abs=0.25)
+
+    def test_fp_rate_factor_close_to_paper(self, models):
+        intel, amd = models
+        factor = amd.fp_rate().score / intel.fp_rate().score
+        assert factor == pytest.approx(1.53, abs=0.2)
+
+    def test_fp_advantage_smaller_than_int_advantage(self, models):
+        intel, amd = models
+        int_factor = amd.int_rate().score / intel.int_rate().score
+        fp_factor = amd.fp_rate().score / intel.fp_rate().score
+        assert fp_factor < int_factor
+
+    def test_absolute_scores_order_of_magnitude(self, models):
+        intel, amd = models
+        assert 600 < intel.int_rate().score < 1300
+        assert 1300 < amd.int_rate().score < 2400
+
+    def test_wider_vectors_help_fp_more_than_int(self, catalog):
+        cpu = catalog.get("Xeon Platinum 8380").cpu
+        narrow = SpecCpuRateModel(cpu, 2, memory_bandwidth_override_gbs=1e6)
+        from dataclasses import replace
+
+        wide_cpu = replace(cpu, avx_width_bits=512)
+        narrow_cpu = replace(cpu, avx_width_bits=256)
+        wide = SpecCpuRateModel(wide_cpu, 2, memory_bandwidth_override_gbs=1e6)
+        narrower = SpecCpuRateModel(narrow_cpu, 2, memory_bandwidth_override_gbs=1e6)
+        fp_gain = wide.fp_rate().score / narrower.fp_rate().score
+        int_gain = wide.int_rate().score / narrower.int_rate().score
+        assert fp_gain > int_gain >= 1.0
+
+    def test_memory_bandwidth_grows_over_generations(self, catalog):
+        old = memory_bandwidth_gbs(catalog.get("Xeon X5570").cpu, 2)
+        new = memory_bandwidth_gbs(catalog.get("EPYC 9654").cpu, 2)
+        assert new > 5 * old
+
+    def test_bandwidth_saturation_limits_score(self, catalog):
+        cpu = catalog.get("EPYC 9754").cpu
+        unconstrained = SpecCpuRateModel(cpu, 2, memory_bandwidth_override_gbs=1e6)
+        constrained = SpecCpuRateModel(cpu, 2, memory_bandwidth_override_gbs=200.0)
+        assert constrained.fp_rate().score < unconstrained.fp_rate().score
+
+    def test_per_benchmark_scores_positive(self, models):
+        intel, _ = models
+        result = intel.fp_rate()
+        assert all(score > 0 for score in result.per_benchmark.values())
+
+    def test_invalid_parameters_rejected(self, catalog):
+        cpu = catalog.get("EPYC 9754").cpu
+        with pytest.raises(ModelError):
+            SpecCpuRateModel(cpu, sockets=0)
+        with pytest.raises(ModelError):
+            SpecCpuRateModel(cpu, vector_efficiency=0.0)

@@ -1,0 +1,235 @@
+"""Tests for the SPECpower_ssj2008 benchmark simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import (
+    DEFAULT_MIX,
+    PowerAnalyzer,
+    RunDirector,
+    SimulationOptions,
+    TransactionMix,
+    TransactionType,
+    WorkloadEngine,
+    calibrate,
+)
+from repro.simulator.result import LoadLevelResult, RunResult
+
+
+class TestTransactionMix:
+    def test_default_weights_sum_to_one(self):
+        assert sum(DEFAULT_MIX.weights.values()) == pytest.approx(1.0, abs=0.02)
+
+    def test_six_transaction_types(self):
+        assert len(DEFAULT_MIX.types) == 6
+
+    def test_mean_cost_positive(self):
+        assert 0.5 < DEFAULT_MIX.mean_cost() < 1.5
+
+    def test_sample_respects_mix(self, rng):
+        samples = DEFAULT_MIX.sample(rng, 5000)
+        share_new_order = samples.count(TransactionType.NEW_ORDER) / len(samples)
+        assert share_new_order == pytest.approx(1 / 3, abs=0.05)
+
+    def test_sample_negative_count_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            DEFAULT_MIX.sample(rng, -1)
+
+    def test_incomplete_mix_rejected(self):
+        weights = {t: 1.0 / 5 for t in list(TransactionType)[:5]}
+        with pytest.raises(SimulationError):
+            TransactionMix(weights=weights)
+
+    def test_nonpositive_cost_rejected(self):
+        costs = dict(DEFAULT_MIX.costs)
+        costs[TransactionType.PAYMENT] = 0.0
+        with pytest.raises(SimulationError):
+            TransactionMix(costs=costs)
+
+
+class TestWorkloadEngine:
+    @pytest.fixture()
+    def engine(self):
+        return WorkloadEngine(max_rate_ops=1_000_000, workers=64)
+
+    def test_analytic_interval_hits_target(self, engine):
+        stats = engine.run_interval(0.7, duration_s=240)
+        assert stats.achieved_rate_ops == pytest.approx(0.7 * 1_000_000)
+        assert stats.actual_load == pytest.approx(1.0)
+
+    def test_zero_load_interval(self, engine):
+        stats = engine.run_interval(0.0)
+        assert stats.achieved_rate_ops == 0.0
+        assert stats.busy_fraction == 0.0
+
+    def test_event_mode_close_to_target(self, engine, rng):
+        stats = engine.run_interval(0.5, duration_s=120, rng=rng, fidelity="event")
+        assert stats.achieved_rate_ops == pytest.approx(0.5 * 1_000_000, rel=0.15)
+        assert 0.2 < stats.busy_fraction < 0.9
+
+    def test_event_mode_busy_fraction_grows_with_load(self, engine, rng):
+        low = engine.run_interval(0.2, duration_s=60, rng=rng, fidelity="event")
+        high = engine.run_interval(0.9, duration_s=60, rng=rng, fidelity="event")
+        assert high.busy_fraction > low.busy_fraction
+
+    def test_response_time_grows_with_load(self, engine):
+        assert (
+            engine.run_interval(0.9).mean_response_time_s
+            > engine.run_interval(0.2).mean_response_time_s
+        )
+
+    def test_invalid_load_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.run_interval(1.5)
+
+    def test_invalid_fidelity_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.run_interval(0.5, fidelity="quantum")
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadEngine(max_rate_ops=0, workers=4)
+        with pytest.raises(SimulationError):
+            WorkloadEngine(max_rate_ops=100, workers=0)
+
+
+class TestCalibration:
+    def test_calibrated_rate_close_to_truth(self, rng):
+        result = calibrate(1_000_000, rng=rng, noise_sigma=0.01)
+        assert result.calibrated_rate_ops == pytest.approx(1_000_000, rel=0.05)
+        assert len(result.interval_rates_ops) == 3
+
+    def test_noise_free_calibration_exact(self):
+        result = calibrate(500_000, noise_sigma=0.0)
+        assert result.calibrated_rate_ops == pytest.approx(500_000)
+        assert result.spread < 0.02
+
+    def test_first_interval_warmup_penalty(self):
+        result = calibrate(500_000, noise_sigma=0.0)
+        assert result.interval_rates_ops[0] < result.interval_rates_ops[1]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(SimulationError):
+            calibrate(0)
+        with pytest.raises(SimulationError):
+            calibrate(100, intervals=1)
+
+
+class TestPowerAnalyzer:
+    def test_measurement_close_to_truth(self, rng):
+        analyzer = PowerAnalyzer(rng=rng)
+        measured, samples = analyzer.measure_power(500.0, duration_s=240)
+        assert measured == pytest.approx(500.0, rel=0.02)
+        assert samples == 240
+
+    def test_noise_free_analyzer_exact(self):
+        analyzer = PowerAnalyzer(accuracy=0.0, sample_noise_w=0.0)
+        measured, _ = analyzer.measure_power(321.0)
+        assert measured == pytest.approx(321.0)
+
+    def test_interval_packaging(self, rng):
+        analyzer = PowerAnalyzer(rng=rng)
+        interval = analyzer.measure_interval(0.7, 0.69, 700_000, 400.0)
+        assert interval.target_load == 0.7
+        assert interval.ssj_ops == 700_000
+        assert interval.average_power_w > 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            PowerAnalyzer(accuracy=0.2)
+        with pytest.raises(SimulationError):
+            PowerAnalyzer().measure_power(-1.0)
+
+
+class TestRunDirector:
+    def test_run_produces_full_level_set(self, sample_fleet):
+        director = RunDirector()
+        result = director.run(sample_fleet.systems[0])
+        assert len(result.levels) == 11
+        assert result.full_load.target_load == 1.0
+        assert result.active_idle.is_active_idle
+
+    def test_run_reproducible_for_same_plan(self, sample_fleet):
+        director = RunDirector()
+        plan = sample_fleet.systems[1]
+        a, b = director.run(plan), director.run(plan)
+        assert a.overall_efficiency == pytest.approx(b.overall_efficiency)
+        assert a.full_load.average_power_w == pytest.approx(b.full_load.average_power_w)
+
+    def test_power_decreases_with_load(self, sample_results):
+        for result in sample_results:
+            levels = result.load_levels
+            assert levels[0].average_power_w >= levels[-1].average_power_w
+            assert result.active_idle.average_power_w < levels[0].average_power_w
+
+    def test_ops_scale_with_target_load(self, sample_results):
+        for result in sample_results:
+            full = result.full_load
+            half = result.level_at(0.5)
+            assert half.ssj_ops == pytest.approx(0.5 * full.ssj_ops, rel=0.1)
+
+    def test_multi_node_scales_power_and_ops(self, catalog):
+        from dataclasses import replace
+
+        from repro.market import FleetSampler
+
+        fleet = FleetSampler(total_parsed_runs=40, catalog=catalog).sample(seed=5)
+        plan = fleet.analysable()[0]
+        director = RunDirector(options=SimulationOptions(measurement_noise=False))
+        single = director.run(plan)
+        double = director.run(replace(plan, nodes=2))
+        assert double.full_load.ssj_ops == pytest.approx(2 * single.full_load.ssj_ops, rel=0.01)
+        assert double.full_load.average_power_w == pytest.approx(
+            2 * single.full_load.average_power_w, rel=0.01
+        )
+
+    def test_noise_free_mode_matches_model(self, sample_fleet, catalog):
+        director = RunDirector(options=SimulationOptions(measurement_noise=False))
+        plan = sample_fleet.analysable()[0]
+        result = director.run(plan)
+        from repro.powermodel import ServerPowerModel
+
+        model = ServerPowerModel(director.build_configuration(plan))
+        assert result.full_load.average_power_w == pytest.approx(
+            model.node_power_w(1.0), rel=0.02
+        )
+
+    def test_overall_efficiency_definition(self, sample_results):
+        for result in sample_results:
+            total_ops = sum(level.ssj_ops for level in result.levels)
+            total_power = sum(level.average_power_w for level in result.levels)
+            assert result.overall_efficiency == pytest.approx(total_ops / total_power)
+
+    def test_summary_fields(self, sample_results):
+        summary = sample_results[0].summary()
+        assert {"run_id", "cpu", "vendor", "overall_ssj_ops_per_watt"} <= set(summary)
+
+    def test_level_at_unknown_rejected(self, sample_results):
+        with pytest.raises(SimulationError):
+            sample_results[0].level_at(0.55)
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationOptions(interval_duration_s=0)
+        with pytest.raises(SimulationError):
+            SimulationOptions(fidelity="bogus")
+
+
+class TestRunResultValidation:
+    def test_load_level_result_bounds(self):
+        with pytest.raises(SimulationError):
+            LoadLevelResult(target_load=1.5, actual_load=1.0, ssj_ops=1, average_power_w=1)
+        with pytest.raises(SimulationError):
+            LoadLevelResult(target_load=0.5, actual_load=0.5, ssj_ops=-1, average_power_w=1)
+
+    def test_run_result_requires_levels(self, sample_results):
+        template = sample_results[0]
+        with pytest.raises(SimulationError):
+            RunResult(
+                plan=template.plan,
+                cpu=template.cpu,
+                configuration=template.configuration,
+                levels=(),
+                calibrated_ops=1.0,
+            )

@@ -1,0 +1,241 @@
+"""Tests for the statistics substrate (descriptive, regression, correlation,
+binning, distributions)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StatsError
+from repro.frame import Frame
+from repro.stats import (
+    BoxStats,
+    box_stats,
+    compare_eras,
+    correlation_matrix,
+    empirical_cdf,
+    extrapolate_linear,
+    geometric_mean,
+    histogram,
+    linear_fit,
+    pearson,
+    quantiles,
+    spearman,
+    summarize,
+    theil_sen_fit,
+    trimmed_mean,
+    weighted_mean,
+    year_bins,
+    bin_by_year,
+)
+
+
+class TestDescriptive:
+    def test_summarize_basic(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+
+    def test_summarize_ignores_missing(self):
+        assert summarize([1.0, None, float("nan"), 3.0]).count == 2
+
+    def test_summarize_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_iqr_and_cv(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.iqr == pytest.approx(2.0)
+        assert summary.coefficient_of_variation > 0
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 3.0]) == pytest.approx(2.5)
+
+    def test_weighted_mean_length_mismatch(self):
+        with pytest.raises(StatsError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(StatsError):
+            geometric_mean([1.0, 0.0])
+
+    def test_trimmed_mean_removes_outliers(self):
+        values = [1.0] * 9 + [1000.0]
+        assert trimmed_mean(values, 0.1) == pytest.approx(1.0)
+
+    def test_trimmed_mean_invalid_proportion(self):
+        with pytest.raises(StatsError):
+            trimmed_mean([1.0], 0.6)
+
+
+class TestRegression:
+    def test_exact_line(self):
+        fit = linear_fit([0, 1, 2], [1, 3, 5])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict_scalar_and_array(self):
+        fit = linear_fit([0, 10], [0, 10])
+        assert fit.predict(5) == pytest.approx(5.0)
+        assert np.allclose(fit.predict(np.array([1.0, 2.0])), [1.0, 2.0])
+
+    def test_missing_pairs_dropped(self):
+        fit = linear_fit([0, 1, None, 2], [1, 3, 10, 5])
+        assert fit.n == 3
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(StatsError):
+            linear_fit([1], [1])
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(StatsError):
+            linear_fit([2, 2], [1, 3])
+
+    def test_extrapolate_linear_idle_formula(self):
+        # Two-point extrapolation to zero load: 2*P10 - P20.
+        assert extrapolate_linear([10, 20], [50, 70], at=0) == pytest.approx(30.0)
+
+    def test_theil_sen_robust_to_outlier(self):
+        x = list(range(10))
+        y = [2 * v for v in x]
+        y[5] = 500.0
+        robust = theil_sen_fit(x, y)
+        assert robust.slope == pytest.approx(2.0, rel=0.1)
+
+    def test_theil_sen_constant_x_rejected(self):
+        with pytest.raises(StatsError):
+            theil_sen_fit([1, 1], [1, 2])
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_zero_variance_is_nan(self):
+        assert math.isnan(pearson([1, 1, 1], [1, 2, 3]))
+
+    def test_spearman_monotonic_nonlinear(self):
+        x = [1, 2, 3, 4, 5]
+        y = [v**3 for v in x]
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_spearman_handles_ties(self):
+        assert -1.0 <= spearman([1, 2, 2, 3], [4, 4, 5, 6]) <= 1.0
+
+    def test_correlation_matrix(self):
+        frame = Frame.from_dict({"a": [1.0, 2.0, 3.0], "b": [2.0, 4.0, 6.0], "c": [3.0, 1.0, 2.0]})
+        result = correlation_matrix(frame, ["a", "b", "c"])
+        assert result.value("a", "b") == pytest.approx(1.0)
+        assert result.value("a", "a") == pytest.approx(1.0)
+        assert result.to_frame().shape == (3, 4)
+
+    def test_correlation_matrix_strongest_pairs(self):
+        frame = Frame.from_dict({"a": [1.0, 2.0, 3.0], "b": [2.0, 4.0, 6.0], "c": [3.0, 1.0, 2.0]})
+        pairs = correlation_matrix(frame, ["a", "b", "c"]).strongest_pairs(1)
+        assert pairs[0][:2] == ("a", "b")
+
+    def test_correlation_matrix_non_numeric_rejected(self):
+        frame = Frame.from_dict({"a": [1.0], "s": ["x"]})
+        with pytest.raises(StatsError):
+            correlation_matrix(frame, ["a", "s"])
+
+    def test_correlation_matrix_unknown_method(self):
+        frame = Frame.from_dict({"a": [1.0], "b": [2.0]})
+        with pytest.raises(StatsError):
+            correlation_matrix(frame, ["a", "b"], method="kendall")
+
+
+class TestBinning:
+    @pytest.fixture()
+    def year_frame(self):
+        return Frame.from_dict(
+            {
+                "hw_avail_year": [2008, 2008, 2009, 2022, 2023, 2023],
+                "vendor": ["Intel", "AMD", "Intel", "AMD", "AMD", "Intel"],
+                "power": [100.0, 110.0, 120.0, 280.0, 300.0, 320.0],
+            }
+        )
+
+    def test_year_bins(self, year_frame):
+        assert year_bins(year_frame) == [2008, 2009, 2022, 2023]
+
+    def test_bin_by_year(self, year_frame):
+        binned = bin_by_year(year_frame, "power")
+        assert len(binned) == 4
+        first = binned.row(0)
+        assert first["hw_avail_year"] == 2008
+        assert first["mean"] == pytest.approx(105.0)
+        assert first["count"] == 2
+
+    def test_bin_by_year_with_group(self, year_frame):
+        binned = bin_by_year(year_frame, "power", group_columns=["vendor"])
+        assert len(binned) == 6
+
+    def test_bin_by_year_missing_column(self, year_frame):
+        with pytest.raises(StatsError):
+            bin_by_year(year_frame, "bogus")
+
+    def test_compare_eras_ratio(self, year_frame):
+        comparison = compare_eras(year_frame, "power", early=(None, 2010), late=(2022, None))
+        assert comparison.early.mean == pytest.approx(110.0)
+        assert comparison.late.mean == pytest.approx(300.0)
+        assert comparison.ratio == pytest.approx(300.0 / 110.0)
+
+    def test_compare_eras_labels(self, year_frame):
+        comparison = compare_eras(year_frame, "power", early=(None, 2010), late=(2022, None))
+        assert "2010" in comparison.describe()
+        assert "2022" in comparison.describe()
+
+
+class TestDistribution:
+    def test_box_stats_quartiles(self):
+        stats = box_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.median == 3.0
+        assert stats.q25 == 2.0 and stats.q75 == 4.0
+        assert stats.outliers == ()
+
+    def test_box_stats_detects_outliers(self):
+        stats = box_stats([1.0, 1.1, 0.9, 1.05, 1.0, 10.0])
+        assert 10.0 in stats.outliers
+        assert stats.whisker_high < 10.0
+
+    def test_box_stats_empty(self):
+        stats = box_stats([])
+        assert stats.count == 0
+        assert math.isnan(stats.median)
+
+    def test_histogram_counts(self):
+        hist = histogram([0.5, 1.5, 1.6, 2.5], bins=3, value_range=(0, 3))
+        assert hist.total == 4
+        assert hist.counts == (1, 2, 1)
+
+    def test_histogram_densities_integrate_to_one(self):
+        hist = histogram(list(np.linspace(0, 1, 50)), bins=5)
+        widths = np.diff(hist.edges)
+        assert sum(d * w for d, w in zip(hist.densities(), widths)) == pytest.approx(1.0)
+
+    def test_histogram_invalid_bins(self):
+        with pytest.raises(StatsError):
+            histogram([1.0], bins=0)
+
+    def test_empirical_cdf(self):
+        values, probabilities = empirical_cdf([3.0, 1.0, 2.0])
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        assert probabilities[-1] == pytest.approx(1.0)
+
+    def test_quantiles(self):
+        q = quantiles([1.0, 2.0, 3.0, 4.0], [0.0, 0.5, 1.0])
+        assert q == [1.0, 2.5, 4.0]
+
+    def test_quantiles_empty(self):
+        assert all(math.isnan(v) for v in quantiles([], [0.5]))

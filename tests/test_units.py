@@ -1,0 +1,138 @@
+"""Tests for repro.units: date, number and unit parsing."""
+
+import math
+
+import pytest
+
+from repro.errors import FieldError
+from repro.units import (
+    MonthDate,
+    format_month_date,
+    format_number,
+    parse_frequency_mhz,
+    parse_int,
+    parse_month_date,
+    parse_number,
+    parse_percent,
+    parse_power_watts,
+)
+
+
+class TestMonthDate:
+    def test_ordering(self):
+        assert MonthDate(2012, 11) < MonthDate(2012, 12) < MonthDate(2013, 1)
+
+    def test_equality(self):
+        assert MonthDate(2020, 5) == MonthDate(2020, 5)
+        assert MonthDate(2020, 5) != MonthDate(2020, 6)
+
+    def test_decimal_year_midpoints(self):
+        assert MonthDate(2020, 1).decimal_year == pytest.approx(2020 + 0.5 / 12)
+        assert MonthDate(2020, 12).decimal_year == pytest.approx(2020 + 11.5 / 12)
+
+    def test_months_since(self):
+        assert MonthDate(2021, 3).months_since(MonthDate(2020, 12)) == 3
+        assert MonthDate(2020, 12).months_since(MonthDate(2021, 3)) == -3
+
+    def test_shift_forward_and_backward(self):
+        assert MonthDate(2020, 11).shift(3) == MonthDate(2021, 2)
+        assert MonthDate(2020, 1).shift(-1) == MonthDate(2019, 12)
+        assert MonthDate(2020, 6).shift(0) == MonthDate(2020, 6)
+
+    def test_invalid_month_rejected(self):
+        with pytest.raises(FieldError):
+            MonthDate(2020, 13)
+        with pytest.raises(FieldError):
+            MonthDate(2020, 0)
+
+    def test_invalid_year_rejected(self):
+        with pytest.raises(FieldError):
+            MonthDate(1492, 1)
+
+    def test_str_round_trip(self):
+        date = MonthDate(2012, 12)
+        assert parse_month_date(str(date)) == date
+
+
+class TestParseMonthDate:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("Dec-2012", MonthDate(2012, 12)),
+            ("Dec 2012", MonthDate(2012, 12)),
+            ("December 2012", MonthDate(2012, 12)),
+            ("jan-2007", MonthDate(2007, 1)),
+            ("2012-12", MonthDate(2012, 12)),
+            ("2012/7", MonthDate(2012, 7)),
+            ("7/2012", MonthDate(2012, 7)),
+            ("  Feb-2023  ", MonthDate(2023, 2)),
+        ],
+    )
+    def test_accepted_formats(self, text, expected):
+        assert parse_month_date(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "2012", "soon", "13/13", "Smarch-2012"])
+    def test_rejected_formats(self, text):
+        with pytest.raises(FieldError):
+            parse_month_date(text)
+
+    def test_format_month_date(self):
+        assert format_month_date(MonthDate(2023, 8)) == "Aug-2023"
+
+
+class TestNumbers:
+    def test_parse_number_with_thousands_separators(self):
+        assert parse_number("1,234,567.8") == pytest.approx(1234567.8)
+
+    def test_parse_number_embedded_in_text(self):
+        assert parse_number("approximately 42 watts") == 42
+
+    def test_parse_number_rejects_text(self):
+        with pytest.raises(FieldError):
+            parse_number("no digits here")
+
+    def test_parse_int(self):
+        assert parse_int("2,048") == 2048
+
+    def test_parse_int_rejects_fraction(self):
+        with pytest.raises(FieldError):
+            parse_int("3.5")
+
+    def test_format_number_commas(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_format_number_decimals(self):
+        assert format_number(12.345, decimals=2) == "12.35"
+
+    def test_format_number_nan(self):
+        assert format_number(float("nan")) == "NC"
+
+
+class TestUnits:
+    def test_power_plain_watts(self):
+        assert parse_power_watts("250") == 250
+
+    def test_power_with_unit(self):
+        assert parse_power_watts("250 W") == 250
+
+    def test_power_kilowatts(self):
+        assert parse_power_watts("1.1 kW") == pytest.approx(1100)
+
+    def test_power_negative_rejected(self):
+        with pytest.raises(FieldError):
+            parse_power_watts("-5 W")
+
+    def test_frequency_mhz(self):
+        assert parse_frequency_mhz("2200 MHz") == 2200
+
+    def test_frequency_ghz(self):
+        assert parse_frequency_mhz("2.25 GHz") == pytest.approx(2250)
+
+    def test_frequency_bare_small_value_is_ghz(self):
+        assert parse_frequency_mhz("3.0") == pytest.approx(3000)
+
+    def test_frequency_bare_large_value_is_mhz(self):
+        assert parse_frequency_mhz("1900") == 1900
+
+    def test_percent(self):
+        assert parse_percent("99.8%") == pytest.approx(0.998)

@@ -1,0 +1,42 @@
+"""Additional coverage: figure CSV contents, analysis result persistence and
+the report writer's handling of one complete paper-scale workflow step."""
+
+import pytest
+
+from repro.core import figure3, figure5
+from repro.frame import read_csv
+from repro.io import Workspace
+
+
+class TestFigureCsvRoundTrip:
+    def test_figure3_csv_matches_data(self, filtered_frame, tmp_path):
+        artifact = figure3(filtered_frame)
+        written = artifact.save(tmp_path)
+        csv_path = [p for p in written if p.suffix == ".csv"][0]
+        loaded = read_csv(csv_path)
+        assert len(loaded) == len(artifact.data)
+        assert set(loaded.columns) == set(artifact.data.columns)
+        original = sorted(v for v in artifact.data["overall_efficiency"].to_list() if v is not None)
+        restored = sorted(v for v in loaded["overall_efficiency"].to_list() if v is not None)
+        assert restored == pytest.approx(original)
+
+    def test_figure5_scale_is_percentage_in_chart_only(self, filtered_frame):
+        artifact = figure5(filtered_frame)
+        # The CSV keeps the raw fraction; only the chart multiplies by 100.
+        values = [v for v in artifact.data["idle_fraction"].to_list() if v is not None]
+        assert all(0 < v < 1.0 for v in values)
+
+
+class TestWorkspaceIntegration:
+    def test_full_workflow_into_workspace(self, corpus_dir, run_frame, tmp_path):
+        workspace = Workspace.create(tmp_path / "ws")
+        run_frame.to_csv(workspace.dataset_csv)
+        assert workspace.dataset_csv.exists()
+        reloaded = read_csv(workspace.dataset_csv)
+        assert len(reloaded) == len(run_frame)
+        assert "overall_efficiency" in reloaded
+        # The reloaded frame supports the same analysis entry points.
+        from repro.core import apply_paper_filters
+
+        filtered, report = apply_paper_filters(reloaded)
+        assert report.final == len(filtered)
