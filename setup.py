@@ -1,3 +1,41 @@
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_README = Path(__file__).parent / "README.md"
+
+setup(
+    name="spectrends",
+    version="1.0.0",
+    description=(
+        "Reproduction of '16 Years of SPEC Power' (CLUSTER 2024): synthetic "
+        "SPECpower_ssj2008 corpus, analysis pipeline and campaign engine"
+    ),
+    long_description=_README.read_text(encoding="utf-8") if _README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "dev": ["pytest>=7", "pytest-benchmark>=4", "hypothesis>=6"],
+    },
+    entry_points={
+        "console_scripts": [
+            "spectrends = repro.cli.main:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Benchmark",
+    ],
+)

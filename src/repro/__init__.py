@@ -37,6 +37,7 @@ from .api import (
     parse_corpus,
     load_dataset,
     analyze,
+    run_campaign,
     AnalysisResult,
 )
 
@@ -53,5 +54,6 @@ __all__ = [
     "parse_corpus",
     "load_dataset",
     "analyze",
+    "run_campaign",
     "AnalysisResult",
 ]

@@ -8,7 +8,9 @@ These functions wire the layers together for the most common workflows:
 * :func:`quick_dataset` — generate + parse a small corpus in a temporary
   directory (the quickest way to get a realistic frame in examples/tests),
 * :func:`analyze` — run the full paper pipeline (filters, headline findings,
-  Table I, correlation study, optionally figures) over a run frame.
+  Table I, correlation study, optionally figures) over a run frame,
+* :func:`run_campaign` — execute a declarative scenario sweep with
+  content-hash caching and a resumable on-disk store.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ __all__ = [
     "load_dataset",
     "quick_dataset",
     "analyze",
+    "run_campaign",
 ]
 
 
@@ -103,6 +106,30 @@ def quick_dataset(
     with tempfile.TemporaryDirectory(prefix="specpower-corpus-") as tmp:
         generate_corpus(tmp, total_parsed_runs=n_runs, seed=seed)
         return load_dataset(tmp)
+
+
+def run_campaign(
+    spec,
+    store_dir: str | os.PathLike,
+    parallel: ParallelConfig | None = None,
+    max_units: int | None = None,
+):
+    """Run a declarative scenario sweep; returns a ``CampaignResult``.
+
+    ``spec`` may be a :class:`repro.campaign.CampaignSpec`, a plain mapping
+    in the same shape, or a path to a JSON spec file.  Completed units are
+    cached by content hash in ``store_dir``; re-running the same spec over
+    the same store performs no new simulations, and an interrupted campaign
+    resumes from whatever the store already holds.
+    """
+    from .campaign import CampaignSpec
+    from .campaign import run_campaign as _run_campaign
+
+    if isinstance(spec, (str, os.PathLike)):
+        spec = CampaignSpec.from_json_file(spec)
+    elif isinstance(spec, dict):
+        spec = CampaignSpec.from_dict(spec)
+    return _run_campaign(spec, store_dir, parallel=parallel, max_units=max_units)
 
 
 def analyze(

@@ -1,0 +1,59 @@
+"""Campaign engine: declarative scenario sweeps with content-hash caching.
+
+A *campaign* explores many simulation scenarios at once: a
+:class:`CampaignSpec` declares sweeps over catalog generations, node counts,
+:class:`~repro.simulator.director.SimulationOptions` fields, load-level sets
+and seeds; expansion produces content-addressed units; the runner executes
+the missing ones in parallel; results accumulate into one analysis
+:class:`~repro.frame.Frame` that flows straight into
+:func:`repro.api.analyze`.
+
+Layers
+------
+* :mod:`repro.campaign.spec` — declarative sweep spec with grid/zip expansion,
+* :mod:`repro.campaign.cache` — content-hash keys and the on-disk result store,
+* :mod:`repro.campaign.runner` — batched parallel execution with per-unit
+  error capture,
+* :mod:`repro.campaign.aggregate` — incremental columnar frame assembly,
+* :mod:`repro.campaign.store` — resumable campaign directories (spec
+  snapshot, manifest, ledger).
+
+Quickstart
+----------
+::
+
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        name="epyc-vs-xeon",
+        sweep={
+            "cpu_model": ["EPYC 9654", "Xeon Platinum 8480+"],
+            "seed": [1, 2, 3],
+        },
+    )
+    result = run_campaign(spec, "campaign-store/")
+    print(result.describe())
+"""
+
+from .aggregate import FrameAccumulator, assemble_frame
+from .cache import ResultCache, unit_key
+from .runner import CampaignResult, execute_units, resume_campaign, run_campaign
+from .spec import OPTION_AXES, PLAN_AXES, CampaignSpec, CampaignUnit
+from .store import CampaignStatus, CampaignStore
+
+__all__ = [
+    "PLAN_AXES",
+    "OPTION_AXES",
+    "CampaignSpec",
+    "CampaignUnit",
+    "unit_key",
+    "ResultCache",
+    "FrameAccumulator",
+    "assemble_frame",
+    "CampaignResult",
+    "execute_units",
+    "run_campaign",
+    "resume_campaign",
+    "CampaignStatus",
+    "CampaignStore",
+]

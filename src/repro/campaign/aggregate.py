@@ -1,0 +1,95 @@
+"""Incremental assembly of campaign unit rows into an analysis frame.
+
+The accumulator is columnar from the start: rows are decomposed into
+per-column value lists as they arrive, late-appearing columns are backfilled
+with missing values, and :meth:`FrameAccumulator.to_frame` hands the lists to
+:class:`repro.frame.Frame` without an intermediate list-of-dicts copy.  The
+resulting frame has the same schema as :func:`repro.core.dataset.load_runs`
+output plus the campaign annotation columns, so it flows straight into
+:func:`repro.api.analyze`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..frame import Frame
+from .spec import CampaignUnit
+
+__all__ = ["FrameAccumulator", "annotate_row", "assemble_frame"]
+
+
+class FrameAccumulator:
+    """Columnar row accumulator with union-of-columns semantics."""
+
+    def __init__(self) -> None:
+        self._columns: dict[str, list] = {}
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._columns)
+
+    def add_row(self, row: Mapping[str, Any]) -> None:
+        """Append one row; unseen columns are backfilled as missing."""
+        for name, value in row.items():
+            values = self._columns.get(name)
+            if values is None:
+                values = [None] * self._length
+                self._columns[name] = values
+            values.append(value)
+        self._length += 1
+        for name, values in self._columns.items():
+            if len(values) < self._length:
+                values.append(None)
+
+    def add_rows(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    def to_frame(self) -> Frame:
+        """Materialise the accumulated rows as a :class:`Frame`."""
+        return Frame.from_dict(self._columns)
+
+
+def _annotation_value(value: Any) -> Any:
+    """Flatten an axis value into something a column can hold."""
+    if isinstance(value, (list, tuple)):
+        return ",".join(str(v) for v in value)
+    return value
+
+
+def annotate_row(row: Mapping[str, Any], unit: CampaignUnit) -> dict[str, Any]:
+    """A unit's cached row plus the campaign bookkeeping columns.
+
+    Adds ``campaign_unit`` (the content-derived unit id), ``campaign_key``,
+    ``campaign_seed`` and one ``campaign_<axis>`` column per spec axis the
+    unit was resolved from.
+    """
+    annotated = dict(row)
+    annotated["campaign_unit"] = unit.unit_id
+    annotated["campaign_key"] = unit.key
+    annotated["campaign_seed"] = unit.seed
+    for axis, value in unit.params.items():
+        annotated[f"campaign_{axis}"] = _annotation_value(value)
+    return annotated
+
+
+def assemble_frame(
+    units: Iterable[CampaignUnit],
+    rows_by_key: Mapping[str, Mapping[str, Any]],
+) -> Frame:
+    """Build the campaign frame in unit order from completed rows.
+
+    Units whose key is absent from ``rows_by_key`` (failed or still pending)
+    are skipped — campaign output only ever contains completed simulations.
+    """
+    accumulator = FrameAccumulator()
+    for unit in units:
+        row = rows_by_key.get(unit.key)
+        if row is not None:
+            accumulator.add_row(annotate_row(row, unit))
+    return accumulator.to_frame()

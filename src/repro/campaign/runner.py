@@ -1,0 +1,187 @@
+"""Batched campaign execution over the parallel executor.
+
+The worker is a module-level function of one picklable payload tuple, so the
+process back-end of :mod:`repro.parallel` can ship it to a pool.  Each unit
+is simulated, rendered to SPEC-report text and parsed back through the
+production parser/validator — the same round-trip the corpus pipeline uses —
+so campaign rows are bit-for-bit the schema :func:`repro.core.dataset`
+produces.  Worker failures are captured per unit and recorded in the store
+ledger; one bad scenario never aborts the campaign.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from dataclasses import dataclass, replace
+
+from ..errors import ReproError
+from ..frame import Frame
+from ..market.catalog import Catalog, default_catalog
+from ..parallel import ParallelConfig, parallel_map
+from ..parser.resultfile import parse_result_text
+from ..parser.validation import validate_run
+from ..reportgen.textreport import render_report
+from ..simulator.director import RunDirector
+from .aggregate import assemble_frame
+from .spec import CampaignSpec, CampaignUnit
+from .store import CampaignStore
+
+__all__ = ["CampaignResult", "execute_units", "run_campaign", "resume_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    frame: Frame
+    total_units: int
+    cache_hits: int
+    simulated: int
+    failures: tuple[tuple[str, str], ...]   # (unit_id, error)
+    store_directory: str
+
+    @property
+    def completed(self) -> int:
+        return len(self.frame)
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.total_units} units: {self.cache_hits} cached, "
+            f"{self.simulated} simulated, {len(self.failures)} failed "
+            f"({self.completed} rows in {self.store_directory})"
+        ]
+        for unit_id, error in self.failures:
+            lines.append(f"  failed {unit_id}: {error}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Worker (module-level: the process back-end pickles it by reference)
+# --------------------------------------------------------------------------- #
+def _simulate_unit(payload: tuple) -> tuple[str, dict | None, str | None]:
+    """Simulate one unit; returns ``(key, row, error)``.
+
+    ``catalog`` travels inside the payload only for non-default catalogs;
+    ``None`` keeps payloads small for the common case.
+    """
+    key, plan, options, seed, catalog = payload
+    try:
+        director = RunDirector(
+            catalog=catalog or default_catalog(), options=options, corpus_seed=seed
+        )
+        result = director.run(plan)
+        parsed = parse_result_text(render_report(result), file_name=plan.file_name)
+        report = validate_run(parsed.record)
+        if not report.is_valid:
+            return key, None, f"validation: {report.primary_issue}"
+        return key, parsed.record.to_dict(), None
+    except ReproError as exc:
+        return key, None, f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # pragma: no cover - defensive catch-all
+        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        return key, None, detail
+
+
+def execute_units(
+    units: tuple[CampaignUnit, ...],
+    store: CampaignStore,
+    parallel: ParallelConfig | None = None,
+    catalog: Catalog | None = None,
+    max_units: int | None = None,
+) -> CampaignResult:
+    """Run whatever is missing from the store's cache and assemble the frame.
+
+    ``max_units`` bounds the number of *new* simulations this invocation
+    performs (smoke runs; also how the tests emulate an interrupted
+    campaign) — remaining units stay pending for the next run.
+    """
+    cache = store.cache
+    rows_by_key: dict[str, dict] = {}
+    pending: list[CampaignUnit] = []
+    for unit in units:
+        row = cache.get(unit.key)
+        if row is not None:
+            rows_by_key[unit.key] = row
+        else:
+            pending.append(unit)
+    cache_hits = len(rows_by_key)
+
+    if max_units is not None:
+        pending = pending[:max_units]
+
+    config = parallel or ParallelConfig(backend="serial")
+    if config.backend != "serial":
+        # The executor's serial-fallback threshold is tuned for cheap
+        # per-file work; a campaign unit is a whole benchmark simulation, so
+        # even a handful of units is worth the pool — and the batch size
+        # below would otherwise sit exactly at the default threshold,
+        # silently running every batch serially.
+        config = replace(config, serial_threshold=0)
+    # Units are executed in batches and each batch is persisted before the next
+    # starts: a campaign killed mid-run keeps every completed batch, so
+    # ``resume`` only re-simulates from the last flush onward.
+    batch_size = max(config.chunk_size * config.effective_workers, 1)
+
+    failures: list[tuple[str, str]] = []
+    by_key = {unit.key: unit for unit in units}
+    for start in range(0, len(pending), batch_size):
+        batch = pending[start:start + batch_size]
+        payloads = [
+            (unit.key, unit.plan, unit.options, unit.seed, catalog) for unit in batch
+        ]
+        for key, row, error in parallel_map(_simulate_unit, payloads, config=config):
+            unit = by_key[key]
+            if error is None:
+                cache.put(key, row)
+                rows_by_key[key] = row
+                store.record(unit)
+            else:
+                failures.append((unit.unit_id, error))
+                store.record(unit, error=error)
+
+    frame = assemble_frame(units, rows_by_key)
+    return CampaignResult(
+        frame=frame,
+        total_units=len(units),
+        cache_hits=cache_hits,
+        simulated=len(pending) - len(failures),
+        failures=tuple(failures),
+        store_directory=str(store.directory),
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_dir: str | os.PathLike,
+    parallel: ParallelConfig | None = None,
+    catalog: Catalog | None = None,
+    max_units: int | None = None,
+) -> CampaignResult:
+    """Expand ``spec``, execute missing units, return the campaign frame.
+
+    Completed units are content-hash cache hits and are never re-simulated;
+    invoking this twice over the same store performs zero new simulations
+    the second time.
+    """
+    units = spec.expand(catalog)
+    store = CampaignStore(store_dir)
+    store.initialize(spec, units)
+    return execute_units(
+        units, store, parallel=parallel, catalog=catalog, max_units=max_units
+    )
+
+
+def resume_campaign(
+    store_dir: str | os.PathLike,
+    parallel: ParallelConfig | None = None,
+    catalog: Catalog | None = None,
+    max_units: int | None = None,
+) -> CampaignResult:
+    """Continue an interrupted campaign from its on-disk spec snapshot."""
+    store = CampaignStore(store_dir)
+    spec = store.load_spec()
+    units = spec.expand(catalog)
+    return execute_units(
+        units, store, parallel=parallel, catalog=catalog, max_units=max_units
+    )

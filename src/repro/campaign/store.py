@@ -1,0 +1,204 @@
+"""Resumable campaign directories.
+
+A campaign store is a directory with everything needed to continue an
+interrupted campaign without the original process:
+
+* ``spec.json`` — snapshot of the :class:`CampaignSpec` (``resume`` re-expands
+  it instead of trusting in-memory state),
+* ``manifest.json`` — the expanded unit list (ids, keys, parameters), written
+  before execution starts so ``status`` can report progress against the full
+  grid even mid-run,
+* ``results/`` — the content-addressed :class:`ResultCache`,
+* ``ledger.jsonl`` — append-only per-unit outcome log (``ok`` / ``failed``
+  with the captured error), the record of *attempts* as opposed to the
+  cache's record of *successes*.
+
+Because results are keyed by content and the ledger is append-only, a store
+survives being killed at any point: the next run simply simulates whatever
+keys are missing from the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..errors import CampaignError
+from .cache import ResultCache
+from .spec import CampaignSpec, CampaignUnit
+
+__all__ = ["CampaignStatus", "CampaignStore"]
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Progress snapshot of a campaign store."""
+
+    name: str
+    total: int
+    completed: int
+    failed: int
+    failures: tuple[tuple[str, str], ...]   # (unit_id, error)
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.completed
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completed == self.total
+
+    def describe(self) -> str:
+        lines = [
+            f"campaign {self.name}: {self.completed}/{self.total} units "
+            f"completed, {self.pending} pending, {self.failed} failed"
+        ]
+        for unit_id, error in self.failures:
+            lines.append(f"  failed {unit_id}: {error}")
+        return "\n".join(lines)
+
+
+class CampaignStore:
+    """On-disk state of one campaign."""
+
+    def __init__(self, directory: str | os.PathLike):
+        # The directory is created by ``initialize`` (and lazily by cache
+        # writes), never by construction: ``status`` on a mistyped path must
+        # not scaffold an empty store.
+        self.directory = Path(directory)
+        self.cache = ResultCache(self.directory / "results")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def spec_path(self) -> Path:
+        return self.directory / "spec.json"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    @property
+    def ledger_path(self) -> Path:
+        return self.directory / "ledger.jsonl"
+
+    # ------------------------------------------------------------------ #
+    def initialize(self, spec: CampaignSpec, units: tuple[CampaignUnit, ...]) -> None:
+        """Record the spec snapshot and unit manifest before execution.
+
+        A store only ever belongs to one spec; initialising with a different
+        one is an error (use a fresh directory per campaign).
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.spec_path.exists():
+            stored = self.load_spec()
+            if stored.to_dict() != spec.to_dict():
+                raise CampaignError(
+                    f"store {self.directory} already holds campaign "
+                    f"{stored.name!r} with a different spec"
+                )
+        else:
+            self.spec_path.write_text(
+                json.dumps(spec.to_dict(), indent=2, sort_keys=True),
+                encoding="utf-8",
+            )
+        manifest = {
+            "name": spec.name,
+            "units": [
+                {
+                    "index": unit.index,
+                    "unit_id": unit.unit_id,
+                    "key": unit.key,
+                    "params": {k: _jsonable(v) for k, v in unit.params.items()},
+                }
+                for unit in units
+            ],
+        }
+        self.manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    def load_spec(self) -> CampaignSpec:
+        """The spec snapshot the store was initialised with."""
+        try:
+            data = json.loads(self.spec_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CampaignError(
+                f"{self.directory} is not a campaign store (no spec.json)"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(f"unreadable spec snapshot: {exc}") from exc
+        return CampaignSpec.from_dict(data)
+
+    def load_manifest(self) -> list[dict[str, Any]]:
+        try:
+            data = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CampaignError(
+                f"{self.directory} has no manifest; run the campaign first"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(f"unreadable manifest: {exc}") from exc
+        return data["units"]
+
+    # ------------------------------------------------------------------ #
+    def record(self, unit: CampaignUnit, error: str | None = None) -> None:
+        """Append one attempt outcome to the ledger."""
+        entry = {
+            "unit_id": unit.unit_id,
+            "key": unit.key,
+            "status": "ok" if error is None else "failed",
+        }
+        if error is not None:
+            entry["error"] = error
+        with self.ledger_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def ledger_entries(self) -> list[dict[str, Any]]:
+        """All ledger entries in append order (torn tail lines skipped)."""
+        if not self.ledger_path.exists():
+            return []
+        entries = []
+        for line in self.ledger_path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue        # torn write from a killed campaign
+        return entries
+
+    # ------------------------------------------------------------------ #
+    def status(self) -> CampaignStatus:
+        """Progress against the manifest, from cache + ledger state."""
+        spec = self.load_spec()
+        manifest = self.load_manifest()
+        last_error: dict[str, str] = {}
+        for entry in self.ledger_entries():
+            if entry.get("status") == "failed":
+                last_error[entry["key"]] = entry.get("error", "unknown error")
+            else:
+                last_error.pop(entry["key"], None)
+        completed = 0
+        failures: list[tuple[str, str]] = []
+        for unit in manifest:
+            if unit["key"] in self.cache:
+                completed += 1
+            elif unit["key"] in last_error:
+                failures.append((unit["unit_id"], last_error[unit["key"]]))
+        return CampaignStatus(
+            name=spec.name,
+            total=len(manifest),
+            completed=completed,
+            failed=len(failures),
+            failures=tuple(failures),
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return list(value)
+    return value

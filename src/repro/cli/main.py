@@ -10,7 +10,9 @@ Sub-commands mirror the stages of the paper's artifact:
   the paper-vs-measured report,
 * ``spectrends figures --corpus corpus/ --output figures/`` — regenerate
   Figures 1–6 as SVG + CSV,
-* ``spectrends table1`` — print the Table I comparison.
+* ``spectrends table1`` — print the Table I comparison,
+* ``spectrends campaign run|status|resume --store store/`` — execute a
+  declarative scenario sweep with content-hash caching and resumption.
 """
 
 from __future__ import annotations
@@ -53,6 +55,25 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--output", required=True, help="directory for SVG/CSV figure files")
 
     sub.add_parser("table1", help="print the Table I comparison")
+
+    campaign = sub.add_parser(
+        "campaign", help="declarative scenario sweeps with caching and resumption"
+    )
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+    crun = csub.add_parser("run", help="expand a spec and execute missing units")
+    crun.add_argument("--spec", required=True, help="JSON campaign spec file")
+    crun.add_argument("--store", required=True, help="campaign store directory")
+    crun.add_argument("--csv", help="also write the campaign frame to this CSV file")
+    crun.add_argument("--max-units", type=int, default=None,
+                      help="bound on new simulations this invocation (smoke runs)")
+    cresume = csub.add_parser(
+        "resume", help="continue an interrupted campaign from its store"
+    )
+    cresume.add_argument("--store", required=True)
+    cresume.add_argument("--csv", help="also write the campaign frame to this CSV file")
+    cresume.add_argument("--max-units", type=int, default=None)
+    cstatus = csub.add_parser("status", help="report campaign progress")
+    cstatus.add_argument("--store", required=True)
     return parser
 
 
@@ -103,6 +124,30 @@ def main(argv: list[str] | None = None) -> int:
         for path in written:
             print(f"wrote {path}")
         return 0
+
+    if args.command == "campaign":
+        from ..campaign import CampaignSpec, CampaignStore, resume_campaign, run_campaign
+
+        if args.campaign_command == "status":
+            print(CampaignStore(args.store).status().describe())
+            return 0
+        if args.campaign_command == "run":
+            spec = CampaignSpec.from_json_file(args.spec)
+            result = run_campaign(
+                spec, args.store, parallel=_parallel(args), max_units=args.max_units
+            )
+        else:  # resume
+            result = resume_campaign(
+                args.store, parallel=_parallel(args), max_units=args.max_units
+            )
+        print(result.describe())
+        if args.csv:
+            if len(result.frame):
+                result.frame.to_csv(args.csv)
+                print(f"wrote {len(result.frame)} rows to {args.csv}")
+            else:
+                print(f"no completed units; {args.csv} not written")
+        return 0 if not result.failures else 2
 
     if args.command == "table1":
         from ..core.tables import table1

@@ -71,7 +71,14 @@ def total_sockets(frame: Frame) -> Column:
 
 
 def overall_efficiency(frame: Frame) -> Column:
-    """Overall ssj_ops/W recomputed from the per-level measurements."""
+    """Overall ssj_ops/W recomputed from the per-level measurements.
+
+    The sum runs over the levels a run actually measured: campaign runs with
+    a reduced load ladder (see ``SimulationOptions.load_levels``) skip some
+    graduated levels entirely.  A run is invalid when the 100 % level or the
+    active-idle measurement is absent, or when a level reports only one of
+    ops/power.
+    """
     _require(frame, "power_idle")
     total_ops = np.zeros(len(frame), dtype=np.float64)
     total_power = np.zeros(len(frame), dtype=np.float64)
@@ -79,9 +86,12 @@ def overall_efficiency(frame: Frame) -> Column:
     for level in LOAD_LEVELS:
         ops = _level_values(frame, "ssj_ops", level)
         power = _level_values(frame, "power", level)
-        valid &= ~np.isnan(ops) & ~np.isnan(power)
-        total_ops += np.nan_to_num(ops)
-        total_power += np.nan_to_num(power)
+        measured = ~np.isnan(ops) & ~np.isnan(power)
+        valid &= measured | (np.isnan(ops) & np.isnan(power))
+        if level == 100:
+            valid &= measured
+        total_ops += np.where(measured, ops, 0.0)
+        total_power += np.where(measured, power, 0.0)
     idle = frame["power_idle"].values.astype(np.float64, copy=True)
     idle[frame["power_idle"].mask] = np.nan
     valid &= ~np.isnan(idle)

@@ -22,6 +22,7 @@ __all__ = [
     "ModelError",
     "CatalogError",
     "SimulationError",
+    "CampaignError",
     "ReportError",
     "PlotError",
     "AnalysisError",
@@ -87,6 +88,10 @@ class CatalogError(ReproError):
 
 class SimulationError(ReproError):
     """The benchmark simulation could not be carried out."""
+
+
+class CampaignError(ReproError):
+    """Invalid campaign specification or unusable campaign store."""
 
 
 class ReportError(ReproError):

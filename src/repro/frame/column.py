@@ -170,6 +170,25 @@ class Column:
         return self._kind
 
     @property
+    def nbytes(self) -> int:
+        """Bytes held by this column (backing array + validity mask).
+
+        Numeric kinds report the NumPy buffer sizes.  String columns hold
+        Python objects, so the object array's pointer buffer is counted plus
+        the UTF-8 payload of each distinct string (interned duplicates are
+        counted once, mirroring how CPython actually stores them).
+        """
+        total = self._values.nbytes + self._mask.nbytes
+        if self._kind == "str":
+            seen: set[int] = set()
+            for value in self._values:
+                if value is None or id(value) in seen:
+                    continue
+                seen.add(id(value))
+                total += len(value.encode("utf-8", errors="replace"))
+        return total
+
+    @property
     def values(self) -> np.ndarray:
         """The backing NumPy array (do not mutate)."""
         return self._values

@@ -83,6 +83,25 @@ class Frame:
     def shape(self) -> tuple[int, int]:
         return (self._length, len(self._columns))
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by all columns (see :attr:`Column.nbytes`)."""
+        return sum(column.nbytes for column in self._columns.values())
+
+    def memory_usage(self) -> "Frame":
+        """Per-column byte accounting as a frame.
+
+        One row per column with its logical kind and byte count, ordered by
+        descending size, so the heaviest columns of a large aggregation (a
+        campaign frame, say) surface first.
+        """
+        records = [
+            {"column": name, "kind": column.kind, "nbytes": column.nbytes}
+            for name, column in self._columns.items()
+        ]
+        records.sort(key=lambda r: (-r["nbytes"], r["column"]))
+        return Frame.from_records(records, columns=["column", "kind", "nbytes"])
+
     def __len__(self) -> int:
         return self._length
 

@@ -44,6 +44,11 @@ class SimulationOptions:
     scheduling, used in the fine-grained example and tests).
     ``measurement_noise`` disables all stochastic perturbations when False,
     which makes runs exactly reproducible from the server model alone.
+    ``load_levels`` restricts the measured target loads to a subset of the
+    standard graduated levels (campaigns use shorter ladders to trade
+    resolution for throughput); ``None`` measures the full standard ladder.
+    A custom set must contain the 100 % level and active idle because the
+    downstream validation layer rejects runs without them.
     """
 
     interval_duration_s: float = 240.0
@@ -52,6 +57,7 @@ class SimulationOptions:
     calibration_noise_sigma: float = 0.01
     throughput_variation_sigma: float = 0.03
     power_variation_sigma: float = 0.04
+    load_levels: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.interval_duration_s <= 0:
@@ -62,6 +68,28 @@ class SimulationOptions:
                      "power_variation_sigma"):
             if getattr(self, name) < 0:
                 raise SimulationError(f"{name} must be >= 0")
+        if self.load_levels is not None:
+            levels = tuple(float(level) for level in self.load_levels)
+            unknown = [lv for lv in levels if lv not in STANDARD_LOAD_LEVELS]
+            if unknown:
+                raise SimulationError(
+                    f"load_levels must be drawn from {STANDARD_LOAD_LEVELS}; "
+                    f"got {unknown}"
+                )
+            if len(set(levels)) != len(levels):
+                raise SimulationError("load_levels must not repeat levels")
+            if 1.0 not in levels or 0.0 not in levels:
+                raise SimulationError(
+                    "load_levels must include the 100 % level and active idle"
+                )
+            object.__setattr__(self, "load_levels", levels)
+
+    @property
+    def effective_load_levels(self) -> tuple[float, ...]:
+        """The target loads a run measures, highest first."""
+        if self.load_levels is None:
+            return STANDARD_LOAD_LEVELS
+        return tuple(sorted(self.load_levels, reverse=True))
 
 
 def _seed_from(run_id: str, seed: int) -> int:
@@ -134,7 +162,7 @@ class RunDirector:
 
         nodes = plan.nodes
         levels: list[LoadLevelResult] = []
-        for target in STANDARD_LOAD_LEVELS:
+        for target in options.effective_load_levels:
             if target == 0.0:
                 idle_rng = rng if options.measurement_noise else None
                 true_power = model.active_idle_power_w(idle_rng) * power_factor * nodes

@@ -230,3 +230,31 @@ class TestTransformations:
     def test_equals(self):
         assert Column.from_values([1, None]).equals(Column.from_values([1, None]))
         assert not Column.from_values([1]).equals(Column.from_values([2]))
+
+
+class TestByteAccounting:
+    def test_numeric_nbytes_counts_values_and_mask(self):
+        column = Column.from_values([1.0, 2.0, None, 4.0])
+        # 4 float64 values + 4 mask bytes.
+        assert column.nbytes == 4 * 8 + 4
+
+    def test_int_and_bool_nbytes(self):
+        assert Column.from_values([1, 2, 3]).nbytes == 3 * 8 + 3
+        assert Column.from_values([True, False]).nbytes == 2 * 1 + 2
+
+    def test_str_nbytes_counts_utf8_payload(self):
+        column = Column.from_values(["ab", "cdef", None])
+        pointer_bytes = column.values.nbytes + column.mask.nbytes
+        assert column.nbytes == pointer_bytes + len("ab") + len("cdef")
+
+    def test_str_nbytes_multibyte(self):
+        column = Column.from_values(["ΣΔ"])
+        assert column.nbytes == column.values.nbytes + column.mask.nbytes + 4
+
+    def test_empty_column_nbytes(self):
+        assert Column.from_values([], kind="float").nbytes == 0
+
+    def test_nbytes_grows_with_filtering_inverse(self):
+        column = Column.from_values(list(range(100)))
+        kept = column.filter(np.arange(100) < 10)
+        assert kept.nbytes < column.nbytes

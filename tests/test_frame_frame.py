@@ -190,3 +190,25 @@ class TestConcat:
 
     def test_concat_skips_none(self, tiny_frame):
         assert len(concat([tiny_frame, None])) == 6
+
+
+class TestMemoryUsage:
+    def test_nbytes_sums_columns(self, tiny_frame):
+        assert tiny_frame.nbytes == sum(
+            tiny_frame[name].nbytes for name in tiny_frame.columns
+        )
+        assert tiny_frame.nbytes > 0
+
+    def test_memory_usage_frame_shape_and_order(self, tiny_frame):
+        usage = tiny_frame.memory_usage()
+        assert usage.columns == ["column", "kind", "nbytes"]
+        assert len(usage) == len(tiny_frame.columns)
+        assert set(usage["column"].to_list()) == set(tiny_frame.columns)
+        sizes = usage["nbytes"].to_list()
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_memory_usage_empty_frame(self):
+        usage = Frame().memory_usage()
+        assert usage.columns == ["column", "kind", "nbytes"]
+        assert len(usage) == 0
+        assert Frame().nbytes == 0

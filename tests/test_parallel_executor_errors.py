@@ -1,0 +1,114 @@
+"""Executor failure modes: error propagation and process-pool pickling.
+
+The campaign runner leans hard on the executor's contract — exceptions from
+workers must reach the caller (the runner catches them *inside* its worker),
+unpicklable callables must fail loudly rather than hang, and results must
+stay input-ordered under every backend and chunking configuration.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ReproError
+from repro.parallel import ParallelConfig, parallel_map, parallel_starmap
+
+
+def _identity(x):
+    return x
+
+
+def _fail_on_seven(x):
+    if x == 7:
+        raise ValueError(f"boom at {x}")
+    return x * 2
+
+
+def _add(a, b):
+    return a + b
+
+
+class _UnpicklableCallable:
+    """Callable whose instances refuse to pickle (simulates closures over
+    open handles, RNG states, etc. accidentally handed to a process pool)."""
+
+    def __call__(self, x):
+        return x
+
+    def __reduce__(self):
+        raise pickle.PicklingError("deliberately unpicklable")
+
+
+# Forces pool execution on every backend: no serial fallback, 1-item chunks.
+def _pool_config(backend: str) -> ParallelConfig:
+    return ParallelConfig(
+        max_workers=2, backend=backend, chunk_size=1, serial_threshold=0
+    )
+
+
+class TestErrorPropagation:
+    def test_serial_exception_propagates_with_message(self):
+        with pytest.raises(ValueError, match="boom at 7"):
+            parallel_map(_fail_on_seven, range(10), ParallelConfig(backend="serial"))
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_pool_exception_propagates_with_message(self, backend):
+        with pytest.raises(ValueError, match="boom at 7"):
+            parallel_map(_fail_on_seven, range(10), _pool_config(backend))
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_failure_in_one_chunk_does_not_corrupt_pool(self, backend):
+        config = _pool_config(backend)
+        with pytest.raises(ValueError):
+            parallel_map(_fail_on_seven, range(10), config)
+        # The executor context exited cleanly: the next run works.
+        assert parallel_map(_fail_on_seven, [1, 2, 3], config) == [2, 4, 6]
+
+    def test_starmap_exception_propagates(self):
+        with pytest.raises(TypeError):
+            parallel_starmap(_add, [(1, 2), (3, None)], _pool_config("process"))
+
+
+class TestProcessPickling:
+    def test_module_level_function_round_trips(self):
+        result = parallel_map(_identity, list(range(100)), _pool_config("process"))
+        assert result == list(range(100))
+
+    def test_lambda_rejected_by_process_backend(self):
+        with pytest.raises((pickle.PicklingError, AttributeError)):
+            parallel_map(lambda x: x, range(10), _pool_config("process"))
+
+    def test_unpicklable_callable_rejected(self):
+        with pytest.raises(pickle.PicklingError):
+            parallel_map(_UnpicklableCallable(), range(10), _pool_config("process"))
+
+    def test_lambda_fine_below_serial_threshold(self):
+        # Small inputs take the serial fallback, where pickling never happens:
+        # the executor's documented escape hatch for ad-hoc callables.
+        config = ParallelConfig(max_workers=2, backend="process", serial_threshold=64)
+        assert parallel_map(lambda x: -x, range(10), config) == [0] + list(range(-1, -10, -1))
+
+    def test_unpicklable_items_rejected(self):
+        items = [1, 2, _UnpicklableCallable()]
+        with pytest.raises(pickle.PicklingError):
+            parallel_map(_identity, items, _pool_config("process"))
+
+    def test_thread_backend_accepts_lambdas(self):
+        result = parallel_map(lambda x: x + 1, range(20), _pool_config("thread"))
+        assert result == list(range(1, 21))
+
+
+class TestOrderingUnderChunking:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 64])
+    def test_order_preserved_for_every_chunking(self, chunk_size):
+        config = ParallelConfig(
+            max_workers=4, backend="thread", chunk_size=chunk_size, serial_threshold=0
+        )
+        items = list(range(53))
+        assert parallel_map(_identity, items, config) == items
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ReproError):
+            ParallelConfig(max_workers=-1)

@@ -180,14 +180,23 @@ def test_nice_ticks_sorted_within_domain(low, span, count):
 # --------------------------------------------------------------------------- #
 # Power model invariants
 # --------------------------------------------------------------------------- #
-profile_strategy = st.builds(
-    lambda s, q, t, iq: GenerationProfile(
-        static_fraction=s,
-        linear_fraction=max(1.0 - s - q - t, 0.01),
-        quadratic_fraction=q,
-        turbo_fraction=t,
+def _profile(s: float, q: float, t: float, iq: float) -> GenerationProfile:
+    # Normalise *before* construction: the constructor validates the sum,
+    # and when s + q + t > 0.99 the clamped linear fraction would push it
+    # past the tolerance.
+    linear = max(1.0 - s - q - t, 0.01)
+    total = s + linear + q + t
+    return GenerationProfile(
+        static_fraction=s / total,
+        linear_fraction=linear / total,
+        quadratic_fraction=q / total,
+        turbo_fraction=t / total,
         idle_quotient_mean=iq,
-    ).normalized(),
+    ).normalized()
+
+
+profile_strategy = st.builds(
+    _profile,
     st.floats(min_value=0.05, max_value=0.7),
     st.floats(min_value=0.0, max_value=0.25),
     st.floats(min_value=0.0, max_value=0.15),
