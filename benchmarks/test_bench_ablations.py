@@ -13,7 +13,6 @@ model and their effect on the paper's metrics is measured:
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 import pytest
 

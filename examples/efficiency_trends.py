@@ -16,7 +16,7 @@ import tempfile
 from pathlib import Path
 
 from repro import generate_corpus, load_dataset
-from repro.core import apply_paper_filters, figure2, figure3, power_per_socket, table1
+from repro.core import apply_paper_filters, figure2, figure3, table1
 from repro.core.trends import power_era_comparisons
 from repro.plotting import ascii_scatter
 from repro.stats import bin_by_year

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark regressions against a committed baseline.
+
+Compares a fresh ``pytest-benchmark --benchmark-json`` report against
+``benchmarks/baseline.json`` and fails (exit 1) when any gated benchmark
+regressed more than ``threshold`` times, or when a gated benchmark
+disappeared from the run.  Two choices keep the gate stable on shared CI
+runners whose absolute speed differs from the machine that produced the
+baseline:
+
+* the *minimum* runtime is compared, not the mean — minima are far less
+  sensitive to transient load, and
+* ratios are normalised by a **machine-speed probe**: a fixed
+  single-threaded NumPy workload timed by this script itself, once when the
+  baseline is written (stored in the file) and again at gate time.  The
+  probe exercises no repository code, so it measures only how fast the
+  machine is — a genuine regression in the code under test cannot hide
+  behind it, while baseline-machine vs CI-runner speed differences cancel
+  out.  Pass ``--no-normalize`` for plain absolute comparison.
+
+Benchmarks present in the report but absent from the baseline are
+informational only, so adding a benchmark never breaks CI — committing its
+baseline entry (``--update``) arms the gate.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --baseline benchmarks/baseline.json --current bench.json
+
+    # refresh the baseline from a trusted run
+    python scripts/check_bench_regression.py \
+        --baseline benchmarks/baseline.json --current bench.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def machine_probe_seconds(rounds: int = 7) -> float:
+    """Best-of-N runtime of a fixed, repository-independent NumPy workload.
+
+    Elementwise ufuncs on a preallocated array are single-threaded and
+    CPU-bound, which tracks the speed of both the NumPy-heavy and the
+    Python-loop-heavy benchmarks well enough for a 2x gate.
+    """
+    import numpy as np
+
+    data = np.linspace(0.1, 1.0, 2_000_000)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        np.sqrt(data * data + 1.0).sum()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def load_current_minima(path: Path) -> dict[str, float]:
+    """Benchmark name -> min seconds from a pytest-benchmark JSON report."""
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read benchmark report {path}: {exc}")
+    minima: dict[str, float] = {}
+    for entry in report.get("benchmarks", []):
+        minima[entry["name"]] = float(entry["stats"]["min"])
+    if not minima:
+        sys.exit(f"error: {path} contains no benchmarks")
+    return minima
+
+
+def load_baseline(path: Path) -> tuple[dict[str, float], float | None]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read baseline {path}: {exc}")
+    minima = {name: float(entry["min"]) for name, entry in data["benchmarks"].items()}
+    probe = data.get("machine_probe_seconds")
+    return minima, float(probe) if probe is not None else None
+
+
+def write_baseline(path: Path, minima: dict[str, float]) -> None:
+    payload = {
+        "note": (
+            "Committed benchmark baseline (min seconds per benchmark) for "
+            "scripts/check_bench_regression.py; machine speed is normalised "
+            "out via machine_probe_seconds (a repository-independent NumPy "
+            "workload timed by the script), refresh with --update from a "
+            "trusted run."
+        ),
+        "machine_probe_seconds": machine_probe_seconds(),
+        "benchmarks": {
+            name: {"min": minimum} for name, minimum in sorted(minima.items())
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed baseline JSON (benchmarks/baseline.json)")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="pytest-benchmark --benchmark-json report of this run")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when min exceeds threshold x baseline (default 2.0)")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="compare absolute times instead of normalising by "
+                             "the machine-speed probe")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current report and exit")
+    args = parser.parse_args(argv)
+    if args.threshold <= 1.0:
+        parser.error("--threshold must be > 1.0")
+
+    current = load_current_minima(args.current)
+    if args.update:
+        write_baseline(args.baseline, current)
+        print(f"baseline updated: {len(current)} benchmarks -> {args.baseline}")
+        return 0
+
+    baseline, baseline_probe = load_baseline(args.baseline)
+
+    machine_factor = 1.0
+    if not args.no_normalize and baseline_probe:
+        machine_factor = machine_probe_seconds() / baseline_probe
+        print(f"machine-speed factor (probe vs baseline): {machine_factor:.2f}x")
+    elif not args.no_normalize:
+        print("baseline has no machine probe; comparing absolute times")
+
+    regressions: list[str] = []
+    width = max((len(name) for name in baseline), default=10)
+    print(f"{'benchmark':{width}}  {'baseline':>10}  {'current':>10}  {'ratio':>6}")
+    for name, base_min in sorted(baseline.items()):
+        if name not in current:
+            regressions.append(f"{name}: missing from the current run")
+            print(f"{name:{width}}  {base_min * 1000:>8.2f}ms  {'MISSING':>10}  {'-':>6}")
+            continue
+        ratio = (current[name] / base_min) / machine_factor
+        flag = "  <-- regression" if ratio > args.threshold else ""
+        print(f"{name:{width}}  {base_min * 1000:>8.2f}ms  "
+              f"{current[name] * 1000:>8.2f}ms  {ratio:>5.2f}x{flag}")
+        if ratio > args.threshold:
+            regressions.append(
+                f"{name}: {ratio:.2f}x slower than baseline after machine "
+                f"normalisation (threshold {args.threshold:.1f}x)"
+            )
+
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        print(f"ungated (no baseline entry): {', '.join(extra)}")
+
+    if regressions:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed "
+          f"({len(baseline)} gated, threshold {args.threshold:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,8 +25,6 @@ run table; ``analyze`` runs the full paper pipeline over it::
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
-
 from .errors import ReproError
 from .frame import Column, Frame, concat, read_csv
 from .units import MonthDate
@@ -40,6 +38,8 @@ from .api import (
     run_campaign,
     AnalysisResult,
 )
+
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

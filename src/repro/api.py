@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 from .frame import Frame
@@ -113,6 +113,7 @@ def run_campaign(
     store_dir: str | os.PathLike,
     parallel: ParallelConfig | None = None,
     max_units: int | None = None,
+    batch: bool = True,
 ):
     """Run a declarative scenario sweep; returns a ``CampaignResult``.
 
@@ -120,7 +121,9 @@ def run_campaign(
     in the same shape, or a path to a JSON spec file.  Completed units are
     cached by content hash in ``store_dir``; re-running the same spec over
     the same store performs no new simulations, and an interrupted campaign
-    resumes from whatever the store already holds.
+    resumes from whatever the store already holds.  Units are simulated
+    through the vectorized batch kernel by default (bit-for-bit the scalar
+    results); ``batch=False`` forces the scalar per-unit path.
     """
     from .campaign import CampaignSpec
     from .campaign import run_campaign as _run_campaign
@@ -129,7 +132,9 @@ def run_campaign(
         spec = CampaignSpec.from_json_file(spec)
     elif isinstance(spec, dict):
         spec = CampaignSpec.from_dict(spec)
-    return _run_campaign(spec, store_dir, parallel=parallel, max_units=max_units)
+    return _run_campaign(
+        spec, store_dir, parallel=parallel, max_units=max_units, batch=batch
+    )
 
 
 def analyze(

@@ -1,12 +1,20 @@
 """Batched campaign execution over the parallel executor.
 
-The worker is a module-level function of one picklable payload tuple, so the
-process back-end of :mod:`repro.parallel` can ship it to a pool.  Each unit
-is simulated, rendered to SPEC-report text and parsed back through the
+The workers are module-level functions of one picklable payload tuple, so
+the process back-end of :mod:`repro.parallel` can ship them to a pool.  Each
+unit is simulated, rendered to SPEC-report text and parsed back through the
 production parser/validator — the same round-trip the corpus pipeline uses —
 so campaign rows are bit-for-bit the schema :func:`repro.core.dataset`
 produces.  Worker failures are captured per unit and recorded in the store
 ledger; one bad scenario never aborts the campaign.
+
+Execution strategy: by default each worker simulates its whole chunk of
+units through the vectorized :class:`~repro.simulator.batch.BatchDirector`
+(grouped by shared :class:`SimulationOptions`; results are bit-for-bit what
+the scalar path would produce, so cache keys and cached rows are strategy
+independent).  ``batch=False`` forces the scalar per-unit path, and a chunk
+whose batch simulation fails falls back to scalar execution so errors stay
+attributed to individual units.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from ..parallel import ParallelConfig, parallel_map
 from ..parser.resultfile import parse_result_text
 from ..parser.validation import validate_run
 from ..reportgen.textreport import render_report
+from ..simulator.batch import BatchDirector
 from ..simulator.director import RunDirector
 from .aggregate import assemble_frame
 from .spec import CampaignSpec, CampaignUnit
@@ -59,18 +68,9 @@ class CampaignResult:
 # --------------------------------------------------------------------------- #
 # Worker (module-level: the process back-end pickles it by reference)
 # --------------------------------------------------------------------------- #
-def _simulate_unit(payload: tuple) -> tuple[str, dict | None, str | None]:
-    """Simulate one unit; returns ``(key, row, error)``.
-
-    ``catalog`` travels inside the payload only for non-default catalogs;
-    ``None`` keeps payloads small for the common case.
-    """
-    key, plan, options, seed, catalog = payload
+def _roundtrip_result(key: str, plan, result) -> tuple[str, dict | None, str | None]:
+    """Render, re-parse and validate one simulated run into a cache row."""
     try:
-        director = RunDirector(
-            catalog=catalog or default_catalog(), options=options, corpus_seed=seed
-        )
-        result = director.run(plan)
         parsed = parse_result_text(render_report(result), file_name=plan.file_name)
         report = validate_run(parsed.record)
         if not report.is_valid:
@@ -83,18 +83,84 @@ def _simulate_unit(payload: tuple) -> tuple[str, dict | None, str | None]:
         return key, None, detail
 
 
+def _simulate_unit(payload: tuple) -> tuple[str, dict | None, str | None]:
+    """Simulate one unit; returns ``(key, row, error)``.
+
+    ``catalog`` travels inside the payload only for non-default catalogs;
+    ``None`` keeps payloads small for the common case.
+    """
+    key, plan, options, seed, catalog = payload
+    try:
+        director = RunDirector(
+            catalog=catalog or default_catalog(), options=options, corpus_seed=seed
+        )
+        result = director.run(plan)
+    except ReproError as exc:
+        return key, None, f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # pragma: no cover - defensive catch-all
+        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        return key, None, detail
+    return _roundtrip_result(key, plan, result)
+
+
+def _simulate_chunk(payload: tuple) -> list[tuple[str, dict | None, str | None]]:
+    """Simulate one same-options chunk of units through the batch kernel.
+
+    The payload is ``(units, options, catalog)`` with ``units`` a tuple of
+    ``(key, plan, seed)``.  If the vectorized simulation of the chunk fails
+    for any reason the chunk is re-run unit by unit through the scalar
+    worker, so a single bad scenario is reported against its own key instead
+    of poisoning its neighbours.
+    """
+    units, options, catalog = payload
+    try:
+        director = BatchDirector(catalog=catalog or default_catalog(), options=options)
+        results = director.run_batch(
+            [plan for _, plan, _ in units], seeds=[seed for _, _, seed in units]
+        )
+    except Exception:
+        return [
+            _simulate_unit((key, plan, options, seed, catalog))
+            for key, plan, seed in units
+        ]
+    return [
+        _roundtrip_result(key, plan, result)
+        for (key, plan, _), result in zip(units, results)
+    ]
+
+
+def _chunk_payloads(
+    units: list[CampaignUnit], chunk_size: int, catalog: Catalog | None
+) -> list[tuple]:
+    """Group units by shared options, then split into worker-sized chunks."""
+    groups: dict = {}
+    for unit in units:
+        groups.setdefault(unit.options, []).append(unit)
+    payloads = []
+    for options, group in groups.items():
+        for start in range(0, len(group), chunk_size):
+            chunk = group[start:start + chunk_size]
+            payloads.append(
+                (tuple((u.key, u.plan, u.seed) for u in chunk), options, catalog)
+            )
+    return payloads
+
+
 def execute_units(
     units: tuple[CampaignUnit, ...],
     store: CampaignStore,
     parallel: ParallelConfig | None = None,
     catalog: Catalog | None = None,
     max_units: int | None = None,
+    batch: bool = True,
 ) -> CampaignResult:
     """Run whatever is missing from the store's cache and assemble the frame.
 
     ``max_units`` bounds the number of *new* simulations this invocation
     performs (smoke runs; also how the tests emulate an interrupted
-    campaign) — remaining units stay pending for the next run.
+    campaign) — remaining units stay pending for the next run.  ``batch``
+    selects the vectorized :class:`BatchDirector` execution strategy
+    (default); pass ``False`` to force the scalar per-unit path.
     """
     cache = store.cache
     rows_by_key: dict[str, dict] = {}
@@ -126,11 +192,25 @@ def execute_units(
     failures: list[tuple[str, str]] = []
     by_key = {unit.key: unit for unit in units}
     for start in range(0, len(pending), batch_size):
-        batch = pending[start:start + batch_size]
-        payloads = [
-            (unit.key, unit.plan, unit.options, unit.seed, catalog) for unit in batch
-        ]
-        for key, row, error in parallel_map(_simulate_unit, payloads, config=config):
+        flush_units = pending[start:start + batch_size]
+        if batch:
+            # One payload per worker chunk: the chunk itself is vectorized,
+            # so the outer map must not re-chunk it.
+            payloads = _chunk_payloads(flush_units, config.chunk_size, catalog)
+            outcomes = [
+                outcome
+                for chunk in parallel_map(
+                    _simulate_chunk, payloads, config=replace(config, chunk_size=1)
+                )
+                for outcome in chunk
+            ]
+        else:
+            payloads = [
+                (unit.key, unit.plan, unit.options, unit.seed, catalog)
+                for unit in flush_units
+            ]
+            outcomes = parallel_map(_simulate_unit, payloads, config=config)
+        for key, row, error in outcomes:
             unit = by_key[key]
             if error is None:
                 cache.put(key, row)
@@ -157,18 +237,20 @@ def run_campaign(
     parallel: ParallelConfig | None = None,
     catalog: Catalog | None = None,
     max_units: int | None = None,
+    batch: bool = True,
 ) -> CampaignResult:
     """Expand ``spec``, execute missing units, return the campaign frame.
 
     Completed units are content-hash cache hits and are never re-simulated;
     invoking this twice over the same store performs zero new simulations
-    the second time.
+    the second time.  ``batch=False`` opts out of the vectorized kernel.
     """
     units = spec.expand(catalog)
     store = CampaignStore(store_dir)
     store.initialize(spec, units)
     return execute_units(
-        units, store, parallel=parallel, catalog=catalog, max_units=max_units
+        units, store, parallel=parallel, catalog=catalog, max_units=max_units,
+        batch=batch,
     )
 
 
@@ -177,11 +259,13 @@ def resume_campaign(
     parallel: ParallelConfig | None = None,
     catalog: Catalog | None = None,
     max_units: int | None = None,
+    batch: bool = True,
 ) -> CampaignResult:
     """Continue an interrupted campaign from its on-disk spec snapshot."""
     store = CampaignStore(store_dir)
     spec = store.load_spec()
     units = spec.expand(catalog)
     return execute_units(
-        units, store, parallel=parallel, catalog=catalog, max_units=max_units
+        units, store, parallel=parallel, catalog=catalog, max_units=max_units,
+        batch=batch,
     )

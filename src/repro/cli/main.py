@@ -66,12 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--csv", help="also write the campaign frame to this CSV file")
     crun.add_argument("--max-units", type=int, default=None,
                       help="bound on new simulations this invocation (smoke runs)")
+    crun.add_argument("--no-batch", action="store_true",
+                      help="force the scalar per-unit simulator instead of the "
+                           "vectorized batch kernel")
     cresume = csub.add_parser(
         "resume", help="continue an interrupted campaign from its store"
     )
     cresume.add_argument("--store", required=True)
     cresume.add_argument("--csv", help="also write the campaign frame to this CSV file")
     cresume.add_argument("--max-units", type=int, default=None)
+    cresume.add_argument("--no-batch", action="store_true",
+                         help="force the scalar per-unit simulator instead of the "
+                              "vectorized batch kernel")
     cstatus = csub.add_parser("status", help="report campaign progress")
     cstatus.add_argument("--store", required=True)
     return parser
@@ -127,19 +133,28 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "campaign":
         from ..campaign import CampaignSpec, CampaignStore, resume_campaign, run_campaign
+        from ..errors import CampaignError
 
-        if args.campaign_command == "status":
-            print(CampaignStore(args.store).status().describe())
-            return 0
-        if args.campaign_command == "run":
-            spec = CampaignSpec.from_json_file(args.spec)
-            result = run_campaign(
-                spec, args.store, parallel=_parallel(args), max_units=args.max_units
-            )
-        else:  # resume
-            result = resume_campaign(
-                args.store, parallel=_parallel(args), max_units=args.max_units
-            )
+        # A missing or corrupt store is an operator mistake, not a crash:
+        # report it as one line on stderr instead of a traceback.
+        try:
+            if args.campaign_command == "status":
+                print(CampaignStore(args.store).status().describe())
+                return 0
+            if args.campaign_command == "run":
+                spec = CampaignSpec.from_json_file(args.spec)
+                result = run_campaign(
+                    spec, args.store, parallel=_parallel(args),
+                    max_units=args.max_units, batch=not args.no_batch,
+                )
+            else:  # resume
+                result = resume_campaign(
+                    args.store, parallel=_parallel(args),
+                    max_units=args.max_units, batch=not args.no_batch,
+                )
+        except CampaignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(result.describe())
         if args.csv:
             if len(result.frame):

@@ -11,7 +11,7 @@ candidate features against the idle fraction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import AnalysisError
 from ..frame import Frame

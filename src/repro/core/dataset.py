@@ -8,7 +8,6 @@ from ..errors import AnalysisError
 from ..frame import Frame
 from ..parallel import ParallelConfig
 from ..parser import parse_directory
-from ..parser.fields import LOAD_LEVELS
 from . import metrics
 
 __all__ = ["DERIVED_COLUMNS", "derive_columns", "load_runs"]

@@ -26,7 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import AnalysisError
-from ..frame import Column, Frame
+from ..frame import Frame
 from ..plotting import (
     BarChart,
     BoxChart,

@@ -41,7 +41,6 @@ def _run_scores(levels: np.ndarray, powers: np.ndarray, idle: float) -> Proporti
         return ProportionalityScore(float("nan"), float("nan"), float("nan"))
     full = powers[0]                       # levels are ordered 100 % first
     normalised = powers / full
-    ideal = levels / 100.0
     # Trapezoidal area between the measured curve and the proportional line,
     # evaluated over the measured load range [10 %, 100 %] plus the idle point.
     xs = np.concatenate(([0.0], levels[::-1] / 100.0))

@@ -8,7 +8,7 @@ frames.  EXPERIMENTS.md is generated from this output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import AnalysisError
 from ..frame import Frame

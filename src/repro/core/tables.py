@@ -26,7 +26,6 @@ from ..errors import AnalysisError
 from ..frame import Frame
 from ..market.catalog import Catalog, default_catalog
 from ..market.fleet import SystemPlan
-from ..powermodel.server import ServerConfiguration, ServerPowerModel
 from ..simulator.director import RunDirector, SimulationOptions
 from ..speccpu import SpecCpuRateModel
 from ..units import MonthDate

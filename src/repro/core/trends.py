@@ -13,7 +13,7 @@ import numpy as np
 
 from ..errors import AnalysisError
 from ..frame import Frame
-from ..stats import compare_eras, summarize
+from ..stats import compare_eras
 from .metrics import top_n_vendor_share
 
 __all__ = [

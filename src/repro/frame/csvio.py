@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 import io
 import os
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..errors import CSVError
 from .column import Column

@@ -7,7 +7,7 @@ computing ratios with missing-value propagation.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ use more than one node or more than two sockets, leaving 676 analysable runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np

@@ -10,16 +10,16 @@ process pool.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from ..errors import ParseError
 from ..frame import Frame
 from ..parallel import ParallelConfig, parallel_map
 from .fields import RunRecord
 from .resultfile import parse_result_file
-from .validation import ValidationIssue, validate_run
+from .validation import validate_run
 
 __all__ = ["CorpusParseReport", "parse_directory", "records_to_frame"]
 

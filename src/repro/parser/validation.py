@@ -8,7 +8,7 @@ dataset funnel can be reported with per-reason counts.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .fields import RunRecord
 

@@ -9,7 +9,7 @@ text for expected elements).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import PlotError

@@ -1,0 +1,35 @@
+"""Shared scalar-or-array argument checks for the power models.
+
+Every model method that accepts "a load or an array of loads" funnels its
+validation through these helpers so the rules cannot drift between the
+scalar and the batched path.  The conditions are written in the negated
+form (``not (min >= 0 and max <= 1)``) so NaN — which compares false to
+everything — is rejected rather than silently propagated into power
+figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+__all__ = ["check_load_range", "check_non_negative"]
+
+
+def check_load_range(load) -> None:
+    """Require every load to lie in [0, 1] (scalar or array; NaN rejected)."""
+    if isinstance(load, np.ndarray):
+        if load.size and not (float(load.min()) >= 0.0 and float(load.max()) <= 1.0):
+            raise ModelError("all loads must be in [0, 1]")
+    elif not 0.0 <= load <= 1.0:
+        raise ModelError(f"load must be in [0, 1], got {load}")
+
+
+def check_non_negative(value, name: str) -> None:
+    """Require ``value`` to be >= 0 (scalar or array; NaN rejected)."""
+    if isinstance(value, np.ndarray):
+        if value.size and not float(value.min()) >= 0.0:
+            raise ModelError(f"{name} must be >= 0")
+    elif not value >= 0:
+        raise ModelError(f"{name} must be >= 0")

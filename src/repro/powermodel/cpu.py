@@ -18,7 +18,7 @@ paper's trend shapes; DESIGN.md section 5 lists the calibration targets.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..errors import ModelError
 from ..units import MonthDate
@@ -117,6 +117,22 @@ class GenerationProfile:
             raise ModelError("idle_quotient_mean must be >= 1.0")
         if not 0.0 < self.frequency_scaling_floor <= 1.0:
             raise ModelError("frequency_scaling_floor must be in (0, 1]")
+
+    def relative_power(self, activity, turbo_premium):
+        """CPU power relative to full load, given activity and turbo premium.
+
+        This is the ``rel(u)`` polynomial of the class docstring with the
+        load-dependent terms already evaluated.  ``activity`` and
+        ``turbo_premium`` may be scalars or equally-shaped arrays; the result
+        has the same shape.  The quadratic term is an explicit product (not
+        ``**``) so scalar and array evaluation agree bit-for-bit.
+        """
+        return (
+            self.static_fraction
+            + self.linear_fraction * activity
+            + self.quadratic_fraction * (activity * activity)
+            + self.turbo_fraction * turbo_premium
+        )
 
     def normalized(self) -> "GenerationProfile":
         """Return a profile whose four fractions sum to exactly 1."""

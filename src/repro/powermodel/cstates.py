@@ -21,7 +21,6 @@ CPU wake the package up, and their impact grows with core count.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -85,7 +84,10 @@ class PackageCStateModel:
         """Fraction of deep-idle benefit lost to per-CPU background tasks."""
         if logical_cpus < 1:
             raise ModelError("logical_cpus must be >= 1")
-        return 1.0 - math.exp(-self.noise_per_logical_cpu * logical_cpus)
+        # np.exp rather than math.exp: the batched simulation kernel evaluates
+        # the same expression through NumPy, and the two libms differ in the
+        # last ULP for some inputs.
+        return 1.0 - float(np.exp(-self.noise_per_logical_cpu * logical_cpus))
 
     def effective_quotient(
         self, logical_cpus: int, rng: np.random.Generator | None = None

@@ -16,13 +16,21 @@ The model interpolates between two regimes:
 The share of the second component is the *governor effectiveness*: early
 systems (pre-2010) barely scale (effectiveness near 0), modern systems
 reach 0.6–0.8.
+
+Both methods accept a scalar load or an array of loads and return a value of
+the same shape; scalar and array evaluation go through the same NumPy
+primitives, so the batched simulation kernel reproduces the scalar path
+bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ModelError
+from .checks import check_load_range
 
 __all__ = ["DVFSModel"]
 
@@ -54,28 +62,25 @@ class DVFSModel:
         if self.voltage_exponent < 1.0:
             raise ModelError("voltage_exponent must be >= 1")
 
-    def frequency_fraction(self, load: float) -> float:
+    def frequency_fraction(self, load):
         """Average core frequency (relative to nominal) at target load ``load``."""
         self._check_load(load)
         return self.frequency_floor + (1.0 - self.frequency_floor) * load
 
-    def activity_factor(self, load: float) -> float:
+    def activity_factor(self, load):
         """Dynamic-power fraction ``d(u)`` at target load ``load`` (0..1)."""
         self._check_load(load)
-        if load == 0.0:
-            return 0.0
         proportional = load
         frequency = self.frequency_fraction(load)
         # Work per second is fixed by the target load; running slower but at
         # lower voltage costs load * f**(exponent - 1) of full-load power.
-        scaled = load * frequency ** (self.voltage_exponent - 1.0)
+        # At load 0 both components vanish, so no idle special case is needed.
+        scaled = load * np.power(frequency, self.voltage_exponent - 1.0)
         d = (
             (1.0 - self.governor_effectiveness) * proportional
             + self.governor_effectiveness * scaled
         )
-        return min(max(d, 0.0), 1.0)
+        d = np.minimum(np.maximum(d, 0.0), 1.0)
+        return d if isinstance(load, np.ndarray) else float(d)
 
-    @staticmethod
-    def _check_load(load: float) -> None:
-        if not 0.0 <= load <= 1.0:
-            raise ModelError(f"load must be in [0, 1], got {load}")
+    _check_load = staticmethod(check_load_range)

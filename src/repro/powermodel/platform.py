@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ModelError
+from .checks import check_load_range, check_non_negative
 
 __all__ = ["PSUEfficiencyCurve", "PlatformModel"]
 
@@ -44,21 +45,29 @@ class PSUEfficiencyCurve:
         if self.rated_power_w <= 0:
             raise ModelError("rated_power_w must be positive")
 
-    def efficiency(self, dc_power_w: float) -> float:
-        """Conversion efficiency when delivering ``dc_power_w``."""
-        if dc_power_w < 0:
-            raise ModelError("dc_power_w must be >= 0")
-        load_fraction = min(dc_power_w / self.rated_power_w, 1.2)
-        # Quadratic dip below ~45 % load, gentle slope above the peak.
-        if load_fraction <= 0.45:
-            shortfall = (0.45 - load_fraction) / 0.45
-            return self.peak_efficiency * (1.0 - self.low_load_penalty * shortfall**1.5)
-        return self.peak_efficiency * (1.0 - 0.02 * (load_fraction - 0.45))
+    def efficiency(self, dc_power_w):
+        """Conversion efficiency when delivering ``dc_power_w``.
 
-    def wall_power(self, dc_power_w: float) -> float:
+        Accepts a scalar or an array of DC powers; scalar and array
+        evaluation share the same NumPy primitives (bit-for-bit batched
+        equivalence).
+        """
+        check_non_negative(dc_power_w, "dc_power_w")
+        load_fraction = np.minimum(dc_power_w / self.rated_power_w, 1.2)
+        # Quadratic dip below ~45 % load, gentle slope above the peak.  The
+        # shortfall is clamped so the untaken branch of the where() stays
+        # finite; within the taken branch the clamp is a no-op.
+        shortfall = np.maximum((0.45 - load_fraction) / 0.45, 0.0)
+        dip = self.peak_efficiency * (1.0 - self.low_load_penalty * np.power(shortfall, 1.5))
+        slope = self.peak_efficiency * (1.0 - 0.02 * (load_fraction - 0.45))
+        efficiency = np.where(load_fraction <= 0.45, dip, slope)
+        return efficiency if isinstance(dc_power_w, np.ndarray) else float(efficiency)
+
+    def wall_power(self, dc_power_w):
         """AC input power required to deliver ``dc_power_w`` at the rails."""
-        efficiency = max(self.efficiency(dc_power_w), 1e-3)
-        return dc_power_w / efficiency
+        efficiency = np.maximum(self.efficiency(dc_power_w), 1e-3)
+        wall = dc_power_w / efficiency
+        return wall if isinstance(dc_power_w, np.ndarray) else float(wall)
 
 
 @dataclass(frozen=True)
@@ -88,7 +97,9 @@ class PlatformModel:
         control improved, and PSUs went from ~85 % peak efficiency with a
         steep low-load penalty to 80 PLUS Titanium-class units.
         """
-        knots = lambda pairs: float(np.interp(year, [p[0] for p in pairs], [p[1] for p in pairs]))
+        def knots(pairs):
+            return float(np.interp(year, [p[0] for p in pairs], [p[1] for p in pairs]))
+
         return cls(
             memory_gb=memory_gb,
             watts_per_gb=knots([(2005, 1.0), (2009, 0.8), (2013, 0.55), (2017, 0.42),
@@ -120,10 +131,9 @@ class PlatformModel:
         if not 0.0 <= self.fan_fraction_of_heat <= 0.3:
             raise ModelError("fan_fraction_of_heat must be in [0, 0.3]")
 
-    def memory_power(self, load: float) -> float:
-        """DRAM power at target load ``load`` (0..1)."""
-        if not 0.0 <= load <= 1.0:
-            raise ModelError(f"load must be in [0, 1], got {load}")
+    def memory_power(self, load):
+        """DRAM power at target load ``load`` (0..1; scalar or array)."""
+        check_load_range(load)
         active = self.memory_gb * self.watts_per_gb
         return active * (self.memory_idle_fraction + (1.0 - self.memory_idle_fraction) * load)
 
@@ -131,17 +141,20 @@ class PlatformModel:
         """Storage plus baseboard power (load-independent)."""
         return self.storage_w + self.baseboard_w
 
-    def fan_power(self, dissipated_w: float) -> float:
-        """Fan power needed to remove ``dissipated_w`` of heat."""
-        if dissipated_w < 0:
-            raise ModelError("dissipated_w must be >= 0")
+    def fan_power(self, dissipated_w):
+        """Fan power needed to remove ``dissipated_w`` of heat (scalar or array)."""
+        check_non_negative(dissipated_w, "dissipated_w")
         return self.fan_floor_w + self.fan_fraction_of_heat * dissipated_w
 
-    def node_dc_power(self, cpu_power_w: float, load: float) -> float:
+    def node_dc_power(self, cpu_power_w, load):
         """Total DC power of the node for a given CPU power and load."""
         base = cpu_power_w + self.memory_power(load) + self.fixed_power()
         return base + self.fan_power(base)
 
-    def node_wall_power(self, cpu_power_w: float, load: float) -> float:
-        """Wall (AC) power of the node — what the SPEC power analyzer reports."""
+    def node_wall_power(self, cpu_power_w, load):
+        """Wall (AC) power of the node — what the SPEC power analyzer reports.
+
+        ``cpu_power_w`` and ``load`` may be scalars or equally-shaped arrays;
+        the result has the same shape.
+        """
         return self.psu.wall_power(self.node_dc_power(cpu_power_w, load))

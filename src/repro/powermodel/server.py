@@ -13,15 +13,16 @@ effectiveness) live in the simulator so the model itself stays easy to test.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import ModelError
-from .cpu import CPUSpec, Vendor
+from .checks import check_load_range
+from .cpu import CPUSpec
 from .cstates import CoreCStateModel, PackageCStateModel
 from .dvfs import DVFSModel
-from .platform import PlatformModel, PSUEfficiencyCurve
+from .platform import PlatformModel
 from .turbo import TurboModel
 
 __all__ = ["ServerConfiguration", "LoadPoint", "ServerPowerModel", "STANDARD_LOAD_LEVELS"]
@@ -127,28 +128,29 @@ class ServerPowerModel:
     # ------------------------------------------------------------------ #
     # Power
     # ------------------------------------------------------------------ #
-    def cpu_power_w(self, load: float) -> float:
-        """Package power of all sockets of one node at target load ``load``."""
+    def cpu_power_w(self, load):
+        """Package power of all sockets of one node at target load ``load``.
+
+        ``load`` may be a scalar or an array of loads; the result has the
+        same shape.  Scalar and array evaluation share one code path, which
+        is what lets the batched simulation kernel reproduce the scalar
+        simulator bit-for-bit.
+        """
         self._check_load(load)
         spec = self.configuration.cpu
-        profile = self.profile
         full = spec.full_load_cpu_power_w
         activity = self.dvfs.activity_factor(load)
-        relative = (
-            profile.static_fraction
-            + profile.linear_fraction * activity
-            + profile.quadratic_fraction * activity**2
-            + profile.turbo_fraction * self.turbo.power_premium(load)
-        )
+        relative = self.profile.relative_power(activity, self.turbo.power_premium(load))
         return full * relative * self.configuration.sockets
 
-    def node_power_w(self, load: float) -> float:
+    def node_power_w(self, load):
         """Wall power of one node at target load ``load`` (partial-load path).
 
         This is the power the analyzer would report if the system applied
         only the partial-load mechanisms (DVFS, core C-states); the deeper
         active-idle optimisations are modelled separately in
-        :meth:`active_idle_power_w`.
+        :meth:`active_idle_power_w`.  Accepts a scalar load or an array of
+        loads and returns a matching shape.
         """
         self._check_load(load)
         return self.platform.node_wall_power(self.cpu_power_w(load), load)
@@ -184,8 +186,11 @@ class ServerPowerModel:
         spec = self.configuration.cpu
         return spec.ssj_ops_per_socket * self.configuration.sockets
 
-    def throughput_ops(self, load: float) -> float:
-        """Delivered ssj_ops at target load ``load`` (scaled transaction rate)."""
+    def throughput_ops(self, load):
+        """Delivered ssj_ops at target load ``load`` (scaled transaction rate).
+
+        Accepts a scalar load or an array of loads.
+        """
         self._check_load(load)
         return self.max_throughput_ops() * load
 
@@ -227,7 +232,4 @@ class ServerPowerModel:
         """Wall power per socket at the 100 % point (Figure 2 metric)."""
         return self.node_power_w(1.0) / self.configuration.sockets
 
-    @staticmethod
-    def _check_load(load: float) -> None:
-        if not 0.0 <= load <= 1.0:
-            raise ModelError(f"load must be in [0, 1], got {load}")
+    _check_load = staticmethod(check_load_range)

@@ -13,13 +13,20 @@ The model exposes two quantities:
   given load (used by the performance model during calibration),
 * :meth:`power_premium` — the share of the turbo power budget spent at a
   given load, concentrated near full load via a steep polynomial.
+
+Both methods accept a scalar load or an array of loads; scalar and array
+evaluation share the same NumPy primitives so the batched simulation kernel
+reproduces the scalar path bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ModelError
+from .checks import check_load_range
 
 __all__ = ["TurboModel"]
 
@@ -50,21 +57,20 @@ class TurboModel:
         if self.concentration < 1:
             raise ModelError("concentration must be >= 1")
 
-    def frequency_uplift(self, load: float) -> float:
+    def frequency_uplift(self, load):
         """Achieved frequency relative to nominal (>= 1.0)."""
         self._check_load(load)
         if not self.enabled:
-            return 1.0
-        return 1.0 + self.max_uplift * load ** (self.concentration / 4.0)
+            return np.ones_like(load) if isinstance(load, np.ndarray) else 1.0
+        uplift = 1.0 + self.max_uplift * np.power(load, self.concentration / 4.0)
+        return uplift if isinstance(load, np.ndarray) else float(uplift)
 
-    def power_premium(self, load: float) -> float:
+    def power_premium(self, load):
         """Fraction (0..1) of the turbo power budget drawn at ``load``."""
         self._check_load(load)
         if not self.enabled:
-            return 0.0
-        return load**self.concentration
+            return np.zeros_like(load) if isinstance(load, np.ndarray) else 0.0
+        premium = np.power(load, self.concentration)
+        return premium if isinstance(load, np.ndarray) else float(premium)
 
-    @staticmethod
-    def _check_load(load: float) -> None:
-        if not 0.0 <= load <= 1.0:
-            raise ModelError(f"load must be in [0, 1], got {load}")
+    _check_load = staticmethod(check_load_range)

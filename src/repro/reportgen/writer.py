@@ -11,7 +11,6 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
 
 from ..errors import ReportError
 from ..market.anomalies import AnomalyPlan

@@ -18,6 +18,9 @@ This package reproduces that *methodology* against the server models of
   measurement model (sampling noise, averaging),
 * :mod:`repro.simulator.director` — the run director assembling a full
   benchmark run,
+* :mod:`repro.simulator.batch` — the vectorized batch director simulating
+  many runs at once as ``(runs x levels)`` arrays, bit-for-bit equivalent
+  to the scalar director per run,
 * :mod:`repro.simulator.result` — result dataclasses consumed by
   :mod:`repro.reportgen` and the parser tests.
 """
@@ -25,8 +28,9 @@ This package reproduces that *methodology* against the server models of
 from .transactions import TransactionType, TransactionMix, DEFAULT_MIX
 from .workload import WorkloadEngine, WorkloadStats
 from .calibration import CalibrationResult, calibrate
-from .measurement import PowerAnalyzer, MeasurementInterval
+from .measurement import PowerAnalyzer, MeasurementInterval, BatchPowerAnalyzer
 from .director import RunDirector, SimulationOptions
+from .batch import BatchDirector
 from .result import RunResult, LoadLevelResult
 
 __all__ = [
@@ -39,8 +43,10 @@ __all__ = [
     "calibrate",
     "PowerAnalyzer",
     "MeasurementInterval",
+    "BatchPowerAnalyzer",
     "RunDirector",
     "SimulationOptions",
+    "BatchDirector",
     "RunResult",
     "LoadLevelResult",
 ]

@@ -1,0 +1,290 @@
+"""Vectorized batch simulation: many benchmark runs as NumPy arrays.
+
+:class:`BatchDirector` is the array-oriented counterpart of
+:class:`repro.simulator.director.RunDirector`.  Where the scalar director
+walks one Python loop per load level per node, the batch director simulates
+N runs at once: calibration, the graduated load ladder and active idle are
+evaluated as ``(runs x levels)`` matrices through the array-aware power
+model, and the per-run measurement chain collapses into a handful of
+vectorized expressions.  Campaigns with thousands of units become
+simulator-bound on NumPy kernels instead of the Python interpreter.
+
+Equivalence contract
+--------------------
+Batched results are **bit-for-bit identical** to the scalar director, run
+by run:
+
+* every run's RNG is seeded exactly as the scalar path seeds it (SHA-256 of
+  ``"{seed}:{run_id}"``), so content-hash campaign cache keys stay valid,
+* stochastic draws are pulled from each run's own generator in precisely the
+  scalar order (analyzer calibration, throughput/power variation,
+  calibration intervals, one sampling draw per measured level, the idle
+  quotient, the idle sampling draw),
+* the deterministic math goes through the same NumPy primitives the scalar
+  model methods use (see :mod:`repro.powermodel`), so elementwise array
+  evaluation reproduces the scalar floating-point results exactly.
+
+The event-driven fidelity simulates an explicit queue whose length depends
+on random arrivals — inherently sequential — so ``fidelity="event"`` falls
+back to the scalar director per run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..market.catalog import Catalog, default_catalog
+from ..market.fleet import SystemPlan
+from ..powermodel.server import ServerConfiguration, ServerPowerModel
+from .director import RunDirector, SimulationOptions, _seed_from
+from .measurement import BatchPowerAnalyzer
+from .result import LoadLevelResult, RunResult
+
+__all__ = ["BatchDirector"]
+
+#: Calibration intervals the SPEC run rules prescribe (see ``calibration``).
+_CALIBRATION_INTERVALS = 3
+
+
+class BatchDirector:
+    """Executes many benchmark runs at once as array operations.
+
+    Parameters mirror :class:`RunDirector`; ``corpus_seed`` is the default
+    seed for plans whose seed is not given per run in :meth:`run_batch`.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        options: SimulationOptions | None = None,
+        corpus_seed: int = 2024,
+    ):
+        self.catalog = catalog or default_catalog()
+        self.options = options or SimulationOptions()
+        self.corpus_seed = corpus_seed
+        self._scalar = RunDirector(self.catalog, self.options, corpus_seed)
+
+    # ------------------------------------------------------------------ #
+    def build_configuration(self, plan: SystemPlan) -> ServerConfiguration:
+        """Server configuration (one node) described by a plan."""
+        return self._scalar.build_configuration(plan)
+
+    def run(self, plan: SystemPlan) -> RunResult:
+        """Simulate a single plan (convenience wrapper over the batch path)."""
+        return self.run_batch([plan])[0]
+
+    def run_batch(
+        self,
+        plans: Sequence[SystemPlan],
+        seeds: Sequence[int] | None = None,
+    ) -> list[RunResult]:
+        """Simulate every plan; results are ordered like the input.
+
+        ``seeds`` optionally gives each plan its own corpus seed (campaign
+        units sweep seeds); by default every plan uses ``corpus_seed``.
+        """
+        plans = list(plans)
+        if seeds is None:
+            seeds = [self.corpus_seed] * len(plans)
+        else:
+            seeds = [int(seed) for seed in seeds]
+            if len(seeds) != len(plans):
+                raise SimulationError("seeds must match plans one-to-one")
+        if not plans:
+            return []
+        options = self.options
+        if options.fidelity == "event":
+            # Event-mode queueing is sequential by nature; delegate per run.
+            return [
+                RunDirector(self.catalog, options, seed).run(plan)
+                for plan, seed in zip(plans, seeds)
+            ]
+
+        levels = options.effective_load_levels
+        measured = [level for level in levels if level != 0.0]
+        n_runs = len(plans)
+        n_measured = len(measured)
+
+        # One model per distinct configuration; runs sharing hardware share
+        # the model evaluation below.
+        models: dict[ServerConfiguration, ServerPowerModel] = {}
+        configurations: list[ServerConfiguration] = []
+        group_rows: dict[ServerConfiguration, list[int]] = {}
+        for row, plan in enumerate(plans):
+            configuration = self.build_configuration(plan)
+            configurations.append(configuration)
+            if configuration not in models:
+                models[configuration] = ServerPowerModel(configuration)
+                group_rows[configuration] = []
+            group_rows[configuration].append(row)
+
+        analyzer = BatchPowerAnalyzer(
+            sample_noise_w=1.5 if options.measurement_noise else 0.0,
+            accuracy=0.005 if options.measurement_noise else 0.0,
+        )
+        noise = self._draw_noise_streams(
+            plans, seeds, configurations, models, analyzer, n_measured
+        )
+
+        nodes = np.array([plan.nodes for plan in plans], dtype=float)
+
+        # Calibration: true maximum perturbed per interval, calibrated rate
+        # is the mean of the last two intervals (SPEC run rules).  The first
+        # interval's rate (with its warm-up penalty) never enters the mean,
+        # so only its noise draw is consumed, not its value.
+        max_ops = np.array(
+            [models[configuration].max_throughput_ops() for configuration in configurations]
+        )
+        true_max = max_ops * noise.throughput_factor
+        rate_2 = true_max * 1.0 * noise.calibration[:, 1]
+        rate_3 = true_max * 1.0 * noise.calibration[:, 2]
+        calibrated = (rate_2 + rate_3) / 2.0
+
+        # Graduated levels: the analytic scheduler always reaches the target
+        # rate scaled from the *calibrated* maximum; calibration error shifts
+        # the achieved fraction of the *true* maximum slightly.
+        targets = np.array(measured)
+        achieved_rate = targets[None, :] * calibrated[:, None]
+        achieved_fraction = np.minimum(achieved_rate / true_max[:, None], 1.0)
+
+        # Power model, vectorized per configuration group over (runs x levels).
+        node_power = np.empty((n_runs, n_measured))
+        extrapolated_idle = np.empty(n_runs)
+        base_quotient = np.empty(n_runs)
+        for configuration, rows in group_rows.items():
+            model = models[configuration]
+            node_power[rows, :] = model.node_power_w(achieved_fraction[rows, :])
+            extrapolated_idle[rows] = model.extrapolated_idle_power_w()
+            base_quotient[rows] = model.package_cstates.effective_quotient(
+                configuration.logical_cpus_per_node
+            )
+
+        true_level_power = node_power * noise.power_factor[:, None] * nodes[:, None]
+        measured_power = analyzer.measure_power(
+            true_level_power, noise.analyzer_factor[:, None], noise.level[:, :]
+        )
+        reported_ops = achieved_rate * nodes[:, None]
+
+        # Active idle: package C-states divide the extrapolated idle power by
+        # the achieved quotient (with per-run spread when noise is on).
+        quotient = np.maximum(base_quotient * noise.idle_quotient, 1.0)
+        true_idle_power = (extrapolated_idle / quotient) * noise.power_factor * nodes
+        measured_idle = analyzer.measure_power(
+            true_idle_power, noise.analyzer_factor, noise.idle
+        )
+
+        results: list[RunResult] = []
+        for row, plan in enumerate(plans):
+            run_levels = [
+                LoadLevelResult(
+                    target_load=measured[column],
+                    actual_load=float(achieved_fraction[row, column]),
+                    ssj_ops=float(reported_ops[row, column]),
+                    average_power_w=float(measured_power[row, column]),
+                )
+                for column in range(n_measured)
+            ]
+            run_levels.append(
+                LoadLevelResult(
+                    target_load=0.0,
+                    actual_load=0.0,
+                    ssj_ops=0.0,
+                    average_power_w=float(measured_idle[row]),
+                )
+            )
+            results.append(
+                RunResult(
+                    plan=plan,
+                    cpu=configurations[row].cpu,
+                    configuration=configurations[row],
+                    levels=tuple(run_levels),
+                    calibrated_ops=float(calibrated[row]) * plan.nodes,
+                    accepted=plan.accepted,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+    def _draw_noise_streams(
+        self,
+        plans: list[SystemPlan],
+        seeds: list[int],
+        configurations: list[ServerConfiguration],
+        models: dict[ServerConfiguration, ServerPowerModel],
+        analyzer: BatchPowerAnalyzer,
+        n_measured: int,
+    ) -> "_NoiseStreams":
+        """Per-run stochastic draws, pulled in exactly the scalar order."""
+        options = self.options
+        n_runs = len(plans)
+        streams = _NoiseStreams.identity(n_runs, n_measured)
+        if not options.measurement_noise:
+            return streams
+        level_sigma = analyzer.interval_noise_sigma(options.interval_duration_s)
+        calibration_sigma = analyzer.calibration_sigma()
+        for row, (plan, seed) in enumerate(zip(plans, seeds)):
+            rng = np.random.default_rng(_seed_from(plan.run_id, seed))
+            # 1. analyzer calibration offset (PowerAnalyzer construction)
+            streams.analyzer_factor[row] = 1.0 + float(rng.normal(0.0, calibration_sigma))
+            # 2. per-run throughput/power variation (BIOS, firmware, tuning)
+            streams.throughput_factor[row] = float(
+                np.exp(rng.normal(0.0, options.throughput_variation_sigma))
+            )
+            streams.power_factor[row] = float(
+                np.exp(rng.normal(0.0, options.power_variation_sigma))
+            )
+            # 3. calibration interval noise (skipped entirely at sigma 0,
+            #    matching the scalar ``calibrate``; scalar np.exp per draw so
+            #    the values are the exact floats the scalar path computes)
+            if options.calibration_noise_sigma > 0:
+                for interval in range(_CALIBRATION_INTERVALS):
+                    streams.calibration[row, interval] = float(
+                        np.exp(rng.normal(0.0, options.calibration_noise_sigma))
+                    )
+            # 4. one sampling draw per measured level, in ladder order
+            streams.level[row, :] = rng.normal(0.0, level_sigma, n_measured)
+            # 5. idle quotient spread, then the idle sampling draw
+            quotient_sigma = models[configurations[row]].package_cstates.quotient_sigma
+            if quotient_sigma > 0:
+                streams.idle_quotient[row] = float(np.exp(rng.normal(0.0, quotient_sigma)))
+            streams.idle[row] = float(rng.normal(0.0, level_sigma))
+        return streams
+
+
+class _NoiseStreams:
+    """Arrays of per-run stochastic factors (identity when noise is off)."""
+
+    __slots__ = (
+        "analyzer_factor",
+        "throughput_factor",
+        "power_factor",
+        "calibration",
+        "level",
+        "idle_quotient",
+        "idle",
+    )
+
+    def __init__(self, analyzer_factor, throughput_factor, power_factor,
+                 calibration, level, idle_quotient, idle):
+        self.analyzer_factor = analyzer_factor
+        self.throughput_factor = throughput_factor
+        self.power_factor = power_factor
+        self.calibration = calibration
+        self.level = level
+        self.idle_quotient = idle_quotient
+        self.idle = idle
+
+    @classmethod
+    def identity(cls, n_runs: int, n_measured: int) -> "_NoiseStreams":
+        return cls(
+            analyzer_factor=np.ones(n_runs),
+            throughput_factor=np.ones(n_runs),
+            power_factor=np.ones(n_runs),
+            calibration=np.ones((n_runs, _CALIBRATION_INTERVALS)),
+            level=np.zeros((n_runs, n_measured)),
+            idle_quotient=np.ones(n_runs),
+            idle=np.zeros(n_runs),
+        )

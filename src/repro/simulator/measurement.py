@@ -17,7 +17,29 @@ import numpy as np
 
 from ..errors import SimulationError
 
-__all__ = ["MeasurementInterval", "PowerAnalyzer"]
+__all__ = ["MeasurementInterval", "PowerAnalyzer", "BatchPowerAnalyzer"]
+
+
+def _validate_analyzer(accuracy: float, sample_noise_w: float, sample_rate_hz: float) -> None:
+    """Parameter validation shared by the scalar and the batched analyzer."""
+    if accuracy < 0 or accuracy > 0.05:
+        raise SimulationError("accuracy must be within [0, 0.05]")
+    if sample_noise_w < 0:
+        raise SimulationError("sample_noise_w must be >= 0")
+    if sample_rate_hz <= 0:
+        raise SimulationError("sample_rate_hz must be positive")
+
+
+def _interval_samples(duration_s: float, sample_rate_hz: float) -> int:
+    """Samples averaged over one interval (shared rounding rule)."""
+    if duration_s <= 0:
+        raise SimulationError("duration_s must be positive")
+    return max(int(duration_s * sample_rate_hz), 1)
+
+
+def _averaged_noise_sigma(sample_noise_w: float, samples: int):
+    """Std-dev of the N-sample average: averaging shrinks noise by sqrt(N)."""
+    return sample_noise_w / np.sqrt(samples)
 
 
 @dataclass(frozen=True)
@@ -41,12 +63,7 @@ class PowerAnalyzer:
         sample_rate_hz: float = 1.0,
         rng: np.random.Generator | None = None,
     ):
-        if accuracy < 0 or accuracy > 0.05:
-            raise SimulationError("accuracy must be within [0, 0.05]")
-        if sample_noise_w < 0:
-            raise SimulationError("sample_noise_w must be >= 0")
-        if sample_rate_hz <= 0:
-            raise SimulationError("sample_rate_hz must be positive")
+        _validate_analyzer(accuracy, sample_noise_w, sample_rate_hz)
         self.accuracy = accuracy
         self.sample_noise_w = sample_noise_w
         self.sample_rate_hz = sample_rate_hz
@@ -63,12 +80,9 @@ class PowerAnalyzer:
         """Average power reported for an interval of ``duration_s`` seconds."""
         if true_power_w < 0:
             raise SimulationError("true_power_w must be >= 0")
-        if duration_s <= 0:
-            raise SimulationError("duration_s must be positive")
-        samples = max(int(duration_s * self.sample_rate_hz), 1)
+        samples = _interval_samples(duration_s, self.sample_rate_hz)
         if self.sample_noise_w > 0:
-            # Averaging N noisy samples shrinks the noise by sqrt(N).
-            noise = float(self._rng.normal(0.0, self.sample_noise_w / np.sqrt(samples)))
+            noise = float(self._rng.normal(0.0, _averaged_noise_sigma(self.sample_noise_w, samples)))
         else:
             noise = 0.0
         measured = true_power_w * self._calibration_factor + noise
@@ -91,3 +105,59 @@ class PowerAnalyzer:
             average_power_w=power,
             samples=samples,
         )
+
+
+class BatchPowerAnalyzer:
+    """Vectorized counterpart of :class:`PowerAnalyzer` for batched runs.
+
+    One instance measures *many* benchmark runs at once: true powers arrive
+    as ``(runs,)`` or ``(runs x levels)`` arrays together with each run's
+    calibration factor and pre-drawn sampling noise.  The draws themselves
+    stay with the caller (:class:`repro.simulator.batch.BatchDirector`),
+    which pulls them from each run's own seeded generator in exactly the
+    order the scalar simulator would — that is what keeps batched results
+    bit-for-bit identical to :meth:`PowerAnalyzer.measure_power` per run.
+    """
+
+    def __init__(
+        self,
+        accuracy: float = 0.005,
+        sample_noise_w: float = 1.5,
+        sample_rate_hz: float = 1.0,
+    ):
+        _validate_analyzer(accuracy, sample_noise_w, sample_rate_hz)
+        self.accuracy = accuracy
+        self.sample_noise_w = sample_noise_w
+        self.sample_rate_hz = sample_rate_hz
+
+    def samples(self, duration_s: float) -> int:
+        """Number of 1 Hz-style samples averaged over one interval."""
+        return _interval_samples(duration_s, self.sample_rate_hz)
+
+    def calibration_sigma(self) -> float:
+        """Spread of the per-run calibration factor around 1.0."""
+        return self.accuracy / 2.0
+
+    def interval_noise_sigma(self, duration_s: float):
+        """Std-dev of the averaged sampling noise of one interval.
+
+        Shares :func:`_averaged_noise_sigma` with the scalar analyzer
+        (including the NumPy sqrt), so noise draws scale identically.
+        """
+        return _averaged_noise_sigma(self.sample_noise_w, self.samples(duration_s))
+
+    def measure_power(
+        self,
+        true_power_w: np.ndarray,
+        calibration_factor: np.ndarray,
+        noise_w: np.ndarray,
+    ) -> np.ndarray:
+        """Measured average power for a batch of intervals.
+
+        The arguments must broadcast against each other (typically
+        ``(runs x levels)`` true power against ``(runs x 1)`` factors).
+        """
+        true_power_w = np.asarray(true_power_w, dtype=float)
+        if true_power_w.size and float(true_power_w.min()) < 0.0:
+            raise SimulationError("true_power_w must be >= 0")
+        return np.maximum(true_power_w * calibration_factor + noise_w, 0.0)

@@ -10,8 +10,7 @@ is tested against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from ..errors import SimulationError
 from ..market.fleet import SystemPlan

@@ -9,7 +9,7 @@ date*, binned by calendar year.  The headline scalar comparisons contrast
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 

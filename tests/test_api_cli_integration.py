@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Frame, analyze, generate_corpus, load_dataset, parse_corpus, quick_dataset
+from repro import Frame, analyze, parse_corpus, quick_dataset
 from repro.cli.main import build_parser, main
 
 

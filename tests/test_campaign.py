@@ -19,9 +19,7 @@ from repro.campaign import (
 )
 from repro.cli.main import main as cli_main
 from repro.errors import CampaignError, SimulationError
-from repro.market.fleet import SystemPlan
 from repro.simulator import SimulationOptions
-from repro.units import MonthDate
 
 GENERATIONS = ["Xeon X5670", "Xeon Platinum 8480+", "EPYC 9654"]
 
@@ -406,3 +404,97 @@ class TestWiring:
         assert cli_main(["campaign", "run", "--spec", str(spec_path),
                          "--store", str(store)]) == 0
         assert "6 cached, 0 simulated" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# Batch execution strategy
+# --------------------------------------------------------------------------- #
+class TestBatchStrategy:
+    def test_batch_and_scalar_campaigns_produce_identical_frames(self, tmp_path):
+        spec = small_spec(name="batch-eq", seeds=(41, 42))
+        batched = run_campaign(spec, tmp_path / "batched")
+        scalar = run_campaign(spec, tmp_path / "scalar", batch=False)
+        assert batched.simulated == scalar.simulated == 6
+        assert not batched.failures and not scalar.failures
+        assert batched.frame.equals(scalar.frame)
+
+    def test_scalar_store_is_a_full_cache_hit_for_batch(self, tmp_path):
+        # Strategy independence of the cache: rows simulated scalar are
+        # exactly what the batch kernel would have produced, so switching
+        # strategies over one store never re-simulates anything.
+        spec = small_spec(name="batch-cache", seeds=(51,))
+        store = tmp_path / "store"
+        cold = run_campaign(spec, store, batch=False)
+        warm = run_campaign(spec, store, batch=True)
+        assert warm.cache_hits == 3 and warm.simulated == 0
+        assert warm.frame.equals(cold.frame)
+
+    def test_heterogeneous_options_grouped_per_chunk(self, tmp_path):
+        # Sweeping an option axis produces units with differing
+        # SimulationOptions; the batch runner groups them per chunk.
+        spec = CampaignSpec(
+            name="batch-groups",
+            sweep={
+                "cpu_model": GENERATIONS[:2],
+                "interval_duration_s": [120.0, 240.0],
+            },
+            base=FAST_BASE,
+        )
+        result = run_campaign(spec, tmp_path / "store")
+        assert result.simulated == 4 and not result.failures
+        assert len(result.frame) == 4
+
+    def test_max_units_respected_by_batch_path(self, tmp_path):
+        spec = small_spec(name="batch-max", seeds=(61, 62))
+        result = run_campaign(spec, tmp_path / "store", max_units=2)
+        assert result.simulated == 2
+        assert result.total_units == 6
+
+
+# --------------------------------------------------------------------------- #
+# CLI batch flag + clean store errors
+# --------------------------------------------------------------------------- #
+class TestCLIBatchAndErrors:
+    def test_cli_no_batch_matches_batched_run(self, tmp_path, capsys):
+        spec = small_spec(name="cli-nobatch", seeds=(71,))
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        assert cli_main(["campaign", "run", "--spec", str(spec_path),
+                         "--store", str(tmp_path / "scalar"), "--no-batch"]) == 0
+        assert cli_main(["campaign", "run", "--spec", str(spec_path),
+                         "--store", str(tmp_path / "batched")]) == 0
+        out = capsys.readouterr().out
+        assert out.count("3 simulated") == 2
+
+    def test_cli_status_on_missing_store_is_one_clean_line(self, tmp_path, capsys):
+        rc = cli_main(["campaign", "status", "--store", str(tmp_path / "nope")])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_cli_resume_on_corrupt_store_is_one_clean_line(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "spec.json").write_text("{not json", encoding="utf-8")
+        rc = cli_main(["campaign", "resume", "--store", str(store)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_cli_run_into_foreign_store_is_one_clean_line(self, tmp_path, capsys):
+        first = small_spec(name="owner", seeds=(81,))
+        other = small_spec(name="intruder", seeds=(82,))
+        store = tmp_path / "store"
+        run_campaign(first, store)
+        other_path = tmp_path / "other.json"
+        other_path.write_text(json.dumps(other.to_dict()), encoding="utf-8")
+        rc = cli_main(["campaign", "run", "--spec", str(other_path),
+                       "--store", str(store)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err

@@ -1,7 +1,6 @@
 """Tests for trends, proportionality, the correlation study, figures,
 Table I and the report assembly."""
 
-import math
 
 import numpy as np
 import pytest

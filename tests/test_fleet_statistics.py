@@ -97,8 +97,8 @@ class TestDeterminismAcrossComponents:
     def test_same_seed_same_reports(self, tmp_path):
         from repro.reportgen import CorpusWriter
 
-        a = CorpusWriter(tmp_path / "a", total_parsed_runs=40, seed=21).write()
-        b = CorpusWriter(tmp_path / "b", total_parsed_runs=40, seed=21).write()
+        CorpusWriter(tmp_path / "a", total_parsed_runs=40, seed=21).write()
+        CorpusWriter(tmp_path / "b", total_parsed_runs=40, seed=21).write()
         files_a = sorted(p.name for p in (tmp_path / "a").glob("*.txt"))
         files_b = sorted(p.name for p in (tmp_path / "b").glob("*.txt"))
         assert files_a == files_b

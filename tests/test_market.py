@@ -10,7 +10,6 @@ from repro.market import (
     Catalog,
     FleetSampler,
     default_anomaly_plan,
-    default_catalog,
     default_trends,
 )
 from repro.powermodel import Vendor

@@ -1,6 +1,5 @@
 """Tests for the parallel executor and the IO helpers."""
 
-import os
 
 import pytest
 

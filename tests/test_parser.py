@@ -10,10 +10,9 @@ from repro.parser import (
     level_field,
     parse_directory,
     parse_result_text,
-    records_to_frame,
     validate_run,
 )
-from repro.parser.fields import LOAD_LEVELS, RunRecord
+from repro.parser.fields import LOAD_LEVELS
 from repro.parser.validation import ValidationIssue
 
 MINIMAL_REPORT = """SPECpower_ssj2008 Result

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ModelError
-from repro.market import default_catalog, profile_for
+from repro.market import profile_for
 from repro.powermodel import (
     CoreCStateModel,
     CPUFamily,
@@ -236,7 +236,8 @@ class TestServerPowerModel:
         return ServerPowerModel(configuration)
 
     def test_power_monotonic_in_load(self, model):
-        powers = [model.node_power_w(level) for level in sorted(l for l in STANDARD_LOAD_LEVELS if l > 0)]
+        powers = [model.node_power_w(level)
+                  for level in sorted(lv for lv in STANDARD_LOAD_LEVELS if lv > 0)]
         assert all(b >= a for a, b in zip(powers, powers[1:]))
 
     def test_full_load_power_reasonable(self, model):

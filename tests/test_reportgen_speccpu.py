@@ -149,7 +149,7 @@ class TestSpecCpuModel:
 
     def test_wider_vectors_help_fp_more_than_int(self, catalog):
         cpu = catalog.get("Xeon Platinum 8380").cpu
-        narrow = SpecCpuRateModel(cpu, 2, memory_bandwidth_override_gbs=1e6)
+        SpecCpuRateModel(cpu, 2, memory_bandwidth_override_gbs=1e6)
         from dataclasses import replace
 
         wide_cpu = replace(cpu, avx_width_bits=512)

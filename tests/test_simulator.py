@@ -1,6 +1,5 @@
 """Tests for the SPECpower_ssj2008 benchmark simulator."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError

@@ -9,7 +9,6 @@ import pytest
 from repro.errors import StatsError
 from repro.frame import Frame
 from repro.stats import (
-    BoxStats,
     box_stats,
     compare_eras,
     correlation_matrix,

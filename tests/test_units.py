@@ -1,6 +1,5 @@
 """Tests for repro.units: date, number and unit parsing."""
 
-import math
 
 import pytest
 
