@@ -1,0 +1,78 @@
+"""Session workspace benchmarks: cold pipeline vs warm content-hash reloads.
+
+The session's headline number is the warm dataset reload: a second
+``session.dataset()`` (or a second ``spectrends analyze --workspace``) over
+an unchanged corpus performs zero generation, zero parsing and zero
+simulation — it rebuilds the derived frame from the JSON rows persisted in
+the workspace store.  ``test_bench_session_warm_dataset`` is wired into the
+CI regression gate (``benchmarks/baseline.json``); the cold benchmark and
+the key-derivation micro-benchmark give the ratio context.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.session import Session
+
+#: Small corpus: the benchmark measures cache mechanics, not the simulator.
+RUNS = 60
+SEED = 2024
+
+
+@pytest.fixture(scope="module")
+def warm_workspace(tmp_path_factory):
+    """A workspace whose default dataset artifact is already materialised."""
+    workspace = tmp_path_factory.mktemp("bench-session-ws")
+    with Session(workspace=workspace) as session:
+        frame = session.dataset(runs=RUNS, seed=SEED).result()
+        assert len(frame) == RUNS
+    return workspace
+
+
+@pytest.mark.benchmark(group="session")
+def test_bench_session_cold_dataset(benchmark, tmp_path):
+    """Generate + parse + derive into a fresh workspace (the cold baseline)."""
+    counter = {"i": 0}
+
+    def cold():
+        counter["i"] += 1
+        with Session(workspace=tmp_path / f"ws-{counter['i']}") as session:
+            return session.dataset(runs=RUNS, seed=SEED).result()
+
+    frame = benchmark(cold)
+    assert len(frame) == RUNS
+
+
+@pytest.mark.benchmark(group="session")
+def test_bench_session_warm_dataset(benchmark, warm_workspace):
+    """Reload the derived frame from the warm store (no parse, no simulate).
+
+    A fresh :class:`Session` per round keeps the in-process memo out of the
+    measurement: the number is the on-disk warm path a new CLI invocation
+    takes, i.e. JSON rows -> frame -> derived columns.
+    """
+
+    def warm():
+        with Session(workspace=warm_workspace) as session:
+            return session.dataset(runs=RUNS, seed=SEED).result()
+
+    frame = benchmark(warm)
+    assert len(frame) == RUNS
+    assert "overall_efficiency" in frame
+
+
+@pytest.mark.benchmark(group="session")
+def test_bench_session_handle_keys(benchmark, warm_workspace):
+    """Content-key derivation for the whole stage chain (pure hashing)."""
+    with Session(workspace=warm_workspace) as session:
+
+        def keys():
+            corpus = session.corpus(runs=RUNS, seed=SEED)
+            dataset = session.dataset(corpus=corpus)
+            analysis = session.analysis(dataset, table1=False)
+            return corpus.key, dataset.key, analysis.key
+
+        first = benchmark(keys)
+        assert keys() == first                      # deterministic
+        assert len(set(first)) == 3

@@ -2,10 +2,11 @@
 """Campaign engine walk-through: a 2-axis generation x seed sweep.
 
 Declares a sweep over three server generations and three seeds (nine units),
-executes it into a resumable store, then re-runs the identical spec to show
-the content-hash cache replaying the campaign with zero new simulations.
-The aggregated frame flows straight into the paper's ``analyze`` pipeline,
-and ``Frame.memory_usage()`` shows what the aggregation costs.
+executes it into a resumable store through a :class:`repro.Session`, then
+re-runs the identical spec to show the content-hash cache replaying the
+campaign with zero new simulations.  The aggregated frame flows straight
+into the paper's analysis pipeline, and ``Frame.memory_usage()`` shows what
+the aggregation costs.
 
 See the top-level README.md ("Campaign engine" section) for the declarative
 spec format and the matching ``spectrends campaign run|status|resume`` CLI.
@@ -21,7 +22,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import analyze, run_campaign
+from repro import Session
 from repro.campaign import CampaignSpec, CampaignStore
 
 SPEC = CampaignSpec(
@@ -42,13 +43,19 @@ def main() -> int:
     args = parser.parse_args()
     store = Path(args.store) if args.store else Path(tempfile.mkdtemp(prefix="campaign-"))
 
+    session = Session()
+
     print(f"Campaign {SPEC.name!r}: {SPEC.n_units} units -> {store}")
     start = time.perf_counter()
-    cold = run_campaign(SPEC, store)
+    cold = session.campaign(SPEC, store=store).result()
     print(f"  cold: {cold.describe()}  [{time.perf_counter() - start:.2f}s]")
 
+    # A fresh session proves the warm replay comes from the store on disk,
+    # not from the first session's in-memory memo.
+    session.close()
+    session = Session()
     start = time.perf_counter()
-    warm = run_campaign(SPEC, store)
+    warm = session.campaign(SPEC, store=store).result()
     print(f"  warm: {warm.describe()}  [{time.perf_counter() - start:.2f}s]")
     assert warm.simulated == 0, "second invocation must be pure cache hits"
 
@@ -67,9 +74,10 @@ def main() -> int:
     )
     print(by_gen.to_string())
 
-    result = analyze(frame, include_table1=False)
-    print(f"\nanalyze() accepted the campaign frame: "
+    result = session.analyze_frame(frame, table1=False)
+    print(f"\nthe analysis pipeline accepted the campaign frame: "
           f"{len(result.filtered)} runs after the paper's filters")
+    session.close()
     return 0
 
 

@@ -15,7 +15,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro import generate_corpus, load_dataset
+from repro import Session
 from repro.core import apply_paper_filters, figure2, figure3, table1
 from repro.core.trends import power_era_comparisons
 from repro.plotting import ascii_scatter
@@ -23,14 +23,17 @@ from repro.stats import bin_by_year
 
 
 def main() -> int:
+    session = Session()
     if len(sys.argv) > 1 and Path(sys.argv[1]).is_dir() and list(Path(sys.argv[1]).glob("*.txt")):
-        corpus_dir = Path(sys.argv[1])
+        dataset = session.dataset(corpus=Path(sys.argv[1]))
     else:
         corpus_dir = Path(tempfile.mkdtemp(prefix="specpower-trends-")) / "corpus"
         print(f"Generating a 400-run corpus in {corpus_dir} ...")
-        generate_corpus(corpus_dir, total_parsed_runs=400, seed=11)
+        dataset = session.dataset(
+            corpus=session.corpus(runs=400, seed=11, directory=corpus_dir)
+        )
 
-    runs = load_dataset(corpus_dir)
+    runs = dataset.result()
     filtered, _ = apply_paper_filters(runs)
     print(f"{len(filtered)} analysable runs")
 

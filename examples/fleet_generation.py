@@ -18,10 +18,9 @@ import argparse
 import tempfile
 from pathlib import Path
 
-from repro import generate_corpus, load_dataset
+from repro import Session
 from repro.core import apply_paper_filters, figure1
-from repro.parallel import ParallelConfig
-from repro.parser import parse_directory
+from repro.session import ExecutionPolicy
 
 
 def main() -> int:
@@ -34,22 +33,24 @@ def main() -> int:
 
     output = Path(args.output) if args.output else Path(tempfile.mkdtemp(prefix="specpower-fleet-"))
     corpus_dir = output / "corpus"
-    parallel = ParallelConfig(backend="process", max_workers=args.jobs, chunk_size=64)
+    session = Session(
+        policy=ExecutionPolicy(mode="process", workers=args.jobs, chunk_size=64)
+    )
 
     print(f"Generating {args.runs} clean runs (plus defective submissions) in {corpus_dir} ...")
-    generation = generate_corpus(corpus_dir, total_parsed_runs=args.runs, seed=2024,
-                                 parallel=parallel)
-    print("  " + generation.describe())
+    corpus = session.corpus(runs=args.runs, seed=2024, directory=corpus_dir)
+    print("  " + corpus.result().describe())
 
     print("Parsing and validating ...")
-    parse_report = parse_directory(corpus_dir, parallel=parallel)
+    dataset = session.dataset(corpus=corpus)
+    parse_report = dataset.parse_report()
     print("  " + parse_report.describe())
     print("  rejection reasons (paper: 40 not accepted, 3 ambiguous dates, 4 implausible dates,")
     print("                     3 ambiguous CPUs, 1 missing node count, 5+1 core/thread issues):")
     for reason, count in sorted(parse_report.rejection_counts().items()):
         print(f"    {reason:28s} {count}")
 
-    runs = load_dataset(corpus_dir, parallel=parallel)
+    runs = dataset.result()
     filtered, funnel = apply_paper_filters(runs)
     print()
     print("Analysis filter funnel (paper removes 9 / 6 / 269, keeping 676):")

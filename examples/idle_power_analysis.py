@@ -14,21 +14,24 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro import generate_corpus, load_dataset
+from repro import Session
 from repro.core import apply_paper_filters, figure5, figure6, run_correlation_study
 from repro.core.trends import idle_fraction_milestones
 from repro.stats import bin_by_year
 
 
 def main() -> int:
+    session = Session()
     if len(sys.argv) > 1 and Path(sys.argv[1]).is_dir() and list(Path(sys.argv[1]).glob("*.txt")):
-        corpus_dir = Path(sys.argv[1])
+        dataset = session.dataset(corpus=Path(sys.argv[1]))
     else:
         corpus_dir = Path(tempfile.mkdtemp(prefix="specpower-idle-")) / "corpus"
         print(f"Generating a 400-run corpus in {corpus_dir} ...")
-        generate_corpus(corpus_dir, total_parsed_runs=400, seed=13)
+        dataset = session.dataset(
+            corpus=session.corpus(runs=400, seed=13, directory=corpus_dir)
+        )
 
-    runs = load_dataset(corpus_dir)
+    runs = dataset.result()
     filtered, _ = apply_paper_filters(runs)
 
     print("Idle fraction milestones (paper: 70.1 % in 2006, 15.7 % minimum in 2017, "

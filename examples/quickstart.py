@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Quickstart: generate a small synthetic SPEC Power corpus and analyse it.
 
-This walks the full pipeline of the reproduction in one minute:
+This walks the full pipeline of the reproduction in one minute, through the
+Session API (one composable, content-hash-cached entry point):
 
 1. generate a corpus of SPEC-style result files (a scaled-down stand-in for
    the 1017 reports published on spec.org),
@@ -9,7 +10,9 @@ This walks the full pipeline of the reproduction in one minute:
 3. apply the paper's filter pipeline,
 4. print the headline paper-vs-measured findings.
 
-Run with ``python examples/quickstart.py [output_dir]``.
+Run with ``python examples/quickstart.py [workspace_dir]``.  Pass a
+persistent workspace and run it twice: the second invocation reloads every
+artifact from the content-addressed store instead of recomputing it.
 """
 
 from __future__ import annotations
@@ -18,33 +21,36 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro import analyze, generate_corpus, load_dataset
+from repro import Session
 
 
 def main() -> int:
-    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp(prefix="specpower-"))
-    corpus_dir = output / "corpus"
-
-    print(f"Generating a 200-run synthetic corpus under {corpus_dir} ...")
-    report = generate_corpus(corpus_dir, total_parsed_runs=200, seed=7)
-    print("  " + report.describe())
-
-    print("Parsing and deriving the analysis columns ...")
-    runs = load_dataset(corpus_dir)
-    print(f"  parsed {len(runs)} runs x {len(runs.columns)} columns")
-
-    print("Running the paper's analysis pipeline ...")
-    result = analyze(runs, include_table1=True)
-    print()
-    print(result.summary())
-
-    # The filtered frame is a regular Frame: ad-hoc questions are one-liners.
-    filtered = result.filtered
-    by_vendor = filtered.groupby("cpu_vendor").agg(
-        {"runs": ("run_id", "size"), "mean_efficiency": ("overall_efficiency", "mean")}
+    workspace = (
+        Path(sys.argv[1]) if len(sys.argv) > 1
+        else Path(tempfile.mkdtemp(prefix="specpower-"))
     )
-    print("Mean overall efficiency by CPU vendor (filtered runs):")
-    print(by_vendor.to_string())
+
+    with Session(workspace=workspace) as session:
+        print(f"Generating a 200-run synthetic corpus under {workspace} ...")
+        corpus = session.corpus(runs=200, seed=7)
+        print("  " + corpus.result().describe())
+
+        print("Parsing and deriving the analysis columns ...")
+        runs = session.dataset().result()
+        print(f"  parsed {len(runs)} runs x {len(runs.columns)} columns")
+
+        print("Running the paper's analysis pipeline ...")
+        result = session.analysis(table1=True).result()
+        print()
+        print(result.summary())
+
+        # The filtered frame is a regular Frame: ad-hoc questions are one-liners.
+        filtered = result.filtered
+        by_vendor = filtered.groupby("cpu_vendor").agg(
+            {"runs": ("run_id", "size"), "mean_efficiency": ("overall_efficiency", "mean")}
+        )
+        print("Mean overall efficiency by CPU vendor (filtered runs):")
+        print(by_vendor.to_string())
     return 0
 
 

@@ -13,14 +13,19 @@ The package is organised in three layers:
 
 Quickstart
 ----------
-``quick_dataset`` produces a small synthetic corpus already parsed into a
-run table; ``analyze`` runs the full paper pipeline over it::
+A :class:`repro.session.Session` fronts the whole pipeline: stages are
+lazy, composable methods whose results are content-hash cached in a
+workspace directory::
 
-    from repro import quick_dataset, analyze
+    from repro import Session
 
-    runs = quick_dataset(n_runs=120, seed=7)
-    result = analyze(runs)
-    print(result.summary())
+    with Session(workspace="ws/") as session:
+        runs = session.dataset(runs=120, seed=7).result()
+        result = session.analysis().result()
+        print(result.summary())
+
+(The module-level ``quick_dataset``/``analyze``/... functions still work,
+but are deprecated shims over the session layer.)
 """
 
 from __future__ import annotations
@@ -39,7 +44,7 @@ from .api import (
     AnalysisResult,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -56,4 +61,20 @@ __all__ = [
     "analyze",
     "run_campaign",
     "AnalysisResult",
+    "Session",
+    "ExecutionPolicy",
 ]
+
+_SESSION_EXPORTS = {"Session", "ExecutionPolicy"}
+
+
+def __getattr__(name: str):
+    # The session layer pulls in the campaign/parser/simulator stack; load
+    # it lazily so ``import repro`` stays light for frame-only consumers.
+    if name in _SESSION_EXPORTS:
+        from . import session as _session_pkg
+
+        value = getattr(_session_pkg, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

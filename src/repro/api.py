@@ -1,27 +1,40 @@
-"""Top-level convenience API.
+"""Top-level convenience API (deprecated shims over :mod:`repro.session`).
 
-These functions wire the layers together for the most common workflows:
+These functions predate the session layer; each now delegates to a
+:class:`repro.session.Session` and emits a :class:`DeprecationWarning`.
+Results are bit-identical to the historical implementations — the session
+stages run the exact same pipeline code — but new code should use the
+session directly, which adds workspace caching, composable handles and the
+extension registries::
 
-* :func:`generate_corpus` — write a synthetic corpus of result files,
-* :func:`parse_corpus` / :func:`load_dataset` — parse a corpus directory
-  into the derived analysis frame,
-* :func:`quick_dataset` — generate + parse a small corpus in a temporary
-  directory (the quickest way to get a realistic frame in examples/tests),
-* :func:`analyze` — run the full paper pipeline (filters, headline findings,
-  Table I, correlation study, optionally figures) over a run frame,
-* :func:`run_campaign` — execute a declarative scenario sweep with
-  content-hash caching and a resumable on-disk store.
+    from repro.session import Session
+
+    with Session(workspace="ws/") as session:
+        runs = session.dataset(runs=150, seed=2024).result()
+        print(session.analysis().result().summary())
+
+Migration table:
+
+==========================================  ===================================================
+deprecated call                             session equivalent
+==========================================  ===================================================
+``generate_corpus(d, n, seed)``             ``session.corpus(runs=n, seed=seed, directory=d).result()``
+``parse_corpus(d)``                         ``session.dataset(corpus=d).parse_report()``
+``load_dataset(d)``                         ``session.dataset(corpus=d).result()``
+``quick_dataset(n, seed)``                  ``session.dataset(runs=n, seed=seed).result()``
+``analyze(runs)``                           ``session.analysis().result()`` (or ``analyze_frame``)
+``run_campaign(spec, store)``               ``session.campaign(spec, store=store).result()``
+==========================================  ===================================================
 """
 
 from __future__ import annotations
 
 import os
-import tempfile
-from dataclasses import dataclass
-from pathlib import Path
+import warnings
 
 from .frame import Frame
 from .parallel import ParallelConfig
+from .session.handles import AnalysisResult
 
 __all__ = [
     "AnalysisResult",
@@ -34,29 +47,20 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class AnalysisResult:
-    """Outcome of :func:`analyze`."""
+def _warn_deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.api.{name}() is deprecated; use repro.session.Session"
+        f".{replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    unfiltered: Frame
-    filtered: Frame
-    comparison: "object"          # repro.core.report.PaperComparison
-    figures: tuple = ()
 
-    def summary(self) -> str:
-        """Human-readable paper-vs-measured summary."""
-        return self.comparison.to_text()
+def _session(parallel: ParallelConfig | None = None, batch: bool = True):
+    from .session.policy import ExecutionPolicy
+    from .session.session import Session
 
-    @property
-    def era_comparisons(self) -> list[str]:
-        """Names of the scalar findings available in the comparison."""
-        return [finding.name for finding in self.comparison.findings]
-
-    def save_figures(self, directory: str | os.PathLike) -> list[Path]:
-        written: list[Path] = []
-        for artifact in self.figures:
-            written.extend(artifact.save(directory))
-        return written
+    return Session(policy=ExecutionPolicy.from_parallel(parallel, batch=batch))
 
 
 def generate_corpus(
@@ -65,47 +69,61 @@ def generate_corpus(
     seed: int = 2024,
     parallel: ParallelConfig | None = None,
 ):
-    """Generate a synthetic corpus of SPEC-style result files."""
-    from .reportgen import generate_corpus_files
+    """Generate a synthetic corpus of SPEC-style result files.
 
-    return generate_corpus_files(
-        directory, total_parsed_runs=total_parsed_runs, seed=seed, parallel=parallel
-    )
+    .. deprecated:: 1.2
+       Use ``Session.corpus(runs=..., seed=..., directory=...)``.
+    """
+    _warn_deprecated("generate_corpus", "corpus(...)")
+    with _session(parallel) as session:
+        return session.corpus(
+            runs=total_parsed_runs, seed=seed, directory=directory
+        ).result()
 
 
 def parse_corpus(directory: str | os.PathLike, parallel: ParallelConfig | None = None):
-    """Parse a corpus directory; returns the raw :class:`CorpusParseReport`."""
-    from .parser import parse_directory
+    """Parse a corpus directory; returns the raw :class:`CorpusParseReport`.
 
-    return parse_directory(directory, parallel=parallel)
+    .. deprecated:: 1.2
+       Use ``Session.dataset(corpus=...).parse_report()``.
+    """
+    _warn_deprecated("parse_corpus", "dataset(corpus=...).parse_report()")
+    with _session(parallel) as session:
+        return session.dataset(corpus=directory).parse_report()
 
 
 def load_dataset(
     directory: str | os.PathLike,
     parallel: ParallelConfig | None = None,
 ) -> Frame:
-    """Parse a corpus directory into the derived analysis frame."""
-    from .core.dataset import load_runs
+    """Parse a corpus directory into the derived analysis frame.
 
-    return load_runs(directory, parallel=parallel)
+    .. deprecated:: 1.2
+       Use ``Session.dataset(corpus=...).result()``.
+    """
+    _warn_deprecated("load_dataset", "dataset(corpus=...).result()")
+    with _session(parallel) as session:
+        return session.dataset(corpus=directory).result()
 
 
 def quick_dataset(
     n_runs: int = 150,
     seed: int = 2024,
     directory: str | os.PathLike | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> Frame:
     """Generate and parse a small synthetic corpus in one call.
 
     When ``directory`` is ``None`` a temporary directory is used and removed
     afterwards; pass a path to keep the generated files.
+
+    .. deprecated:: 1.2
+       Use ``Session.dataset(runs=..., seed=...).result()``.
     """
-    if directory is not None:
-        generate_corpus(directory, total_parsed_runs=n_runs, seed=seed)
-        return load_dataset(directory)
-    with tempfile.TemporaryDirectory(prefix="specpower-corpus-") as tmp:
-        generate_corpus(tmp, total_parsed_runs=n_runs, seed=seed)
-        return load_dataset(tmp)
+    _warn_deprecated("quick_dataset", "dataset(runs=..., seed=...).result()")
+    with _session(parallel) as session:
+        corpus = session.corpus(runs=n_runs, seed=seed, directory=directory)
+        return session.dataset(corpus=corpus).result()
 
 
 def run_campaign(
@@ -121,20 +139,14 @@ def run_campaign(
     in the same shape, or a path to a JSON spec file.  Completed units are
     cached by content hash in ``store_dir``; re-running the same spec over
     the same store performs no new simulations, and an interrupted campaign
-    resumes from whatever the store already holds.  Units are simulated
-    through the vectorized batch kernel by default (bit-for-bit the scalar
-    results); ``batch=False`` forces the scalar per-unit path.
-    """
-    from .campaign import CampaignSpec
-    from .campaign import run_campaign as _run_campaign
+    resumes from whatever the store already holds.
 
-    if isinstance(spec, (str, os.PathLike)):
-        spec = CampaignSpec.from_json_file(spec)
-    elif isinstance(spec, dict):
-        spec = CampaignSpec.from_dict(spec)
-    return _run_campaign(
-        spec, store_dir, parallel=parallel, max_units=max_units, batch=batch
-    )
+    .. deprecated:: 1.2
+       Use ``Session.campaign(spec, store=...).result()``.
+    """
+    _warn_deprecated("run_campaign", "campaign(spec, store=...).result()")
+    with _session(parallel, batch=batch) as session:
+        return session.campaign(spec, store=store_dir, max_units=max_units).result()
 
 
 def analyze(
@@ -142,17 +154,13 @@ def analyze(
     include_table1: bool = True,
     include_figures: bool = False,
 ) -> AnalysisResult:
-    """Run the paper's analysis pipeline over a derived run frame."""
-    from .core.dataset import derive_columns
-    from .core.figures import all_figures
-    from .core.filters import apply_paper_filters
-    from .core.report import build_report
+    """Run the paper's analysis pipeline over a derived run frame.
 
-    if "overall_efficiency" not in runs:
-        runs = derive_columns(runs)
-    comparison = build_report(runs, include_table1=include_table1)
-    filtered, _ = apply_paper_filters(runs)
-    figures = tuple(all_figures(runs, filtered)) if include_figures else ()
-    return AnalysisResult(
-        unfiltered=runs, filtered=filtered, comparison=comparison, figures=figures
-    )
+    .. deprecated:: 1.2
+       Use ``Session.analysis(...)`` (cached) or
+       :func:`repro.session.session.analyze_frame` (workspace-free).
+    """
+    _warn_deprecated("analyze", "analysis(...).result()")
+    from .session.session import analyze_frame
+
+    return analyze_frame(runs, table1=include_table1, figures=include_figures)

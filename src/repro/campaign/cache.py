@@ -6,21 +6,23 @@ independent of the sweep that produced the unit, of axis ordering and of the
 campaign name, so identical scenarios share one cache entry across campaigns
 and re-running a spec only simulates units whose keys are absent.
 
-Results are stored as one JSON file per key (the flat run row produced by the
-parser round-trip), fanned out over 256 two-hex-digit subdirectories so large
-campaigns do not degrade directory listings.
+Storage is one instance of the generic
+:class:`repro.session.artifacts.ArtifactStore` (which this module's original
+implementation grew into): one JSON file per key, fanned out over 256
+two-hex-digit subdirectories, atomic writes, schema-guarded reads.  The
+campaign cache keeps its historical on-disk payload field (``"row"``) so
+existing stores stay warm across the generalisation.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import asdict
-from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Mapping
 
 from ..errors import CampaignError
+from ..session.artifacts import ArtifactStore, canonical_json, digest_json
 from ..simulator.director import SimulationOptions
 
 __all__ = ["SCHEMA_VERSION", "entry_digest", "unit_key", "ResultCache"]
@@ -30,17 +32,6 @@ __all__ = ["SCHEMA_VERSION", "entry_digest", "unit_key", "ResultCache"]
 SCHEMA_VERSION = 1
 
 
-def _canonical(value: Any) -> Any:
-    """Make a value JSON-canonical (tuples → lists, stable key order)."""
-    if isinstance(value, Mapping):
-        return {str(k): _canonical(value[k]) for k in sorted(value, key=str)}
-    if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return str(value)
-
-
 def entry_digest(entry: Any) -> str:
     """Short content digest of a catalog entry (a frozen dataclass tree).
 
@@ -48,7 +39,7 @@ def entry_digest(entry: Any) -> str:
     differing in the silicon behind it (TDP, power profile, throughput)
     produce distinct cache entries.
     """
-    canonical = json.dumps(_canonical(asdict(entry)), sort_keys=True,
+    canonical = json.dumps(canonical_json(asdict(entry)), sort_keys=True,
                            separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
@@ -62,71 +53,29 @@ def unit_key(params: Mapping[str, Any], options: SimulationOptions) -> str:
     defaults are serialised too, which keeps the hash honest when defaults
     themselves change (SCHEMA_VERSION guards that case).
     """
-    payload = {
-        "schema": SCHEMA_VERSION,
-        "params": _canonical(params),
-        "options": _canonical(asdict(options)),
-    }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return digest_json(
+        {
+            "schema": SCHEMA_VERSION,
+            "params": canonical_json(params),
+            "options": canonical_json(asdict(options)),
+        }
+    )
 
 
-class ResultCache:
+class ResultCache(ArtifactStore):
     """Directory of unit rows keyed by content hash."""
 
-    def __init__(self, directory: str | os.PathLike):
-        # Created lazily on first ``put``: read-only operations (status on a
-        # mistyped path, say) must not leave empty directories behind.
-        self.directory = Path(directory)
-
-    def _path(self, key: str) -> Path:
-        if len(key) != 64 or any(c not in "0123456789abcdef" for c in key):
-            raise CampaignError(f"malformed cache key {key!r}")
-        return self.directory / key[:2] / f"{key}.json"
-
-    def __contains__(self, key: str) -> bool:
-        return self._path(key).exists()
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.keys())
-
-    def keys(self) -> Iterator[str]:
-        """All stored keys (unordered)."""
-        for path in self.directory.glob("??/*.json"):
-            yield path.stem
+    error = CampaignError
+    schema = SCHEMA_VERSION
+    payload_field = "row"
 
     def get(self, key: str) -> dict[str, Any] | None:
         """The stored row for ``key``, or ``None`` on a miss."""
-        path = self._path(key)
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
-            return None
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CampaignError(f"unreadable cache entry {path}: {exc}") from exc
-        if payload.get("schema") != SCHEMA_VERSION:
-            return None
-        return payload["row"]
+        return super().get(key)
 
-    def put(self, key: str, row: Mapping[str, Any]) -> Path:
+    def put(self, key: str, row: Mapping[str, Any]):
         """Store ``row`` under ``key`` atomically; returns the entry path."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         # Row key order is preserved (not canonicalised): it is the column
         # order of the assembled frame, and cached rows must line up with
         # freshly simulated ones.
-        payload = json.dumps({"schema": SCHEMA_VERSION, "key": key, "row": dict(row)})
-        # Write-then-rename keeps a killed campaign from leaving a torn
-        # entry that would poison the next resume.
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(payload, encoding="utf-8")
-        os.replace(tmp, path)
-        return path
-
-    def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
-        removed = 0
-        for path in list(self.directory.glob("??/*.json")):
-            path.unlink()
-            removed += 1
-        return removed
+        return super().put(key, dict(row))

@@ -30,6 +30,7 @@ from ..parallel import ParallelConfig, parallel_map
 from ..parser.resultfile import parse_result_text
 from ..parser.validation import validate_run
 from ..reportgen.textreport import render_report
+from ..session.policy import ExecutionPolicy
 from ..simulator.batch import BatchDirector
 from ..simulator.director import RunDirector
 from .aggregate import assemble_frame
@@ -153,6 +154,7 @@ def execute_units(
     catalog: Catalog | None = None,
     max_units: int | None = None,
     batch: bool = True,
+    policy: ExecutionPolicy | None = None,
 ) -> CampaignResult:
     """Run whatever is missing from the store's cache and assemble the frame.
 
@@ -160,8 +162,13 @@ def execute_units(
     performs (smoke runs; also how the tests emulate an interrupted
     campaign) — remaining units stay pending for the next run.  ``batch``
     selects the vectorized :class:`BatchDirector` execution strategy
-    (default); pass ``False`` to force the scalar per-unit path.
+    (default); pass ``False`` to force the scalar per-unit path.  A
+    :class:`~repro.session.policy.ExecutionPolicy` subsumes both knobs:
+    when given, it overrides ``parallel`` and ``batch``.
     """
+    if policy is not None:
+        parallel = policy.parallel_config()
+        batch = policy.use_batch_kernel
     cache = store.cache
     rows_by_key: dict[str, dict] = {}
     pending: list[CampaignUnit] = []
@@ -238,19 +245,21 @@ def run_campaign(
     catalog: Catalog | None = None,
     max_units: int | None = None,
     batch: bool = True,
+    policy: ExecutionPolicy | None = None,
 ) -> CampaignResult:
     """Expand ``spec``, execute missing units, return the campaign frame.
 
     Completed units are content-hash cache hits and are never re-simulated;
     invoking this twice over the same store performs zero new simulations
-    the second time.  ``batch=False`` opts out of the vectorized kernel.
+    the second time.  ``batch=False`` opts out of the vectorized kernel;
+    a ``policy`` overrides both ``parallel`` and ``batch``.
     """
     units = spec.expand(catalog)
     store = CampaignStore(store_dir)
     store.initialize(spec, units)
     return execute_units(
         units, store, parallel=parallel, catalog=catalog, max_units=max_units,
-        batch=batch,
+        batch=batch, policy=policy,
     )
 
 
@@ -260,6 +269,7 @@ def resume_campaign(
     catalog: Catalog | None = None,
     max_units: int | None = None,
     batch: bool = True,
+    policy: ExecutionPolicy | None = None,
 ) -> CampaignResult:
     """Continue an interrupted campaign from its on-disk spec snapshot."""
     store = CampaignStore(store_dir)
@@ -267,5 +277,5 @@ def resume_campaign(
     units = spec.expand(catalog)
     return execute_units(
         units, store, parallel=parallel, catalog=catalog, max_units=max_units,
-        batch=batch,
+        batch=batch, policy=policy,
     )

@@ -120,27 +120,30 @@ class CampaignStore:
             json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
         )
 
+    def _read_json(self, path: Path, missing: str, what: str) -> Any:
+        """Read one JSON document, mapping IO failures to campaign errors."""
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CampaignError(missing) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(f"unreadable {what}: {exc}") from exc
+
     def load_spec(self) -> CampaignSpec:
         """The spec snapshot the store was initialised with."""
-        try:
-            data = json.loads(self.spec_path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
-            raise CampaignError(
-                f"{self.directory} is not a campaign store (no spec.json)"
-            ) from None
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CampaignError(f"unreadable spec snapshot: {exc}") from exc
+        data = self._read_json(
+            self.spec_path,
+            f"{self.directory} is not a campaign store (no spec.json)",
+            "spec snapshot",
+        )
         return CampaignSpec.from_dict(data)
 
     def load_manifest(self) -> list[dict[str, Any]]:
-        try:
-            data = json.loads(self.manifest_path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
-            raise CampaignError(
-                f"{self.directory} has no manifest; run the campaign first"
-            ) from None
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CampaignError(f"unreadable manifest: {exc}") from exc
+        data = self._read_json(
+            self.manifest_path,
+            f"{self.directory} has no manifest; run the campaign first",
+            "manifest",
+        )
         return data["units"]
 
     # ------------------------------------------------------------------ #

@@ -1,11 +1,20 @@
 """``spectrends`` command-line interface.
 
+Every sub-command is a thin wrapper over one :class:`repro.session.Session`:
+the global ``--workspace`` flag names a persistent session workspace, which
+gives each invocation content-hash caching for free — ``spectrends analyze
+--workspace ws/ --corpus corpus/`` parses the corpus once, and every later
+``analyze``/``figures``/``parse`` over the unchanged corpus reloads the
+derived dataset instead of re-parsing it.  Without ``--workspace`` an
+ephemeral workspace is used and removed on exit.
+
 Sub-commands mirror the stages of the paper's artifact:
 
 * ``spectrends generate --output corpus/ --runs 960`` — write a synthetic
   corpus of result files,
 * ``spectrends parse --corpus corpus/ --output runs.csv`` — parse and
-  validate the corpus, writing the flat run table,
+  validate the corpus, writing the flat run table (with ``--runs``/``--seed``
+  instead of ``--corpus``, a synthetic corpus is generated first),
 * ``spectrends analyze --corpus corpus/`` — run the full analysis and print
   the paper-vs-measured report,
 * ``spectrends figures --corpus corpus/ --output figures/`` — regenerate
@@ -20,9 +29,47 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..parallel import ParallelConfig
-
 __all__ = ["main", "build_parser"]
+
+
+def _add_session_flags(parser: argparse.ArgumentParser) -> None:
+    """Mirror the global session flags onto a subcommand.
+
+    ``SUPPRESS`` defaults keep the subcommand from clobbering a value given
+    before the command name, so both ``spectrends --workspace ws analyze``
+    and ``spectrends analyze --workspace ws`` work.
+    """
+    parser.add_argument(
+        "--workspace", default=argparse.SUPPRESS,
+        help="session workspace directory (cached artifacts are reused "
+             "across invocations)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=argparse.SUPPRESS,
+        help="worker processes for corpus generation/parsing",
+    )
+
+
+def _add_corpus_source(parser: argparse.ArgumentParser) -> None:
+    """Flags selecting the corpus a command reads.
+
+    ``--corpus`` names an existing directory; without it, generation is
+    implied — a synthetic corpus is produced through the session (cached in
+    the workspace) from ``--runs``/``--seed``.
+    """
+    parser.add_argument(
+        "--corpus",
+        help="directory of .txt reports (omit to generate a synthetic corpus)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=960,
+        help="runs for the generated corpus when --corpus is omitted "
+             "(default: 960, as in the paper)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2024,
+        help="seed for the generated corpus when --corpus is omitted",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for corpus generation/parsing (default: 1)",
     )
+    parser.add_argument(
+        "--workspace", default=None,
+        help="session workspace directory; artifacts (corpora, parsed "
+             "datasets) are cached here by content hash and reused across "
+             "invocations (default: ephemeral)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser("generate", help="generate a synthetic result-file corpus")
@@ -41,18 +94,22 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--runs", type=int, default=960,
                           help="number of defect-free runs (default: 960, as in the paper)")
     generate.add_argument("--seed", type=int, default=2024)
+    _add_session_flags(generate)
 
     parse = sub.add_parser("parse", help="parse a corpus into the flat run table (CSV)")
-    parse.add_argument("--corpus", required=True, help="directory of .txt reports")
+    _add_corpus_source(parse)
     parse.add_argument("--output", required=True, help="CSV file for the parsed run table")
+    _add_session_flags(parse)
 
     analyze = sub.add_parser("analyze", help="run the full analysis and print the report")
-    analyze.add_argument("--corpus", required=True)
+    _add_corpus_source(analyze)
     analyze.add_argument("--no-table1", action="store_true", help="skip the Table I computation")
+    _add_session_flags(analyze)
 
     figures = sub.add_parser("figures", help="regenerate Figures 1-6")
-    figures.add_argument("--corpus", required=True)
+    _add_corpus_source(figures)
     figures.add_argument("--output", required=True, help="directory for SVG/CSV figure files")
+    _add_session_flags(figures)
 
     sub.add_parser("table1", help="print the Table I comparison")
 
@@ -62,13 +119,16 @@ def build_parser() -> argparse.ArgumentParser:
     csub = campaign.add_subparsers(dest="campaign_command", required=True)
     crun = csub.add_parser("run", help="expand a spec and execute missing units")
     crun.add_argument("--spec", required=True, help="JSON campaign spec file")
-    crun.add_argument("--store", required=True, help="campaign store directory")
+    crun.add_argument("--store", default=None,
+                      help="campaign store directory (default: placed in the "
+                           "session workspace, keyed by spec content)")
     crun.add_argument("--csv", help="also write the campaign frame to this CSV file")
     crun.add_argument("--max-units", type=int, default=None,
                       help="bound on new simulations this invocation (smoke runs)")
     crun.add_argument("--no-batch", action="store_true",
                       help="force the scalar per-unit simulator instead of the "
                            "vectorized batch kernel")
+    _add_session_flags(crun)
     cresume = csub.add_parser(
         "resume", help="continue an interrupted campaign from its store"
     )
@@ -78,79 +138,99 @@ def build_parser() -> argparse.ArgumentParser:
     cresume.add_argument("--no-batch", action="store_true",
                          help="force the scalar per-unit simulator instead of the "
                               "vectorized batch kernel")
+    _add_session_flags(cresume)
     cstatus = csub.add_parser("status", help="report campaign progress")
     cstatus.add_argument("--store", required=True)
     return parser
 
 
-def _parallel(args: argparse.Namespace) -> ParallelConfig:
-    if args.jobs and args.jobs > 1:
-        return ParallelConfig(max_workers=args.jobs, backend="process")
-    return ParallelConfig(backend="serial")
+def _open_session(args: argparse.Namespace):
+    """The session behind this invocation (policy from --jobs/--no-batch)."""
+    from ..session.policy import ExecutionPolicy
+    from ..session.session import Session
+
+    policy = ExecutionPolicy.from_jobs(
+        args.jobs, batch=not getattr(args, "no_batch", False)
+    )
+    return Session(workspace=args.workspace, policy=policy)
+
+
+def _dataset(session, args: argparse.Namespace):
+    """The dataset handle a corpus-reading command operates on."""
+    if args.corpus is not None:
+        return session.dataset(corpus=args.corpus)
+    return session.dataset(runs=args.runs, seed=args.seed)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
-    if args.command == "generate":
-        from ..reportgen import generate_corpus_files
+    with _open_session(args) as session:
+        return _dispatch(session, args)
 
-        report = generate_corpus_files(
-            args.output, total_parsed_runs=args.runs, seed=args.seed,
-            parallel=_parallel(args),
-        )
+
+def _dispatch(session, args: argparse.Namespace) -> int:
+    if args.command == "generate":
+        report = session.corpus(
+            runs=args.runs, seed=args.seed, directory=args.output
+        ).result()
         print(report.describe())
         return 0
 
     if args.command == "parse":
-        from ..core.dataset import load_runs
-        from ..parser import parse_directory
-
-        report = parse_directory(args.corpus, parallel=_parallel(args))
-        print(report.describe())
-        frame = load_runs(args.corpus, parallel=_parallel(args))
+        dataset = _dataset(session, args)
+        frame = dataset.result()
+        print(dataset.summary().describe())
         frame.to_csv(args.output)
         print(f"wrote {len(frame)} runs x {len(frame.columns)} columns to {args.output}")
         return 0
 
     if args.command == "analyze":
-        from ..api import analyze, load_dataset
-
-        runs = load_dataset(args.corpus, parallel=_parallel(args))
-        result = analyze(runs, include_table1=not args.no_table1)
+        result = session.analysis(
+            _dataset(session, args), table1=not args.no_table1
+        ).result()
         print(result.summary())
         return 0
 
     if args.command == "figures":
-        from ..api import analyze, load_dataset
-
-        runs = load_dataset(args.corpus, parallel=_parallel(args))
-        result = analyze(runs, include_table1=False, include_figures=True)
+        result = session.analysis(
+            _dataset(session, args), table1=False, figures=True
+        ).result()
         written = result.save_figures(args.output)
         for path in written:
             print(f"wrote {path}")
         return 0
 
     if args.command == "campaign":
-        from ..campaign import CampaignSpec, CampaignStore, resume_campaign, run_campaign
         from ..errors import CampaignError
 
         # A missing or corrupt store is an operator mistake, not a crash:
         # report it as one line on stderr instead of a traceback.
         try:
             if args.campaign_command == "status":
+                from ..campaign import CampaignStore
+
                 print(CampaignStore(args.store).status().describe())
                 return 0
             if args.campaign_command == "run":
-                spec = CampaignSpec.from_json_file(args.spec)
-                result = run_campaign(
-                    spec, args.store, parallel=_parallel(args),
-                    max_units=args.max_units, batch=not args.no_batch,
+                if args.store is None and args.workspace is None:
+                    print(
+                        "error: campaign run needs --store or --workspace "
+                        "(an ephemeral workspace would discard the store on exit)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                handle = session.campaign(
+                    args.spec, store=args.store, max_units=args.max_units
                 )
+                result = handle.result()
             else:  # resume
+                from ..campaign import resume_campaign
+
                 result = resume_campaign(
-                    args.store, parallel=_parallel(args),
-                    max_units=args.max_units, batch=not args.no_batch,
+                    args.store,
+                    max_units=args.max_units,
+                    policy=session.policy,
                 )
         except CampaignError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -165,9 +245,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if not result.failures else 2
 
     if args.command == "table1":
-        from ..core.tables import table1
-
-        for row in table1():
+        for row in session.table1():
             print(
                 f"{row.benchmark:18s} {row.system:24s} {row.cpu_model:28s} "
                 f"result {row.result:>10.1f} factor {row.factor:.2f} "

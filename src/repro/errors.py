@@ -22,7 +22,9 @@ __all__ = [
     "ModelError",
     "CatalogError",
     "SimulationError",
+    "ArtifactError",
     "CampaignError",
+    "SessionError",
     "ReportError",
     "PlotError",
     "AnalysisError",
@@ -90,8 +92,16 @@ class SimulationError(ReproError):
     """The benchmark simulation could not be carried out."""
 
 
+class ArtifactError(ReproError):
+    """Malformed key or unreadable entry in a content-addressed store."""
+
+
 class CampaignError(ReproError):
     """Invalid campaign specification or unusable campaign store."""
+
+
+class SessionError(ReproError):
+    """Invalid session configuration or unusable workspace."""
 
 
 class ReportError(ReproError):

@@ -20,6 +20,7 @@ filter pipeline needs something to filter.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -375,7 +376,15 @@ class Catalog:
         return [e for e in earlier if newest - e.cpu.release.decimal_year <= 1.0]
 
 
+@lru_cache(maxsize=None)
 def default_catalog(include_filtered: bool = True) -> Catalog:
-    """The built-in 2005–2024 catalog used by the fleet sampler."""
+    """The built-in 2005–2024 catalog used by the fleet sampler.
+
+    Built once per process and shared: entries are frozen and the catalog
+    is never mutated (extension goes through a *new* ``Catalog``, see
+    :meth:`repro.session.Session.register_platform`), so callers that
+    construct a director or worker per plan don't pay the entry-profile
+    interpolation repeatedly.
+    """
     rows = _SERVER_PARTS + (_FILTERED_PARTS if include_filtered else ())
     return Catalog(_build_entry(row) for row in rows)

@@ -42,17 +42,18 @@ class CorpusGenerationReport:
 
 
 # Module-level worker so the process-pool backend can pickle it.
-_WORKER_STATE: dict = {}
+def _render_plan(
+    args: tuple[SystemPlan, int, SimulationOptions, Catalog | None],
+) -> tuple[str, str]:
+    """Simulate one plan and return ``(file_name, report_text)``.
 
-
-def _init_worker_state(catalog: Catalog, options: SimulationOptions, seed: int) -> None:
-    _WORKER_STATE["director"] = RunDirector(catalog=catalog, options=options, corpus_seed=seed)
-
-
-def _render_plan(args: tuple[SystemPlan, int, SimulationOptions]) -> tuple[str, str]:
-    """Simulate one plan and return ``(file_name, report_text)``."""
-    plan, seed, options = args
-    director = RunDirector(options=options, corpus_seed=seed)
+    ``catalog`` travels inside the payload only for non-default catalogs;
+    ``None`` keeps payloads small for the common case.
+    """
+    plan, seed, options, catalog = args
+    director = RunDirector(
+        catalog=catalog or default_catalog(), options=options, corpus_seed=seed
+    )
     result = director.run(plan)
     return plan.file_name, render_report(result)
 
@@ -73,6 +74,9 @@ class CorpusWriter:
     ):
         self.output_dir = Path(output_dir)
         self.seed = seed
+        # ``None`` when the default catalog is in use: the worker payloads
+        # then ship no catalog and each worker rebuilds the default locally.
+        self._custom_catalog = catalog
         self.catalog = catalog or default_catalog()
         self.options = options or SimulationOptions()
         self.parallel = parallel or ParallelConfig(backend="serial")
@@ -91,7 +95,10 @@ class CorpusWriter:
         """Simulate every plan and write one ``.txt`` report per submission."""
         fleet = fleet or self.plan()
         self.output_dir.mkdir(parents=True, exist_ok=True)
-        work = [(plan, self.seed, self.options) for plan in fleet.systems]
+        work = [
+            (plan, self.seed, self.options, self._custom_catalog)
+            for plan in fleet.systems
+        ]
         rendered = parallel_map(_render_plan, work, config=self.parallel)
         for file_name, text in rendered:
             path = self.output_dir / file_name
@@ -111,6 +118,7 @@ def generate_corpus_files(
     seed: int = 2024,
     parallel: ParallelConfig | None = None,
     options: SimulationOptions | None = None,
+    catalog: Catalog | None = None,
 ) -> CorpusGenerationReport:
     """Generate a full synthetic corpus with default market settings."""
     if total_parsed_runs < 30:
@@ -119,6 +127,7 @@ def generate_corpus_files(
         output_dir,
         total_parsed_runs=total_parsed_runs,
         seed=seed,
+        catalog=catalog,
         parallel=parallel,
         options=options,
     )

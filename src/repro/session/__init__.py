@@ -1,0 +1,82 @@
+"""Session layer: one composable, cached entry point for every pipeline stage.
+
+* :class:`Session` — owns a workspace, an :class:`ArtifactStore` and an
+  :class:`ExecutionPolicy`; exposes the pipeline as lazy, content-hash-cached
+  stage methods (``corpus``/``dataset``/``analysis``/``campaign``) plus the
+  extension registries for new platforms, workloads and analyses.
+* :class:`ExecutionPolicy` — serial / thread / process / batch-kernel
+  execution, subsuming :class:`repro.parallel.ParallelConfig` + the
+  campaign ``batch=`` flag.
+* :class:`ArtifactStore` and the digest helpers — generalised
+  content-addressed storage (the campaign result cache is one instance).
+* The typed handles (:class:`CorpusHandle`, :class:`DatasetHandle`,
+  :class:`AnalysisHandle`, :class:`CampaignHandle`) returned by the stages.
+
+Attributes resolve lazily (PEP 562) so that low-level consumers — the
+campaign cache imports :mod:`repro.session.artifacts` — never drag the full
+session machinery (and its pipeline imports) into their import graph.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "Session",
+    "ExecutionPolicy",
+    "ArtifactStore",
+    "digest_json",
+    "digest_tree",
+    "AnalysisResult",
+    "ArtifactHandle",
+    "CorpusHandle",
+    "DatasetHandle",
+    "DatasetSummary",
+    "AnalysisHandle",
+    "CampaignHandle",
+]
+
+if TYPE_CHECKING:
+    from .artifacts import ArtifactStore, digest_json, digest_tree
+    from .handles import (
+        AnalysisHandle,
+        AnalysisResult,
+        ArtifactHandle,
+        CampaignHandle,
+        CorpusHandle,
+        DatasetHandle,
+        DatasetSummary,
+    )
+    from .policy import ExecutionPolicy
+    from .session import Session
+
+_EXPORTS = {
+    "Session": "session",
+    "ExecutionPolicy": "policy",
+    "ArtifactStore": "artifacts",
+    "digest_json": "artifacts",
+    "digest_tree": "artifacts",
+    "AnalysisResult": "handles",
+    "ArtifactHandle": "handles",
+    "CorpusHandle": "handles",
+    "DatasetHandle": "handles",
+    "DatasetSummary": "handles",
+    "AnalysisHandle": "handles",
+    "CampaignHandle": "handles",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value          # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

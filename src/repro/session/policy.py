@@ -1,0 +1,130 @@
+"""Execution policies: how a session turns work into CPU time.
+
+:class:`ExecutionPolicy` subsumes the two knobs the pipeline used to expose
+separately — the :class:`~repro.parallel.ParallelConfig` worker pool and the
+campaign runner's ``batch=`` flag selecting the vectorized simulation
+kernel — behind one declarative object:
+
+==========  =============================  ================================
+mode        worker pool                    simulation kernel (``auto``)
+==========  =============================  ================================
+``batch``   serial (in-process)            vectorized :class:`BatchDirector`
+``serial``  serial (in-process)            scalar :class:`RunDirector`
+``thread``  thread pool                    vectorized per worker chunk
+``process`` process pool                   vectorized per worker chunk
+==========  =============================  ================================
+
+``kernel`` overrides the last column (``"batch"`` / ``"scalar"``) when a
+fidelity study needs the scalar path under a pool, or vice versa.  The
+default policy — ``ExecutionPolicy()`` — reproduces the pipeline's historic
+defaults: serial dispatch, vectorized campaign kernel.
+
+A policy describes *how* results are computed, never *what* they are: batch
+and scalar kernels are bit-for-bit identical (pinned by the batch-simulator
+equivalence tests), so policies are deliberately excluded from artifact
+content hashes — switching executors never invalidates a cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SessionError
+from ..parallel import ParallelConfig
+
+__all__ = ["ExecutionPolicy"]
+
+_MODES = ("serial", "thread", "process", "batch")
+_KERNELS = ("auto", "batch", "scalar")
+
+_BACKENDS = {"serial": "serial", "batch": "serial", "thread": "thread", "process": "process"}
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a :class:`~repro.session.Session` executes its stages.
+
+    Attributes
+    ----------
+    mode:
+        ``"batch"`` (default), ``"serial"``, ``"thread"`` or ``"process"``.
+    workers:
+        Pool size for ``thread``/``process`` modes; ``None`` uses
+        ``os.cpu_count()``.  Ignored by the serial modes.
+    chunk_size:
+        Items handed to a worker per task (amortises IPC cost).
+    kernel:
+        ``"auto"`` (default; see the table above), ``"batch"`` or
+        ``"scalar"`` — the simulation kernel campaigns run on.
+    serial_threshold:
+        Inputs up to this size run serially even under a pool mode
+        (``None`` uses the :class:`ParallelConfig` default; ``0`` forces
+        pool dispatch for any input size).
+    """
+
+    mode: str = "batch"
+    workers: int | None = None
+    chunk_size: int = 32
+    kernel: str = "auto"
+    serial_threshold: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise SessionError(
+                f"unknown execution mode {self.mode!r}; valid modes: {_MODES}"
+            )
+        if self.kernel not in _KERNELS:
+            raise SessionError(
+                f"unknown kernel {self.kernel!r}; valid kernels: {_KERNELS}"
+            )
+        if self.workers is not None and self.workers < 0:
+            raise SessionError("workers must be >= 0")
+        if self.chunk_size < 1:
+            raise SessionError("chunk_size must be >= 1")
+        if self.serial_threshold is not None and self.serial_threshold < 0:
+            raise SessionError("serial_threshold must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    def parallel_config(self) -> ParallelConfig:
+        """The equivalent worker-pool configuration."""
+        kwargs = {}
+        if self.serial_threshold is not None:
+            kwargs["serial_threshold"] = self.serial_threshold
+        return ParallelConfig(
+            max_workers=self.workers,
+            backend=_BACKENDS[self.mode],
+            chunk_size=self.chunk_size,
+            **kwargs,
+        )
+
+    @property
+    def use_batch_kernel(self) -> bool:
+        """Whether campaigns simulate through the vectorized kernel."""
+        if self.kernel != "auto":
+            return self.kernel == "batch"
+        return self.mode != "serial"
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_parallel(
+        cls, config: ParallelConfig | None, batch: bool = True
+    ) -> "ExecutionPolicy":
+        """Adapt a legacy ``(ParallelConfig, batch=)`` pair to a policy."""
+        kernel = "batch" if batch else "scalar"
+        if config is None or config.backend == "serial" or config.effective_workers <= 1:
+            return cls(mode="batch" if batch else "serial", kernel=kernel)
+        return cls(
+            mode=config.backend,
+            workers=config.max_workers,
+            chunk_size=config.chunk_size,
+            kernel=kernel,
+            serial_threshold=config.serial_threshold,
+        )
+
+    @classmethod
+    def from_jobs(cls, jobs: int | None, batch: bool = True) -> "ExecutionPolicy":
+        """The policy behind a CLI ``--jobs N`` flag."""
+        kernel = "batch" if batch else "scalar"
+        if jobs and jobs > 1:
+            return cls(mode="process", workers=jobs, kernel=kernel)
+        return cls(mode="batch" if batch else "serial", kernel=kernel)

@@ -29,7 +29,7 @@ from .transactions import TransactionType, TransactionMix, DEFAULT_MIX
 from .workload import WorkloadEngine, WorkloadStats
 from .calibration import CalibrationResult, calibrate
 from .measurement import PowerAnalyzer, MeasurementInterval, BatchPowerAnalyzer
-from .director import RunDirector, SimulationOptions
+from .director import WORKLOAD_PRESETS, RunDirector, SimulationOptions
 from .batch import BatchDirector
 from .result import RunResult, LoadLevelResult
 
@@ -46,6 +46,7 @@ __all__ = [
     "BatchPowerAnalyzer",
     "RunDirector",
     "SimulationOptions",
+    "WORKLOAD_PRESETS",
     "BatchDirector",
     "RunResult",
     "LoadLevelResult",

@@ -32,7 +32,7 @@ from .measurement import PowerAnalyzer
 from .result import LoadLevelResult, RunResult
 from .workload import WorkloadEngine
 
-__all__ = ["SimulationOptions", "RunDirector"]
+__all__ = ["SimulationOptions", "RunDirector", "WORKLOAD_PRESETS"]
 
 
 @dataclass(frozen=True)
@@ -90,6 +90,21 @@ class SimulationOptions:
         if self.load_levels is None:
             return STANDARD_LOAD_LEVELS
         return tuple(sorted(self.load_levels, reverse=True))
+
+
+#: Named option bundles for the common scenario families.  The session
+#: workload registry (:meth:`repro.session.Session.register_workload`) is
+#: seeded from these; new families plug in there without touching this
+#: module.  ``fast`` trades per-level resolution for throughput with a
+#: shortened load ladder; ``noise-free`` makes runs exactly reproducible
+#: from the server model alone; ``event`` selects the fine-grained
+#: event-driven workload engine.
+WORKLOAD_PRESETS: dict[str, SimulationOptions] = {
+    "default": SimulationOptions(),
+    "fast": SimulationOptions(load_levels=(1.0, 0.7, 0.5, 0.2, 0.1, 0.0)),
+    "noise-free": SimulationOptions(measurement_noise=False),
+    "event": SimulationOptions(fidelity="event"),
+}
 
 
 def _seed_from(run_id: str, seed: int) -> int:

@@ -1,0 +1,156 @@
+"""CLI dispatch, exit codes and session-workspace behaviour of ``spectrends``.
+
+The happy-path commands are also covered by the integration suite; this
+module pins the contract the shell sees — argument wiring, return codes
+(success 0, operator mistakes 2) and the ``--workspace`` caching semantics.
+"""
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+RUNS = 40
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def spec_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("specs") / "sweep.json"
+    path.write_text(json.dumps({
+        "name": "cli-sweep",
+        "sweep": {"cpu_model": ["Xeon X5670"], "seed": [1, 2]},
+        "base": {"load_levels": [1.0, 0.5, 0.2, 0.1, 0.0]},
+    }))
+    return str(path)
+
+
+class TestParser:
+    def test_workspace_flag_accepted_before_and_after_command(self):
+        parser = build_parser()
+        before = parser.parse_args(["--workspace", "ws", "analyze"])
+        after = parser.parse_args(["analyze", "--workspace", "ws"])
+        assert before.workspace == after.workspace == "ws"
+        neither = parser.parse_args(["analyze"])
+        assert neither.workspace is None
+
+    def test_jobs_flag_positions(self):
+        parser = build_parser()
+        assert parser.parse_args(["--jobs", "4", "table1"]).jobs == 4
+        assert parser.parse_args(["parse", "--jobs", "2", "--output", "x"]).jobs == 2
+        assert parser.parse_args(["table1"]).jobs == 1
+
+    def test_corpus_source_flags(self):
+        args = build_parser().parse_args(["analyze", "--runs", "50", "--seed", "7"])
+        assert args.corpus is None and args.runs == 50 and args.seed == 7
+
+
+class TestExitCodes:
+    def test_generate_and_parse_success(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        assert main(["generate", "--output", str(corpus),
+                     "--runs", str(RUNS), "--seed", str(SEED)]) == 0
+        assert "report files" in capsys.readouterr().out
+        csv = tmp_path / "runs.csv"
+        assert main(["parse", "--corpus", str(corpus), "--output", str(csv)]) == 0
+        assert csv.exists()
+
+    def test_parse_with_implied_generation_uses_seed(self, tmp_path, capsys):
+        # No --corpus: the corpus is generated through the session from
+        # --runs/--seed, inside the given workspace.
+        ws = tmp_path / "ws"
+        csv = tmp_path / "runs.csv"
+        assert main(["parse", "--workspace", str(ws), "--runs", str(RUNS),
+                     "--seed", "11", "--output", str(csv)]) == 0
+        out = capsys.readouterr().out
+        assert "parsed" in out and csv.exists()
+        assert any((ws / "corpora").iterdir())
+
+    def test_campaign_run_and_status_roundtrip(self, tmp_path, spec_file, capsys):
+        store = tmp_path / "store"
+        assert main(["campaign", "run", "--spec", spec_file,
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "2 simulated" in out
+        assert main(["campaign", "status", "--store", str(store)]) == 0
+        assert "2/2 units completed" in capsys.readouterr().out
+        assert main(["campaign", "resume", "--store", str(store)]) == 0
+        assert "2 cached" in capsys.readouterr().out
+
+    def test_campaign_workspace_placement(self, tmp_path, spec_file, capsys):
+        ws = tmp_path / "ws"
+        assert main(["campaign", "run", "--spec", spec_file,
+                     "--workspace", str(ws)]) == 0
+        capsys.readouterr()
+        stores = list((ws / "campaigns").iterdir())
+        assert len(stores) == 1 and stores[0].name.startswith("cli-sweep-")
+
+    def test_campaign_run_without_store_or_workspace_is_an_error(
+        self, spec_file, capsys
+    ):
+        assert main(["campaign", "run", "--spec", spec_file]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_campaign_status_on_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["campaign", "status", "--store", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "spec.json" in err
+
+    def test_campaign_run_with_malformed_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["campaign", "run", "--spec", str(bad),
+                     "--store", str(tmp_path / "s")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_campaign_resume_on_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["campaign", "resume", "--store", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_command_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestWorkspaceCaching:
+    def test_second_analyze_skips_parsing(self, tmp_path, capsys, monkeypatch):
+        ws = tmp_path / "ws"
+        argv = ["analyze", "--workspace", str(ws), "--runs", str(RUNS),
+                "--seed", str(SEED), "--no-table1"]
+        assert main(argv) == 0
+        assert "Reproduction report" in capsys.readouterr().out
+
+        # Warm invocation: generation, parsing and simulation must not run.
+        import repro.parser
+        import repro.reportgen
+        from repro.simulator.director import RunDirector
+
+        def fail(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("recomputed despite a warm workspace")
+
+        monkeypatch.setattr(repro.parser, "parse_directory", fail)
+        monkeypatch.setattr(repro.reportgen, "generate_corpus_files", fail)
+        monkeypatch.setattr(RunDirector, "run", fail)
+        assert main(argv) == 0
+        assert "Reproduction report" in capsys.readouterr().out
+
+    def test_figures_reuse_workspace_dataset(self, tmp_path, capsys, monkeypatch):
+        ws = tmp_path / "ws"
+        assert main(["parse", "--workspace", str(ws), "--runs", str(RUNS),
+                     "--seed", str(SEED), "--output", str(tmp_path / "r.csv")]) == 0
+        capsys.readouterr()
+
+        import repro.parser
+
+        def fail(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("re-parsed despite a warm workspace")
+
+        monkeypatch.setattr(repro.parser, "parse_directory", fail)
+        out_dir = tmp_path / "figs"
+        assert main(["figures", "--workspace", str(ws), "--runs", str(RUNS),
+                     "--seed", str(SEED), "--output", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and any(out_dir.glob("*.svg"))
