@@ -3,10 +3,12 @@
 The session's headline number is the warm dataset reload: a second
 ``session.dataset()`` (or a second ``spectrends analyze --workspace``) over
 an unchanged corpus performs zero generation, zero parsing and zero
-simulation — it rebuilds the derived frame from the JSON rows persisted in
-the workspace store.  ``test_bench_session_warm_dataset`` is wired into the
-CI regression gate (``benchmarks/baseline.json``); the cold benchmark and
-the key-derivation micro-benchmark give the ratio context.
+simulation — it rebuilds the derived frame from the binary ``.npz``
+columnar sidecar persisted in the workspace store (typed arrays + validity
+masks; no JSON row decoding, no type inference).
+``test_bench_session_warm_dataset`` is wired into the CI regression gate
+(``benchmarks/baseline.json``); the cold benchmark and the key-derivation
+micro-benchmark give the ratio context.
 """
 
 from __future__ import annotations
@@ -32,7 +34,12 @@ def warm_workspace(tmp_path_factory):
 
 @pytest.mark.benchmark(group="session")
 def test_bench_session_cold_dataset(benchmark, tmp_path):
-    """Generate + parse + derive into a fresh workspace (the cold baseline)."""
+    """Derive a dataset into a fresh workspace (the cold baseline).
+
+    Cold now means the parse-bypass funnel: simulate the fleet through the
+    batch kernel and derive records directly — no report text is rendered,
+    written or regex-parsed.
+    """
     counter = {"i": 0}
 
     def cold():
@@ -50,7 +57,7 @@ def test_bench_session_warm_dataset(benchmark, warm_workspace):
 
     A fresh :class:`Session` per round keeps the in-process memo out of the
     measurement: the number is the on-disk warm path a new CLI invocation
-    takes, i.e. JSON rows -> frame -> derived columns.
+    takes, i.e. ``.npz`` sidecar -> typed columns -> frame.
     """
 
     def warm():

@@ -70,6 +70,12 @@ def _add_corpus_source(parser: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=2024,
         help="seed for the generated corpus when --corpus is omitted",
     )
+    parser.add_argument(
+        "--text-path", action="store_true",
+        help="derive the dataset through the full render->parse text "
+             "pipeline instead of the parse-bypass fast path (synthetic "
+             "corpora only; materialises the report files in the workspace)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,9 +163,10 @@ def _open_session(args: argparse.Namespace):
 
 def _dataset(session, args: argparse.Namespace):
     """The dataset handle a corpus-reading command operates on."""
+    text_path = getattr(args, "text_path", False)
     if args.corpus is not None:
-        return session.dataset(corpus=args.corpus)
-    return session.dataset(runs=args.runs, seed=args.seed)
+        return session.dataset(corpus=args.corpus, text_path=text_path)
+    return session.dataset(runs=args.runs, seed=args.seed, text_path=text_path)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -16,6 +16,7 @@ key arrays.
 """
 
 from .column import Column
+from .codes import default_engine
 from .frame import Frame, concat
 from .groupby import GroupBy, Aggregation
 from .join import join
@@ -27,6 +28,7 @@ __all__ = [
     "GroupBy",
     "Aggregation",
     "concat",
+    "default_engine",
     "join",
     "read_csv",
     "write_csv",

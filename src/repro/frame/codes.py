@@ -1,0 +1,198 @@
+"""Vectorized key factorization shared by :mod:`groupby` and :mod:`join`.
+
+Both group-by and hash joins reduce to the same primitive: turn one or more
+key columns into dense integer codes such that two rows carry the same code
+exactly when their keys are equal.  Once keys are integers, grouping is an
+``argsort`` plus segment boundaries and joining is a ``searchsorted`` — no
+per-row Python dispatch, no tuple hashing.
+
+Missing keys
+------------
+A key entry is *missing* when it is masked **or** (for float columns) is
+``NaN``.  The two kernels agree on one explicit policy:
+
+* **group-by** segregates missing keys: all rows whose key component is
+  missing land in one null bucket per key column (so ``(None,)`` is a single
+  group, and ``("a", None)`` is distinct from ``("a", "b")``);
+* **joins** follow SQL semantics: a missing key never matches anything, not
+  even another missing key.  Such rows surface as unmatched (kept and
+  null-filled by ``left``/``outer`` joins, dropped by ``inner``).
+
+The ``python`` reference engine implements the same policy with per-row
+loops; the Hypothesis equivalence suite drives random frames through both
+engines and requires identical output (values, masks, row order).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import FrameError
+
+__all__ = [
+    "ENGINES",
+    "default_engine",
+    "resolve_engine",
+    "key_missing_mask",
+    "group_codes",
+    "join_codes",
+]
+
+ENGINES = ("vector", "python")
+
+#: Largest combined-code space the arithmetic key combiner may address before
+#: falling back to row-wise ``np.unique(axis=0)`` (keeps int64 overflow-free).
+_MAX_COMBINED = 2**62
+
+
+def default_engine() -> str:
+    """The frame kernel engine used when none is requested explicitly.
+
+    ``REPRO_FRAME_ENGINE=python`` switches the whole process to the scalar
+    reference path (useful to bisect a suspected kernel bug in the field).
+    """
+    return os.environ.get("REPRO_FRAME_ENGINE", "vector")
+
+
+def resolve_engine(engine: str | None) -> str:
+    resolved = default_engine() if engine is None else engine
+    if resolved not in ENGINES:
+        raise FrameError(
+            f"unknown frame engine {resolved!r}; expected one of {ENGINES}"
+        )
+    return resolved
+
+
+def key_missing_mask(column) -> np.ndarray:
+    """True where a grouping/join key is missing (masked, or NaN for floats)."""
+    mask = column.mask
+    if column.kind == "float":
+        with np.errstate(invalid="ignore"):
+            mask = mask | np.isnan(column.values)
+    return mask
+
+
+def _unique_codes(values: np.ndarray, kind: str) -> tuple[np.ndarray, int]:
+    """Codes (equal value ⇔ equal code) and distinct count for non-missing values.
+
+    String columns factorize through one dict pass (first-appearance code
+    order): exact Python equality, unlike a cast to NumPy fixed-width
+    unicode, which strips trailing NUL codepoints and would silently merge
+    keys differing only in trailing ``"\\x00"``.  Codes carry no ordering
+    guarantee either way (see :func:`group_codes`).
+    """
+    if kind == "str":
+        table: dict = {}
+        codes = np.empty(len(values), dtype=np.int64)
+        for i, value in enumerate(values):
+            codes[i] = table.setdefault(value, len(table))
+        return codes, len(table)
+    uniques, inverse = np.unique(values, return_inverse=True)
+    return inverse.astype(np.int64, copy=False), len(uniques)
+
+
+def _combine_codes(per_column: list[np.ndarray], caps: list[int]) -> np.ndarray:
+    """Fold per-column codes (each in ``[0, cap)``) into one code per row."""
+    space = 1
+    for cap in caps:
+        space *= max(cap, 1)
+    if space <= _MAX_COMBINED:
+        combined = per_column[0].astype(np.int64, copy=True)
+        for codes, cap in zip(per_column[1:], caps[1:]):
+            combined *= cap
+            combined += codes
+        return combined
+    # Key space too large for arithmetic packing: compare rows directly.
+    stacked = np.stack(per_column, axis=1)
+    _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    return inverse.astype(np.int64, copy=False)
+
+
+def _column_codes(column) -> tuple[np.ndarray, int]:
+    """Factorize one key column: ``(codes, cap)`` with 0 as the null bucket.
+
+    Memoized on the column (columns are value-immutable, see
+    :class:`~repro.frame.column.Column`): grouping the same frame by the
+    same keys repeatedly — the normal shape of an analysis pipeline — pays
+    the ``np.unique`` factorization once.  The returned array is shared and
+    must not be written to (:func:`_combine_codes` copies before mutating).
+    """
+    memo = column._codes_memo
+    if memo is not None:
+        return memo
+    missing = key_missing_mask(column)
+    codes = np.zeros(len(column), dtype=np.int64)       # 0 = null bucket
+    valid = np.flatnonzero(~missing)
+    n_unique = 0
+    if len(valid) > 0:
+        inverse, n_unique = _unique_codes(column.values[valid], column.kind)
+        codes[valid] = inverse + 1
+    memo = (codes, n_unique + 1)
+    column._codes_memo = memo
+    return memo
+
+
+def group_codes(columns) -> np.ndarray:
+    """One int64 row code per row such that equal keys share a code.
+
+    Missing entries participate as a per-column null bucket, so the codes
+    partition rows exactly as the scalar tuple-key path does.  Codes carry
+    **no ordering guarantee** — callers that need first-appearance group
+    order derive it from a stable argsort of the codes (one sort yields the
+    segments, the per-group first rows and the appearance order at once).
+    """
+    per_column: list[np.ndarray] = []
+    caps: list[int] = []
+    for column in columns:
+        codes, cap = _column_codes(column)
+        per_column.append(codes)
+        caps.append(cap)
+    n = len(per_column[0])
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    return _combine_codes(per_column, caps)
+
+
+def join_codes(left_columns, right_columns) -> tuple[np.ndarray, np.ndarray] | None:
+    """Comparable row codes for the key columns of two frames.
+
+    Returns ``(left_codes, right_codes)`` where equal codes mean equal keys
+    and ``-1`` marks a row with at least one missing key component (which
+    must never match).  Returns ``None`` when a key column pair mixes kinds
+    (e.g. ``int`` vs ``str``): cross-kind equality follows Python semantics
+    the NumPy encoding cannot reproduce, so the caller falls back to the
+    ``python`` engine.
+    """
+    n_left = len(left_columns[0]) if left_columns else 0
+    per_column: list[np.ndarray] = []
+    caps: list[int] = []
+    any_missing = None
+    for left_col, right_col in zip(left_columns, right_columns):
+        if left_col.kind != right_col.kind:
+            return None
+        l_miss = key_missing_mask(left_col)
+        r_miss = key_missing_mask(right_col)
+        missing = np.concatenate([l_miss, r_miss])
+        codes = np.full(len(missing), -1, dtype=np.int64)
+        valid = np.flatnonzero(~missing)
+        n_unique = 0
+        if len(valid) > 0:
+            if left_col.kind == "str":
+                values = np.concatenate([
+                    np.asarray(left_col.values, dtype=object),
+                    np.asarray(right_col.values, dtype=object),
+                ])[valid]
+            else:
+                values = np.concatenate(
+                    [left_col.values, right_col.values]
+                )[valid]
+            inverse, n_unique = _unique_codes(values, left_col.kind)
+            codes[valid] = inverse
+        per_column.append(codes)
+        caps.append(max(n_unique, 1))
+        any_missing = missing if any_missing is None else (any_missing | missing)
+    combined = _combine_codes(per_column, caps)
+    combined[any_missing] = -1
+    return combined[:n_left], combined[n_left:]

@@ -34,26 +34,26 @@ _KINDS = ("float", "int", "bool", "str")
 
 
 def _infer_kind(values: Sequence[Any]) -> str:
-    """Infer the logical kind of a sequence of Python values."""
+    """Infer the logical kind of a sequence of Python values.
+
+    A single string (or other non-numeric object) forces ``"str"`` for the
+    whole column, so the scan stops at the first one instead of classifying
+    the remaining values for nothing.
+    """
     has_float = False
     has_int = False
     has_bool = False
-    has_str = False
     for value in values:
         if value is None:
             continue
-        if isinstance(value, bool) or isinstance(value, np.bool_):
+        if isinstance(value, (bool, np.bool_)):
             has_bool = True
         elif isinstance(value, (int, np.integer)):
             has_int = True
         elif isinstance(value, (float, np.floating)):
             has_float = True
-        elif isinstance(value, str):
-            has_str = True
         else:
-            has_str = True
-    if has_str:
-        return "str"
+            return "str"
     if has_float:
         return "float"
     if has_int:
@@ -74,9 +74,17 @@ def _is_missing(value: Any) -> bool:
 
 
 class Column:
-    """A 1-D typed column with an explicit missing-value mask."""
+    """A 1-D typed column with an explicit missing-value mask.
 
-    __slots__ = ("_values", "_mask", "_kind")
+    Columns are value-immutable by contract: every frame operation builds
+    new columns rather than writing into existing ones.  ``_codes_memo``
+    rides on that contract — it caches the key factorization
+    (:func:`repro.frame.codes.group_codes`) the first time a column is used
+    as a grouping key, so repeated group-bys over the same frame skip the
+    ``np.unique`` pass entirely.
+    """
+
+    __slots__ = ("_values", "_mask", "_kind", "_codes_memo")
 
     def __init__(self, values: np.ndarray, mask: np.ndarray, kind: str):
         if kind not in _KINDS:
@@ -86,6 +94,7 @@ class Column:
         self._values = values
         self._mask = mask.astype(bool, copy=False)
         self._kind = kind
+        self._codes_memo: "tuple | None" = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -99,8 +108,20 @@ class Column:
         """
         if isinstance(values, Column):
             return values if kind is None else values.astype(kind)
-        if isinstance(values, np.ndarray) and kind is None:
-            return cls.from_numpy(values)
+        if isinstance(values, np.ndarray):
+            # A typed NumPy array already knows its kind: skip the per-value
+            # Python inference scan entirely.  With an explicit matching
+            # ``kind`` the conversion is likewise pure array work; a
+            # *mismatched* kind falls through to the per-value loop, whose
+            # element-wise coercion semantics (truncation, overflow errors)
+            # are the documented behaviour.
+            if kind is None:
+                return cls.from_numpy(values)
+            # Unsigned arrays stay on the per-value loop: int(value) raises
+            # OverflowError past int64 range where astype would wrap.
+            natural = {"f": "float", "i": "int", "b": "bool"}.get(values.dtype.kind)
+            if natural == kind:
+                return cls.from_numpy(values)
         items = list(values)
         if kind is None:
             kind = _infer_kind(items)

@@ -282,18 +282,28 @@ class Frame:
     # ------------------------------------------------------------------ #
     # Aggregation entry points (implemented in groupby.py / join.py)
     # ------------------------------------------------------------------ #
-    def groupby(self, keys: Sequence[str] | str):
-        """Group rows by one or more key columns; see :class:`GroupBy`."""
+    def groupby(self, keys: Sequence[str] | str, engine: str | None = None):
+        """Group rows by one or more key columns; see :class:`GroupBy`.
+
+        ``engine`` selects the grouping kernel: ``"vector"`` (default) or
+        the scalar ``"python"`` reference path.
+        """
         from .groupby import GroupBy
 
         if isinstance(keys, str):
             keys = [keys]
-        return GroupBy(self, list(keys))
+        return GroupBy(self, list(keys), engine=engine)
 
-    def join(self, other: "Frame", on: Sequence[str] | str, how: str = "inner") -> "Frame":
+    def join(
+        self,
+        other: "Frame",
+        on: Sequence[str] | str,
+        how: str = "inner",
+        engine: str | None = None,
+    ) -> "Frame":
         from .join import join as _join
 
-        return _join(self, other, on=on, how=how)
+        return _join(self, other, on=on, how=how, engine=engine)
 
     def value_counts(self, name: str) -> "Frame":
         """Frequency table of a column, ordered by descending count."""

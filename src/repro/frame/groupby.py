@@ -1,4 +1,28 @@
-"""Group-by aggregation for :class:`repro.frame.Frame`."""
+"""Group-by aggregation for :class:`repro.frame.Frame`.
+
+Two interchangeable engines build the grouping:
+
+``"vector"`` (default)
+    Key columns are factorized into dense integer codes
+    (:mod:`repro.frame.codes`), codes are combined arithmetically, and one
+    stable ``argsort`` turns the frame into contiguous per-group segments.
+    Aggregations then run on NumPy slices of those segments — the same
+    reduction, over the same values in the same (original row) order, as the
+    scalar path, which keeps results bit-identical; pure counting kernels
+    (``size``/``count``) use segment reductions (``np.diff`` /
+    ``np.add.reduceat``) where exactness is order-independent.
+
+``"python"``
+    The scalar reference: per-row tuple keys into dict buckets.  Kept
+    selectable (``engine="python"`` or ``REPRO_FRAME_ENGINE=python``) as the
+    semantic oracle for the Hypothesis equivalence suite.
+
+Missing key entries (masked, or NaN in float columns) are segregated into a
+per-column null bucket — they group together, never with a real value (the
+int sentinel 0 and float NaN payloads in the backing arrays are ignored).
+Group order is the order of first appearance of each key, which keeps
+results deterministic.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +33,7 @@ import numpy as np
 
 from ..errors import GroupByError
 from .column import Column
+from .codes import group_codes, key_missing_mask, resolve_engine
 from .frame import Frame
 
 __all__ = ["GroupBy", "Aggregation", "AGGREGATIONS"]
@@ -84,6 +109,23 @@ AGGREGATIONS: dict[str, Callable[[Column], Any]] = {
 }
 
 
+#: Segment kernels for the numeric built-ins: each applies the *same* NumPy
+#: reduction :class:`Column` applies to the same valid-values array, so the
+#: results are bit-identical to the scalar reference (see
+#: ``GroupBy._agg_segments``).  ``first``/``last`` read row 0 / row -1 of the
+#: segment exactly as ``Column.__getitem__`` would.
+_NUMERIC_KERNELS: dict[str, Callable[[np.ndarray], Any]] = {
+    "mean": lambda v: float(v.mean()) if len(v) else float("nan"),
+    "sum": lambda v: float(v.sum()) if len(v) else 0.0,
+    "min": lambda v: float(v.min()) if len(v) else None,
+    "max": lambda v: float(v.max()) if len(v) else None,
+    "std": lambda v: float(v.std(ddof=1)) if len(v) > 1 else float("nan"),
+    "median": lambda v: float(np.median(v)) if len(v) else float("nan"),
+    "q25": lambda v: float(np.quantile(v, 0.25)) if len(v) else float("nan"),
+    "q75": lambda v: float(np.quantile(v, 0.75)) if len(v) else float("nan"),
+}
+
+
 @dataclass(frozen=True)
 class Aggregation:
     """A single output column of a group-by: ``source`` column + function.
@@ -112,10 +154,11 @@ class GroupBy:
 
     Groups are materialised as index arrays; aggregation and ``apply`` both
     reuse them.  Group order is the order of first appearance of each key,
-    which keeps results deterministic.
+    which keeps results deterministic.  ``engine`` selects the grouping
+    kernel (``"vector"`` / ``"python"``; ``None`` uses the process default).
     """
 
-    def __init__(self, frame: Frame, keys: Sequence[str]):
+    def __init__(self, frame: Frame, keys: Sequence[str], engine: str | None = None):
         if not keys:
             raise GroupByError("at least one grouping key is required")
         missing = [key for key in keys if key not in frame]
@@ -123,16 +166,37 @@ class GroupBy:
             raise GroupByError(f"unknown grouping columns: {missing}")
         self._frame = frame
         self._keys = list(keys)
+        self._engine = resolve_engine(engine)
         self._group_keys: list[tuple] = []
         self._group_indices: list[np.ndarray] = []
-        self._build()
+        # Segment layout of the vector engine (None on the python path):
+        # ``_order`` stably sorts rows by key code, so group ``g`` (in
+        # first-appearance order) occupies ``_order[_starts[g]:_ends[g]]``
+        # with original row order intact.
+        self._order: np.ndarray | None = None
+        self._starts: np.ndarray | None = None
+        self._ends: np.ndarray | None = None
+        self._sorted_starts: np.ndarray | None = None
+        self._appearance: np.ndarray | None = None
+        if self._engine == "python":
+            self._build_python()
+        else:
+            self._build_vector()
 
-    def _build(self) -> None:
-        key_columns = [self._frame[key] for key in self._keys]
+    # ------------------------------------------------------------------ #
+    def _key_columns(self) -> list[Column]:
+        return [self._frame[key] for key in self._keys]
+
+    def _build_python(self) -> None:
+        key_columns = self._key_columns()
+        missing_masks = [key_missing_mask(column) for column in key_columns]
         buckets: dict[tuple, list[int]] = {}
         order: list[tuple] = []
         for i in range(len(self._frame)):
-            key = tuple(column[i] for column in key_columns)
+            key = tuple(
+                None if missing[i] else column[i]
+                for column, missing in zip(key_columns, missing_masks)
+            )
             if key not in buckets:
                 buckets[key] = []
                 order.append(key)
@@ -140,10 +204,50 @@ class GroupBy:
         self._group_keys = order
         self._group_indices = [np.asarray(buckets[key], dtype=np.int64) for key in order]
 
+    def _build_vector(self) -> None:
+        key_columns = self._key_columns()
+        codes = group_codes(key_columns)
+        order = np.argsort(codes, kind="stable")
+        if len(codes) == 0:
+            self._order = order
+            self._starts = np.empty(0, dtype=np.int64)
+            self._ends = np.empty(0, dtype=np.int64)
+            self._sorted_starts = np.empty(0, dtype=np.int64)
+            self._appearance = np.empty(0, dtype=np.int64)
+            return
+        sorted_codes = codes[order]
+        starts = np.flatnonzero(np.r_[True, sorted_codes[1:] != sorted_codes[:-1]])
+        ends = np.append(starts[1:], len(codes))
+        # The stable sort makes ``order[start]`` each group's first original
+        # row; sorting groups by it yields first-appearance group order.
+        firsts = order[starts]
+        appearance = np.argsort(firsts, kind="stable")
+        self._order = order
+        self._sorted_starts = starts
+        self._appearance = appearance
+        self._starts = starts[appearance]
+        self._ends = ends[appearance]
+        self._group_indices = [
+            order[s:e] for s, e in zip(self._starts, self._ends)
+        ]
+        missing_masks = [key_missing_mask(column) for column in key_columns]
+        self._group_keys = [
+            tuple(
+                None if missing[i] else column[i]
+                for column, missing in zip(key_columns, missing_masks)
+            )
+            for i in firsts[appearance]
+        ]
+
     # ------------------------------------------------------------------ #
     @property
     def keys(self) -> list[str]:
         return list(self._keys)
+
+    @property
+    def engine(self) -> str:
+        """The grouping kernel this instance was built with."""
+        return self._engine
 
     @property
     def ngroups(self) -> int:
@@ -168,13 +272,10 @@ class GroupBy:
         return self.agg({"count": Aggregation(self._keys[0], "size")})
 
     # ------------------------------------------------------------------ #
-    def agg(self, spec: Mapping[str, Aggregation | tuple | str]) -> Frame:
-        """Aggregate each group.
-
-        ``spec`` maps output column names to either an :class:`Aggregation`,
-        a ``(source_column, func)`` tuple, or a bare function name (applied
-        to the column with the same name as the output).
-        """
+    @staticmethod
+    def _normalise_spec(
+        spec: Mapping[str, "Aggregation | tuple | str"],
+    ) -> dict[str, Aggregation]:
         normalised: dict[str, Aggregation] = {}
         for out_name, agg in spec.items():
             if isinstance(agg, Aggregation):
@@ -185,24 +286,113 @@ class GroupBy:
                 normalised[out_name] = Aggregation(out_name, agg)
             else:
                 raise GroupByError(f"invalid aggregation spec for {out_name!r}: {agg!r}")
+        return normalised
+
+    def agg(self, spec: Mapping[str, Aggregation | tuple | str]) -> Frame:
+        """Aggregate each group.
+
+        ``spec`` maps output column names to either an :class:`Aggregation`,
+        a ``(source_column, func)`` tuple, or a bare function name (applied
+        to the column with the same name as the output).
+        """
+        normalised = self._normalise_spec(spec)
         for out_name, agg in normalised.items():
             if agg.source not in self._frame:
                 raise GroupByError(
                     f"aggregation {out_name!r} references unknown column {agg.source!r}"
                 )
 
-        data: dict[str, list] = {key: [] for key in self._keys}
-        for out_name in normalised:
-            data[out_name] = []
-        for key, indices in zip(self._group_keys, self._group_indices):
-            for key_name, key_value in zip(self._keys, key):
-                data[key_name].append(key_value)
-            sub = self._frame.take(indices)
-            for out_name, agg in normalised.items():
-                func = agg.resolve()
-                value = func(sub[agg.source])
-                data[out_name].append(value)
+        data: dict[str, Any] = {key: [] for key in self._keys}
+        if self._group_keys:
+            for key, values in zip(self._keys, zip(*self._group_keys)):
+                data[key] = list(values)
+        if self._order is not None:
+            computed = self._agg_vector(normalised)
+            for out_name in normalised:
+                value = computed[out_name]
+                # Lists, not arrays, into from_dict: both engines then build
+                # the output identically (down to the empty-input kind
+                # inference), keeping them interchangeable frame-for-frame.
+                data[out_name] = (
+                    value.tolist() if isinstance(value, np.ndarray) else value
+                )
+        else:
+            for out_name in normalised:
+                data[out_name] = []
+            for indices in self._group_indices:
+                sub = self._frame.take(indices)
+                for out_name, agg in normalised.items():
+                    func = agg.resolve()
+                    data[out_name].append(func(sub[agg.source]))
         return Frame.from_dict(data)
+
+    def _agg_vector(self, normalised: dict[str, Aggregation]) -> dict[str, Any]:
+        """All aggregations over the contiguous per-group segments.
+
+        The stable sort preserved original row order inside each group, so a
+        segment holds exactly the rows (and row order) the scalar path's
+        ``frame.take(indices)`` would produce — every reduction below applies
+        the same NumPy call to the same array as the scalar path, and is
+        therefore identical bit for bit.  Aggregations are grouped by source
+        column so the gather, the validity filtering and the float
+        conversion are paid once per source, not once per output.
+        """
+        starts, ends = self._starts, self._ends
+        out: dict[str, Any] = {}
+        by_source: dict[str, list[tuple[str, Aggregation]]] = {}
+        for out_name, agg in normalised.items():
+            by_source.setdefault(agg.source, []).append((out_name, agg))
+        for source, items in by_source.items():
+            column = self._frame[source]
+            kind = column.kind
+            sorted_values = sorted_mask = sorted_float = None
+            valid_segments: list[np.ndarray] | None = None
+            for out_name, agg in items:
+                if agg.func == "size":
+                    out[out_name] = ends - starts
+                    continue
+                if sorted_mask is None:
+                    sorted_mask = column.mask[self._order]
+                if agg.func == "count":
+                    if len(starts) == 0:
+                        out[out_name] = np.empty(0, dtype=np.int64)
+                        continue
+                    counts = np.add.reduceat(
+                        (~sorted_mask).astype(np.int64), self._sorted_starts
+                    )
+                    out[out_name] = counts[self._appearance]
+                    continue
+                if (
+                    kind != "str"
+                    and isinstance(agg.func, str)
+                    and agg.func in _NUMERIC_KERNELS
+                ):
+                    if valid_segments is None:
+                        if sorted_float is None:
+                            sorted_float = column.values.astype(np.float64)[
+                                self._order
+                            ]
+                        drop_nan = kind == "float"
+                        valid_segments = []
+                        for s, e in zip(starts, ends):
+                            valid = sorted_float[s:e][~sorted_mask[s:e]]
+                            if drop_nan:
+                                valid = valid[~np.isnan(valid)]
+                            valid_segments.append(valid)
+                    kernel = _NUMERIC_KERNELS[agg.func]
+                    out[out_name] = [kernel(valid) for valid in valid_segments]
+                    continue
+                # Everything else (callables, string reductions, nunique,
+                # first/last, ...) runs on a per-group Column view over the
+                # contiguous segment.
+                func = agg.resolve()
+                if sorted_values is None:
+                    sorted_values = column.values[self._order]
+                out[out_name] = [
+                    func(Column(sorted_values[s:e], sorted_mask[s:e], kind))
+                    for s, e in zip(starts, ends)
+                ]
+        return out
 
     def apply(self, func: Callable[[Frame], Mapping[str, Any]]) -> Frame:
         """Apply ``func`` to each group's sub-frame.

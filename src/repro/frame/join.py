@@ -1,18 +1,57 @@
-"""Hash joins between frames."""
+"""Hash joins between frames.
+
+Two interchangeable engines:
+
+``"vector"`` (default)
+    Key columns of both frames are factorized jointly into integer codes
+    (:mod:`repro.frame.codes`); the right side is sorted once by code and
+    each left row finds its matches with a ``searchsorted`` range — the
+    whole join is NumPy index arithmetic, with output columns gathered by
+    fancy indexing instead of per-row Python appends.  Key column pairs
+    whose kinds differ (``int`` vs ``str``, say) fall back to the reference
+    engine, whose Python equality is the defined semantics for them.
+
+``"python"``
+    The scalar reference: the right frame indexed by key tuple, the left
+    frame scanned once.  Selectable via ``engine="python"`` or
+    ``REPRO_FRAME_ENGINE=python``; the Hypothesis equivalence suite holds
+    both engines to identical output.
+
+Missing keys (masked entries, or NaN in float key columns) follow SQL
+semantics in both engines: they never match, not even each other.  Left
+rows with a missing key behave like unmatched rows (kept and null-filled by
+``left``/``outer``, dropped by ``inner``); right rows with a missing key are
+only emitted by ``outer``, as right-only rows.
+"""
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from ..errors import JoinError
+from .codes import join_codes, key_missing_mask, resolve_engine
+from .column import Column
 from .frame import Frame
 
 __all__ = ["join"]
 
 _HOW = ("inner", "left", "outer")
 
+#: Backing-array fill for injected missing entries, per column kind.  Matches
+#: what ``Column.from_values`` stores for ``None`` so that engines (and
+#: ``to_numpy``) agree on the payload under the mask.
+_NULL_FILL = {"float": np.nan, "int": 0, "bool": False, "str": None}
 
-def join(left: Frame, right: Frame, on: Sequence[str] | str, how: str = "inner") -> Frame:
+
+def join(
+    left: Frame,
+    right: Frame,
+    on: Sequence[str] | str,
+    how: str = "inner",
+    engine: str | None = None,
+) -> Frame:
     """Join two frames on equal key columns.
 
     Parameters
@@ -24,16 +63,22 @@ def join(left: Frame, right: Frame, on: Sequence[str] | str, how: str = "inner")
         Key column name(s); must exist in both frames.
     how:
         ``"inner"`` (default), ``"left"`` or ``"outer"``.
+    engine:
+        ``"vector"`` (default) or ``"python"``; ``None`` uses the process
+        default (see :func:`repro.frame.codes.default_engine`).
 
     Notes
     -----
-    This is a straightforward hash join: the right frame is indexed by key
-    tuple, then the left frame is scanned once.  Row multiplicity follows SQL
-    semantics (cartesian product within a key).
+    Row multiplicity follows SQL semantics (cartesian product within a key);
+    missing keys never match (see the module docstring).  Output row order:
+    left rows in order (each expanded to its matches, in right-row order),
+    then — for ``outer`` — unmatched right rows in right order.
     """
     if isinstance(on, str):
         on = [on]
     on = list(on)
+    if not on:
+        raise JoinError("at least one join key is required")
     if how not in _HOW:
         raise JoinError(f"unknown join type {how!r}; expected one of {_HOW}")
     for key in on:
@@ -42,16 +87,37 @@ def join(left: Frame, right: Frame, on: Sequence[str] | str, how: str = "inner")
         if key not in right:
             raise JoinError(f"join key {key!r} missing from right frame")
 
+    if resolve_engine(engine) == "python":
+        return _join_python(left, right, on, how)
+    codes = join_codes([left[key] for key in on], [right[key] for key in on])
+    if codes is None:
+        # Mixed-kind key pair: Python equality semantics, reference engine.
+        return _join_python(left, right, on, how)
+    return _join_vector(left, right, on, how, *codes)
+
+
+def _output_layout(left: Frame, right: Frame, on: list[str]):
     right_value_columns = [name for name in right.columns if name not in on]
     rename = {
         name: (f"{name}_right" if name in left.columns else name)
         for name in right_value_columns
     }
+    return right_value_columns, rename
 
-    # Index the right frame by key tuple.
-    right_index: dict[tuple, list[int]] = {}
+
+# --------------------------------------------------------------------------- #
+# Reference engine
+# --------------------------------------------------------------------------- #
+def _join_python(left: Frame, right: Frame, on: list[str], how: str) -> Frame:
+    right_value_columns, rename = _output_layout(left, right, on)
+
+    # Index the right frame by key tuple (rows with missing keys never match).
     right_key_cols = [right[key] for key in on]
+    right_row_missing = _any_key_missing(right_key_cols)
+    right_index: dict[tuple, list[int]] = {}
     for i in range(len(right)):
+        if right_row_missing[i]:
+            continue
         key = tuple(column[i] for column in right_key_cols)
         right_index.setdefault(key, []).append(i)
 
@@ -59,10 +125,14 @@ def join(left: Frame, right: Frame, on: Sequence[str] | str, how: str = "inner")
     data: dict[str, list] = {name: [] for name in out_columns}
 
     left_key_cols = [left[key] for key in on]
+    left_row_missing = _any_key_missing(left_key_cols)
     matched_right: set[int] = set()
     for i in range(len(left)):
-        key = tuple(column[i] for column in left_key_cols)
-        matches = right_index.get(key, [])
+        if left_row_missing[i]:
+            matches = []
+        else:
+            key = tuple(column[i] for column in left_key_cols)
+            matches = right_index.get(key, [])
         if matches:
             for j in matches:
                 matched_right.add(j)
@@ -80,13 +150,150 @@ def join(left: Frame, right: Frame, on: Sequence[str] | str, how: str = "inner")
         for j in range(len(right)):
             if j in matched_right:
                 continue
-            key = tuple(column[j] for column in right_key_cols)
             for name in left.columns:
                 if name in on:
-                    data[name].append(key[on.index(name)])
+                    data[name].append(right[name][j])
                 else:
                     data[name].append(None)
             for name in right_value_columns:
                 data[rename[name]].append(right[name][j])
 
-    return Frame.from_dict({name: data[name] for name in out_columns})
+    # Output kinds follow the input columns (inference would degrade empty
+    # or all-null outputs to "float", diverging from the vector engine);
+    # cross-kind key pairs keep inference — Python equality defined their
+    # matches, and Python inference defines their merged output kind.
+    kinds: dict[str, str | None] = {name: left[name].kind for name in left.columns}
+    for name in right_value_columns:
+        kinds[rename[name]] = right[name].kind
+    for key in on:
+        if left[key].kind != right[key].kind:
+            kinds[key] = None
+    return Frame(
+        {
+            name: Column.from_values(data[name], kind=kinds[name])
+            for name in out_columns
+        }
+    )
+
+
+def _any_key_missing(key_columns) -> np.ndarray:
+    missing = key_missing_mask(key_columns[0])
+    for column in key_columns[1:]:
+        missing = missing | key_missing_mask(column)
+    return missing
+
+
+# --------------------------------------------------------------------------- #
+# Vector engine
+# --------------------------------------------------------------------------- #
+def _gather(column: Column, indices: np.ndarray, null: np.ndarray) -> Column:
+    """Fancy-index a column, masking output rows where ``null`` is True.
+
+    Unmasked NaN in float columns becomes missing in the output, matching
+    the reference engine (which rebuilds columns through
+    ``Column.from_values``, where NaN has always meant missing) — join
+    output semantics, not a vector-engine invention.
+    """
+    safe = np.where(null, 0, indices)
+    if len(column) == 0:
+        # Nothing to gather from; all output rows are necessarily null.
+        return _null_column(column.kind, len(indices))
+    values = column.values[safe]
+    mask = column.mask[safe] | null
+    if column.kind == "float":
+        with np.errstate(invalid="ignore"):
+            mask = mask | np.isnan(values)
+    return _canonical(values, mask, column.kind)
+
+
+_NULL_DTYPES = {"float": np.float64, "int": np.int64, "bool": np.bool_, "str": object}
+
+
+def _null_column(kind: str, length: int) -> Column:
+    values = np.full(length, _NULL_FILL[kind], dtype=_NULL_DTYPES[kind])
+    return Column(values, np.ones(length, dtype=bool), kind)
+
+
+def _canonical(values: np.ndarray, mask: np.ndarray, kind: str) -> Column:
+    """Build a column whose masked payload matches ``Column.from_values``."""
+    if mask.any():
+        values = values.copy()
+        values[mask] = _NULL_FILL[kind]
+    return Column(values, mask, kind)
+
+
+def _concat_columns(head: Column, tail: Column) -> Column:
+    values = np.concatenate([head.values, tail.values])
+    mask = np.concatenate([head.mask, tail.mask])
+    return Column(values, mask, head.kind)
+
+
+def _join_vector(
+    left: Frame,
+    right: Frame,
+    on: list[str],
+    how: str,
+    left_codes: np.ndarray,
+    right_codes: np.ndarray,
+) -> Frame:
+    right_value_columns, rename = _output_layout(left, right, on)
+    n_left, n_right = len(left), len(right)
+
+    # Sort the (matchable) right rows by key code once; each left row's
+    # matches are then one searchsorted range.  The stable sort keeps rows
+    # with equal keys in right-row order, reproducing the reference
+    # engine's match order.
+    right_valid = np.flatnonzero(right_codes >= 0)
+    sorted_right = right_valid[
+        np.argsort(right_codes[right_valid], kind="stable")
+    ]
+    sorted_keys = right_codes[sorted_right]
+
+    matchable = left_codes >= 0
+    lo = np.searchsorted(sorted_keys, left_codes, side="left")
+    hi = np.searchsorted(sorted_keys, left_codes, side="right")
+    counts = np.where(matchable, hi - lo, 0).astype(np.int64)
+
+    keep_unmatched_left = how in ("left", "outer")
+    out_counts = np.maximum(counts, 1) if keep_unmatched_left else counts
+    total = int(out_counts.sum())
+
+    left_out = np.repeat(np.arange(n_left, dtype=np.int64), out_counts)
+    block_starts = np.cumsum(out_counts) - out_counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(block_starts, out_counts)
+    right_out = np.full(total, -1, dtype=np.int64)
+    has_match = np.repeat(counts > 0, out_counts)
+    if total:
+        gather_at = np.repeat(lo, out_counts) + within
+        right_out[has_match] = sorted_right[gather_at[has_match]]
+
+    # Unmatched right rows, appended (right order) by outer joins only.
+    if how == "outer":
+        matched = np.zeros(n_right, dtype=bool)
+        emitted = right_out[right_out >= 0]
+        matched[emitted] = True
+        extra = np.flatnonzero(~matched)
+    else:
+        extra = np.empty(0, dtype=np.int64)
+    n_extra = len(extra)
+
+    right_null = right_out < 0
+    no_extra_null = np.zeros(n_extra, dtype=bool)
+
+    columns: dict[str, Column] = {}
+    for name in left.columns:
+        head = _gather(left[name], left_out, np.zeros(total, dtype=bool))
+        if n_extra:
+            if name in on:
+                tail = _gather(right[name], extra, no_extra_null)
+            else:
+                tail = _null_column(left[name].kind, n_extra)
+            head = _concat_columns(head, tail)
+        columns[name] = head
+    for name in right_value_columns:
+        head = _gather(right[name], right_out, right_null)
+        if n_extra:
+            head = _concat_columns(head, _gather(right[name], extra, no_extra_null))
+        columns[rename[name]] = head
+
+    return Frame(columns)

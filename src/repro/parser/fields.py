@@ -8,7 +8,7 @@ scripts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = ["LOAD_LEVELS", "level_field", "RunRecord"]
@@ -88,7 +88,11 @@ class RunRecord:
 
     def to_dict(self) -> dict[str, Any]:
         """Flatten into one row (per-level keys merged in)."""
-        row = asdict(self)
+        # All fields are scalars (and ``per_level`` is popped), so a shallow
+        # instance-dict copy replaces ``dataclasses.asdict``'s recursive
+        # deep-copy walk — same keys, same field order, ~10x cheaper on the
+        # dataset assembly path.
+        row = dict(self.__dict__)
         per_level = row.pop("per_level")
         # Guarantee every per-level column exists, even if a level was absent
         # from the report, so frames built from many records stay rectangular.

@@ -7,11 +7,14 @@ writes whole corpora (optionally in parallel).
 """
 
 from .textreport import render_report, REPORT_HEADER
+from .records import derive_record, derive_corpus_report
 from .writer import CorpusWriter, CorpusGenerationReport, generate_corpus_files
 
 __all__ = [
     "render_report",
     "REPORT_HEADER",
+    "derive_record",
+    "derive_corpus_report",
     "CorpusWriter",
     "CorpusGenerationReport",
     "generate_corpus_files",

@@ -1,0 +1,204 @@
+"""Parse-bypass record derivation: :class:`RunRecord` straight from a result.
+
+The conventional pipeline for a synthetic corpus is *render → parse*: every
+:class:`~repro.simulator.result.RunResult` becomes a ~60-line plain-text
+report (:func:`~repro.reportgen.textreport.render_report`) which the parser
+immediately re-extracts with regexes.  When the corpus is synthetic and the
+results are already in memory, that round trip is pure overhead —
+:func:`derive_record` produces the identical :class:`RunRecord` directly.
+
+**Bit-identity is the contract**, pinned by ``tests/test_record_derive.py``:
+every field goes through exactly the formatting round trip the text path
+applies (``float(f"{x:.1f}")`` where the report prints one decimal, the
+anomaly-mangled core counts, the same CPU classification), so
+``derive_record(result)`` equals ``parse_result_text(render_report(result))``
+field for field, for clean and defective plans alike.  The text path stays
+the only route for external corpora and remains covered by the parser tests.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from ..market.anomalies import AnomalyKind
+from ..market.catalog import Catalog, default_catalog
+from ..market.fleet import SystemPlan, sample_fleet
+from ..parallel import ParallelConfig, parallel_map
+from ..parser.corpus import CorpusParseReport, RejectedFile
+from ..parser.cpuinfo import classify_cpu
+from ..parser.fields import LOAD_LEVELS, RunRecord
+from ..parser.resultfile import _classify_os
+from ..parser.validation import validate_run
+from ..simulator.director import RunDirector, SimulationOptions
+from ..simulator.result import RunResult
+from ..units import parse_month_date
+from .textreport import (
+    _cpu_display_name,
+    _cpu_vendor_name,
+    _hardware_availability,
+)
+
+__all__ = ["derive_record", "derive_corpus_report"]
+
+
+def _round_trip(value: float, decimals: int) -> float:
+    """The value a rendered-then-parsed number comes back as."""
+    return float(f"{value:.{decimals}f}")
+
+
+def derive_record(result: RunResult) -> RunRecord:
+    """The :class:`RunRecord` the text round trip would produce, directly.
+
+    Mirrors :func:`render_report` + ``parse_result_text`` exactly, including
+    injected anomalies and the per-field precision the report format prints.
+    """
+    plan = result.plan
+    cpu = result.cpu
+    record = RunRecord(file_name=plan.file_name, run_id=plan.run_id)
+
+    # Dates ----------------------------------------------------------------
+    record.test_year, record.test_month = plan.test_date.year, plan.test_date.month
+    record.publication_year = plan.publication_date.year
+    record.publication_month = plan.publication_date.month
+    record.sw_avail_year, record.sw_avail_month = plan.sw_avail.year, plan.sw_avail.month
+    try:
+        hw = parse_month_date(_hardware_availability(result))
+    except ParseError:
+        hw = None                      # year-only (ambiguous) availability
+    if hw is not None:
+        record.hw_avail_year, record.hw_avail_month = hw.year, hw.month
+        record.hw_avail_decimal = hw.decimal_year
+
+    # System ---------------------------------------------------------------
+    record.system_vendor = plan.system_vendor
+    record.system_model = plan.system_model
+    if plan.anomaly != AnomalyKind.MISSING_NODE_COUNT:
+        record.nodes = plan.nodes
+    record.sockets_per_node = plan.sockets
+    record.memory_gb = _round_trip(plan.memory_gb, 0)
+    record.psu_rating_w = _round_trip(plan.psu_rating_w, 0)
+
+    # The "CPU(s) Enabled" / "Hardware Threads" lines carry the plan's core
+    # math after anomaly mangling; mirror the renderer's core arithmetic so
+    # the derived counts equal the numbers it would print.
+    cores_total = cpu.cores * plan.sockets * plan.nodes
+    cores_per_chip = cpu.cores
+    if plan.anomaly == AnomalyKind.INCONSISTENT_CORE_THREAD:
+        cores_per_chip = max(cpu.cores - 2, 1)
+    if plan.anomaly == AnomalyKind.IMPLAUSIBLE_CORE_COUNT:
+        cores_total *= 10_000
+    record.cores_total = cores_total
+    record.total_chips = plan.sockets * plan.nodes
+    record.cores_per_chip = cores_per_chip
+    record.threads_total = cores_total * cpu.threads_per_core
+    record.threads_per_core = cpu.threads_per_core
+
+    # CPU ------------------------------------------------------------------
+    record.cpu_name = _cpu_display_name(result)
+    record.cpu_frequency_mhz = _round_trip(cpu.base_frequency_mhz, 0)
+    record.cpu_vendor = _cpu_vendor_name(result)
+    info = classify_cpu(record.cpu_name)
+    if record.cpu_vendor is None or info.vendor != "Other":
+        record.cpu_vendor = info.vendor
+    record.cpu_family = info.family
+    record.cpu_class = info.cpu_class
+
+    # Software -------------------------------------------------------------
+    record.os_name = plan.os_name
+    record.os_family = _classify_os(plan.os_name)
+    record.jvm = plan.jvm_name
+
+    # Results --------------------------------------------------------------
+    for level in result.load_levels:
+        percent = int(f"{level.target_load * 100:.0f}")
+        if percent not in LOAD_LEVELS:
+            continue
+        record.set_level(
+            "actual_load", percent, _round_trip(level.actual_load * 100, 1) / 100.0
+        )
+        record.set_level("ssj_ops", percent, _round_trip(level.ssj_ops, 0))
+        record.set_level("power", percent, _round_trip(level.average_power_w, 1))
+    record.power_idle = _round_trip(result.active_idle.average_power_w, 1)
+    record.overall_ssj_ops_per_watt = _round_trip(result.overall_efficiency, 0)
+    record.accepted = not (
+        plan.anomaly == AnomalyKind.NOT_ACCEPTED or not result.accepted
+    )
+    return record
+
+
+def _derive_outcome(
+    file_name: str, result: RunResult
+) -> tuple[str, RunRecord | None, str | None]:
+    """Derive + validate one simulated result; returns (file, record, rejection)."""
+    record = derive_record(result)
+    report = validate_run(record)
+    if not report.is_valid:
+        return file_name, None, str(report.primary_issue)
+    return file_name, record, None
+
+
+# Module-level worker so the process-pool backend can pickle it.
+def _derive_plan(
+    args: tuple[SystemPlan, int, SimulationOptions, Catalog | None],
+) -> tuple[str, RunRecord | None, str | None]:
+    """Simulate + derive + validate one plan; returns (file, record, rejection)."""
+    plan, seed, options, catalog = args
+    director = RunDirector(
+        catalog=catalog or default_catalog(), options=options, corpus_seed=seed
+    )
+    return _derive_outcome(plan.file_name, director.run(plan))
+
+
+def derive_corpus_report(
+    directory,
+    total_parsed_runs: int = 960,
+    seed: int = 2024,
+    options: SimulationOptions | None = None,
+    catalog: Catalog | None = None,
+    parallel: ParallelConfig | None = None,
+    batch: bool = False,
+) -> CorpusParseReport:
+    """The parse funnel of a synthetic corpus, without materialising it.
+
+    Samples the same fleet :func:`~repro.reportgen.writer.generate_corpus_files`
+    would write, simulates every plan, and derives + validates records
+    directly — no report text is rendered, no file is written or parsed.
+    The returned report matches ``parse_directory`` over the rendered corpus
+    record for record and rejection for rejection (plans are processed in
+    file-name order, exactly the order a directory scan visits them).
+
+    ``batch=True`` simulates the whole fleet through the vectorized
+    :class:`~repro.simulator.batch.BatchDirector` in-process (bit-for-bit
+    identical to the scalar director, pinned by the batch equivalence
+    suite); otherwise plans run per-unit through ``parallel``.
+
+    ``directory`` only labels the report (where the corpus *would* live);
+    ``catalog=None`` uses the default catalog without shipping it to workers.
+    """
+    options = options or SimulationOptions()
+    fleet = sample_fleet(total_parsed_runs, seed, catalog=catalog)
+    plans = sorted(fleet.systems, key=lambda plan: plan.file_name)
+    if batch:
+        from ..simulator.batch import BatchDirector
+
+        director = BatchDirector(
+            catalog=catalog or default_catalog(), options=options, corpus_seed=seed
+        )
+        outcomes = [
+            _derive_outcome(plan.file_name, result)
+            for plan, result in zip(plans, director.run_batch(plans))
+        ]
+    else:
+        work = [(plan, seed, options, catalog) for plan in plans]
+        outcomes = parallel_map(
+            _derive_plan, work, config=parallel or ParallelConfig(backend="serial")
+        )
+    records: list[RunRecord] = []
+    rejected: list[RejectedFile] = []
+    for name, record, reason in outcomes:
+        if record is not None:
+            records.append(record)
+        else:
+            rejected.append(RejectedFile(name, reason or "unknown"))
+    return CorpusParseReport(
+        records=tuple(records), rejected=tuple(rejected), directory=str(directory)
+    )

@@ -15,7 +15,7 @@ from pathlib import Path
 from ..errors import ReportError
 from ..market.anomalies import AnomalyPlan
 from ..market.catalog import Catalog, default_catalog
-from ..market.fleet import FleetPlan, FleetSampler, SystemPlan
+from ..market.fleet import FleetPlan, FleetSampler, SystemPlan, sample_fleet
 from ..market.trends import MarketTrends
 from ..parallel import ParallelConfig, parallel_map
 from ..simulator.director import RunDirector, SimulationOptions
@@ -86,9 +86,17 @@ class CorpusWriter:
             trends=trends,
             anomalies=anomalies,
         )
+        self._default_market = catalog is None and trends is None and anomalies is None
 
     def plan(self) -> FleetPlan:
-        """Sample the fleet plan (deterministic for a given seed)."""
+        """Sample the fleet plan (deterministic for a given seed).
+
+        Default-market configurations go through the process-wide
+        :func:`~repro.market.fleet.sample_fleet` memo, so writing a corpus
+        and bypass-deriving its dataset share one sampled plan.
+        """
+        if self._default_market:
+            return sample_fleet(self.sampler.total_parsed_runs, self.seed)
         return self.sampler.sample(self.seed)
 
     def write(self, fleet: FleetPlan | None = None) -> CorpusGenerationReport:

@@ -22,8 +22,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Any, Iterator, Mapping
+
+import numpy as np
 
 from ..errors import ArtifactError
 
@@ -146,10 +149,32 @@ class ArtifactStore:
             return None
         return payload[self.payload_field]
 
-    def put(self, key: str, value: Any) -> Path:
-        """Store ``value`` under ``key`` atomically; returns the entry path."""
+    def put(
+        self,
+        key: str,
+        value: Any,
+        arrays: Mapping[str, np.ndarray] | None = None,
+    ) -> Path:
+        """Store ``value`` under ``key`` atomically; returns the entry path.
+
+        ``arrays`` additionally writes a binary ``.npz`` sidecar next to the
+        JSON entry (see :meth:`get_arrays`): the JSON stays the source of
+        truth for metadata while bulk columnar payloads round-trip as NumPy
+        arrays instead of JSON rows.  Passing ``arrays=None`` removes any
+        stale sidecar a previous writer left for the key.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        sidecar = self.sidecar_path(key)
+        if arrays is not None:
+            # Sidecar first: a reader never sees a JSON entry whose arrays
+            # are still being written (both renames are atomic).
+            tmp = sidecar.with_name(sidecar.name + ".tmp")
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **dict(arrays))
+            os.replace(tmp, sidecar)
+        else:
+            sidecar.unlink(missing_ok=True)
         # Value key order is preserved (not canonicalised): for row-shaped
         # artifacts it is the column order of the assembled frame, and
         # cached rows must line up with freshly computed ones.
@@ -163,10 +188,31 @@ class ArtifactStore:
         os.replace(tmp, path)
         return path
 
+    def sidecar_path(self, key: str) -> Path:
+        """Where the binary columnar sidecar for ``key`` lives (if any)."""
+        return self._path(key).with_suffix(".npz")
+
+    def get_arrays(self, key: str) -> dict[str, np.ndarray] | None:
+        """The ``.npz`` sidecar arrays for ``key``, or ``None`` when absent.
+
+        A missing sidecar is a cache miss (the caller recomputes); a present
+        but unreadable one is corruption and raises, mirroring :meth:`get`.
+        """
+        path = self.sidecar_path(key)
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                return {name: payload[name] for name in payload.files}
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise self.error(f"unreadable cache sidecar {path}: {exc}") from exc
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (sidecars included); returns entries removed."""
         removed = 0
         for path in list(self.directory.glob("??/*.json")):
             path.unlink()
             removed += 1
+        for path in list(self.directory.glob("??/*.npz")):
+            path.unlink()
         return removed

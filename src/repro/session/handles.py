@@ -275,13 +275,24 @@ class CorpusHandle(ArtifactHandle):
 class DatasetHandle(ArtifactHandle):
     """The derived analysis frame of one corpus.
 
-    Cold, the corpus is parsed, validated and derived exactly as
-    :func:`repro.core.dataset.load_runs` would; the accepted rows are then
-    persisted so every later invocation — same session or a new process over
-    the same workspace — rebuilds the frame from JSON without touching the
-    parser.  Keyed by the upstream corpus key (session corpora) or by the
-    content digest of the file tree (external corpora), so editing one
-    report file invalidates the dataset and everything downstream.
+    Cold, a *workspace* corpus takes the parse-bypass fast path: the fleet is
+    simulated and every :class:`RunRecord` is derived directly from its
+    :class:`RunResult` (:func:`repro.reportgen.derive_corpus_report`) —
+    bit-identical to the render→parse round trip, without rendering a single
+    report.  External corpora (a path, or a caller-managed ``directory=``)
+    are parsed and validated exactly as :func:`repro.core.dataset.load_runs`
+    would — the text path stays the only route for files the session did not
+    derive itself.
+
+    The derived frame is then persisted as a binary ``.npz`` columnar
+    sidecar (values + validity mask per column; JSON keeps the metadata and
+    the parse funnel), so every later invocation — same session or a new
+    process over the same workspace — reloads typed arrays without JSON row
+    decoding, type inference or re-derivation.  Legacy JSON-row artifacts
+    written by earlier versions still load transparently.  Keyed by the
+    upstream corpus key (session corpora) or by the content digest of the
+    file tree (external corpora), so editing one report file invalidates the
+    dataset and everything downstream.
     """
 
     kind = "dataset"
@@ -291,9 +302,11 @@ class DatasetHandle(ArtifactHandle):
         session: "Session",
         key: str,
         source: "CorpusHandle | Path",
+        text_path: bool = False,
     ):
         super().__init__(session, key)
         self._source = source
+        self._text_path = text_path
 
     @property
     def corpus(self) -> "CorpusHandle | None":
@@ -317,6 +330,19 @@ class DatasetHandle(ArtifactHandle):
         corpus = self.corpus
         return corpus is None or not corpus.is_external
 
+    @property
+    def uses_parse_bypass(self) -> bool:
+        """Whether this dataset derives records directly from simulation.
+
+        True exactly for workspace-managed synthetic corpora (unless the
+        handle was created with ``text_path=True``); external directories
+        always go through the render→parse text path.
+        """
+        if self._text_path:
+            return False
+        corpus = self.corpus
+        return corpus is not None and not corpus.is_external
+
     # ------------------------------------------------------------------ #
     def _stored(self) -> bool:
         return self._persists and self._key in self._session._store_for(self.kind)
@@ -333,24 +359,54 @@ class DatasetHandle(ArtifactHandle):
     def _load(self) -> Frame | None:
         if not self._persists:
             return None
-        payload = self._session._store_for(self.kind).get(self._key)
+        store = self._session._store_for(self.kind)
+        payload = store.get(self._key)
         if payload is None:
             return None
-        return self._build(payload["rows"])
+        if "columns" in payload:
+            from .columnar import frame_from_arrays
+
+            arrays = store.get_arrays(self._key)
+            if arrays is None:          # pruned sidecar: treat as a miss
+                return None
+            return frame_from_arrays(payload["columns"], arrays)
+        return self._build(payload["rows"])     # legacy JSON-row artifact
 
     def _compute(self) -> Frame:
-        report = self._parse()
+        report = self._derive() if self.uses_parse_bypass else self._parse()
         rows = [record.to_dict() for record in report.records]
+        frame = self._build(rows)
         if self._persists:
+            from .columnar import frame_to_arrays
+
+            meta, arrays = frame_to_arrays(frame)
             self._session._store_for(self.kind).put(
                 self._key,
                 {
                     "directory": report.directory,
-                    "rows": rows,
+                    "parsed_count": len(rows),
                     "rejected": [[f.file_name, f.reason] for f in report.rejected],
+                    "columns": meta,
                 },
+                arrays=arrays,
             )
-        return self._build(rows)
+        return frame
+
+    def _derive(self):
+        """Parse-bypass funnel: simulate + derive records, no text round trip."""
+        from ..reportgen.records import derive_corpus_report
+
+        corpus = self.corpus
+        policy = self._session.policy
+        return derive_corpus_report(
+            corpus.directory,
+            total_parsed_runs=corpus.runs,
+            seed=corpus.seed,
+            options=corpus.options,
+            catalog=self._session._worker_catalog(),
+            parallel=policy.parallel_config(),
+            batch=policy.use_batch_kernel,
+        )
 
     def _parse(self):
         """Parse the corpus directory (materialising it first if needed)."""
@@ -364,7 +420,12 @@ class DatasetHandle(ArtifactHandle):
 
     # ------------------------------------------------------------------ #
     def parse_report(self):
-        """The full :class:`CorpusParseReport` (always a fresh parse)."""
+        """The full :class:`CorpusParseReport` (always a fresh text parse).
+
+        Always exercises the render→parse route — materialising a workspace
+        corpus if needed — so it stays a ground-truth cross-check against the
+        bypass-derived artifact.
+        """
         return self._parse()
 
     def summary(self) -> DatasetSummary:
@@ -375,14 +436,17 @@ class DatasetHandle(ArtifactHandle):
                 self.result()           # computes and persists the payload
                 payload = self._session._store_for(self.kind).get(self._key)
             if payload is not None:
+                parsed = payload.get("parsed_count")
+                if parsed is None:      # legacy JSON-row artifact
+                    parsed = len(payload["rows"])
                 return DatasetSummary(
                     directory=payload["directory"],
-                    parsed_count=len(payload["rows"]),
+                    parsed_count=parsed,
                     rejected=tuple(
                         (name, reason) for name, reason in payload["rejected"]
                     ),
                 )
-        report = self._parse()
+        report = self._derive() if self.uses_parse_bypass else self._parse()
         return DatasetSummary(
             directory=report.directory,
             parsed_count=report.parsed_count,

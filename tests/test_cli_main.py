@@ -57,15 +57,32 @@ class TestExitCodes:
         assert csv.exists()
 
     def test_parse_with_implied_generation_uses_seed(self, tmp_path, capsys):
-        # No --corpus: the corpus is generated through the session from
-        # --runs/--seed, inside the given workspace.
+        # No --corpus: the dataset is derived through the session from
+        # --runs/--seed.  The default parse-bypass never renders a report,
+        # so no corpus files appear in the workspace.
         ws = tmp_path / "ws"
         csv = tmp_path / "runs.csv"
         assert main(["parse", "--workspace", str(ws), "--runs", str(RUNS),
                      "--seed", "11", "--output", str(csv)]) == 0
         out = capsys.readouterr().out
         assert "parsed" in out and csv.exists()
-        assert any((ws / "corpora").iterdir())
+        assert not (ws / "corpora").exists()
+
+    def test_parse_text_path_materialises_corpus(self, tmp_path, capsys):
+        # --text-path forces the render -> parse route: the corpus is
+        # written into the workspace and the CSV is bit-identical to the
+        # bypass-derived one.
+        ws = tmp_path / "ws"
+        bypass_csv = tmp_path / "bypass.csv"
+        text_csv = tmp_path / "text.csv"
+        assert main(["parse", "--workspace", str(ws), "--runs", str(RUNS),
+                     "--seed", "11", "--output", str(bypass_csv)]) == 0
+        assert main(["parse", "--workspace", str(tmp_path / "ws2"),
+                     "--runs", str(RUNS), "--seed", "11", "--text-path",
+                     "--output", str(text_csv)]) == 0
+        capsys.readouterr()
+        assert any((tmp_path / "ws2" / "corpora").iterdir())
+        assert bypass_csv.read_text() == text_csv.read_text()
 
     def test_campaign_run_and_status_roundtrip(self, tmp_path, spec_file, capsys):
         store = tmp_path / "store"

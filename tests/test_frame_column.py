@@ -59,6 +59,40 @@ class TestConstruction:
         with pytest.raises(ColumnError):
             Column.from_values([1], kind="decimal")
 
+    def test_inference_stops_at_first_string(self):
+        # A string anywhere forces "str"; the scan must not touch the rest
+        # of the sequence (the generator would raise past the sentinel).
+        def values():
+            yield 1
+            yield "decides it"
+            raise AssertionError("inference scanned past the first string")
+
+        from repro.frame.column import _infer_kind
+
+        assert _infer_kind(values()) == "str"
+
+    def test_typed_array_with_matching_kind_skips_python_scan(self):
+        # from_values on a typed array + matching kind is pure array work:
+        # same result as the per-value loop, including the NaN mask.
+        array = np.array([1.0, np.nan, 3.0])
+        column = Column.from_values(array, kind="float")
+        assert column.kind == "float"
+        assert column.to_list() == [1.0, None, 3.0]
+        assert Column.from_values(np.arange(3), kind="int").to_list() == [0, 1, 2]
+        assert Column.from_values(np.array([True]), kind="bool").to_list() == [True]
+
+    def test_typed_array_with_mismatched_kind_still_coerces(self):
+        assert Column.from_values(np.arange(3), kind="float").to_list() == [
+            0.0, 1.0, 2.0
+        ]
+        assert Column.from_values(np.array([1.9, 2.1]), kind="int").to_list() == [1, 2]
+
+    def test_uint64_beyond_int64_range_still_overflows(self):
+        # The typed-array shortcut must not route unsigned arrays through
+        # astype(int64), which would wrap instead of raising.
+        with pytest.raises(OverflowError):
+            Column.from_values(np.array([2**63], dtype=np.uint64), kind="int")
+
 
 class TestAccess:
     def test_scalar_access(self):

@@ -85,6 +85,38 @@ class TestGroupBy:
         grouped = frame.groupby("k")
         assert grouped.ngroups == 2
 
+    @pytest.mark.parametrize("engine", ["vector", "python"])
+    def test_missing_int_key_never_merges_with_sentinel_zero(self, engine):
+        # Masked int entries keep a 0 payload in the backing array; grouping
+        # must see the mask, not the sentinel.
+        frame = Frame.from_dict({"k": [0, None, 0, None], "v": [1, 2, 3, 4]})
+        result = frame.groupby("k", engine=engine).agg({"v": "sum"})
+        assert result["k"].to_list() == [0, None]
+        assert result["v"].to_list() == [4.0, 6.0]
+
+    @pytest.mark.parametrize("engine", ["vector", "python"])
+    def test_nan_float_keys_group_as_missing(self, engine):
+        # NaN and masked float keys are both "missing": one null group, not
+        # one pathological singleton group per NaN row.
+        frame = Frame.from_dict(
+            {"k": [float("nan"), None, 1.0, float("nan")], "v": [1, 2, 3, 4]}
+        )
+        grouped = frame.groupby("k", engine=engine)
+        assert grouped.ngroups == 2
+        result = grouped.agg({"v": "sum"})
+        assert result["k"].to_list() == [None, 1.0]
+        assert result["v"].to_list() == [7.0, 3.0]
+
+    @pytest.mark.parametrize("engine", ["vector", "python"])
+    def test_multi_key_missing_components_stay_distinct(self, engine):
+        frame = Frame.from_dict(
+            {"a": ["x", "x", None, None], "b": [None, 1, 1, None], "v": [1, 2, 3, 4]}
+        )
+        grouped = frame.groupby(["a", "b"], engine=engine)
+        assert [key for key, _ in grouped.groups()] == [
+            ("x", None), ("x", 1), (None, 1), (None, None)
+        ]
+
 
 class TestJoin:
     @pytest.fixture()
@@ -131,5 +163,42 @@ class TestJoin:
         with pytest.raises(JoinError):
             join(left, right, on="cpu", how="cross")
 
+    def test_empty_key_list_rejected(self, left, right):
+        with pytest.raises(JoinError):
+            join(left, right, on=[])
+
     def test_frame_method_join(self, left, right):
         assert len(left.join(right, on="cpu")) == 2
+
+    @pytest.mark.parametrize("engine", ["vector", "python"])
+    def test_missing_keys_never_match(self, engine):
+        # SQL NULL semantics: a missing key matches nothing — not even
+        # another missing key — instead of silently pairing null rows.
+        left = Frame.from_dict({"k": ["a", None], "a": [1, 2]})
+        right = Frame.from_dict({"k": ["a", None], "b": [10, 20]})
+        inner = join(left, right, on="k", engine=engine)
+        assert inner.to_records() == [{"k": "a", "a": 1, "b": 10}]
+        outer = join(left, right, on="k", how="outer", engine=engine)
+        assert outer.to_records() == [
+            {"k": "a", "a": 1, "b": 10},
+            {"k": None, "a": 2, "b": None},
+            {"k": None, "a": None, "b": 20},
+        ]
+
+    @pytest.mark.parametrize("engine", ["vector", "python"])
+    def test_missing_int_key_never_matches_sentinel_zero(self, engine):
+        left = Frame.from_dict({"k": [0, None], "a": [1, 2]})
+        right = Frame.from_dict({"k": [None, 0], "b": [10, 20]})
+        result = join(left, right, on="k", how="left", engine=engine)
+        assert result.to_records() == [
+            {"k": 0, "a": 1, "b": 20},
+            {"k": None, "a": 2, "b": None},
+        ]
+
+    @pytest.mark.parametrize("engine", ["vector", "python"])
+    def test_nan_float_keys_are_missing(self, engine):
+        left = Frame.from_dict({"k": [1.0, float("nan")], "a": [1, 2]})
+        right = Frame.from_dict({"k": [float("nan"), 1.0], "b": [10, 20]})
+        assert join(left, right, on="k", engine=engine).to_records() == [
+            {"k": 1.0, "a": 1, "b": 20}
+        ]

@@ -1,0 +1,85 @@
+"""Parse-bypass bit-identity: derived records vs the render→parse round trip.
+
+``derive_record`` promises *bit-identical* output to
+``parse_result_text(render_report(result))`` — every float quantised to the
+report's printed precision, every anomaly reproduced, every classification
+identical.  These tests pin that contract over a sampled fleet that covers
+each anomaly kind, plus the full-funnel equality of ``derive_corpus_report``
+against a real ``parse_directory`` run (scalar and batch simulation paths).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.market.anomalies import AnomalyKind
+from repro.market.fleet import FleetSampler
+from repro.parser import parse_directory
+from repro.parser.resultfile import parse_result_text
+from repro.reportgen import (
+    derive_corpus_report,
+    derive_record,
+    generate_corpus_files,
+    render_report,
+)
+from repro.simulator.director import RunDirector, SimulationOptions
+
+RUNS = 60
+SEED = 2024
+
+
+@pytest.fixture(scope="module")
+def sampled_fleet():
+    fleet = FleetSampler(total_parsed_runs=120).sample(7)
+    # The sampled fleet must exercise every injected defect, or the
+    # per-anomaly identity below would silently test nothing.
+    assert {plan.anomaly for plan in fleet.systems} == set(AnomalyKind) | {None}
+    return fleet
+
+
+@pytest.mark.parametrize(
+    "options",
+    [
+        SimulationOptions(),
+        SimulationOptions(measurement_noise=False),
+        SimulationOptions(load_levels=(1.0, 0.7, 0.5, 0.2, 0.1, 0.0)),
+    ],
+    ids=["default", "noise-free", "short-ladder"],
+)
+def test_derive_record_bit_identical_to_text_round_trip(sampled_fleet, options):
+    director = RunDirector(options=options, corpus_seed=7)
+    for plan in sampled_fleet.systems:
+        result = director.run(plan)
+        direct = derive_record(result)
+        parsed = parse_result_text(
+            render_report(result), file_name=plan.file_name
+        ).record
+        assert direct.to_dict() == parsed.to_dict(), (
+            f"record drift for {plan.run_id} (anomaly={plan.anomaly})"
+        )
+
+
+def _funnel_signature(report):
+    return (
+        [record.to_dict() for record in report.records],
+        [(f.file_name, f.reason) for f in report.rejected],
+    )
+
+
+@pytest.mark.parametrize("batch", [False, True], ids=["scalar", "batch"])
+def test_derive_corpus_report_matches_parse_directory(tmp_path, batch):
+    corpus = tmp_path / "corpus"
+    generate_corpus_files(corpus, total_parsed_runs=RUNS, seed=SEED)
+    parsed = parse_directory(corpus)
+    derived = derive_corpus_report(
+        corpus, total_parsed_runs=RUNS, seed=SEED, batch=batch
+    )
+    assert derived.directory == parsed.directory
+    assert derived.parsed_count == parsed.parsed_count
+    assert _funnel_signature(derived) == _funnel_signature(parsed)
+
+
+def test_derive_corpus_report_batch_equals_scalar():
+    scalar = derive_corpus_report("x", total_parsed_runs=RUNS, seed=SEED)
+    batch = derive_corpus_report("x", total_parsed_runs=RUNS, seed=SEED, batch=True)
+    assert _funnel_signature(scalar) == _funnel_signature(batch)

@@ -59,6 +59,102 @@ class TestArtifactStore:
         store.put(digest_json(2), {"v": 2})
         assert store.clear() == 2 and len(store) == 0
 
+    def test_array_sidecar_roundtrip_and_clear(self, tmp_path):
+        import numpy as np
+
+        store = ArtifactStore(tmp_path)
+        key = digest_json("columnar")
+        assert store.get_arrays(key) is None
+        store.put(key, {"n": 3}, arrays={"x": np.array([1.5, np.nan, 2.0])})
+        assert store.sidecar_path(key).exists()
+        arrays = store.get_arrays(key)
+        assert list(arrays) == ["x"]
+        assert np.array_equal(arrays["x"], [1.5, np.nan, 2.0], equal_nan=True)
+        # Rewriting without arrays drops the stale sidecar.
+        store.put(key, {"n": 3})
+        assert store.get_arrays(key) is None
+        store.put(key, {"n": 3}, arrays={"x": np.zeros(2)})
+        assert store.clear() == 1
+        assert not store.sidecar_path(key).exists()
+
+
+class TestColumnarCodec:
+    def test_frame_round_trip_preserves_kinds_values_masks(self):
+        import numpy as np
+
+        from repro.frame import Frame
+        from repro.session.columnar import frame_from_arrays, frame_to_arrays
+
+        frame = Frame.from_dict(
+            {
+                "f": [1.5, None, float("nan"), -0.0],
+                "i": [1, None, 3, 4],
+                "b": [True, False, None, True],
+                "s": ["x", "", None, "long string"],
+            }
+        )
+        meta, arrays = frame_to_arrays(frame)
+        assert len(arrays) == 5            # masks + one member per kind
+        restored = frame_from_arrays(meta, arrays)
+        assert restored.columns == frame.columns
+        assert restored.equals(frame)
+        for name in frame.columns:
+            assert restored[name].kind == frame[name].kind
+            assert np.array_equal(restored[name].mask, frame[name].mask)
+        # "" survives as a value, None as missing (they are distinct).
+        assert restored["s"].to_list() == ["x", "", None, "long string"]
+
+    def test_trailing_nul_strings_round_trip(self):
+        # NumPy unicode strips trailing NULs; the codec's pad sentinel must
+        # bring them back bit for bit.
+        from repro.frame import Frame
+        from repro.session.columnar import frame_from_arrays, frame_to_arrays
+
+        frame = Frame.from_dict(
+            {"s": ["a\x00", "a", "\x00", None, "mid\x00dle"], "t": ["plain", "b", "c", "d", "e"]}
+        )
+        meta, arrays = frame_to_arrays(frame)
+        restored = frame_from_arrays(meta, arrays)
+        assert restored["s"].to_list() == ["a\x00", "a", "\x00", None, "mid\x00dle"]
+        assert restored["t"].to_list() == frame["t"].to_list()
+        assert restored.equals(frame)
+
+    def test_corrupt_sidecar_raises_artifact_error(self, tmp_path):
+        import numpy as np
+        import pytest
+
+        from repro.errors import ArtifactError
+
+        store = ArtifactStore(tmp_path)
+        key = digest_json("corrupt")
+        store.put(key, {"n": 1}, arrays={"x": np.zeros(2)})
+        store.sidecar_path(key).write_bytes(b"not a zip archive")
+        with pytest.raises(ArtifactError):
+            store.get_arrays(key)
+
+    def test_str_columns_keep_independent_widths(self):
+        # One member per string column: a long value in one column must not
+        # widen the storage of every other string column's cells.
+        from repro.frame import Frame
+        from repro.session.columnar import frame_from_arrays, frame_to_arrays
+
+        frame = Frame.from_dict(
+            {"short": ["a", "b"], "long": ["x" * 500, None]}
+        )
+        meta, arrays = frame_to_arrays(frame)
+        assert arrays["str0"].dtype.itemsize < arrays["str1"].dtype.itemsize
+        assert frame_from_arrays(meta, arrays).equals(frame)
+
+    def test_empty_and_zero_row_frames(self):
+        from repro.frame import Frame
+        from repro.session.columnar import frame_from_arrays, frame_to_arrays
+
+        for frame in (Frame(), Frame.from_dict({"a": [], "s": []})):
+            meta, arrays = frame_to_arrays(frame)
+            restored = frame_from_arrays(meta, arrays)
+            assert restored.columns == frame.columns
+            assert len(restored) == 0
+
     def test_digest_json_canonicalisation(self):
         assert digest_json({"b": 1, "a": (1, 2)}) == digest_json({"a": [1, 2], "b": 1})
         assert digest_json({"a": 1}) != digest_json({"a": 2})
@@ -164,8 +260,11 @@ class TestSessionCaching:
             assert "Reproduction report" in result.summary()
 
     def test_warm_frame_is_bit_identical_to_api_load(self, workspace, warm_frame):
+        # warm_frame came through the parse-bypass (no report was ever
+        # rendered); materialise the corpus and push the same runs through
+        # the full render -> parse text path to pin bit-identity end to end.
         with Session(workspace=workspace) as session:
-            corpus_dir = session.corpus(runs=RUNS, seed=SEED).directory
+            corpus_dir = session.corpus(runs=RUNS, seed=SEED).result().directory
         with pytest.deprecated_call():
             fresh = api.load_dataset(corpus_dir)
         assert fresh.equals(warm_frame)
@@ -173,6 +272,8 @@ class TestSessionCaching:
 
     def test_corpus_mutation_invalidates_record(self, workspace, warm_frame):
         with Session(workspace=workspace) as session:
+            session.corpus(runs=RUNS, seed=SEED).result()   # materialise
+        with Session(workspace=workspace) as session:        # memo-free view
             handle = session.corpus(runs=RUNS, seed=SEED)
             assert handle.is_cached
             victim = next(iter(handle.directory.glob("*.txt")))
@@ -183,7 +284,7 @@ class TestSessionCaching:
 
     def test_external_corpus_keyed_by_content(self, workspace, warm_frame):
         with Session(workspace=workspace) as session:
-            source = session.corpus(runs=RUNS, seed=SEED).directory
+            source = session.corpus(runs=RUNS, seed=SEED).result().directory
             by_path = session.dataset(corpus=source)
             by_handle = session.dataset(corpus=session.corpus(runs=RUNS, seed=SEED))
             assert by_path.key != by_handle.key    # different key derivations
@@ -213,6 +314,75 @@ class TestSessionCaching:
         assert workspace.is_dir()
         session.close()
         assert not workspace.exists()
+
+
+# --------------------------------------------------------------------------- #
+# Binary dataset artifacts (.npz sidecar) + parse bypass
+# --------------------------------------------------------------------------- #
+class TestDatasetArtifacts:
+    def test_dataset_persists_npz_sidecar_not_json_rows(self, workspace, warm_frame):
+        with Session(workspace=workspace) as session:
+            handle = session.dataset(runs=RUNS, seed=SEED)
+            store = session._store_for("dataset")
+            payload = store.get(handle.key)
+            assert payload is not None
+            assert "rows" not in payload and "columns" in payload
+            assert payload["parsed_count"] == RUNS
+            assert store.sidecar_path(handle.key).exists()
+
+    def test_legacy_json_row_artifact_still_loads(self, workspace, warm_frame):
+        # A workspace written before the .npz format holds {"rows": [...]}
+        # under the same schema; it must reload bit-identically, not miss.
+        with Session(workspace=workspace) as session:
+            handle = session.dataset(runs=RUNS, seed=SEED)
+            report = handle.parse_report()
+            legacy = {
+                "directory": str(handle.directory),
+                "rows": [record.to_dict() for record in report.records],
+                "rejected": [[f.file_name, f.reason] for f in report.rejected],
+            }
+            session._store_for("dataset").put(handle.key, legacy)
+        with Session(workspace=workspace) as session:
+            frame = session.dataset(runs=RUNS, seed=SEED).result()
+            assert frame.equals(warm_frame)
+            summary = session.dataset(runs=RUNS, seed=SEED).summary()
+            assert summary.parsed_count == RUNS
+        # Restore the binary artifact for the tests that follow.
+        with Session(workspace=workspace) as session:
+            session._store_for("dataset").clear()
+            session.dataset(runs=RUNS, seed=SEED).result()
+
+    def test_pruned_sidecar_recomputes_instead_of_failing(self, workspace, warm_frame):
+        with Session(workspace=workspace) as session:
+            handle = session.dataset(runs=RUNS, seed=SEED)
+            store = session._store_for("dataset")
+            store.sidecar_path(handle.key).unlink()
+        with Session(workspace=workspace) as session:
+            handle = session.dataset(runs=RUNS, seed=SEED)
+            assert handle.result().equals(warm_frame)
+            assert session._store_for("dataset").sidecar_path(handle.key).exists()
+
+    def test_bypass_dataset_never_renders_or_parses(self, tmp_path, monkeypatch):
+        # The cold fast path must go straight from simulation results to
+        # records: rendering a report or invoking the parser is a bug.
+        import repro.parser
+        import repro.reportgen
+        import repro.reportgen.textreport
+
+        monkeypatch.setattr(repro.parser, "parse_directory", _fail)
+        monkeypatch.setattr(repro.reportgen, "generate_corpus_files", _fail)
+        monkeypatch.setattr(repro.reportgen.textreport, "render_report", _fail)
+        with Session(workspace=tmp_path / "ws") as session:
+            frame = session.dataset(runs=RUNS, seed=SEED).result()
+            assert len(frame) == RUNS
+            assert not (tmp_path / "ws" / "corpora").exists()
+
+    def test_text_path_dataset_is_bit_identical(self, workspace, warm_frame):
+        text_ws = workspace / "text-route"
+        with Session(workspace=text_ws) as session:
+            frame = session.dataset(runs=RUNS, seed=SEED, text_path=True).result()
+            assert frame.equals(warm_frame)
+            assert any((text_ws / "corpora").iterdir())
 
 
 # --------------------------------------------------------------------------- #
