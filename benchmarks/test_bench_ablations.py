@@ -39,7 +39,7 @@ def _configuration(model_name: str) -> ServerConfiguration:
 @pytest.mark.benchmark(group="ablation")
 def test_bench_ablation_turbo(benchmark):
     """A1: relative efficiency at 70 % with and without the turbo premium."""
-    configuration = _configuration("Xeon E5-2699 v3")     # 2014 Haswell era
+    configuration = _configuration("Xeon E5-2699 v3")  # 2014 Haswell era
 
     def run():
         with_turbo = ServerPowerModel(configuration)
@@ -59,7 +59,7 @@ def test_bench_ablation_turbo(benchmark):
 @pytest.mark.benchmark(group="ablation")
 def test_bench_ablation_package_cstates(benchmark):
     """A2: idle fraction with and without package-level idle optimisation."""
-    configuration = _configuration("Xeon Platinum 8180")   # 2017 minimum era
+    configuration = _configuration("Xeon Platinum 8180")  # 2017 minimum era
 
     def run():
         optimised = ServerPowerModel(configuration)
@@ -76,7 +76,7 @@ def test_bench_ablation_package_cstates(benchmark):
                [{"with_package_cstates": round(with_pkg, 3),
                  "without": round(without_pkg, 3)}])
     assert with_pkg < without_pkg
-    assert without_pkg > 0.2          # without deep idle the 2017 minimum disappears
+    assert without_pkg > 0.2  # without deep idle the 2017 minimum disappears
 
 
 @pytest.mark.benchmark(group="ablation")

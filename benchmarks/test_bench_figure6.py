@@ -51,5 +51,5 @@ def test_bench_quotient_trend_and_spread(benchmark, paper_filtered):
                [{"slope_per_year": round(fit.slope, 4),
                  "early_std": round(early_spread, 2),
                  "recent_std": round(recent_spread, 2)}])
-    assert fit.slope > 0                       # overall upward trend
-    assert recent_spread > early_spread        # larger spread in newer runs
+    assert fit.slope > 0  # overall upward trend
+    assert recent_spread > early_spread  # larger spread in newer runs

@@ -81,5 +81,5 @@ def test_bench_session_handle_keys(benchmark, warm_workspace):
             return corpus.key, dataset.key, analysis.key
 
         first = benchmark(keys)
-        assert keys() == first                      # deterministic
+        assert keys() == first  # deterministic
         assert len(set(first)) == 3

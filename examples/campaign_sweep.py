@@ -24,6 +24,7 @@ from pathlib import Path
 
 from repro import Session
 from repro.campaign import CampaignSpec, CampaignStore
+from repro.session.policy import ExecutionPolicy
 
 SPEC = CampaignSpec(
     name="generation-sweep",
@@ -78,6 +79,16 @@ def main() -> int:
     print(f"\nthe analysis pipeline accepted the campaign frame: "
           f"{len(result.filtered)} runs after the paper's filters")
     session.close()
+
+    # Sweeps too large to hold resident stream shard by shard instead:
+    # each shard's rows are flushed to a columnar store artifact before the
+    # next shard starts, so memory stays O(shard_size) while frame() and
+    # the online aggregate remain bit-identical to the unsharded run (see
+    # README "Scaling campaigns").
+    with Session(policy=ExecutionPolicy(shard_size=4)) as streaming_session:
+        streamed = streaming_session.campaign(SPEC, store=store).result()
+        print(f"\nstreamed: {streamed.describe()}")
+        assert streamed.frame().equals(frame), "sharding must not change a row"
     return 0
 
 

@@ -20,7 +20,9 @@ from repro.stats import bin_by_year
 
 
 def main() -> int:
-    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp(prefix="experiments-"))
+    output = (
+        Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp(prefix="experiments-"))
+    )
     corpus = output / "corpus"
     parallel = ParallelConfig(backend="process", max_workers=8, chunk_size=64)
     generate_corpus(corpus, total_parsed_runs=960, seed=2024, parallel=parallel)

@@ -16,7 +16,13 @@ Layers
   error capture,
 * :mod:`repro.campaign.aggregate` — incremental columnar frame assembly,
 * :mod:`repro.campaign.store` — resumable campaign directories (spec
-  snapshot, manifest, ledger).
+  snapshot, manifest, ledger, shard manifest),
+* :mod:`repro.campaign.sharding` — the bounded-memory streaming path:
+  lazy fixed-size shards executed one at a time, each flushed to a
+  columnar ``.npz`` artifact before the next starts,
+* :mod:`repro.campaign.reduce` — online (Welford) reducers that fold the
+  per-shard frames into campaign aggregates without the full result set
+  ever being resident.
 
 Quickstart
 ----------
@@ -37,13 +43,24 @@ Quickstart
 
 from .aggregate import FrameAccumulator, assemble_frame
 from .cache import ResultCache, unit_key
+from .reduce import FrameReducer, OnlineMoments, reduce_frame
 from .runner import CampaignResult, execute_units, resume_campaign, run_campaign
+from .sharding import (
+    DEFAULT_SHARD_SIZE,
+    Shard,
+    ShardOutcome,
+    StreamingCampaignResult,
+    iter_shards,
+    resume_streaming,
+    stream_campaign,
+)
 from .spec import OPTION_AXES, PLAN_AXES, CampaignSpec, CampaignUnit
 from .store import CampaignStatus, CampaignStore
 
 __all__ = [
     "PLAN_AXES",
     "OPTION_AXES",
+    "DEFAULT_SHARD_SIZE",
     "CampaignSpec",
     "CampaignUnit",
     "unit_key",
@@ -54,6 +71,15 @@ __all__ = [
     "execute_units",
     "run_campaign",
     "resume_campaign",
+    "Shard",
+    "ShardOutcome",
+    "StreamingCampaignResult",
+    "iter_shards",
+    "stream_campaign",
+    "resume_streaming",
+    "FrameReducer",
+    "OnlineMoments",
+    "reduce_frame",
     "CampaignStatus",
     "CampaignStore",
 ]

@@ -1,0 +1,212 @@
+"""Online reducers: campaign aggregates without the full result set resident.
+
+The sharded streaming runner flushes each shard's rows to disk before the
+next shard starts, so nothing downstream may ever require every row at once.
+:class:`OnlineMoments` maintains count / sum / mean / min / max / variance of
+a value stream in O(1) state via Welford's recurrence, and
+:class:`FrameReducer` applies one such accumulator per numeric column of the
+campaign frame, shard by shard.
+
+Determinism contract
+--------------------
+``update`` consumes values *sequentially in row order*.  Because one scalar
+Welford step is performed per value, the sequence of floating-point
+operations is a function of the value stream alone — where the shard
+boundaries fall cannot change it.  A sharded campaign therefore produces
+aggregates **bit-identical** to reducing the unsharded frame in one call
+(pinned by the sharding tests), which is what lets the streaming path
+replace the materialised frame without changing a single reported number.
+
+:meth:`OnlineMoments.merge` additionally combines two independent
+accumulators through the parallel (Chan et al.) update.  Merging is the
+right tool when shards are reduced on different workers; it is numerically
+stable but *not* bit-identical to the sequential order, so the campaign
+data plane reduces sequentially and reserves ``merge`` for explicitly
+parallel consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..frame import Frame
+
+__all__ = ["OnlineMoments", "FrameReducer", "reduce_frame"]
+
+#: Column kinds the reducer aggregates (strings and booleans are identity
+#: columns, not measurements).
+_NUMERIC_KINDS = ("float", "int")
+
+
+class OnlineMoments:
+    """Streaming count / sum / mean / min / max / variance of one value stream.
+
+    State is five scalars (Welford's algorithm), so a reducer's memory cost
+    is independent of how many values it has seen.
+    """
+
+    __slots__ = ("count", "total", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<OnlineMoments n={self.count} mean={self.mean!r} "
+            f"min={self.minimum!r} max={self.maximum!r}>"
+        )
+
+    # ------------------------------------------------------------------ #
+    def push(self, value: float) -> None:
+        """Fold one value into the accumulator (Welford's recurrence)."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def update(self, values: Iterable[Any], mask: np.ndarray | None = None) -> None:
+        """Fold a batch of values, skipping entries flagged by ``mask``.
+
+        Values are consumed strictly in order, one Welford step each — see
+        the module docstring for why this (and not a vectorized pass) is
+        what makes sharded aggregates bit-identical to unsharded ones.
+        """
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+        if mask is None:
+            for value in values:
+                if value is not None:
+                    self.push(value)
+        else:
+            for value, missing in zip(values, mask.tolist()):
+                if not missing and value is not None:
+                    self.push(value)
+
+    def merge(self, other: "OnlineMoments") -> "OnlineMoments":
+        """Combined accumulator of two independent streams (Chan et al.).
+
+        Returns a new accumulator; neither input is modified.  Use for
+        shards reduced on separate workers — the result is numerically
+        stable but depends on the merge tree, unlike sequential ``update``.
+        """
+        merged = OnlineMoments()
+        if self.count == 0:
+            other._copy_into(merged)
+            return merged
+        if other.count == 0:
+            self._copy_into(merged)
+            return merged
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        merged.count = n
+        merged.total = self.total + other.total
+        merged.mean = self.mean + delta * (other.count / n)
+        merged._m2 = self._m2 + other._m2 + delta * delta * (self.count * other.count / n)
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+    def _copy_into(self, target: "OnlineMoments") -> None:
+        target.count = self.count
+        target.total = self.total
+        target.mean = self.mean
+        target._m2 = self._m2
+        target.minimum = self.minimum
+        target.maximum = self.maximum
+
+    # ------------------------------------------------------------------ #
+    @property
+    def variance(self) -> float | None:
+        """Population variance (ddof=0); ``None`` before the first value."""
+        if self.count == 0:
+            return None
+        return self._m2 / self.count
+
+    def as_row(self) -> dict[str, Any]:
+        """The accumulator as one summary-frame row."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "sum": None if empty else self.total,
+            "mean": None if empty else self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "var": self.variance,
+        }
+
+
+class FrameReducer:
+    """One :class:`OnlineMoments` per numeric column, fed frame by frame.
+
+    Columns are keyed by name in first-seen order; a column absent from a
+    later frame (schema drift across shards) simply receives no values from
+    it, mirroring the union-of-columns semantics of frame assembly.
+    """
+
+    def __init__(self) -> None:
+        self._reducers: dict[str, OnlineMoments] = {}
+        self.n_rows = 0
+
+    def __len__(self) -> int:
+        return len(self._reducers)
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._reducers)
+
+    def __getitem__(self, name: str) -> OnlineMoments:
+        return self._reducers[name]
+
+    def update(self, frame: Frame) -> None:
+        """Fold every numeric column of ``frame`` into its reducer."""
+        self.n_rows += len(frame)
+        for name in frame.columns:
+            column = frame[name]
+            if column.kind not in _NUMERIC_KINDS:
+                continue
+            reducer = self._reducers.get(name)
+            if reducer is None:
+                reducer = self._reducers[name] = OnlineMoments()
+            reducer.update(column.values, column.mask)
+
+    def to_frame(self) -> Frame:
+        """The aggregate summary: one row per reduced column."""
+        rows: dict[str, list] = {
+            "column": [],
+            "count": [],
+            "sum": [],
+            "mean": [],
+            "min": [],
+            "max": [],
+            "var": [],
+        }
+        for name, reducer in self._reducers.items():
+            rows["column"].append(name)
+            for field, value in reducer.as_row().items():
+                rows[field].append(value)
+        return Frame.from_dict(rows)
+
+
+def reduce_frame(frame: Frame) -> Frame:
+    """Aggregate summary of a fully materialised frame.
+
+    This is the unsharded counterpart of streaming a :class:`FrameReducer`
+    over shards: feeding the whole frame in one ``update`` performs the
+    exact same sequence of scalar operations, so the two are bit-identical.
+    """
+    reducer = FrameReducer()
+    reducer.update(frame)
+    return reducer.to_frame()

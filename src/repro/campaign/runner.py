@@ -37,7 +37,13 @@ from .aggregate import assemble_frame
 from .spec import CampaignSpec, CampaignUnit
 from .store import CampaignStore
 
-__all__ = ["CampaignResult", "execute_units", "run_campaign", "resume_campaign"]
+__all__ = [
+    "CampaignResult",
+    "dispatch_simulations",
+    "execute_units",
+    "run_campaign",
+    "resume_campaign",
+]
 
 
 @dataclass(frozen=True)
@@ -48,7 +54,7 @@ class CampaignResult:
     total_units: int
     cache_hits: int
     simulated: int
-    failures: tuple[tuple[str, str], ...]   # (unit_id, error)
+    failures: tuple[tuple[str, str], ...]  # (unit_id, error)
     store_directory: str
 
     @property
@@ -140,11 +146,41 @@ def _chunk_payloads(
     payloads = []
     for options, group in groups.items():
         for start in range(0, len(group), chunk_size):
-            chunk = group[start:start + chunk_size]
+            chunk = group[start : start + chunk_size]
             payloads.append(
                 (tuple((u.key, u.plan, u.seed) for u in chunk), options, catalog)
             )
     return payloads
+
+
+def dispatch_simulations(
+    units: list[CampaignUnit],
+    config: ParallelConfig,
+    batch: bool,
+    catalog: Catalog | None,
+) -> list[tuple[str, dict | None, str | None]]:
+    """Run one batch of units through the selected kernel.
+
+    The single dispatch point shared by :func:`execute_units` and the
+    sharded streaming runner, so kernel-selection semantics (chunk payload
+    grouping, the no-re-chunk outer map) can never diverge between the
+    resident and streaming paths.
+    """
+    if batch:
+        # One payload per worker chunk: the chunk itself is vectorized, so
+        # the outer map must not re-chunk it.
+        payloads = _chunk_payloads(units, config.chunk_size, catalog)
+        return [
+            outcome
+            for chunk in parallel_map(
+                _simulate_chunk, payloads, config=replace(config, chunk_size=1)
+            )
+            for outcome in chunk
+        ]
+    payloads = [
+        (unit.key, unit.plan, unit.options, unit.seed, catalog) for unit in units
+    ]
+    return parallel_map(_simulate_unit, payloads, config=config)
 
 
 def execute_units(
@@ -199,24 +235,8 @@ def execute_units(
     failures: list[tuple[str, str]] = []
     by_key = {unit.key: unit for unit in units}
     for start in range(0, len(pending), batch_size):
-        flush_units = pending[start:start + batch_size]
-        if batch:
-            # One payload per worker chunk: the chunk itself is vectorized,
-            # so the outer map must not re-chunk it.
-            payloads = _chunk_payloads(flush_units, config.chunk_size, catalog)
-            outcomes = [
-                outcome
-                for chunk in parallel_map(
-                    _simulate_chunk, payloads, config=replace(config, chunk_size=1)
-                )
-                for outcome in chunk
-            ]
-        else:
-            payloads = [
-                (unit.key, unit.plan, unit.options, unit.seed, catalog)
-                for unit in flush_units
-            ]
-            outcomes = parallel_map(_simulate_unit, payloads, config=config)
+        flush_units = pending[start : start + batch_size]
+        outcomes = dispatch_simulations(flush_units, config, batch, catalog)
         for key, row, error in outcomes:
             unit = by_key[key]
             if error is None:

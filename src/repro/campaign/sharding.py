@@ -1,0 +1,512 @@
+"""Sharded, streaming campaign execution: sweep size O(shard) in memory.
+
+:func:`run_campaign` materialises every expanded unit and every result row
+at once, which caps sweep size by RAM.  This module is the bounded-memory
+path through the same data plane:
+
+* :func:`iter_shards` partitions a spec's expansion into fixed-size
+  :class:`Shard`\\ s **lazily** — it drives
+  :meth:`CampaignSpec.iter_units`, so at no point does the full unit list
+  exist in memory,
+* :func:`stream_campaign` executes one shard at a time through the existing
+  batch kernel, flushes the shard's rows to a columnar ``.npz`` artifact in
+  the campaign store and folds them into :class:`~repro.campaign.reduce`
+  online reducers before the next shard starts,
+* the :class:`CampaignStore` shard manifest records each flush, so a killed
+  campaign resumes at shard granularity: complete shards reload their
+  artifact (zero per-unit cache probing), only incomplete shards re-execute.
+
+Equivalence contract
+--------------------
+Sharding changes *when* rows leave memory, never *what* they are.  Unit
+keys, cached rows and the per-shard frames are exactly what the unsharded
+runner produces, shard concatenation reproduces the unsharded campaign
+frame bit-for-bit, and the sequential reducers make the streamed aggregate
+bit-identical to reducing that frame in one pass (all pinned by the
+sharding tests and ``benchmarks/test_bench_shard.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from ..errors import ArtifactError, CampaignError
+from ..frame import Frame, concat
+from ..market.catalog import Catalog
+from ..parallel import ParallelConfig
+from ..session.artifacts import ArtifactStore, digest_json
+from ..session.columnar import frame_from_arrays, frame_to_arrays
+from ..session.policy import ExecutionPolicy
+from .aggregate import FrameAccumulator, annotate_row
+from .reduce import FrameReducer
+from .spec import CampaignSpec, CampaignUnit
+from .store import CampaignStore
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "Shard",
+    "ShardOutcome",
+    "StreamingCampaignResult",
+    "iter_shards",
+    "stream_campaign",
+    "resume_streaming",
+]
+
+#: Default units per shard: large enough to keep the batch kernel saturated
+#: and the per-shard bookkeeping negligible, small enough that a resident
+#: shard (units + rows + frame) stays in the tens of megabytes.
+DEFAULT_SHARD_SIZE = 1024
+
+
+# --------------------------------------------------------------------------- #
+# Shard planning
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous window of a campaign expansion."""
+
+    index: int
+    start: int
+    units: tuple[CampaignUnit, ...]
+
+    @property
+    def stop(self) -> int:
+        return self.start + len(self.units)
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    def keys_digest(self) -> str:
+        """Short content digest of the shard's unit keys, in order.
+
+        Folded into the shard manifest so ``resume`` detects a store whose
+        spec snapshot no longer matches the recorded shards (e.g. a catalog
+        change between runs) instead of trusting stale artifacts.
+        """
+        return digest_json([unit.key for unit in self.units])[:16]
+
+    def artifact_key(self) -> str:
+        """Content-hash key of the shard's columnar frame artifact."""
+        return digest_json(
+            {
+                "shard": self.index,
+                "start": self.start,
+                "keys": [unit.key for unit in self.units],
+            }
+        )
+
+
+def iter_shards(
+    spec: CampaignSpec,
+    catalog: Catalog | None = None,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+) -> Iterator[Shard]:
+    """Lazily partition a spec's expansion into fixed-size shards.
+
+    Only one shard's units are resident at a time; memory is O(shard_size)
+    plus the duplicate-detection key set (64 hex chars per unit).
+    """
+    if shard_size < 1:
+        raise CampaignError(f"shard_size must be >= 1, got {shard_size}")
+    window: list[CampaignUnit] = []
+    index = 0
+    start = 0
+    for unit in spec.iter_units(catalog):
+        window.append(unit)
+        if len(window) == shard_size:
+            yield Shard(index=index, start=start, units=tuple(window))
+            index += 1
+            start += len(window)
+            window.clear()
+    if window:
+        yield Shard(index=index, start=start, units=tuple(window))
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardOutcome:
+    """Bookkeeping of one executed (or reloaded) shard."""
+
+    index: int
+    start: int
+    n_units: int
+    n_rows: int
+    cache_hits: int
+    simulated: int
+    failures: tuple[tuple[str, str], ...]  # (unit_id, error)
+    artifact_key: str
+    reloaded: bool  # served wholesale from the artifact
+
+    @property
+    def is_complete(self) -> bool:
+        return self.n_rows == self.n_units
+
+
+@dataclass(frozen=True)
+class StreamingCampaignResult:
+    """Outcome of one :func:`stream_campaign` invocation.
+
+    Unlike :class:`~repro.campaign.runner.CampaignResult` there is no
+    resident campaign frame — rows live in the store's per-shard ``.npz``
+    artifacts, and :attr:`aggregate` carries the streamed column summary
+    (count / sum / mean / min / max / var per numeric column).
+    :meth:`iter_frames` re-streams the rows shard by shard;
+    :meth:`frame` materialises them all (only do that at sizes where the
+    unsharded runner would have been fine too).
+    """
+
+    total_units: int
+    shard_size: int
+    cache_hits: int
+    simulated: int
+    failures: tuple[tuple[str, str], ...]  # (unit_id, error)
+    shards: tuple[ShardOutcome, ...]
+    aggregate: Frame
+    store_directory: str
+
+    @property
+    def completed(self) -> int:
+        return sum(shard.n_rows for shard in self.shards)
+
+    @property
+    def total_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completed == self.total_units
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.total_units} units in {self.total_shards} shards "
+            f"(shard_size={self.shard_size}): {self.cache_hits} cached, "
+            f"{self.simulated} simulated, {len(self.failures)} failed "
+            f"({self.completed} rows in {self.store_directory})"
+        ]
+        for unit_id, error in self.failures:
+            lines.append(f"  failed {unit_id}: {error}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    def _shard_store(self) -> ArtifactStore:
+        return CampaignStore(self.store_directory).shard_store
+
+    def iter_frames(self) -> Iterator[Frame]:
+        """Yield each shard's frame from its artifact, one at a time."""
+        store = self._shard_store()
+        for shard in self.shards:
+            if shard.n_rows == 0:
+                continue
+            frame = _load_shard_frame(store, shard.artifact_key)
+            if frame is None:
+                raise CampaignError(
+                    f"shard {shard.index} artifact is missing from "
+                    f"{self.store_directory}; re-run the campaign"
+                )
+            yield frame
+
+    def frame(self) -> Frame:
+        """The full campaign frame, concatenated from the shard artifacts.
+
+        Materialises every row — O(plan) memory, exactly what streaming
+        avoids — so reserve this for sweep sizes the unsharded runner could
+        also hold.  The result is bit-identical to the unsharded
+        :attr:`CampaignResult.frame` of the same spec.
+        """
+        return concat(list(self.iter_frames()))
+
+    def write_csv(self, path: str | os.PathLike) -> int:
+        """Stream the campaign rows to a CSV file, one shard at a time.
+
+        Returns the number of rows written.  Memory stays O(shard); the
+        shard schemas must agree (same spec ⇒ same columns).
+        """
+        from ..frame.csvio import frame_to_csv_text
+
+        directory = os.path.dirname(os.fspath(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        path = Path(path)
+        header: list[str] | None = None
+        rows = 0
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            for frame in self.iter_frames():
+                text = frame_to_csv_text(frame)
+                if header is None:
+                    header = frame.columns
+                    handle.write(text)
+                else:
+                    if frame.columns != header:
+                        raise CampaignError(
+                            "shard schemas differ; use frame() to "
+                            "concatenate with union-of-columns semantics"
+                        )
+                    handle.write(text.split("\n", 1)[1])
+                rows += len(frame)
+        return rows
+
+
+# --------------------------------------------------------------------------- #
+# Streaming execution
+# --------------------------------------------------------------------------- #
+def _load_shard_frame(store: ArtifactStore, key: str) -> Frame | None:
+    """Rebuild one shard frame from its artifact; ``None`` on a miss."""
+    payload = store.get(key)
+    if payload is None:
+        return None
+    arrays = store.get_arrays(key)
+    if arrays is None:
+        return None
+    return frame_from_arrays(payload["columns"], arrays)
+
+
+def _flush_shard(
+    shard: Shard,
+    store: CampaignStore,
+    config: ParallelConfig,
+    batch: bool,
+    catalog: Catalog | None,
+    budget: int | None,
+) -> tuple[ShardOutcome, Frame]:
+    """Execute one shard's missing units and persist its frame artifact.
+
+    ``budget`` bounds the number of *new* simulations (``None`` = no bound);
+    the caller decrements it by the returned outcome's ``simulated``.
+    """
+    cache = store.cache
+    rows_by_key: dict[str, dict] = {}
+    pending: list[CampaignUnit] = []
+    for unit in shard.units:
+        row = cache.get(unit.key)
+        if row is not None:
+            rows_by_key[unit.key] = row
+        else:
+            pending.append(unit)
+    cache_hits = len(rows_by_key)
+
+    if budget is not None:
+        pending = pending[:budget]
+
+    failures: list[tuple[str, str]] = []
+    if pending:
+        from .runner import dispatch_simulations
+
+        by_key = {unit.key: unit for unit in shard.units}
+        outcomes = dispatch_simulations(pending, config, batch, catalog)
+        ledger: list[tuple[CampaignUnit, str | None]] = []
+        for key, row, error in outcomes:
+            unit = by_key[key]
+            if error is None:
+                cache.put(key, row)
+                rows_by_key[key] = row
+            else:
+                failures.append((unit.unit_id, error))
+            ledger.append((unit, error))
+        store.record_many(ledger)
+
+    accumulator = FrameAccumulator()
+    for unit in shard.units:
+        row = rows_by_key.get(unit.key)
+        if row is not None:
+            accumulator.add_row(annotate_row(row, unit))
+    frame = accumulator.to_frame()
+
+    artifact_key = shard.artifact_key()
+    meta, arrays = frame_to_arrays(frame)
+    store.shard_store.put(
+        artifact_key, {"columns": meta, "n_rows": len(frame)}, arrays=arrays
+    )
+    outcome = ShardOutcome(
+        index=shard.index,
+        start=shard.start,
+        n_units=shard.n_units,
+        n_rows=len(frame),
+        cache_hits=cache_hits,
+        simulated=len(pending) - len(failures),
+        failures=tuple(failures),
+        artifact_key=artifact_key,
+        reloaded=False,
+    )
+    store.record_shard(
+        {
+            "index": shard.index,
+            "start": shard.start,
+            "count": shard.n_units,
+            "n_rows": len(frame),
+            "failed": len(failures),
+            "keys_digest": shard.keys_digest(),
+            "artifact": artifact_key,
+            "status": "complete" if outcome.is_complete else "partial",
+        }
+    )
+    return outcome, frame
+
+
+def _reload_shard(
+    shard: Shard, store: CampaignStore, entry: dict[str, Any]
+) -> tuple[ShardOutcome, Frame] | None:
+    """Serve a recorded complete shard from its artifact, if still valid."""
+    if entry.get("status") != "complete":
+        return None
+    if entry.get("keys_digest") != shard.keys_digest():
+        return None  # spec/catalog drifted under the store
+    artifact_key = entry.get("artifact")
+    if not isinstance(artifact_key, str):
+        return None
+    try:
+        frame = _load_shard_frame(store.shard_store, artifact_key)
+    except (ArtifactError, CampaignError):
+        return None  # corrupt artifact: re-execute the shard
+    if frame is None or len(frame) != shard.n_units:
+        return None
+    outcome = ShardOutcome(
+        index=shard.index,
+        start=shard.start,
+        n_units=shard.n_units,
+        n_rows=len(frame),
+        cache_hits=shard.n_units,
+        simulated=0,
+        failures=(),
+        artifact_key=artifact_key,
+        reloaded=True,
+    )
+    return outcome, frame
+
+
+def stream_campaign(
+    spec: CampaignSpec,
+    store_dir: str | os.PathLike,
+    parallel: ParallelConfig | None = None,
+    catalog: Catalog | None = None,
+    shard_size: int | None = None,
+    max_units: int | None = None,
+    max_shards: int | None = None,
+    batch: bool | None = None,
+    policy: ExecutionPolicy | None = None,
+    progress: Callable[[ShardOutcome, int], None] | None = None,
+) -> StreamingCampaignResult:
+    """Execute a campaign shard by shard with bounded resident memory.
+
+    The expansion is consumed lazily, each shard's rows are flushed to a
+    columnar artifact before the next shard starts, and aggregates are
+    folded through online reducers — peak memory is O(shard_size), not
+    O(plan).  Re-invoking over the same store resumes at shard granularity:
+    complete shards reload their artifact wholesale, partial shards
+    re-execute only their missing units (per-unit cache hits keep repeats
+    cheap).
+
+    ``max_units`` bounds new simulation *attempts* across the whole run
+    (failures count — matching :func:`~repro.campaign.runner.execute_units`);
+    once spent, later shards are still visited cache-only so the result
+    stays a full progress report.  ``max_shards`` stops after that many
+    shards entirely (smoke runs; also how tests emulate a killed campaign).
+    ``progress`` is invoked after every shard with its outcome and the
+    total shard count (the CLI's streaming status line).  A ``policy``
+    supplies ``parallel``/``batch``/``shard_size`` defaults; explicit
+    arguments win.
+    """
+    if policy is not None:
+        parallel = policy.parallel_config() if parallel is None else parallel
+        if batch is None:
+            batch = policy.use_batch_kernel
+        if shard_size is None:
+            shard_size = policy.effective_shard_size
+    if batch is None:
+        batch = True
+    if shard_size is None:
+        shard_size = DEFAULT_SHARD_SIZE
+    if shard_size < 1:
+        raise CampaignError(f"shard_size must be >= 1, got {shard_size}")
+
+    store = CampaignStore(store_dir)
+    store.initialize_streaming(spec, shard_size)
+
+    config = parallel or ParallelConfig(backend="serial")
+    if config.backend != "serial":
+        # A campaign unit is a whole benchmark simulation; see execute_units
+        # for why the executor's cheap-work serial threshold must not apply.
+        config = replace(config, serial_threshold=0)
+
+    total_units = spec.n_units
+    n_shards = -(-total_units // shard_size)
+    recorded = store.shard_entries()
+    reducer = FrameReducer()
+    outcomes: list[ShardOutcome] = []
+    failures: list[tuple[str, str]] = []
+    cache_hits = 0
+    simulated = 0
+    budget = max_units
+
+    for shard in iter_shards(spec, catalog, shard_size=shard_size):
+        if max_shards is not None and shard.index >= max_shards:
+            break
+        reloaded = _reload_shard(shard, store, recorded.get(shard.index, {}))
+        if reloaded is not None:
+            outcome, frame = reloaded
+        else:
+            outcome, frame = _flush_shard(shard, store, config, batch, catalog, budget)
+            if budget is not None:
+                # Attempts spend the budget, successful or not, mirroring
+                # the unsharded runner's pending[:max_units] semantics.
+                budget -= outcome.simulated + len(outcome.failures)
+        outcomes.append(outcome)
+        failures.extend(outcome.failures)
+        cache_hits += outcome.cache_hits
+        simulated += outcome.simulated
+        reducer.update(frame)
+        del frame  # the whole point: nothing accumulates
+        if progress is not None:
+            progress(outcome, n_shards)
+
+    return StreamingCampaignResult(
+        total_units=total_units,
+        shard_size=shard_size,
+        cache_hits=cache_hits,
+        simulated=simulated,
+        failures=tuple(failures),
+        shards=tuple(outcomes),
+        aggregate=reducer.to_frame(),
+        store_directory=str(store.directory),
+    )
+
+
+def resume_streaming(
+    store_dir: str | os.PathLike,
+    parallel: ParallelConfig | None = None,
+    catalog: Catalog | None = None,
+    shard_size: int | None = None,
+    max_units: int | None = None,
+    max_shards: int | None = None,
+    batch: bool | None = None,
+    policy: ExecutionPolicy | None = None,
+    progress: Callable[[ShardOutcome, int], None] | None = None,
+) -> StreamingCampaignResult:
+    """Continue an interrupted sharded campaign from its on-disk snapshot.
+
+    The shard layout is read back from the store (falling back to
+    ``shard_size``/policy for stores that predate it), so a resume
+    partitions the expansion exactly as the interrupted run did — the
+    precondition for shard-granular skipping.
+    """
+    store = CampaignStore(store_dir)
+    spec = store.load_spec()
+    if shard_size is None:
+        shard_size = store.stored_shard_size()
+    return stream_campaign(
+        spec,
+        store_dir,
+        parallel=parallel,
+        catalog=catalog,
+        shard_size=shard_size,
+        max_units=max_units,
+        max_shards=max_shards,
+        batch=batch,
+        policy=policy,
+        progress=progress,
+    )

@@ -20,7 +20,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import CampaignError
 from ..market.catalog import Catalog, CatalogEntry, default_catalog
@@ -190,13 +190,20 @@ class CampaignSpec:
         return product
 
     # ------------------------------------------------------------------ #
-    def _assignments(self) -> list[dict[str, Any]]:
+    def _iter_assignments(self) -> Iterator[dict[str, Any]]:
+        """Lazily yield axis assignments in expansion order.
+
+        ``itertools.product`` materialises only one value tuple at a time,
+        so iterating assignments never holds the cross product in memory —
+        the property the sharded streaming runner relies on.
+        """
         axes = list(self.sweep)
         if self.expansion == "zip":
             rows = zip(*(self.sweep[a] for a in axes))
         else:
             rows = itertools.product(*(self.sweep[a] for a in axes))
-        return [dict(zip(axes, row)) for row in rows]
+        for row in rows:
+            yield dict(zip(axes, row))
 
     def _resolve_unit(
         self, index: int, assignment: dict[str, Any], catalog: Catalog
@@ -277,22 +284,34 @@ class CampaignSpec:
             seed=seed,
         )
 
+    def iter_units(
+        self, catalog: Catalog | None = None, check_duplicates: bool = True
+    ) -> Iterator[CampaignUnit]:
+        """Lazily resolve the spec into ordered, content-addressed units.
+
+        Units are yielded one at a time in expansion order; the full unit
+        list is never materialised, which keeps a consumer that processes
+        units in bounded windows (the sharded streaming runner) at O(window)
+        memory.  Duplicate-scenario detection keeps only the seen *keys*
+        resident (64 hex chars per unit, orders of magnitude lighter than
+        the units themselves); ``check_duplicates=False`` drops even that.
+        """
+        catalog = catalog or default_catalog()
+        seen: dict[str, int] = {}
+        for index, assignment in enumerate(self._iter_assignments()):
+            unit = self._resolve_unit(index, assignment, catalog)
+            if check_duplicates:
+                if unit.key in seen:
+                    raise CampaignError(
+                        f"units {seen[unit.key]} and {unit.index} resolve to "
+                        "the same scenario; remove the redundant axis values"
+                    )
+                seen[unit.key] = unit.index
+            yield unit
+
     def expand(self, catalog: Catalog | None = None) -> tuple[CampaignUnit, ...]:
         """Resolve the spec into ordered, content-addressed units."""
-        catalog = catalog or default_catalog()
-        units = [
-            self._resolve_unit(index, assignment, catalog)
-            for index, assignment in enumerate(self._assignments())
-        ]
-        seen: dict[str, int] = {}
-        for unit in units:
-            if unit.key in seen:
-                raise CampaignError(
-                    f"units {seen[unit.key]} and {unit.index} resolve to the "
-                    "same scenario; remove the redundant axis values"
-                )
-            seen[unit.key] = unit.index
-        return tuple(units)
+        return tuple(self.iter_units(catalog))
 
     # ------------------------------------------------------------------ #
     # Serialisation (JSON round-trip used by the CLI and the store)

@@ -11,7 +11,11 @@ interrupted campaign without the original process:
 * ``results/`` — the content-addressed :class:`ResultCache`,
 * ``ledger.jsonl`` — append-only per-unit outcome log (``ok`` / ``failed``
   with the captured error), the record of *attempts* as opposed to the
-  cache's record of *successes*.
+  cache's record of *successes*,
+* ``shards.jsonl`` + ``shards/`` — present for sharded streaming runs: the
+  append-only shard manifest (latest entry per shard index wins) and the
+  content-addressed per-shard columnar frame artifacts it points into, the
+  state that lets ``resume`` restart at shard granularity.
 
 Because results are keyed by content and the ledger is append-only, a store
 survives being killed at any point: the next run simply simulates whatever
@@ -24,13 +28,20 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from ..errors import CampaignError
 from .cache import ResultCache
 from .spec import CampaignSpec, CampaignUnit
 
-__all__ = ["CampaignStatus", "CampaignStore"]
+if TYPE_CHECKING:  # import-cycle-safe: only the type checker needs this
+    from ..session.artifacts import ArtifactStore
+
+__all__ = ["SHARD_SCHEMA", "CampaignStatus", "CampaignStore"]
+
+#: Schema version of per-shard frame artifacts; bump when the columnar
+#: payload layout changes so stale shard artifacts miss instead of loading.
+SHARD_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -41,7 +52,7 @@ class CampaignStatus:
     total: int
     completed: int
     failed: int
-    failures: tuple[tuple[str, str], ...]   # (unit_id, error)
+    failures: tuple[tuple[str, str], ...]  # (unit_id, error)
 
     @property
     def pending(self) -> int:
@@ -84,9 +95,28 @@ class CampaignStore:
     def ledger_path(self) -> Path:
         return self.directory / "ledger.jsonl"
 
+    @property
+    def shards_path(self) -> Path:
+        return self.directory / "shards.jsonl"
+
+    @property
+    def shard_store(self) -> "ArtifactStore":
+        """Content-addressed store of per-shard columnar frame artifacts.
+
+        Shard artifacts are campaign state, so unreadable entries surface
+        as :class:`CampaignError` (mirroring :class:`ResultCache`) — one
+        exception type for every campaign-store failure the CLI and the
+        streaming export paths guard against.
+        """
+        from ..session.artifacts import ArtifactStore
+
+        store = ArtifactStore(self.directory / "shards", schema=SHARD_SCHEMA)
+        store.error = CampaignError
+        return store
+
     # ------------------------------------------------------------------ #
-    def initialize(self, spec: CampaignSpec, units: tuple[CampaignUnit, ...]) -> None:
-        """Record the spec snapshot and unit manifest before execution.
+    def _write_spec_snapshot(self, spec: CampaignSpec) -> None:
+        """Record the spec snapshot, rejecting a conflicting existing one.
 
         A store only ever belongs to one spec; initialising with a different
         one is an error (use a fresh directory per campaign).
@@ -104,6 +134,10 @@ class CampaignStore:
                 json.dumps(spec.to_dict(), indent=2, sort_keys=True),
                 encoding="utf-8",
             )
+
+    def initialize(self, spec: CampaignSpec, units: tuple[CampaignUnit, ...]) -> None:
+        """Record the spec snapshot and full unit manifest before execution."""
+        self._write_spec_snapshot(spec)
         manifest = {
             "name": spec.name,
             "units": [
@@ -119,6 +153,38 @@ class CampaignStore:
         self.manifest_path.write_text(
             json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
         )
+
+    def initialize_streaming(self, spec: CampaignSpec, shard_size: int) -> None:
+        """Record the spec snapshot and a *light* manifest (no unit list).
+
+        A sharded streaming run never materialises the full expansion, so
+        the manifest holds only the unit count and the shard layout —
+        O(plan)-sized per-unit metadata would defeat the bounded-memory
+        contract.  ``status`` and ``resume`` work from the cache, the
+        ledger and the shard manifest instead.
+        """
+        self._write_spec_snapshot(spec)
+        manifest = {
+            "name": spec.name,
+            "n_units": spec.n_units,
+            "sharded": {"shard_size": int(shard_size)},
+        }
+        self.manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    def stored_shard_size(self) -> int | None:
+        """The shard layout the store was last initialised with, if any."""
+        try:
+            data = self._read_json(self.manifest_path, "missing", "manifest")
+        except CampaignError:
+            return None
+        sharded = data.get("sharded")
+        if isinstance(sharded, Mapping):
+            size = sharded.get("shard_size")
+            if isinstance(size, int) and size >= 1:
+                return size
+        return None
 
     def _read_json(self, path: Path, missing: str, what: str) -> Any:
         """Read one JSON document, mapping IO failures to campaign errors."""
@@ -139,16 +205,17 @@ class CampaignStore:
         return CampaignSpec.from_dict(data)
 
     def load_manifest(self) -> list[dict[str, Any]]:
+        """Per-unit manifest entries; empty for light (streaming) manifests."""
         data = self._read_json(
             self.manifest_path,
             f"{self.directory} has no manifest; run the campaign first",
             "manifest",
         )
-        return data["units"]
+        return data.get("units", [])
 
     # ------------------------------------------------------------------ #
-    def record(self, unit: CampaignUnit, error: str | None = None) -> None:
-        """Append one attempt outcome to the ledger."""
+    @staticmethod
+    def _ledger_entry(unit: CampaignUnit, error: str | None) -> dict[str, Any]:
         entry = {
             "unit_id": unit.unit_id,
             "key": unit.key,
@@ -156,45 +223,118 @@ class CampaignStore:
         }
         if error is not None:
             entry["error"] = error
-        with self.ledger_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        return entry
 
-    def ledger_entries(self) -> list[dict[str, Any]]:
-        """All ledger entries in append order (torn tail lines skipped)."""
-        if not self.ledger_path.exists():
+    def record(self, unit: CampaignUnit, error: str | None = None) -> None:
+        """Append one attempt outcome to the ledger."""
+        with self.ledger_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(self._ledger_entry(unit, error), sort_keys=True) + "\n")
+
+    def record_many(
+        self, outcomes: "Iterable[tuple[CampaignUnit, str | None]]"
+    ) -> None:
+        """Append a batch of attempt outcomes with one ledger open.
+
+        The streaming runner flushes one shard at a time; opening the ledger
+        per unit would dominate shard bookkeeping at 100k-unit scale.
+        """
+        lines = [
+            json.dumps(self._ledger_entry(unit, error), sort_keys=True)
+            for unit, error in outcomes
+        ]
+        if not lines:
+            return
+        with self.ledger_path.open("a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+    def _jsonl_entries(self, path: Path) -> list[dict[str, Any]]:
+        """Entries of one append-only JSONL file (torn tail lines skipped)."""
+        if not path.exists():
             return []
         entries = []
-        for line in self.ledger_path.read_text(encoding="utf-8").splitlines():
+        for line in path.read_text(encoding="utf-8").splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 entries.append(json.loads(line))
             except json.JSONDecodeError:
-                continue        # torn write from a killed campaign
+                continue  # torn write from a killed campaign
         return entries
+
+    def ledger_entries(self) -> list[dict[str, Any]]:
+        """All ledger entries in append order (torn tail lines skipped)."""
+        return self._jsonl_entries(self.ledger_path)
+
+    # ------------------------------------------------------------------ #
+    # Shard manifest (sharded streaming runs)
+    # ------------------------------------------------------------------ #
+    def record_shard(self, entry: Mapping[str, Any]) -> None:
+        """Append one shard outcome to the shard manifest.
+
+        Entries are append-only like the ledger; the *latest* entry per
+        shard index wins (a resumed partial shard appends a fresh entry
+        once it completes).
+        """
+        with self.shards_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(dict(entry), sort_keys=True) + "\n")
+
+    def shard_entries(self) -> dict[int, dict[str, Any]]:
+        """Latest shard-manifest entry per shard index.
+
+        This is what gives ``resume`` shard granularity: a shard whose
+        latest entry is complete (and whose artifact still loads) is
+        skipped wholesale — no per-unit cache probing, no re-simulation.
+        """
+        latest: dict[int, dict[str, Any]] = {}
+        for entry in self._jsonl_entries(self.shards_path):
+            index = entry.get("index")
+            if isinstance(index, int):
+                latest[index] = entry
+        return latest
 
     # ------------------------------------------------------------------ #
     def status(self) -> CampaignStatus:
-        """Progress against the manifest, from cache + ledger state."""
+        """Progress against the manifest, from cache + ledger state.
+
+        Full manifests are walked unit by unit.  Light (streaming)
+        manifests carry no unit list, so completion is counted from the
+        cache and failures from the ledger — same numbers, O(completed)
+        instead of O(plan) metadata.
+        """
         spec = self.load_spec()
-        manifest = self.load_manifest()
+        data = self._read_json(
+            self.manifest_path,
+            f"{self.directory} has no manifest; run the campaign first",
+            "manifest",
+        )
+        manifest = data.get("units")
         last_error: dict[str, str] = {}
+        unit_ids: dict[str, str] = {}
         for entry in self.ledger_entries():
+            unit_ids[entry["key"]] = entry.get("unit_id", entry["key"][:16])
             if entry.get("status") == "failed":
                 last_error[entry["key"]] = entry.get("error", "unknown error")
             else:
                 last_error.pop(entry["key"], None)
         completed = 0
         failures: list[tuple[str, str]] = []
-        for unit in manifest:
-            if unit["key"] in self.cache:
-                completed += 1
-            elif unit["key"] in last_error:
-                failures.append((unit["unit_id"], last_error[unit["key"]]))
+        if manifest is None:
+            total = int(data.get("n_units", 0))
+            completed = sum(1 for _ in self.cache.keys())
+            for key, error in last_error.items():
+                if key not in self.cache:
+                    failures.append((unit_ids[key], error))
+        else:
+            total = len(manifest)
+            for unit in manifest:
+                if unit["key"] in self.cache:
+                    completed += 1
+                elif unit["key"] in last_error:
+                    failures.append((unit["unit_id"], last_error[unit["key"]]))
         return CampaignStatus(
             name=spec.name,
-            total=len(manifest),
+            total=total,
             completed=completed,
             failed=len(failures),
             failures=tuple(failures),

@@ -21,7 +21,9 @@ Sub-commands mirror the stages of the paper's artifact:
   Figures 1–6 as SVG + CSV,
 * ``spectrends table1`` — print the Table I comparison,
 * ``spectrends campaign run|status|resume --store store/`` — execute a
-  declarative scenario sweep with content-hash caching and resumption.
+  declarative scenario sweep with content-hash caching and resumption
+  (``--shard-size N`` streams it shard by shard in bounded memory, with a
+  status line per flushed shard).
 """
 
 from __future__ import annotations
@@ -30,6 +32,17 @@ import argparse
 import sys
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for flags that must be >= 1 (e.g. ``--shard-size``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_session_flags(parser: argparse.ArgumentParser) -> None:
@@ -134,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--no-batch", action="store_true",
                       help="force the scalar per-unit simulator instead of the "
                            "vectorized batch kernel")
+    crun.add_argument("--shard-size", type=_positive_int, default=None,
+                      help="execute the sweep in shards of N units, flushing "
+                           "each shard to the store before the next starts "
+                           "(bounded-memory streaming; default: unsharded)")
     _add_session_flags(crun)
     cresume = csub.add_parser(
         "resume", help="continue an interrupted campaign from its store"
@@ -144,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
     cresume.add_argument("--no-batch", action="store_true",
                          help="force the scalar per-unit simulator instead of the "
                               "vectorized batch kernel")
+    cresume.add_argument("--shard-size", type=_positive_int, default=None,
+                         help="resume shard by shard with this layout "
+                              "(default: the layout recorded in the store, "
+                              "else unsharded)")
     _add_session_flags(cresume)
     cstatus = csub.add_parser("status", help="report campaign progress")
     cstatus.add_argument("--store", required=True)
@@ -156,9 +177,24 @@ def _open_session(args: argparse.Namespace):
     from ..session.session import Session
 
     policy = ExecutionPolicy.from_jobs(
-        args.jobs, batch=not getattr(args, "no_batch", False)
+        args.jobs,
+        batch=not getattr(args, "no_batch", False),
+        shard_size=getattr(args, "shard_size", None),
     )
     return Session(workspace=args.workspace, policy=policy)
+
+
+def _shard_progress(outcome, total_shards: int) -> None:
+    """Streaming status line: one flushed (or reloaded) shard per line."""
+    if outcome.reloaded:
+        detail = "reloaded from store"
+    else:
+        detail = f"{outcome.cache_hits} cached, {outcome.simulated} simulated"
+    print(
+        f"  shard {outcome.index + 1}/{total_shards}: "
+        f"{outcome.n_rows}/{outcome.n_units} rows ({detail})",
+        flush=True,
+    )
 
 
 def _dataset(session, args: argparse.Namespace):
@@ -228,27 +264,63 @@ def _dispatch(session, args: argparse.Namespace) -> int:
                     )
                     return 2
                 handle = session.campaign(
-                    args.spec, store=args.store, max_units=args.max_units
+                    args.spec,
+                    store=args.store,
+                    max_units=args.max_units,
+                    progress=_shard_progress,
                 )
                 result = handle.result()
             else:  # resume
-                from ..campaign import resume_campaign
-
-                result = resume_campaign(
-                    args.store,
-                    max_units=args.max_units,
-                    policy=session.policy,
+                from ..campaign import (
+                    CampaignStore,
+                    resume_campaign,
+                    resume_streaming,
                 )
+
+                # A store that recorded a shard layout resumes at shard
+                # granularity; --shard-size overrides (or enables) it.
+                shard_size = args.shard_size
+                if shard_size is None:
+                    shard_size = CampaignStore(args.store).stored_shard_size()
+                if shard_size is not None:
+                    result = resume_streaming(
+                        args.store,
+                        shard_size=shard_size,
+                        max_units=args.max_units,
+                        policy=session.policy,
+                        progress=_shard_progress,
+                    )
+                else:
+                    result = resume_campaign(
+                        args.store,
+                        max_units=args.max_units,
+                        policy=session.policy,
+                    )
         except CampaignError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(result.describe())
         if args.csv:
-            if len(result.frame):
-                result.frame.to_csv(args.csv)
-                print(f"wrote {len(result.frame)} rows to {args.csv}")
-            else:
-                print(f"no completed units; {args.csv} not written")
+            from ..campaign import StreamingCampaignResult
+
+            # Streaming CSV export re-reads the shard artifacts, so it can
+            # hit the same store corruption the run/resume block guards —
+            # keep it one clean line too.
+            try:
+                if isinstance(result, StreamingCampaignResult):
+                    if result.completed:
+                        rows = result.write_csv(args.csv)
+                        print(f"wrote {rows} rows to {args.csv}")
+                    else:
+                        print(f"no completed units; {args.csv} not written")
+                elif len(result.frame):
+                    result.frame.to_csv(args.csv)
+                    print(f"wrote {len(result.frame)} rows to {args.csv}")
+                else:
+                    print(f"no completed units; {args.csv} not written")
+            except CampaignError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         return 0 if not result.failures else 2
 
     if args.command == "table1":

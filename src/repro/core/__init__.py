@@ -32,7 +32,16 @@ from .metrics import (
 from .trends import TrendFinding, headline_findings, submissions_per_year, share_shift
 from .proportionality import ProportionalityScore, proportionality_scores
 from .correlationstudy import CorrelationStudy, run_correlation_study
-from .figures import FigureArtifact, figure1, figure2, figure3, figure4, figure5, figure6, all_figures
+from .figures import (
+    FigureArtifact,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    all_figures,
+)
 from .tables import Table1Row, table1
 from .report import PaperComparison, build_report
 

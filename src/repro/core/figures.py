@@ -281,7 +281,9 @@ def figure4(filtered: Frame, levels: tuple[int, ...] = (60, 70, 80, 90)) -> Figu
         for level, column in zip(levels, columns):
             boxes: list[BoxStats] = []
             for year in years:
-                values = vendor_frame.filter(vendor_frame["hw_avail_year"] == year)[column].to_list()
+                values = vendor_frame.filter(vendor_frame["hw_avail_year"] == year)[
+                    column
+                ].to_list()
                 stats = box_stats(values)
                 boxes.append(stats)
                 rows.append(

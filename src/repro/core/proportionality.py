@@ -39,7 +39,7 @@ class ProportionalityScore:
 def _run_scores(levels: np.ndarray, powers: np.ndarray, idle: float) -> ProportionalityScore:
     if np.any(np.isnan(powers)) or np.isnan(idle) or powers[0] <= 0:
         return ProportionalityScore(float("nan"), float("nan"), float("nan"))
-    full = powers[0]                       # levels are ordered 100 % first
+    full = powers[0]  # levels are ordered 100 % first
     normalised = powers / full
     # Trapezoidal area between the measured curve and the proportional line,
     # evaluated over the measured load range [10 %, 100 %] plus the idle point.

@@ -123,7 +123,7 @@ def _column_codes(column) -> tuple[np.ndarray, int]:
     if memo is not None:
         return memo
     missing = key_missing_mask(column)
-    codes = np.zeros(len(column), dtype=np.int64)       # 0 = null bucket
+    codes = np.zeros(len(column), dtype=np.int64)  # 0 = null bucket
     valid = np.flatnonzero(~missing)
     n_unique = 0
     if len(valid) > 0:

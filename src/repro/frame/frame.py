@@ -238,7 +238,9 @@ class Frame:
     # ------------------------------------------------------------------ #
     # Sorting / deduplication
     # ------------------------------------------------------------------ #
-    def sort_by(self, names: Sequence[str] | str, descending: bool | Sequence[bool] = False) -> "Frame":
+    def sort_by(
+        self, names: Sequence[str] | str, descending: bool | Sequence[bool] = False
+    ) -> "Frame":
         """Sort rows by one or more columns (stable, missing values last)."""
         if isinstance(names, str):
             names = [names]
@@ -352,6 +354,12 @@ def concat(frames: Sequence[Frame]) -> Frame:
 
     Columns are unioned; values missing from an input frame become missing
     values in the result.  Column order follows first appearance.
+
+    A column present in *every* input with one consistent kind is stitched
+    as pure array work (``np.concatenate`` of values and validity masks) —
+    the path campaign shard concatenation takes, where every shard shares
+    one schema.  Columns that need backfilling or kind reconciliation fall
+    back to the per-value route; both produce the same frame.
     """
     frames = [f for f in frames if f is not None]
     if not frames:
@@ -360,12 +368,25 @@ def concat(frames: Sequence[Frame]) -> Frame:
     for frame in frames:
         for name in frame.columns:
             names.setdefault(name, None)
-    data: dict[str, list] = {name: [] for name in names}
-    for frame in frames:
-        length = len(frame)
-        for name in names:
-            if name in frame:
-                data[name].extend(frame[name].to_list())
+    columns: dict[str, Column] = {}
+    for name in names:
+        parts = [frame[name] for frame in frames if name in frame]
+        kinds = {part.kind for part in parts}
+        if len(parts) == len(frames) and len(kinds) == 1:
+            if len(parts) == 1:
+                columns[name] = parts[0]  # columns are immutable: share it
             else:
-                data[name].extend([None] * length)
-    return Frame.from_dict(data)
+                columns[name] = Column(
+                    np.concatenate([part.values for part in parts]),
+                    np.concatenate([part.mask for part in parts]),
+                    parts[0].kind,
+                )
+            continue
+        values: list = []
+        for frame in frames:
+            if name in frame:
+                values.extend(frame[name].to_list())
+            else:
+                values.extend([None] * len(frame))
+        columns[name] = Column.from_values(values)
+    return Frame(columns)

@@ -64,7 +64,7 @@ class SystemPlan:
     system_vendor: str
     system_model: str
     psu_rating_w: float
-    category: str = "server"          # "server", "other_vendor" or "desktop"
+    category: str = "server"  # "server", "other_vendor" or "desktop"
     anomaly: AnomalyKind | None = None
     accepted: bool = True
 
@@ -270,7 +270,9 @@ class FleetSampler:
         templates = _MODEL_TEMPLATES.get(vendor, ("Server X100",))
         base = str(rng.choice(templates))
         generation = max(1, (year - 2004) // 2)
-        suffix = rng.choice([f" Gen{generation}", f" M{generation}", f" V{max(generation - 7, 1)}", ""])
+        suffix = rng.choice(
+            [f" Gen{generation}", f" M{generation}", f" V{max(generation - 7, 1)}", ""]
+        )
         return base + str(suffix)
 
     def _sample_system(

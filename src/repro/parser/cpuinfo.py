@@ -35,7 +35,7 @@ _NON_X86_VENDORS = {
     "altra": "Ampere",
     "graviton": "Amazon",
     "kunpeng": "Huawei",
-    "itanium": "Intel",          # IA-64: not x86 despite the vendor
+    "itanium": "Intel",  # IA-64: not x86 despite the vendor
 }
 
 #: A model token is a word containing at least one digit (e.g. "8490H",
@@ -48,10 +48,10 @@ class CPUInfo:
     """Classification of one CPU name string."""
 
     raw: str
-    vendor: str                  # "Intel", "AMD" or another silicon vendor
-    family: str                  # "Xeon", "Opteron", "EPYC", "Desktop", "NonX86", "Unknown"
-    cpu_class: str               # "server", "desktop", "non_x86", "unknown"
-    model_token: str | None      # e.g. "8490H", None when ambiguous
+    vendor: str  # "Intel", "AMD" or another silicon vendor
+    family: str  # "Xeon", "Opteron", "EPYC", "Desktop", "NonX86", "Unknown"
+    cpu_class: str  # "server", "desktop", "non_x86", "unknown"
+    model_token: str | None  # e.g. "8490H", None when ambiguous
     is_ambiguous: bool
 
     @property

@@ -67,11 +67,11 @@ class RunRecord:
     cpu_name: str | None = None
     cpu_vendor: str | None = None
     cpu_family: str | None = None
-    cpu_class: str | None = None          # "server", "desktop", "non_x86", "unknown"
+    cpu_class: str | None = None  # "server", "desktop", "non_x86", "unknown"
     cpu_frequency_mhz: float | None = None
     # Software ---------------------------------------------------------------
     os_name: str | None = None
-    os_family: str | None = None          # "Windows", "Linux", "Other"
+    os_family: str | None = None  # "Windows", "Linux", "Other"
     jvm: str | None = None
     # Results ------------------------------------------------------------------
     overall_ssj_ops_per_watt: float | None = None

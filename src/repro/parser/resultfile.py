@@ -90,7 +90,9 @@ def parse_result_text(text: str, file_name: str = "<memory>") -> ParsedRun:
             if level in LOAD_LEVELS:
                 try:
                     if level_match.group(2):
-                        record.set_level("actual_load", level, parse_number(level_match.group(2)) / 100.0)
+                        record.set_level(
+                            "actual_load", level, parse_number(level_match.group(2)) / 100.0
+                        )
                     record.set_level("ssj_ops", level, parse_number(level_match.group(3)))
                     record.set_level("power", level, parse_number(level_match.group(4)))
                 except ParseError as exc:

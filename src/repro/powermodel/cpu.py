@@ -43,8 +43,8 @@ class CPUFamily(str, enum.Enum):
     XEON = "Xeon"
     OPTERON = "Opteron"
     EPYC = "EPYC"
-    DESKTOP = "Desktop"       # e.g. Core i7 / Pentium — filtered by the paper
-    NON_X86 = "NonX86"        # e.g. POWER / SPARC / ARM — filtered by the paper
+    DESKTOP = "Desktop"  # e.g. Core i7 / Pentium — filtered by the paper
+    NON_X86 = "NonX86"  # e.g. POWER / SPARC / ARM — filtered by the paper
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value

@@ -63,7 +63,7 @@ def derive_record(result: RunResult) -> RunRecord:
     try:
         hw = parse_month_date(_hardware_availability(result))
     except ParseError:
-        hw = None                      # year-only (ambiguous) availability
+        hw = None  # year-only (ambiguous) availability
     if hw is not None:
         record.hw_avail_year, record.hw_avail_month = hw.year, hw.month
         record.hw_avail_decimal = hw.decimal_year

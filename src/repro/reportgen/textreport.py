@@ -55,9 +55,9 @@ def _cpu_display_name(result: RunResult) -> str:
 def _hardware_availability(result: RunResult) -> str:
     anomaly = result.plan.anomaly
     if anomaly == AnomalyKind.AMBIGUOUS_DATE:
-        return str(result.plan.hw_avail.year)          # year only: ambiguous
+        return str(result.plan.hw_avail.year)  # year only: ambiguous
     if anomaly == AnomalyKind.IMPLAUSIBLE_DATE:
-        return "Jan-1901"                              # obviously wrong
+        return "Jan-1901"  # obviously wrong
     return format_month_date(result.plan.hw_avail)
 
 
@@ -71,7 +71,7 @@ def _core_lines(result: RunResult) -> tuple[str, str]:
     threads_total = cores_total * cpu.threads_per_core
     anomaly = plan.anomaly
     if anomaly == AnomalyKind.INCONSISTENT_CORE_THREAD:
-        cores_per_chip = max(cpu.cores - 2, 1)          # total no longer matches
+        cores_per_chip = max(cpu.cores - 2, 1)  # total no longer matches
     if anomaly == AnomalyKind.IMPLAUSIBLE_CORE_COUNT:
         # A corrupted total far beyond any shipping system, so the validation
         # layer classifies it as implausible rather than merely inconsistent.

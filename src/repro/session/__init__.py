@@ -74,7 +74,7 @@ def __getattr__(name: str):
 
     module = importlib.import_module(f".{module_name}", __name__)
     value = getattr(module, name)
-    globals()[name] = value          # cache for subsequent lookups
+    globals()[name] = value  # cache for subsequent lookups
     return value
 
 

@@ -24,6 +24,7 @@ from ..frame import Frame
 if TYPE_CHECKING:  # import-cycle-safe: only the type checker needs these
     from ..core.report import PaperComparison
     from ..campaign.runner import CampaignResult
+    from ..campaign.sharding import StreamingCampaignResult
     from ..campaign.spec import CampaignSpec
     from ..reportgen.writer import CorpusGenerationReport
     from ..simulator.director import SimulationOptions
@@ -71,7 +72,7 @@ class DatasetSummary:
 
     directory: str
     parsed_count: int
-    rejected: tuple[tuple[str, str], ...]   # (file_name, reason)
+    rejected: tuple[tuple[str, str], ...]  # (file_name, reason)
 
     @property
     def total_files(self) -> int:
@@ -367,10 +368,10 @@ class DatasetHandle(ArtifactHandle):
             from .columnar import frame_from_arrays
 
             arrays = store.get_arrays(self._key)
-            if arrays is None:          # pruned sidecar: treat as a miss
+            if arrays is None:  # pruned sidecar: treat as a miss
                 return None
             return frame_from_arrays(payload["columns"], arrays)
-        return self._build(payload["rows"])     # legacy JSON-row artifact
+        return self._build(payload["rows"])  # legacy JSON-row artifact
 
     def _compute(self) -> Frame:
         report = self._derive() if self.uses_parse_bypass else self._parse()
@@ -413,7 +414,7 @@ class DatasetHandle(ArtifactHandle):
         from ..parser import parse_directory
 
         if self.corpus is not None:
-            self.corpus.result()        # materialise the upstream artifact
+            self.corpus.result()  # materialise the upstream artifact
         return parse_directory(
             self.directory, parallel=self._session.policy.parallel_config()
         )
@@ -433,11 +434,11 @@ class DatasetHandle(ArtifactHandle):
         if self._persists:
             payload = self._session._store_for(self.kind).get(self._key)
             if payload is None:
-                self.result()           # computes and persists the payload
+                self.result()  # computes and persists the payload
                 payload = self._session._store_for(self.kind).get(self._key)
             if payload is not None:
                 parsed = payload.get("parsed_count")
-                if parsed is None:      # legacy JSON-row artifact
+                if parsed is None:  # legacy JSON-row artifact
                     parsed = len(payload["rows"])
                 return DatasetSummary(
                     directory=payload["directory"],
@@ -512,20 +513,50 @@ class CampaignHandle(ArtifactHandle):
         spec: "CampaignSpec",
         store_dir: Path,
         max_units: int | None = None,
+        shard_size: int | None = None,
+        progress: Callable | None = None,
     ):
         super().__init__(session, key)
         self.spec = spec
         self.store_dir = Path(store_dir)
         self.max_units = max_units
+        self._explicit_shard_size = shard_size
+        self._progress = progress
+
+    @property
+    def shard_size(self) -> int | None:
+        """Units per shard, or ``None`` for unsharded execution.
+
+        An explicit ``session.campaign(..., shard_size=)`` wins; otherwise
+        the session policy's shard layout (``shard_size`` clamped by
+        ``max_resident_results``) applies.
+        """
+        if self._explicit_shard_size is not None:
+            return self._explicit_shard_size
+        return self._session.policy.effective_shard_size
+
+    @property
+    def sharded(self) -> bool:
+        """Whether ``result()`` runs the streaming (bounded-memory) path."""
+        return self.shard_size is not None
 
     @property
     def _memo_key(self) -> str:
         # The same spec executed into two different stores produces two
         # distinct on-disk artifacts: the memo must not serve one store's
-        # result for the other.
+        # result for the other.  The shard layout is folded in as well —
+        # a sharded run returns a StreamingCampaignResult (rows on disk),
+        # an unsharded one a CampaignResult (resident frame), and the memo
+        # must never hand out one in place of the other.
         from .artifacts import digest_json
 
-        return digest_json({"campaign": self._key, "store": str(self.store_dir)})
+        return digest_json(
+            {
+                "campaign": self._key,
+                "store": str(self.store_dir),
+                "shard_size": self.shard_size,
+            }
+        )
 
     def _stored(self) -> bool:
         try:
@@ -533,7 +564,7 @@ class CampaignHandle(ArtifactHandle):
         except Exception:
             return False
 
-    def result(self) -> "CampaignResult":
+    def result(self) -> "CampaignResult | StreamingCampaignResult":
         # A bounded run (max_units) is an execution request, not an
         # artifact: execute every time (the unit cache keeps repeats cheap)
         # and leave the memo to unbounded, complete results.
@@ -541,10 +572,23 @@ class CampaignHandle(ArtifactHandle):
             return self._compute()
         return super().result()
 
-    def _compute(self) -> "CampaignResult":
+    def _compute(self) -> "CampaignResult | StreamingCampaignResult":
+        policy = self._session.policy
+        if self.sharded:
+            from ..campaign import stream_campaign
+
+            return stream_campaign(
+                self.spec,
+                self.store_dir,
+                parallel=policy.parallel_config(),
+                catalog=self._session._worker_catalog(),
+                shard_size=self.shard_size,
+                max_units=self.max_units,
+                batch=policy.use_batch_kernel,
+                progress=self._progress,
+            )
         from ..campaign import run_campaign
 
-        policy = self._session.policy
         return run_campaign(
             self.spec,
             self.store_dir,
@@ -557,7 +601,12 @@ class CampaignHandle(ArtifactHandle):
 
     # ------------------------------------------------------------------ #
     def frame(self) -> Frame:
-        return self.result().frame
+        result = self.result()
+        if self.sharded:
+            # Materialises every shard — only sensible at sizes the
+            # unsharded runner could also hold.
+            return result.frame()
+        return result.frame
 
     def status(self):
         """Fresh progress snapshot from the on-disk store."""
@@ -565,20 +614,50 @@ class CampaignHandle(ArtifactHandle):
 
         return CampaignStore(self.store_dir).status()
 
-    def resume(self, max_units: int | None = None) -> "CampaignResult":
+    def resume(
+        self, max_units: int | None = None
+    ) -> "CampaignResult | StreamingCampaignResult":
         """Continue an interrupted campaign; refreshes the session memo."""
-        from ..campaign import resume_campaign
-
         policy = self._session.policy
-        result = resume_campaign(
-            self.store_dir,
-            parallel=policy.parallel_config(),
-            catalog=self._session._worker_catalog(),
-            max_units=max_units,
-            batch=policy.use_batch_kernel,
-        )
+        from ..campaign import CampaignStore
+
+        # A store that recorded a shard layout must resume streaming even
+        # when this handle is unsharded: a resident resume_campaign over a
+        # streamed 100k-unit store would materialise the whole plan and
+        # defeat the bounded-memory contract the layout was recorded for.
+        stored_layout = CampaignStore(self.store_dir).stored_shard_size()
+        if self.sharded or stored_layout is not None:
+            from ..campaign import resume_streaming
+
+            # An explicitly requested layout wins; otherwise resume with
+            # the layout the interrupted run recorded (the precondition for
+            # shard-granular skipping), falling back to the policy's.
+            shard_size = self._explicit_shard_size
+            if shard_size is None:
+                shard_size = stored_layout or policy.effective_shard_size
+            result = resume_streaming(
+                self.store_dir,
+                parallel=policy.parallel_config(),
+                catalog=self._session._worker_catalog(),
+                shard_size=shard_size,
+                max_units=max_units,
+                batch=policy.use_batch_kernel,
+                progress=self._progress,
+            )
+        else:
+            from ..campaign import resume_campaign
+
+            result = resume_campaign(
+                self.store_dir,
+                parallel=policy.parallel_config(),
+                catalog=self._session._worker_catalog(),
+                max_units=max_units,
+                batch=policy.use_batch_kernel,
+            )
         # Only a complete, unbounded result may stand in for the artifact;
-        # a bounded resume is partial progress, not the campaign.
-        if max_units is None:
+        # a bounded resume is partial progress, not the campaign.  A
+        # streaming result produced for an unsharded handle (stored layout
+        # override) must not impersonate the resident artifact either.
+        if max_units is None and (self.sharded or stored_layout is None):
             self._session._memo_put(self.kind, self._memo_key, result)
         return result

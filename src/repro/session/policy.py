@@ -60,6 +60,16 @@ class ExecutionPolicy:
         Inputs up to this size run serially even under a pool mode
         (``None`` uses the :class:`ParallelConfig` default; ``0`` forces
         pool dispatch for any input size).
+    shard_size:
+        Units per shard for campaign execution.  ``None`` (default) runs
+        campaigns unsharded (the whole expansion and every result resident);
+        any value routes campaigns through the sharded streaming runner,
+        which caps resident memory at O(shard_size) by flushing each
+        shard's rows to the store before the next shard starts.
+    max_resident_results:
+        Upper bound on result rows resident at once.  Enables sharding by
+        itself and clamps ``shard_size`` from above, so a policy can state
+        a memory budget directly instead of a shard layout.
     """
 
     mode: str = "batch"
@@ -67,6 +77,8 @@ class ExecutionPolicy:
     chunk_size: int = 32
     kernel: str = "auto"
     serial_threshold: int | None = None
+    shard_size: int | None = None
+    max_resident_results: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -83,6 +95,10 @@ class ExecutionPolicy:
             raise SessionError("chunk_size must be >= 1")
         if self.serial_threshold is not None and self.serial_threshold < 0:
             raise SessionError("serial_threshold must be >= 0")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise SessionError("shard_size must be >= 1")
+        if self.max_resident_results is not None and self.max_resident_results < 1:
+            raise SessionError("max_resident_results must be >= 1")
 
     # ------------------------------------------------------------------ #
     def parallel_config(self) -> ParallelConfig:
@@ -104,6 +120,26 @@ class ExecutionPolicy:
             return self.kernel == "batch"
         return self.mode != "serial"
 
+    @property
+    def sharded(self) -> bool:
+        """Whether campaigns run through the sharded streaming path."""
+        return self.shard_size is not None or self.max_resident_results is not None
+
+    @property
+    def effective_shard_size(self) -> int | None:
+        """Units per shard after applying the residency budget, if sharded.
+
+        ``max_resident_results`` clamps ``shard_size`` from above and
+        enables sharding on its own; ``None`` means unsharded execution.
+        """
+        if not self.sharded:
+            return None
+        if self.shard_size is None:
+            return self.max_resident_results
+        if self.max_resident_results is None:
+            return self.shard_size
+        return min(self.shard_size, self.max_resident_results)
+
     # ------------------------------------------------------------------ #
     @classmethod
     def from_parallel(
@@ -122,9 +158,18 @@ class ExecutionPolicy:
         )
 
     @classmethod
-    def from_jobs(cls, jobs: int | None, batch: bool = True) -> "ExecutionPolicy":
-        """The policy behind a CLI ``--jobs N`` flag."""
+    def from_jobs(
+        cls,
+        jobs: int | None,
+        batch: bool = True,
+        shard_size: int | None = None,
+    ) -> "ExecutionPolicy":
+        """The policy behind CLI ``--jobs N`` / ``--shard-size N`` flags."""
         kernel = "batch" if batch else "scalar"
         if jobs and jobs > 1:
-            return cls(mode="process", workers=jobs, kernel=kernel)
-        return cls(mode="batch" if batch else "serial", kernel=kernel)
+            return cls(
+                mode="process", workers=jobs, kernel=kernel, shard_size=shard_size
+            )
+        return cls(
+            mode="batch" if batch else "serial", kernel=kernel, shard_size=shard_size
+        )

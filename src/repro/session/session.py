@@ -438,7 +438,7 @@ class Session:
         if name == "paper":
             version = "1"
         else:
-            self._registered_analysis(name)     # fail fast on unknown names
+            self._registered_analysis(name)  # fail fast on unknown names
             version = self._analyses[name][1]
         key = digest_json(
             {
@@ -462,6 +462,8 @@ class Session:
         store: str | os.PathLike | None = None,
         max_units: int | None = None,
         workload: str | None = None,
+        shard_size: int | None = None,
+        progress: Callable | None = None,
     ) -> CampaignHandle:
         """A declarative scenario sweep executed into a resumable store.
 
@@ -470,6 +472,14 @@ class Session:
         placement (``<workspace>/campaigns/<name>-<key prefix>``).  A
         ``workload`` preset supplies base values for option axes the spec
         leaves unset.
+
+        ``shard_size`` routes execution through the sharded streaming
+        runner (resident memory O(shard_size), result a
+        :class:`~repro.campaign.sharding.StreamingCampaignResult`); the
+        session policy's ``shard_size``/``max_resident_results`` supply the
+        default.  ``progress`` is invoked after every flushed shard (the
+        CLI's streaming status line) and, being an observer, never enters
+        any key.
         """
         from ..campaign import CampaignSpec
 
@@ -482,7 +492,10 @@ class Session:
         # The key names the campaign *artifact* (spec + catalog content).
         # max_units is an execution bound, not content: it must not change
         # the key, or a bounded smoke run would land in a different default
-        # store than the full run that later completes it.
+        # store than the full run that later completes it.  The shard layout
+        # is likewise excluded here (rows and store placement are layout
+        # independent) — but it *is* folded into the handle's memo key,
+        # because sharded and unsharded runs return different result types.
         key = digest_json(
             {
                 "stage": "campaign",
@@ -493,7 +506,15 @@ class Session:
         )
         if store is None:
             store = self._campaign_root() / f"{spec.name}-{key[:12]}"
-        handle = CampaignHandle(self, key, spec, Path(store), max_units=max_units)
+        handle = CampaignHandle(
+            self,
+            key,
+            spec,
+            Path(store),
+            max_units=max_units,
+            shard_size=shard_size,
+            progress=progress,
+        )
         self._last["campaign"] = handle
         return handle
 
@@ -509,7 +530,7 @@ class Session:
         for axis in OPTION_AXES:
             value = getattr(preset, axis)
             if axis in spec.sweep or axis in base:
-                continue                # explicit spec values win
+                continue  # explicit spec values win
             if value != getattr(defaults, axis):
                 base[axis] = value
         return CampaignSpec(

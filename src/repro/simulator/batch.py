@@ -48,6 +48,13 @@ __all__ = ["BatchDirector"]
 #: Calibration intervals the SPEC run rules prescribe (see ``calibration``).
 _CALIBRATION_INTERVALS = 3
 
+#: Default rows per vectorized window.  Every per-run RNG stream is seeded
+#: independently, so evaluating a large batch in fixed-size windows is
+#: bit-identical to one monolithic call — the window only bounds the
+#: ``(runs x levels)`` temporaries, keeping kernel memory O(window) when a
+#: caller (the sharded campaign runner, say) hands over thousands of plans.
+DEFAULT_MAX_ROWS = 4096
+
 
 class BatchDirector:
     """Executes many benchmark runs at once as array operations.
@@ -80,11 +87,15 @@ class BatchDirector:
         self,
         plans: Sequence[SystemPlan],
         seeds: Sequence[int] | None = None,
+        max_rows: int | None = DEFAULT_MAX_ROWS,
     ) -> list[RunResult]:
         """Simulate every plan; results are ordered like the input.
 
         ``seeds`` optionally gives each plan its own corpus seed (campaign
         units sweep seeds); by default every plan uses ``corpus_seed``.
+        ``max_rows`` bounds the rows of any single vectorized evaluation
+        (``None`` disables windowing); results are bit-identical either way
+        because every run draws from its own seeded RNG stream.
         """
         plans = list(plans)
         if seeds is None:
@@ -93,6 +104,8 @@ class BatchDirector:
             seeds = [int(seed) for seed in seeds]
             if len(seeds) != len(plans):
                 raise SimulationError("seeds must match plans one-to-one")
+        if max_rows is not None and max_rows < 1:
+            raise SimulationError(f"max_rows must be >= 1, got {max_rows}")
         if not plans:
             return []
         options = self.options
@@ -102,7 +115,23 @@ class BatchDirector:
                 RunDirector(self.catalog, options, seed).run(plan)
                 for plan, seed in zip(plans, seeds)
             ]
+        if max_rows is not None and len(plans) > max_rows:
+            results: list[RunResult] = []
+            for start in range(0, len(plans), max_rows):
+                results.extend(
+                    self._run_window(
+                        plans[start : start + max_rows],
+                        seeds[start : start + max_rows],
+                    )
+                )
+            return results
+        return self._run_window(plans, seeds)
 
+    def _run_window(
+        self, plans: list[SystemPlan], seeds: list[int]
+    ) -> list[RunResult]:
+        """One vectorized evaluation of up to ``max_rows`` plans."""
+        options = self.options
         levels = options.effective_load_levels
         measured = [level for level in levels if level != 0.0]
         n_runs = len(plans)

@@ -82,7 +82,9 @@ class PowerAnalyzer:
             raise SimulationError("true_power_w must be >= 0")
         samples = _interval_samples(duration_s, self.sample_rate_hz)
         if self.sample_noise_w > 0:
-            noise = float(self._rng.normal(0.0, _averaged_noise_sigma(self.sample_noise_w, samples)))
+            noise = float(
+                self._rng.normal(0.0, _averaged_noise_sigma(self.sample_noise_w, samples))
+            )
         else:
             noise = 0.0
         measured = true_power_w * self._calibration_factor + noise

@@ -45,19 +45,19 @@ def memory_bandwidth_gbs(cpu: CPUSpec, sockets: int) -> float:
     """Estimate the system's peak memory bandwidth from the CPU generation."""
     year = cpu.release.decimal_year
     if year < 2008:
-        channels, per_channel = 2, 6.4       # DDR2-800
+        channels, per_channel = 2, 6.4  # DDR2-800
     elif year < 2012:
-        channels, per_channel = 3, 10.7      # DDR3-1333
+        channels, per_channel = 3, 10.7  # DDR3-1333
     elif year < 2017:
-        channels, per_channel = 4, 14.9      # DDR4-1866/2133
+        channels, per_channel = 4, 14.9  # DDR4-1866/2133
     elif year < 2021:
-        channels, per_channel = 6, 21.3      # DDR4-2666
+        channels, per_channel = 6, 21.3  # DDR4-2666
         if cpu.vendor == Vendor.AMD:
             channels = 8
     elif year < 2022.8:
-        channels, per_channel = 8, 25.6      # DDR4-3200
+        channels, per_channel = 8, 25.6  # DDR4-3200
     else:
-        channels, per_channel = 8, 38.4      # DDR5-4800
+        channels, per_channel = 8, 38.4  # DDR5-4800
         if cpu.vendor == Vendor.AMD:
             channels = 12
     return channels * per_channel * sockets
@@ -110,7 +110,9 @@ class SpecCpuRateModel:
         ipc = _SCALAR_IPC.get(self.cpu.vendor, 0.9)
         vector_width_factor = self.cpu.avx_width_bits / 256.0
         vector_share = benchmark.vector_sensitivity
-        vector_factor = (1.0 - vector_share) + vector_share * vector_width_factor * self.vector_efficiency
+        vector_factor = (
+            1.0 - vector_share
+        ) + vector_share * vector_width_factor * self.vector_efficiency
         return self.sustained_frequency_ghz() * ipc * vector_factor
 
     def benchmark_score(self, benchmark: Benchmark) -> float:

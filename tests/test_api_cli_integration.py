@@ -34,12 +34,12 @@ class TestApi:
         result = analyze(run_frame, include_table1=False, include_figures=True)
         assert len(result.figures) == 6
         written = result.save_figures(tmp_path)
-        assert len(written) >= 12        # at least one CSV and one SVG per figure
+        assert len(written) >= 12  # at least one CSV and one SVG per figure
         assert all(path.exists() for path in written)
 
     def test_analyze_derives_when_needed(self, corpus_dir):
         report = parse_corpus(corpus_dir)
-        raw = report.to_frame()          # no derived columns yet
+        raw = report.to_frame()  # no derived columns yet
         result = analyze(raw, include_table1=False)
         assert "overall_efficiency" in result.unfiltered
 

@@ -247,6 +247,23 @@ class TestBatchDirectorBehaviour:
         batch = BatchDirector(options=options).run_batch(plans)
         assert [run.plan.run_id for run in batch] == [plan.run_id for plan in plans]
 
+    def test_windowed_batch_is_bit_identical(self):
+        # max_rows bounds the (runs x levels) temporaries; per-run seeded
+        # RNG streams make the windowed evaluation bit-identical to one
+        # monolithic call, noise on or off.
+        for noise in (False, True):
+            options = SimulationOptions(measurement_noise=noise)
+            plans = grid_plans()
+            director = BatchDirector(options=options)
+            monolithic = director.run_batch(plans, max_rows=None)
+            windowed = director.run_batch(plans, max_rows=3)
+            for mono_run, window_run in zip(monolithic, windowed):
+                assert_runs_identical(mono_run, window_run)
+
+    def test_invalid_max_rows_rejected(self):
+        with pytest.raises(SimulationError):
+            BatchDirector().run_batch(grid_plans()[:2], max_rows=0)
+
 
 class TestBatchPowerAnalyzer:
     def test_validation_matches_scalar_analyzer(self):

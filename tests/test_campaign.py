@@ -303,7 +303,7 @@ class TestRunner:
         assert result.simulated == 2
         assert len(result.failures) == 1
         assert "unknown CPU model" in result.failures[0][1]
-        assert len(result.frame) == 2           # good units still aggregated
+        assert len(result.frame) == 2  # good units still aggregated
         status = store.status()
         assert status.failed == 1 and status.completed == 2
 
@@ -360,8 +360,8 @@ class TestStore:
         spec, store_dir, _ = completed_campaign
         store = CampaignStore(store_dir)
         with store.ledger_path.open("a", encoding="utf-8") as handle:
-            handle.write('{"unit_id": "torn", "key": "abc",')   # killed mid-write
-        status = store.status()                  # does not raise
+            handle.write('{"unit_id": "torn", "key": "abc",')  # killed mid-write
+        status = store.status()  # does not raise
         assert status.completed == 9
 
 

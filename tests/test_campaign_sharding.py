@@ -1,0 +1,543 @@
+"""Sharded streaming campaigns: lazy shards, online reducers, shard resume."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    FrameReducer,
+    OnlineMoments,
+    StreamingCampaignResult,
+    iter_shards,
+    reduce_frame,
+    resume_streaming,
+    run_campaign,
+    stream_campaign,
+)
+from repro.cli.main import main as cli_main
+from repro.errors import CampaignError, SessionError
+from repro.frame import Frame
+from repro.session import Session
+from repro.session.policy import ExecutionPolicy
+
+GENERATIONS = ["Xeon X5670", "Xeon Platinum 8480+", "EPYC 9654"]
+
+#: Short ladder keeps each simulated unit cheap; still valid downstream.
+FAST_BASE = {"load_levels": [1.0, 0.5, 0.2, 0.1, 0.0]}
+
+
+def sharded_spec(name="shard-test", seeds=(1, 2, 3, 4, 5, 6)) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        sweep={"cpu_model": GENERATIONS, "seed": list(seeds)},
+        base=FAST_BASE,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Shard planning
+# --------------------------------------------------------------------------- #
+class TestIterShards:
+    def test_partitioning_counts_and_offsets(self):
+        spec = sharded_spec()  # 18 units
+        shards = list(iter_shards(spec, shard_size=7))
+        assert [s.n_units for s in shards] == [7, 7, 4]
+        assert [s.index for s in shards] == [0, 1, 2]
+        assert [s.start for s in shards] == [0, 7, 14]
+        assert [s.stop for s in shards] == [7, 14, 18]
+
+    def test_units_cover_expansion_in_order(self):
+        spec = sharded_spec()
+        expanded = spec.expand()
+        streamed = [
+            unit for shard in iter_shards(spec, shard_size=5) for unit in shard.units
+        ]
+        assert [u.key for u in streamed] == [u.key for u in expanded]
+
+    def test_shard_size_one_and_oversized(self):
+        spec = sharded_spec(seeds=(1,))  # 3 units
+        assert [s.n_units for s in iter_shards(spec, shard_size=1)] == [1, 1, 1]
+        whole = list(iter_shards(spec, shard_size=100))
+        assert len(whole) == 1 and whole[0].n_units == 3
+
+    def test_invalid_shard_size_rejected(self):
+        with pytest.raises(CampaignError, match="shard_size"):
+            list(iter_shards(sharded_spec(), shard_size=0))
+
+    def test_lazy_consumption_resolves_only_what_is_pulled(self):
+        # Pulling one shard from the iterator must not expand the plan.
+        spec = sharded_spec()  # 18 units
+        resolved = {"n": 0}
+        original = CampaignSpec._resolve_unit
+
+        def counting(self, index, assignment, catalog):
+            resolved["n"] += 1
+            return original(self, index, assignment, catalog)
+
+        CampaignSpec._resolve_unit = counting
+        try:
+            iterator = iter_shards(spec, shard_size=5)
+            first = next(iterator)
+        finally:
+            CampaignSpec._resolve_unit = original
+        assert first.n_units == 5
+        assert resolved["n"] == 5
+
+    def test_keys_digest_tracks_content(self):
+        spec = sharded_spec()
+        first = next(iter_shards(spec, shard_size=5))
+        again = next(iter_shards(spec, shard_size=5))
+        assert first.keys_digest() == again.keys_digest()
+        other = next(iter_shards(sharded_spec(seeds=(7, 8, 9, 10, 11)), shard_size=5))
+        assert first.keys_digest() != other.keys_digest()
+
+
+# --------------------------------------------------------------------------- #
+# Online reducers
+# --------------------------------------------------------------------------- #
+class TestOnlineMoments:
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(10.0, 3.0, 500)
+        moments = OnlineMoments()
+        moments.update(values)
+        assert moments.count == 500
+        assert moments.total == pytest.approx(values.sum(), rel=1e-12)
+        assert moments.mean == pytest.approx(values.mean(), rel=1e-12)
+        assert moments.minimum == values.min() and moments.maximum == values.max()
+        assert moments.variance == pytest.approx(values.var(), rel=1e-10)
+
+    def test_sequential_update_is_shard_invariant(self):
+        # The bit-identity contract: where the stream is cut cannot change
+        # a single float, because the scalar recurrence sees the same values
+        # in the same order either way.
+        values = list(np.random.default_rng(11).normal(5.0, 2.0, 101))
+        one_pass = OnlineMoments()
+        one_pass.update(values)
+        chunked = OnlineMoments()
+        for start in range(0, len(values), 13):
+            chunked.update(values[start : start + 13])
+        assert chunked.as_row() == one_pass.as_row()
+
+    def test_mask_and_none_skipped(self):
+        moments = OnlineMoments()
+        moments.update([1.0, None, 3.0], mask=np.array([False, False, True]))
+        assert moments.count == 1 and moments.total == 1.0
+
+    def test_merge_combines_independent_streams(self):
+        left, right = OnlineMoments(), OnlineMoments()
+        a = list(np.random.default_rng(3).normal(0.0, 1.0, 40))
+        b = list(np.random.default_rng(4).normal(2.0, 0.5, 60))
+        left.update(a)
+        right.update(b)
+        merged = left.merge(right)
+        both = np.array(a + b)
+        assert merged.count == 100
+        assert merged.mean == pytest.approx(both.mean(), rel=1e-12)
+        assert merged.variance == pytest.approx(both.var(), rel=1e-10)
+        assert merged.minimum == both.min() and merged.maximum == both.max()
+
+    def test_merge_with_empty_is_identity(self):
+        filled = OnlineMoments()
+        filled.update([1.0, 2.0, 3.0])
+        for merged in (filled.merge(OnlineMoments()), OnlineMoments().merge(filled)):
+            assert merged.as_row() == filled.as_row()
+
+    def test_empty_accumulator_row(self):
+        row = OnlineMoments().as_row()
+        assert row["count"] == 0
+        assert all(row[field] is None for field in ("sum", "mean", "min", "max", "var"))
+
+
+class TestFrameReducer:
+    def test_streamed_equals_single_pass_bit_for_bit(self):
+        rng = np.random.default_rng(21)
+        frame = Frame.from_dict(
+            {
+                "power": list(rng.normal(200.0, 30.0, 90)),
+                "ops": list(rng.integers(1_000, 9_000, 90)),
+                "label": [f"run-{i}" for i in range(90)],
+            }
+        )
+        streamed = FrameReducer()
+        for start in range(0, 90, 17):
+            mask = np.zeros(90, dtype=bool)
+            mask[start : start + 17] = True
+            streamed.update(frame.filter(mask))
+        assert streamed.to_frame().equals(reduce_frame(frame))
+
+    def test_string_columns_excluded(self):
+        frame = Frame.from_dict({"name": ["a", "b"], "value": [1.0, 2.0]})
+        summary = reduce_frame(frame)
+        assert summary["column"].to_list() == ["value"]
+
+    def test_missing_values_not_counted(self):
+        frame = Frame.from_dict({"value": [1.0, None, 3.0]})
+        summary = reduce_frame(frame)
+        assert summary["count"][0] == 2 and summary["sum"][0] == 4.0
+
+    def test_schema_drift_across_shards_tolerated(self):
+        reducer = FrameReducer()
+        reducer.update(Frame.from_dict({"a": [1.0], "b": [2.0]}))
+        reducer.update(Frame.from_dict({"a": [3.0]}))
+        summary = reducer.to_frame()
+        by_column = {summary["column"][i]: summary["count"][i] for i in range(2)}
+        assert by_column == {"a": 2, "b": 1}
+
+
+# --------------------------------------------------------------------------- #
+# Streaming execution (end-to-end)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def streamed_campaign(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("shard-store")
+    spec = sharded_spec()
+    result = stream_campaign(spec, store_dir, shard_size=5)
+    return spec, store_dir, result
+
+
+class TestStreamCampaign:
+    def test_full_run_shape(self, streamed_campaign):
+        _, _, result = streamed_campaign
+        assert result.total_units == 18 and result.total_shards == 4
+        assert result.simulated == 18 and result.cache_hits == 0
+        assert result.is_complete and not result.failures
+        assert [s.n_units for s in result.shards] == [5, 5, 5, 3]
+
+    def test_bit_identical_to_unsharded_frame(self, streamed_campaign, tmp_path):
+        spec, _, result = streamed_campaign
+        unsharded = run_campaign(spec, tmp_path / "unsharded")
+        assert result.frame().equals(unsharded.frame)
+
+    def test_aggregate_bit_identical_to_unsharded_reduction(
+        self, streamed_campaign, tmp_path
+    ):
+        spec, _, result = streamed_campaign
+        unsharded = run_campaign(spec, tmp_path / "unsharded")
+        assert result.aggregate.equals(reduce_frame(unsharded.frame))
+
+    def test_shard_layout_invariance(self, streamed_campaign, tmp_path):
+        # A different shard size changes only when rows hit disk, not what
+        # they are: frame and aggregate stay bit-identical.
+        spec, _, result = streamed_campaign
+        other = stream_campaign(spec, tmp_path / "other", shard_size=11)
+        assert other.total_shards == 2
+        assert other.frame().equals(result.frame())
+        assert other.aggregate.equals(result.aggregate)
+
+    def test_second_run_reloads_every_shard(self, streamed_campaign):
+        spec, store_dir, _ = streamed_campaign
+        warm = stream_campaign(spec, store_dir, shard_size=5)
+        assert warm.simulated == 0 and warm.cache_hits == 18
+        assert all(shard.reloaded for shard in warm.shards)
+
+    def test_iter_frames_streams_shard_by_shard(self, streamed_campaign):
+        _, _, result = streamed_campaign
+        lengths = [len(frame) for frame in result.iter_frames()]
+        assert lengths == [5, 5, 5, 3]
+
+    def test_write_csv_matches_materialised_csv(self, streamed_campaign, tmp_path):
+        from repro.frame.csvio import frame_to_csv_text
+
+        _, _, result = streamed_campaign
+        path = tmp_path / "rows.csv"
+        assert result.write_csv(path) == 18
+        assert path.read_text(encoding="utf-8") == frame_to_csv_text(result.frame())
+
+    def test_store_records_layout_and_manifest(self, streamed_campaign):
+        _, store_dir, result = streamed_campaign
+        store = CampaignStore(store_dir)
+        assert store.stored_shard_size() == 5
+        entries = store.shard_entries()
+        assert sorted(entries) == [0, 1, 2, 3]
+        assert all(entry["status"] == "complete" for entry in entries.values())
+        assert entries[0]["artifact"] == result.shards[0].artifact_key
+
+    def test_status_from_light_manifest(self, streamed_campaign):
+        _, store_dir, _ = streamed_campaign
+        status = CampaignStore(store_dir).status()
+        assert status.total == 18 and status.completed == 18
+        assert status.is_complete and status.failed == 0
+
+    def test_invalid_shard_size_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="shard_size"):
+            stream_campaign(sharded_spec(), tmp_path / "store", shard_size=0)
+
+
+class TestShardResume:
+    def test_killed_campaign_resumes_at_shard_granularity(self, tmp_path):
+        # Emulate a mid-run kill: stop after 2 of 4 shards, then resume and
+        # prove only the incomplete shards execute.
+        spec = sharded_spec(name="killed")
+        store_dir = tmp_path / "store"
+        partial = stream_campaign(spec, store_dir, shard_size=5, max_shards=2)
+        assert partial.total_shards == 2 and partial.completed == 10
+        assert not partial.is_complete
+
+        resumed = resume_streaming(store_dir)
+        assert resumed.shard_size == 5  # layout read back from the store
+        assert resumed.is_complete and resumed.completed == 18
+        assert [s.reloaded for s in resumed.shards] == [True, True, False, False]
+        assert resumed.simulated == 8 and resumed.cache_hits == 10
+
+        # The interrupted-then-resumed aggregate is bit-identical to an
+        # uninterrupted run.
+        uninterrupted = stream_campaign(spec, tmp_path / "clean", shard_size=5)
+        assert resumed.aggregate.equals(uninterrupted.aggregate)
+        assert resumed.frame().equals(uninterrupted.frame())
+
+    def test_partial_shard_from_unit_budget_completes_on_resume(self, tmp_path):
+        spec = sharded_spec(name="budget")
+        store_dir = tmp_path / "store"
+        partial = stream_campaign(spec, store_dir, shard_size=5, max_units=3)
+        assert partial.simulated == 3
+        first = partial.shards[0]
+        assert first.n_rows == 3 and not first.is_complete
+        entries = CampaignStore(store_dir).shard_entries()
+        assert entries[0]["status"] == "partial"
+
+        resumed = resume_streaming(store_dir)
+        assert resumed.is_complete
+        # The partial shard re-executed its missing units only; its first
+        # three rows were per-unit cache hits.
+        assert not resumed.shards[0].reloaded
+        assert resumed.cache_hits == 3 and resumed.simulated == 15
+
+    def test_mismatched_layout_still_correct_via_unit_cache(self, tmp_path):
+        spec = sharded_spec(name="relayout")
+        store_dir = tmp_path / "store"
+        stream_campaign(spec, store_dir, shard_size=5, max_shards=2)
+        # Resuming with a different layout voids shard-granular skipping
+        # (keys digests no longer match) but unit-level caching keeps the
+        # result correct and cheap.
+        resumed = resume_streaming(store_dir, shard_size=4)
+        assert resumed.is_complete and resumed.simulated == 8
+        assert resumed.cache_hits == 10
+        clean = stream_campaign(spec, tmp_path / "clean", shard_size=4)
+        assert resumed.frame().equals(clean.frame())
+
+    def test_corrupt_shard_artifact_reexecutes_from_unit_cache(self, tmp_path):
+        spec = sharded_spec(name="corrupt", seeds=(1, 2))
+        store_dir = tmp_path / "store"
+        first = stream_campaign(spec, store_dir, shard_size=3)
+        store = CampaignStore(store_dir)
+        sidecar = store.shard_store.sidecar_path(first.shards[0].artifact_key)
+        sidecar.write_bytes(b"not an npz")
+
+        again = stream_campaign(spec, store_dir, shard_size=3)
+        assert again.is_complete and again.simulated == 0
+        assert not again.shards[0].reloaded  # rebuilt from the unit cache
+        assert again.shards[1].reloaded
+        assert again.frame().equals(first.frame())
+
+    def test_missing_artifact_surfaces_as_campaign_error(self, tmp_path):
+        spec = sharded_spec(name="vanished", seeds=(1,))
+        result = stream_campaign(spec, tmp_path / "store", shard_size=2)
+        store = CampaignStore(tmp_path / "store")
+        store.shard_store.clear()
+        with pytest.raises(CampaignError, match="artifact is missing"):
+            list(result.iter_frames())
+
+    def test_max_units_counts_failed_attempts(self, tmp_path, monkeypatch):
+        # The budget bounds *attempts*, exactly like the unsharded runner's
+        # pending[:max_units] — a plan of failing units must not be
+        # re-attempted without limit.
+        import repro.campaign.runner as runner
+
+        spec = sharded_spec(name="budget-fail", seeds=(1,))  # 3 units
+        attempts = {"n": 0}
+
+        def always_failing(pending, config, batch, catalog):
+            attempts["n"] += len(pending)
+            return [(unit.key, None, "SimulationError: injected") for unit in pending]
+
+        monkeypatch.setattr(runner, "dispatch_simulations", always_failing)
+        result = stream_campaign(
+            spec, tmp_path / "store", shard_size=1, max_units=2
+        )
+        assert attempts["n"] == 2
+        assert len(result.failures) == 2 and result.simulated == 0
+
+    def test_explicit_batch_argument_beats_policy(self, tmp_path, monkeypatch):
+        import repro.campaign.runner as runner
+
+        spec = sharded_spec(name="batch-arg", seeds=(1,))
+        seen: list[bool] = []
+        original = runner.dispatch_simulations
+
+        def spying(pending, config, batch, catalog):
+            seen.append(batch)
+            return original(pending, config, batch, catalog)
+
+        monkeypatch.setattr(runner, "dispatch_simulations", spying)
+        stream_campaign(
+            spec,
+            tmp_path / "store",
+            shard_size=3,
+            batch=False,
+            policy=ExecutionPolicy(mode="batch"),
+        )
+        assert seen == [False]  # the docstring promise: explicit wins
+
+    def test_failure_keeps_shard_partial_and_resumable(self, tmp_path, monkeypatch):
+        import repro.campaign.runner as runner
+
+        spec = sharded_spec(name="flaky", seeds=(1,))
+        store_dir = tmp_path / "store"
+        original = runner.dispatch_simulations
+
+        def sabotaged(pending, config, batch, catalog):
+            outcomes = original(pending, config, batch, catalog)
+            key, _, _ = outcomes[0]
+            return [(key, None, "SimulationError: injected")] + outcomes[1:]
+
+        monkeypatch.setattr(runner, "dispatch_simulations", sabotaged)
+        broken = stream_campaign(spec, store_dir, shard_size=3)
+        assert len(broken.failures) == 1 and broken.completed == 2
+        assert not broken.is_complete
+        monkeypatch.setattr(runner, "dispatch_simulations", original)
+
+        healed = resume_streaming(store_dir)
+        assert healed.is_complete and healed.simulated == 1
+        clean = stream_campaign(spec, tmp_path / "clean", shard_size=3)
+        assert healed.frame().equals(clean.frame())
+
+
+# --------------------------------------------------------------------------- #
+# Policy + session integration
+# --------------------------------------------------------------------------- #
+class TestPolicyAndSession:
+    def test_policy_shard_knobs(self):
+        assert ExecutionPolicy().effective_shard_size is None
+        assert ExecutionPolicy(shard_size=256).effective_shard_size == 256
+        assert ExecutionPolicy(max_resident_results=100).effective_shard_size == 100
+        clamped = ExecutionPolicy(shard_size=512, max_resident_results=128)
+        assert clamped.effective_shard_size == 128 and clamped.sharded
+        with pytest.raises(SessionError):
+            ExecutionPolicy(shard_size=0)
+        with pytest.raises(SessionError):
+            ExecutionPolicy(max_resident_results=0)
+
+    def test_from_jobs_carries_shard_size(self):
+        policy = ExecutionPolicy.from_jobs(1, shard_size=64)
+        assert policy.effective_shard_size == 64
+        assert ExecutionPolicy.from_jobs(4, shard_size=None).effective_shard_size is None
+
+    def test_session_policy_routes_to_streaming(self):
+        spec = sharded_spec(name="sess", seeds=(1,)).to_dict()
+        with Session(policy=ExecutionPolicy(shard_size=2)) as session:
+            handle = session.campaign(spec)
+            assert handle.sharded and handle.shard_size == 2
+            result = handle.result()
+            assert isinstance(result, StreamingCampaignResult)
+            assert result.total_shards == 2
+            assert handle.result() is result  # memoized
+            assert len(handle.frame()) == 3
+
+    def test_memo_distinguishes_shard_layouts(self):
+        spec = sharded_spec(name="memo", seeds=(1,)).to_dict()
+        with Session(policy=ExecutionPolicy(shard_size=2)) as session:
+            sharded = session.campaign(spec)
+            explicit = session.campaign(spec, shard_size=3)
+            assert sharded._memo_key != explicit._memo_key
+            # Same artifact key and default store either way: the layout
+            # changes execution shape, not campaign content.
+            assert sharded.key == explicit.key
+            assert sharded.store_dir == explicit.store_dir
+
+    def test_handle_resume_prefers_recorded_layout(self, tmp_path):
+        spec = sharded_spec(name="hresume")
+        store = tmp_path / "store"
+        with Session(policy=ExecutionPolicy(shard_size=9)) as session:
+            handle = session.campaign(spec.to_dict(), store=store, max_units=5)
+            partial = handle.result()
+            assert partial.shard_size == 9 and not partial.is_complete
+        with Session(policy=ExecutionPolicy(shard_size=4)) as session:
+            handle = session.campaign(spec.to_dict(), store=store)
+            resumed = handle.resume()
+            assert resumed.shard_size == 9  # store layout wins over policy
+            assert resumed.is_complete
+
+    def test_unsharded_handle_resumes_streamed_store_streaming(self, tmp_path):
+        # An unsharded-policy session resuming a streamed store must honour
+        # the recorded layout (resident resume would materialise the plan)
+        # without the streaming result impersonating the resident memo.
+        spec = sharded_spec(name="hresume-cross")
+        store = tmp_path / "store"
+        partial = stream_campaign(spec, store, shard_size=9, max_units=5)
+        assert not partial.is_complete
+        with Session() as session:
+            handle = session.campaign(spec.to_dict(), store=store)
+            assert not handle.sharded
+            resumed = handle.resume()
+            assert resumed.shard_size == 9  # recorded layout, not resident
+            assert resumed.is_complete
+            assert hasattr(resumed, "shards")  # StreamingCampaignResult
+            key = handle._memo_key
+            assert session._memo_get(handle.kind, key) is None
+
+
+# --------------------------------------------------------------------------- #
+# CLI streaming flags
+# --------------------------------------------------------------------------- #
+class TestCLISharding:
+    def test_run_resume_status_with_shard_size(self, tmp_path, capsys):
+        spec = sharded_spec(name="cli-shards", seeds=(81, 82))
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        store = tmp_path / "store"
+        csv = tmp_path / "rows.csv"
+
+        assert cli_main(["campaign", "run", "--spec", str(spec_path),
+                         "--store", str(store), "--shard-size", "4",
+                         "--max-units", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "shard 1/2: 4/4 rows" in out  # streaming status line
+        assert "4 simulated" in out
+
+        # Resume picks the recorded layout up without --shard-size.
+        assert cli_main(["campaign", "resume", "--store", str(store),
+                         "--csv", str(csv)]) == 0
+        out = capsys.readouterr().out
+        assert "shard 1/2: 4/4 rows (reloaded from store)" in out
+        assert "wrote 6 rows" in out
+
+        assert cli_main(["campaign", "status", "--store", str(store)]) == 0
+        assert "6/6 units completed" in capsys.readouterr().out
+
+    def test_csv_export_error_is_one_clean_line(self, tmp_path, capsys, monkeypatch):
+        from repro.campaign.sharding import StreamingCampaignResult
+
+        def broken_write(self, path):
+            raise CampaignError("shard 0 artifact is missing")
+
+        monkeypatch.setattr(StreamingCampaignResult, "write_csv", broken_write)
+        spec = sharded_spec(name="cli-csv-err", seeds=(99,))
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        rc = cli_main(["campaign", "run", "--spec", str(spec_path),
+                       "--store", str(tmp_path / "store"), "--shard-size", "2",
+                       "--csv", str(tmp_path / "out.csv")])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_sharded_csv_identical_to_unsharded(self, tmp_path, capsys):
+        spec = sharded_spec(name="cli-csv", seeds=(91,))
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        plain, sharded = tmp_path / "plain.csv", tmp_path / "sharded.csv"
+
+        assert cli_main(["campaign", "run", "--spec", str(spec_path),
+                         "--store", str(tmp_path / "s1"), "--csv", str(plain)]) == 0
+        assert cli_main(["campaign", "run", "--spec", str(spec_path),
+                         "--store", str(tmp_path / "s2"), "--shard-size", "2",
+                         "--csv", str(sharded)]) == 0
+        capsys.readouterr()
+        assert sharded.read_text(encoding="utf-8") == plain.read_text(encoding="utf-8")

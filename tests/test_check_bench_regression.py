@@ -1,0 +1,125 @@
+"""CI benchmark gate: scripts/check_bench_regression.py behaviour pins.
+
+The gate has to fail *loudly* in every degraded state — a regressed
+benchmark, a benchmark that vanished from the run (e.g. its module was
+dropped from the bench invocation), an unreadable report — because a silent
+skip would let a perf regression ride a green pipeline.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_bench_regression.py"
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def write_report(path: Path, minima: dict[str, float]) -> Path:
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"min": minimum}}
+            for name, minimum in minima.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def write_baseline(path: Path, minima: dict[str, float]) -> Path:
+    payload = {
+        "machine_probe_seconds": None,
+        "benchmarks": {name: {"min": minimum} for name, minimum in minima.items()},
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def run_gate(baseline: Path, current: Path, *extra: str) -> int:
+    return gate.main(
+        ["--baseline", str(baseline), "--current", str(current),
+         "--no-normalize", *extra]
+    )
+
+
+class TestGate:
+    def test_passes_within_threshold(self, tmp_path, capsys):
+        baseline = write_baseline(tmp_path / "base.json", {"bench_a": 0.010})
+        current = write_report(tmp_path / "cur.json", {"bench_a": 0.015})
+        assert run_gate(baseline, current) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        baseline = write_baseline(tmp_path / "base.json", {"bench_a": 0.010})
+        current = write_report(tmp_path / "cur.json", {"bench_a": 0.050})
+        assert run_gate(baseline, current) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err and "bench_a" in captured.err
+
+    def test_missing_benchmark_fails_loudly(self, tmp_path, capsys):
+        # A gated benchmark that disappears from the run (dropped module,
+        # renamed test) must fail the gate, not be skipped.
+        baseline = write_baseline(
+            tmp_path / "base.json", {"bench_a": 0.010, "bench_gone": 0.020}
+        )
+        current = write_report(tmp_path / "cur.json", {"bench_a": 0.010})
+        assert run_gate(baseline, current) == 1
+        captured = capsys.readouterr()
+        assert "bench_gone: missing from the current run" in captured.err
+        assert "MISSING" in captured.out
+
+    def test_every_missing_benchmark_is_reported(self, tmp_path, capsys):
+        baseline = write_baseline(
+            tmp_path / "base.json",
+            {"bench_a": 0.01, "bench_b": 0.01, "bench_c": 0.01},
+        )
+        current = write_report(tmp_path / "cur.json", {"bench_a": 0.01})
+        assert run_gate(baseline, current) == 1
+        err = capsys.readouterr().err
+        assert "bench_b" in err and "bench_c" in err
+
+    def test_new_benchmarks_are_ungated(self, tmp_path, capsys):
+        # Adding a benchmark never breaks CI; committing its baseline entry
+        # (--update) arms the gate for it.
+        baseline = write_baseline(tmp_path / "base.json", {"bench_a": 0.010})
+        current = write_report(
+            tmp_path / "cur.json", {"bench_a": 0.010, "bench_new": 0.5}
+        )
+        assert run_gate(baseline, current) == 0
+        assert "ungated (no baseline entry): bench_new" in capsys.readouterr().out
+
+    def test_update_rewrites_baseline_with_probe(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        current = write_report(
+            tmp_path / "cur.json", {"bench_a": 0.010, "bench_b": 0.020}
+        )
+        assert run_gate(baseline, current, "--update") == 0
+        data = json.loads(baseline.read_text(encoding="utf-8"))
+        assert sorted(data["benchmarks"]) == ["bench_a", "bench_b"]
+        assert data["machine_probe_seconds"] > 0
+        # The refreshed baseline immediately gates its own report.
+        assert run_gate(baseline, current) == 0
+
+    def test_unreadable_report_exits_with_error(self, tmp_path):
+        baseline = write_baseline(tmp_path / "base.json", {"bench_a": 0.010})
+        broken = tmp_path / "cur.json"
+        broken.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            run_gate(baseline, broken)
+
+    def test_empty_report_exits_with_error(self, tmp_path):
+        baseline = write_baseline(tmp_path / "base.json", {"bench_a": 0.010})
+        empty = write_report(tmp_path / "cur.json", {})
+        with pytest.raises(SystemExit):
+            run_gate(baseline, empty)
+
+    def test_threshold_must_exceed_one(self, tmp_path):
+        baseline = write_baseline(tmp_path / "base.json", {"bench_a": 0.010})
+        current = write_report(tmp_path / "cur.json", {"bench_a": 0.010})
+        with pytest.raises(SystemExit):
+            run_gate(baseline, current, "--threshold", "0.5")

@@ -66,7 +66,7 @@ class TestTrends:
     def test_power_growth_direction(self, run_frame, filtered_frame):
         findings = {f.name: f for f in headline_findings(run_frame, filtered_frame)}
         growth = findings["power_growth_power_per_socket_100"]
-        assert growth.measured_value > 1.5          # power clearly grew
+        assert growth.measured_value > 1.5  # power clearly grew
         early = findings["power_per_socket_full_load_early"]
         late = findings["power_per_socket_full_load_late"]
         assert late.measured_value > early.measured_value

@@ -41,7 +41,7 @@ class TestPlanDistributions:
     def test_cpu_models_exist_in_catalog(self, fleet):
         catalog = default_catalog()
         for plan in fleet.systems:
-            catalog.get(plan.cpu_model)   # raises CatalogError if unknown
+            catalog.get(plan.cpu_model)  # raises CatalogError if unknown
 
     def test_cpu_release_not_long_after_hw_avail(self, fleet):
         """Server-class systems use CPUs released around their availability.
@@ -90,7 +90,7 @@ class TestPlanDistributions:
     def test_defective_plans_have_anomaly_kinds(self, fleet):
         kinds = {plan.anomaly for plan in fleet.defective}
         assert None not in kinds
-        assert len(kinds) >= 5        # the scaled plan keeps every class
+        assert len(kinds) >= 5  # the scaled plan keeps every class
 
 
 class TestDeterminismAcrossComponents:

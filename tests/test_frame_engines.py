@@ -78,7 +78,7 @@ class TestGroupByEquivalence:
         python = frame.groupby(keys, engine="python")
         assert vector.ngroups == python.ngroups
         for (vk, vf), (pk, pf) in zip(vector.groups(), python.groups()):
-            assert vk == pk or (vk != vk and pk != pk)   # NaN-free keys here
+            assert vk == pk or (vk != vk and pk != pk)  # NaN-free keys here
             assert_frames_identical(vf, pf)
         assert_frames_identical(
             vector.agg(_AGG_SPEC), python.agg(_AGG_SPEC)

@@ -191,6 +191,36 @@ class TestConcat:
     def test_concat_skips_none(self, tiny_frame):
         assert len(concat([tiny_frame, None])) == 6
 
+    def test_concat_shared_schema_uses_array_path(self):
+        # Columns present in every input with one kind are stitched as
+        # array work; the result must match the per-value route exactly,
+        # masks included.
+        a = Frame.from_dict({"x": [1.0, None], "n": [1, 2], "s": ["p", None]})
+        b = Frame.from_dict({"x": [3.0, 4.0], "n": [None, 4], "s": ["q", "r"]})
+        combined = concat([a, b])
+        assert combined["x"].to_list() == [1.0, None, 3.0, 4.0]
+        assert combined["n"].to_list() == [1, 2, None, 4]
+        assert combined["s"].to_list() == ["p", None, "q", "r"]
+        assert combined["x"].kind == "float" and combined["n"].kind == "int"
+        reference = Frame.from_dict(
+            {
+                "x": [1.0, None, 3.0, 4.0],
+                "n": [1, 2, None, 4],
+                "s": ["p", None, "q", "r"],
+            }
+        )
+        assert combined.equals(reference)
+
+    def test_concat_mixed_kinds_reconciled(self):
+        a = Frame.from_dict({"x": [1, 2]})  # int
+        b = Frame.from_dict({"x": [0.5]})  # float
+        combined = concat([a, b])
+        assert combined["x"].kind == "float"
+        assert combined["x"].to_list() == [1.0, 2.0, 0.5]
+
+    def test_concat_single_frame_round_trip(self, tiny_frame):
+        assert concat([tiny_frame]).equals(tiny_frame)
+
 
 class TestMemoryUsage:
     def test_nbytes_sums_columns(self, tiny_frame):

@@ -6,7 +6,13 @@ import pytest
 from repro.errors import ReproError
 from repro.frame import Frame
 from repro.io import FrameCache, Workspace, cached_frame, ensure_dir
-from repro.parallel import ParallelConfig, chunk_indices, parallel_map, parallel_starmap, split_evenly
+from repro.parallel import (
+    ParallelConfig,
+    chunk_indices,
+    parallel_map,
+    parallel_starmap,
+    split_evenly,
+)
 
 
 def _square(x):

@@ -119,8 +119,8 @@ class TestCharts:
             [BoxSeries("70%", [2020, 2021], boxes)], reference_line=1.0, title="rel eff"
         )
         text = chart.render().to_string()
-        assert "stroke-dasharray" in text          # the reference line
-        assert text.count("<rect") >= 2            # one box per year
+        assert "stroke-dasharray" in text  # the reference line
+        assert text.count("<rect") >= 2  # one box per year
 
     def test_box_chart_empty_boxes_rejected(self):
         with pytest.raises(PlotError):

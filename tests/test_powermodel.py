@@ -312,7 +312,7 @@ class TestCalibrationTrends:
             model = ServerPowerModel(config)
             return model.active_idle_power_w() / model.node_power_w(1.0)
 
-        early = idle_fraction("Xeon E5345")          # 2007
+        early = idle_fraction("Xeon E5345")  # 2007
         minimum = idle_fraction("Xeon Platinum 8180")  # 2017
         recent = idle_fraction("Xeon Platinum 8490H")  # 2023
         assert early > 0.5

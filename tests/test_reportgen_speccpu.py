@@ -24,7 +24,10 @@ class TestRenderReport:
 
     def test_report_has_ten_load_levels(self, sample_results):
         text = render_report(sample_results[0])
-        assert sum(1 for line in text.splitlines() if line.strip().endswith("%") or "% |" in line) >= 10
+        assert (
+            sum(1 for line in text.splitlines() if line.strip().endswith("%") or "% |" in line)
+            >= 10
+        )
 
     def test_report_round_trips_through_parser(self, sample_results):
         for result in sample_results[:5]:

@@ -94,7 +94,7 @@ class TestColumnarCodec:
             }
         )
         meta, arrays = frame_to_arrays(frame)
-        assert len(arrays) == 5            # masks + one member per kind
+        assert len(arrays) == 5  # masks + one member per kind
         restored = frame_from_arrays(meta, arrays)
         assert restored.columns == frame.columns
         assert restored.equals(frame)
@@ -163,12 +163,12 @@ class TestColumnarCodec:
         (tmp_path / "a.txt").write_text("alpha")
         (tmp_path / "b.txt").write_text("beta")
         base = digest_tree(tmp_path)
-        assert digest_tree(tmp_path) == base           # deterministic
+        assert digest_tree(tmp_path) == base  # deterministic
         (tmp_path / "b.txt").write_text("BETA")
         edited = digest_tree(tmp_path)
         assert edited != base
         (tmp_path / "b.txt").rename(tmp_path / "c.txt")
-        assert digest_tree(tmp_path) != edited          # rename also invalidates
+        assert digest_tree(tmp_path) != edited  # rename also invalidates
 
 
 # --------------------------------------------------------------------------- #
@@ -233,14 +233,14 @@ def _fail(*args, **kwargs):  # pragma: no cover - called only on cache misses
 class TestSessionCaching:
     def test_handles_are_lazy(self, workspace):
         with Session(workspace=workspace) as session:
-            handle = session.corpus(runs=9999, seed=1)   # would be expensive
+            handle = session.corpus(runs=9999, seed=1)  # would be expensive
             assert handle.key and not handle.in_memory
 
     def test_same_stage_memoized_within_session(self, workspace, warm_frame):
         with Session(workspace=workspace) as session:
             first = session.dataset(runs=RUNS, seed=SEED).result()
             second = session.dataset(runs=RUNS, seed=SEED).result()
-            assert first is second                        # computed once
+            assert first is second  # computed once
 
     def test_warm_workspace_skips_generation_and_parsing(
         self, workspace, warm_frame, monkeypatch
@@ -272,14 +272,14 @@ class TestSessionCaching:
 
     def test_corpus_mutation_invalidates_record(self, workspace, warm_frame):
         with Session(workspace=workspace) as session:
-            session.corpus(runs=RUNS, seed=SEED).result()   # materialise
-        with Session(workspace=workspace) as session:        # memo-free view
+            session.corpus(runs=RUNS, seed=SEED).result()  # materialise
+        with Session(workspace=workspace) as session:  # memo-free view
             handle = session.corpus(runs=RUNS, seed=SEED)
             assert handle.is_cached
             victim = next(iter(handle.directory.glob("*.txt")))
             victim.unlink()
-            assert not handle.is_cached        # file count no longer matches
-            handle.result()                    # regenerates in place
+            assert not handle.is_cached  # file count no longer matches
+            handle.result()  # regenerates in place
             assert handle.is_cached
 
     def test_external_corpus_keyed_by_content(self, workspace, warm_frame):
@@ -287,7 +287,7 @@ class TestSessionCaching:
             source = session.corpus(runs=RUNS, seed=SEED).result().directory
             by_path = session.dataset(corpus=source)
             by_handle = session.dataset(corpus=session.corpus(runs=RUNS, seed=SEED))
-            assert by_path.key != by_handle.key    # different key derivations
+            assert by_path.key != by_handle.key  # different key derivations
             assert by_path.result().equals(warm_frame)
 
     def test_dataset_summary_matches_parse_report(self, workspace, warm_frame):
@@ -402,7 +402,7 @@ class TestSessionCampaign:
             result = handle.result()
             assert result.total_units == 4 and not result.failures
             assert handle.status().is_complete
-            assert session.campaign(SPEC).result() is result   # memo hit
+            assert session.campaign(SPEC).result() is result  # memo hit
 
     def test_campaign_store_replays_across_sessions(self, workspace):
         with Session(workspace=workspace) as session:
@@ -465,7 +465,7 @@ class TestRegistries:
             custom = replace(entry, cpu=replace(entry.cpu, model="Xeon X9999"))
             session.register_platform(custom)
             assert session.catalog.get("Xeon X9999").cpu.model == "Xeon X9999"
-            assert session.campaign(SPEC).key != base_key   # catalog in the key
+            assert session.campaign(SPEC).key != base_key  # catalog in the key
             with pytest.raises(SessionError):
                 session.register_platform(custom)
             session.register_platform(custom, replace=True)
@@ -534,10 +534,10 @@ def test_dataset_json_roundtrip_is_exact(workspace, warm_frame):
 class TestReviewRegressions:
     def test_dataset_explicit_args_override_last_corpus(self, workspace, warm_frame):
         with Session(workspace=workspace) as session:
-            session.corpus(runs=RUNS, seed=SEED)          # becomes _last
-            other = session.dataset(runs=RUNS, seed=99)   # explicit args win
+            session.corpus(runs=RUNS, seed=SEED)  # becomes _last
+            other = session.dataset(runs=RUNS, seed=99)  # explicit args win
             assert other.corpus.seed == 99
-            implicit = session.dataset()                  # no args -> most recent
+            implicit = session.dataset()  # no args -> most recent
             assert implicit.corpus.seed == 99
 
     def test_campaign_key_independent_of_max_units(self, workspace):
@@ -593,14 +593,14 @@ class TestReviewRegressions:
         with Session(workspace=workspace) as session:
             corpus = session.corpus(runs=RUNS, seed=SEED, directory=external)
             refreshed = session.dataset(corpus=corpus).result()
-        assert len(refreshed) == len(baseline) + 1   # stale rows not served
+        assert len(refreshed) == len(baseline) + 1  # stale rows not served
 
     def test_explicit_directory_corpus_bypasses_memo(self, tmp_path):
         with Session(workspace=tmp_path / "ws") as session:
-            session.corpus(runs=RUNS, seed=SEED).result()     # memoized
+            session.corpus(runs=RUNS, seed=SEED).result()  # memoized
             out = tmp_path / "out"
             report = session.corpus(runs=RUNS, seed=SEED, directory=out).result()
-            assert out.is_dir() and report.directory == out   # actually written
+            assert out.is_dir() and report.directory == out  # actually written
             # And the other order: an explicit report must not be served for
             # a workspace handle whose directory was never materialised.
             workspace_handle = session.corpus(runs=RUNS, seed=SEED)
@@ -651,7 +651,7 @@ class TestReviewRegressions:
             dataset.parse_report()
             dataset.result()
             corpus.result()
-            assert calls["n"] == 1               # one handle, one generation
+            assert calls["n"] == 1  # one handle, one generation
 
     def test_campaign_memo_distinguishes_stores(self, tmp_path):
         spec = {
@@ -663,7 +663,7 @@ class TestReviewRegressions:
             a = session.campaign(spec, store=tmp_path / "store-a").result()
             b = session.campaign(spec, store=tmp_path / "store-b").result()
             assert a.store_directory != b.store_directory
-            assert (tmp_path / "store-b").is_dir()      # second store executed
+            assert (tmp_path / "store-b").is_dir()  # second store executed
             assert b.frame.equals(a.frame)
 
     def test_bounded_resume_not_memoized_as_complete(self, tmp_path):
@@ -674,19 +674,19 @@ class TestReviewRegressions:
         }
         with Session(workspace=tmp_path / "ws") as session:
             handle = session.campaign(spec)
-            handle.result()                    # create + complete the store
+            handle.result()  # create + complete the store
             session.clear_memo()
             partial = handle.resume(max_units=0)
-            assert partial.completed == 3      # already complete on disk
+            assert partial.completed == 3  # already complete on disk
             fresh = session.campaign(spec)
-            assert not fresh.in_memory         # bounded resume left no memo
+            assert not fresh.in_memory  # bounded resume left no memo
 
     def test_ephemeral_session_skips_dataset_persistence(self):
         with Session() as session:
             corpus = session.corpus(runs=RUNS, seed=SEED)
             dataset = session.dataset(corpus=corpus)
             dataset.result()
-            assert dataset.in_memory                      # memo still works
+            assert dataset.in_memory  # memo still works
             assert dataset.key not in session._store_for("dataset")
 
 
