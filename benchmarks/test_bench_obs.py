@@ -1,0 +1,150 @@
+"""Observability overhead gates: tracing must be free when off, cheap when on.
+
+The telemetry plane's contract has two halves:
+
+* **disabled is (near) free** — instrumentation points call the disabled
+  tracer, which returns a shared no-op span.  The gate below bounds the
+  *entire* disabled-path cost analytically: (number of instrumentation
+  calls a 512-unit stream makes) x (measured per-call no-op cost) must stay
+  under 5% of the stream's own wall time.  Counting calls instead of
+  diffing two noisy end-to-end timings keeps the gate deterministic — the
+  call count is a property of the code, not of the machine's scheduler.
+
+* **enabled does not change results** — event emission and span timing are
+  bit-effect-free on the data plane: a traced stream produces the same
+  aggregate as an untraced one.
+
+The timed benchmarks feed the committed baseline so a future change that
+makes instrumentation per-unit (instead of per-shard) shows up as a
+regression in ``check_bench_regression.py``.
+"""
+
+from __future__ import annotations
+
+import time
+import timeit
+
+import pytest
+
+from repro.campaign import stream_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.obs.trace import Tracer, configure_tracing, get_tracer
+from repro.obs.watch import render_watch_frame
+
+#: Disabled instrumentation may cost at most this fraction of stream wall.
+OVERHEAD_BUDGET = 0.05
+
+#: Cheapest valid unit, same shape as test_bench_shard's streams.
+FAST_BASE = {"load_levels": [1.0, 0.0], "measurement_noise": False}
+
+
+def wide_spec(name: str, units: int) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        sweep={
+            "cpu_model": ["EPYC 9654", "Xeon Platinum 8480+"],
+            "seed": list(range(units // 2)),
+        },
+        base=FAST_BASE,
+    )
+
+
+class _CountingTracer(Tracer):
+    """Disabled tracer that counts how often the hot paths consult it."""
+
+    def __init__(self):
+        super().__init__(enabled=False)
+        self.calls = 0
+
+    def span(self, name, /, **attrs):
+        self.calls += 1
+        return super().span(name, **attrs)
+
+    def event(self, name, /, **fields):
+        self.calls += 1
+        super().event(name, **fields)
+
+
+def test_disabled_instrumentation_overhead_under_5pct(tmp_path, monkeypatch):
+    """count(instrumentation calls) x cost(no-op call) < 5% of stream wall."""
+    counting = _CountingTracer()
+    import repro.obs.trace as trace_module
+
+    monkeypatch.setattr(trace_module, "_global_tracer", counting)
+
+    spec = wide_spec("obs-overhead", 512)
+    start = time.perf_counter()
+    result = stream_campaign(spec, tmp_path / "store", shard_size=128)
+    wall = time.perf_counter() - start
+    assert result.simulated == 512 and result.is_complete
+
+    calls = counting.calls
+    # Instrumentation is per shard / dispatch / chunk, never per unit: a
+    # 512-unit, 4-shard stream must consult the tracer O(tens) of times.
+    assert calls > 0
+    assert calls < 40 * result.total_shards + 40, (
+        f"{calls} tracer consultations for {result.total_shards} shards - "
+        "did an instrumentation point move into a per-unit loop?"
+    )
+
+    probe = Tracer(enabled=False)
+    per_call = min(
+        timeit.repeat(lambda: probe.span("probe", units=1), number=10_000, repeat=3)
+    ) / 10_000
+    overhead = calls * per_call
+    assert overhead < OVERHEAD_BUDGET * wall, (
+        f"disabled instrumentation costs {overhead:.6f}s "
+        f"({calls} calls x {per_call * 1e9:.0f}ns) against a {wall:.3f}s "
+        f"stream - over the {OVERHEAD_BUDGET:.0%} budget"
+    )
+
+
+def test_traced_stream_bit_identical_to_untraced(tmp_path):
+    """Turning tracing on must not move a single bit of the aggregate."""
+    spec = wide_spec("obs-identity", 256)
+    plain = stream_campaign(spec, tmp_path / "plain", shard_size=64)
+    configure_tracing(enabled=True, path=tmp_path / "events.jsonl")
+    try:
+        traced = stream_campaign(spec, tmp_path / "traced", shard_size=64)
+    finally:
+        configure_tracing(enabled=False)
+    assert traced.simulated == plain.simulated == 256
+    assert traced.aggregate.equals(plain.aggregate)
+    assert traced.frame().equals(plain.frame())
+    assert (tmp_path / "events.jsonl").exists()
+
+
+# --------------------------------------------------------------------------- #
+# Timed benchmarks (gated by the CI baseline)
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="obs")
+def test_bench_obs_stream_traced(benchmark, tmp_path):
+    """Cold 512-unit stream with span tracing and a JSONL sink attached."""
+    spec = wide_spec("bench-traced", 512)
+    counter = {"i": 0}
+    configure_tracing(enabled=True, path=tmp_path / "events.jsonl")
+
+    def traced():
+        counter["i"] += 1
+        return stream_campaign(
+            spec, tmp_path / f"store-{counter['i']}", shard_size=128
+        )
+
+    try:
+        result = benchmark(traced)
+    finally:
+        configure_tracing(enabled=False)
+        for sink in list(get_tracer().sinks):
+            get_tracer().remove_sink(sink)
+    assert result.simulated == 512 and result.is_complete
+
+
+@pytest.mark.benchmark(group="obs")
+def test_bench_obs_watch_render(benchmark, tmp_path):
+    """One watch frame over a completed 512-unit store."""
+    spec = wide_spec("bench-watch", 512)
+    store = tmp_path / "store"
+    stream_campaign(spec, store, shard_size=128)
+
+    frame = benchmark(render_watch_frame, store)
+    assert "shards: 4/4 complete" in frame

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Render the rolling bench-history artifact as a markdown trend report.
+
+CI carries benchmark trajectories as a ``bench-history`` artifact: one
+``BENCH_<run>_<sha>.json`` pytest-benchmark report per CI run, oldest to
+newest by run number.  This script folds that directory into a markdown
+table — one row per benchmark, min-runtime columns for the last few runs,
+plus the delta of the newest run against the previous one — and is wired
+into CI as a ``$GITHUB_STEP_SUMMARY`` step, so the trend is readable on the
+run page without downloading artifacts.
+
+Exit status is always 0 for a readable history (an empty directory renders
+an explanatory stub): the *gate* is ``check_bench_regression.py``; this is
+the report.
+
+Usage::
+
+    python scripts/bench_history_report.py --history bench-history
+    python scripts/bench_history_report.py --history bench-history \
+        --max-runs 8 --output report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+#: BENCH_<run-number>_<sha>.json (the seeding step may also leave
+#: BENCH_<run-id>.json behind — run id still orders chronologically).
+_NAME_PATTERN = re.compile(r"^BENCH_(\d+)(?:_([0-9a-f]+))?\.json$")
+
+
+def discover_reports(history_dir: Path) -> list[tuple[int, str, Path]]:
+    """(run number, label, path) per report, oldest run first."""
+    found = []
+    for path in history_dir.glob("BENCH_*.json"):
+        match = _NAME_PATTERN.match(path.name)
+        if not match:
+            continue
+        run = int(match.group(1))
+        sha = match.group(2)
+        label = f"#{run}" + (f" `{sha}`" if sha else "")
+        found.append((run, label, path))
+    found.sort(key=lambda item: item[0])
+    return found
+
+
+def load_minima(path: Path) -> dict[str, float]:
+    """Benchmark name -> min seconds, {} for an unreadable report."""
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    minima: dict[str, float] = {}
+    for entry in report.get("benchmarks", []):
+        try:
+            minima[str(entry["name"])] = float(entry["stats"]["min"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    return minima
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "–"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def _fmt_delta(current: float | None, previous: float | None) -> str:
+    if current is None or previous is None or previous <= 0:
+        return "–"
+    change = (current - previous) / previous
+    if abs(change) < 0.005:
+        return "="
+    return f"{change:+.1%}"
+
+
+def render_report(history_dir: Path, max_runs: int = 6) -> str:
+    """The full markdown document for one history directory."""
+    reports = discover_reports(history_dir)
+    if not reports:
+        return (
+            "## Benchmark trend\n\n"
+            f"No `BENCH_*.json` reports under `{history_dir}` yet — the "
+            "history artifact seeds itself from the first successful run.\n"
+        )
+    window = reports[-max_runs:]
+    dropped = len(reports) - len(window)
+    columns = [(label, load_minima(path)) for _, label, path in window]
+    names = sorted({name for _, minima in columns for name in minima})
+
+    lines = ["## Benchmark trend", ""]
+    if dropped:
+        lines.append(f"_Showing the last {len(window)} of {len(reports)} runs._")
+        lines.append("")
+    header = ["benchmark", *[label for label, _ in columns], "Δ last"]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for name in names:
+        series = [minima.get(name) for _, minima in columns]
+        previous = series[-2] if len(series) > 1 else None
+        row = [
+            f"`{name}`",
+            *[_fmt_seconds(value) for value in series],
+            _fmt_delta(series[-1], previous),
+        ]
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    lines.append(
+        "_Min runtime per benchmark (best round); Δ compares the newest run "
+        "to the one before it. The regression gate is normalised and lives "
+        "in `check_bench_regression.py` — this table is raw, per-runner "
+        "seconds, so cross-run noise is expected._"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history", type=Path, required=True,
+        help="directory holding BENCH_*.json pytest-benchmark reports",
+    )
+    parser.add_argument(
+        "--max-runs", type=int, default=6,
+        help="newest runs to show as columns (default 6)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the markdown here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    if not args.history.is_dir():
+        sys.exit(f"error: {args.history} is not a directory")
+    report = render_report(args.history, max_runs=max(args.max_runs, 1))
+    if args.output is not None:
+        args.output.write_text(report, encoding="utf-8")
+    else:
+        sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,11 +27,12 @@ parallel consumers.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
 from ..frame import Frame
+from ..obs.sketch import DEFAULT_QUANTILES, QuantileSketch, quantile_label
 
 __all__ = ["OnlineMoments", "FrameReducer", "reduce_frame"]
 
@@ -154,10 +155,20 @@ class FrameReducer:
     Columns are keyed by name in first-seen order; a column absent from a
     later frame (schema drift across shards) simply receives no values from
     it, mirroring the union-of-columns semantics of frame assembly.
+
+    Alongside the moments, each column feeds a streaming
+    :class:`repro.obs.sketch.QuantileSketch`, so the summary frame reports
+    percentiles (``p50``/``p90``/``p99`` by default) without residency.
+    The sketch shares the determinism contract: per-value sequential
+    pushes, exact below its buffer threshold, compression at a count that
+    is a function of the stream alone — shard boundaries cannot move an
+    estimate.  Pass ``quantiles=()`` to skip sketching entirely.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, quantiles: Sequence[float] = DEFAULT_QUANTILES) -> None:
+        self.quantiles = tuple(quantiles)
         self._reducers: dict[str, OnlineMoments] = {}
+        self._sketches: dict[str, QuantileSketch] = {}
         self.n_rows = 0
 
     def __len__(self) -> int:
@@ -170,6 +181,10 @@ class FrameReducer:
     def __getitem__(self, name: str) -> OnlineMoments:
         return self._reducers[name]
 
+    def sketch(self, name: str) -> QuantileSketch | None:
+        """The quantile sketch for one column (``None`` if not sketching)."""
+        return self._sketches.get(name)
+
     def update(self, frame: Frame) -> None:
         """Fold every numeric column of ``frame`` into its reducer."""
         self.n_rows += len(frame)
@@ -180,7 +195,45 @@ class FrameReducer:
             reducer = self._reducers.get(name)
             if reducer is None:
                 reducer = self._reducers[name] = OnlineMoments()
+                if self.quantiles:
+                    self._sketches[name] = QuantileSketch(self.quantiles)
             reducer.update(column.values, column.mask)
+            sketch = self._sketches.get(name)
+            if sketch is not None:
+                sketch.update(column.values, column.mask)
+
+    def merge(self, other: "FrameReducer") -> "FrameReducer":
+        """Combined reducer of two independent streams (Chan et al. merge).
+
+        Returns a new reducer; neither input is modified.  Like
+        :meth:`OnlineMoments.merge` this is for shards reduced on separate
+        workers — numerically stable but merge-tree-dependent, so the
+        sequential data plane never calls it.
+        """
+        if self.quantiles != other.quantiles:
+            from ..errors import StatsError
+
+            raise StatsError("cannot merge reducers tracking different quantiles")
+        merged = FrameReducer(self.quantiles)
+        merged.n_rows = self.n_rows + other.n_rows
+        names = list(self._reducers)
+        names.extend(name for name in other._reducers if name not in self._reducers)
+        for name in names:
+            mine = self._reducers.get(name, OnlineMoments())
+            theirs = other._reducers.get(name, OnlineMoments())
+            merged._reducers[name] = mine.merge(theirs)
+            if self.quantiles:
+                mine_sk = self._sketches.get(name) or QuantileSketch(self.quantiles)
+                theirs_sk = other._sketches.get(name) or QuantileSketch(self.quantiles)
+                merged._sketches[name] = mine_sk.merge(theirs_sk)
+        return merged
+
+    def quantile_snapshot(self, name: str) -> dict[str, float | None]:
+        """Current quantile estimates of one column (for event emission)."""
+        sketch = self._sketches.get(name)
+        if sketch is None:
+            return {}
+        return sketch.estimates()
 
     def to_frame(self) -> Frame:
         """The aggregate summary: one row per reduced column."""
@@ -193,20 +246,30 @@ class FrameReducer:
             "max": [],
             "var": [],
         }
+        labels = [quantile_label(q) for q in self.quantiles]
+        for label in labels:
+            rows[label] = []
         for name, reducer in self._reducers.items():
             rows["column"].append(name)
             for field, value in reducer.as_row().items():
                 rows[field].append(value)
+            if labels:
+                estimates = self._sketches[name].estimates()
+                for label in labels:
+                    value = estimates[label]
+                    # Empty streams estimate NaN; report None like the
+                    # other empty-accumulator fields.
+                    rows[label].append(None if value != value else value)
         return Frame.from_dict(rows)
 
 
-def reduce_frame(frame: Frame) -> Frame:
+def reduce_frame(frame: Frame, quantiles: Sequence[float] = DEFAULT_QUANTILES) -> Frame:
     """Aggregate summary of a fully materialised frame.
 
     This is the unsharded counterpart of streaming a :class:`FrameReducer`
     over shards: feeding the whole frame in one ``update`` performs the
     exact same sequence of scalar operations, so the two are bit-identical.
     """
-    reducer = FrameReducer()
+    reducer = FrameReducer(quantiles)
     reducer.update(frame)
     return reducer.to_frame()

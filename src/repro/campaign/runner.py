@@ -166,21 +166,26 @@ def dispatch_simulations(
     grouping, the no-re-chunk outer map) can never diverge between the
     resident and streaming paths.
     """
-    if batch:
-        # One payload per worker chunk: the chunk itself is vectorized, so
-        # the outer map must not re-chunk it.
-        payloads = _chunk_payloads(units, config.chunk_size, catalog)
-        return [
-            outcome
-            for chunk in parallel_map(
-                _simulate_chunk, payloads, config=replace(config, chunk_size=1)
-            )
-            for outcome in chunk
+    from ..obs.trace import get_tracer
+
+    with get_tracer().span(
+        "campaign.dispatch", units=len(units), batch=batch, backend=config.backend
+    ):
+        if batch:
+            # One payload per worker chunk: the chunk itself is vectorized, so
+            # the outer map must not re-chunk it.
+            payloads = _chunk_payloads(units, config.chunk_size, catalog)
+            return [
+                outcome
+                for chunk in parallel_map(
+                    _simulate_chunk, payloads, config=replace(config, chunk_size=1)
+                )
+                for outcome in chunk
+            ]
+        payloads = [
+            (unit.key, unit.plan, unit.options, unit.seed, catalog) for unit in units
         ]
-    payloads = [
-        (unit.key, unit.plan, unit.options, unit.seed, catalog) for unit in units
-    ]
-    return parallel_map(_simulate_unit, payloads, config=config)
+        return parallel_map(_simulate_unit, payloads, config=config)
 
 
 def execute_units(

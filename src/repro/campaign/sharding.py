@@ -29,6 +29,7 @@ sharding tests and ``benchmarks/test_bench_shard.py``).
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Iterator
@@ -36,6 +37,7 @@ from typing import Any, Callable, Iterator
 from ..errors import ArtifactError, CampaignError
 from ..frame import Frame, concat
 from ..market.catalog import Catalog
+from ..obs.trace import get_tracer
 from ..parallel import ParallelConfig
 from ..session.artifacts import ArtifactStore, digest_json
 from ..session.columnar import frame_from_arrays, frame_to_arrays
@@ -142,6 +144,11 @@ class ShardOutcome:
     failures: tuple[tuple[str, str], ...]  # (unit_id, error)
     artifact_key: str
     reloaded: bool  # served wholesale from the artifact
+    # Telemetry (observability only — never read back by the data plane):
+    # simulation-kernel seconds, frame-assembly seconds, flushed array bytes.
+    kernel_s: float = 0.0
+    assembly_s: float = 0.0
+    flush_bytes: int = 0
 
     @property
     def is_complete(self) -> bool:
@@ -255,6 +262,25 @@ class StreamingCampaignResult:
 # --------------------------------------------------------------------------- #
 # Streaming execution
 # --------------------------------------------------------------------------- #
+def _jsonable_quantiles(reducer: FrameReducer) -> dict[str, dict[str, float | None]]:
+    """Per-column quantile snapshots, JSON-clean for event emission.
+
+    Non-finite estimates become ``None`` (strict-JSON ``null``) and columns
+    with no finite estimate at all are dropped — they carry no signal for
+    ``campaign watch`` and would dominate the event line otherwise.
+    """
+    snapshot: dict[str, dict[str, float | None]] = {}
+    for name in reducer.columns:
+        estimates = reducer.quantile_snapshot(name)
+        cleaned = {
+            label: (None if value != value else value)
+            for label, value in estimates.items()
+        }
+        if any(value is not None for value in cleaned.values()):
+            snapshot[name] = cleaned
+    return snapshot
+
+
 def _load_shard_frame(store: ArtifactStore, key: str) -> Frame | None:
     """Rebuild one shard frame from its artifact; ``None`` on a miss."""
     payload = store.get(key)
@@ -279,60 +305,76 @@ def _flush_shard(
     ``budget`` bounds the number of *new* simulations (``None`` = no bound);
     the caller decrements it by the returned outcome's ``simulated``.
     """
-    cache = store.cache
-    rows_by_key: dict[str, dict] = {}
-    pending: list[CampaignUnit] = []
-    for unit in shard.units:
-        row = cache.get(unit.key)
-        if row is not None:
-            rows_by_key[unit.key] = row
-        else:
-            pending.append(unit)
-    cache_hits = len(rows_by_key)
-
-    if budget is not None:
-        pending = pending[:budget]
-
-    failures: list[tuple[str, str]] = []
-    if pending:
-        from .runner import dispatch_simulations
-
-        by_key = {unit.key: unit for unit in shard.units}
-        outcomes = dispatch_simulations(pending, config, batch, catalog)
-        ledger: list[tuple[CampaignUnit, str | None]] = []
-        for key, row, error in outcomes:
-            unit = by_key[key]
-            if error is None:
-                cache.put(key, row)
-                rows_by_key[key] = row
+    tracer = get_tracer()
+    with tracer.span("campaign.shard", index=shard.index, units=shard.n_units) as span:
+        cache = store.cache
+        rows_by_key: dict[str, dict] = {}
+        pending: list[CampaignUnit] = []
+        for unit in shard.units:
+            row = cache.get(unit.key)
+            if row is not None:
+                rows_by_key[unit.key] = row
             else:
-                failures.append((unit.unit_id, error))
-            ledger.append((unit, error))
-        store.record_many(ledger)
+                pending.append(unit)
+        cache_hits = len(rows_by_key)
 
-    accumulator = FrameAccumulator()
-    for unit in shard.units:
-        row = rows_by_key.get(unit.key)
-        if row is not None:
-            accumulator.add_row(annotate_row(row, unit))
-    frame = accumulator.to_frame()
+        if budget is not None:
+            pending = pending[:budget]
 
-    artifact_key = shard.artifact_key()
-    meta, arrays = frame_to_arrays(frame)
-    store.shard_store.put(
-        artifact_key, {"columns": meta, "n_rows": len(frame)}, arrays=arrays
-    )
-    outcome = ShardOutcome(
-        index=shard.index,
-        start=shard.start,
-        n_units=shard.n_units,
-        n_rows=len(frame),
-        cache_hits=cache_hits,
-        simulated=len(pending) - len(failures),
-        failures=tuple(failures),
-        artifact_key=artifact_key,
-        reloaded=False,
-    )
+        failures: list[tuple[str, str]] = []
+        kernel_s = 0.0
+        if pending:
+            from .runner import dispatch_simulations
+
+            by_key = {unit.key: unit for unit in shard.units}
+            kernel_start = time.perf_counter()
+            outcomes = dispatch_simulations(pending, config, batch, catalog)
+            kernel_s = time.perf_counter() - kernel_start
+            ledger: list[tuple[CampaignUnit, str | None]] = []
+            for key, row, error in outcomes:
+                unit = by_key[key]
+                if error is None:
+                    cache.put(key, row)
+                    rows_by_key[key] = row
+                else:
+                    failures.append((unit.unit_id, error))
+                ledger.append((unit, error))
+            store.record_many(ledger)
+
+        assembly_start = time.perf_counter()
+        accumulator = FrameAccumulator()
+        for unit in shard.units:
+            row = rows_by_key.get(unit.key)
+            if row is not None:
+                accumulator.add_row(annotate_row(row, unit))
+        frame = accumulator.to_frame()
+        assembly_s = time.perf_counter() - assembly_start
+
+        artifact_key = shard.artifact_key()
+        meta, arrays = frame_to_arrays(frame)
+        store.shard_store.put(
+            artifact_key, {"columns": meta, "n_rows": len(frame)}, arrays=arrays
+        )
+        flush_bytes = int(sum(array.nbytes for array in arrays.values()))
+        span.set("cache_hits", cache_hits)
+        span.set("simulated", len(pending) - len(failures))
+        span.set("kernel_s", kernel_s)
+        span.set("assembly_s", assembly_s)
+        span.set("flush_bytes", flush_bytes)
+        outcome = ShardOutcome(
+            index=shard.index,
+            start=shard.start,
+            n_units=shard.n_units,
+            n_rows=len(frame),
+            cache_hits=cache_hits,
+            simulated=len(pending) - len(failures),
+            failures=tuple(failures),
+            artifact_key=artifact_key,
+            reloaded=False,
+            kernel_s=kernel_s,
+            assembly_s=assembly_s,
+            flush_bytes=flush_bytes,
+        )
     store.record_shard(
         {
             "index": shard.index,
@@ -443,27 +485,70 @@ def stream_campaign(
     simulated = 0
     budget = max_units
 
-    for shard in iter_shards(spec, catalog, shard_size=shard_size):
-        if max_shards is not None and shard.index >= max_shards:
-            break
-        reloaded = _reload_shard(shard, store, recorded.get(shard.index, {}))
-        if reloaded is not None:
-            outcome, frame = reloaded
-        else:
-            outcome, frame = _flush_shard(shard, store, config, batch, catalog, budget)
-            if budget is not None:
-                # Attempts spend the budget, successful or not, mirroring
-                # the unsharded runner's pending[:max_units] semantics.
-                budget -= outcome.simulated + len(outcome.failures)
-        outcomes.append(outcome)
-        failures.extend(outcome.failures)
-        cache_hits += outcome.cache_hits
-        simulated += outcome.simulated
-        reducer.update(frame)
-        del frame  # the whole point: nothing accumulates
-        if progress is not None:
-            progress(outcome, n_shards)
+    # Always-on telemetry: one compact event per shard into the store's
+    # events.jsonl (this is what ``campaign watch`` tails), independent of
+    # the opt-in span tracer.  Purely observational — nothing below reads
+    # these back, so results stay bit-identical with or without them.
+    store.record_event(
+        "campaign_start",
+        name=spec.name,
+        n_units=total_units,
+        n_shards=n_shards,
+        shard_size=shard_size,
+    )
+    tracer = get_tracer()
+    with tracer.span("campaign.stream", name=spec.name, n_shards=n_shards):
+        for shard in iter_shards(spec, catalog, shard_size=shard_size):
+            if max_shards is not None and shard.index >= max_shards:
+                break
+            shard_start = time.perf_counter()
+            reloaded = _reload_shard(shard, store, recorded.get(shard.index, {}))
+            if reloaded is not None:
+                outcome, frame = reloaded
+            else:
+                outcome, frame = _flush_shard(shard, store, config, batch, catalog, budget)
+                if budget is not None:
+                    # Attempts spend the budget, successful or not, mirroring
+                    # the unsharded runner's pending[:max_units] semantics.
+                    budget -= outcome.simulated + len(outcome.failures)
+            outcomes.append(outcome)
+            failures.extend(outcome.failures)
+            cache_hits += outcome.cache_hits
+            simulated += outcome.simulated
+            reducer.update(frame)
+            del frame  # the whole point: nothing accumulates
+            wall_s = time.perf_counter() - shard_start
+            store.record_event(
+                "shard_flush",
+                index=outcome.index,
+                units=outcome.n_units,
+                n_rows=outcome.n_rows,
+                cache_hits=outcome.cache_hits,
+                simulated=outcome.simulated,
+                failed=len(outcome.failures),
+                reloaded=outcome.reloaded,
+                wall_s=wall_s,
+                kernel_s=outcome.kernel_s,
+                assembly_s=outcome.assembly_s,
+                flush_bytes=outcome.flush_bytes,
+                units_per_s=(outcome.n_units / wall_s) if wall_s > 0 else None,
+                rows_total=reducer.n_rows,
+                n_shards=n_shards,
+                quantiles=_jsonable_quantiles(reducer),
+            )
+            if progress is not None:
+                progress(outcome, n_shards)
 
+    store.record_event(
+        "campaign_complete",
+        name=spec.name,
+        shards=len(outcomes),
+        n_shards=n_shards,
+        cache_hits=cache_hits,
+        simulated=simulated,
+        failed=len(failures),
+        rows_total=reducer.n_rows,
+    )
     return StreamingCampaignResult(
         total_units=total_units,
         shard_size=shard_size,

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
@@ -37,11 +38,38 @@ from .spec import CampaignSpec, CampaignUnit
 if TYPE_CHECKING:  # import-cycle-safe: only the type checker needs this
     from ..session.artifacts import ArtifactStore
 
-__all__ = ["SHARD_SCHEMA", "CampaignStatus", "CampaignStore"]
+__all__ = ["SHARD_SCHEMA", "CampaignStatus", "CampaignStore", "ShardProgress"]
 
 #: Schema version of per-shard frame artifacts; bump when the columnar
 #: payload layout changes so stale shard artifacts miss instead of loading.
 SHARD_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ShardProgress:
+    """Shard-level progress of a streaming store's flush pipeline.
+
+    ``status`` on a resident (non-sharded) store carries no shard
+    progress; for streaming stores this is what makes ``campaign status``
+    and ``campaign watch`` agree — both read the same shard manifest.
+    """
+
+    total: int
+    complete: int
+    partial: int
+    rows_flushed: int
+    shard_size: int
+
+    @property
+    def pending(self) -> int:
+        return max(self.total - self.complete - self.partial, 0)
+
+    def describe(self) -> str:
+        return (
+            f"shards: {self.complete}/{self.total} complete, "
+            f"{self.partial} partial, {self.pending} pending "
+            f"({self.rows_flushed} rows flushed, shard_size={self.shard_size})"
+        )
 
 
 @dataclass(frozen=True)
@@ -53,6 +81,7 @@ class CampaignStatus:
     completed: int
     failed: int
     failures: tuple[tuple[str, str], ...]  # (unit_id, error)
+    shards: ShardProgress | None = None
 
     @property
     def pending(self) -> int:
@@ -67,6 +96,8 @@ class CampaignStatus:
             f"campaign {self.name}: {self.completed}/{self.total} units "
             f"completed, {self.pending} pending, {self.failed} failed"
         ]
+        if self.shards is not None:
+            lines.append(f"  {self.shards.describe()}")
         for unit_id, error in self.failures:
             lines.append(f"  failed {unit_id}: {error}")
         return "\n".join(lines)
@@ -98,6 +129,10 @@ class CampaignStore:
     @property
     def shards_path(self) -> Path:
         return self.directory / "shards.jsonl"
+
+    @property
+    def events_path(self) -> Path:
+        return self.directory / "events.jsonl"
 
     @property
     def shard_store(self) -> "ArtifactStore":
@@ -294,6 +329,59 @@ class CampaignStore:
         return latest
 
     # ------------------------------------------------------------------ #
+    # Telemetry event log (``campaign watch`` tails this)
+    # ------------------------------------------------------------------ #
+    def record_event(self, name: str, /, **fields: Any) -> None:
+        """Append one telemetry event to the store's ``events.jsonl``.
+
+        Events are observability state, never campaign state: nothing in
+        the data plane reads them back, so emission is bit-effect-free on
+        results.  The streaming runner emits one compact event per shard
+        flush — what ``campaign watch`` and ``profile report`` consume.
+        """
+        record: dict[str, Any] = {"event": name, "ts": time.time()}
+        record.update(fields)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.events_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+
+    def event_entries(self) -> list[dict[str, Any]]:
+        """All telemetry events in append order (torn tail lines skipped)."""
+        return self._jsonl_entries(self.events_path)
+
+    def shard_progress(self) -> "ShardProgress | None":
+        """Shard-level progress from the manifest + shard log (or ``None``).
+
+        Only streaming stores have a shard layout; resident stores return
+        ``None`` so ``status`` keeps its unit-level shape for them.
+        """
+        shard_size = self.stored_shard_size()
+        if shard_size is None:
+            return None
+        try:
+            data = self._read_json(self.manifest_path, "missing", "manifest")
+        except CampaignError:
+            return None
+        n_units = int(data.get("n_units", 0))
+        total = -(-n_units // shard_size) if n_units else 0
+        complete = 0
+        partial = 0
+        rows = 0
+        for entry in self.shard_entries().values():
+            if entry.get("status") == "complete":
+                complete += 1
+            else:
+                partial += 1
+            rows += int(entry.get("n_rows", 0))
+        return ShardProgress(
+            total=max(total, complete + partial),
+            complete=complete,
+            partial=partial,
+            rows_flushed=rows,
+            shard_size=shard_size,
+        )
+
+    # ------------------------------------------------------------------ #
     def status(self) -> CampaignStatus:
         """Progress against the manifest, from cache + ledger state.
 
@@ -338,6 +426,7 @@ class CampaignStore:
             completed=completed,
             failed=len(failures),
             failures=tuple(failures),
+            shards=self.shard_progress(),
         )
 
 

@@ -168,6 +168,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_session_flags(cresume)
     cstatus = csub.add_parser("status", help="report campaign progress")
     cstatus.add_argument("--store", required=True)
+    cwatch = csub.add_parser(
+        "watch", help="live per-shard progress, throughput and streaming "
+                      "quantiles of a campaign store"
+    )
+    cwatch.add_argument("--store", required=True, help="campaign store directory")
+    cwatch.add_argument("--once", action="store_true",
+                        help="render one snapshot and exit (CI/smoke mode)")
+    cwatch.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between repaints (default: 2)")
+    cwatch.add_argument("--metric", default=None,
+                        help="frame column whose streaming quantiles to show "
+                             "(default: the headline efficiency metric)")
+    cwatch.add_argument("--width", type=_positive_int, default=72,
+                        help="render width in characters (default: 72)")
+
+    profile = sub.add_parser(
+        "profile", help="inspect span telemetry captured with REPRO_PROFILE=1"
+    )
+    psub = profile.add_subparsers(dest="profile_command", required=True)
+    preport = psub.add_parser(
+        "report", help="per-span self-time table from an events.jsonl log"
+    )
+    source = preport.add_mutually_exclusive_group()
+    source.add_argument("--events", help="path to an events.jsonl file")
+    source.add_argument("--store", help="campaign store whose events.jsonl to read")
+    preport.add_argument("--top", type=_positive_int, default=15,
+                         help="span names to list (default: 15)")
+    _add_session_flags(preport)  # --workspace ws reads ws/events.jsonl
     return parser
 
 
@@ -255,6 +283,17 @@ def _dispatch(session, args: argparse.Namespace) -> int:
 
                 print(CampaignStore(args.store).status().describe())
                 return 0
+            if args.campaign_command == "watch":
+                from ..obs.watch import watch
+
+                watch(
+                    args.store,
+                    once=args.once,
+                    interval=args.interval,
+                    metric=args.metric,
+                    width=args.width,
+                )
+                return 0
             if args.campaign_command == "run":
                 if args.store is None and args.workspace is None:
                     print(
@@ -322,6 +361,26 @@ def _dispatch(session, args: argparse.Namespace) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
         return 0 if not result.failures else 2
+
+    if args.command == "profile":
+        from ..errors import CampaignError
+        from ..obs.profile import (
+            aggregate_spans,
+            load_events,
+            render_profile,
+            resolve_events_path,
+        )
+
+        try:
+            path = resolve_events_path(
+                events=args.events, workspace=args.workspace, store=args.store
+            )
+            stats = aggregate_spans(load_events(path))
+        except CampaignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_profile(stats, top=args.top))
+        return 0
 
     if args.command == "table1":
         for row in session.table1():

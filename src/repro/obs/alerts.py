@@ -1,0 +1,170 @@
+"""Threshold and drift alerts evaluated over a streaming campaign.
+
+``campaign watch`` feeds each ``shard_flush`` event through an
+:class:`AlertEngine`; the engine raises:
+
+* :class:`ThresholdRule` breaches — a metric crossing a fixed bound
+  (e.g. per-shard failure count above zero, throughput collapsing), and
+* drift alerts — a per-shard metric z-scoring far outside the running
+  Welford moments of the shards seen so far,
+
+and classifies unit-failure reasons against the paper's anomaly taxonomy
+(:class:`repro.market.anomalies.AnomalyKind`) so mid-campaign rejects are
+reported in the same vocabulary as the Section II funnel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..market.anomalies import AnomalyKind
+
+__all__ = ["Alert", "ThresholdRule", "DriftRule", "AlertEngine", "classify_failure"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One raised alert, ready to render in the watch surface."""
+
+    kind: str  # "threshold" | "drift" | "failure"
+    metric: str
+    message: str
+    shard: int | None = None
+
+
+@dataclass(frozen=True)
+class ThresholdRule:
+    """Fire when ``metric`` compares against ``bound`` (``op``: > or <)."""
+
+    metric: str
+    bound: float
+    op: str = ">"
+    message: str | None = None
+
+    def check(self, values: dict[str, Any], shard: int | None = None) -> Alert | None:
+        value = values.get(self.metric)
+        if value is None:
+            return None
+        value = float(value)
+        breached = value > self.bound if self.op == ">" else value < self.bound
+        if not breached:
+            return None
+        text = self.message or f"{self.metric}={value:g} {self.op} {self.bound:g}"
+        return Alert(kind="threshold", metric=self.metric, message=text, shard=shard)
+
+
+class _RunningMoments:
+    """Welford mean/variance over per-shard observations."""
+
+    __slots__ = ("count", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def push(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def zscore(self, value: float) -> float | None:
+        if self.count < 2:
+            return None
+        variance = self.m2 / (self.count - 1)
+        if variance <= 0.0:
+            return None
+        return (value - self.mean) / math.sqrt(variance)
+
+
+@dataclass(frozen=True)
+class DriftRule:
+    """Fire when a shard's metric drifts ``z_max`` sigmas off the run so far.
+
+    The observation is pushed into the running moments *after* the check,
+    so a shard is judged against its predecessors, and the first
+    ``min_history`` shards only build history.
+    """
+
+    metric: str
+    z_max: float = 3.0
+    min_history: int = 3
+
+
+class AlertEngine:
+    """Stateful evaluator: thresholds plus drift over a shard stream."""
+
+    def __init__(
+        self,
+        thresholds: Iterable[ThresholdRule] = (),
+        drifts: Iterable[DriftRule] = (),
+    ):
+        self.thresholds = tuple(thresholds)
+        self.drifts = tuple(drifts)
+        self._moments: dict[str, _RunningMoments] = {}
+        self.alerts: list[Alert] = []
+
+    def observe(self, values: dict[str, Any], shard: int | None = None) -> list[Alert]:
+        """Evaluate one shard's metric dict; returns newly raised alerts."""
+        raised: list[Alert] = []
+        for rule in self.thresholds:
+            alert = rule.check(values, shard=shard)
+            if alert is not None:
+                raised.append(alert)
+        for rule in self.drifts:
+            value = values.get(rule.metric)
+            if value is None:
+                continue
+            value = float(value)
+            if not math.isfinite(value):
+                continue
+            moments = self._moments.setdefault(rule.metric, _RunningMoments())
+            z = moments.zscore(value)
+            if moments.count >= rule.min_history and z is not None and abs(z) > rule.z_max:
+                raised.append(
+                    Alert(
+                        kind="drift",
+                        metric=rule.metric,
+                        message=f"{rule.metric}={value:g} drifted {z:+.1f}σ from run mean",
+                        shard=shard,
+                    )
+                )
+            moments.push(value)
+        self.alerts.extend(raised)
+        return raised
+
+
+#: Substrings mapping a unit-failure reason string onto the paper taxonomy.
+_FAILURE_PATTERNS: tuple[tuple[str, AnomalyKind], ...] = (
+    ("not accepted", AnomalyKind.NOT_ACCEPTED),
+    ("ambiguous date", AnomalyKind.AMBIGUOUS_DATE),
+    ("implausible date", AnomalyKind.IMPLAUSIBLE_DATE),
+    ("ambiguous cpu", AnomalyKind.AMBIGUOUS_CPU),
+    ("node count", AnomalyKind.MISSING_NODE_COUNT),
+    ("inconsistent core", AnomalyKind.INCONSISTENT_CORE_THREAD),
+    ("implausible core", AnomalyKind.IMPLAUSIBLE_CORE_COUNT),
+)
+
+
+def classify_failure(reason: str) -> AnomalyKind | None:
+    """Map a free-form failure reason onto the paper's anomaly taxonomy."""
+    lowered = reason.lower()
+    for pattern, kind in _FAILURE_PATTERNS:
+        if pattern in lowered:
+            return kind
+    return None
+
+
+def default_watch_rules() -> tuple[tuple[ThresholdRule, ...], tuple[DriftRule, ...]]:
+    """The rule set ``campaign watch`` runs with out of the box."""
+    thresholds = (
+        ThresholdRule("failed", 0.0, ">", message="shard reported failed units"),
+    )
+    drifts = (
+        DriftRule("wall_s", z_max=4.0),
+        DriftRule("units_per_s", z_max=4.0),
+    )
+    return thresholds, drifts

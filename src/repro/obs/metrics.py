@@ -1,0 +1,203 @@
+"""Metric primitives and the registry instrumented code reports into.
+
+Three metric kinds, all mergeable so per-worker registries can fold into a
+campaign-level one:
+
+* :class:`Counter` — a monotonically increasing total,
+* :class:`Gauge` — a last-value-wins measurement,
+* :class:`StreamingHistogram` — fixed-edge bin counts compatible with
+  :class:`repro.stats.distribution.Histogram` (same edges ⇒ bin-wise count
+  addition on merge), so a streamed histogram renders through the existing
+  plotting layer unchanged.
+
+:class:`MetricsRegistry` hands out metrics by name, snapshots to plain JSON
+(the payload of ``campaign_complete`` events) and merges registry-wise.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Iterable, Sequence
+
+from ..errors import StatsError
+
+__all__ = ["Counter", "Gauge", "StreamingHistogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise StatsError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A last-value-wins measurement (``None`` until first set)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def merge(self, other: "Gauge") -> None:
+        if other.value is not None:
+            self.value = other.value
+
+    def snapshot(self) -> float | None:
+        return self.value
+
+
+class StreamingHistogram:
+    """Fixed-edge bin counts fed value by value, mergeable bin-wise.
+
+    Edges follow :class:`repro.stats.distribution.Histogram` semantics:
+    ``edges[i] <= value < edges[i+1]`` selects bin ``i``, the last bin is
+    closed on the right, and out-of-range values land in under/overflow
+    counters so the in-range counts stay comparable across streams.
+    """
+
+    __slots__ = ("name", "edges", "counts", "underflow", "overflow")
+
+    def __init__(self, name: str, edges: Sequence[float]):
+        if len(edges) < 2:
+            raise StatsError("histogram needs at least two edges")
+        ordered = [float(edge) for edge in edges]
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise StatsError("histogram edges must be strictly increasing")
+        self.name = name
+        self.edges = tuple(ordered)
+        self.counts = [0] * (len(ordered) - 1)
+        self.underflow = 0
+        self.overflow = 0
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        if value != value:  # NaN carries no bin
+            return
+        if value < self.edges[0]:
+            self.underflow += 1
+            return
+        if value > self.edges[-1]:
+            self.overflow += 1
+            return
+        index = min(bisect_right(self.edges, value) - 1, len(self.counts) - 1)
+        self.counts[index] += 1
+
+    def update(self, values: Iterable[float]) -> None:
+        for value in values:
+            if value is not None:
+                self.push(value)
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        if self.edges != other.edges:
+            raise StatsError(
+                f"cannot merge histograms with different edges "
+                f"({self.name!r} vs {other.name!r})"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+
+    def to_histogram(self):
+        """The equivalent :class:`repro.stats.distribution.Histogram`."""
+        from ..stats.distribution import Histogram
+
+        return Histogram(edges=self.edges, counts=tuple(self.counts))
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms behind one lookup.
+
+    ``counter`` / ``gauge`` / ``histogram`` create on first use and return
+    the existing metric afterwards; asking for an existing name as a
+    different kind is an error (one name, one meaning).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | StreamingHistogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def _get(self, name: str, kind: type):
+        metric = self._metrics.get(name)
+        if metric is not None and not isinstance(metric, kind):
+            raise StatsError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get(name, Counter)
+        if metric is None:
+            metric = self._metrics[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get(name, Gauge)
+        if metric is None:
+            metric = self._metrics[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, edges: Sequence[float] | None = None) -> StreamingHistogram:
+        metric = self._get(name, StreamingHistogram)
+        if metric is None:
+            if edges is None:
+                raise StatsError(f"histogram {name!r} needs edges on first use")
+            metric = self._metrics[name] = StreamingHistogram(name, edges)
+        return metric
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (same-name metrics must share kinds)."""
+        for name, metric in other._metrics.items():
+            mine = self._get(name, type(metric))
+            if mine is None:
+                if isinstance(metric, StreamingHistogram):
+                    mine = self.histogram(name, metric.edges)
+                elif isinstance(metric, Gauge):
+                    mine = self.gauge(name)
+                else:
+                    mine = self.counter(name)
+            mine.merge(metric)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-JSON view of every metric (the event payload shape)."""
+        return {name: metric.snapshot() for name, metric in sorted(self._metrics.items())}

@@ -1,0 +1,131 @@
+"""Per-span self-time aggregation over an ``events.jsonl`` log.
+
+``spectrends profile report`` reads the span events a traced run emitted,
+subtracts each span's direct children from its wall time (self time), and
+renders the hottest span names as a table — the entry point for the
+ROADMAP's profiling pass.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from ..errors import CampaignError
+
+__all__ = ["SpanStats", "load_events", "aggregate_spans", "render_profile"]
+
+
+@dataclass
+class SpanStats:
+    """Aggregate timings for all spans sharing a name."""
+
+    name: str
+    count: int = 0
+    wall_s: float = 0.0
+    self_s: float = 0.0
+    cpu_s: float = 0.0
+    max_wall_s: float = 0.0
+    attrs: dict[str, float] = field(default_factory=dict)
+
+    def add(self, wall: float, self_wall: float, cpu: float, attrs: dict[str, Any]) -> None:
+        self.count += 1
+        self.wall_s += wall
+        self.self_s += self_wall
+        self.cpu_s += cpu
+        self.max_wall_s = max(self.max_wall_s, wall)
+        for key, value in attrs.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.attrs[key] = self.attrs.get(key, 0.0) + value
+
+
+def load_events(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield event records from a JSON-lines file, skipping torn lines."""
+    path = Path(path)
+    if not path.exists():
+        raise CampaignError(f"no event log at {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+def aggregate_spans(events: Iterable[dict[str, Any]]) -> dict[str, SpanStats]:
+    """Fold span events into per-name stats with self time.
+
+    Self time is a span's wall time minus the wall time of its direct
+    children (never below zero); it is what ``profile report`` ranks by,
+    so a parent that merely waits on instrumented children does not mask
+    the real hot path.
+    """
+    spans = [e for e in events if e.get("event") == "span" and e.get("wall_s") is not None]
+    child_wall: dict[int, float] = {}
+    for record in spans:
+        parent = record.get("parent_id")
+        if parent is not None:
+            child_wall[parent] = child_wall.get(parent, 0.0) + float(record["wall_s"])
+    stats: dict[str, SpanStats] = {}
+    for record in spans:
+        name = str(record.get("name", "?"))
+        wall = float(record["wall_s"])
+        self_wall = max(0.0, wall - child_wall.get(record.get("span_id"), 0.0))
+        cpu = float(record.get("cpu_s") or 0.0)
+        entry = stats.get(name)
+        if entry is None:
+            entry = stats[name] = SpanStats(name)
+        entry.add(wall, self_wall, cpu, record.get("attrs") or {})
+    return stats
+
+
+def render_profile(stats: dict[str, SpanStats], top: int = 15) -> str:
+    """Render span stats as a fixed-width table, hottest self-time first."""
+    if not stats:
+        return "(no span events)"
+    ordered = sorted(stats.values(), key=lambda s: (-s.self_s, s.name))[: max(top, 1)]
+    total_self = sum(s.self_s for s in stats.values()) or 1.0
+    name_width = max(4, max(len(s.name) for s in ordered))
+    header = (
+        f"{'span':<{name_width}}  {'count':>7}  {'self_s':>9}  "
+        f"{'self%':>6}  {'wall_s':>9}  {'cpu_s':>9}  {'max_s':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in ordered:
+        lines.append(
+            f"{s.name:<{name_width}}  {s.count:>7d}  {s.self_s:>9.4f}  "
+            f"{100.0 * s.self_s / total_self:>5.1f}%  {s.wall_s:>9.4f}  "
+            f"{s.cpu_s:>9.4f}  {s.max_wall_s:>8.4f}"
+        )
+    remainder = len(stats) - len(ordered)
+    if remainder > 0:
+        lines.append(f"... and {remainder} more span name(s)")
+    return "\n".join(lines)
+
+
+def resolve_events_path(
+    events: str | Path | None = None,
+    workspace: str | Path | None = None,
+    store: str | Path | None = None,
+) -> Path:
+    """Locate an ``events.jsonl`` from an explicit path, store or workspace.
+
+    An explicit event log or campaign store wins over the (session-wide)
+    workspace, which may be set for unrelated caching reasons.
+    """
+    if events is not None:
+        return Path(events)
+    if store is not None:
+        from ..campaign.store import CampaignStore
+
+        return CampaignStore(Path(store)).events_path
+    if workspace is not None:
+        return Path(workspace) / "events.jsonl"
+    raise CampaignError("profile report needs --events, --store or --workspace")

@@ -1,0 +1,409 @@
+"""Streaming quantile sketches: percentile summaries without residency.
+
+:class:`~repro.campaign.reduce.OnlineMoments` stops at moments; quantiles
+normally require the sorted sample.  :class:`QuantileSketch` closes that gap
+for the streaming campaign path with a two-phase design:
+
+* **exact phase** — values accumulate in a sorted buffer (default 256
+  entries); estimates are the exact linear-interpolation quantiles of the
+  buffer, identical to ``np.quantile`` of the same values, and merging two
+  exact sketches is a sorted-buffer union — exact, commutative and
+  associative,
+* **compressed phase** — once the buffer overflows, each tracked quantile
+  collapses into a five-marker :class:`P2Quantile` estimator (Jain &
+  Chlamtac's P² algorithm); state is O(1) per quantile from then on, and
+  estimates converge to the true quantiles as the stream grows.
+
+Determinism contract
+--------------------
+Like the Welford reducers, a sketch consumes values *sequentially in stream
+order*: the buffer phase is order-independent (a sorted multiset), the
+compression point is a function of the count alone, and every post-
+compression P² step is a scalar recurrence over the remaining stream — so
+where shard boundaries fall cannot change a single estimated float, which
+is what lets the streamed campaign aggregate stay bit-identical to the
+unsharded reduction with percentile columns included.
+
+Merging compressed sketches folds the other sketch's markers in as
+count-weighted observations (the weighted-P² update).  That is deterministic
+but approximate — like :meth:`OnlineMoments.merge`, it is reserved for
+explicitly parallel consumers; the campaign data plane reduces sequentially.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right, insort
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import StatsError
+
+__all__ = ["DEFAULT_QUANTILES", "P2Quantile", "QuantileSketch"]
+
+#: The percentile summary the campaign aggregate and ``campaign watch``
+#: report by default: median, tail, far tail.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+#: Exact-phase buffer size.  Small enough that a per-column sketch stays a
+#: few KiB, large enough that short streams (most test campaigns) never
+#: leave the exact phase.
+DEFAULT_BUFFER_SIZE = 256
+
+
+def quantile_label(q: float) -> str:
+    """Column/field label of one tracked quantile (``0.5`` → ``"p50"``)."""
+    return f"p{q * 100:g}".replace(".", "_")
+
+
+def _exact_quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending sequence.
+
+    Matches ``np.quantile(..., method="linear")`` so exact-phase estimates
+    agree bit-for-bit with the sorted-array reference.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        return float("nan")
+    if n == 1:
+        return float(sorted_values[0])
+    position = q * (n - 1)
+    low = int(math.floor(position))
+    high = min(low + 1, n - 1)
+    fraction = position - low
+    below, above = float(sorted_values[low]), float(sorted_values[high])
+    diff = above - below
+    # numpy's lerp switches anchors at the midpoint for monotonicity; follow
+    # it exactly so exact-phase estimates are bit-equal to np.quantile.
+    if fraction >= 0.5:
+        return above - diff * (1.0 - fraction)
+    return below + diff * fraction
+
+
+class P2Quantile:
+    """One streaming quantile via the P² algorithm (Jain & Chlamtac 1985).
+
+    Five markers track the minimum, two intermediate points, the estimate
+    and the maximum; marker heights are adjusted by a piecewise-parabolic
+    formula as observations arrive, so state is eleven floats regardless of
+    stream length.  ``push`` accepts a ``weight`` so that another sketch's
+    markers can be folded in as count-weighted observations (the merge
+    path); the data plane always pushes weight 1 in stream order.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_weights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise StatsError(f"quantile must be in (0, 1), got {q}")
+        self.q = float(q)
+        self.count = 0.0
+        self._heights: list[float] = []
+        self._weights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._rates = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    # ------------------------------------------------------------------ #
+    def push(self, value: float, weight: float = 1.0) -> None:
+        """Fold one observation (optionally count-weighted) into the markers."""
+        value = float(value)
+        if weight <= 0.0:
+            return
+        if len(self._heights) < 5:
+            # Start-up: the first five observations become the markers.
+            # Marker positions start as cumulative weights so a folded-in
+            # sketch's mass lands where it belongs (unit weights reduce to
+            # the textbook 1..5 initialisation).
+            index = bisect_right(self._heights, value)
+            self._heights.insert(index, value)
+            self._weights.insert(index, weight)
+            self.count += weight
+            if len(self._heights) == 5:
+                cumulative = 0.0
+                positions = []
+                for entry in self._weights:
+                    cumulative += entry
+                    positions.append(cumulative)
+                self._positions = positions
+                self._weights = []
+                self._reset_desired()
+            return
+
+        self.count += weight
+        heights = self._heights
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = bisect_right(heights, value, 1, 4) - 1
+        for index in range(cell + 1, 5):
+            self._positions[index] += weight
+        for index in range(5):
+            self._desired[index] += self._rates[index] * weight
+        self._adjust()
+        if weight > 1.0:
+            # A weighted observation moves the desired positions by up to
+            # ``weight`` steps but one adjustment pass moves each marker at
+            # most one step; keep adjusting until the markers catch up so a
+            # folded-in sketch actually shifts the estimate.
+            for _ in range(int(weight) + 4):
+                if not self._adjust():
+                    break
+
+    def _reset_desired(self) -> None:
+        n = self.count
+        q = self.q
+        self._desired = [
+            1.0,
+            1.0 + (n - 1.0) * q / 2.0,
+            1.0 + (n - 1.0) * q,
+            1.0 + (n - 1.0) * (1.0 + q) / 2.0,
+            n,
+        ]
+
+    def _adjust(self) -> bool:
+        heights, positions, desired = self._heights, self._positions, self._desired
+        moved = False
+        for index in range(1, 4):
+            delta = desired[index] - positions[index]
+            step_up = positions[index + 1] - positions[index]
+            step_down = positions[index - 1] - positions[index]
+            if (delta >= 1.0 and step_up > 1.0) or (delta <= -1.0 and step_down < -1.0):
+                direction = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(index, direction)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, direction)
+                positions[index] += direction
+                moved = True
+        return moved
+
+    def _parabolic(self, index: int, direction: float) -> float:
+        heights, positions = self._heights, self._positions
+        return heights[index] + direction / (positions[index + 1] - positions[index - 1]) * (
+            (positions[index] - positions[index - 1] + direction)
+            * (heights[index + 1] - heights[index])
+            / (positions[index + 1] - positions[index])
+            + (positions[index + 1] - positions[index] - direction)
+            * (heights[index] - heights[index - 1])
+            / (positions[index] - positions[index - 1])
+        )
+
+    def _linear(self, index: int, direction: float) -> float:
+        heights, positions = self._heights, self._positions
+        step = int(direction)
+        return heights[index] + direction * (heights[index + step] - heights[index]) / (
+            positions[index + step] - positions[index]
+        )
+
+    @classmethod
+    def from_weighted_points(cls, q: float, points: Sequence[tuple[float, float]]) -> "P2Quantile":
+        """Build an estimator from count-weighted observations (the merge path).
+
+        The points — marker heights of the source sketches with the counts
+        they stand for — define a piecewise-linear empirical quantile
+        function; the new estimator's five markers are read off it at the
+        textbook desired positions, which lands the folded-in mass where it
+        belongs instead of replaying it through the one-step-per-push
+        adjustment.
+        """
+        estimator = cls(q)
+        ordered = sorted((float(h), float(w)) for h, w in points if w > 0.0)
+        total = sum(weight for _, weight in ordered)
+        if len(ordered) < 5 or total <= 5.0:
+            for height, weight in ordered:
+                estimator.push(height, weight=weight)
+            return estimator
+        cumulative: list[float] = []
+        running = 0.0
+        for _, weight in ordered:
+            running += weight
+            cumulative.append(running)
+        heights = [height for height, _ in ordered]
+        estimator.count = total
+        estimator._positions = [
+            1.0,
+            1.0 + (total - 1.0) * q / 2.0,
+            1.0 + (total - 1.0) * q,
+            1.0 + (total - 1.0) * (1.0 + q) / 2.0,
+            total,
+        ]
+        estimator._heights = [
+            float(np.interp(position, cumulative, heights))
+            for position in estimator._positions
+        ]
+        estimator._weights = []
+        estimator._reset_desired()
+        return estimator
+
+    # ------------------------------------------------------------------ #
+    def estimate(self) -> float:
+        """The current quantile estimate (NaN before the first value)."""
+        if not self._heights:
+            return float("nan")
+        if len(self._heights) < 5:
+            return _exact_quantile(self._heights, self.q)
+        return float(self._heights[2])
+
+    def weighted_markers(self) -> list[tuple[float, float]]:
+        """Marker heights with the observation counts they stand for.
+
+        The merge representation: segment weights are the position deltas,
+        so the weights sum to the observation count and folding them into
+        another estimator preserves the stream's mass distribution.
+        """
+        if len(self._heights) < 5:
+            return [(height, 1.0) for height in self._heights]
+        weights = [self._positions[0]]
+        for index in range(1, 5):
+            weights.append(self._positions[index] - self._positions[index - 1])
+        # Marker positions are clamped integers, so rounding can starve a
+        # segment; redistribute onto the estimate marker to conserve mass.
+        total = sum(max(w, 0.0) for w in weights)
+        scale = self.count / total if total > 0 else 0.0
+        return [
+            (height, max(weight, 0.0) * scale)
+            for height, weight in zip(self._heights, weights)
+        ]
+
+
+class QuantileSketch:
+    """Mergeable streaming estimates of several quantiles of one stream.
+
+    Exact (sorted buffer) below :data:`DEFAULT_BUFFER_SIZE` observations,
+    O(1) five-marker P² estimators per quantile above it.  ``None``, masked
+    and non-finite values are skipped (they carry no order statistics).
+    """
+
+    __slots__ = ("quantiles", "buffer_size", "count", "_buffer", "_estimators")
+
+    def __init__(
+        self,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        buffer_size: int = DEFAULT_BUFFER_SIZE,
+    ):
+        if not quantiles:
+            raise StatsError("QuantileSketch needs at least one quantile")
+        if buffer_size < 8:
+            raise StatsError("buffer_size must be >= 8")
+        self.quantiles = tuple(float(q) for q in quantiles)
+        for q in self.quantiles:
+            if not 0.0 < q < 1.0:
+                raise StatsError(f"quantile must be in (0, 1), got {q}")
+        self.buffer_size = int(buffer_size)
+        self.count = 0
+        self._buffer: list[float] | None = []
+        self._estimators: list[P2Quantile] | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        phase = "exact" if self._buffer is not None else "p2"
+        return f"<QuantileSketch n={self.count} phase={phase} qs={self.quantiles}>"
+
+    @property
+    def compressed(self) -> bool:
+        """Whether the sketch has left the exact phase."""
+        return self._buffer is None
+
+    # ------------------------------------------------------------------ #
+    def push(self, value: float) -> None:
+        """Fold one value into the sketch (skipping non-finite input)."""
+        value = float(value)
+        if not math.isfinite(value):
+            return
+        self.count += 1
+        if self._buffer is not None:
+            insort(self._buffer, value)
+            if len(self._buffer) > self.buffer_size:
+                self._compress()
+        else:
+            for estimator in self._estimators:
+                estimator.push(value)
+
+    def update(self, values: Iterable[Any], mask: np.ndarray | None = None) -> None:
+        """Fold a batch of values, skipping ``None`` and masked entries.
+
+        Values are consumed strictly in order — the same sequential contract
+        as :meth:`OnlineMoments.update`, and for the same reason: shard
+        boundaries must not be observable in the estimates.
+        """
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+        if mask is None:
+            for value in values:
+                if value is not None:
+                    self.push(value)
+        else:
+            for value, missing in zip(values, mask.tolist()):
+                if not missing and value is not None:
+                    self.push(value)
+
+    def _compress(self) -> None:
+        """Collapse the exact buffer into per-quantile P² estimators.
+
+        The buffer is fed in ascending order — a deterministic function of
+        the multiset seen so far, so the compression result cannot depend
+        on arrival order (and therefore not on shard boundaries either).
+        """
+        buffer = self._buffer
+        self._buffer = None
+        self._estimators = [P2Quantile(q) for q in self.quantiles]
+        for value in buffer:
+            for estimator in self._estimators:
+                estimator.push(value)
+
+    # ------------------------------------------------------------------ #
+    def estimate(self, q: float) -> float:
+        """Estimate of quantile ``q`` (must be one of :attr:`quantiles`)."""
+        q = float(q)
+        if self._buffer is not None:
+            return _exact_quantile(self._buffer, q)
+        try:
+            index = self.quantiles.index(q)
+        except ValueError:
+            raise StatsError(
+                f"quantile {q} is not tracked by this sketch ({self.quantiles})"
+            ) from None
+        return self._estimators[index].estimate()
+
+    def estimates(self) -> dict[str, float]:
+        """Every tracked estimate, keyed ``p50`` / ``p90`` / ... style."""
+        return {quantile_label(q): self.estimate(q) for q in self.quantiles}
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Combined sketch of two independent streams (new object).
+
+        Two exact-phase sketches whose union still fits the buffer merge
+        exactly (associative and commutative); any compressed operand makes
+        the result approximate via weighted marker folding — reserve that
+        for explicitly parallel consumers, like :meth:`OnlineMoments.merge`.
+        """
+        if self.quantiles != other.quantiles:
+            raise StatsError(
+                f"cannot merge sketches tracking {self.quantiles} and {other.quantiles}"
+            )
+        merged = QuantileSketch(self.quantiles, buffer_size=self.buffer_size)
+        merged.count = self.count + other.count
+        if (
+            self._buffer is not None
+            and other._buffer is not None
+            and len(self._buffer) + len(other._buffer) <= self.buffer_size
+        ):
+            merged._buffer = sorted(self._buffer + other._buffer)
+            return merged
+        merged._buffer = None
+        merged._estimators = []
+        for index, q in enumerate(self.quantiles):
+            points: list[tuple[float, float]] = []
+            for source in (self, other):
+                if source._buffer is not None:
+                    points.extend((value, 1.0) for value in source._buffer)
+                else:
+                    points.extend(source._estimators[index].weighted_markers())
+            merged._estimators.append(P2Quantile.from_weighted_points(q, points))
+        return merged

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..errors import ReproError
+from ..obs.trace import get_tracer
 from .chunking import chunk_indices
 
 __all__ = ["ParallelConfig", "parallel_map", "parallel_starmap"]
@@ -89,17 +90,26 @@ def _run_chunked(
         or config.effective_workers <= 1
         or n <= config.serial_threshold
     )
-    if serial:
-        return chunk_worker(func, items)
+    with get_tracer().span(
+        "parallel.map",
+        func=getattr(func, "__name__", repr(func)),
+        n=n,
+        backend="serial" if serial else config.backend,
+        workers=1 if serial else config.effective_workers,
+    ):
+        if serial:
+            return chunk_worker(func, items)
 
-    chunks = [items[a:b] for a, b in chunk_indices(n, config.chunk_size)]
-    executor_cls = ProcessPoolExecutor if config.backend == "process" else ThreadPoolExecutor
-    results: list = []
-    with executor_cls(max_workers=config.effective_workers) as pool:
-        futures = [pool.submit(chunk_worker, func, chunk) for chunk in chunks]
-        for future in futures:  # preserves submission (input) order
-            results.extend(future.result())
-    return results
+        chunks = [items[a:b] for a, b in chunk_indices(n, config.chunk_size)]
+        executor_cls = (
+            ProcessPoolExecutor if config.backend == "process" else ThreadPoolExecutor
+        )
+        results: list = []
+        with executor_cls(max_workers=config.effective_workers) as pool:
+            futures = [pool.submit(chunk_worker, func, chunk) for chunk in chunks]
+            for future in futures:  # preserves submission (input) order
+                results.extend(future.result())
+        return results
 
 
 def parallel_map(

@@ -27,7 +27,7 @@ from .charts import (
     StackedAreaChart,
     BarChart,
 )
-from .ascii import ascii_scatter, ascii_histogram
+from .ascii import ascii_scatter, ascii_histogram, ascii_sparkline, ascii_shard_strip
 
 __all__ = [
     "LinearScale",
@@ -44,4 +44,6 @@ __all__ = [
     "BarChart",
     "ascii_scatter",
     "ascii_histogram",
+    "ascii_sparkline",
+    "ascii_shard_strip",
 ]

@@ -9,7 +9,10 @@ from ..errors import PlotError
 from ..stats.distribution import Histogram
 from .scale import Extent, LinearScale
 
-__all__ = ["ascii_scatter", "ascii_histogram"]
+__all__ = ["ascii_scatter", "ascii_histogram", "ascii_sparkline", "ascii_shard_strip"]
+
+#: Eight-level block characters, lowest to highest.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
 
 def _finite_pairs(x: Iterable[float], y: Iterable[float]) -> list[tuple[float, float]]:
@@ -62,6 +65,76 @@ def ascii_scatter(
     lines.append(" " * 11 + "+" + "-" * width)
     lines.append(" " * 12 + f"{x_low:<10.6g}" + " " * max(width - 22, 1) + f"{x_high:>10.6g}")
     return "\n".join(lines)
+
+
+def ascii_sparkline(
+    values: Sequence[float | None],
+    width: int = 60,
+    low: float | None = None,
+    high: float | None = None,
+) -> str:
+    """Render a series as a one-line block-character sparkline.
+
+    The live-watch primitive: tolerant of everything a mid-run campaign can
+    throw at it — ``None``/NaN entries render as spaces, an empty series
+    yields ``"(no data)"``, a constant series renders mid-height, and a
+    series longer than ``width`` keeps the most recent ``width`` points
+    (watch shows the trailing window).  ``low``/``high`` pin the scale so
+    successive frames don't rescale under the viewer.
+    """
+    if width < 1:
+        raise PlotError("ascii_sparkline needs width >= 1")
+    window = list(values)[-width:]
+    finite = [float(v) for v in window if v is not None and math.isfinite(float(v))]
+    if not finite:
+        return "(no data)"
+    lo = min(finite) if low is None else float(low)
+    hi = max(finite) if high is None else float(high)
+    span = hi - lo
+    cells = []
+    for value in window:
+        if value is None or not math.isfinite(float(value)):
+            cells.append(" ")
+            continue
+        value = float(value)
+        if span <= 0:
+            cells.append(_SPARK_BLOCKS[len(_SPARK_BLOCKS) // 2])
+            continue
+        level = (value - lo) / span
+        index = min(int(level * len(_SPARK_BLOCKS)), len(_SPARK_BLOCKS) - 1)
+        cells.append(_SPARK_BLOCKS[max(index, 0)])
+    return "".join(cells)
+
+
+def ascii_shard_strip(
+    states: Sequence[str],
+    width: int = 60,
+) -> str:
+    """Render per-shard completion as one character per shard.
+
+    ``states`` holds one of ``"complete"`` / ``"partial"`` / ``"pending"``
+    per shard index (anything else renders as ``?``).  Strips wider than
+    ``width`` are compressed by sampling, so a 1000-shard campaign still
+    fits a terminal row.
+    """
+    if width < 1:
+        raise PlotError("ascii_shard_strip needs width >= 1")
+    glyphs = {"complete": "█", "partial": "▒", "pending": "·"}
+    states = list(states)
+    if not states:
+        return "(no shards)"
+    if len(states) > width:
+        # Sample one representative per cell; show the least-finished state
+        # in the cell so compression never overstates progress.
+        rank = {"pending": 0, "partial": 1, "complete": 2}
+        sampled = []
+        for cell in range(width):
+            a = cell * len(states) // width
+            b = max((cell + 1) * len(states) // width, a + 1)
+            worst = min(states[a:b], key=lambda s: rank.get(s, 0))
+            sampled.append(worst)
+        states = sampled
+    return "".join(glyphs.get(state, "?") for state in states)
 
 
 def ascii_histogram(hist: Histogram, width: int = 50, title: str = "") -> str:

@@ -137,13 +137,20 @@ class ArtifactHandle:
 
     def result(self) -> Any:
         """The artifact value: memoized, else loaded warm, else computed."""
-        if self._session._memo_has(self.kind, self._memo_key):
-            return self._session._memo_get(self.kind, self._memo_key)
-        value = self._load()
-        if value is None:
-            value = self._compute()
-        self._session._memo_put(self.kind, self._memo_key, value)
-        return value
+        from ..obs.trace import get_tracer
+
+        with get_tracer().span(f"session.{self.kind}", key=self._key[:12]) as span:
+            if self._session._memo_has(self.kind, self._memo_key):
+                span.set("source", "memo")
+                return self._session._memo_get(self.kind, self._memo_key)
+            value = self._load()
+            if value is not None:
+                span.set("source", "store")
+            else:
+                span.set("source", "compute")
+                value = self._compute()
+            self._session._memo_put(self.kind, self._memo_key, value)
+            return value
 
     # Subclass protocol ------------------------------------------------- #
     def _stored(self) -> bool:
@@ -247,17 +254,19 @@ class CorpusHandle(ArtifactHandle):
         )
 
     def _compute(self) -> "CorpusGenerationReport":
+        from ..obs.trace import get_tracer
         from ..reportgen import generate_corpus_files
 
-        report = generate_corpus_files(
-            self.directory,
-            total_parsed_runs=self.runs,
-            seed=self.seed,
-            parallel=self._session.policy.parallel_config(),
-            options=self.options,
-            # None for the default catalog keeps worker payloads small.
-            catalog=self._session._worker_catalog(),
-        )
+        with get_tracer().span("corpus.generate", runs=self.runs):
+            report = generate_corpus_files(
+                self.directory,
+                total_parsed_runs=self.runs,
+                seed=self.seed,
+                parallel=self._session.policy.parallel_config(),
+                options=self.options,
+                # None for the default catalog keeps worker payloads small.
+                catalog=self._session._worker_catalog(),
+            )
         if self._explicit is None:
             self._session._store_for(self.kind).put(
                 self._key,
@@ -395,29 +404,33 @@ class DatasetHandle(ArtifactHandle):
 
     def _derive(self):
         """Parse-bypass funnel: simulate + derive records, no text round trip."""
+        from ..obs.trace import get_tracer
         from ..reportgen.records import derive_corpus_report
 
         corpus = self.corpus
         policy = self._session.policy
-        return derive_corpus_report(
-            corpus.directory,
-            total_parsed_runs=corpus.runs,
-            seed=corpus.seed,
-            options=corpus.options,
-            catalog=self._session._worker_catalog(),
-            parallel=policy.parallel_config(),
-            batch=policy.use_batch_kernel,
-        )
+        with get_tracer().span("dataset.derive", runs=corpus.runs):
+            return derive_corpus_report(
+                corpus.directory,
+                total_parsed_runs=corpus.runs,
+                seed=corpus.seed,
+                options=corpus.options,
+                catalog=self._session._worker_catalog(),
+                parallel=policy.parallel_config(),
+                batch=policy.use_batch_kernel,
+            )
 
     def _parse(self):
         """Parse the corpus directory (materialising it first if needed)."""
+        from ..obs.trace import get_tracer
         from ..parser import parse_directory
 
         if self.corpus is not None:
             self.corpus.result()  # materialise the upstream artifact
-        return parse_directory(
-            self.directory, parallel=self._session.policy.parallel_config()
-        )
+        with get_tracer().span("dataset.parse"):
+            return parse_directory(
+                self.directory, parallel=self._session.policy.parallel_config()
+            )
 
     # ------------------------------------------------------------------ #
     def parse_report(self):

@@ -70,6 +70,12 @@ class ExecutionPolicy:
         Upper bound on result rows resident at once.  Enables sharding by
         itself and clamps ``shard_size`` from above, so a policy can state
         a memory budget directly instead of a shard layout.
+    profile:
+        Enable span tracing for this session: stage and hot-path spans are
+        emitted to ``events.jsonl`` in the session workspace, feeding
+        ``spectrends profile report``.  Equivalent to ``REPRO_PROFILE=1``.
+        Like every policy knob it changes how work is *observed*, never
+        what is computed — traced and untraced results are bit-identical.
     """
 
     mode: str = "batch"
@@ -79,6 +85,7 @@ class ExecutionPolicy:
     serial_threshold: int | None = None
     shard_size: int | None = None
     max_resident_results: int | None = None
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:

@@ -132,6 +132,20 @@ class Session:
         self.policy = policy or ExecutionPolicy()
         self.store = ArtifactStore(self.workspace / "store")
 
+        # Tracing: opt-in via policy.profile or REPRO_TRACE/REPRO_PROFILE.
+        # When on, stage and hot-path spans land in the workspace's
+        # events.jsonl; when off, the no-op tracer path costs ~nothing.
+        from ..obs.trace import JsonlSink, get_tracer
+
+        self._trace_sink: JsonlSink | None = None
+        self._trace_enabled_here = False
+        tracer = get_tracer()
+        if self.policy.profile and not tracer.enabled:
+            tracer.enabled = True
+            self._trace_enabled_here = True
+        if tracer.enabled:
+            self._trace_sink = tracer.add_sink(JsonlSink(self.events_path))
+
         from ..market.catalog import default_catalog
 
         self._catalog = default_catalog() if catalog is None else catalog
@@ -150,10 +164,28 @@ class Session:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+    @property
+    def events_path(self) -> Path:
+        """The workspace's span/event log (written only when tracing is on)."""
+        return self.workspace / "events.jsonl"
+
+    @property
+    def tracer(self):
+        """The process tracer this session's stages report spans to."""
+        from ..obs.trace import get_tracer
+
+        return get_tracer()
+
     def close(self) -> None:
         """Drop the memo; remove the workspace if it is ephemeral."""
         self._memo.clear()
         self._last.clear()
+        if self._trace_sink is not None:
+            self.tracer.remove_sink(self._trace_sink)
+            self._trace_sink = None
+        if self._trace_enabled_here:
+            self.tracer.enabled = False
+            self._trace_enabled_here = False
         if self._cleanup is not None:
             self._cleanup()
 

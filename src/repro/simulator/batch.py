@@ -108,24 +108,29 @@ class BatchDirector:
             raise SimulationError(f"max_rows must be >= 1, got {max_rows}")
         if not plans:
             return []
+        from ..obs.trace import get_tracer
+
         options = self.options
-        if options.fidelity == "event":
-            # Event-mode queueing is sequential by nature; delegate per run.
-            return [
-                RunDirector(self.catalog, options, seed).run(plan)
-                for plan, seed in zip(plans, seeds)
-            ]
-        if max_rows is not None and len(plans) > max_rows:
-            results: list[RunResult] = []
-            for start in range(0, len(plans), max_rows):
-                results.extend(
-                    self._run_window(
-                        plans[start : start + max_rows],
-                        seeds[start : start + max_rows],
+        with get_tracer().span(
+            "batch.run", plans=len(plans), fidelity=options.fidelity
+        ):
+            if options.fidelity == "event":
+                # Event-mode queueing is sequential by nature; delegate per run.
+                return [
+                    RunDirector(self.catalog, options, seed).run(plan)
+                    for plan, seed in zip(plans, seeds)
+                ]
+            if max_rows is not None and len(plans) > max_rows:
+                results: list[RunResult] = []
+                for start in range(0, len(plans), max_rows):
+                    results.extend(
+                        self._run_window(
+                            plans[start : start + max_rows],
+                            seeds[start : start + max_rows],
+                        )
                     )
-                )
-            return results
-        return self._run_window(plans, seeds)
+                return results
+            return self._run_window(plans, seeds)
 
     def _run_window(
         self, plans: list[SystemPlan], seeds: list[int]

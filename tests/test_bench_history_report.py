@@ -1,0 +1,82 @@
+"""CI bench-trend report: scripts/bench_history_report.py behaviour pins."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_history_report.py"
+_spec = importlib.util.spec_from_file_location("bench_history_report", _SCRIPT)
+report = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(report)
+
+
+def write_history_report(path: Path, minima: dict[str, float]) -> Path:
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"min": minimum}}
+            for name, minimum in minima.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+class TestDiscovery:
+    def test_reports_sorted_by_run_number(self, tmp_path):
+        write_history_report(tmp_path / "BENCH_10_abc1234.json", {"a": 1.0})
+        write_history_report(tmp_path / "BENCH_2_def5678.json", {"a": 1.0})
+        write_history_report(tmp_path / "BENCH_900.json", {"a": 1.0})  # run-id form
+        (tmp_path / "notes.txt").write_text("ignored")
+        found = report.discover_reports(tmp_path)
+        assert [run for run, _, _ in found] == [2, 10, 900]
+        assert found[0][1].startswith("#2")
+        assert "def5678" in found[0][1]
+
+    def test_unreadable_report_yields_empty_minima(self, tmp_path):
+        bad = tmp_path / "BENCH_1.json"
+        bad.write_text("{not json")
+        assert report.load_minima(bad) == {}
+
+
+class TestRendering:
+    def test_trend_table_with_delta(self, tmp_path):
+        write_history_report(tmp_path / "BENCH_1_aaaaaaa.json", {"bench_x": 0.100})
+        write_history_report(
+            tmp_path / "BENCH_2_bbbbbbb.json", {"bench_x": 0.150, "bench_new": 0.002}
+        )
+        text = report.render_report(tmp_path)
+        assert "## Benchmark trend" in text
+        assert "`bench_x`" in text and "`bench_new`" in text
+        assert "+50.0%" in text  # newest vs previous
+        assert "100.00ms" in text and "150.00ms" in text
+        # bench_new has no previous run: delta column shows a dash
+        new_row = next(line for line in text.splitlines() if "bench_new" in line)
+        assert new_row.rstrip("| ").endswith("–")
+
+    def test_window_drops_oldest_runs(self, tmp_path):
+        for run in range(1, 10):
+            write_history_report(tmp_path / f"BENCH_{run}.json", {"a": 0.01 * run})
+        text = report.render_report(tmp_path, max_runs=3)
+        assert "last 3 of 9 runs" in text
+        assert "#9" in text and "#1 " not in text
+
+    def test_empty_history_renders_stub(self, tmp_path):
+        text = report.render_report(tmp_path)
+        assert "No `BENCH_*.json` reports" in text
+
+
+class TestCli:
+    def test_writes_output_file(self, tmp_path):
+        write_history_report(tmp_path / "BENCH_1.json", {"a": 2.5})
+        out = tmp_path / "report.md"
+        code = report.main(["--history", str(tmp_path), "--output", str(out)])
+        assert code == 0
+        assert "2.500s" in out.read_text()
+
+    def test_missing_directory_exits_nonzero(self, tmp_path, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            report.main(["--history", str(tmp_path / "absent")])

@@ -17,6 +17,8 @@ from repro.plotting import (
     SVGDocument,
     ascii_histogram,
     ascii_scatter,
+    ascii_shard_strip,
+    ascii_sparkline,
     nice_ticks,
 )
 from repro.stats import box_stats, histogram
@@ -174,3 +176,58 @@ class TestAscii:
     def test_histogram_bars(self):
         text = ascii_histogram(histogram([1, 1, 2, 3], bins=3), title="h")
         assert "#" in text and "h" in text
+
+
+class TestSparkline:
+    def test_eight_level_ramp(self):
+        text = ascii_sparkline(list(range(8)), width=8)
+        assert text == "▁▂▃▄▅▆▇█"
+
+    def test_trailing_window_keeps_recent_points(self):
+        # Only the last `width` points count: the window is all-1.0, and with
+        # the 0.0 head cropped out it renders as a constant (mid-height).
+        values = [0.0] * 50 + [1.0] * 10
+        assert ascii_sparkline(values, width=10) == "▅" * 10
+        assert ascii_sparkline(values, width=11) == "▁" + "█" * 10
+
+    def test_none_and_nan_render_as_spaces(self):
+        text = ascii_sparkline([0.0, None, float("nan"), 1.0], width=10)
+        assert text == "▁  █"
+
+    def test_empty_and_all_missing(self):
+        assert ascii_sparkline([]) == "(no data)"
+        assert ascii_sparkline([None, float("nan")]) == "(no data)"
+
+    def test_single_point_and_constant_render_mid_height(self):
+        assert ascii_sparkline([5.0]) == "▅"
+        assert ascii_sparkline([3.0, 3.0, 3.0]) == "▅▅▅"
+
+    def test_pinned_scale_is_stable_across_frames(self):
+        first = ascii_sparkline([1.0, 2.0], low=0.0, high=10.0)
+        second = ascii_sparkline([1.0, 2.0, 9.0], low=0.0, high=10.0)
+        assert second.startswith(first)
+
+    def test_width_validation(self):
+        with pytest.raises(PlotError):
+            ascii_sparkline([1.0], width=0)
+
+
+class TestShardStrip:
+    def test_one_glyph_per_shard(self):
+        text = ascii_shard_strip(["complete", "partial", "pending", "weird"])
+        assert text == "█▒·?"
+
+    def test_empty(self):
+        assert ascii_shard_strip([]) == "(no shards)"
+
+    def test_compression_reports_worst_state_per_cell(self):
+        # 100 shards into 10 cells: any pending shard must keep its cell "·".
+        states = ["complete"] * 100
+        states[55] = "pending"
+        text = ascii_shard_strip(states, width=10)
+        assert len(text) == 10
+        assert text.count("·") == 1 and text.count("█") == 9
+
+    def test_width_validation(self):
+        with pytest.raises(PlotError):
+            ascii_shard_strip(["complete"], width=0)
