@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""CI chaos gate for the campaign service layer.
+
+Proves the lease-coordinated worker pool survives a hard crash with
+correct results, end to end and across real process boundaries:
+
+1. run a clean serial reference campaign (the ground truth aggregate),
+2. initialise an empty sharded store for the same spec,
+3. launch two ``spectrends campaign worker`` subprocesses against it,
+4. SIGKILL one worker mid-run — no cleanup, no signal handler, the
+   worker's lease is left dangling in ``shards.jsonl``,
+5. wait for the survivor (must exit 0),
+6. finalize with the resume/reclaimer pass, which re-queues the victim's
+   leased shard and reloads everything else,
+7. assert the recovered aggregate is bit-identical to the reference,
+8. render ``campaign watch --once`` over the crashed-and-recovered store,
+9. round-trip a tiny job through a live :class:`CampaignService` socket.
+
+The kill lands wherever it lands — every assertion below holds whether
+the victim died before its first claim, mid-shard, or after finishing.
+Exit status 0 means the gate passed; any assertion failure raises.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_chaos_smoke.py --root /tmp/chaos
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.campaign import CampaignSpec, CampaignStore, resume_streaming, stream_campaign
+from repro.service import CampaignService, ServiceClient
+
+SPEC = CampaignSpec(
+    name="ci-chaos",
+    sweep={
+        "cpu_model": ["EPYC 9654", "Xeon X5670", "Xeon Platinum 8480+"],
+        "seed": [1, 2, 3, 4, 5, 6],
+    },
+    base={"load_levels": [1.0, 0.5, 0.0]},
+)
+SHARD_SIZE = 2  # 18 units -> 9 shards: plenty of claim/flush cycles to crash into
+
+
+def cli(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro.cli.main", *args]
+
+
+def spawn_worker(store: Path, worker_id: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        cli("campaign", "worker", "--store", str(store), "--worker-id", worker_id),
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", required=True, help="scratch directory for the gate")
+    parser.add_argument(
+        "--kill-after",
+        type=float,
+        default=0.4,
+        help="seconds before the victim worker is SIGKILLed",
+    )
+    args = parser.parse_args()
+    root = Path(args.root)
+
+    print("== reference: clean serial streamed run")
+    reference = stream_campaign(SPEC, root / "reference", shard_size=SHARD_SIZE)
+    assert reference.is_complete, "reference run did not complete"
+
+    print("== chaos store: initialise only (max_shards=0)")
+    store_dir = root / "store"
+    seeded = stream_campaign(SPEC, store_dir, shard_size=SHARD_SIZE, max_shards=0)
+    assert seeded.completed == 0, "seed pass must not execute any shard"
+
+    print("== spawn two workers, SIGKILL one mid-run")
+    survivor = spawn_worker(store_dir, "survivor")
+    victim = spawn_worker(store_dir, "victim")
+    time.sleep(args.kill_after)
+    victim.send_signal(signal.SIGKILL)
+    victim.wait(timeout=30)
+    assert victim.returncode == -signal.SIGKILL
+    survivor_rc = survivor.wait(timeout=300)
+    assert survivor_rc == 0, f"surviving worker failed: rc={survivor_rc}"
+    print(f"   victim killed after {args.kill_after}s; survivor exited 0")
+
+    print("== finalize: resume pass reclaims the victim's shard")
+    recovered = resume_streaming(store_dir)
+    assert recovered.is_complete, "reclaimer did not complete the campaign"
+    assert not recovered.failures, f"failures after recovery: {recovered.failures}"
+    assert recovered.aggregate.equals(reference.aggregate), (
+        "recovered aggregate diverged from the clean serial reference"
+    )
+    assert recovered.frame().equals(reference.frame()), (
+        "recovered frame diverged from the clean serial reference"
+    )
+    print(
+        f"   bit-identical: {recovered.completed}/{recovered.total_units} units,"
+        f" {recovered.simulated} re-simulated after the kill"
+    )
+
+    leases = CampaignStore(store_dir).lease_entries()
+    assert leases, "workers left no lease records — pool coordination never engaged"
+    print(f"   lease records on {sorted(leases)} in shards.jsonl")
+
+    print("== campaign watch --once over the recovered store")
+    subprocess.run(
+        cli("campaign", "watch", "--store", str(store_dir), "--once"),
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+        check=True,
+        timeout=60,
+    )
+
+    print("== service round-trip: submit the same spec over the socket")
+    service = CampaignService(root / "service", shard_size=SHARD_SIZE)
+    host, port = service.start()
+    try:
+        client = ServiceClient(host, port, timeout=300.0)
+        job = client.submit(SPEC.to_dict(), workers=2)
+        result = client.wait(job["job"])
+        assert result["state"] == "complete", result
+        assert result["aggregate"] == reference.aggregate.to_dict(), (
+            "service aggregate diverged from the serial reference"
+        )
+        rerun = client.submit(SPEC.to_dict(), workers=2)
+        assert rerun["deduped"] and rerun["job"] == job["job"]
+        print(f"   job {job['job']}: complete, deduped on resubmit")
+    finally:
+        service.stop()
+
+    print("chaos gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

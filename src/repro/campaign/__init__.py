@@ -18,8 +18,11 @@ Layers
 * :mod:`repro.campaign.store` — resumable campaign directories (spec
   snapshot, manifest, ledger, shard manifest),
 * :mod:`repro.campaign.sharding` — the bounded-memory streaming path:
-  lazy fixed-size shards executed one at a time, each flushed to a
-  columnar ``.npz`` artifact before the next starts,
+  lazy fixed-size shards, each flushed to a columnar ``.npz`` artifact,
+  executed serially or fanned out across a worker pool,
+* :mod:`repro.campaign.leases` — lease records in the shard ledger that
+  let cooperating worker processes claim shards and reclaim the work of
+  crashed peers,
 * :mod:`repro.campaign.reduce` — online (Welford) reducers that fold the
   per-shard frames into campaign aggregates without the full result set
   ever being resident.
@@ -43,6 +46,7 @@ Quickstart
 
 from .aggregate import FrameAccumulator, assemble_frame
 from .cache import ResultCache, unit_key
+from .leases import DEFAULT_LEASE_TTL, Lease, LeaseLedger
 from .reduce import FrameReducer, OnlineMoments, reduce_frame
 from .runner import CampaignResult, execute_units, resume_campaign, run_campaign
 from .sharding import (
@@ -52,6 +56,7 @@ from .sharding import (
     StreamingCampaignResult,
     iter_shards,
     resume_streaming,
+    run_worker,
     stream_campaign,
 )
 from .spec import OPTION_AXES, PLAN_AXES, CampaignSpec, CampaignUnit
@@ -77,6 +82,10 @@ __all__ = [
     "iter_shards",
     "stream_campaign",
     "resume_streaming",
+    "run_worker",
+    "DEFAULT_LEASE_TTL",
+    "Lease",
+    "LeaseLedger",
     "FrameReducer",
     "OnlineMoments",
     "reduce_frame",

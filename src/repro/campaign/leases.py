@@ -1,0 +1,181 @@
+"""Lease-based shard claiming over the append-only shard ledger.
+
+Multi-worker campaigns coordinate through ``shards.jsonl`` alone — no
+locks, no server, no shared memory.  A worker claims a shard by appending
+a **lease record** (worker id, pid, wall-clock deadline); completion is
+the existing shard *result* record, which supersedes any lease for that
+index.  Because every append is a single atomic ``O_APPEND`` write
+(:func:`repro.io.jsonl.append_jsonl`), two workers racing to claim the
+same shard both land whole records and the deterministic tie-break below
+picks one winner — the loser observes it lost and moves on.
+
+Semantics
+---------
+* **Latest valid lease wins.**  The live claim on a shard is the *last*
+  lease record in append order whose deadline has not passed and whose
+  holder process is still alive.  Appending a newer lease (re-claim after
+  expiry) supersedes older ones.
+* **Validity = not expired AND holder alive.**  Deadlines are wall-clock
+  (``time.time()``) because monotonic clocks are not comparable across
+  processes.  A dead holder (``os.kill(pid, 0)`` fails) invalidates its
+  lease immediately — a SIGKILL'd worker's shard is reclaimable without
+  waiting out the TTL, which is what bounds its loss to one shard of
+  progress.
+* **Completion beats any lease.**  Readers consult
+  :meth:`CampaignStore.shard_entries` (result records only) first; a
+  completed shard is never claimed again.
+* **Leases reduce, not prevent, duplicate work.**  Between observing "no
+  valid lease" and appending its own claim, a worker can race another;
+  both then execute the shard.  That is safe — results are deterministic
+  and content-addressed, so duplicates collapse in the cache and the
+  latest identical result record wins — just wasteful, and the claim
+  protocol makes the window one read-append cycle wide.
+
+``LeaseLedger.release`` appends a lease whose deadline equals its
+timestamp, i.e. born-expired: a polite hand-back when a worker claims a
+shard and then discovers it cannot make progress on it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # import-cycle-safe: only the type checker needs this
+    from .store import CampaignStore
+
+__all__ = ["DEFAULT_LEASE_TTL", "Lease", "LeaseLedger"]
+
+#: Default lease time-to-live in seconds.  Generous relative to a shard's
+#: flush time so slow-but-alive workers are not preempted; the pid
+#: liveness check — not the TTL — is what makes dead-worker reclaim fast.
+DEFAULT_LEASE_TTL = 120.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's claim on one shard."""
+
+    index: int
+    worker: str
+    pid: int
+    ts: float
+    deadline: float
+
+    def expired(self, now: float | None = None) -> bool:
+        return (time.time() if now is None else now) >= self.deadline
+
+    def holder_alive(self) -> bool:
+        """Whether the claiming process still exists (same-host check)."""
+        try:
+            os.kill(self.pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:  # exists but owned by someone else
+            return True
+        except OSError:
+            return False
+        return True
+
+    def valid(self, now: float | None = None) -> bool:
+        """Live claim: not expired and the holder process is alive."""
+        return not self.expired(now) and self.holder_alive()
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "worker": self.worker,
+            "pid": self.pid,
+            "ts": self.ts,
+            "deadline": self.deadline,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "Lease | None":
+        try:
+            return cls(
+                index=int(record["index"]),
+                worker=str(record["worker"]),
+                pid=int(record["pid"]),
+                ts=float(record["ts"]),
+                deadline=float(record["deadline"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None  # malformed lease = no claim
+
+
+class LeaseLedger:
+    """Claim/release shards through a store's append-only shard ledger."""
+
+    def __init__(
+        self,
+        store: "CampaignStore",
+        worker: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+    ):
+        self.store = store
+        self.worker = worker
+        self.ttl = float(ttl)
+        self.pid = os.getpid()
+
+    # -- reads ----------------------------------------------------------- #
+    def leases(self) -> dict[int, Lease]:
+        """Latest lease per shard index, valid or not (latest-wins)."""
+        latest: dict[int, Lease] = {}
+        for index, record in self.store.lease_entries().items():
+            lease = Lease.from_record(record)
+            if lease is not None:
+                latest[index] = lease
+        return latest
+
+    def holder(self, index: int) -> Lease | None:
+        """The live claim on a shard, or ``None`` if it is up for grabs."""
+        lease = self.leases().get(index)
+        if lease is not None and lease.valid():
+            return lease
+        return None
+
+    # -- writes ---------------------------------------------------------- #
+    def try_claim(self, index: int) -> Lease | None:
+        """Claim a shard; returns the lease, or ``None`` if someone holds it.
+
+        Read-check-append, then re-read to settle races: if two workers
+        append claims concurrently, both re-read and the *latest* appended
+        valid lease wins, so exactly one of them sees its own record as
+        the winner.  (The loser's executed work, if the race window let it
+        start, is deduplicated by the content-hash cache.)
+        """
+        if self.holder(index) is not None:
+            return None
+        now = time.time()
+        lease = Lease(
+            index=index,
+            worker=self.worker,
+            pid=self.pid,
+            ts=now,
+            deadline=now + self.ttl,
+        )
+        self.store.record_lease(lease.to_record())
+        winner = self.holder(index)
+        if winner is not None and winner.worker == self.worker and winner.pid == self.pid:
+            return lease
+        return None
+
+    def release(self, index: int) -> None:
+        """Hand a shard back by appending a born-expired lease."""
+        now = time.time()
+        self.store.record_lease(
+            Lease(
+                index=index,
+                worker=self.worker,
+                pid=self.pid,
+                ts=now,
+                deadline=now,
+            ).to_record()
+        )
+
+    def reclaimable(self, index: int) -> bool:
+        """Whether the shard has no live claim (expired, dead, or none)."""
+        return self.holder(index) is None

@@ -14,7 +14,15 @@ path through the same data plane:
   online reducers before the next shard starts,
 * the :class:`CampaignStore` shard manifest records each flush, so a killed
   campaign resumes at shard granularity: complete shards reload their
-  artifact (zero per-unit cache probing), only incomplete shards re-execute.
+  artifact (zero per-unit cache probing), only incomplete shards re-execute,
+* :func:`run_worker` + ``stream_campaign(workers=N)`` fan shards out across
+  a pool of worker processes that coordinate purely through lease records
+  in the shard ledger (:mod:`repro.campaign.leases`): each worker claims
+  pending shards, flushes them through the same ``_flush_shard`` path, and
+  the coordinator's finalize pass doubles as the *reclaimer* — it reloads
+  completed shard artifacts in shard order and re-executes whatever a
+  crashed worker left unfinished, so a SIGKILL'd worker costs at most one
+  shard of repeated work.
 
 Equivalence contract
 --------------------
@@ -23,7 +31,12 @@ keys, cached rows and the per-shard frames are exactly what the unsharded
 runner produces, shard concatenation reproduces the unsharded campaign
 frame bit-for-bit, and the sequential reducers make the streamed aggregate
 bit-identical to reducing that frame in one pass (all pinned by the
-sharding tests and ``benchmarks/test_bench_shard.py``).
+sharding tests and ``benchmarks/test_bench_shard.py``).  Worker pools keep
+the contract because aggregation never happens in workers: they only
+populate shard artifacts (deterministic, content-addressed), and the
+coordinator folds those artifacts in shard-index order exactly like a
+serial run — so an N-worker run is bit-identical to the 1-worker run and
+to the unsharded reduction.
 """
 
 from __future__ import annotations
@@ -43,6 +56,7 @@ from ..session.artifacts import ArtifactStore, digest_json
 from ..session.columnar import frame_from_arrays, frame_to_arrays
 from ..session.policy import ExecutionPolicy
 from .aggregate import FrameAccumulator, annotate_row
+from .leases import DEFAULT_LEASE_TTL, LeaseLedger
 from .reduce import FrameReducer
 from .spec import CampaignSpec, CampaignUnit
 from .store import CampaignStore
@@ -55,6 +69,7 @@ __all__ = [
     "iter_shards",
     "stream_campaign",
     "resume_streaming",
+    "run_worker",
 ]
 
 #: Default units per shard: large enough to keep the batch kernel saturated
@@ -176,6 +191,9 @@ class StreamingCampaignResult:
     shards: tuple[ShardOutcome, ...]
     aggregate: Frame
     store_directory: str
+    #: Worker processes the run fanned out across (1 = serial streaming).
+    #: Purely bookkeeping — results are bit-identical for any worker count.
+    n_workers: int = 1
 
     @property
     def completed(self) -> int:
@@ -421,6 +439,223 @@ def _reload_shard(
     return outcome, frame
 
 
+def _recover_shard(
+    shard: Shard, store: CampaignStore
+) -> tuple[ShardOutcome, Frame] | None:
+    """Adopt a flushed-but-unrecorded shard artifact: reload, don't re-run.
+
+    ``_flush_shard`` writes the ``.npz`` artifact *before* appending the
+    shard's result record, so a worker killed in that window leaves a
+    complete artifact the ledger doesn't know about.  The artifact key is a
+    content hash over the shard's unit keys, so a full-length frame found
+    under ``shard.artifact_key()`` **is** this shard's result — appending
+    the missing complete record recovers it without re-executing a single
+    unit.  (Partial artifacts fail the length check and re-execute through
+    the normal path; their missing units still hit the unit cache.)
+    """
+    artifact_key = shard.artifact_key()
+    try:
+        frame = _load_shard_frame(store.shard_store, artifact_key)
+    except (ArtifactError, CampaignError):
+        return None
+    if frame is None or len(frame) != shard.n_units:
+        return None
+    store.record_shard(
+        {
+            "index": shard.index,
+            "start": shard.start,
+            "count": shard.n_units,
+            "n_rows": len(frame),
+            "failed": 0,
+            "keys_digest": shard.keys_digest(),
+            "artifact": artifact_key,
+            "status": "complete",
+            "recovered": True,
+        }
+    )
+    outcome = ShardOutcome(
+        index=shard.index,
+        start=shard.start,
+        n_units=shard.n_units,
+        n_rows=len(frame),
+        cache_hits=shard.n_units,
+        simulated=0,
+        failures=(),
+        artifact_key=artifact_key,
+        reloaded=True,
+    )
+    return outcome, frame
+
+
+# --------------------------------------------------------------------------- #
+# Multi-worker execution
+# --------------------------------------------------------------------------- #
+def _shard_recorded_complete(shard: Shard, entry: dict[str, Any] | None) -> bool:
+    """Whether the ledger already holds a matching complete result record."""
+    return (
+        entry is not None
+        and entry.get("status") == "complete"
+        and entry.get("keys_digest") == shard.keys_digest()
+    )
+
+
+def run_worker(
+    store_dir: str | os.PathLike,
+    worker_id: str,
+    parallel: ParallelConfig | None = None,
+    catalog: Catalog | None = None,
+    batch: bool | None = None,
+    policy: ExecutionPolicy | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll_interval: float = 0.05,
+    max_sweeps: int | None = None,
+) -> int:
+    """Claim-and-execute loop of one campaign worker; returns shards flushed.
+
+    The worker repeatedly sweeps the shard layout of an initialised
+    streaming store (``initialize_streaming`` must have run), and for each
+    shard that has no complete result record: first probes for a
+    flushed-but-unrecorded artifact to adopt (:func:`_recover_shard`), then
+    tries to claim the shard through the lease ledger and execute it via
+    the same ``_flush_shard`` path a serial run uses.  Coordination is
+    entirely through ``shards.jsonl`` — workers never talk to each other —
+    so any number of ``spectrends campaign worker`` processes (or the pool
+    ``stream_campaign(workers=N)`` spawns) can share one store.
+
+    Termination: the loop ends once every shard is either complete or was
+    already attempted by *this* worker (a failing shard is attempted at
+    most once per worker; the coordinator's finalize pass owns retries).
+    While pending shards are held by other live workers, the loop polls —
+    if such a holder dies, its lease invalidates (dead pid) and the shard
+    is reclaimed on the next sweep, which is what bounds a SIGKILL'd
+    worker's loss to one shard.  ``max_sweeps`` bounds the polling for
+    tests; ``None`` waits as long as a live foreign claim exists.
+    """
+    store = CampaignStore(store_dir)
+    spec = store.load_spec()
+    shard_size = store.stored_shard_size()
+    if shard_size is None:
+        raise CampaignError(
+            f"{store.directory} has no shard layout; initialise it with a "
+            "streaming run before attaching workers"
+        )
+    if policy is not None:
+        parallel = policy.parallel_config() if parallel is None else parallel
+        if batch is None:
+            batch = policy.use_batch_kernel
+    if batch is None:
+        batch = True
+    config = parallel or ParallelConfig(backend="serial")
+    if config.backend != "serial":
+        config = replace(config, serial_threshold=0)
+
+    ledger = LeaseLedger(store, worker_id, ttl=lease_ttl)
+    attempted: set[int] = set()
+    executed = 0
+    sweeps = 0
+    store.record_event("worker_start", worker=worker_id, pid=os.getpid())
+    tracer = get_tracer()
+    with tracer.span("campaign.worker", worker=worker_id):
+        while True:
+            sweeps += 1
+            recorded = store.shard_entries()
+            waiting = False
+            progressed = False
+            for shard in iter_shards(spec, catalog, shard_size=shard_size):
+                if _shard_recorded_complete(shard, recorded.get(shard.index)):
+                    continue
+                if shard.index in attempted:
+                    continue
+                if _recover_shard(shard, store) is not None:
+                    progressed = True
+                    continue
+                lease = ledger.try_claim(shard.index)
+                if lease is None:
+                    waiting = True  # a live peer holds it; revisit next sweep
+                    continue
+                attempted.add(shard.index)
+                try:
+                    outcome, frame = _flush_shard(
+                        shard, store, config, batch, catalog, None
+                    )
+                except BaseException:
+                    ledger.release(shard.index)  # hand it back, then die loudly
+                    raise
+                del frame
+                executed += 1
+                progressed = True
+                store.record_event(
+                    "worker_shard",
+                    worker=worker_id,
+                    index=outcome.index,
+                    n_rows=outcome.n_rows,
+                    cache_hits=outcome.cache_hits,
+                    simulated=outcome.simulated,
+                    failed=len(outcome.failures),
+                )
+            if not waiting:
+                break
+            if not progressed:
+                if max_sweeps is not None and sweeps >= max_sweeps:
+                    break
+                time.sleep(poll_interval)
+    store.record_event("worker_done", worker=worker_id, shards=executed)
+    return executed
+
+
+def _worker_entry(
+    store_dir: str,
+    worker_id: str,
+    batch: bool,
+    lease_ttl: float,
+    catalog: Catalog | None,
+) -> None:
+    """Module-level :class:`multiprocessing.Process` target for the pool."""
+    run_worker(
+        store_dir,
+        worker_id,
+        catalog=catalog,
+        batch=batch,
+        lease_ttl=lease_ttl,
+    )
+
+
+def _run_worker_pool(
+    store: CampaignStore,
+    n_workers: int,
+    batch: bool,
+    lease_ttl: float,
+    catalog: Catalog | None,
+) -> None:
+    """Fan shards out across ``n_workers`` processes and wait for them.
+
+    Workers that die (crash, OOM-kill, SIGKILL) are *not* respawned — the
+    caller's finalize pass reclaims whatever they left behind, so a partial
+    pool still converges; the exit codes land in the event log for
+    ``campaign watch`` and post-mortems.
+    """
+    import multiprocessing
+
+    store.record_event("pool_start", workers=n_workers)
+    processes = [
+        multiprocessing.Process(
+            target=_worker_entry,
+            args=(str(store.directory), f"w{index}", batch, lease_ttl, catalog),
+            name=f"campaign-worker-{index}",
+        )
+        for index in range(n_workers)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join()
+    store.record_event(
+        "pool_join",
+        workers=n_workers,
+        exitcodes=[process.exitcode for process in processes],
+    )
+
+
 def stream_campaign(
     spec: CampaignSpec,
     store_dir: str | os.PathLike,
@@ -432,6 +667,9 @@ def stream_campaign(
     batch: bool | None = None,
     policy: ExecutionPolicy | None = None,
     progress: Callable[[ShardOutcome, int], None] | None = None,
+    workers: int | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    results_dir: str | os.PathLike | None = None,
 ) -> StreamingCampaignResult:
     """Execute a campaign shard by shard with bounded resident memory.
 
@@ -450,8 +688,19 @@ def stream_campaign(
     shards entirely (smoke runs; also how tests emulate a killed campaign).
     ``progress`` is invoked after every shard with its outcome and the
     total shard count (the CLI's streaming status line).  A ``policy``
-    supplies ``parallel``/``batch``/``shard_size`` defaults; explicit
-    arguments win.
+    supplies ``parallel``/``batch``/``shard_size``/``workers`` defaults;
+    explicit arguments win.
+
+    ``workers=N`` (N > 1) fans shards out across a pool of N worker
+    processes coordinating through lease records in the shard ledger; the
+    serial pass below then runs as the coordinator/reclaimer — it reloads
+    every worker-completed artifact in shard order and re-executes anything
+    a crashed worker left behind, so the result (frames *and* aggregate) is
+    bit-identical to the serial streamed run for any worker count.  Worker
+    pools execute whole shards concurrently, so they are incompatible with
+    the ``max_units``/``max_shards`` caps.  ``results_dir`` redirects the
+    unit-result cache (the campaign service points several job stores at
+    one shared cache for cross-client dedup).
     """
     if policy is not None:
         parallel = policy.parallel_config() if parallel is None else parallel
@@ -459,15 +708,33 @@ def stream_campaign(
             batch = policy.use_batch_kernel
         if shard_size is None:
             shard_size = policy.effective_shard_size
+        if workers is None and max_units is None and max_shards is None:
+            # Policy-driven fan-out only when no caps are in play: capped
+            # runs (smoke tests, budgeted resumes) stay serial rather than
+            # erroring, since the caps are per-run, not per-worker.
+            workers = policy.campaign_workers
     if batch is None:
         batch = True
     if shard_size is None:
         shard_size = DEFAULT_SHARD_SIZE
     if shard_size < 1:
         raise CampaignError(f"shard_size must be >= 1, got {shard_size}")
+    n_workers = 1 if workers is None else int(workers)
+    if n_workers < 1:
+        raise CampaignError(f"workers must be >= 1, got {workers}")
+    if n_workers > 1 and (max_units is not None or max_shards is not None):
+        raise CampaignError(
+            "workers > 1 executes whole shards concurrently and cannot "
+            "honour max_units/max_shards caps; run those serially"
+        )
 
-    store = CampaignStore(store_dir)
+    store = CampaignStore(store_dir, results_dir=results_dir)
     store.initialize_streaming(spec, shard_size)
+
+    if n_workers > 1:
+        # The pool populates shard artifacts; aggregation happens only in
+        # the serial pass below, which keeps bit-identity trivially.
+        _run_worker_pool(store, n_workers, batch, lease_ttl, catalog)
 
     config = parallel or ParallelConfig(backend="serial")
     if config.backend != "serial":
@@ -495,6 +762,7 @@ def stream_campaign(
         n_units=total_units,
         n_shards=n_shards,
         shard_size=shard_size,
+        workers=n_workers,
     )
     tracer = get_tracer()
     with tracer.span("campaign.stream", name=spec.name, n_shards=n_shards):
@@ -503,6 +771,13 @@ def stream_campaign(
                 break
             shard_start = time.perf_counter()
             reloaded = _reload_shard(shard, store, recorded.get(shard.index, {}))
+            if reloaded is None and not _shard_recorded_complete(
+                shard, recorded.get(shard.index)
+            ):
+                # Reclaimer half of the worker protocol: a killed worker may
+                # have flushed this shard's artifact without landing its
+                # result record — adopt it instead of re-executing.
+                reloaded = _recover_shard(shard, store)
             if reloaded is not None:
                 outcome, frame = reloaded
             else:
@@ -558,6 +833,7 @@ def stream_campaign(
         shards=tuple(outcomes),
         aggregate=reducer.to_frame(),
         store_directory=str(store.directory),
+        n_workers=n_workers,
     )
 
 
@@ -571,13 +847,16 @@ def resume_streaming(
     batch: bool | None = None,
     policy: ExecutionPolicy | None = None,
     progress: Callable[[ShardOutcome, int], None] | None = None,
+    workers: int | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
 ) -> StreamingCampaignResult:
     """Continue an interrupted sharded campaign from its on-disk snapshot.
 
     The shard layout is read back from the store (falling back to
     ``shard_size``/policy for stores that predate it), so a resume
     partitions the expansion exactly as the interrupted run did — the
-    precondition for shard-granular skipping.
+    precondition for shard-granular skipping.  ``workers=N`` resumes with a
+    worker pool; completed shards reload, pending ones are claimed.
     """
     store = CampaignStore(store_dir)
     spec = store.load_spec()
@@ -594,4 +873,6 @@ def resume_streaming(
         batch=batch,
         policy=policy,
         progress=progress,
+        workers=workers,
+        lease_ttl=lease_ttl,
     )

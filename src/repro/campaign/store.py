@@ -20,6 +20,25 @@ interrupted campaign without the original process:
 Because results are keyed by content and the ledger is append-only, a store
 survives being killed at any point: the next run simply simulates whatever
 keys are missing from the cache.
+
+Record kinds and concurrency
+----------------------------
+``shards.jsonl`` is also the coordination ledger for multi-worker
+execution.  Two record kinds share the file, discriminated by the ``kind``
+field:
+
+* **result records** (no ``kind`` field, historically, or ``kind:
+  "shard"``) — one shard outcome per line; the latest result record per
+  index wins (:meth:`shard_entries`),
+* **lease records** (``kind: "lease"``) — a worker's claim on a shard
+  (worker id, pid, wall-clock deadline); the latest lease per index wins
+  (:meth:`lease_entries`), and a result record supersedes any lease for
+  its shard.  See :mod:`repro.campaign.leases`.
+
+Every append in this module is a single ``write(2)`` on an ``O_APPEND``
+descriptor (:func:`repro.io.jsonl.append_jsonl`), so concurrent workers
+appending to the same ledger never interleave within a line — readers see
+whole records in *some* order, which is all the latest-wins semantics need.
 """
 
 from __future__ import annotations
@@ -32,6 +51,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from ..errors import CampaignError
+from ..io.jsonl import append_jsonl, read_jsonl
 from .cache import ResultCache
 from .spec import CampaignSpec, CampaignUnit
 
@@ -106,12 +126,59 @@ class CampaignStatus:
 class CampaignStore:
     """On-disk state of one campaign."""
 
-    def __init__(self, directory: str | os.PathLike):
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        results_dir: str | os.PathLike | None = None,
+    ):
         # The directory is created by ``initialize`` (and lazily by cache
         # writes), never by construction: ``status`` on a mistyped path must
         # not scaffold an empty store.
         self.directory = Path(directory)
-        self.cache = ResultCache(self.directory / "results")
+        self._explicit_results_dir = (
+            Path(results_dir) if results_dir is not None else None
+        )
+        self._cache: ResultCache | None = None
+
+    @property
+    def results_dir(self) -> Path:
+        """Where this store's unit results live.
+
+        Defaults to the store-local ``results/``; a campaign service points
+        several job stores at one shared directory so identical units
+        submitted by different clients dedup through the content-hash
+        cache.  An explicit ``results_dir`` passed at construction wins;
+        otherwise a ``results_dir`` recorded in the manifest (by
+        :meth:`initialize_streaming`) is honoured so ``resume``/``status``
+        on a service-owned store find the shared cache without being told.
+        """
+        if self._explicit_results_dir is not None:
+            return self._explicit_results_dir
+        stored = self._stored_results_dir()
+        if stored is not None:
+            return stored
+        return self.directory / "results"
+
+    def _stored_results_dir(self) -> Path | None:
+        try:
+            data = self._read_json(self.manifest_path, "missing", "manifest")
+        except CampaignError:
+            return None
+        value = data.get("results_dir")
+        if isinstance(value, str) and value:
+            return Path(value)
+        return None
+
+    @property
+    def cache(self) -> ResultCache:
+        if self._cache is None:
+            self._cache = ResultCache(self.results_dir)
+        return self._cache
+
+    @property
+    def uses_shared_results(self) -> bool:
+        """Whether results live outside the store (shared with other jobs)."""
+        return self.results_dir != self.directory / "results"
 
     # ------------------------------------------------------------------ #
     @property
@@ -199,11 +266,13 @@ class CampaignStore:
         ledger and the shard manifest instead.
         """
         self._write_spec_snapshot(spec)
-        manifest = {
+        manifest: dict[str, Any] = {
             "name": spec.name,
             "n_units": spec.n_units,
             "sharded": {"shard_size": int(shard_size)},
         }
+        if self._explicit_results_dir is not None:
+            manifest["results_dir"] = str(self._explicit_results_dir)
         self.manifest_path.write_text(
             json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
         )
@@ -262,40 +331,25 @@ class CampaignStore:
 
     def record(self, unit: CampaignUnit, error: str | None = None) -> None:
         """Append one attempt outcome to the ledger."""
-        with self.ledger_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(self._ledger_entry(unit, error), sort_keys=True) + "\n")
+        append_jsonl(self.ledger_path, [self._ledger_entry(unit, error)])
 
     def record_many(
         self, outcomes: "Iterable[tuple[CampaignUnit, str | None]]"
     ) -> None:
-        """Append a batch of attempt outcomes with one ledger open.
+        """Append a batch of attempt outcomes as one atomic write.
 
-        The streaming runner flushes one shard at a time; opening the ledger
-        per unit would dominate shard bookkeeping at 100k-unit scale.
+        The streaming runner flushes one shard at a time; a single
+        ``O_APPEND`` write per shard keeps ledger bookkeeping cheap at
+        100k-unit scale *and* keeps concurrent workers' batches contiguous.
         """
-        lines = [
-            json.dumps(self._ledger_entry(unit, error), sort_keys=True)
-            for unit, error in outcomes
-        ]
-        if not lines:
-            return
-        with self.ledger_path.open("a", encoding="utf-8") as handle:
-            handle.write("\n".join(lines) + "\n")
+        append_jsonl(
+            self.ledger_path,
+            (self._ledger_entry(unit, error) for unit, error in outcomes),
+        )
 
     def _jsonl_entries(self, path: Path) -> list[dict[str, Any]]:
         """Entries of one append-only JSONL file (torn tail lines skipped)."""
-        if not path.exists():
-            return []
-        entries = []
-        for line in path.read_text(encoding="utf-8").splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entries.append(json.loads(line))
-            except json.JSONDecodeError:
-                continue  # torn write from a killed campaign
-        return entries
+        return read_jsonl(path)
 
     def ledger_entries(self) -> list[dict[str, Any]]:
         """All ledger entries in append order (torn tail lines skipped)."""
@@ -311,11 +365,10 @@ class CampaignStore:
         shard index wins (a resumed partial shard appends a fresh entry
         once it completes).
         """
-        with self.shards_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(dict(entry), sort_keys=True) + "\n")
+        append_jsonl(self.shards_path, [dict(entry)])
 
     def shard_entries(self) -> dict[int, dict[str, Any]]:
-        """Latest shard-manifest entry per shard index.
+        """Latest shard *result* entry per shard index (leases excluded).
 
         This is what gives ``resume`` shard granularity: a shard whose
         latest entry is complete (and whose artifact still loads) is
@@ -323,6 +376,31 @@ class CampaignStore:
         """
         latest: dict[int, dict[str, Any]] = {}
         for entry in self._jsonl_entries(self.shards_path):
+            if entry.get("kind") == "lease":
+                continue
+            index = entry.get("index")
+            if isinstance(index, int):
+                latest[index] = entry
+        return latest
+
+    def record_lease(self, entry: Mapping[str, Any]) -> None:
+        """Append one lease record (``kind: "lease"``) to the shard ledger.
+
+        Leases share ``shards.jsonl`` with result records so that a claim
+        and its completion live in one append-ordered file — a reader never
+        sees a completion without being able to see the claim that
+        produced it.  See :mod:`repro.campaign.leases` for semantics.
+        """
+        record = dict(entry)
+        record["kind"] = "lease"
+        append_jsonl(self.shards_path, [record])
+
+    def lease_entries(self) -> dict[int, dict[str, Any]]:
+        """Latest lease record per shard index (latest-wins, like results)."""
+        latest: dict[int, dict[str, Any]] = {}
+        for entry in self._jsonl_entries(self.shards_path):
+            if entry.get("kind") != "lease":
+                continue
             index = entry.get("index")
             if isinstance(index, int):
                 latest[index] = entry
@@ -341,9 +419,7 @@ class CampaignStore:
         """
         record: dict[str, Any] = {"event": name, "ts": time.time()}
         record.update(fields)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        with self.events_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        append_jsonl(self.events_path, [record])
 
     def event_entries(self) -> list[dict[str, Any]]:
         """All telemetry events in append order (torn tail lines skipped)."""
@@ -409,7 +485,16 @@ class CampaignStore:
         failures: list[tuple[str, str]] = []
         if manifest is None:
             total = int(data.get("n_units", 0))
-            completed = sum(1 for _ in self.cache.keys())
+            if self.uses_shared_results:
+                # A shared cache holds other campaigns' units too, so cache
+                # membership overcounts; rows flushed into *this* store's
+                # shard artifacts is the per-campaign completion count.
+                completed = sum(
+                    int(entry.get("n_rows", 0))
+                    for entry in self.shard_entries().values()
+                )
+            else:
+                completed = sum(1 for _ in self.cache.keys())
             for key, error in last_error.items():
                 if key not in self.cache:
                     failures.append((unit_ids[key], error))

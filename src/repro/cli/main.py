@@ -23,7 +23,13 @@ Sub-commands mirror the stages of the paper's artifact:
 * ``spectrends campaign run|status|resume --store store/`` — execute a
   declarative scenario sweep with content-hash caching and resumption
   (``--shard-size N`` streams it shard by shard in bounded memory, with a
-  status line per flushed shard).
+  status line per flushed shard; ``--workers N`` fans the shards out
+  across lease-coordinated worker processes),
+* ``spectrends campaign worker --store store/`` — attach one more worker
+  to a store another invocation is executing (or left unfinished),
+* ``spectrends serve --root svc/`` — long-running campaign service:
+  submissions over a local socket, shared-cache dedup across clients,
+  streaming progress events.
 """
 
 from __future__ import annotations
@@ -151,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="execute the sweep in shards of N units, flushing "
                            "each shard to the store before the next starts "
                            "(bounded-memory streaming; default: unsharded)")
+    crun.add_argument("--workers", type=_positive_int, default=None,
+                      help="fan shards out across N lease-coordinated worker "
+                           "processes (requires --shard-size; results are "
+                           "bit-identical to the serial run)")
     _add_session_flags(crun)
     cresume = csub.add_parser(
         "resume", help="continue an interrupted campaign from its store"
@@ -165,7 +175,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="resume shard by shard with this layout "
                               "(default: the layout recorded in the store, "
                               "else unsharded)")
+    cresume.add_argument("--workers", type=_positive_int, default=None,
+                         help="resume with N lease-coordinated worker "
+                              "processes (sharded stores only)")
     _add_session_flags(cresume)
+    cworker = csub.add_parser(
+        "worker",
+        help="attach one claim-and-execute worker to an initialised "
+             "streaming store (coordination is entirely through the "
+             "store's shard ledger; run several against one store)",
+    )
+    cworker.add_argument("--store", required=True,
+                         help="campaign store directory (must already hold a "
+                              "streaming run's spec + shard layout)")
+    cworker.add_argument("--worker-id", default=None,
+                         help="stable name for this worker's lease records "
+                              "(default: pid<PID>)")
+    cworker.add_argument("--lease-ttl", type=float, default=None,
+                         help="seconds before an unrefreshed claim becomes "
+                              "reclaimable (default: 120; dead workers are "
+                              "reclaimed immediately regardless)")
+    cworker.add_argument("--no-batch", action="store_true",
+                         help="force the scalar per-unit simulator instead "
+                              "of the vectorized batch kernel")
     cstatus = csub.add_parser("status", help="report campaign progress")
     cstatus.add_argument("--store", required=True)
     cwatch = csub.add_parser(
@@ -182,6 +214,25 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: the headline efficiency metric)")
     cwatch.add_argument("--width", type=_positive_int, default=72,
                         help="render width in characters (default: 72)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running campaign service: accept spec submissions over a "
+             "local socket, dedup identical units through one shared result "
+             "cache, stream progress events to clients",
+    )
+    serve.add_argument("--root", required=True,
+                       help="service root directory (per-job stores under "
+                            "jobs/, shared unit cache under results/)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port to bind (default: 0 = OS-assigned; the "
+                            "bound address is printed on startup)")
+    serve.add_argument("--workers", type=_positive_int, default=None,
+                       help="worker processes per job (default: serial)")
+    serve.add_argument("--shard-size", type=_positive_int, default=None,
+                       help="shard layout for submitted jobs (default: 256)")
 
     profile = sub.add_parser(
         "profile", help="inspect span telemetry captured with REPRO_PROFILE=1"
@@ -294,6 +345,22 @@ def _dispatch(session, args: argparse.Namespace) -> int:
                     width=args.width,
                 )
                 return 0
+            if args.campaign_command == "worker":
+                import os
+
+                from ..campaign import run_worker
+                from ..campaign.leases import DEFAULT_LEASE_TTL
+
+                worker_id = args.worker_id or f"pid{os.getpid()}"
+                ttl = DEFAULT_LEASE_TTL if args.lease_ttl is None else args.lease_ttl
+                shards = run_worker(
+                    args.store,
+                    worker_id,
+                    batch=not args.no_batch,
+                    lease_ttl=ttl,
+                )
+                print(f"worker {worker_id}: flushed {shards} shard(s)")
+                return 0
             if args.campaign_command == "run":
                 if args.store is None and args.workspace is None:
                     print(
@@ -302,11 +369,19 @@ def _dispatch(session, args: argparse.Namespace) -> int:
                         file=sys.stderr,
                     )
                     return 2
+                if args.workers is not None and args.shard_size is None:
+                    print(
+                        "error: --workers needs --shard-size (shards are "
+                        "the unit of distribution)",
+                        file=sys.stderr,
+                    )
+                    return 2
                 handle = session.campaign(
                     args.spec,
                     store=args.store,
                     max_units=args.max_units,
                     progress=_shard_progress,
+                    workers=args.workers,
                 )
                 result = handle.result()
             else:  # resume
@@ -328,6 +403,7 @@ def _dispatch(session, args: argparse.Namespace) -> int:
                         max_units=args.max_units,
                         policy=session.policy,
                         progress=_shard_progress,
+                        workers=args.workers,
                     )
                 else:
                     result = resume_campaign(
@@ -361,6 +437,17 @@ def _dispatch(session, args: argparse.Namespace) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
         return 0 if not result.failures else 2
+
+    if args.command == "serve":
+        from ..service import serve_forever
+
+        return serve_forever(
+            root=args.root,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            shard_size=args.shard_size,
+        )
 
     if args.command == "profile":
         from ..errors import CampaignError

@@ -1,6 +1,15 @@
-"""Filesystem helpers: dataset caching and workspace paths."""
+"""Filesystem helpers: dataset caching, workspace paths, atomic JSONL logs."""
 
 from .cache import FrameCache, cached_frame
+from .jsonl import append_jsonl, dumps_line, read_jsonl
 from .paths import Workspace, ensure_dir
 
-__all__ = ["FrameCache", "cached_frame", "Workspace", "ensure_dir"]
+__all__ = [
+    "FrameCache",
+    "cached_frame",
+    "Workspace",
+    "ensure_dir",
+    "append_jsonl",
+    "dumps_line",
+    "read_jsonl",
+]

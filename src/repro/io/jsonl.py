@@ -1,0 +1,82 @@
+"""Atomic append-only JSON-lines files shared by concurrent writers.
+
+Every append-only log in the system — the campaign ledger, the shard/lease
+manifest, the telemetry event stream, the tracer's sink — is a JSONL file
+that multiple *processes* may append to at once (cooperating campaign
+workers, a watcher-attached run, the service front end).  Concurrent
+``open("a").write(...)`` through buffered text handles is only safe within
+one process: a line can be split across multiple ``write(2)`` calls, and two
+processes' fragments then interleave into torn, unparseable lines.
+
+:func:`append_jsonl` gives every writer the one safe shape: each record is
+serialised to a complete ``...\\n`` line and the whole batch is handed to
+the kernel as a **single** ``write(2)`` on an ``O_APPEND`` descriptor.
+POSIX applies the append offset atomically per write, so concurrent lines
+land whole, in *some* order — which is exactly the contract the readers
+(:func:`read_jsonl`, ``CampaignStore``'s torn-tail-tolerant parsers) rely
+on.  Readers still skip unparseable lines defensively: a crash can truncate
+the final line of a log even though writers never interleave.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = ["append_jsonl", "dumps_line", "read_jsonl"]
+
+
+def dumps_line(record: Mapping[str, Any]) -> str:
+    """One canonical JSONL line (sorted keys, ``str`` fallback, trailing LF)."""
+    return json.dumps(dict(record), sort_keys=True, default=str) + "\n"
+
+
+def append_jsonl(
+    path: str | os.PathLike, records: Iterable[Mapping[str, Any]]
+) -> int:
+    """Append ``records`` to ``path`` as one atomic ``O_APPEND`` write.
+
+    Returns the number of records written.  The batch is encoded first and
+    written with a single ``os.write`` — no buffering layer that could split
+    a line — so appends from concurrent processes never interleave within a
+    line.  (A multi-record batch is likewise contiguous: the shard runner's
+    per-shard ledger flush stays one write.)
+    """
+    lines = [dumps_line(record) for record in records]
+    if not lines:
+        return 0
+    data = "".join(lines).encode("utf-8")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+    return len(lines)
+
+
+def read_jsonl(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """All parseable records of a JSONL file, in append order.
+
+    Unparseable lines (the torn tail a crashed writer can leave) and blank
+    lines are skipped, matching the tolerance every campaign-store reader
+    has always had.  A missing file is an empty log.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: list[dict[str, Any]] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail from a killed writer
+        if isinstance(record, dict):
+            records.append(record)
+    return records

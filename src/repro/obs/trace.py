@@ -30,7 +30,7 @@ import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, TextIO
+from typing import Any
 
 __all__ = [
     "Span",
@@ -143,27 +143,37 @@ class Span:
 
 
 class JsonlSink:
-    """Append-only, line-flushed JSON-lines sink (thread-safe)."""
+    """Append-only JSON-lines sink, atomic across threads *and* processes.
+
+    Each event is serialised to one complete ``...\\n`` line and handed to
+    the kernel as a **single** ``os.write`` on an ``O_APPEND`` descriptor —
+    POSIX applies the append offset atomically per write, so events from
+    concurrent campaign workers sharing one ``events.jsonl`` land whole and
+    never interleave within a line.  (A buffered text handle, the previous
+    implementation, was only safe within one process: its flushes could
+    split a line across multiple ``write(2)`` calls.)
+    """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
-        self._handle: TextIO | None = None
+        self._fd: int | None = None
 
     def emit(self, record: dict[str, Any]) -> None:
-        line = json.dumps(record, sort_keys=True, default=str)
+        data = (json.dumps(record, sort_keys=True, default=str) + "\n").encode("utf-8")
         with self._lock:
-            if self._handle is None:
-                self._handle = self.path.open("a", encoding="utf-8")
-            self._handle.write(line + "\n")
-            self._handle.flush()
+            if self._fd is None:
+                self._fd = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+            os.write(self._fd, data)
 
     def close(self) -> None:
         with self._lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
 
 
 class _SpanStack(threading.local):

@@ -1,0 +1,118 @@
+"""Client for the campaign service's line-JSON protocol.
+
+:class:`ServiceClient` opens one connection per call — the protocol is a
+plain request/response sequence, so per-call connections keep the client
+robust against a restarted service at the cost of a local-socket
+handshake (microseconds, against jobs that run for minutes).  The
+``events`` op holds its connection open while streaming.
+
+::
+
+    client = ServiceClient.for_root("svc/")   # reads svc/service.json
+    job = client.submit({"name": "sweep", "sweep": {...}}, workers=4)
+    for event in client.events(job["job"], follow=True):
+        ...
+    result = client.result(job["job"])
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from typing import Any, Iterator
+
+from ..errors import CampaignError
+from .protocol import recv_message, send_message
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Thin, connection-per-call client for a running campaign service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def for_root(
+        cls, root: str | os.PathLike, timeout: float = 60.0
+    ) -> "ServiceClient":
+        """Connect to the service that published its address under ``root``."""
+        from .server import read_service_address
+
+        host, port = read_service_address(root)
+        return cls(host, port, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    def _roundtrip(self, request: dict[str, Any]) -> dict[str, Any]:
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as conn:
+            stream = conn.makefile("rwb")
+            send_message(stream, request)
+            response = recv_message(stream)
+        if response is None:
+            raise CampaignError("service closed the connection mid-exchange")
+        return response
+
+    @staticmethod
+    def _checked(response: dict[str, Any]) -> dict[str, Any]:
+        if not response.get("ok"):
+            raise CampaignError(response.get("error", "service request failed"))
+        return response
+
+    # -- operations ------------------------------------------------------ #
+    def ping(self) -> bool:
+        return bool(self._checked(self._roundtrip({"op": "ping"})).get("pong"))
+
+    def submit(
+        self,
+        spec: dict[str, Any],
+        shard_size: int | None = None,
+        workers: int | None = None,
+    ) -> dict[str, Any]:
+        """Submit a spec payload; returns the job description (+ dedup flag)."""
+        request: dict[str, Any] = {"op": "submit", "spec": spec}
+        if shard_size is not None:
+            request["shard_size"] = shard_size
+        if workers is not None:
+            request["workers"] = workers
+        return self._checked(self._roundtrip(request))
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._checked(self._roundtrip({"op": "status", "job": job_id}))
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The summary + aggregate of a complete job (raises until then)."""
+        return self._checked(self._roundtrip({"op": "result", "job": job_id}))
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._checked(self._roundtrip({"op": "jobs"}))["jobs"]
+
+    def shutdown(self) -> None:
+        self._checked(self._roundtrip({"op": "shutdown"}))
+
+    def events(self, job_id: str, follow: bool = False) -> Iterator[dict[str, Any]]:
+        """Yield a job's telemetry events; with ``follow``, until terminal."""
+        request = {"op": "events", "job": job_id, "follow": follow}
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as conn:
+            stream = conn.makefile("rwb")
+            send_message(stream, request)
+            while True:
+                response = recv_message(stream)
+                if response is None:
+                    raise CampaignError("service closed the event stream")
+                self._checked(response)
+                if response.get("done"):
+                    return
+                yield response["event"]
+
+    def wait(self, job_id: str) -> dict[str, Any]:
+        """Drain the event stream until the job is terminal; return result."""
+        for _ in self.events(job_id, follow=True):
+            pass
+        return self.result(job_id)

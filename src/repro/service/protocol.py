@@ -1,0 +1,67 @@
+"""Line-JSON wire protocol of the campaign service.
+
+One request or response per line: a JSON object, UTF-8 encoded, terminated
+by ``\\n`` — the same framing every ledger in the system uses, so the wire
+format is debuggable with ``nc`` and a pair of eyes.  A connection carries
+a sequence of request/response exchanges; the ``events`` op additionally
+streams interim event lines before its closing response.
+
+Requests
+--------
+``{"op": ..., ...}`` — operations:
+
+* ``ping`` — liveness probe,
+* ``submit`` — ``{"spec": {...}, "shard_size"?: int, "workers"?: int}``;
+  returns the job id (deduplicated: an identical submission returns the
+  existing job),
+* ``status`` — ``{"job": id}``; job state + store progress,
+* ``result`` — ``{"job": id}``; summary + aggregate frame of a complete job,
+* ``events`` — ``{"job": id, "follow"?: bool}``; streams the job store's
+  telemetry events as ``{"event": {...}}`` lines (``follow`` keeps
+  streaming until the job reaches a terminal state),
+* ``jobs`` — list all jobs,
+* ``shutdown`` — stop the server after responding.
+
+Responses
+---------
+``{"ok": true, ...}`` on success, ``{"ok": false, "error": "..."}`` on
+failure.  Malformed request lines get an ``ok: false`` response rather
+than a dropped connection — a confused client should be told so.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO
+
+__all__ = ["ProtocolError", "recv_message", "send_message"]
+
+#: Upper bound on one protocol line; a spec payload is small (the sweep is
+#: declarative), so anything beyond this is a framing bug, not a big job.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed or oversized protocol line."""
+
+
+def send_message(stream: BinaryIO, message: dict[str, Any]) -> None:
+    """Write one message as a single ``...\\n`` line and flush it."""
+    stream.write(json.dumps(message, sort_keys=True, default=str).encode("utf-8") + b"\n")
+    stream.flush()
+
+
+def recv_message(stream: BinaryIO) -> dict[str, Any] | None:
+    """Read one message line; ``None`` on a cleanly closed stream."""
+    line = stream.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"protocol line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("protocol line must be a JSON object")
+    return message

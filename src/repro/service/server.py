@@ -1,0 +1,380 @@
+"""The campaign service: socket front end + background job executor.
+
+:class:`CampaignService` owns a service root directory, a threading TCP
+server speaking the line-JSON protocol (:mod:`repro.service.protocol`)
+and one background executor thread that drains submitted jobs through
+:func:`~repro.campaign.sharding.stream_campaign` — each job optionally
+fanned out across lease-coordinated worker processes.
+
+Jobs are content-addressed: the job id is the spec + shard-layout digest,
+so identical submissions from any number of concurrent clients collapse
+to one job, one store, one execution.  All job stores share the service
+root's ``results/`` unit cache, so even *different* campaigns simulate
+each overlapping unit only once.  Execution knobs (``workers``) stay out
+of the job identity — results are bit-identical for any worker count.
+
+The executor runs one job at a time, in submission order.  Parallelism
+belongs inside a job (its worker pool), not across jobs: two jobs racing
+would fight over the same cores and the service's progress events would
+interleave meaninglessly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socketserver
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..campaign import CampaignSpec, CampaignStore, stream_campaign
+from ..errors import CampaignError
+from ..session.artifacts import digest_json
+from .protocol import ProtocolError, recv_message, send_message
+
+__all__ = ["CampaignService", "serve_forever"]
+
+#: Default shard layout for submitted jobs: small enough that progress
+#: events are frequent and a killed worker loses little, large enough that
+#: per-shard bookkeeping stays negligible.
+DEFAULT_SERVICE_SHARD_SIZE = 256
+
+_TERMINAL_STATES = ("complete", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted campaign: identity, store, lifecycle state."""
+
+    job_id: str
+    spec: CampaignSpec
+    store_dir: Path
+    shard_size: int
+    workers: int | None
+    state: str = "queued"  # queued -> running -> complete | failed
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    summary: dict[str, Any] | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.state in _TERMINAL_STATES
+
+    def describe(self) -> dict[str, Any]:
+        info: dict[str, Any] = {
+            "job": self.job_id,
+            "name": self.spec.name,
+            "state": self.state,
+            "n_units": self.spec.n_units,
+            "shard_size": self.shard_size,
+            "workers": self.workers or 1,
+            "store": str(self.store_dir),
+        }
+        if self.error is not None:
+            info["error"] = self.error
+        return info
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: a sequence of request/response exchanges."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via the socket
+        service: CampaignService = self.server.service  # type: ignore[attr-defined]
+        while True:
+            try:
+                request = recv_message(self.rfile)
+            except ProtocolError as exc:
+                send_message(self.wfile, {"ok": False, "error": str(exc)})
+                return
+            if request is None:
+                return
+            stop_after = request.get("op") == "shutdown"
+            try:
+                service.handle_request(request, self.wfile)
+            except BrokenPipeError:
+                return
+            if stop_after:
+                return
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class CampaignService:
+    """Socket front end + job executor over one service root directory."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int | None = None,
+        shard_size: int | None = None,
+    ):
+        self.root = Path(root)
+        self.jobs_root = self.root / "jobs"
+        self.results_dir = self.root / "results"
+        self.default_workers = workers
+        self.default_shard_size = shard_size or DEFAULT_SERVICE_SHARD_SIZE
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[Job | None]" = queue.Queue()
+        self._server = _Server((host, port), _Handler)
+        self._server.service = self  # type: ignore[attr-defined]
+        self._serve_thread: threading.Thread | None = None
+        self._executor_thread: threading.Thread | None = None
+        self._stopped = threading.Event()
+
+    # -- lifecycle ------------------------------------------------------- #
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> tuple[str, int]:
+        """Start serving and executing; returns the bound (host, port)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        host, port = self.address
+        (self.root / "service.json").write_text(
+            json.dumps(
+                {"host": host, "port": port, "pid": os.getpid()},
+                indent=2,
+                sort_keys=True,
+            ),
+            encoding="utf-8",
+        )
+        self._serve_thread = threading.Thread(
+            target=self._server.serve_forever, name="service-accept", daemon=True
+        )
+        self._executor_thread = threading.Thread(
+            target=self._drain_jobs, name="service-executor", daemon=True
+        )
+        self._serve_thread.start()
+        self._executor_thread.start()
+        return host, port
+
+    def stop(self) -> None:
+        """Stop accepting, let the in-flight job finish, shut down."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self._server.shutdown()
+        self._server.server_close()
+        self._queue.put(None)  # unblock the executor
+        if self._executor_thread is not None:
+            self._executor_thread.join(timeout=60)
+
+    def wait(self) -> None:
+        """Block until :meth:`stop` is called (e.g. by a shutdown op)."""
+        self._stopped.wait()
+
+    # -- job management -------------------------------------------------- #
+    def submit(
+        self,
+        spec: CampaignSpec,
+        shard_size: int | None = None,
+        workers: int | None = None,
+    ) -> tuple[Job, bool]:
+        """Register (or dedup onto) a job; returns ``(job, deduped)``."""
+        shard_size = shard_size or self.default_shard_size
+        workers = workers if workers is not None else self.default_workers
+        # Identity = what is computed (spec) + how it is laid out on disk
+        # (shard layout changes the artifact set); never execution knobs.
+        key = digest_json({"spec": spec.to_dict(), "shard_size": shard_size})
+        job_id = f"{spec.name}-{key[:12]}"
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                return existing, True
+            job = Job(
+                job_id=job_id,
+                spec=spec,
+                store_dir=self.jobs_root / job_id,
+                shard_size=shard_size,
+                workers=workers,
+            )
+            self._jobs[job_id] = job
+        self._queue.put(job)
+        return job, False
+
+    def get_job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def _drain_jobs(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None or self._stopped.is_set():
+                return
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        job.state = "running"
+        try:
+            result = stream_campaign(
+                job.spec,
+                job.store_dir,
+                shard_size=job.shard_size,
+                workers=job.workers,
+                results_dir=self.results_dir,
+            )
+        except Exception as exc:  # a failed job must not kill the executor
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "failed"
+            return
+        job.summary = {
+            "total_units": result.total_units,
+            "completed": result.completed,
+            "cache_hits": result.cache_hits,
+            "simulated": result.simulated,
+            "n_workers": result.n_workers,
+            "total_shards": result.total_shards,
+            "failures": [list(failure) for failure in result.failures],
+            "describe": result.describe(),
+            "aggregate": result.aggregate.to_dict(),
+        }
+        job.state = "complete"
+
+    # -- request handling ------------------------------------------------ #
+    def handle_request(self, request: dict[str, Any], wfile: Any) -> None:
+        """Dispatch one request; writes response line(s) to ``wfile``."""
+        op = request.get("op")
+        if op == "ping":
+            send_message(wfile, {"ok": True, "pong": True})
+        elif op == "submit":
+            send_message(wfile, self._op_submit(request))
+        elif op == "status":
+            send_message(wfile, self._op_status(request))
+        elif op == "result":
+            send_message(wfile, self._op_result(request))
+        elif op == "jobs":
+            with self._lock:
+                listing = [job.describe() for job in self._jobs.values()]
+            send_message(wfile, {"ok": True, "jobs": listing})
+        elif op == "events":
+            self._op_events(request, wfile)
+        elif op == "shutdown":
+            send_message(wfile, {"ok": True, "stopping": True})
+            # shutdown() blocks until the accept loop exits; that loop runs
+            # in a different thread than this handler, so this is safe.
+            threading.Thread(target=self.stop, daemon=True).start()
+        else:
+            send_message(wfile, {"ok": False, "error": f"unknown op {op!r}"})
+
+    def _op_submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        payload = request.get("spec")
+        if not isinstance(payload, dict):
+            return {"ok": False, "error": "submit needs a 'spec' object"}
+        try:
+            spec = CampaignSpec.from_dict(payload)
+            n_units = spec.n_units  # force validation before queueing
+        except (CampaignError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": f"invalid spec: {exc}"}
+        shard_size = request.get("shard_size")
+        workers = request.get("workers")
+        job, deduped = self.submit(spec, shard_size=shard_size, workers=workers)
+        response = {"ok": True, "deduped": deduped, "n_units": n_units}
+        response.update(job.describe())
+        return response
+
+    def _job_for(self, request: dict[str, Any]) -> Job | None:
+        job_id = request.get("job")
+        if not isinstance(job_id, str):
+            return None
+        return self.get_job(job_id)
+
+    def _op_status(self, request: dict[str, Any]) -> dict[str, Any]:
+        job = self._job_for(request)
+        if job is None:
+            return {"ok": False, "error": f"unknown job {request.get('job')!r}"}
+        response: dict[str, Any] = {"ok": True}
+        response.update(job.describe())
+        progress = None
+        try:
+            progress = CampaignStore(job.store_dir).shard_progress()
+        except CampaignError:
+            pass
+        if progress is not None:
+            response["shards"] = {
+                "total": progress.total,
+                "complete": progress.complete,
+                "partial": progress.partial,
+                "rows_flushed": progress.rows_flushed,
+            }
+        return response
+
+    def _op_result(self, request: dict[str, Any]) -> dict[str, Any]:
+        job = self._job_for(request)
+        if job is None:
+            return {"ok": False, "error": f"unknown job {request.get('job')!r}"}
+        if job.state == "failed":
+            return {"ok": False, "error": job.error or "job failed", "state": "failed"}
+        if job.state != "complete" or job.summary is None:
+            return {
+                "ok": False,
+                "error": f"job {job.job_id} is {job.state}; poll status or "
+                         "stream events until it completes",
+                "state": job.state,
+            }
+        response: dict[str, Any] = {"ok": True, "job": job.job_id, "state": job.state}
+        response.update(job.summary)
+        return response
+
+    def _op_events(self, request: dict[str, Any], wfile: Any) -> None:
+        """Stream a job's telemetry events; optionally follow to completion."""
+        job = self._job_for(request)
+        if job is None:
+            send_message(
+                wfile, {"ok": False, "error": f"unknown job {request.get('job')!r}"}
+            )
+            return
+        follow = bool(request.get("follow"))
+        store = CampaignStore(job.store_dir)
+        sent = 0
+        while True:
+            events = store.event_entries()
+            for event in events[sent:]:
+                send_message(wfile, {"ok": True, "event": event})
+            sent = len(events)
+            if not follow or job.done:
+                break
+            time.sleep(0.05)
+        send_message(wfile, {"ok": True, "done": True, "state": job.state})
+
+
+def serve_forever(
+    root: str | os.PathLike,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int | None = None,
+    shard_size: int | None = None,
+) -> int:
+    """CLI entry point: run a service until a ``shutdown`` op or Ctrl-C."""
+    service = CampaignService(
+        root, host=host, port=port, workers=workers, shard_size=shard_size
+    )
+    bound_host, bound_port = service.start()
+    print(f"spectrends service listening on {bound_host}:{bound_port}", flush=True)
+    print(f"service root: {service.root}", flush=True)
+    try:
+        service.wait()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+        service.stop()
+    return 0
+
+
+def read_service_address(root: str | os.PathLike) -> tuple[str, int]:
+    """The (host, port) a service rooted at ``root`` wrote on startup."""
+    path = Path(root) / "service.json"
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return str(data["host"]), int(data["port"])
+    except (OSError, ValueError, KeyError) as exc:
+        raise CampaignError(f"no service address under {root}: {exc}") from exc

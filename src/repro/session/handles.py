@@ -528,6 +528,7 @@ class CampaignHandle(ArtifactHandle):
         max_units: int | None = None,
         shard_size: int | None = None,
         progress: Callable | None = None,
+        workers: int | None = None,
     ):
         super().__init__(session, key)
         self.spec = spec
@@ -535,6 +536,7 @@ class CampaignHandle(ArtifactHandle):
         self.max_units = max_units
         self._explicit_shard_size = shard_size
         self._progress = progress
+        self._explicit_workers = workers
 
     @property
     def shard_size(self) -> int | None:
@@ -552,6 +554,21 @@ class CampaignHandle(ArtifactHandle):
     def sharded(self) -> bool:
         """Whether ``result()`` runs the streaming (bounded-memory) path."""
         return self.shard_size is not None
+
+    @property
+    def workers(self) -> int | None:
+        """Worker-pool fan-out for the streaming path (``None`` = serial).
+
+        An explicit ``session.campaign(..., workers=)`` wins; otherwise the
+        policy decides (:attr:`ExecutionPolicy.campaign_workers`).  Only
+        sharded, uncapped runs fan out — shards are the unit of
+        distribution, and caps are per-run, not per-worker.
+        """
+        if not self.sharded or self.max_units is not None:
+            return None
+        if self._explicit_workers is not None:
+            return self._explicit_workers
+        return self._session.policy.campaign_workers
 
     @property
     def _memo_key(self) -> str:
@@ -599,6 +616,7 @@ class CampaignHandle(ArtifactHandle):
                 max_units=self.max_units,
                 batch=policy.use_batch_kernel,
                 progress=self._progress,
+                workers=self.workers,
             )
         from ..campaign import run_campaign
 
@@ -656,6 +674,9 @@ class CampaignHandle(ArtifactHandle):
                 max_units=max_units,
                 batch=policy.use_batch_kernel,
                 progress=self._progress,
+                # A capped resume is a budgeted top-up; fan-out is for
+                # full runs only (caps are per-run, not per-worker).
+                workers=None if max_units is not None else self.workers,
             )
         else:
             from ..campaign import resume_campaign

@@ -133,6 +133,26 @@ class ExecutionPolicy:
         return self.shard_size is not None or self.max_resident_results is not None
 
     @property
+    def campaign_workers(self) -> int | None:
+        """Worker-pool fan-out for sharded campaigns, or ``None`` for serial.
+
+        A policy asks for the multi-worker shard scheduler by combining
+        ``mode="process"`` (worker processes), an explicit ``workers`` count
+        above one, and a sharded layout — shards are the unit of
+        distribution, so unsharded campaigns ignore this entirely.  Each
+        spawned worker executes its claimed shards serially; the
+        parallelism lives at the worker level (``campaign/sharding.py``).
+        """
+        if (
+            self.mode == "process"
+            and self.sharded
+            and self.workers is not None
+            and self.workers > 1
+        ):
+            return self.workers
+        return None
+
+    @property
     def effective_shard_size(self) -> int | None:
         """Units per shard after applying the residency budget, if sharded.
 

@@ -496,6 +496,7 @@ class Session:
         workload: str | None = None,
         shard_size: int | None = None,
         progress: Callable | None = None,
+        workers: int | None = None,
     ) -> CampaignHandle:
         """A declarative scenario sweep executed into a resumable store.
 
@@ -509,9 +510,13 @@ class Session:
         runner (resident memory O(shard_size), result a
         :class:`~repro.campaign.sharding.StreamingCampaignResult`); the
         session policy's ``shard_size``/``max_resident_results`` supply the
-        default.  ``progress`` is invoked after every flushed shard (the
-        CLI's streaming status line) and, being an observer, never enters
-        any key.
+        default.  ``workers`` fans a sharded run out across that many
+        lease-coordinated worker processes (default: the policy's
+        ``campaign_workers``); results are bit-identical for any worker
+        count, so like every execution knob it stays out of the keys.
+        ``progress`` is invoked after every flushed shard (the CLI's
+        streaming status line) and, being an observer, never enters any
+        key.
         """
         from ..campaign import CampaignSpec
 
@@ -546,6 +551,7 @@ class Session:
             max_units=max_units,
             shard_size=shard_size,
             progress=progress,
+            workers=workers,
         )
         self._last["campaign"] = handle
         return handle

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import time
 
 import numpy as np
 import pytest
@@ -409,6 +410,113 @@ class TestShardResume:
 
 
 # --------------------------------------------------------------------------- #
+# Multi-worker execution (lease-coordinated shard scheduler)
+# --------------------------------------------------------------------------- #
+class TestMultiWorker:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_n_worker_run_bit_identical_to_serial_stream(self, tmp_path, workers):
+        # The acceptance invariant: fanning shards across N workers changes
+        # scheduling only — frame and aggregate stay bit-identical to the
+        # serial streamed run.
+        spec = sharded_spec(name="mworkers")
+        serial = stream_campaign(spec, tmp_path / "serial", shard_size=5)
+        fanned = stream_campaign(
+            spec, tmp_path / f"w{workers}", shard_size=5, workers=workers
+        )
+        assert fanned.n_workers == workers
+        assert fanned.is_complete and not fanned.failures
+        assert fanned.frame().equals(serial.frame())
+        assert fanned.aggregate.equals(serial.aggregate)
+
+    def test_worker_run_matches_unsharded_reduction(self, tmp_path):
+        spec = sharded_spec(name="mw-unsharded")
+        unsharded = run_campaign(spec, tmp_path / "unsharded")
+        fanned = stream_campaign(spec, tmp_path / "fanned", shard_size=5, workers=2)
+        assert fanned.frame().equals(unsharded.frame)
+        assert fanned.aggregate.equals(reduce_frame(unsharded.frame))
+
+    def test_workers_incompatible_with_run_caps(self, tmp_path):
+        with pytest.raises(CampaignError, match="workers"):
+            stream_campaign(
+                sharded_spec(), tmp_path / "s", shard_size=5, workers=2, max_units=3
+            )
+        with pytest.raises(CampaignError, match="workers"):
+            stream_campaign(
+                sharded_spec(), tmp_path / "s2", shard_size=5, workers=2, max_shards=1
+            )
+
+    def test_single_worker_loop_completes_store(self, tmp_path):
+        from repro.campaign import run_worker
+
+        spec = sharded_spec(name="solo-worker")
+        store_dir = tmp_path / "store"
+        # Initialise the store (spec + layout) without executing anything.
+        stream_campaign(spec, store_dir, shard_size=5, max_shards=0)
+        assert run_worker(store_dir, "solo") == 4  # all four shards flushed
+
+        finalized = resume_streaming(store_dir)
+        assert finalized.is_complete and finalized.simulated == 0
+        assert all(shard.reloaded for shard in finalized.shards)
+        clean = stream_campaign(spec, tmp_path / "clean", shard_size=5)
+        assert finalized.frame().equals(clean.frame())
+        assert finalized.aggregate.equals(clean.aggregate)
+
+    def test_worker_events_and_leases_in_ledgers(self, tmp_path):
+        from repro.campaign import run_worker
+
+        spec = sharded_spec(name="worker-events", seeds=(1, 2))
+        store_dir = tmp_path / "store"
+        stream_campaign(spec, store_dir, shard_size=3, max_shards=0)
+        run_worker(store_dir, "w-obs")
+        store = CampaignStore(store_dir)
+        names = [event["event"] for event in store.event_entries()]
+        assert "worker_start" in names and "worker_done" in names
+        assert names.count("worker_shard") == 2
+        assert sorted(store.lease_entries()) == [0, 1]
+        assert all(
+            entry["status"] == "complete" for entry in store.shard_entries().values()
+        )
+
+    def test_sigkill_mid_run_loses_at_most_one_shard(self, tmp_path):
+        # The chaos contract: two workers share a store, one is SIGKILL'd
+        # mid-run; the survivor + the finalize pass must still complete the
+        # campaign with bit-identical results.  The assertions hold no
+        # matter where (or whether) the kill lands mid-shard.
+        import multiprocessing
+        import os as _os
+        import signal
+
+        from repro.campaign.sharding import _worker_entry
+
+        spec = sharded_spec(name="chaos")
+        store_dir = tmp_path / "store"
+        stream_campaign(spec, store_dir, shard_size=2, max_shards=0)  # 9 shards
+
+        victim = multiprocessing.Process(
+            target=_worker_entry, args=(str(store_dir), "victim", True, 120.0, None)
+        )
+        survivor = multiprocessing.Process(
+            target=_worker_entry, args=(str(store_dir), "survivor", True, 120.0, None)
+        )
+        victim.start()
+        survivor.start()
+        time.sleep(0.4)  # let both claim and execute some shards
+        if victim.is_alive():
+            _os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30)
+        survivor.join(timeout=120)
+        assert survivor.exitcode == 0
+
+        # The survivor reclaims the victim's expired/dead leases; the
+        # finalize pass mops up whatever remains and proves identity.
+        finalized = resume_streaming(store_dir)
+        assert finalized.is_complete
+        clean = stream_campaign(spec, tmp_path / "clean", shard_size=2)
+        assert finalized.frame().equals(clean.frame())
+        assert finalized.aggregate.equals(clean.aggregate)
+
+
+# --------------------------------------------------------------------------- #
 # Policy + session integration
 # --------------------------------------------------------------------------- #
 class TestPolicyAndSession:
@@ -427,6 +535,41 @@ class TestPolicyAndSession:
         policy = ExecutionPolicy.from_jobs(1, shard_size=64)
         assert policy.effective_shard_size == 64
         assert ExecutionPolicy.from_jobs(4, shard_size=None).effective_shard_size is None
+
+    def test_policy_campaign_workers(self):
+        # Fan-out needs all three: process mode, explicit workers > 1, and
+        # a shard layout (shards are the unit of distribution).
+        fanned = ExecutionPolicy(mode="process", workers=3, shard_size=64)
+        assert fanned.campaign_workers == 3
+        assert ExecutionPolicy(mode="process", workers=3).campaign_workers is None
+        assert ExecutionPolicy(mode="process", shard_size=64).campaign_workers is None
+        assert ExecutionPolicy(mode="thread", workers=3, shard_size=64).campaign_workers is None
+        assert ExecutionPolicy(mode="process", workers=1, shard_size=64).campaign_workers is None
+
+    def test_session_policy_drives_worker_fanout(self, tmp_path):
+        spec = sharded_spec(name="sess-workers", seeds=(1, 2)).to_dict()  # 6 units
+        policy = ExecutionPolicy(mode="process", workers=2, shard_size=3)
+        with Session(policy=policy) as session:
+            handle = session.campaign(spec, store=tmp_path / "store")
+            assert handle.workers == 2
+            result = handle.result()
+            assert result.n_workers == 2 and result.is_complete
+        serial = stream_campaign(
+            CampaignSpec.from_dict(spec), tmp_path / "serial", shard_size=3
+        )
+        assert result.frame().equals(serial.frame())
+        assert result.aggregate.equals(serial.aggregate)
+
+    def test_capped_handles_stay_serial(self, tmp_path):
+        spec = sharded_spec(name="capped", seeds=(1,)).to_dict()
+        policy = ExecutionPolicy(mode="process", workers=2, shard_size=2)
+        with Session(policy=policy) as session:
+            handle = session.campaign(spec, store=tmp_path / "store", max_units=2)
+            assert handle.workers is None  # caps are per-run, not per-worker
+            result = handle.result()
+            assert result.n_workers == 1
+            explicit = session.campaign(spec, store=tmp_path / "s2", workers=4)
+            assert explicit.workers == 4
 
     def test_session_policy_routes_to_streaming(self):
         spec = sharded_spec(name="sess", seeds=(1,)).to_dict()
