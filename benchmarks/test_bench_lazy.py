@@ -1,0 +1,245 @@
+"""Lazy plan engine benchmarks: fusion speedup + out-of-core scan proof.
+
+Two claims ride on the planner.  First, filter→groupby fusion (predicate
+evaluated on the unfiltered frame so the memoized group codes are reused)
+must beat the eager filter-then-groupby chain by a guarded floor.  Second,
+the streamed ``.npz`` scan must keep a filtered aggregation over a
+larger-than-budget artifact set inside a fixed peak-RSS budget while
+reading strictly fewer bytes than the artifacts hold — the subprocess
+measures both, the way the shard benchmarks prove bounded streaming.
+
+Scale knobs: ``REPRO_LAZY_BENCH_ROWS`` overrides the per-artifact row
+count of the out-of-core proof (the committed budget assumes the default).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame, col
+
+#: Peak-RSS budget for the out-of-core scan.  The artifact set measures
+#: ~216 MiB on disk (8 artifacts x 27 MiB), so a full materialisation plus
+#: the interpreter could not fit; the streamed scan holds one chunk plus
+#: the survivors and peaks far below.
+RSS_BUDGET_MIB = 160
+
+#: Guarded fusion floor; measured speedups sit near 1.5-1.7x on an idle
+#: machine (string+int keys, 400k rows, 50%-selective predicate).
+MIN_FUSION_SPEEDUP = 1.2
+
+
+# --------------------------------------------------------------------------- #
+# Out-of-core proof (not a timed benchmark: one subprocess, two assertions)
+# --------------------------------------------------------------------------- #
+_OOC_SCRIPT = """
+import json, os, resource, sys
+import numpy as np
+sys.path.insert(0, sys.argv[1])
+from repro.frame import SCAN_STATS, col, concat_lazy, scan_npz
+
+directory = sys.argv[2]
+n_artifacts = int(sys.argv[3])
+rows = int(sys.argv[4])
+os.makedirs(directory, exist_ok=True)
+
+meta = [
+    {"name": "f0", "kind": "float"},
+    {"name": "f1", "kind": "float"},
+    {"name": "f2", "kind": "float"},
+    {"name": "g", "kind": "int"},
+]
+paths = []
+total_bytes = 0
+for i in range(n_artifacts):
+    rng = np.random.default_rng(i)
+    arrays = {
+        "masks": np.zeros((4, rows), dtype=bool),
+        "float": rng.random((3, rows)),
+        "int": rng.integers(0, 50, (1, rows)),
+    }
+    path = os.path.join(directory, f"part{i}.npz")
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+    del arrays
+    total_bytes += os.path.getsize(path)
+    paths.append(path)
+
+SCAN_STATS.reset()
+plan = (
+    concat_lazy([scan_npz(path, meta) for path in paths])
+    .filter(col("f0") > 0.99)
+    .groupby(["g"])
+    .agg({"m": ("f1", "mean"), "n": ("g", "count")})
+)
+summary = plan.collect()
+
+peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+if sys.platform == "darwin":
+    peak_kb /= 1024  # macOS reports bytes
+print(json.dumps({
+    "peak_mib": peak_kb / 1024,
+    "total_mib": total_bytes / (1024 * 1024),
+    "bytes_read": SCAN_STATS.bytes_read,
+    "total_bytes": total_bytes,
+    "groups": len(summary),
+    "matches": int(sum(summary["n"].values)),
+}))
+"""
+
+
+def test_lazy_scan_out_of_core_bounded_rss(tmp_path):
+    """A filtered aggregation over ~216 MiB of artifacts stays in budget."""
+    rows = int(os.environ.get("REPRO_LAZY_BENCH_ROWS", "750000"))
+    src = Path(__file__).resolve().parent.parent / "src"
+    proc = subprocess.run(
+        [sys.executable, "-c", _OOC_SCRIPT, str(src), str(tmp_path / "parts"),
+         "8", str(rows)],
+        capture_output=True, text=True, check=True,
+    )
+    report = json.loads(proc.stdout.strip().splitlines()[-1])
+    print(
+        f"\n{report['total_mib']:.0f} MiB in artifacts, "
+        f"{report['bytes_read'] / 1048576:.1f} MiB read, "
+        f"{report['matches']} rows matched into {report['groups']} groups, "
+        f"peak RSS {report['peak_mib']:.1f} MiB (budget {RSS_BUDGET_MIB} MiB)"
+    )
+    assert report["groups"] == 50
+    assert 0 < report["matches"] < 8 * rows
+    # Pushdown instrument: the scan read strictly less than the artifacts
+    # hold (only the predicate column everywhere, the rest where it matched).
+    assert 0 < report["bytes_read"] < report["total_bytes"]
+    # The artifact set would not fit in the budget; the scan must.
+    assert report["total_mib"] > RSS_BUDGET_MIB
+    assert report["peak_mib"] < RSS_BUDGET_MIB, (
+        f"out-of-core scan peaked at {report['peak_mib']:.1f} MiB, over the "
+        f"{RSS_BUDGET_MIB} MiB budget - residency is no longer O(chunk)"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fusion speedup (floor-gated like the batch-kernel speedup)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def grouped_frame() -> Frame:
+    rng = np.random.default_rng(7)
+    n = 400_000
+    keys = np.array(
+        ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"], dtype=object
+    )
+    return Frame.from_dict({
+        "k": list(keys[rng.integers(0, len(keys), n)]),
+        "g": list(rng.integers(0, 50, n)),
+        "v": list(rng.random(n)),
+        "w": list(rng.random(n)),
+    })
+
+
+_FUSION_SPEC = {"m": ("v", "mean"), "s": ("w", "sum"), "n": ("v", "count")}
+
+
+def _eager_chain(frame: Frame) -> Frame:
+    filtered = frame.filter(frame["v"] > 0.5)
+    return filtered.groupby(["k", "g"]).agg(_FUSION_SPEC)
+
+
+def _fused_plan(frame: Frame) -> Frame:
+    return (
+        frame.lazy()
+        .filter(col("v") > 0.5)
+        .groupby(["k", "g"])
+        .agg(_FUSION_SPEC)
+        .collect()
+    )
+
+
+def _timed(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="lazy")
+def test_bench_lazy_fusion_speedup(benchmark, grouped_frame, request):
+    """Fused filter→groupby must beat the eager chain by >= the floor."""
+    eager = _eager_chain(grouped_frame)
+    fused = _fused_plan(grouped_frame)  # also fills the codes memo
+    assert fused.equals(eager)  # fusion is invisible in the output
+
+    eager_seconds = min(_timed(_eager_chain, grouped_frame) for _ in range(3))
+    fused_seconds = min(_timed(_fused_plan, grouped_frame) for _ in range(3))
+    speedup = eager_seconds / fused_seconds
+    print(f"\nfusion: eager {eager_seconds * 1000:.1f} ms vs "
+          f"fused {fused_seconds * 1000:.1f} ms -> {speedup:.2f}x")
+    # Hard floor only on dedicated benchmark runs; inside the plain suite a
+    # wall-clock assertion would just add flake on contended runners.
+    if request.config.getoption("--benchmark-only"):
+        assert speedup >= MIN_FUSION_SPEEDUP
+    elif speedup < MIN_FUSION_SPEEDUP:
+        print(f"warning: fusion speedup {speedup:.2f}x below the "
+              f"{MIN_FUSION_SPEEDUP:.1f}x floor (not enforced here)")
+
+    benchmark(_fused_plan, grouped_frame)
+
+
+# --------------------------------------------------------------------------- #
+# Timed benchmarks (gated by the CI baseline)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def scan_artifact(tmp_path_factory):
+    """One ~9 MiB columnar artifact + its meta, written once per module."""
+    from repro.session.columnar import frame_to_arrays
+
+    rng = np.random.default_rng(11)
+    n = 200_000
+    frame = Frame.from_dict({
+        "g": list(rng.integers(0, 20, n)),
+        "v": list(rng.random(n)),
+        "w": list(rng.random(n)),
+        "x": list(rng.random(n)),
+        "y": list(rng.random(n)),
+    })
+    meta, arrays = frame_to_arrays(frame)
+    path = tmp_path_factory.mktemp("lazy-bench") / "artifact.npz"
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+    return str(path), meta
+
+
+@pytest.mark.benchmark(group="lazy")
+def test_bench_lazy_scan_filtered(benchmark, scan_artifact):
+    """Pushdown scan: 1%-selective predicate, two output columns of five."""
+    from repro.frame import scan_npz
+
+    path, meta = scan_artifact
+
+    def scan():
+        return (
+            scan_npz(path, meta)
+            .filter(col("v") > 0.99)
+            .select(["g", "w"])
+            .collect()
+        )
+
+    result = benchmark(scan)
+    assert 0 < len(result) < 200_000
+    assert result.columns == ["g", "w"]
+
+
+@pytest.mark.benchmark(group="lazy")
+def test_bench_lazy_mmap_open(benchmark, scan_artifact):
+    """Opening an artifact as a mapped frame is header work, not IO."""
+    from repro.frame import open_frame_npz
+
+    path, meta = scan_artifact
+    frame = benchmark(open_frame_npz, path, meta)
+    assert len(frame) == 200_000
+    assert frame.memory_usage(deep=True)["mapped"].values.sum() > 0

@@ -44,7 +44,7 @@ Quickstart
     print(result.describe())
 """
 
-from .aggregate import FrameAccumulator, assemble_frame
+from .aggregate import FrameAccumulator, assemble_frame, summarize_store
 from .cache import ResultCache, unit_key
 from .leases import DEFAULT_LEASE_TTL, Lease, LeaseLedger
 from .reduce import FrameReducer, OnlineMoments, reduce_frame
@@ -57,6 +57,7 @@ from .sharding import (
     iter_shards,
     resume_streaming,
     run_worker,
+    scan_shards,
     stream_campaign,
 )
 from .spec import OPTION_AXES, PLAN_AXES, CampaignSpec, CampaignUnit
@@ -72,6 +73,7 @@ __all__ = [
     "ResultCache",
     "FrameAccumulator",
     "assemble_frame",
+    "summarize_store",
     "CampaignResult",
     "execute_units",
     "run_campaign",
@@ -80,6 +82,7 @@ __all__ = [
     "ShardOutcome",
     "StreamingCampaignResult",
     "iter_shards",
+    "scan_shards",
     "stream_campaign",
     "resume_streaming",
     "run_worker",

@@ -11,12 +11,15 @@ output plus the campaign annotation columns, so it flows straight into
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from ..frame import Frame
 from .spec import CampaignUnit
 
-__all__ = ["FrameAccumulator", "annotate_row", "assemble_frame"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..frame.plan import Expr
+
+__all__ = ["FrameAccumulator", "annotate_row", "assemble_frame", "summarize_store"]
 
 
 class FrameAccumulator:
@@ -93,3 +96,31 @@ def assemble_frame(
         if row is not None:
             accumulator.add_row(annotate_row(row, unit))
     return accumulator.to_frame()
+
+
+def summarize_store(
+    store_dir: str,
+    keys: Sequence[str],
+    metrics: Mapping[str, Any] | Sequence[str],
+    where: "Expr | None" = None,
+    engine: str | None = None,
+) -> Frame:
+    """Grouped summary over a streamed campaign store, out of core.
+
+    The Table-1 shape of post-campaign analysis — filter rows, group by
+    sweep axes, aggregate metrics — expressed as a lazy plan over the
+    shard artifacts: the optimizer pushes ``where`` into each shard's
+    ``.npz`` scan and prunes the load to ``keys`` plus the metric columns,
+    so memory stays O(chunk + groups) however many rows the campaign
+    produced.  ``metrics`` is either a groupby agg spec mapping
+    (``{"watts": ("mean", "max")}``) or a plain list of column names,
+    which summarises each with its mean.  Output is bit-identical to the
+    same eager chain on :meth:`StreamingCampaignResult.frame`.
+    """
+    from .sharding import scan_shards
+
+    plan = scan_shards(store_dir)
+    if where is not None:
+        plan = plan.filter(where)
+    spec = dict(metrics) if isinstance(metrics, Mapping) else {m: "mean" for m in metrics}
+    return plan.groupby(list(keys)).agg(spec).collect(engine=engine)

@@ -45,7 +45,7 @@ import os
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from ..errors import ArtifactError, CampaignError
 from ..frame import Frame, concat
@@ -61,12 +61,16 @@ from .reduce import FrameReducer
 from .spec import CampaignSpec, CampaignUnit
 from .store import CampaignStore
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..frame.plan import LazyFrame
+
 __all__ = [
     "DEFAULT_SHARD_SIZE",
     "Shard",
     "ShardOutcome",
     "StreamingCampaignResult",
     "iter_shards",
+    "scan_shards",
     "stream_campaign",
     "resume_streaming",
     "run_worker",
@@ -246,6 +250,18 @@ class StreamingCampaignResult:
         """
         return concat(list(self.iter_frames()))
 
+    def lazy_frame(self):
+        """A lazy scan over the shard artifacts; see :func:`scan_shards`.
+
+        Post-campaign analysis (Table-1 summaries, figure inputs) filters
+        and aggregates through the plan optimizer without materialising
+        the campaign: predicates push into each shard's ``.npz`` load, so
+        only matching row ranges of the needed columns are ever read.
+        ``collect()`` output is bit-identical to running the same chain
+        eagerly on :meth:`frame`.
+        """
+        return scan_shards(self.store_directory)
+
     def write_csv(self, path: str | os.PathLike) -> int:
         """Stream the campaign rows to a CSV file, one shard at a time.
 
@@ -308,6 +324,45 @@ def _load_shard_frame(store: ArtifactStore, key: str) -> Frame | None:
     if arrays is None:
         return None
     return frame_from_arrays(payload["columns"], arrays)
+
+
+def scan_shards(store_dir: str | os.PathLike) -> "LazyFrame":
+    """A lazy plan over every completed shard artifact under ``store_dir``.
+
+    Reads the shard ledger (not the artifacts), builds one pushdown-capable
+    ``.npz`` scan per non-empty shard in shard-index order, and concatenates
+    them lazily — so ``scan_shards(d).filter(col("power_100") > 100).collect()``
+    streams each shard's sidecar chunk-wise, reading only the predicate and
+    output columns, and never holds more than one chunk plus the survivors.
+    Collecting with no plan steps is bit-identical to
+    :meth:`StreamingCampaignResult.frame`.
+    """
+    from ..frame.plan import LazyFrame, concat_lazy, scan_npz
+
+    store = CampaignStore(store_dir)
+    store.load_spec()  # a missing/foreign directory errors, not an empty plan
+    shard_store = store.shard_store
+    scans: list[LazyFrame] = []
+    entries = store.shard_entries()
+    for index in sorted(entries):
+        entry = entries[index]
+        if entry.get("n_rows", 0) == 0:
+            continue
+        artifact_key = entry.get("artifact")
+        payload = shard_store.get(artifact_key) if isinstance(artifact_key, str) else None
+        if payload is None:
+            raise CampaignError(
+                f"shard {index} artifact is missing from {os.fspath(store_dir)}; "
+                "re-run the campaign"
+            )
+        sidecar = shard_store.sidecar_path(artifact_key)
+        if not sidecar.exists():
+            raise CampaignError(
+                f"shard {index} columnar sidecar is missing from "
+                f"{os.fspath(store_dir)}; re-run the campaign"
+            )
+        scans.append(scan_npz(sidecar, payload["columns"], label=f"shard{index}"))
+    return concat_lazy(scans)
 
 
 def _flush_shard(

@@ -27,6 +27,10 @@ Sub-commands mirror the stages of the paper's artifact:
   across lease-coordinated worker processes),
 * ``spectrends campaign worker --store store/`` — attach one more worker
   to a store another invocation is executing (or left unfinished),
+* ``spectrends campaign query --store store/ --where "watts > 250"`` —
+  filter/project a finished streaming store out of core: the lazy plan
+  engine pushes the predicate into each shard's columnar artifact and
+  reads only the bytes the answer needs,
 * ``spectrends serve --root svc/`` — long-running campaign service:
   submissions over a local socket, shared-cache dedup across clients,
   streaming progress events.
@@ -49,6 +53,64 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _where_literal(raw: str):
+    """A ``--where`` right-hand side as the value the column would hold."""
+    text = raw.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in {"'", '"'}:
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _parse_where(text: str):
+    """One ``--where`` clause (``column OP value``) as a plan predicate.
+
+    Supports the six comparison operators plus ``== null`` / ``!= null``
+    for missingness; unquoted values parse as bool/int/float when they
+    can, and as the literal string otherwise.
+    """
+    import re
+
+    from ..errors import CampaignError
+    from ..frame.plan import col
+
+    match = re.match(
+        r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(==|!=|<=|>=|<|>)\s*(.+?)\s*$", text
+    )
+    if not match:
+        raise CampaignError(
+            f"cannot parse --where {text!r}; expected 'column OP value' "
+            "with OP one of == != < <= > >"
+        )
+    name, op, raw = match.group(1), match.group(2), match.group(3)
+    column = col(name)
+    if raw.strip().lower() in {"null", "none"} and op in {"==", "!="}:
+        return column.isna() if op == "==" else column.notna()
+    value = _where_literal(raw)
+    import operator
+
+    ops = {
+        "==": operator.eq,
+        "!=": operator.ne,
+        "<": operator.lt,
+        "<=": operator.le,
+        ">": operator.gt,
+        ">=": operator.ge,
+    }
+    return ops[op](column, value)
 
 
 def _add_session_flags(parser: argparse.ArgumentParser) -> None:
@@ -200,6 +262,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "of the vectorized batch kernel")
     cstatus = csub.add_parser("status", help="report campaign progress")
     cstatus.add_argument("--store", required=True)
+    cquery = csub.add_parser(
+        "query", help="filter/project a streamed campaign store through the "
+                      "lazy plan engine, out of core (reads only the shard "
+                      "bytes the plan needs)"
+    )
+    cquery.add_argument("--store", required=True, help="campaign store directory")
+    cquery.add_argument("--where", action="append", default=None, metavar="EXPR",
+                        help='row predicate like "watts > 250" or '
+                             '"campaign_workload == ssj"; repeatable '
+                             "(predicates conjoin)")
+    cquery.add_argument("--columns", default=None,
+                        help="comma-separated output columns "
+                             "(default: every column)")
+    cquery.add_argument("--limit", type=_positive_int, default=None,
+                        help="stop after the first N matching rows")
+    cquery.add_argument("--csv", default=None,
+                        help="write matching rows to this file instead of stdout")
+    cquery.add_argument("--explain", action="store_true",
+                        help="print the optimized plan instead of executing it")
     cwatch = csub.add_parser(
         "watch", help="live per-shard progress, throughput and streaming "
                       "quantiles of a campaign store"
@@ -360,6 +441,29 @@ def _dispatch(session, args: argparse.Namespace) -> int:
                     lease_ttl=ttl,
                 )
                 print(f"worker {worker_id}: flushed {shards} shard(s)")
+                return 0
+            if args.campaign_command == "query":
+                from ..campaign import scan_shards
+                from ..frame.csvio import frame_to_csv_text
+
+                plan = scan_shards(args.store)
+                if args.where:
+                    for clause in args.where:
+                        plan = plan.filter(_parse_where(clause))
+                if args.columns:
+                    names = [c.strip() for c in args.columns.split(",") if c.strip()]
+                    plan = plan.select(names)
+                if args.limit is not None:
+                    plan = plan.head(args.limit)
+                if args.explain:
+                    print(plan.explain())
+                    return 0
+                frame = plan.collect()
+                if args.csv:
+                    frame.to_csv(args.csv)
+                    print(f"wrote {len(frame)} rows to {args.csv}")
+                else:
+                    sys.stdout.write(frame_to_csv_text(frame))
                 return 0
             if args.campaign_command == "run":
                 if args.store is None and args.workspace is None:

@@ -7,29 +7,51 @@ functionality the analysis needs:
 * :class:`Column` — a typed, missing-value-aware 1-D column,
 * :class:`Frame` — an ordered collection of equal-length columns with
   filtering, sorting, derived columns, group-by aggregation and joins,
-* :func:`read_csv` / :meth:`Frame.to_csv` — round-trippable CSV I/O.
+* :func:`read_csv` / :meth:`Frame.to_csv` — round-trippable CSV I/O,
+* :meth:`Frame.lazy` / :func:`col` — lazy expression-graph plans with
+  predicate pushdown, projection pruning and filter→groupby fusion
+  (:mod:`repro.frame.plan`),
+* :class:`MmapColumn` / :func:`open_frame_npz` — out-of-core columns
+  memory-mapped over persisted ``.npz`` artifacts
+  (:mod:`repro.frame.mmapio`).
 
 The implementation favours vectorised NumPy operations over per-row Python
 loops (see the project coding guides): filters are boolean masks, group-by
 uses ``np.argsort`` + ``np.unique`` boundaries, and joins are hash joins on
-key arrays.
+key arrays.  Three engine tiers share one semantics — the eager vector
+kernels, the scalar ``python`` oracle, and the ``lazy`` planner — held
+bit-identical by the Hypothesis equivalence suites.
 """
 
 from .column import Column
-from .codes import default_engine
+from .codes import default_engine, kernel_engine
 from .frame import Frame, concat
 from .groupby import GroupBy, Aggregation
 from .join import join
 from .csvio import read_csv, write_csv
+from .mmapio import SCAN_STATS, MmapColumn, NpzMap, open_frame_npz
+
+# plan imports frame/groupby/join, so it must come last.
+from .plan import LazyFrame, col, concat_lazy, lazy_frame, scan_npz
 
 __all__ = [
+    "Aggregation",
     "Column",
     "Frame",
     "GroupBy",
-    "Aggregation",
+    "LazyFrame",
+    "MmapColumn",
+    "NpzMap",
+    "SCAN_STATS",
+    "col",
     "concat",
+    "concat_lazy",
     "default_engine",
     "join",
+    "kernel_engine",
+    "lazy_frame",
+    "open_frame_npz",
     "read_csv",
+    "scan_npz",
     "write_csv",
 ]

@@ -35,12 +35,13 @@ __all__ = [
     "ENGINES",
     "default_engine",
     "resolve_engine",
+    "kernel_engine",
     "key_missing_mask",
     "group_codes",
     "join_codes",
 ]
 
-ENGINES = ("vector", "python")
+ENGINES = ("vector", "python", "lazy")
 
 #: Largest combined-code space the arithmetic key combiner may address before
 #: falling back to row-wise ``np.unique(axis=0)`` (keeps int64 overflow-free).
@@ -51,7 +52,10 @@ def default_engine() -> str:
     """The frame kernel engine used when none is requested explicitly.
 
     ``REPRO_FRAME_ENGINE=python`` switches the whole process to the scalar
-    reference path (useful to bisect a suspected kernel bug in the field).
+    reference path (useful to bisect a suspected kernel bug in the field);
+    ``REPRO_FRAME_ENGINE=lazy`` routes eager calls through the vector
+    kernels while :meth:`LazyFrame.collect` additionally runs the plan
+    optimizer (pushdown, pruning, filter→groupby fusion).
     """
     return os.environ.get("REPRO_FRAME_ENGINE", "vector")
 
@@ -63,6 +67,17 @@ def resolve_engine(engine: str | None) -> str:
             f"unknown frame engine {resolved!r}; expected one of {ENGINES}"
         )
     return resolved
+
+
+def kernel_engine(engine: str | None) -> str:
+    """The *kernel* an engine name lowers to: ``"vector"`` or ``"python"``.
+
+    ``"lazy"`` is a planning tier, not a third kernel — its plans execute
+    on the vector kernels (with extra plan-level rewrites), so group-by
+    and join normalize through this helper before dispatching.
+    """
+    resolved = resolve_engine(engine)
+    return "vector" if resolved == "lazy" else resolved
 
 
 def key_missing_mask(column) -> np.ndarray:

@@ -192,15 +192,65 @@ class Column:
 
     @property
     def nbytes(self) -> int:
-        """Bytes held by this column (backing array + validity mask).
+        """Bytes this column addresses (resident heap + mapped file bytes).
 
         Numeric kinds report the NumPy buffer sizes.  String columns hold
         Python objects, so the object array's pointer buffer is counted plus
         the UTF-8 payload of each distinct string (interned duplicates are
-        counted once, mirroring how CPython actually stores them).
+        counted once, mirroring how CPython actually stores them).  For
+        mmap-backed columns this is the *addressable* total; see
+        :attr:`resident_nbytes` / :attr:`mapped_nbytes` for the honest
+        split between heap allocations and reclaimable file mappings.
         """
-        total = self._values.nbytes + self._mask.nbytes
-        if self._kind == "str":
+        return self.resident_nbytes + self.mapped_nbytes
+
+    @property
+    def is_mapped(self) -> bool:
+        """True when any backing buffer is a memory-mapped file view."""
+        return isinstance(self._values, np.memmap) or isinstance(self._mask, np.memmap)
+
+    @property
+    def mapped_nbytes(self) -> int:
+        """Bytes backed by memory-mapped files (reclaimable, not heap RSS).
+
+        Pages of these buffers fault in on access and can be dropped by
+        the OS under pressure, so counting them as resident would overstate
+        an out-of-core frame's footprint by orders of magnitude.  Validity
+        masks are included when they too are mapped.
+        """
+        total = 0
+        if isinstance(self._values, np.memmap):
+            total += self._values.nbytes
+        if isinstance(self._mask, np.memmap):
+            total += self._mask.nbytes
+        return total
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Heap bytes this column actually holds (torcharrow-style deep).
+
+        Equals :meth:`memory_usage` with ``deep=True``: heap-allocated
+        buffers plus the deduplicated UTF-8 payload of string columns.
+        Memory-mapped buffers are excluded — they live in the page cache,
+        not this process's heap (see :attr:`mapped_nbytes`).
+        """
+        return self.memory_usage(deep=True)
+
+    def memory_usage(self, deep: bool = False) -> int:
+        """Resident bytes: backing buffers, plus string payload when ``deep``.
+
+        ``deep=False`` counts the heap-allocated NumPy buffers only (for a
+        string column that is the pointer buffer).  ``deep=True`` adds the
+        UTF-8 payload of each distinct string, the honest per-column cost.
+        Mapped buffers are never counted here — report them via
+        :attr:`mapped_nbytes` instead of pretending the file is heap.
+        """
+        total = 0
+        if not isinstance(self._values, np.memmap):
+            total += self._values.nbytes
+        if not isinstance(self._mask, np.memmap):
+            total += self._mask.nbytes
+        if deep and self._kind == "str":
             seen: set[int] = set()
             for value in self._values:
                 if value is None or id(value) in seen:

@@ -88,19 +88,28 @@ class Frame:
         """Total bytes held by all columns (see :attr:`Column.nbytes`)."""
         return sum(column.nbytes for column in self._columns.values())
 
-    def memory_usage(self) -> "Frame":
+    def memory_usage(self, deep: bool = False) -> "Frame":
         """Per-column byte accounting as a frame.
 
         One row per column with its logical kind and byte count, ordered by
         descending size, so the heaviest columns of a large aggregation (a
-        campaign frame, say) surface first.
+        campaign frame, say) surface first.  ``deep=True`` adds the honest
+        split for out-of-core frames: ``resident`` (heap bytes actually
+        held, string payloads included) and ``mapped`` (memory-mapped file
+        bytes, reclaimable by the OS) — ``nbytes`` is always their sum.
         """
-        records = [
-            {"column": name, "kind": column.kind, "nbytes": column.nbytes}
-            for name, column in self._columns.items()
-        ]
+        names = ["column", "kind", "nbytes"]
+        if deep:
+            names += ["resident", "mapped"]
+        records = []
+        for name, column in self._columns.items():
+            record = {"column": name, "kind": column.kind, "nbytes": column.nbytes}
+            if deep:
+                record["resident"] = column.resident_nbytes
+                record["mapped"] = column.mapped_nbytes
+            records.append(record)
         records.sort(key=lambda r: (-r["nbytes"], r["column"]))
-        return Frame.from_records(records, columns=["column", "kind", "nbytes"])
+        return Frame.from_records(records, columns=names)
 
     def __len__(self) -> int:
         return self._length
@@ -280,6 +289,22 @@ class Frame:
         for name in names:
             keep &= self[name].notna()
         return self.filter(keep)
+
+    # ------------------------------------------------------------------ #
+    # Lazy plans (implemented in plan/)
+    # ------------------------------------------------------------------ #
+    def lazy(self) -> "LazyFrame":
+        """Wrap this frame in a lazy plan; see :class:`repro.frame.plan.LazyFrame`.
+
+        Chained ``filter``/``select``/``groupby``/``join``/``sort_by``
+        calls build a logical plan instead of materializing intermediates;
+        ``collect()`` optimizes (predicate pushdown, projection pruning,
+        filter→groupby fusion) and executes on the eager kernels, with
+        output bit-identical to the equivalent eager chain.
+        """
+        from .plan import lazy_frame
+
+        return lazy_frame(self)
 
     # ------------------------------------------------------------------ #
     # Aggregation entry points (implemented in groupby.py / join.py)

@@ -33,7 +33,7 @@ import numpy as np
 
 from ..errors import GroupByError
 from .column import Column
-from .codes import group_codes, key_missing_mask, resolve_engine
+from .codes import group_codes, kernel_engine, key_missing_mask
 from .frame import Frame
 
 __all__ = ["GroupBy", "Aggregation", "AGGREGATIONS"]
@@ -158,7 +158,13 @@ class GroupBy:
     kernel (``"vector"`` / ``"python"``; ``None`` uses the process default).
     """
 
-    def __init__(self, frame: Frame, keys: Sequence[str], engine: str | None = None):
+    def __init__(
+        self,
+        frame: Frame,
+        keys: Sequence[str],
+        engine: str | None = None,
+        _codes: np.ndarray | None = None,
+    ):
         if not keys:
             raise GroupByError("at least one grouping key is required")
         missing = [key for key in keys if key not in frame]
@@ -166,7 +172,13 @@ class GroupBy:
             raise GroupByError(f"unknown grouping columns: {missing}")
         self._frame = frame
         self._keys = list(keys)
-        self._engine = resolve_engine(engine)
+        self._engine = kernel_engine(engine)
+        # Precomputed row codes for the key columns (plan-executor fusion
+        # hands in codes factorized once on the unfiltered frame and subset
+        # by the selection mask).  Any assignment with equal key ⇔ equal
+        # code yields the identical grouping: segments come from a stable
+        # argsort and group order from first appearance, not code values.
+        self._injected_codes = _codes
         self._group_keys: list[tuple] = []
         self._group_indices: list[np.ndarray] = []
         # Segment layout of the vector engine (None on the python path):
@@ -206,7 +218,15 @@ class GroupBy:
 
     def _build_vector(self) -> None:
         key_columns = self._key_columns()
-        codes = group_codes(key_columns)
+        if self._injected_codes is not None:
+            codes = np.asarray(self._injected_codes, dtype=np.int64)
+            if len(codes) != len(self._frame):
+                raise GroupByError(
+                    f"injected code array length {len(codes)} != frame "
+                    f"length {len(self._frame)}"
+                )
+        else:
+            codes = group_codes(key_columns)
         order = np.argsort(codes, kind="stable")
         if len(codes) == 0:
             self._order = order

@@ -31,7 +31,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import JoinError
-from .codes import join_codes, key_missing_mask, resolve_engine
+from .codes import join_codes, kernel_engine, key_missing_mask
 from .column import Column
 from .frame import Frame
 
@@ -87,7 +87,7 @@ def join(
         if key not in right:
             raise JoinError(f"join key {key!r} missing from right frame")
 
-    if resolve_engine(engine) == "python":
+    if kernel_engine(engine) == "python":
         return _join_python(left, right, on, how)
     codes = join_codes([left[key] for key in on], [right[key] for key in on])
     if codes is None:

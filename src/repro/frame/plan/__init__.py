@@ -1,0 +1,57 @@
+"""Lazy query plans over :mod:`repro.frame` — the v3 frame engine tier.
+
+``Frame.lazy()`` (or :func:`scan_npz` over a persisted columnar artifact)
+builds a logical plan instead of computing; ``collect()`` optimizes the
+plan — predicate pushdown into artifact loading, projection pruning,
+filter→groupby fusion reusing memoized key codes — and lowers it onto
+the same eager kernels the direct API uses, so lazy results are
+bit-identical to their eager equivalents on every engine.
+
+See :mod:`.expr` (predicates), :mod:`.nodes` (the plan algebra),
+:mod:`.optimizer` (rewrites + soundness arguments) and :mod:`.executor`
+(lowering + the out-of-core streamed scan).
+"""
+
+from .expr import ColExpr, Expr, col
+from .lazyframe import LazyFrame, LazyGroupBy, concat_lazy, lazy_frame, scan_npz
+from .nodes import (
+    Concat,
+    Filter,
+    FrameSource,
+    GroupByNode,
+    JoinNode,
+    Limit,
+    NpzSource,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    output_columns,
+)
+from .optimizer import optimize, prune_projections, push_filters
+
+__all__ = [
+    "ColExpr",
+    "Concat",
+    "Expr",
+    "Filter",
+    "FrameSource",
+    "GroupByNode",
+    "JoinNode",
+    "LazyFrame",
+    "LazyGroupBy",
+    "Limit",
+    "NpzSource",
+    "PlanNode",
+    "Project",
+    "Scan",
+    "Sort",
+    "col",
+    "concat_lazy",
+    "lazy_frame",
+    "optimize",
+    "output_columns",
+    "prune_projections",
+    "push_filters",
+    "scan_npz",
+]

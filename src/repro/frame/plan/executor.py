@@ -1,0 +1,272 @@
+"""Lower a logical plan onto the eager frame kernels.
+
+The executor is deliberately thin: every relational operator becomes the
+corresponding eager :class:`~repro.frame.Frame` call (``filter`` /
+``select`` / ``groupby`` / ``join`` / ``sort_by`` / ``head``), so a lazy
+plan's output is *defined* to be what the eager chain produces — the
+bit-identity contract falls out of sharing the code, not of re-proving
+arithmetic.  Two places add machinery of their own:
+
+**Out-of-core scans.**  A :class:`NpzSource` scan never loads the
+artifact wholesale.  With a pushed-down predicate it streams the
+predicate columns through fixed-size row chunks (building the full
+selection mask at one bool per row), then gathers only the output
+columns — and only for chunks that contain selected rows.  Bytes fetched
+this way are counted in :data:`repro.frame.mmapio.SCAN_STATS`, which is
+how the pushdown acceptance tests measure "reads less".
+
+**Filter→groupby fusion.**  When a group-by sits directly on an
+in-memory scan with a pushed-down predicate (the shape the optimizer
+produces for ``frame.lazy().filter(p).groupby(k).agg(...)``), the
+factorization pass runs on the *unfiltered* key columns — hitting the
+``Column._codes_memo`` the frame may already carry — and the codes are
+subset by the selection mask.  Equal value ⇔ equal code survives
+subsetting, and the group-by's stable argsort derives group order from
+first appearance, not code values, so the fused result is bit-identical
+to factorizing the filtered frame from scratch (the equivalence suite
+pins this).  Fusion only fires on the vector kernel; the python oracle
+takes the unfused path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ...errors import FrameError
+from ..column import Column
+from ..frame import Frame, concat
+from ..groupby import GroupBy
+from ..join import join
+from ..mmapio import NpzMap, iter_chunk_bounds
+from .nodes import (
+    Concat,
+    Filter,
+    FrameSource,
+    GroupByNode,
+    JoinNode,
+    Limit,
+    NpzSource,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+)
+
+__all__ = ["execute", "scan_chunk_rows"]
+
+#: Default number of rows per streamed scan chunk.  At eight bytes per
+#: numeric cell a chunk of a 10-column artifact is ~5 MiB resident.
+_DEFAULT_CHUNK_ROWS = 65536
+
+
+def scan_chunk_rows() -> int:
+    """Rows per chunk for streamed ``.npz`` scans.
+
+    ``REPRO_SCAN_CHUNK_ROWS`` overrides the default — the out-of-core
+    benchmarks pin it to keep the RSS budget deterministic.
+    """
+    raw = os.environ.get("REPRO_SCAN_CHUNK_ROWS", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return _DEFAULT_CHUNK_ROWS
+    return value if value > 0 else _DEFAULT_CHUNK_ROWS
+
+
+def execute(node: PlanNode, kernel: str) -> Frame:
+    """Execute a plan with the given kernel engine (``vector``/``python``)."""
+    if isinstance(node, Scan):
+        return _execute_scan(node)
+    if isinstance(node, Filter):
+        frame = execute(node.child, kernel)
+        return frame.filter(node.predicate.evaluate(frame))
+    if isinstance(node, Project):
+        return execute(node.child, kernel).select(list(node.columns))
+    if isinstance(node, GroupByNode):
+        return _execute_groupby(node, kernel)
+    if isinstance(node, JoinNode):
+        return join(
+            execute(node.left, kernel),
+            execute(node.right, kernel),
+            on=list(node.on),
+            how=node.how,
+            engine=kernel,
+        )
+    if isinstance(node, Sort):
+        return execute(node.child, kernel).sort_by(
+            list(node.keys), descending=list(node.descending)
+        )
+    if isinstance(node, Limit):
+        return execute(node.child, kernel).head(node.n)
+    if isinstance(node, Concat):
+        return concat([execute(child, kernel) for child in node.children])
+    raise FrameError(f"unknown plan node type {type(node).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# Scans
+# --------------------------------------------------------------------------- #
+def _execute_scan(node: Scan) -> Frame:
+    if isinstance(node.source, FrameSource):
+        frame = node.source.frame
+        if node.predicate is not None:
+            frame = frame.filter(node.predicate.evaluate(frame))
+        if node.columns is not None:
+            frame = frame.select(list(node.columns))
+        return frame
+    if isinstance(node.source, NpzSource):
+        return _scan_npz(node.source, node.columns, node.predicate)
+    raise FrameError(f"unknown scan source type {type(node.source).__name__}")
+
+
+def _execute_groupby(node: GroupByNode, kernel: str) -> Frame:
+    spec = {out: agg for out, agg in node.aggs}
+    child = node.child
+    if (
+        kernel == "vector"
+        and isinstance(child, Scan)
+        and isinstance(child.source, FrameSource)
+        and child.predicate is not None
+    ):
+        # Fusion: factorize the unfiltered keys once (memo-friendly),
+        # subset the codes by the selection mask.
+        source = child.source.frame
+        selection = np.asarray(child.predicate.evaluate(source), dtype=bool)
+        codes = None
+        if len(node.keys) and all(key in source for key in node.keys):
+            from ..codes import group_codes
+
+            codes = group_codes([source[key] for key in node.keys])[selection]
+        frame = source.filter(selection)
+        if child.columns is not None:
+            frame = frame.select(list(child.columns))
+        grouped = GroupBy(frame, list(node.keys), engine="vector", _codes=codes)
+        return grouped.agg(spec)
+    frame = execute(child, kernel)
+    return frame.groupby(list(node.keys), engine=kernel).agg(spec)
+
+
+# --------------------------------------------------------------------------- #
+# Out-of-core .npz scan
+# --------------------------------------------------------------------------- #
+class _ColumnLocator:
+    """Where each column of a columnar artifact lives inside the archive."""
+
+    def __init__(self, meta):
+        self.specs: dict[str, dict] = {}
+        positions = {"float": 0, "int": 0, "bool": 0, "str": 0}
+        for index, spec in enumerate(meta):
+            kind = str(spec["kind"])
+            if kind not in positions:
+                raise FrameError(f"unknown column kind {kind!r} in artifact meta")
+            row = positions[kind]
+            positions[kind] += 1
+            self.specs[str(spec["name"])] = {
+                "kind": kind,
+                "mask_row": index,
+                "member": f"str{row}" if kind == "str" else kind,
+                "member_row": 0 if kind == "str" else row,
+                "padded": bool(spec.get("padded")),
+            }
+
+    def names(self) -> list[str]:
+        return list(self.specs)
+
+    def __getitem__(self, name: str) -> dict:
+        try:
+            return self.specs[name]
+        except KeyError:
+            raise FrameError(
+                f"no column named {name!r}; have {list(self.specs)}"
+            ) from None
+
+
+def _read_chunk_column(
+    npz: NpzMap, locator: _ColumnLocator, name: str, start: int, stop: int
+) -> Column:
+    """One column's rows ``[start, stop)`` as a fresh heap column.
+
+    Replicates :func:`repro.session.columnar.frame_from_arrays` exactly
+    (dtype coercion, padded-string sentinel strip, ``None`` under the
+    mask) so that concatenated chunks equal the eagerly loaded frame.
+    """
+    spec = locator[name]
+    mask = npz.read_rows("masks", spec["mask_row"], start, stop).astype(
+        bool, copy=False
+    )
+    values = npz.read_rows(spec["member"], spec["member_row"], start, stop)
+    if spec["kind"] == "str":
+        restored = values.astype(object)
+        if spec["padded"]:
+            restored = np.array([cell[:-1] for cell in restored], dtype=object)
+        restored[mask] = None
+        return Column(restored, mask, "str")
+    return Column(values, mask, spec["kind"])
+
+
+def _scan_npz(source: NpzSource, columns, predicate) -> Frame:
+    npz = NpzMap(source.path)
+    locator = _ColumnLocator(source.meta)
+    out_names = list(columns) if columns is not None else locator.names()
+    for name in out_names:
+        locator[name]  # validate early, matching eager select() errors
+    n_rows = npz.member("masks").shape[1] if "masks" in npz else 0
+    chunk_rows = scan_chunk_rows()
+
+    if predicate is None:
+        parts = {name: [] for name in out_names}
+        for start, stop in iter_chunk_bounds(n_rows, chunk_rows):
+            for name in out_names:
+                parts[name].append(_read_chunk_column(npz, locator, name, start, stop))
+        return _assemble(parts, out_names, locator)
+
+    pred_names = sorted(predicate.columns())
+    for name in pred_names:
+        locator[name]
+    selected: list[np.ndarray] = []
+    bounds = list(iter_chunk_bounds(n_rows, chunk_rows))
+    # Pass 1: stream only the predicate columns, keep one bool per row.
+    for start, stop in bounds:
+        chunk = Frame(
+            {
+                name: _read_chunk_column(npz, locator, name, start, stop)
+                for name in pred_names
+            }
+        )
+        # An artifact chunk has the declared length even when no predicate
+        # column exists (empty predicate never happens: Expr always reads
+        # at least one column).
+        selected.append(np.asarray(predicate.evaluate(chunk), dtype=bool))
+    # Pass 2: gather output columns only for chunks with survivors.
+    parts = {name: [] for name in out_names}
+    for (start, stop), mask in zip(bounds, selected):
+        if not mask.any():
+            continue
+        for name in out_names:
+            column = _read_chunk_column(npz, locator, name, start, stop)
+            parts[name].append(column.filter(mask))
+    return _assemble(parts, out_names, locator)
+
+
+def _assemble(
+    parts: dict[str, list[Column]], out_names: list[str], locator: "_ColumnLocator"
+) -> Frame:
+    columns: dict[str, Column] = {}
+    for name in out_names:
+        chunks = parts[name]
+        if not chunks:
+            # No chunk survived the predicate (or the artifact is empty):
+            # an empty column of the kind the artifact meta declares.
+            columns[name] = Column.empty(locator[name]["kind"])
+            continue
+        if len(chunks) == 1:
+            columns[name] = chunks[0]
+        else:
+            columns[name] = Column(
+                np.concatenate([chunk.values for chunk in chunks]),
+                np.concatenate([chunk.mask for chunk in chunks]),
+                chunks[0].kind,
+            )
+    return Frame(columns)

@@ -1,0 +1,222 @@
+"""Predicate expressions for lazy frame plans.
+
+An :class:`Expr` is a row-wise boolean predicate over a frame: comparisons
+of a column against a scalar or another column, membership tests,
+missing-value tests, and ``&``/``|``/``~`` combinations.  ``col("name")``
+is the entry point::
+
+    lf.filter((col("watts") > 40.0) & col("vendor").isin(["a", "b"]))
+
+Evaluation delegates to the exact :class:`~repro.frame.column.Column`
+operations the eager path uses (``Column._compare``, ``isin``, ``isna``),
+so a lazy filter produces bit-for-bit the mask ``frame.filter(...)`` would
+— the equivalence suite leans on this.  Every expression is *row-wise
+pure*: its value at row ``i`` depends only on row ``i``.  The optimizer's
+rewrites (merging adjacent filters, pushing filters below projections and
+stable sorts, chunked evaluation during out-of-core scans) are sound
+precisely because of that property; any new expression type must preserve
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+from ...errors import FrameError
+from ..frame import Frame
+
+__all__ = ["Expr", "ColExpr", "col"]
+
+_OP_SYMBOLS = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+
+class Expr:
+    """Base class for row-wise boolean predicates."""
+
+    def columns(self) -> frozenset[str]:
+        """Names of every column the predicate reads."""
+        raise NotImplementedError
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        """The boolean row mask of this predicate over ``frame``."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return And(self, _require_expr(other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or(self, _require_expr(other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __bool__(self) -> bool:
+        raise FrameError(
+            "plan expressions cannot be used in boolean context; "
+            "combine predicates with & | ~ instead of and/or/not"
+        )
+
+
+def _require_expr(value: Any) -> "Expr":
+    if not isinstance(value, Expr):
+        raise FrameError(
+            f"expected a plan expression, got {type(value).__name__}; "
+            "build predicates from col(...)"
+        )
+    return value
+
+
+@dataclass(frozen=True, eq=False)
+class ColExpr:
+    """A reference to a column, awaiting a comparison to become a predicate."""
+
+    name: str
+
+    def __eq__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return Comparison(self.name, "eq", other)
+
+    def __ne__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return Comparison(self.name, "ne", other)
+
+    def __lt__(self, other: Any) -> "Expr":
+        return Comparison(self.name, "lt", other)
+
+    def __le__(self, other: Any) -> "Expr":
+        return Comparison(self.name, "le", other)
+
+    def __gt__(self, other: Any) -> "Expr":
+        return Comparison(self.name, "gt", other)
+
+    def __ge__(self, other: Any) -> "Expr":
+        return Comparison(self.name, "ge", other)
+
+    def __hash__(self) -> int:
+        return hash(("ColExpr", self.name))
+
+    def isin(self, values: Iterable[Any]) -> "Expr":
+        return IsIn(self.name, tuple(values))
+
+    def isna(self) -> "Expr":
+        return IsNa(self.name, negate=False)
+
+    def notna(self) -> "Expr":
+        return IsNa(self.name, negate=True)
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+def col(name: str) -> ColExpr:
+    """Reference a column by name inside a lazy plan."""
+    return ColExpr(str(name))
+
+
+@dataclass(frozen=True, eq=False)
+class Comparison(Expr):
+    """``column <op> operand`` where the operand is a scalar or a column.
+
+    Missing entries compare ``False`` on either side — the documented
+    :meth:`Column._compare` semantics, shared verbatim with eager filters.
+    """
+
+    column: str
+    op: str
+    operand: Any
+
+    def columns(self) -> frozenset[str]:
+        names = {self.column}
+        if isinstance(self.operand, ColExpr):
+            names.add(self.operand.name)
+        return frozenset(names)
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        operand = self.operand
+        if isinstance(operand, ColExpr):
+            operand = frame[operand.name]
+        return frame[self.column]._compare(operand, self.op)
+
+    def __repr__(self) -> str:
+        return f"(col({self.column!r}) {_OP_SYMBOLS[self.op]} {self.operand!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class IsIn(Expr):
+    """Membership test; missing entries are ``False``."""
+
+    column: str
+    values: tuple
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        return frame[self.column].isin(self.values)
+
+    def __repr__(self) -> str:
+        return f"col({self.column!r}).isin({list(self.values)!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class IsNa(Expr):
+    """Missing-value test (``negate=True`` keeps the non-missing rows)."""
+
+    column: str
+    negate: bool
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        column = frame[self.column]
+        return column.notna() if self.negate else column.isna()
+
+    def __repr__(self) -> str:
+        suffix = "notna" if self.negate else "isna"
+        return f"col({self.column!r}).{suffix}()"
+
+
+@dataclass(frozen=True, eq=False)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        return self.left.evaluate(frame) & self.right.evaluate(frame)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} & {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        return self.left.evaluate(frame) | self.right.evaluate(frame)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} | {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Expr):
+    operand: Expr
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns()
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        return ~self.operand.evaluate(frame)
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"

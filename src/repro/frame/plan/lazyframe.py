@@ -1,0 +1,216 @@
+"""The user-facing lazy frame: build a plan, optimize, collect.
+
+``Frame.lazy()`` returns a :class:`LazyFrame`; each method appends one
+logical node and returns a new lazy frame (plans are immutable and
+shareable, like everything else in :mod:`repro.frame`).  Nothing touches
+data until :meth:`LazyFrame.collect`, which optimizes the plan
+(predicate pushdown, projection pruning — :mod:`.optimizer`) and lowers
+it onto the eager kernels (:mod:`.executor`).  ``engine`` selects the
+kernels exactly like the eager API: ``"lazy"``/``"vector"`` run the
+vector kernels (with filter→groupby fusion), ``"python"`` runs the
+scalar oracle; ``None`` follows ``REPRO_FRAME_ENGINE``.
+
+``scan_npz`` opens a persisted columnar artifact as a lazy frame without
+loading it — with a filter in the plan, ``collect()`` streams the
+artifact and reads only the bytes the predicate and projection require.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping, Sequence
+
+from ...errors import FrameError, GroupByError
+from ..codes import kernel_engine
+from ..frame import Frame
+from ..groupby import GroupBy
+from .executor import execute
+from .expr import Expr
+from .nodes import (
+    Concat,
+    Filter,
+    FrameSource,
+    GroupByNode,
+    JoinNode,
+    Limit,
+    NpzSource,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    explain,
+    output_columns,
+)
+from .optimizer import optimize
+
+__all__ = ["LazyFrame", "LazyGroupBy", "lazy_frame", "scan_npz", "concat_lazy"]
+
+
+class LazyFrame:
+    """A deferred computation over one or more frame sources."""
+
+    def __init__(self, node: PlanNode):
+        self._node = node
+
+    # ------------------------------------------------------------------ #
+    @property
+    def node(self) -> PlanNode:
+        """The logical plan (immutable; shared between derived frames)."""
+        return self._node
+
+    @property
+    def columns(self) -> list[str]:
+        """Output column names of this plan, in order."""
+        return output_columns(self._node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"LazyFrame(columns={self.columns})"
+
+    # ------------------------------------------------------------------ #
+    # Plan building
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate: Expr) -> "LazyFrame":
+        """Keep rows where ``predicate`` holds (build with ``col(...)``)."""
+        if not isinstance(predicate, Expr):
+            raise FrameError(
+                "LazyFrame.filter takes a plan expression; build one with "
+                "col('name') comparisons"
+            )
+        return LazyFrame(Filter(self._node, predicate))
+
+    def select(self, names: Sequence[str]) -> "LazyFrame":
+        """Project onto a subset of columns (in the given order)."""
+        if isinstance(names, str):
+            names = [names]
+        return LazyFrame(Project(self._node, tuple(str(n) for n in names)))
+
+    def groupby(self, keys: Sequence[str] | str) -> "LazyGroupBy":
+        """Group by key columns; call ``.agg(spec)`` to finish the plan."""
+        if isinstance(keys, str):
+            keys = [keys]
+        keys = tuple(str(k) for k in keys)
+        if not keys:
+            raise GroupByError("at least one grouping key is required")
+        return LazyGroupBy(self._node, keys)
+
+    def join(
+        self,
+        other: "LazyFrame | Frame",
+        on: Sequence[str] | str,
+        how: str = "inner",
+    ) -> "LazyFrame":
+        """Join against another lazy frame (or an eager frame)."""
+        if isinstance(other, Frame):
+            other = other.lazy()
+        if not isinstance(other, LazyFrame):
+            raise FrameError(
+                f"cannot join LazyFrame with {type(other).__name__}"
+            )
+        if isinstance(on, str):
+            on = [on]
+        return LazyFrame(
+            JoinNode(self._node, other._node, tuple(str(k) for k in on), how)
+        )
+
+    def sort_by(
+        self,
+        names: Sequence[str] | str,
+        descending: bool | Sequence[bool] = False,
+    ) -> "LazyFrame":
+        """Stable sort by one or more columns (missing values last)."""
+        if isinstance(names, str):
+            names = [names]
+        names = tuple(str(n) for n in names)
+        if isinstance(descending, bool):
+            descending = (descending,) * len(names)
+        else:
+            descending = tuple(bool(d) for d in descending)
+        if len(descending) != len(names):
+            raise FrameError("descending must match the number of sort keys")
+        return LazyFrame(Sort(self._node, names, descending))
+
+    def head(self, n: int = 5) -> "LazyFrame":
+        return LazyFrame(Limit(self._node, int(n)))
+
+    def limit(self, n: int) -> "LazyFrame":
+        """Alias for :meth:`head` that reads better in query chains."""
+        return self.head(n)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def collect(self, engine: str | None = None) -> Frame:
+        """Optimize and execute the plan, returning an eager frame.
+
+        The result is bit-identical to running the same chain of eager
+        calls — the optimizer only applies rewrites with that property
+        and the executor lowers onto the eager kernels themselves.
+        """
+        kernel = kernel_engine(engine)
+        return execute(optimize(self._node), kernel)
+
+    def explain(self, optimized: bool = True) -> str:
+        """The plan as indented text (after optimization by default)."""
+        node = optimize(self._node) if optimized else self._node
+        return explain(node)
+
+
+class LazyGroupBy:
+    """An unfinished group-by: holds keys until ``agg`` supplies outputs."""
+
+    def __init__(self, node: PlanNode, keys: tuple[str, ...]):
+        self._node = node
+        self._keys = keys
+
+    def agg(self, spec: Mapping[str, Any]) -> LazyFrame:
+        """Aggregate each group; accepts the same spec as ``GroupBy.agg``."""
+        normalised = GroupBy._normalise_spec(spec)
+        aggs = tuple(normalised.items())
+        return LazyFrame(GroupByNode(self._node, self._keys, aggs))
+
+    def size(self) -> LazyFrame:
+        """Group sizes as a frame with the key columns plus ``count``."""
+        from ..groupby import Aggregation
+
+        return LazyFrame(
+            GroupByNode(
+                self._node,
+                self._keys,
+                (("count", Aggregation(self._keys[0], "size")),),
+            )
+        )
+
+
+def lazy_frame(frame: Frame) -> LazyFrame:
+    """Wrap an in-memory frame in a lazy plan (``Frame.lazy`` delegates here)."""
+    return LazyFrame(Scan(FrameSource(frame)))
+
+
+def scan_npz(
+    path: str | os.PathLike,
+    meta: Sequence[Mapping[str, Any]],
+    label: str = "",
+) -> LazyFrame:
+    """Open a persisted columnar ``.npz`` artifact as a lazy frame.
+
+    ``meta`` is the JSON-side column list stored alongside the artifact
+    (name + kind per column).  Nothing is read until ``collect()``; with
+    a filter in the plan the scan streams row chunks and reads only the
+    predicate columns plus the matching ranges of the output columns.
+    """
+    source = NpzSource(str(path), tuple(dict(spec) for spec in meta), label=label)
+    return LazyFrame(Scan(source))
+
+
+def concat_lazy(frames: Sequence[LazyFrame]) -> LazyFrame:
+    """Vertically concatenate lazy frames (shard scans, typically).
+
+    Filters pushed onto the concatenation distribute over every input, so
+    a filtered multi-shard scan streams each shard independently.
+    """
+    frames = list(frames)
+    if not frames:
+        return lazy_frame(Frame())
+    if len(frames) == 1:
+        return frames[0]
+    return LazyFrame(Concat(tuple(frame.node for frame in frames)))

@@ -1,0 +1,268 @@
+"""Logical plan nodes for lazy frames.
+
+A plan is a small immutable tree: a :class:`Scan` leaf naming where rows
+come from (an in-memory frame, or a persisted columnar ``.npz`` artifact)
+under zero or more relational operators (:class:`Filter`,
+:class:`Project`, :class:`GroupByNode`, :class:`JoinNode`, :class:`Sort`,
+:class:`Limit`, :class:`Concat`).  Nodes carry *what* to compute, never
+*how* — the optimizer rewrites the tree (:mod:`.optimizer`) and the
+executor lowers it onto the eager frame kernels (:mod:`.executor`).
+
+``output_columns`` computes each node's output schema by name.  The join
+schema intentionally reuses the eager join's collision rule (right-hand
+value columns that clash with a *left* column gain a ``_right`` suffix) so
+a plan's schema always matches what ``collect()`` produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ...errors import FrameError
+from ..frame import Frame
+from ..groupby import Aggregation
+from .expr import Expr
+
+__all__ = [
+    "Concat",
+    "Filter",
+    "FrameSource",
+    "GroupByNode",
+    "JoinNode",
+    "Limit",
+    "NpzSource",
+    "PlanNode",
+    "Project",
+    "Scan",
+    "Sort",
+    "join_output_columns",
+    "output_columns",
+    "output_schema",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Scan sources
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True, eq=False)
+class FrameSource:
+    """Rows come from an in-memory frame (the ``Frame.lazy()`` entry point)."""
+
+    frame: Frame
+
+    def column_names(self) -> list[str]:
+        return self.frame.columns
+
+    def column_kinds(self) -> dict[str, str]:
+        return {name: self.frame[name].kind for name in self.frame.columns}
+
+    def describe(self) -> str:
+        return f"frame[{len(self.frame)} rows x {len(self.frame.columns)} cols]"
+
+
+@dataclass(frozen=True, eq=False)
+class NpzSource:
+    """Rows come from a persisted columnar ``.npz`` artifact.
+
+    ``meta`` is the JSON-side column list the artifact was written with
+    (:func:`repro.session.columnar.frame_to_arrays`); it fully determines
+    the member layout, so a scan touches only the bytes it needs.
+    ``label`` is a human-readable tag for ``explain()`` output (a shard
+    index, a dataset key prefix).
+    """
+
+    path: str
+    meta: tuple[Mapping[str, Any], ...]
+    label: str = ""
+
+    def column_names(self) -> list[str]:
+        return [str(spec["name"]) for spec in self.meta]
+
+    def column_kinds(self) -> dict[str, str]:
+        return {str(spec["name"]): str(spec["kind"]) for spec in self.meta}
+
+    def describe(self) -> str:
+        tag = self.label or self.path
+        return f"npz[{tag}, {len(self.meta)} cols]"
+
+
+# --------------------------------------------------------------------------- #
+# Plan nodes
+# --------------------------------------------------------------------------- #
+class PlanNode:
+    """Base class for logical plan nodes (immutable by convention)."""
+
+
+@dataclass(frozen=True, eq=False)
+class Scan(PlanNode):
+    """Load rows from a source.
+
+    ``columns`` restricts the *output* schema (``None`` means all, in
+    source order); ``predicate`` filters rows during the load.  Both are
+    written by the optimizer — predicate columns need not appear in
+    ``columns``, the executor reads them for evaluation only.
+    """
+
+    source: FrameSource | NpzSource
+    columns: tuple[str, ...] | None = None
+    predicate: Expr | None = None
+
+
+@dataclass(frozen=True, eq=False)
+class Filter(PlanNode):
+    child: PlanNode
+    predicate: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Project(PlanNode):
+    child: PlanNode
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True, eq=False)
+class GroupByNode(PlanNode):
+    """Group by ``keys`` and aggregate; ``aggs`` maps output name → spec."""
+
+    child: PlanNode
+    keys: tuple[str, ...]
+    aggs: tuple[tuple[str, Aggregation], ...]
+
+
+@dataclass(frozen=True, eq=False)
+class JoinNode(PlanNode):
+    left: PlanNode
+    right: PlanNode
+    on: tuple[str, ...]
+    how: str = "inner"
+
+
+@dataclass(frozen=True, eq=False)
+class Sort(PlanNode):
+    child: PlanNode
+    keys: tuple[str, ...]
+    descending: tuple[bool, ...]
+
+
+@dataclass(frozen=True, eq=False)
+class Limit(PlanNode):
+    child: PlanNode
+    n: int
+
+
+@dataclass(frozen=True, eq=False)
+class Concat(PlanNode):
+    """Vertical concatenation of children, in order (shard scans)."""
+
+    children: tuple[PlanNode, ...]
+
+
+# --------------------------------------------------------------------------- #
+# Schema computation
+# --------------------------------------------------------------------------- #
+def join_output_columns(
+    left_columns: Sequence[str], right_columns: Sequence[str], on: Sequence[str]
+) -> list[str]:
+    """Output schema of a join, mirroring the eager ``_output_layout`` rule."""
+    left_columns = list(left_columns)
+    right_value = [name for name in right_columns if name not in on]
+    renamed = [
+        f"{name}_right" if name in left_columns else name for name in right_value
+    ]
+    return left_columns + renamed
+
+
+def output_columns(node: PlanNode) -> list[str]:
+    """The output column names of ``node``, in order."""
+    if isinstance(node, Scan):
+        names = node.source.column_names()
+        if node.columns is not None:
+            names = [name for name in node.columns]
+        return names
+    if isinstance(node, (Filter, Sort, Limit)):
+        return output_columns(node.child)
+    if isinstance(node, Project):
+        return list(node.columns)
+    if isinstance(node, GroupByNode):
+        return list(node.keys) + [out for out, _ in node.aggs]
+    if isinstance(node, JoinNode):
+        return join_output_columns(
+            output_columns(node.left), output_columns(node.right), node.on
+        )
+    if isinstance(node, Concat):
+        names: dict[str, None] = {}
+        for child in node.children:
+            for name in output_columns(child):
+                names.setdefault(name, None)
+        return list(names)
+    raise FrameError(f"unknown plan node type {type(node).__name__}")
+
+
+def output_schema(node: PlanNode) -> dict[str, str] | None:
+    """``name → kind`` of ``node``'s output when statically known.
+
+    Sources declare their kinds (a frame carries them, artifact meta
+    records them); filters, sorts and limits pass them through; a
+    projection narrows them.  Aggregations, joins and concatenations can
+    *change* kinds (eager ``concat`` re-infers a column's kind when its
+    inputs disagree), so they return ``None`` — the optimizer only
+    applies schema-sensitive rewrites where the schema is provable.
+    """
+    if isinstance(node, Scan):
+        kinds = node.source.column_kinds()
+        names = node.columns if node.columns is not None else kinds
+        return {name: kinds[name] for name in names if name in kinds}
+    if isinstance(node, (Filter, Sort, Limit)):
+        return output_schema(node.child)
+    if isinstance(node, Project):
+        child = output_schema(node.child)
+        if child is None or any(name not in child for name in node.columns):
+            return None
+        return {name: child[name] for name in node.columns}
+    return None
+
+
+def explain(node: PlanNode, indent: int = 0) -> str:
+    """Render a plan tree as indented text (one node per line)."""
+    pad = "  " * indent
+    if isinstance(node, Scan):
+        parts = [node.source.describe()]
+        if node.columns is not None:
+            parts.append(f"columns={list(node.columns)}")
+        if node.predicate is not None:
+            parts.append(f"pushdown={node.predicate!r}")
+        return f"{pad}Scan[{', '.join(parts)}]"
+    if isinstance(node, Filter):
+        return f"{pad}Filter[{node.predicate!r}]\n" + explain(node.child, indent + 1)
+    if isinstance(node, Project):
+        return f"{pad}Project[{list(node.columns)}]\n" + explain(node.child, indent + 1)
+    if isinstance(node, GroupByNode):
+        aggs = {out: (agg.source, agg.func) for out, agg in node.aggs}
+        fused = ""
+        if (
+            isinstance(node.child, Scan)
+            and node.child.predicate is not None
+            and isinstance(node.child.source, FrameSource)
+        ):
+            fused = ", fused=filter->groupby"
+        return f"{pad}GroupBy[keys={list(node.keys)}, aggs={aggs}{fused}]\n" + explain(
+            node.child, indent + 1
+        )
+    if isinstance(node, JoinNode):
+        return (
+            f"{pad}Join[on={list(node.on)}, how={node.how}]\n"
+            + explain(node.left, indent + 1)
+            + "\n"
+            + explain(node.right, indent + 1)
+        )
+    if isinstance(node, Sort):
+        return f"{pad}Sort[keys={list(node.keys)}, descending={list(node.descending)}]\n" + explain(
+            node.child, indent + 1
+        )
+    if isinstance(node, Limit):
+        return f"{pad}Limit[{node.n}]\n" + explain(node.child, indent + 1)
+    if isinstance(node, Concat):
+        rendered = "\n".join(explain(child, indent + 1) for child in node.children)
+        return f"{pad}Concat[{len(node.children)} inputs]\n" + rendered
+    raise FrameError(f"unknown plan node type {type(node).__name__}")

@@ -1,0 +1,200 @@
+"""Logical plan rewrites: predicate pushdown + projection pruning.
+
+Every rewrite here preserves the plan's output *bit for bit* — the
+Hypothesis plan suite holds ``collect()`` to identity with the eager
+pipeline it mirrors, so each rule must argue its soundness:
+
+**Filter merging** — ``Filter(Filter(c, p), q) → Filter(c, p & q)``.
+Predicates are row-wise pure (see :mod:`.expr`), so evaluating ``q`` on
+the unfiltered rows and intersecting masks selects exactly the rows that
+survive both sequential filters, in the same order.
+
+**Filter below Project** — only when the predicate reads a subset of the
+projected columns.  A predicate that reads a column the projection drops
+must *keep* failing at collect time exactly as the eager chain would, so
+it is left in place.
+
+**Filter below Sort** — sorts are stable and predicates row-wise, so
+filter-then-stable-sort equals stable-sort-then-filter (a stable sort of
+a subsequence is the subsequence of the stable sort).
+
+**Filter over Concat** — a row-wise predicate distributes to each input,
+but only when every input provably produces the *same schema* (names and
+kinds, via :func:`.nodes.output_schema`): eager ``concat`` re-infers a
+column's kind when its inputs disagree, and filtering before the union
+changes which values feed that inference.  Campaign shard scans — the
+case pushdown exists for — share one schema by construction.
+
+**Filter into Scan** — the scan applies the predicate while loading.
+For ``.npz`` sources this is the payoff: the executor reads only the
+predicate columns on the first pass and only the matching row ranges of
+the remaining columns on the second, which is what the instrumented
+byte counters measure.
+
+Filters never move below :class:`Limit` (``head`` then filter selects
+different rows than filter then ``head``) or below :class:`GroupByNode`
+(a post-aggregation filter reads aggregate columns).
+
+**Projection pruning** — a top-down pass narrows each :class:`Scan` to
+the columns the plan above it actually consumes.  ``needed=None`` means
+"everything" and is the state at the root, so plans whose output schema
+is the scan schema are never narrowed; :class:`Project` and
+:class:`GroupByNode` reset the needed set.  :class:`JoinNode` is a
+pruning barrier: the eager join's ``_right`` suffix rule depends on
+which *left* columns exist, so narrowing a join input could rename join
+outputs.
+"""
+
+from __future__ import annotations
+
+from ...errors import FrameError
+from .expr import And
+from .nodes import (
+    Concat,
+    Filter,
+    GroupByNode,
+    JoinNode,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    output_schema,
+)
+
+__all__ = ["optimize", "push_filters", "prune_projections"]
+
+
+def optimize(node: PlanNode) -> PlanNode:
+    """Apply all rewrites; the result collects bit-identically."""
+    return prune_projections(push_filters(node), needed=None)
+
+
+# --------------------------------------------------------------------------- #
+# Predicate pushdown
+# --------------------------------------------------------------------------- #
+def push_filters(node: PlanNode) -> PlanNode:
+    """Push every filter as close to its scan as soundness allows."""
+    node = _rebuild(node, push_filters)
+    if not isinstance(node, Filter):
+        return node
+    child = node.child
+    predicate = node.predicate
+    if isinstance(child, Filter):
+        # Sequential filters intersect; keep application order in the And.
+        return push_filters(Filter(child.child, And(child.predicate, predicate)))
+    if isinstance(child, Project) and predicate.columns() <= set(child.columns):
+        return Project(
+            push_filters(Filter(child.child, predicate)), child.columns
+        )
+    if isinstance(child, Sort):
+        return Sort(
+            push_filters(Filter(child.child, predicate)),
+            child.keys,
+            child.descending,
+        )
+    if isinstance(child, Concat):
+        # Sound only when every input provably shares one schema (names
+        # AND kinds): eager concat re-infers a column's kind when its
+        # inputs disagree, and filtering first changes which values feed
+        # that inference.  Campaign shards (one spec ⇒ one schema) always
+        # qualify; heterogeneous unions keep the filter above.
+        schemas = [output_schema(grandchild) for grandchild in child.children]
+        if schemas and schemas[0] is not None and all(
+            schema == schemas[0] for schema in schemas
+        ):
+            return Concat(
+                tuple(
+                    push_filters(Filter(grandchild, predicate))
+                    for grandchild in child.children
+                )
+            )
+        return node
+    if isinstance(child, Scan):
+        available = set(child.source.column_names())
+        if predicate.columns() <= available:
+            merged = (
+                predicate
+                if child.predicate is None
+                else And(child.predicate, predicate)
+            )
+            return Scan(child.source, child.columns, merged)
+    return node
+
+
+# --------------------------------------------------------------------------- #
+# Projection pruning
+# --------------------------------------------------------------------------- #
+def prune_projections(node: PlanNode, needed: frozenset[str] | None) -> PlanNode:
+    """Narrow scans to the columns consumed above them.
+
+    ``needed=None`` means the full output is required (root state); a
+    :class:`Project` or :class:`GroupByNode` resets it to exactly what
+    that node reads.
+    """
+    if isinstance(node, Scan):
+        if needed is None or node.columns is not None:
+            return node
+        keep = tuple(
+            name for name in node.source.column_names() if name in needed
+        )
+        return Scan(node.source, keep, node.predicate)
+    if isinstance(node, Filter):
+        child_needed = (
+            None if needed is None else frozenset(needed | node.predicate.columns())
+        )
+        return Filter(prune_projections(node.child, child_needed), node.predicate)
+    if isinstance(node, Project):
+        return Project(
+            prune_projections(node.child, frozenset(node.columns)), node.columns
+        )
+    if isinstance(node, GroupByNode):
+        reads = set(node.keys)
+        for _, agg in node.aggs:
+            reads.add(agg.source)
+        return GroupByNode(
+            prune_projections(node.child, frozenset(reads)), node.keys, node.aggs
+        )
+    if isinstance(node, JoinNode):
+        # Pruning barrier: the ``_right`` suffix rule keys off which left
+        # columns exist, so narrowing an input could rename join outputs.
+        return JoinNode(
+            prune_projections(node.left, None),
+            prune_projections(node.right, None),
+            node.on,
+            node.how,
+        )
+    if isinstance(node, Sort):
+        child_needed = None if needed is None else frozenset(needed | set(node.keys))
+        return Sort(
+            prune_projections(node.child, child_needed), node.keys, node.descending
+        )
+    if isinstance(node, Limit):
+        return Limit(prune_projections(node.child, needed), node.n)
+    if isinstance(node, Concat):
+        return Concat(
+            tuple(prune_projections(child, needed) for child in node.children)
+        )
+    raise FrameError(f"unknown plan node type {type(node).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+def _rebuild(node: PlanNode, visit) -> PlanNode:
+    """Rebuild ``node`` with ``visit`` applied to each child."""
+    if isinstance(node, Scan):
+        return node
+    if isinstance(node, Filter):
+        return Filter(visit(node.child), node.predicate)
+    if isinstance(node, Project):
+        return Project(visit(node.child), node.columns)
+    if isinstance(node, GroupByNode):
+        return GroupByNode(visit(node.child), node.keys, node.aggs)
+    if isinstance(node, JoinNode):
+        return JoinNode(visit(node.left), visit(node.right), node.on, node.how)
+    if isinstance(node, Sort):
+        return Sort(visit(node.child), node.keys, node.descending)
+    if isinstance(node, Limit):
+        return Limit(visit(node.child), node.n)
+    if isinstance(node, Concat):
+        return Concat(tuple(visit(child) for child in node.children))
+    raise FrameError(f"unknown plan node type {type(node).__name__}")

@@ -313,10 +313,29 @@ class DatasetHandle(ArtifactHandle):
         key: str,
         source: "CorpusHandle | Path",
         text_path: bool = False,
+        mmap: bool = False,
     ):
         super().__init__(session, key)
         self._source = source
         self._text_path = text_path
+        self._mmap = mmap
+
+    @property
+    def _memo_key(self) -> str:
+        # A mapped frame and an eager frame are the same *artifact* (the
+        # content key is shared — mmap is a load knob, not a stage input)
+        # but different in-memory values, so they memoize separately.
+        return f"{self._key}/mmap" if self._mmap else self._key
+
+    @property
+    def uses_mmap(self) -> bool:
+        """Whether ``result()`` returns an out-of-core, memmap-backed frame.
+
+        Requires a persisted columnar sidecar: ephemeral workspaces and
+        caller-managed corpus directories never persist one, so they fall
+        back to the eager heap frame (same values, different residency).
+        """
+        return self._mmap and self._persists
 
     @property
     def corpus(self) -> "CorpusHandle | None":
@@ -374,10 +393,17 @@ class DatasetHandle(ArtifactHandle):
         if payload is None:
             return None
         if "columns" in payload:
+            sidecar = store.sidecar_path(self._key)
+            if not sidecar.exists():  # pruned sidecar: treat as a miss
+                return None
+            if self._mmap:
+                from ..frame.mmapio import open_frame_npz
+
+                return open_frame_npz(sidecar, payload["columns"])
             from .columnar import frame_from_arrays
 
             arrays = store.get_arrays(self._key)
-            if arrays is None:  # pruned sidecar: treat as a miss
+            if arrays is None:
                 return None
             return frame_from_arrays(payload["columns"], arrays)
         return self._build(payload["rows"])  # legacy JSON-row artifact
@@ -400,6 +426,12 @@ class DatasetHandle(ArtifactHandle):
                 },
                 arrays=arrays,
             )
+            if self._mmap:
+                # Serve the freshly persisted sidecar as a mapped frame so a
+                # cold mmap=True call honours the residency contract too.
+                mapped = self._load()
+                if mapped is not None:
+                    return mapped
         return frame
 
     def _derive(self):

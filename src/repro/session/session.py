@@ -394,6 +394,7 @@ class Session:
         workload: str | None = None,
         options=None,
         text_path: bool = False,
+        mmap: bool = False,
     ) -> DatasetHandle:
         """The derived analysis frame of a corpus.
 
@@ -410,6 +411,15 @@ class Session:
         the render→parse route instead.  Like the execution policy, the
         route is excluded from the content key: both produce the same
         artifact.
+
+        ``mmap=True`` loads the persisted columnar sidecar as an
+        out-of-core frame: numeric columns become memmap views
+        (:class:`repro.frame.MmapColumn`) so a dataset larger than RAM
+        stays queryable, with ``memory_usage(deep=True)`` reporting the
+        resident-vs-mapped split honestly.  Also a load knob, also
+        excluded from the content key — the artifact is identical either
+        way, and workspaces that never persist (ephemeral sessions,
+        external ``directory=`` corpora) fall back to the eager frame.
         """
         if corpus is None:
             explicit_args = (
@@ -449,7 +459,7 @@ class Session:
                 "source": upstream,
             }
         )
-        handle = DatasetHandle(self, key, source, text_path=text_path)
+        handle = DatasetHandle(self, key, source, text_path=text_path, mmap=mmap)
         self._last["dataset"] = handle
         return handle
 

@@ -1,0 +1,392 @@
+"""Out-of-core columns: NpzMap, MmapColumn, pushdown scans, mmap datasets.
+
+Covers the third column backend end to end — zip-offset geometry against
+``np.load`` ground truth, memmap reloads bit-identical to the eager
+codec, honest resident-vs-mapped byte accounting, the instrumented
+streamed-scan counters that prove predicate pushdown reads fewer bytes,
+and the session/campaign/CLI integration that rides on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ArtifactError
+from repro.frame import (
+    Frame,
+    MmapColumn,
+    NpzMap,
+    SCAN_STATS,
+    col,
+    open_frame_npz,
+    scan_npz,
+)
+from repro.session.columnar import frame_from_arrays, frame_to_arrays
+
+
+def sample_frame() -> Frame:
+    return Frame.from_dict(
+        {
+            "name": ["alpha", None, "c", "", "trailing\x00"],
+            "score": [1.5, float("nan"), None, -0.0, 4.25],
+            "count": [1, 2, None, 4, 5],
+            "flag": [True, None, False, True, None],
+        }
+    )
+
+
+@pytest.fixture()
+def artifact(tmp_path):
+    frame = sample_frame()
+    meta, arrays = frame_to_arrays(frame)
+    path = tmp_path / "frame.npz"
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+    return frame, meta, path
+
+
+# --------------------------------------------------------------------------- #
+# NpzMap geometry
+# --------------------------------------------------------------------------- #
+class TestNpzMap:
+    def test_members_match_np_load(self, artifact):
+        _, _, path = artifact
+        npz = NpzMap(path)
+        with np.load(path) as loaded:
+            assert sorted(npz.names) == sorted(loaded.files)
+            for name in loaded.files:
+                member = npz.member(name)
+                assert member.dtype == loaded[name].dtype
+                assert member.shape == loaded[name].shape
+                mapped = np.asarray(npz.memmap(name))
+                equal_nan = member.dtype.kind == "f"
+                assert np.array_equal(mapped, loaded[name], equal_nan=equal_nan)
+
+    def test_read_rows_slices_and_clamps(self, artifact):
+        _, _, path = artifact
+        npz = NpzMap(path)
+        with np.load(path) as loaded:
+            masks = loaded["masks"]
+        got = npz.read_rows("masks", 1, 1, 4)
+        assert np.array_equal(got, masks[1, 1:4])
+        # Out-of-range bounds clamp instead of over-reading.
+        assert len(npz.read_rows("masks", 0, 3, 99)) == masks.shape[1] - 3
+        assert len(npz.read_rows("masks", 0, 5, 2)) == 0
+
+    def test_read_rows_counts_bytes(self, artifact):
+        _, _, path = artifact
+        npz = NpzMap(path)
+        SCAN_STATS.reset()
+        chunk = npz.read_rows("float", 0, 0, 5)
+        assert SCAN_STATS.bytes_read == chunk.nbytes > 0
+
+    def test_missing_member_raises(self, artifact):
+        _, _, path = artifact
+        with pytest.raises(ArtifactError, match="no member"):
+            NpzMap(path).member("nope")
+
+    def test_compressed_member_rejected(self, tmp_path):
+        path = tmp_path / "zipped.npz"
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, data=np.arange(8))
+        with pytest.raises(ArtifactError, match="compressed"):
+            NpzMap(path).member("data")
+
+    def test_garbage_file_raises_artifact_error(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not a zip at all")
+        with pytest.raises(ArtifactError, match="unreadable"):
+            NpzMap(path)
+
+
+# --------------------------------------------------------------------------- #
+# Mapped frames + byte accounting
+# --------------------------------------------------------------------------- #
+class TestOpenFrameNpz:
+    def test_bit_identical_to_eager_codec(self, artifact):
+        frame, meta, path = artifact
+        eager = frame_from_arrays(meta, dict(np.load(path)))
+        mapped = open_frame_npz(path, meta)
+        assert mapped.columns == eager.columns == frame.columns
+        assert mapped.equals(eager)
+        for name in frame.columns:
+            assert mapped[name].kind == eager[name].kind
+            assert np.array_equal(mapped[name].mask, eager[name].mask)
+
+    def test_numeric_columns_are_mapped(self, artifact):
+        _, meta, path = artifact
+        mapped = open_frame_npz(path, meta)
+        for name in ("score", "count", "flag"):
+            column = mapped[name]
+            assert isinstance(column, MmapColumn)
+            assert column.is_mapped
+            assert column.mapped_nbytes > 0
+            assert column.resident_nbytes == 0
+        # String columns hold Python objects: heap-resident by necessity.
+        assert not isinstance(mapped["name"], MmapColumn)
+        assert not mapped["name"].is_mapped
+
+    def test_column_subset_opens_only_requested(self, artifact):
+        _, meta, path = artifact
+        mapped = open_frame_npz(path, meta, columns=["score", "name"])
+        assert mapped.columns == ["name", "score"]  # source order preserved
+
+    def test_memory_usage_reports_the_split(self, artifact):
+        _, meta, path = artifact
+        mapped = open_frame_npz(path, meta)
+        usage = mapped.memory_usage(deep=True)
+        by_name = {
+            usage["column"].values[i]: i for i in range(len(usage))
+        }
+        for name in ("score", "count", "flag"):
+            row = by_name[name]
+            assert usage["mapped"].values[row] > 0
+            assert usage["resident"].values[row] == 0
+        assert usage["mapped"].values[by_name["name"]] == 0
+        assert usage["resident"].values[by_name["name"]] > 0
+        # Default shape is unchanged (pinned elsewhere too).
+        assert mapped.memory_usage().columns == ["column", "kind", "nbytes"]
+
+    def test_operations_derive_heap_columns(self, artifact):
+        frame, meta, path = artifact
+        mapped = open_frame_npz(path, meta)
+        picked = mapped.filter(mapped["count"] >= 2)
+        assert not any(picked[name].is_mapped for name in picked.columns)
+        eager = frame.filter(frame["count"] >= 2)
+        assert picked.equals(eager)
+
+    def test_heap_nbytes_unchanged(self):
+        column = sample_frame()["score"]
+        assert column.nbytes == column.resident_nbytes
+        assert column.mapped_nbytes == 0
+
+
+# --------------------------------------------------------------------------- #
+# Streamed scans + pushdown byte counters
+# --------------------------------------------------------------------------- #
+class TestScanNpz:
+    def test_full_scan_equals_eager(self, artifact):
+        frame, meta, path = artifact
+        collected = scan_npz(path, meta).collect()
+        assert collected.equals(frame)
+        assert collected.columns == frame.columns
+
+    def test_scan_engines_agree(self, artifact):
+        frame, meta, path = artifact
+        plan = scan_npz(path, meta).filter(col("count") >= 2).select(
+            ["name", "count"]
+        )
+        vector = plan.collect()
+        python = plan.collect(engine="python")
+        eager = frame.filter(frame["count"] >= 2).select(["name", "count"])
+        assert vector.equals(eager)
+        assert python.equals(eager)
+
+    def test_pushdown_reads_fewer_bytes(self, artifact):
+        frame, meta, path = artifact
+        SCAN_STATS.reset()
+        scan_npz(path, meta).collect()
+        full_bytes = SCAN_STATS.bytes_read
+        SCAN_STATS.reset()
+        pruned = scan_npz(path, meta).filter(col("count") >= 4).select(["score"])
+        collected = pruned.collect()
+        assert SCAN_STATS.bytes_read < full_bytes
+        eager = frame.filter(frame["count"] >= 4).select(["score"])
+        assert collected.equals(eager)
+
+    def test_chunked_scan_is_chunk_size_invariant(self, artifact, monkeypatch):
+        frame, meta, path = artifact
+        monkeypatch.setenv("REPRO_SCAN_CHUNK_ROWS", "2")
+        chunked = scan_npz(path, meta).filter(col("count") >= 2).collect()
+        monkeypatch.delenv("REPRO_SCAN_CHUNK_ROWS")
+        whole = scan_npz(path, meta).filter(col("count") >= 2).collect()
+        assert chunked.equals(whole)
+
+    def test_scan_unknown_column_raises(self, artifact):
+        _, meta, path = artifact
+        with pytest.raises(Exception):
+            scan_npz(path, meta).select(["ghost"]).collect()
+
+
+# --------------------------------------------------------------------------- #
+# Session integration: mmap datasets
+# --------------------------------------------------------------------------- #
+class TestDatasetMmap:
+    RUNS = 40
+    SEED = 11
+
+    def test_mmap_load_is_bit_identical_and_keyless(self, tmp_path):
+        from repro.session import Session
+
+        with Session(workspace=str(tmp_path / "ws")) as session:
+            eager_handle = session.dataset(runs=self.RUNS, seed=self.SEED)
+            eager = eager_handle.result()
+            mapped_handle = session.dataset(
+                runs=self.RUNS, seed=self.SEED, mmap=True
+            )
+            # mmap is a load knob: same artifact, same content key.
+            assert mapped_handle.key == eager_handle.key
+            assert mapped_handle.uses_mmap
+            mapped = mapped_handle.result()
+            assert mapped is not eager  # separate memo entries
+            assert mapped.equals(eager)
+            assert any(
+                isinstance(mapped[name], MmapColumn) for name in mapped.columns
+            )
+
+        # A fresh session over the same workspace reloads mapped, warm.
+        with Session(workspace=str(tmp_path / "ws")) as warm:
+            again = warm.dataset(runs=self.RUNS, seed=self.SEED, mmap=True)
+            frame = again.result()
+            assert any(
+                isinstance(frame[name], MmapColumn) for name in frame.columns
+            )
+            assert frame.equals(eager)
+
+    def test_ephemeral_session_falls_back_to_heap(self):
+        from repro.session import Session
+
+        with Session() as session:
+            handle = session.dataset(runs=self.RUNS, seed=3, mmap=True)
+            assert not handle.uses_mmap
+            frame = handle.result()
+            assert not any(
+                isinstance(frame[name], MmapColumn) for name in frame.columns
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Campaign integration: lazy shard scans + the query CLI
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def streamed_store(tmp_path_factory):
+    from repro.campaign import CampaignSpec, stream_campaign
+
+    store = tmp_path_factory.mktemp("campaign") / "store"
+    spec = CampaignSpec(
+        name="mmap-scan",
+        sweep={"cpu_model": ["Xeon X5670", "EPYC 9654"], "seed": [1, 2]},
+        base={"load_levels": [1.0, 0.5, 0.0]},
+    )
+    result = stream_campaign(spec, store, shard_size=1)
+    return str(store), result
+
+
+class TestCampaignLazyScan:
+    def test_lazy_frame_matches_materialised(self, streamed_store):
+        _, result = streamed_store
+        eager = result.frame()
+        lazy = result.lazy_frame().collect()
+        assert lazy.columns == eager.columns
+        assert lazy.equals(eager)
+        for name in eager.columns:
+            assert lazy[name].kind == eager[name].kind
+            assert np.array_equal(lazy[name].mask, eager[name].mask)
+
+    def test_predicate_pushes_into_every_shard(self, streamed_store):
+        _, result = streamed_store
+        plan = result.lazy_frame().filter(col("campaign_seed") == 1)
+        text = plan.explain()
+        assert text.count("pushdown=") == result.total_shards
+        eager = result.frame()
+        expected = eager.filter(eager["campaign_seed"] == 1)
+        assert plan.collect().equals(expected)
+
+    def test_filtered_scan_reads_fewer_bytes(self, streamed_store):
+        _, result = streamed_store
+        SCAN_STATS.reset()
+        result.lazy_frame().collect()
+        full_bytes = SCAN_STATS.bytes_read
+        SCAN_STATS.reset()
+        result.lazy_frame().filter(col("campaign_seed") == 1).select(
+            ["campaign_seed", "campaign_cpu_model"]
+        ).collect()
+        assert 0 < SCAN_STATS.bytes_read < full_bytes
+
+    def test_scan_shards_module_entry(self, streamed_store):
+        from repro.campaign import scan_shards
+
+        store, result = streamed_store
+        assert scan_shards(store).collect().equals(result.frame())
+
+    def test_summarize_store(self, streamed_store):
+        from repro.campaign import summarize_store
+
+        store, result = streamed_store
+        eager = result.frame()
+        metric = next(
+            name for name in eager.columns if eager[name].kind == "float"
+        )
+        summary = summarize_store(store, ["campaign_seed"], [metric])
+        expected = eager.groupby(["campaign_seed"]).agg({metric: (metric, "mean")})
+        assert summary.equals(expected)
+
+    def test_missing_artifact_raises(self, streamed_store, tmp_path):
+        import shutil
+
+        from repro.campaign import scan_shards
+        from repro.errors import CampaignError
+
+        store, _ = streamed_store
+        broken = tmp_path / "broken"
+        shutil.copytree(store, broken)
+        sidecars = list((broken / "shards").rglob("*.npz"))
+        assert sidecars, "expected shard sidecars to remove"
+        for sidecar in sidecars:
+            sidecar.unlink()
+        with pytest.raises(CampaignError):
+            scan_shards(str(broken))
+
+
+class TestCampaignQueryCli:
+    def test_query_prints_matching_rows(self, streamed_store, capsys):
+        from repro.cli.main import main
+
+        store, result = streamed_store
+        assert main([
+            "campaign", "query", "--store", store,
+            "--where", "campaign_seed == 1",
+            "--columns", "campaign_seed,campaign_cpu_model",
+        ]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.strip().splitlines() if line]
+        assert lines[0] == "campaign_seed,campaign_cpu_model"
+        eager = result.frame()
+        expected = eager.filter(eager["campaign_seed"] == 1)
+        assert len(lines) - 1 == len(expected)
+
+    def test_query_explain_and_csv(self, streamed_store, tmp_path, capsys):
+        from repro.cli.main import main
+
+        store, _ = streamed_store
+        assert main([
+            "campaign", "query", "--store", store,
+            "--where", "campaign_seed == 1", "--explain",
+        ]) == 0
+        assert "pushdown=" in capsys.readouterr().out
+
+        out_csv = tmp_path / "rows.csv"
+        assert main([
+            "campaign", "query", "--store", store,
+            "--limit", "3", "--csv", str(out_csv),
+        ]) == 0
+        assert out_csv.exists()
+        assert len(out_csv.read_text().strip().splitlines()) == 4  # header + 3
+
+    def test_query_bad_where_exits_2(self, streamed_store, capsys):
+        from repro.cli.main import main
+
+        store, _ = streamed_store
+        assert main([
+            "campaign", "query", "--store", store, "--where", "complete garbage",
+        ]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_query_missing_store_exits_2(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        assert main([
+            "campaign", "query", "--store", str(tmp_path / "nowhere"),
+        ]) == 2
+        assert "not a campaign store" in capsys.readouterr().err

@@ -1,0 +1,354 @@
+"""Lazy plan equivalence: ``LazyFrame.collect()`` vs the eager engines.
+
+The planner's whole contract is that optimisation is invisible: whatever
+chain of filters, projections, sorts, limits, group-bys and joins a plan
+holds, ``collect()`` must be bit-identical to running the same chain
+eagerly — under the vectorized kernels *and* under the scalar ``python``
+oracle.  Hypothesis drives random frames (all four column kinds, missing
+entries, NaN keys, colliding keys) and random predicate trees through
+both routes; the explicit tests pin the optimizer rewrites (pushdown,
+pruning, fusion, the join pruning barrier) and the expression API edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameError, GroupByError
+from repro.frame import Frame, col, concat_lazy
+from repro.frame.plan import (
+    Filter,
+    GroupByNode,
+    JoinNode,
+    Project,
+    Scan,
+    Sort,
+    optimize,
+)
+
+settings.register_profile(
+    "repro-plan", deadline=None, max_examples=80,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-plan")
+
+#: Small pools maximise collisions (mirrors tests/test_frame_engines.py);
+#: "a\x00" pins exact string equality through the planner too.
+_KEY_POOLS = {
+    "str": st.one_of(st.none(), st.sampled_from(["a", "b", "c", "", "a\x00"])),
+    "int": st.one_of(st.none(), st.integers(min_value=-2, max_value=2)),
+    "float": st.one_of(
+        st.none(),
+        st.sampled_from([float("nan"), -0.0, 0.0, 1.5, -2.5]),
+    ),
+    "bool": st.one_of(st.none(), st.booleans()),
+}
+
+_VALUES = st.one_of(
+    st.none(), st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+)
+
+_AGG_SPEC = {
+    "mean": ("v", "mean"), "total": ("v", "sum"), "lo": ("v", "min"),
+    "hi": ("v", "max"), "n": ("v", "count"), "rows": ("v", "size"),
+    "head": ("v", "first"), "uniq": ("v", "nunique"),
+}
+
+
+@st.composite
+def keyed_frames(draw, n_keys: int = 2):
+    kinds = [draw(st.sampled_from(sorted(_KEY_POOLS))) for _ in range(n_keys)]
+    n = draw(st.integers(min_value=0, max_value=30))
+    data = {
+        f"k{i}": [draw(_KEY_POOLS[kind]) for _ in range(n)]
+        for i, kind in enumerate(kinds)
+    }
+    data["v"] = [draw(_VALUES) for _ in range(n)]
+    data["w"] = [draw(_VALUES) for _ in range(n)]
+    return Frame.from_dict(data), [f"k{i}" for i in range(n_keys)]
+
+
+@st.composite
+def predicates(draw, columns):
+    """A random predicate tree plus its eager-mask evaluator.
+
+    Returns ``(expr, eager)`` where ``expr`` is the plan expression and
+    ``eager(frame)`` computes the identical boolean mask with the eager
+    column operators only — so the two routes share no evaluation code.
+    """
+    depth = draw(st.integers(min_value=0, max_value=2))
+    if depth == 0:
+        name = draw(st.sampled_from(columns))
+        form = draw(st.sampled_from(["cmp", "isin", "isna", "notna"]))
+        if form == "cmp":
+            op = draw(st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"]))
+            if op not in ("eq", "ne"):
+                # Ordering a str/bool key against a float raises in every
+                # engine; only the float column orders meaningfully.
+                name = "v"
+            value = draw(st.floats(min_value=-2.5, max_value=2.5, allow_nan=False))
+            expr = {
+                "eq": col(name) == value, "ne": col(name) != value,
+                "lt": col(name) < value, "le": col(name) <= value,
+                "gt": col(name) > value, "ge": col(name) >= value,
+            }[op]
+            return expr, lambda f, n=name, o=op, v=value: f[n]._compare(v, o)
+        if form == "isin":
+            pool = draw(
+                st.lists(
+                    st.sampled_from([0, 1, 1.5, "a", "b", True]),
+                    min_size=0, max_size=3,
+                )
+            )
+            return (
+                col(name).isin(pool),
+                lambda f, n=name, p=tuple(pool): f[n].isin(p),
+            )
+        if form == "isna":
+            return col(name).isna(), lambda f, n=name: f[n].isna()
+        return col(name).notna(), lambda f, n=name: f[n].notna()
+    left_expr, left_eager = draw(predicates(columns))
+    right_expr, right_eager = draw(predicates(columns))
+    combo = draw(st.sampled_from(["and", "or", "not"]))
+    if combo == "and":
+        return (
+            left_expr & right_expr,
+            lambda f, a=left_eager, b=right_eager: a(f) & b(f),
+        )
+    if combo == "or":
+        return (
+            left_expr | right_expr,
+            lambda f, a=left_eager, b=right_eager: a(f) | b(f),
+        )
+    return ~left_expr, lambda f, a=left_eager: ~a(f)
+
+
+def assert_frames_identical(a: Frame, b: Frame) -> None:
+    assert a.columns == b.columns
+    assert len(a) == len(b)
+    assert a.equals(b)
+    for name in a.columns:
+        assert a[name].kind == b[name].kind
+        assert np.array_equal(a[name].mask, b[name].mask)
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis: random plans, three routes, one answer
+# --------------------------------------------------------------------------- #
+class TestPlanEquivalence:
+    @given(keyed_frames(), st.data())
+    def test_filter_select_sort_limit(self, frame_and_keys, data):
+        frame, keys = frame_and_keys
+        expr, eager_mask = data.draw(predicates(keys + ["v"]))
+        subset = keys + data.draw(st.permutations(["v", "w"]))[:1]
+        descending = data.draw(st.booleans())
+        limit = data.draw(st.integers(min_value=0, max_value=10))
+
+        eager = (
+            frame.filter(eager_mask(frame))
+            .select(subset)
+            .sort_by(keys, descending=descending)
+            .head(limit)
+        )
+        plan = (
+            frame.lazy()
+            .filter(expr)
+            .select(subset)
+            .sort_by(keys, descending=descending)
+            .head(limit)
+        )
+        assert_frames_identical(plan.collect(), eager)
+        assert_frames_identical(plan.collect(engine="python"), eager)
+        assert_frames_identical(plan.collect(engine="lazy"), eager)
+
+    @given(keyed_frames(), st.data())
+    def test_filter_groupby_fusion(self, frame_and_keys, data):
+        frame, keys = frame_and_keys
+        expr, eager_mask = data.draw(predicates(keys + ["v"]))
+
+        filtered = frame.filter(eager_mask(frame))
+        eager_vec = filtered.groupby(keys, engine="vector").agg(_AGG_SPEC)
+        eager_py = filtered.groupby(keys, engine="python").agg(_AGG_SPEC)
+        assert_frames_identical(eager_vec, eager_py)
+
+        plan = frame.lazy().filter(expr).groupby(keys).agg(_AGG_SPEC)
+        assert_frames_identical(plan.collect(engine="vector"), eager_vec)
+        assert_frames_identical(plan.collect(engine="python"), eager_vec)
+
+    @given(keyed_frames(n_keys=1), keyed_frames(n_keys=1), st.data())
+    def test_join_then_filter(self, left_and_keys, right_and_keys, data):
+        from repro.frame import join
+
+        left, keys = left_and_keys
+        right, _ = right_and_keys
+        how = data.draw(st.sampled_from(["inner", "left"]))
+
+        eager = join(left, right, on=keys, how=how)
+        plan = left.lazy().join(right.lazy(), on=keys, how=how)
+        assert_frames_identical(plan.collect(), eager)
+        assert_frames_identical(plan.collect(engine="python"), eager)
+
+        expr, eager_mask = data.draw(predicates(["v"]))
+        filtered = eager.filter(eager_mask(eager))
+        lazy_filtered = plan.filter(expr)
+        assert_frames_identical(lazy_filtered.collect(), filtered)
+        assert_frames_identical(lazy_filtered.collect(engine="python"), filtered)
+
+    @given(st.lists(keyed_frames(n_keys=1), min_size=1, max_size=3), st.data())
+    def test_concat_filter_distribution(self, frames_and_keys, data):
+        from repro.frame import concat
+
+        frames = [frame for frame, _ in frames_and_keys]
+        expr, eager_mask = data.draw(predicates(["k0", "v"]))
+
+        whole = concat(frames)
+        eager = whole.filter(eager_mask(whole))
+        plan = concat_lazy([frame.lazy() for frame in frames]).filter(expr)
+        assert_frames_identical(plan.collect(), eager)
+        assert_frames_identical(plan.collect(engine="python"), eager)
+
+
+# --------------------------------------------------------------------------- #
+# Optimizer rewrites
+# --------------------------------------------------------------------------- #
+class TestOptimizer:
+    def _frame(self):
+        return Frame.from_dict(
+            {
+                "k": ["a", "b", "a", None, "c"],
+                "v": [1.0, 2.0, None, 4.0, 5.0],
+                "w": [10.0, None, 30.0, 40.0, 50.0],
+            }
+        )
+
+    def test_filter_pushes_into_scan(self):
+        plan = self._frame().lazy().filter(col("v") > 1.0)
+        node = optimize(plan.node)
+        assert isinstance(node, Scan)
+        assert node.predicate is not None
+
+    def test_consecutive_filters_merge(self):
+        plan = self._frame().lazy().filter(col("v") > 1.0).filter(col("w") < 45.0)
+        node = optimize(plan.node)
+        assert isinstance(node, Scan)  # both conjuncts reached the scan
+        assert "and" in repr(node.predicate).lower() or "&" in repr(node.predicate)
+
+    def test_projection_prunes_scan_columns(self):
+        plan = self._frame().lazy().select(["k"])
+        node = optimize(plan.node)
+        scan = node.child if isinstance(node, Project) else node
+        assert isinstance(scan, Scan)
+        assert scan.columns == ("k",)
+
+    def test_pruned_scan_keeps_predicate_out_of_output(self):
+        plan = self._frame().lazy().filter(col("v") > 1.0).select(["k"])
+        node = optimize(plan.node)
+        scan = node
+        while not isinstance(scan, Scan):
+            scan = scan.child
+        # The scan outputs only "k"; the predicate column is read
+        # internally on the first pass without widening the output.
+        assert scan.columns == ("k",)
+        assert scan.predicate is not None
+
+    def test_filter_does_not_cross_projection_that_drops_its_column(self):
+        # select(["k"]) then filter on "k" is fine; but a filter written
+        # *above* a projection may only sink when its columns survive.
+        plan = self._frame().lazy().select(["k", "v"]).filter(col("v") > 1.0)
+        node = optimize(plan.node)
+        assert isinstance(node, (Scan, Project))  # sank through
+
+    def test_join_is_a_pruning_barrier(self):
+        left = self._frame().lazy()
+        right = Frame.from_dict({"k": ["a", "b"], "z": [1.0, 2.0]}).lazy()
+        plan = left.join(right, on=["k"]).select(["k", "z"])
+        node = optimize(plan.node)
+        join_node = node
+        while not isinstance(join_node, JoinNode):
+            join_node = join_node.child if hasattr(join_node, "child") else join_node.left
+        # Children keep every column: pruning join inputs could rename
+        # outputs via the _right-suffix rule.
+        for side in (join_node.left, join_node.right):
+            scan = side
+            while not isinstance(scan, Scan):
+                scan = scan.child
+            assert scan.columns is None
+
+    def test_filter_never_crosses_groupby_or_limit(self):
+        plan = (
+            self._frame().lazy().groupby(["k"]).agg({"m": ("v", "mean")})
+        ).filter(col("m") > 0.0)
+        node = optimize(plan.node)
+        assert isinstance(node, Filter)
+        assert isinstance(node.child, GroupByNode)
+
+        limited = self._frame().lazy().head(2).filter(col("v") > 1.0)
+        node = optimize(limited.node)
+        assert isinstance(node, Filter)  # stayed above the limit
+
+    def test_filter_sinks_below_sort(self):
+        plan = self._frame().lazy().sort_by(["k"]).filter(col("v") > 1.0)
+        node = optimize(plan.node)
+        assert isinstance(node, Sort)  # filter passed through it
+
+    def test_filter_distributes_over_homogeneous_concat_only(self):
+        same_a = Frame.from_dict({"k": ["a"], "v": [1.0]})
+        same_b = Frame.from_dict({"k": ["b"], "v": [2.0]})
+        plan = concat_lazy([same_a.lazy(), same_b.lazy()]).filter(col("v") > 1.0)
+        node = optimize(plan.node)
+        assert not isinstance(node, Filter)  # sank into the scans
+        for child in node.children:
+            assert isinstance(child, Scan) and child.predicate is not None
+
+        # Mixed kinds for "k": eager concat re-infers the kind from the
+        # union of values, so the filter must stay above the concat.
+        mixed = Frame.from_dict({"k": [1], "v": [3.0]})
+        plan = concat_lazy([same_a.lazy(), mixed.lazy()]).filter(col("v") > 1.0)
+        node = optimize(plan.node)
+        assert isinstance(node, Filter)
+
+    def test_explain_marks_rewrites(self):
+        plan = self._frame().lazy().filter(col("v") > 1.0).select(["k"])
+        text = plan.explain()
+        assert "pushdown=" in text
+        unoptimized = plan.explain(optimized=False)
+        assert "Filter" in unoptimized
+
+
+# --------------------------------------------------------------------------- #
+# Expression / API edges
+# --------------------------------------------------------------------------- #
+class TestExprApi:
+    def test_truthiness_is_an_error(self):
+        with pytest.raises(FrameError):
+            bool(col("a") == 1)
+        with pytest.raises(FrameError):
+            (col("a") == 1) and (col("b") == 2)  # noqa: B015
+
+    def test_filter_requires_expression(self):
+        frame = Frame.from_dict({"a": [1, 2]})
+        with pytest.raises(FrameError):
+            frame.lazy().filter(True)
+
+    def test_groupby_requires_keys(self):
+        frame = Frame.from_dict({"a": [1, 2]})
+        with pytest.raises(GroupByError):
+            frame.lazy().groupby([])
+
+    def test_missing_column_surfaces_on_collect(self):
+        frame = Frame.from_dict({"a": [1, 2]})
+        plan = frame.lazy().filter(col("nope") == 1)
+        with pytest.raises(FrameError):
+            plan.collect()
+
+    def test_collect_is_repeatable(self):
+        frame = Frame.from_dict({"a": [3, 1, 2], "b": [1.0, None, 3.0]})
+        plan = frame.lazy().filter(col("a") > 1).sort_by(["a"])
+        assert_frames_identical(plan.collect(), plan.collect())
+
+    def test_empty_concat_collects_empty(self):
+        collected = concat_lazy([]).collect()
+        assert len(collected) == 0
