@@ -1,0 +1,172 @@
+"""Fault-injection overhead gates: hooks must be free when no plan is armed.
+
+The robustness plane's contract mirrors the tracing one
+(:mod:`benchmarks.test_bench_obs`):
+
+* **disabled is (near) free** — every instrumented site calls
+  :func:`repro.faults.fault_point`, which with no plan installed is one
+  module-global ``is None`` check.  The gate bounds the *entire* disabled
+  cost analytically: (number of hook invocations a 512-unit stream makes)
+  x (measured per-call no-plan cost) must stay under 5% of the stream's
+  own wall time.  The invocation count is measured exactly, by installing
+  an *empty* plan (no rules, so nothing fires) whose per-site counters
+  record every call.
+
+* **an armed-but-quiet plan does not change results** — a stream run under
+  an installed empty plan is bit-identical to a plain run.
+
+The timed benchmarks feed the committed baseline so a future change that
+moves a hook into a hotter loop (or makes the disabled check heavier)
+shows up in ``check_bench_regression.py``.
+"""
+
+from __future__ import annotations
+
+import time
+import timeit
+
+import pytest
+
+from repro.campaign import resume_streaming, stream_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.faults import (
+    FaultPlan,
+    RetryPolicy,
+    clear_fault_plan,
+    fault_point,
+    install_fault_plan,
+)
+from repro.session.policy import ExecutionPolicy
+
+#: Disabled fault hooks may cost at most this fraction of stream wall.
+OVERHEAD_BUDGET = 0.05
+
+#: Cheapest valid unit, same shape as the other streaming benchmarks.
+FAST_BASE = {"load_levels": [1.0, 0.0], "measurement_noise": False}
+
+
+def wide_spec(name: str, units: int) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        sweep={
+            "cpu_model": ["EPYC 9654", "Xeon Platinum 8480+"],
+            "seed": list(range(units // 2)),
+        },
+        base=FAST_BASE,
+    )
+
+
+def test_disabled_fault_hooks_overhead_under_5pct(tmp_path):
+    """count(fault_point calls) x cost(no-plan call) < 5% of stream wall."""
+    counting = FaultPlan()  # no rules: counts every hook call, fires nothing
+    install_fault_plan(counting)
+    try:
+        spec = wide_spec("fault-overhead", 512)
+        start = time.perf_counter()
+        result = stream_campaign(spec, tmp_path / "store", shard_size=128)
+        wall = time.perf_counter() - start
+    finally:
+        clear_fault_plan()
+    assert result.simulated == 512 and result.is_complete
+
+    calls = sum(counting.counters.values())
+    assert calls > 0 and not counting.fired
+    # unit.execute is the only per-unit site; everything else is per
+    # shard / chunk / append.  A hook drifting into a per-load-level or
+    # per-row loop would blow straight through this.
+    assert calls < 2 * result.total_units + 60 * result.total_shards + 60, (
+        f"{calls} fault-point calls for {result.total_units} units / "
+        f"{result.total_shards} shards - did a hook move into a hot loop?"
+    )
+
+    per_call = min(
+        timeit.repeat(
+            lambda: fault_point("unit.execute", ctx="probe"),
+            number=100_000,
+            repeat=3,
+        )
+    ) / 100_000
+    overhead = calls * per_call
+    assert overhead < OVERHEAD_BUDGET * wall, (
+        f"disabled fault hooks cost {overhead:.6f}s "
+        f"({calls} calls x {per_call * 1e9:.0f}ns) against a {wall:.3f}s "
+        f"stream - over the {OVERHEAD_BUDGET:.0%} budget"
+    )
+
+
+def test_armed_quiet_plan_bit_identical_to_plain(tmp_path):
+    """An installed plan with no firing rules must not move a single bit."""
+    spec = wide_spec("fault-identity", 256)
+    plain = stream_campaign(spec, tmp_path / "plain", shard_size=64)
+    armed = stream_campaign(
+        spec,
+        tmp_path / "armed",
+        shard_size=64,
+        policy=ExecutionPolicy(faults=FaultPlan(), retry=RetryPolicy()),
+        retry=RetryPolicy(),
+    )
+    assert armed.simulated == plain.simulated == 256
+    assert armed.aggregate.equals(plain.aggregate)
+    assert armed.frame().equals(plain.frame())
+
+
+# --------------------------------------------------------------------------- #
+# Timed benchmarks (gated by the CI baseline)
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="faults")
+def test_bench_faults_disabled_stream(benchmark, tmp_path):
+    """Cold 512-unit stream on the production path: hooks present, no plan."""
+    spec = wide_spec("bench-faults-off", 512)
+    counter = {"i": 0}
+
+    def plain():
+        counter["i"] += 1
+        return stream_campaign(
+            spec, tmp_path / f"store-{counter['i']}", shard_size=128
+        )
+
+    result = benchmark(plain)
+    assert result.simulated == 512 and result.is_complete
+
+
+@pytest.mark.benchmark(group="faults")
+def test_bench_faults_chaos_recovery(benchmark, tmp_path):
+    """512-unit stream with transient injected failures, retry, and resume.
+
+    The recovery tax: every benchmark round injects two raise faults into
+    unit execution and one torn shard flush, retries the units inline,
+    heals the torn artifact through a resume, and must still land the full
+    row count.
+    """
+    spec = wide_spec("bench-faults-chaos", 512)
+    retry = RetryPolicy(max_attempts=3, backoff_base=0.001, backoff_cap=0.002)
+    counter = {"i": 0}
+
+    def chaotic():
+        counter["i"] += 1
+        store = tmp_path / f"store-{counter['i']}"
+        plan = FaultPlan.from_dict(
+            {
+                "seed": counter["i"],
+                "rules": [
+                    {
+                        "site": "unit.execute",
+                        "kind": "raise",
+                        "probability": 1.0,
+                        "times": 2,
+                    },
+                    {"site": "shard.flush", "kind": "partial_write", "nth": 1},
+                ],
+            }
+        )
+        stream_campaign(
+            spec,
+            store,
+            shard_size=128,
+            policy=ExecutionPolicy(faults=plan, retry=retry),
+            retry=retry,
+        )
+        return resume_streaming(store, retry=retry)
+
+    result = benchmark(chaotic)
+    assert result.is_complete and not result.failures

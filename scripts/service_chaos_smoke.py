@@ -14,7 +14,12 @@ correct results, end to end and across real process boundaries:
    leased shard and reloads everything else,
 7. assert the recovered aggregate is bit-identical to the reference,
 8. render ``campaign watch --once`` over the crashed-and-recovered store,
-9. round-trip a tiny job through a live :class:`CampaignService` socket.
+9. run the deterministic fault-injection matrix: transient unit raises,
+   torn shard flushes, torn ledger appends, a poison unit driven into
+   quarantine, and an env-armed (``REPRO_FAULTS``) worker killed at a
+   flush — each must recover bit-identical to the reference and leave a
+   store that ``campaign doctor`` signs off on,
+10. round-trip a tiny job through a live :class:`CampaignService` socket.
 
 The kill lands wherever it lands — every assertion below holds whether
 the victim died before its first claim, mid-shard, or after finishing.
@@ -28,6 +33,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import signal
 import subprocess
@@ -38,8 +44,16 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.campaign import CampaignSpec, CampaignStore, resume_streaming, stream_campaign
+from repro.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    doctor_store,
+    resume_streaming,
+    stream_campaign,
+)
+from repro.faults import FaultPlan, RetryPolicy
 from repro.service import CampaignService, ServiceClient
+from repro.session.policy import ExecutionPolicy
 
 SPEC = CampaignSpec(
     name="ci-chaos",
@@ -51,16 +65,144 @@ SPEC = CampaignSpec(
 )
 SHARD_SIZE = 2  # 18 units -> 9 shards: plenty of claim/flush cycles to crash into
 
+#: Fast retry schedule for injected transients: keep CI wall time honest.
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.001, backoff_cap=0.002)
+
+#: site x kind matrix — every case must recover bit-identical to the
+#: reference after retry + resume, and ``doctor`` must sign the store off.
+FAULT_MATRIX = [
+    (
+        "transient-unit-raise",
+        [{"site": "unit.execute", "kind": "raise", "probability": 0.25, "times": 4}],
+    ),
+    (
+        "torn-shard-flush",
+        [{"site": "shard.flush", "kind": "partial_write", "nth": 2, "fraction": 0.5}],
+    ),
+    (
+        "torn-ledger-append",
+        [{"site": "jsonl.append", "kind": "partial_write", "nth": 3, "where": "ledger"}],
+    ),
+]
+
 
 def cli(*args: str) -> list[str]:
     return [sys.executable, "-m", "repro.cli.main", *args]
 
 
-def spawn_worker(store: Path, worker_id: str) -> subprocess.Popen:
+def spawn_worker(
+    store: Path, worker_id: str, faults: dict | None = None
+) -> subprocess.Popen:
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    if faults is not None:
+        env["REPRO_FAULTS"] = json.dumps(faults)
     return subprocess.Popen(
         cli("campaign", "worker", "--store", str(store), "--worker-id", worker_id),
-        env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+        env=env,
     )
+
+
+def assert_doctor_signs_off(store_dir: Path) -> None:
+    report = doctor_store(store_dir, repair=True)
+    assert not report.unresolved, f"doctor left unresolved issues:\n{report.describe()}"
+    assert doctor_store(store_dir).healthy, "store unhealthy after doctor --repair"
+
+
+def run_fault_matrix(root: Path, reference) -> None:
+    for case_no, (label, rules) in enumerate(FAULT_MATRIX, start=1):
+        store_dir = root / "faults" / label
+        plan = FaultPlan.from_dict({"seed": case_no, "rules": rules})
+        stream_campaign(
+            SPEC,
+            store_dir,
+            shard_size=SHARD_SIZE,
+            policy=ExecutionPolicy(faults=plan, retry=FAST_RETRY),
+            retry=FAST_RETRY,
+        )
+        healed = resume_streaming(store_dir, retry=FAST_RETRY)
+        assert healed.is_complete, f"{label}: resume did not complete"
+        assert not healed.failures, f"{label}: failures survived: {healed.failures}"
+        assert not healed.quarantined, f"{label}: spurious quarantine"
+        assert healed.frame().equals(reference.frame()), (
+            f"{label}: recovered frame diverged from the clean reference"
+        )
+        assert_doctor_signs_off(store_dir)
+        print(f"   {label}: recovered bit-identical, doctor signed off")
+
+    # Poison unit: deterministic failure on one unit key, every attempt.
+    # Retry must exhaust, the unit must land in quarantine.jsonl, the rest
+    # of the campaign must still finish (degraded) — and lifting the
+    # quarantine must heal the store to bit-identical completeness.
+    poison_key = SPEC.expand()[7].key
+    store_dir = root / "faults" / "poison-unit"
+    plan = FaultPlan.from_dict(
+        {
+            "seed": 99,
+            "rules": [
+                {
+                    "site": "unit.execute",
+                    "kind": "raise",
+                    "probability": 1.0,
+                    "where": poison_key,
+                }
+            ],
+        }
+    )
+    degraded = stream_campaign(
+        SPEC,
+        store_dir,
+        shard_size=SHARD_SIZE,
+        policy=ExecutionPolicy(faults=plan, retry=FAST_RETRY),
+        retry=FAST_RETRY,
+    )
+    assert degraded.status == "degraded", degraded.status
+    assert len(degraded.quarantined) == 1
+    assert "injected fault" in degraded.quarantined[0][1]
+    store = CampaignStore(store_dir)
+    assert store.quarantine_keys() == {poison_key}
+    assert_doctor_signs_off(store_dir)
+    # Operator lifts the quarantine; keep the ledger aside for CI forensics.
+    store.quarantine_path.rename(store.quarantine_path.with_suffix(".jsonl.lifted"))
+    healed = resume_streaming(store_dir, retry=FAST_RETRY)
+    assert healed.is_complete and not healed.quarantined
+    assert healed.frame().equals(reference.frame()), (
+        "poison-unit: healed frame diverged from the clean reference"
+    )
+    print(
+        "   poison-unit: quarantined after "
+        f"{FAST_RETRY.max_attempts} attempts, healed after lift"
+    )
+
+    # Env-armed kill: REPRO_FAULTS crosses the process boundary and SIGKILLs
+    # a real worker mid-flush; the resume pass must finish the campaign.
+    store_dir = root / "faults" / "env-kill-flush"
+    stream_campaign(SPEC, store_dir, shard_size=SHARD_SIZE, max_shards=0)
+    victim = spawn_worker(
+        store_dir,
+        "env-victim",
+        faults={"seed": 7, "rules": [{"site": "shard.flush", "kind": "kill", "nth": 3}]},
+    )
+    victim.wait(timeout=300)
+    assert victim.returncode == -signal.SIGKILL, victim.returncode
+    healed = resume_streaming(store_dir, retry=FAST_RETRY)
+    assert healed.is_complete and not healed.failures
+    assert healed.frame().equals(reference.frame()), (
+        "env-kill-flush: recovered frame diverged from the clean reference"
+    )
+    assert_doctor_signs_off(store_dir)
+    print("   env-kill-flush: REPRO_FAULTS killed the worker, resume recovered")
+
+    # Doctor CLI exit codes on real ledger corruption: 1 (found), 0 (fixed).
+    ledger = CampaignStore(store_dir).ledger_path
+    lines = ledger.read_text(encoding="utf-8").splitlines(keepends=True)
+    lines.insert(1, "garbage, not json\n")
+    ledger.write_text("".join(lines), encoding="utf-8")
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    doctor = cli("campaign", "doctor", "--store", str(store_dir))
+    assert subprocess.run(doctor, env=env, timeout=60).returncode == 1
+    assert subprocess.run([*doctor, "--repair"], env=env, timeout=60).returncode == 0
+    assert subprocess.run(doctor, env=env, timeout=60).returncode == 0
+    print("   campaign doctor CLI: corrupt ledger -> 1, --repair -> 0")
 
 
 def main() -> int:
@@ -121,6 +263,9 @@ def main() -> int:
         check=True,
         timeout=60,
     )
+
+    print("== fault-injection matrix: site x kind, recover, doctor sign-off")
+    run_fault_matrix(root, reference)
 
     print("== service round-trip: submit the same spec over the socket")
     service = CampaignService(root / "service", shard_size=SHARD_SIZE)

@@ -22,10 +22,13 @@ Layers
   executed serially or fanned out across a worker pool,
 * :mod:`repro.campaign.leases` — lease records in the shard ledger that
   let cooperating worker processes claim shards and reclaim the work of
-  crashed peers,
+  crashed peers (with heartbeat renewal distinguishing slow from hung),
 * :mod:`repro.campaign.reduce` — online (Welford) reducers that fold the
   per-shard frames into campaign aggregates without the full result set
-  ever being resident.
+  ever being resident,
+* :mod:`repro.campaign.doctor` — store health checks and conservative
+  repair behind ``spectrends campaign doctor`` (torn logs, checksum
+  mismatches, orphaned artifacts, stale leases).
 
 Quickstart
 ----------
@@ -46,7 +49,8 @@ Quickstart
 
 from .aggregate import FrameAccumulator, assemble_frame, summarize_store
 from .cache import ResultCache, unit_key
-from .leases import DEFAULT_LEASE_TTL, Lease, LeaseLedger
+from .doctor import DoctorIssue, DoctorReport, doctor_store
+from .leases import DEFAULT_LEASE_TTL, Lease, LeaseHeartbeat, LeaseLedger
 from .reduce import FrameReducer, OnlineMoments, reduce_frame
 from .runner import CampaignResult, execute_units, resume_campaign, run_campaign
 from .sharding import (
@@ -88,7 +92,11 @@ __all__ = [
     "run_worker",
     "DEFAULT_LEASE_TTL",
     "Lease",
+    "LeaseHeartbeat",
     "LeaseLedger",
+    "DoctorIssue",
+    "DoctorReport",
+    "doctor_store",
     "FrameReducer",
     "OnlineMoments",
     "reduce_frame",

@@ -39,6 +39,7 @@ shard and then discovers it cannot make progress on it.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping
@@ -46,7 +47,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 if TYPE_CHECKING:  # import-cycle-safe: only the type checker needs this
     from .store import CampaignStore
 
-__all__ = ["DEFAULT_LEASE_TTL", "Lease", "LeaseLedger"]
+__all__ = ["DEFAULT_LEASE_TTL", "Lease", "LeaseLedger", "LeaseHeartbeat"]
 
 #: Default lease time-to-live in seconds.  Generous relative to a shard's
 #: flush time so slow-but-alive workers are not preempted; the pid
@@ -163,6 +164,27 @@ class LeaseLedger:
             return lease
         return None
 
+    def renew(self, index: int) -> None:
+        """Push the deadline of this worker's claim on a shard forward.
+
+        The heartbeat: a long-running flush renews well inside the TTL, so
+        a *slow but alive* worker keeps its claim, while a *hung* worker
+        (alive pid, no renewals) lets the deadline lapse and
+        :meth:`Lease.valid` starts failing on the expiry check — the shard
+        becomes reclaimable even though the process still exists.  Renewal
+        is just a fresh latest-wins lease append.
+        """
+        now = time.time()
+        self.store.record_lease(
+            Lease(
+                index=index,
+                worker=self.worker,
+                pid=self.pid,
+                ts=now,
+                deadline=now + self.ttl,
+            ).to_record()
+        )
+
     def release(self, index: int) -> None:
         """Hand a shard back by appending a born-expired lease."""
         now = time.time()
@@ -179,3 +201,47 @@ class LeaseLedger:
     def reclaimable(self, index: int) -> bool:
         """Whether the shard has no live claim (expired, dead, or none)."""
         return self.holder(index) is None
+
+
+class LeaseHeartbeat:
+    """Background renewal of one shard's lease while its flush runs.
+
+    Started around ``_flush_shard`` in the worker loop; renews every
+    ``interval`` seconds (default ``ttl / 4`` — several missed beats fit
+    inside one TTL, so scheduler jitter never drops a live claim).  Used as
+    a context manager so the thread always stops, even when the flush
+    raises and the worker is about to release the shard.
+    """
+
+    def __init__(self, ledger: LeaseLedger, index: int, interval: float | None = None):
+        self.ledger = ledger
+        self.index = index
+        self.interval = max(ledger.ttl / 4.0 if interval is None else interval, 0.01)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "LeaseHeartbeat":
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-heartbeat-{self.index}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.ledger.renew(self.index)
+            except OSError:  # pragma: no cover - store dir vanished mid-run
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "LeaseHeartbeat":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

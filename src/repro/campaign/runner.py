@@ -24,6 +24,7 @@ import traceback
 from dataclasses import dataclass, replace
 
 from ..errors import ReproError
+from ..faults.plan import fault_point
 from ..frame import Frame
 from ..market.catalog import Catalog, default_catalog
 from ..parallel import ParallelConfig, parallel_map
@@ -78,6 +79,9 @@ class CampaignResult:
 def _roundtrip_result(key: str, plan, result) -> tuple[str, dict | None, str | None]:
     """Render, re-parse and validate one simulated run into a cache row."""
     try:
+        # Inside the try: a raise-kind fault becomes a per-unit error row on
+        # both the scalar and the vectorized batch path, like a real failure.
+        fault_point("unit.execute", ctx=key)
         parsed = parse_result_text(render_report(result), file_name=plan.file_name)
         report = validate_run(parsed.record)
         if not report.is_valid:

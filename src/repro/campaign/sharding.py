@@ -42,12 +42,16 @@ to the unsharded reduction.
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
-from ..errors import ArtifactError, CampaignError
+from ..errors import ArtifactError, CampaignError, InjectedFault
+from ..faults.plan import fault_point, install_fault_plan
+from ..faults.retry import RetryPolicy
 from ..frame import Frame, concat
 from ..market.catalog import Catalog
 from ..obs.trace import get_tracer
@@ -56,7 +60,7 @@ from ..session.artifacts import ArtifactStore, digest_json
 from ..session.columnar import frame_from_arrays, frame_to_arrays
 from ..session.policy import ExecutionPolicy
 from .aggregate import FrameAccumulator, annotate_row
-from .leases import DEFAULT_LEASE_TTL, LeaseLedger
+from .leases import DEFAULT_LEASE_TTL, LeaseHeartbeat, LeaseLedger
 from .reduce import FrameReducer
 from .spec import CampaignSpec, CampaignUnit
 from .store import CampaignStore
@@ -168,10 +172,14 @@ class ShardOutcome:
     kernel_s: float = 0.0
     assembly_s: float = 0.0
     flush_bytes: int = 0
+    #: Units of this shard excluded as quarantined poison units — they are
+    #: accounted as resolved (not pending), which is what lets a degraded
+    #: campaign converge instead of re-executing its poison forever.
+    quarantined: int = 0
 
     @property
     def is_complete(self) -> bool:
-        return self.n_rows == self.n_units
+        return self.n_rows + self.quarantined == self.n_units
 
 
 @dataclass(frozen=True)
@@ -198,6 +206,8 @@ class StreamingCampaignResult:
     #: Worker processes the run fanned out across (1 = serial streaming).
     #: Purely bookkeeping — results are bit-identical for any worker count.
     n_workers: int = 1
+    #: Poison units excluded via ``quarantine.jsonl``: ``(unit_id, error)``.
+    quarantined: tuple[tuple[str, str], ...] = ()
 
     @property
     def completed(self) -> int:
@@ -211,6 +221,17 @@ class StreamingCampaignResult:
     def is_complete(self) -> bool:
         return self.completed == self.total_units
 
+    @property
+    def status(self) -> str:
+        """``complete``, ``degraded`` (all but quarantined), or ``partial``."""
+        if self.is_complete:
+            return "complete"
+        if self.quarantined and (
+            self.completed + len(self.quarantined) >= self.total_units
+        ):
+            return "degraded"
+        return "partial"
+
     def describe(self) -> str:
         lines = [
             f"{self.total_units} units in {self.total_shards} shards "
@@ -218,6 +239,13 @@ class StreamingCampaignResult:
             f"{self.simulated} simulated, {len(self.failures)} failed "
             f"({self.completed} rows in {self.store_directory})"
         ]
+        if self.quarantined:
+            lines.append(
+                f"  status {self.status}: {len(self.quarantined)} "
+                "unit(s) quarantined"
+            )
+            for unit_id, error in self.quarantined:
+                lines.append(f"  quarantined {unit_id}: {error}")
         for unit_id, error in self.failures:
             lines.append(f"  failed {unit_id}: {error}")
         return "\n".join(lines)
@@ -317,6 +345,7 @@ def _jsonable_quantiles(reducer: FrameReducer) -> dict[str, dict[str, float | No
 
 def _load_shard_frame(store: ArtifactStore, key: str) -> Frame | None:
     """Rebuild one shard frame from its artifact; ``None`` on a miss."""
+    fault_point("artifact.read", ctx=key)
     payload = store.get(key)
     if payload is None:
         return None
@@ -365,6 +394,82 @@ def scan_shards(store_dir: str | os.PathLike) -> "LazyFrame":
     return concat_lazy(scans)
 
 
+def _tear_sidecar(store: ArtifactStore, key: str, fraction: float) -> None:
+    """Truncate an artifact's ``.npz`` sidecar (partial-write fault)."""
+    sidecar = store.sidecar_path(key)
+    if sidecar.exists():
+        data = sidecar.read_bytes()
+        sidecar.write_bytes(data[: max(1, int(len(data) * fraction))])
+
+
+def _execute_pending(
+    pending: list[CampaignUnit],
+    shard: Shard,
+    store: CampaignStore,
+    config: ParallelConfig,
+    batch: bool,
+    catalog: Catalog | None,
+    retry: RetryPolicy | None,
+    rows_by_key: dict[str, dict],
+) -> tuple[list[tuple[str, str]], int]:
+    """Run the shard's missing units with per-unit retry rounds.
+
+    Successful rows land in ``rows_by_key`` and the unit cache; every
+    attempt (retries included) is appended to the ledger in one batch.
+    Returns the surviving failures (``(unit_id, error)``) and the number of
+    units quarantined *by this call* — units that still failed after
+    ``retry.max_attempts`` rounds, which are recorded in
+    ``quarantine.jsonl`` and excluded from future passes.  With
+    ``retry=None`` this is exactly the historical single-round behaviour.
+    """
+    from .runner import dispatch_simulations
+
+    by_key = {unit.key: unit for unit in shard.units}
+    ledger: list[tuple[CampaignUnit, str | None]] = []
+    errors: dict[str, str] = {}
+    attempts: dict[str, int] = {}
+    to_run = list(pending)
+    round_no = 0
+    retry_budget = retry.shard_retry_budget if retry is not None else 0
+    while to_run:
+        outcomes = dispatch_simulations(to_run, config, batch, catalog)
+        failed_units: list[CampaignUnit] = []
+        for key, row, error in outcomes:
+            unit = by_key[key]
+            attempts[key] = attempts.get(key, 0) + 1
+            if error is None:
+                store.cache.put(key, row)
+                rows_by_key[key] = row
+                errors.pop(key, None)
+            else:
+                errors[key] = error
+                failed_units.append(unit)
+            ledger.append((unit, error))
+        round_no += 1
+        if retry is None or not failed_units or round_no >= retry.max_attempts:
+            break
+        if retry_budget is not None:
+            if retry_budget <= 0:
+                break
+            failed_units = failed_units[: retry_budget]
+            retry_budget -= len(failed_units)
+        delay = retry.delay(round_no, salt=f"shard{shard.index}")
+        if delay > 0:
+            time.sleep(delay)
+        to_run = failed_units
+    store.record_many(ledger)
+
+    failures: list[tuple[str, str]] = []
+    n_quarantined = 0
+    for key, error in errors.items():
+        unit = by_key[key]
+        failures.append((unit.unit_id, error))
+        if retry is not None and attempts.get(key, 0) >= retry.max_attempts:
+            store.record_quarantine(unit, error, attempts[key])
+            n_quarantined += 1
+    return failures, n_quarantined
+
+
 def _flush_shard(
     shard: Shard,
     store: CampaignStore,
@@ -372,18 +477,28 @@ def _flush_shard(
     batch: bool,
     catalog: Catalog | None,
     budget: int | None,
+    retry: RetryPolicy | None = None,
+    quarantined: set[str] | None = None,
 ) -> tuple[ShardOutcome, Frame]:
     """Execute one shard's missing units and persist its frame artifact.
 
     ``budget`` bounds the number of *new* simulations (``None`` = no bound);
-    the caller decrements it by the returned outcome's ``simulated``.
+    the caller decrements it by the returned outcome's ``simulated`` and
+    ``failures``.  ``retry`` enables per-unit retry rounds with quarantine
+    on exhaustion; ``quarantined`` is the live set of poison-unit keys —
+    members are skipped outright, and keys this flush quarantines are added
+    to it so later shards in the same pass see them immediately.
     """
     tracer = get_tracer()
     with tracer.span("campaign.shard", index=shard.index, units=shard.n_units) as span:
         cache = store.cache
         rows_by_key: dict[str, dict] = {}
         pending: list[CampaignUnit] = []
+        n_quarantined = 0
         for unit in shard.units:
+            if quarantined is not None and unit.key in quarantined:
+                n_quarantined += 1
+                continue
             row = cache.get(unit.key)
             if row is not None:
                 rows_by_key[unit.key] = row
@@ -397,22 +512,14 @@ def _flush_shard(
         failures: list[tuple[str, str]] = []
         kernel_s = 0.0
         if pending:
-            from .runner import dispatch_simulations
-
-            by_key = {unit.key: unit for unit in shard.units}
             kernel_start = time.perf_counter()
-            outcomes = dispatch_simulations(pending, config, batch, catalog)
+            failures, newly_quarantined = _execute_pending(
+                pending, shard, store, config, batch, catalog, retry, rows_by_key
+            )
             kernel_s = time.perf_counter() - kernel_start
-            ledger: list[tuple[CampaignUnit, str | None]] = []
-            for key, row, error in outcomes:
-                unit = by_key[key]
-                if error is None:
-                    cache.put(key, row)
-                    rows_by_key[key] = row
-                else:
-                    failures.append((unit.unit_id, error))
-                ledger.append((unit, error))
-            store.record_many(ledger)
+            n_quarantined += newly_quarantined
+            if quarantined is not None and newly_quarantined:
+                quarantined.update(store.quarantine_keys())
 
         assembly_start = time.perf_counter()
         accumulator = FrameAccumulator()
@@ -425,9 +532,16 @@ def _flush_shard(
 
         artifact_key = shard.artifact_key()
         meta, arrays = frame_to_arrays(frame)
+        fault_rule = fault_point("shard.flush", ctx=f"shard{shard.index}")
         store.shard_store.put(
             artifact_key, {"columns": meta, "n_rows": len(frame)}, arrays=arrays
         )
+        # Checksum of the *intended* bytes, taken before any injected
+        # truncation below — so a torn flush records a checksum its artifact
+        # cannot match, which is exactly how the reload path catches it.
+        checksum = store.shard_store.sidecar_digest(artifact_key)
+        if fault_rule is not None and fault_rule.kind == "partial_write":
+            _tear_sidecar(store.shard_store, artifact_key, fault_rule.fraction)
         flush_bytes = int(sum(array.nbytes for array in arrays.values()))
         span.set("cache_hits", cache_hits)
         span.set("simulated", len(pending) - len(failures))
@@ -447,24 +561,31 @@ def _flush_shard(
             kernel_s=kernel_s,
             assembly_s=assembly_s,
             flush_bytes=flush_bytes,
+            quarantined=n_quarantined,
         )
-    store.record_shard(
-        {
-            "index": shard.index,
-            "start": shard.start,
-            "count": shard.n_units,
-            "n_rows": len(frame),
-            "failed": len(failures),
-            "keys_digest": shard.keys_digest(),
-            "artifact": artifact_key,
-            "status": "complete" if outcome.is_complete else "partial",
-        }
-    )
+    entry: dict[str, Any] = {
+        "index": shard.index,
+        "start": shard.start,
+        "count": shard.n_units,
+        "n_rows": len(frame),
+        "failed": len(failures),
+        "keys_digest": shard.keys_digest(),
+        "artifact": artifact_key,
+        "status": "complete" if outcome.is_complete else "partial",
+    }
+    if checksum is not None:
+        entry["checksum"] = checksum
+    if n_quarantined:
+        entry["quarantined"] = n_quarantined
+    store.record_shard(entry)
     return outcome, frame
 
 
 def _reload_shard(
-    shard: Shard, store: CampaignStore, entry: dict[str, Any]
+    shard: Shard,
+    store: CampaignStore,
+    entry: dict[str, Any],
+    quarantined_keys: set[str] | None = None,
 ) -> tuple[ShardOutcome, Frame] | None:
     """Serve a recorded complete shard from its artifact, if still valid."""
     if entry.get("status") != "complete":
@@ -474,22 +595,37 @@ def _reload_shard(
     artifact_key = entry.get("artifact")
     if not isinstance(artifact_key, str):
         return None
+    # Completeness is judged against the *live* quarantine set, not the
+    # count the record froze in: deleting ``quarantine.jsonl`` un-poisons
+    # the units, the row count stops adding up, and the shard re-executes
+    # exactly the units it skipped (the rest are unit-cache hits).
+    live = store.quarantine_keys() if quarantined_keys is None else quarantined_keys
+    quarantined = (
+        sum(1 for unit in shard.units if unit.key in live) if live else 0
+    )
+    checksum = entry.get("checksum")
     try:
+        if isinstance(checksum, str):
+            # Verify content before trusting: a torn/bit-rotted artifact is
+            # re-executed from the unit cache, never adopted.
+            if store.shard_store.sidecar_digest(artifact_key) != checksum:
+                return None
         frame = _load_shard_frame(store.shard_store, artifact_key)
-    except (ArtifactError, CampaignError):
+    except (ArtifactError, CampaignError, InjectedFault):
         return None  # corrupt artifact: re-execute the shard
-    if frame is None or len(frame) != shard.n_units:
+    if frame is None or len(frame) + quarantined != shard.n_units:
         return None
     outcome = ShardOutcome(
         index=shard.index,
         start=shard.start,
         n_units=shard.n_units,
         n_rows=len(frame),
-        cache_hits=shard.n_units,
+        cache_hits=len(frame),
         simulated=0,
         failures=(),
         artifact_key=artifact_key,
         reloaded=True,
+        quarantined=quarantined,
     )
     return outcome, frame
 
@@ -511,23 +647,27 @@ def _recover_shard(
     artifact_key = shard.artifact_key()
     try:
         frame = _load_shard_frame(store.shard_store, artifact_key)
-    except (ArtifactError, CampaignError):
+    except (ArtifactError, CampaignError, InjectedFault):
         return None
     if frame is None or len(frame) != shard.n_units:
         return None
-    store.record_shard(
-        {
-            "index": shard.index,
-            "start": shard.start,
-            "count": shard.n_units,
-            "n_rows": len(frame),
-            "failed": 0,
-            "keys_digest": shard.keys_digest(),
-            "artifact": artifact_key,
-            "status": "complete",
-            "recovered": True,
-        }
-    )
+    entry: dict[str, Any] = {
+        "index": shard.index,
+        "start": shard.start,
+        "count": shard.n_units,
+        "n_rows": len(frame),
+        "failed": 0,
+        "keys_digest": shard.keys_digest(),
+        "artifact": artifact_key,
+        "status": "complete",
+        "recovered": True,
+    }
+    # The artifact just round-tripped through a full parse, so its current
+    # bytes are trustworthy — checksum them for every later reload.
+    checksum = store.shard_store.sidecar_digest(artifact_key)
+    if checksum is not None:
+        entry["checksum"] = checksum
+    store.record_shard(entry)
     outcome = ShardOutcome(
         index=shard.index,
         start=shard.start,
@@ -564,6 +704,8 @@ def run_worker(
     lease_ttl: float = DEFAULT_LEASE_TTL,
     poll_interval: float = 0.05,
     max_sweeps: int | None = None,
+    retry: RetryPolicy | None = None,
+    handle_sigterm: bool = False,
 ) -> int:
     """Claim-and-execute loop of one campaign worker; returns shards flushed.
 
@@ -585,6 +727,15 @@ def run_worker(
     is reclaimed on the next sweep, which is what bounds a SIGKILL'd
     worker's loss to one shard.  ``max_sweeps`` bounds the polling for
     tests; ``None`` waits as long as a live foreign claim exists.
+
+    While a claimed shard flushes, a :class:`~repro.campaign.leases
+    .LeaseHeartbeat` renews the lease from a background thread — a slow
+    shard keeps its claim indefinitely, while a *hung* worker (alive pid,
+    no heartbeats) lets its deadline lapse and the shard becomes
+    reclaimable.  ``handle_sigterm=True`` converts SIGTERM into a graceful
+    stop: the in-flight shard finishes and records its result, then the
+    loop exits cleanly with a ``worker_sigterm`` event (the CLI's
+    ``campaign worker`` enables this).
     """
     store = CampaignStore(store_dir)
     spec = store.load_spec()
@@ -598,11 +749,20 @@ def run_worker(
         parallel = policy.parallel_config() if parallel is None else parallel
         if batch is None:
             batch = policy.use_batch_kernel
+        if retry is None:
+            retry = policy.retry
     if batch is None:
         batch = True
     config = parallel or ParallelConfig(backend="serial")
     if config.backend != "serial":
         config = replace(config, serial_threshold=0)
+
+    stopping = threading.Event()
+    previous_handler: Any = None
+    if handle_sigterm:
+        previous_handler = signal.signal(
+            signal.SIGTERM, lambda signum, frame: stopping.set()
+        )
 
     ledger = LeaseLedger(store, worker_id, ttl=lease_ttl)
     attempted: set[int] = set()
@@ -610,50 +770,74 @@ def run_worker(
     sweeps = 0
     store.record_event("worker_start", worker=worker_id, pid=os.getpid())
     tracer = get_tracer()
-    with tracer.span("campaign.worker", worker=worker_id):
-        while True:
-            sweeps += 1
-            recorded = store.shard_entries()
-            waiting = False
-            progressed = False
-            for shard in iter_shards(spec, catalog, shard_size=shard_size):
-                if _shard_recorded_complete(shard, recorded.get(shard.index)):
-                    continue
-                if shard.index in attempted:
-                    continue
-                if _recover_shard(shard, store) is not None:
+    try:
+        with tracer.span("campaign.worker", worker=worker_id):
+            while not stopping.is_set():
+                sweeps += 1
+                recorded = store.shard_entries()
+                quarantined = store.quarantine_keys()
+                waiting = False
+                progressed = False
+                for shard in iter_shards(spec, catalog, shard_size=shard_size):
+                    if stopping.is_set():
+                        break
+                    if _shard_recorded_complete(shard, recorded.get(shard.index)):
+                        continue
+                    if shard.index in attempted:
+                        continue
+                    if _recover_shard(shard, store) is not None:
+                        progressed = True
+                        continue
+                    lease = ledger.try_claim(shard.index)
+                    if lease is None:
+                        waiting = True  # a live peer holds it; revisit next sweep
+                        continue
+                    attempted.add(shard.index)
+                    try:
+                        # Renew the lease while the flush runs: slow-but-alive
+                        # keeps the claim; hung (no heartbeats) loses it at TTL.
+                        with LeaseHeartbeat(ledger, shard.index):
+                            outcome, frame = _flush_shard(
+                                shard,
+                                store,
+                                config,
+                                batch,
+                                catalog,
+                                None,
+                                retry=retry,
+                                quarantined=quarantined,
+                            )
+                    except BaseException:
+                        ledger.release(shard.index)  # hand it back, then die loudly
+                        raise
+                    del frame
+                    executed += 1
                     progressed = True
-                    continue
-                lease = ledger.try_claim(shard.index)
-                if lease is None:
-                    waiting = True  # a live peer holds it; revisit next sweep
-                    continue
-                attempted.add(shard.index)
-                try:
-                    outcome, frame = _flush_shard(
-                        shard, store, config, batch, catalog, None
+                    store.record_event(
+                        "worker_shard",
+                        worker=worker_id,
+                        index=outcome.index,
+                        n_rows=outcome.n_rows,
+                        cache_hits=outcome.cache_hits,
+                        simulated=outcome.simulated,
+                        failed=len(outcome.failures),
+                        quarantined=outcome.quarantined,
                     )
-                except BaseException:
-                    ledger.release(shard.index)  # hand it back, then die loudly
-                    raise
-                del frame
-                executed += 1
-                progressed = True
-                store.record_event(
-                    "worker_shard",
-                    worker=worker_id,
-                    index=outcome.index,
-                    n_rows=outcome.n_rows,
-                    cache_hits=outcome.cache_hits,
-                    simulated=outcome.simulated,
-                    failed=len(outcome.failures),
-                )
-            if not waiting:
-                break
-            if not progressed:
-                if max_sweeps is not None and sweeps >= max_sweeps:
+                if stopping.is_set() or not waiting:
                     break
-                time.sleep(poll_interval)
+                if not progressed:
+                    if max_sweeps is not None and sweeps >= max_sweeps:
+                        break
+                    time.sleep(poll_interval)
+    finally:
+        if handle_sigterm:
+            signal.signal(signal.SIGTERM, previous_handler)
+    if stopping.is_set():
+        # Graceful SIGTERM: the in-flight shard completed above (its result
+        # record supersedes the lease), so exiting here leaves no torn state.
+        store.record_event(
+            "worker_sigterm", worker=worker_id, shards=executed, pid=os.getpid()
+        )
     store.record_event("worker_done", worker=worker_id, shards=executed)
     return executed
 
@@ -672,6 +856,7 @@ def _worker_entry(
         catalog=catalog,
         batch=batch,
         lease_ttl=lease_ttl,
+        handle_sigterm=True,
     )
 
 
@@ -725,6 +910,7 @@ def stream_campaign(
     workers: int | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     results_dir: str | os.PathLike | None = None,
+    retry: RetryPolicy | None = None,
 ) -> StreamingCampaignResult:
     """Execute a campaign shard by shard with bounded resident memory.
 
@@ -756,13 +942,69 @@ def stream_campaign(
     the ``max_units``/``max_shards`` caps.  ``results_dir`` redirects the
     unit-result cache (the campaign service points several job stores at
     one shared cache for cross-client dedup).
+
+    ``retry`` (or ``policy.retry``) enables per-unit retry rounds with
+    capped exponential backoff and poison-unit quarantine: a unit that
+    fails ``max_attempts`` rounds is recorded in the store's
+    ``quarantine.jsonl``, excluded from every later pass, and the result's
+    :attr:`~StreamingCampaignResult.status` reports ``degraded`` instead of
+    blocking completion.  ``policy.faults`` installs a
+    :class:`~repro.faults.FaultPlan` for the duration of the run (chaos
+    testing; the previous plan is restored on exit).
     """
+
+    def _run() -> StreamingCampaignResult:
+        return _stream_campaign(
+            spec,
+            store_dir,
+            parallel=parallel,
+            catalog=catalog,
+            shard_size=shard_size,
+            max_units=max_units,
+            max_shards=max_shards,
+            batch=batch,
+            policy=policy,
+            progress=progress,
+            workers=workers,
+            lease_ttl=lease_ttl,
+            results_dir=results_dir,
+            retry=retry,
+        )
+
+    if policy is not None and policy.faults is not None:
+        previous = install_fault_plan(policy.faults)
+        try:
+            return _run()
+        finally:
+            install_fault_plan(previous)
+    return _run()
+
+
+def _stream_campaign(
+    spec: CampaignSpec,
+    store_dir: str | os.PathLike,
+    parallel: ParallelConfig | None = None,
+    catalog: Catalog | None = None,
+    shard_size: int | None = None,
+    max_units: int | None = None,
+    max_shards: int | None = None,
+    batch: bool | None = None,
+    policy: ExecutionPolicy | None = None,
+    progress: Callable[[ShardOutcome, int], None] | None = None,
+    workers: int | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    results_dir: str | os.PathLike | None = None,
+    retry: RetryPolicy | None = None,
+) -> StreamingCampaignResult:
+    """The streaming pass behind :func:`stream_campaign` (fault scope set)."""
     if policy is not None:
         parallel = policy.parallel_config() if parallel is None else parallel
         if batch is None:
             batch = policy.use_batch_kernel
         if shard_size is None:
             shard_size = policy.effective_shard_size
+        if retry is None:
+            retry = policy.retry
         if workers is None and max_units is None and max_shards is None:
             # Policy-driven fan-out only when no caps are in play: capped
             # runs (smoke tests, budgeted resumes) stay serial rather than
@@ -800,6 +1042,7 @@ def stream_campaign(
     total_units = spec.n_units
     n_shards = -(-total_units // shard_size)
     recorded = store.shard_entries()
+    quarantined_keys = store.quarantine_keys()
     reducer = FrameReducer()
     outcomes: list[ShardOutcome] = []
     failures: list[tuple[str, str]] = []
@@ -825,7 +1068,9 @@ def stream_campaign(
             if max_shards is not None and shard.index >= max_shards:
                 break
             shard_start = time.perf_counter()
-            reloaded = _reload_shard(shard, store, recorded.get(shard.index, {}))
+            reloaded = _reload_shard(
+                shard, store, recorded.get(shard.index, {}), quarantined_keys
+            )
             if reloaded is None and not _shard_recorded_complete(
                 shard, recorded.get(shard.index)
             ):
@@ -836,7 +1081,16 @@ def stream_campaign(
             if reloaded is not None:
                 outcome, frame = reloaded
             else:
-                outcome, frame = _flush_shard(shard, store, config, batch, catalog, budget)
+                outcome, frame = _flush_shard(
+                    shard,
+                    store,
+                    config,
+                    batch,
+                    catalog,
+                    budget,
+                    retry=retry,
+                    quarantined=quarantined_keys,
+                )
                 if budget is not None:
                     # Attempts spend the budget, successful or not, mirroring
                     # the unsharded runner's pending[:max_units] semantics.
@@ -856,6 +1110,7 @@ def stream_campaign(
                 cache_hits=outcome.cache_hits,
                 simulated=outcome.simulated,
                 failed=len(outcome.failures),
+                quarantined=outcome.quarantined,
                 reloaded=outcome.reloaded,
                 wall_s=wall_s,
                 kernel_s=outcome.kernel_s,
@@ -869,6 +1124,15 @@ def stream_campaign(
             if progress is not None:
                 progress(outcome, n_shards)
 
+    # Latest quarantine record per key: what the result reports as excluded.
+    quarantine_records: dict[str, tuple[str, str]] = {}
+    for entry in store.quarantine_entries():
+        key = entry.get("key")
+        if isinstance(key, str):
+            quarantine_records[key] = (
+                str(entry.get("unit_id", key[:16])),
+                str(entry.get("error", "unknown error")),
+            )
     store.record_event(
         "campaign_complete",
         name=spec.name,
@@ -877,6 +1141,7 @@ def stream_campaign(
         cache_hits=cache_hits,
         simulated=simulated,
         failed=len(failures),
+        quarantined=len(quarantine_records),
         rows_total=reducer.n_rows,
     )
     return StreamingCampaignResult(
@@ -889,6 +1154,7 @@ def stream_campaign(
         aggregate=reducer.to_frame(),
         store_directory=str(store.directory),
         n_workers=n_workers,
+        quarantined=tuple(quarantine_records.values()),
     )
 
 
@@ -904,6 +1170,7 @@ def resume_streaming(
     progress: Callable[[ShardOutcome, int], None] | None = None,
     workers: int | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    retry: RetryPolicy | None = None,
 ) -> StreamingCampaignResult:
     """Continue an interrupted sharded campaign from its on-disk snapshot.
 
@@ -930,4 +1197,5 @@ def resume_streaming(
         progress=progress,
         workers=workers,
         lease_ttl=lease_ttl,
+        retry=retry,
     )

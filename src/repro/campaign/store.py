@@ -102,6 +102,10 @@ class CampaignStatus:
     failed: int
     failures: tuple[tuple[str, str], ...]  # (unit_id, error)
     shards: ShardProgress | None = None
+    #: Units that exhausted their retry budget and were written to
+    #: ``quarantine.jsonl`` — excluded from execution, so a campaign that
+    #: has any can at best finish ``degraded``.
+    quarantined: int = 0
 
     @property
     def pending(self) -> int:
@@ -111,11 +115,23 @@ class CampaignStatus:
     def is_complete(self) -> bool:
         return self.completed == self.total
 
+    @property
+    def is_degraded(self) -> bool:
+        """Everything ran except quarantined poison units."""
+        return (
+            self.quarantined > 0
+            and self.completed + self.quarantined >= self.total
+            and not self.is_complete
+        )
+
     def describe(self) -> str:
         lines = [
             f"campaign {self.name}: {self.completed}/{self.total} units "
             f"completed, {self.pending} pending, {self.failed} failed"
         ]
+        if self.quarantined:
+            state = "degraded" if self.is_degraded else f"{self.pending} pending"
+            lines.append(f"  {self.quarantined} quarantined ({state})")
         if self.shards is not None:
             lines.append(f"  {self.shards.describe()}")
         for unit_id, error in self.failures:
@@ -200,6 +216,10 @@ class CampaignStore:
     @property
     def events_path(self) -> Path:
         return self.directory / "events.jsonl"
+
+    @property
+    def quarantine_path(self) -> Path:
+        return self.directory / "quarantine.jsonl"
 
     @property
     def shard_store(self) -> "ArtifactStore":
@@ -407,6 +427,45 @@ class CampaignStore:
         return latest
 
     # ------------------------------------------------------------------ #
+    # Poison-unit quarantine (retry exhaustion; see campaign.sharding)
+    # ------------------------------------------------------------------ #
+    def record_quarantine(
+        self, unit: CampaignUnit, error: str, attempts: int
+    ) -> None:
+        """Record a unit that exhausted its retry budget as quarantined.
+
+        Quarantined units are excluded from later execution passes (a
+        poison unit must not stall a 100k-unit sweep forever) and the
+        campaign that skips any completes ``degraded`` rather than
+        ``complete`` — the record here is what makes that status, and the
+        exact units behind it, durable and auditable.
+        """
+        append_jsonl(
+            self.quarantine_path,
+            [
+                {
+                    "unit_id": unit.unit_id,
+                    "key": unit.key,
+                    "error": error,
+                    "attempts": int(attempts),
+                    "ts": time.time(),
+                }
+            ],
+        )
+
+    def quarantine_entries(self) -> list[dict[str, Any]]:
+        """All quarantine records in append order (latest per key last)."""
+        return self._jsonl_entries(self.quarantine_path)
+
+    def quarantine_keys(self) -> set[str]:
+        """Unit keys currently quarantined (skipped by execution passes)."""
+        return {
+            entry["key"]
+            for entry in self.quarantine_entries()
+            if isinstance(entry.get("key"), str)
+        }
+
+    # ------------------------------------------------------------------ #
     # Telemetry event log (``campaign watch`` tails this)
     # ------------------------------------------------------------------ #
     def record_event(self, name: str, /, **fields: Any) -> None:
@@ -505,6 +564,9 @@ class CampaignStore:
                     completed += 1
                 elif unit["key"] in last_error:
                     failures.append((unit["unit_id"], last_error[unit["key"]]))
+        quarantined = {
+            key for key in self.quarantine_keys() if key not in self.cache
+        }
         return CampaignStatus(
             name=spec.name,
             total=total,
@@ -512,6 +574,7 @@ class CampaignStore:
             failed=len(failures),
             failures=tuple(failures),
             shards=self.shard_progress(),
+            quarantined=len(quarantined),
         )
 
 

@@ -31,6 +31,9 @@ Sub-commands mirror the stages of the paper's artifact:
   filter/project a finished streaming store out of core: the lazy plan
   engine pushes the predicate into each shard's columnar artifact and
   reads only the bytes the answer needs,
+* ``spectrends campaign doctor --store store/ [--repair]`` — scan a store
+  for torn logs, checksum mismatches, orphaned artifacts and stale
+  leases; repairs are conservative and never invent data,
 * ``spectrends serve --root svc/`` — long-running campaign service:
   submissions over a local socket, shared-cache dedup across clients,
   streaming progress events.
@@ -223,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fan shards out across N lease-coordinated worker "
                            "processes (requires --shard-size; results are "
                            "bit-identical to the serial run)")
+    crun.add_argument("--retries", type=_positive_int, default=None,
+                      help="attempts per unit before it is quarantined as a "
+                           "poison unit (requires --shard-size; default: one "
+                           "attempt, failures stay pending)")
     _add_session_flags(crun)
     cresume = csub.add_parser(
         "resume", help="continue an interrupted campaign from its store"
@@ -240,6 +247,9 @@ def build_parser() -> argparse.ArgumentParser:
     cresume.add_argument("--workers", type=_positive_int, default=None,
                          help="resume with N lease-coordinated worker "
                               "processes (sharded stores only)")
+    cresume.add_argument("--retries", type=_positive_int, default=None,
+                         help="attempts per unit before it is quarantined as "
+                              "a poison unit (sharded stores only)")
     _add_session_flags(cresume)
     cworker = csub.add_parser(
         "worker",
@@ -260,6 +270,9 @@ def build_parser() -> argparse.ArgumentParser:
     cworker.add_argument("--no-batch", action="store_true",
                          help="force the scalar per-unit simulator instead "
                               "of the vectorized batch kernel")
+    cworker.add_argument("--retries", type=_positive_int, default=None,
+                         help="attempts per unit before it is quarantined "
+                              "as a poison unit (default: one attempt)")
     cstatus = csub.add_parser("status", help="report campaign progress")
     cstatus.add_argument("--store", required=True)
     cquery = csub.add_parser(
@@ -295,6 +308,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: the headline efficiency metric)")
     cwatch.add_argument("--width", type=_positive_int, default=72,
                         help="render width in characters (default: 72)")
+    cdoctor = csub.add_parser(
+        "doctor", help="scan a campaign store for corruption, orphaned "
+                       "artifacts and stale leases; --repair fixes what it "
+                       "finds without inventing data"
+    )
+    cdoctor.add_argument("--store", required=True, help="campaign store directory")
+    cdoctor.add_argument("--repair", action="store_true",
+                         help="apply conservative repairs (atomic log rewrites, "
+                              "damaged-artifact deletion + re-execution markers, "
+                              "stale-lease release)")
 
     serve = sub.add_parser(
         "serve",
@@ -331,6 +354,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _retry_from_args(args: argparse.Namespace):
+    """The :class:`RetryPolicy` behind ``--retries N`` (None when unset)."""
+    retries = getattr(args, "retries", None)
+    if retries is None:
+        return None
+    from ..faults import RetryPolicy
+
+    return RetryPolicy(max_attempts=retries)
+
+
 def _open_session(args: argparse.Namespace):
     """The session behind this invocation (policy from --jobs/--no-batch)."""
     from ..session.policy import ExecutionPolicy
@@ -340,6 +373,7 @@ def _open_session(args: argparse.Namespace):
         args.jobs,
         batch=not getattr(args, "no_batch", False),
         shard_size=getattr(args, "shard_size", None),
+        retry=_retry_from_args(args),
     )
     return Session(workspace=args.workspace, policy=policy)
 
@@ -439,9 +473,17 @@ def _dispatch(session, args: argparse.Namespace) -> int:
                     worker_id,
                     batch=not args.no_batch,
                     lease_ttl=ttl,
+                    handle_sigterm=True,
+                    retry=_retry_from_args(args),
                 )
                 print(f"worker {worker_id}: flushed {shards} shard(s)")
                 return 0
+            if args.campaign_command == "doctor":
+                from ..campaign import doctor_store
+
+                report = doctor_store(args.store, repair=args.repair)
+                print(report.describe())
+                return 0 if not report.unresolved else 1
             if args.campaign_command == "query":
                 from ..campaign import scan_shards
                 from ..frame.csvio import frame_to_csv_text
@@ -477,6 +519,13 @@ def _dispatch(session, args: argparse.Namespace) -> int:
                     print(
                         "error: --workers needs --shard-size (shards are "
                         "the unit of distribution)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if args.retries is not None and args.shard_size is None:
+                    print(
+                        "error: --retries needs --shard-size (retry rounds "
+                        "and quarantine are per-shard mechanics)",
                         file=sys.stderr,
                     )
                     return 2

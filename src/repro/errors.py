@@ -24,6 +24,7 @@ __all__ = [
     "SimulationError",
     "ArtifactError",
     "CampaignError",
+    "InjectedFault",
     "SessionError",
     "ReportError",
     "PlotError",
@@ -98,6 +99,17 @@ class ArtifactError(ReproError):
 
 class CampaignError(ReproError):
     """Invalid campaign specification or unusable campaign store."""
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected fault (:mod:`repro.faults`) fired.
+
+    Raised only when a fault plan is installed — production runs never see
+    it.  Derives from :class:`ReproError` so every per-unit error-capture
+    path treats an injected failure exactly like a real one, which is the
+    point: the chaos suite proves the *same* recovery machinery handles
+    both.
+    """
 
 
 class SessionError(ReproError):

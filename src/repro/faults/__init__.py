@@ -1,0 +1,43 @@
+"""Deterministic fault injection and retry policy for the campaign plane.
+
+The package has two halves that meet in the streaming runner:
+
+* :mod:`repro.faults.plan` — the injection harness: a seeded
+  :class:`FaultPlan` of site x trigger x kind rules, installed via
+  ``REPRO_FAULTS`` or :func:`install_fault_plan`, probed from the real
+  code paths through :func:`fault_point`;
+* :mod:`repro.faults.retry` — :class:`RetryPolicy`, the declarative
+  retry/backoff/quarantine contract the runner applies when a unit
+  fails, injected or real.
+"""
+
+from __future__ import annotations
+
+from ..errors import InjectedFault
+from .plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultRule,
+    active_fault_plan,
+    clear_fault_plan,
+    fault_plan_from_env,
+    fault_point,
+    install_fault_plan,
+    resolve_fault_plan,
+)
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "fault_point",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "active_fault_plan",
+    "resolve_fault_plan",
+    "fault_plan_from_env",
+]

@@ -1,0 +1,85 @@
+"""Retry policy: capped exponential backoff with deterministic jitter.
+
+:class:`RetryPolicy` is the declarative half of the campaign plane's
+failure handling — *how many times* a failing unit is re-attempted, *how
+long* to wait between rounds, and *when* a unit is given up on and
+quarantined (recorded in the store's ``quarantine.jsonl``; see
+:mod:`repro.campaign.sharding`).  It lives in :mod:`repro.faults` rather
+than :mod:`repro.campaign` so :class:`~repro.session.policy.ExecutionPolicy`
+can carry one without an import cycle.
+
+Jitter is deterministic: the delay for a retry round is a pure function of
+``(salt, attempt)``, so two runs of the same plan wait the same amount —
+chaos tests replay bit-identically, and a fleet of workers retrying the
+same shard still decorrelates because each salts with its own identity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import CampaignError
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failing campaign units are re-attempted before quarantine.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per unit (first try included).  ``1`` disables
+        retries entirely — every failure goes straight to the ledger (and,
+        if it keeps a shard incomplete, to quarantine).
+    backoff_base:
+        Delay before the first retry round, in seconds.
+    backoff_cap:
+        Upper bound on any single round's delay.
+    jitter:
+        Fraction of the delay randomised (deterministically, from the
+        salt) to decorrelate concurrent retriers; ``0`` disables.
+    shard_retry_budget:
+        Upper bound on *retry attempts* (attempts beyond each unit's
+        first) spent within one shard — a shard where everything fails
+        must not multiply the sweep's cost by ``max_attempts``.  ``None``
+        is unbounded.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.5
+    shard_retry_budget: int | None = 256
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise CampaignError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise CampaignError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise CampaignError("jitter must be within [0, 1]")
+        if self.shard_retry_budget is not None and self.shard_retry_budget < 0:
+            raise CampaignError("shard_retry_budget must be >= 0")
+
+    def delay(self, attempt: int, salt: str = "") -> float:
+        """Seconds to wait before retry round ``attempt`` (1-based).
+
+        Capped exponential: ``base * 2**(attempt-1)``, bounded by
+        ``backoff_cap``, with a deterministic jitter drawn from
+        ``(salt, attempt)`` scaling the delay into
+        ``[1 - jitter, 1] * full``.
+        """
+        if attempt < 1:
+            return 0.0
+        full = min(self.backoff_base * (2.0 ** (attempt - 1)), self.backoff_cap)
+        if self.jitter <= 0.0 or full <= 0.0:
+            return full
+        draw = random.Random(f"{salt}:{attempt}").random()
+        return full * (1.0 - self.jitter * draw)
+
+
+#: The streaming runner's default: two retries with sub-second backoff.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -22,10 +22,19 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
-__all__ = ["append_jsonl", "dumps_line", "read_jsonl"]
+from ..faults.plan import fault_point
+
+__all__ = [
+    "append_jsonl",
+    "dumps_line",
+    "read_jsonl",
+    "read_jsonl_report",
+    "JsonlReport",
+]
 
 
 def dumps_line(record: Mapping[str, Any]) -> str:
@@ -49,6 +58,11 @@ def append_jsonl(
         return 0
     data = "".join(lines).encode("utf-8")
     path = Path(path)
+    rule = fault_point("jsonl.append", ctx=path.name)
+    if rule is not None and rule.kind == "partial_write":
+        # Simulate a writer dying mid-write(2): only a prefix of the batch
+        # lands, leaving a torn line for the readers/doctor to cope with.
+        data = data[: max(1, int(len(data) * rule.fraction))]
     path.parent.mkdir(parents=True, exist_ok=True)
     fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
     try:
@@ -58,25 +72,78 @@ def append_jsonl(
     return len(lines)
 
 
+@dataclass
+class JsonlReport:
+    """What :func:`read_jsonl_report` found: records plus corruption counts.
+
+    ``corrupt`` counts unparseable *mid-file* lines — real corruption that a
+    crash cannot explain; ``torn_tail`` flags an unparseable *final* line,
+    the benign signature of a killed writer.  Non-dict JSON values count as
+    corrupt too: every log in the system is a stream of objects.
+    """
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+    corrupt: int = 0
+    torn_tail: bool = False
+
+    @property
+    def skipped(self) -> int:
+        """Total lines dropped (mid-file corruption plus any torn tail)."""
+        return self.corrupt + (1 if self.torn_tail else 0)
+
+
+def read_jsonl_report(path: str | os.PathLike) -> JsonlReport:
+    """Parse a JSONL file, distinguishing mid-file corruption from a torn tail.
+
+    A torn final line is the expected signature of a killed writer and is
+    flagged but not warned about.  Unparseable lines *before* the last one
+    mean the file was damaged some other way (disk fault, manual edit, an
+    injected ``partial_write``); those are counted and a single warning event
+    is emitted through the tracer so long-running campaigns surface the
+    damage instead of silently shrinking.
+    """
+    path = Path(path)
+    report = JsonlReport()
+    if not path.exists():
+        return report
+    lines = path.read_text(encoding="utf-8").splitlines()
+    bad_line_nos: list[int] = []
+    for line_no, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError:
+            record = None
+        if isinstance(record, dict):
+            report.records.append(record)
+        else:
+            bad_line_nos.append(line_no)
+    if bad_line_nos and bad_line_nos[-1] == len(lines):
+        report.torn_tail = True
+        bad_line_nos.pop()
+    report.corrupt = len(bad_line_nos)
+    if report.corrupt:
+        # Lazy import: obs pulls in the campaign package, which imports us.
+        from ..obs.trace import get_tracer
+
+        get_tracer().event(
+            "jsonl_corrupt_lines",
+            path=str(path),
+            corrupt=report.corrupt,
+            lines=bad_line_nos[:16],
+        )
+    return report
+
+
 def read_jsonl(path: str | os.PathLike) -> list[dict[str, Any]]:
     """All parseable records of a JSONL file, in append order.
 
-    Unparseable lines (the torn tail a crashed writer can leave) and blank
-    lines are skipped, matching the tolerance every campaign-store reader
-    has always had.  A missing file is an empty log.
+    Unparseable lines — the torn tail a crashed writer can leave, or
+    corrupt lines mid-file — and blank lines are skipped, matching the
+    tolerance every campaign-store reader has always had.  A missing file
+    is an empty log.  Use :func:`read_jsonl_report` to observe how many
+    lines were dropped and why.
     """
-    path = Path(path)
-    if not path.exists():
-        return []
-    records: list[dict[str, Any]] = []
-    for line in path.read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            continue  # torn tail from a killed writer
-        if isinstance(record, dict):
-            records.append(record)
-    return records
+    return read_jsonl_report(path).records

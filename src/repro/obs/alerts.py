@@ -21,7 +21,14 @@ from typing import Any, Iterable
 
 from ..market.anomalies import AnomalyKind
 
-__all__ = ["Alert", "ThresholdRule", "DriftRule", "AlertEngine", "classify_failure"]
+__all__ = [
+    "Alert",
+    "ThresholdRule",
+    "DriftRule",
+    "AlertEngine",
+    "classify_failure",
+    "classify_failure_domain",
+]
 
 
 @dataclass(frozen=True)
@@ -158,10 +165,47 @@ def classify_failure(reason: str) -> AnomalyKind | None:
     return None
 
 
+#: Substrings mapping a failure reason onto an operational *failure domain*
+#: — who to blame, which is not the same question as which anomaly it is.
+_DOMAIN_PATTERNS: tuple[tuple[str, str], ...] = (
+    ("injected fault", "injected"),
+    ("quarantin", "quarantine"),
+    ("timed out", "timeout"),
+    ("timeout", "timeout"),
+    ("connection", "io"),
+    ("no such file", "io"),
+    ("permission", "io"),
+    ("errno", "io"),
+    ("checksum", "corruption"),
+    ("corrupt", "corruption"),
+)
+
+
+def classify_failure_domain(reason: str) -> str:
+    """Map a failure reason onto an operational domain.
+
+    Domains: ``injected`` (a :class:`~repro.errors.InjectedFault` from an
+    active fault plan — chaos, not a product bug), ``quarantine``,
+    ``timeout``, ``io``, ``corruption``, ``validation`` (one of the
+    paper's anomaly kinds, via :func:`classify_failure`), else
+    ``simulation`` — the residual bucket for genuine model/solver errors.
+    """
+    lowered = reason.lower()
+    for pattern, domain in _DOMAIN_PATTERNS:
+        if pattern in lowered:
+            return domain
+    if classify_failure(reason) is not None:
+        return "validation"
+    return "simulation"
+
+
 def default_watch_rules() -> tuple[tuple[ThresholdRule, ...], tuple[DriftRule, ...]]:
     """The rule set ``campaign watch`` runs with out of the box."""
     thresholds = (
         ThresholdRule("failed", 0.0, ">", message="shard reported failed units"),
+        ThresholdRule(
+            "quarantined", 0.0, ">", message="shard quarantined poison units"
+        ),
     )
     drifts = (
         DriftRule("wall_s", z_max=4.0),

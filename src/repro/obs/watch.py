@@ -106,6 +106,9 @@ def render_watch_frame(
         lines.append(f"  {progress.describe()}")
         states = _shard_states(store.shard_entries(), progress.total)
         lines.append(f"shards  {ascii_shard_strip(states, width=strip_width)}")
+    if status.quarantined:
+        state = "degraded" if status.is_degraded else "pending"
+        lines.append(f"  {status.quarantined} unit(s) quarantined ({state})")
 
     if flushes:
         rates = [e.get("units_per_s") for e in flushes]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import socket
+import time
 from typing import Any, Iterator
 
 from ..errors import CampaignError
@@ -28,12 +29,29 @@ __all__ = ["ServiceClient"]
 
 
 class ServiceClient:
-    """Thin, connection-per-call client for a running campaign service."""
+    """Thin, connection-per-call client for a running campaign service.
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
+    ``connect_retries`` adds client-side resilience to the one failure a
+    connection-per-call design is exposed to: the service socket being
+    momentarily unreachable (service restarting, accept backlog full).
+    Refused/timed-out *connects* are retried with capped exponential
+    backoff; failures after a connection is established are never retried
+    here — the caller decides whether re-sending a request is safe.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        connect_retries: int = 3,
+        connect_backoff: float = 0.1,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_retries = max(int(connect_retries), 0)
+        self.connect_backoff = connect_backoff
 
     @classmethod
     def for_root(
@@ -46,10 +64,25 @@ class ServiceClient:
         return cls(host, port, timeout=timeout)
 
     # ------------------------------------------------------------------ #
+    def _connect(self) -> socket.socket:
+        """One TCP connection, retrying refused/unreachable connects."""
+        attempt = 0
+        while True:
+            try:
+                return socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except OSError as exc:
+                attempt += 1
+                if attempt > self.connect_retries:
+                    raise CampaignError(
+                        f"cannot reach service at {self.host}:{self.port} "
+                        f"after {attempt} attempt(s): {exc}"
+                    ) from exc
+                time.sleep(min(self.connect_backoff * (2.0 ** (attempt - 1)), 2.0))
+
     def _roundtrip(self, request: dict[str, Any]) -> dict[str, Any]:
-        with socket.create_connection(
-            (self.host, self.port), timeout=self.timeout
-        ) as conn:
+        with self._connect() as conn:
             stream = conn.makefile("rwb")
             send_message(stream, request)
             response = recv_message(stream)
@@ -97,9 +130,7 @@ class ServiceClient:
     def events(self, job_id: str, follow: bool = False) -> Iterator[dict[str, Any]]:
         """Yield a job's telemetry events; with ``follow``, until terminal."""
         request = {"op": "events", "job": job_id, "follow": follow}
-        with socket.create_connection(
-            (self.host, self.port), timeout=self.timeout
-        ) as conn:
+        with self._connect() as conn:
             stream = conn.makefile("rwb")
             send_message(stream, request)
             while True:

@@ -24,6 +24,8 @@ from __future__ import annotations
 import json
 import os
 import queue
+import signal
+import socket
 import socketserver
 import threading
 import time
@@ -33,6 +35,7 @@ from typing import Any
 
 from ..campaign import CampaignSpec, CampaignStore, stream_campaign
 from ..errors import CampaignError
+from ..faults.plan import fault_point
 from ..session.artifacts import digest_json
 from .protocol import ProtocolError, recv_message, send_message
 
@@ -43,7 +46,13 @@ __all__ = ["CampaignService", "serve_forever"]
 #: per-shard bookkeeping stays negligible.
 DEFAULT_SERVICE_SHARD_SIZE = 256
 
-_TERMINAL_STATES = ("complete", "failed")
+#: Default per-connection read deadline.  A client that connects and goes
+#: silent (half-open TCP, a hung peer) would otherwise pin its handler
+#: thread forever; after this many seconds of no request the connection is
+#: dropped — completed work is unaffected, the client just reconnects.
+DEFAULT_READ_TIMEOUT = 300.0
+
+_TERMINAL_STATES = ("complete", "failed", "cancelled")
 
 
 @dataclass
@@ -55,7 +64,7 @@ class Job:
     store_dir: Path
     shard_size: int
     workers: int | None
-    state: str = "queued"  # queued -> running -> complete | failed
+    state: str = "queued"  # queued -> running -> complete | failed | cancelled
     error: str | None = None
     submitted_at: float = field(default_factory=time.time)
     summary: dict[str, Any] | None = None
@@ -84,11 +93,25 @@ class _Handler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:  # pragma: no cover - exercised via the socket
         service: CampaignService = self.server.service  # type: ignore[attr-defined]
+        # Per-connection read deadline: a silent peer cannot pin this
+        # handler thread past the timeout.
+        self.connection.settimeout(service.read_timeout)
         while True:
             try:
+                fault_point("service.read", ctx=str(self.client_address))
                 request = recv_message(self.rfile)
+            except socket.timeout:
+                return  # silent peer: drop the connection, keep the thread
             except ProtocolError as exc:
                 send_message(self.wfile, {"ok": False, "error": str(exc)})
+                return
+            except Exception as exc:
+                # An injected fault (or any unexpected read error) must cost
+                # this connection only, never the accept loop.
+                try:
+                    send_message(self.wfile, {"ok": False, "error": str(exc)})
+                except OSError:
+                    pass
                 return
             if request is None:
                 return
@@ -116,12 +139,14 @@ class CampaignService:
         port: int = 0,
         workers: int | None = None,
         shard_size: int | None = None,
+        read_timeout: float = DEFAULT_READ_TIMEOUT,
     ):
         self.root = Path(root)
         self.jobs_root = self.root / "jobs"
         self.results_dir = self.root / "results"
         self.default_workers = workers
         self.default_shard_size = shard_size or DEFAULT_SERVICE_SHARD_SIZE
+        self.read_timeout = read_timeout
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
         self._queue: "queue.Queue[Job | None]" = queue.Queue()
@@ -160,13 +185,20 @@ class CampaignService:
         return host, port
 
     def stop(self) -> None:
-        """Stop accepting, let the in-flight job finish, shut down."""
+        """Graceful drain: stop accepting, finish the in-flight job, report
+        every still-queued job as ``cancelled``, shut down.
+
+        Queued jobs are never silently dropped — their state flips to
+        ``cancelled`` (a terminal state the status/jobs ops report), so a
+        client polling a job that never ran sees an answer instead of an
+        eternal ``queued``.
+        """
         if self._stopped.is_set():
             return
         self._stopped.set()
         self._server.shutdown()
         self._server.server_close()
-        self._queue.put(None)  # unblock the executor
+        self._queue.put(None)  # sentinel after any queued jobs: drain, then exit
         if self._executor_thread is not None:
             self._executor_thread.join(timeout=60)
 
@@ -210,8 +242,14 @@ class CampaignService:
     def _drain_jobs(self) -> None:
         while True:
             job = self._queue.get()
-            if job is None or self._stopped.is_set():
+            if job is None:
                 return
+            if self._stopped.is_set():
+                # Shutting down: don't start new work, but keep draining so
+                # every queued job gets its terminal ``cancelled`` state.
+                job.state = "cancelled"
+                job.error = "service shut down before the job ran"
+                continue
             self._run_job(job)
 
     def _run_job(self, job: Job) -> None:
@@ -313,8 +351,12 @@ class CampaignService:
         job = self._job_for(request)
         if job is None:
             return {"ok": False, "error": f"unknown job {request.get('job')!r}"}
-        if job.state == "failed":
-            return {"ok": False, "error": job.error or "job failed", "state": "failed"}
+        if job.state in ("failed", "cancelled"):
+            return {
+                "ok": False,
+                "error": job.error or f"job {job.state}",
+                "state": job.state,
+            }
         if job.state != "complete" or job.summary is None:
             return {
                 "ok": False,
@@ -355,10 +397,24 @@ def serve_forever(
     workers: int | None = None,
     shard_size: int | None = None,
 ) -> int:
-    """CLI entry point: run a service until a ``shutdown`` op or Ctrl-C."""
+    """CLI entry point: run a service until shutdown op, SIGTERM or Ctrl-C.
+
+    SIGTERM (the orchestrator's polite kill) triggers the same graceful
+    drain as the ``shutdown`` op: the in-flight job finishes, queued jobs
+    flip to ``cancelled``, then the process exits cleanly.
+    """
     service = CampaignService(
         root, host=host, port=port, workers=workers, shard_size=shard_size
     )
+
+    def _on_sigterm(signum: int, frame: Any) -> None:
+        print("SIGTERM: draining and shutting down", flush=True)
+        threading.Thread(target=service.stop, daemon=True).start()
+
+    # Handler first, then start: the address file is the orchestrator's
+    # readiness signal, so a SIGTERM must drain gracefully from the moment
+    # service.json exists — there is no window with the default handler.
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     bound_host, bound_port = service.start()
     print(f"spectrends service listening on {bound_host}:{bound_port}", flush=True)
     print(f"service root: {service.root}", flush=True)
@@ -367,6 +423,8 @@ def serve_forever(
     except KeyboardInterrupt:
         print("shutting down", flush=True)
         service.stop()
+    finally:
+        signal.signal(signal.SIGTERM, previous)
     return 0
 
 

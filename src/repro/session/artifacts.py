@@ -169,7 +169,10 @@ class ArtifactStore:
         if arrays is not None:
             # Sidecar first: a reader never sees a JSON entry whose arrays
             # are still being written (both renames are atomic).
-            tmp = sidecar.with_name(sidecar.name + ".tmp")
+            # The tmp name carries the writer's pid: two processes racing to
+            # put the same key must not share a staging file, or the loser's
+            # rename finds its tmp already consumed by the winner.
+            tmp = sidecar.with_name(f"{sidecar.name}.{os.getpid()}.tmp")
             with open(tmp, "wb") as handle:
                 np.savez(handle, **dict(arrays))
             os.replace(tmp, sidecar)
@@ -183,7 +186,7 @@ class ArtifactStore:
         )
         # Write-then-rename keeps a killed process from leaving a torn
         # entry that would poison the next warm run.
-        tmp = path.with_suffix(".tmp")
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(payload, encoding="utf-8")
         os.replace(tmp, path)
         return path
@@ -206,6 +209,23 @@ class ArtifactStore:
             return None
         except (OSError, ValueError, zipfile.BadZipFile) as exc:
             raise self.error(f"unreadable cache sidecar {path}: {exc}") from exc
+
+    def sidecar_digest(self, key: str) -> str | None:
+        """SHA-256 hex digest of the sidecar's bytes, or ``None`` when absent.
+
+        This is the content checksum the campaign shard manifest records at
+        flush time and re-verifies on every reload/recovery path: a torn or
+        bit-rotted ``.npz`` no longer matches and the shard re-executes
+        instead of being adopted.
+        """
+        path = self.sidecar_path(key)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise self.error(f"unreadable cache sidecar {path}: {exc}") from exc
+        return hashlib.sha256(data).hexdigest()
 
     def clear(self) -> int:
         """Delete every entry (sidecars included); returns entries removed."""

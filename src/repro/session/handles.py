@@ -649,6 +649,8 @@ class CampaignHandle(ArtifactHandle):
                 batch=policy.use_batch_kernel,
                 progress=self._progress,
                 workers=self.workers,
+                retry=policy.retry,
+                policy=policy if policy.faults is not None else None,
             )
         from ..campaign import run_campaign
 
@@ -709,6 +711,8 @@ class CampaignHandle(ArtifactHandle):
                 # A capped resume is a budgeted top-up; fan-out is for
                 # full runs only (caps are per-run, not per-worker).
                 workers=None if max_units is not None else self.workers,
+                retry=policy.retry,
+                policy=policy if policy.faults is not None else None,
             )
         else:
             from ..campaign import resume_campaign

@@ -28,8 +28,10 @@ content hashes — switching executors never invalidates a cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..errors import SessionError
+from ..faults.retry import RetryPolicy
 from ..parallel import ParallelConfig
 
 __all__ = ["ExecutionPolicy"]
@@ -76,6 +78,19 @@ class ExecutionPolicy:
         ``spectrends profile report``.  Equivalent to ``REPRO_PROFILE=1``.
         Like every policy knob it changes how work is *observed*, never
         what is computed — traced and untraced results are bit-identical.
+    retry:
+        A :class:`~repro.faults.RetryPolicy` enabling per-unit retry
+        rounds with backoff and poison-unit quarantine for sharded
+        campaigns.  ``None`` (default) keeps the historical behaviour:
+        one attempt per unit per pass, failures recorded but never
+        quarantined.
+    faults:
+        A :class:`~repro.faults.FaultPlan` (or inline JSON / file path /
+        mapping, as ``REPRO_FAULTS`` accepts) installed for the duration
+        of policy-driven campaign runs — chaos testing only.  Like
+        ``profile``, retry/faults are execution knobs: they are excluded
+        from artifact content hashes, and the non-quarantined results are
+        bit-identical with or without them.
     """
 
     mode: str = "batch"
@@ -86,6 +101,8 @@ class ExecutionPolicy:
     shard_size: int | None = None
     max_resident_results: int | None = None
     profile: bool = False
+    retry: RetryPolicy | None = None
+    faults: Any = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -106,6 +123,8 @@ class ExecutionPolicy:
             raise SessionError("shard_size must be >= 1")
         if self.max_resident_results is not None and self.max_resident_results < 1:
             raise SessionError("max_resident_results must be >= 1")
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise SessionError("retry must be a repro.faults.RetryPolicy or None")
 
     # ------------------------------------------------------------------ #
     def parallel_config(self) -> ParallelConfig:
@@ -190,13 +209,21 @@ class ExecutionPolicy:
         jobs: int | None,
         batch: bool = True,
         shard_size: int | None = None,
+        retry: RetryPolicy | None = None,
     ) -> "ExecutionPolicy":
         """The policy behind CLI ``--jobs N`` / ``--shard-size N`` flags."""
         kernel = "batch" if batch else "scalar"
         if jobs and jobs > 1:
             return cls(
-                mode="process", workers=jobs, kernel=kernel, shard_size=shard_size
+                mode="process",
+                workers=jobs,
+                kernel=kernel,
+                shard_size=shard_size,
+                retry=retry,
             )
         return cls(
-            mode="batch" if batch else "serial", kernel=kernel, shard_size=shard_size
+            mode="batch" if batch else "serial",
+            kernel=kernel,
+            shard_size=shard_size,
+            retry=retry,
         )

@@ -36,6 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import SimulationError
+from ..faults.plan import fault_point
 from ..market.catalog import Catalog, default_catalog
 from ..market.fleet import SystemPlan
 from ..powermodel.server import ServerConfiguration, ServerPowerModel
@@ -108,6 +109,9 @@ class BatchDirector:
             raise SimulationError(f"max_rows must be >= 1, got {max_rows}")
         if not plans:
             return []
+        # A raise here fails the whole vectorized chunk; the campaign runner
+        # falls back to per-unit scalar execution, which must converge.
+        fault_point("batch.run", ctx=f"plans{len(plans)}")
         from ..obs.trace import get_tracer
 
         options = self.options

@@ -189,3 +189,52 @@ class TestCrashRecovery:
         (tmp_path / "store").mkdir()
         with pytest.raises(CampaignError, match="shard layout|not a campaign"):
             run_worker(tmp_path / "store", "w0")
+
+
+class TestHeartbeat:
+    def test_renew_pushes_deadline_forward(self, store):
+        from repro.campaign import LeaseLedger as _Ledger
+
+        ledger = _Ledger(store, "hb", ttl=0.5)
+        assert ledger.try_claim(0) is not None
+        first = ledger.holder(0)
+        time.sleep(0.05)
+        ledger.renew(0)
+        renewed = ledger.holder(0)
+        assert renewed.deadline > first.deadline
+        assert renewed.worker == "hb" and renewed.pid == os.getpid()
+
+    def test_heartbeat_keeps_slow_worker_claim_past_ttl(self, store):
+        from repro.campaign import LeaseHeartbeat, LeaseLedger
+
+        ledger = LeaseLedger(store, "slow", ttl=0.3)
+        assert ledger.try_claim(0) is not None
+        with LeaseHeartbeat(ledger, 0, interval=0.05):
+            time.sleep(0.6)  # two TTLs of "work"
+            held = ledger.holder(0)
+            assert held is not None and held.worker == "slow"
+            rival = LeaseLedger(store, "rival", ttl=0.3)
+            assert rival.try_claim(0) is None  # the heartbeat defends it
+
+    def test_hung_worker_reclaimed_while_pid_alive(self, store):
+        # The hang model: the pid exists, but no heartbeats arrive.  The
+        # deadline lapses and a rival reclaims the shard.
+        from repro.campaign import LeaseLedger
+
+        hung = LeaseLedger(store, "hung", ttl=0.15)
+        assert hung.try_claim(0) is not None
+        time.sleep(0.25)  # no renewals
+        rival = LeaseLedger(store, "rival", ttl=60.0)
+        assert rival.reclaimable(0)
+        taken = rival.try_claim(0)
+        assert taken is not None and taken.worker == "rival"
+
+    def test_heartbeat_stop_is_idempotent_and_reentrant(self, store):
+        from repro.campaign import LeaseHeartbeat, LeaseLedger
+
+        ledger = LeaseLedger(store, "hb", ttl=1.0)
+        ledger.try_claim(0)
+        beat = LeaseHeartbeat(ledger, 0, interval=0.02)
+        beat.start()
+        beat.stop()
+        beat.stop()  # second stop is a no-op, not an error

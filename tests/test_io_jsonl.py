@@ -115,3 +115,71 @@ def test_campaign_store_appends_are_single_writes(tmp_path, monkeypatch):
     assert calls == [("shards.jsonl", 1), ("shards.jsonl", 1), ("events.jsonl", 1)]
     assert store.shard_entries().keys() == {0}  # lease filtered out
     assert store.lease_entries().keys() == {1}
+
+
+def test_read_jsonl_report_counts_midfile_corruption(tmp_path):
+    from repro.io.jsonl import read_jsonl_report
+
+    path = tmp_path / "log.jsonl"
+    path.write_text(
+        '{"ok": 1}\ngarbage not json\n[1, 2]\n{"ok": 2}\n', encoding="utf-8"
+    )
+    report = read_jsonl_report(path)
+    assert report.records == [{"ok": 1}, {"ok": 2}]
+    # Both the unparseable line and the non-object line are corruption —
+    # neither is the torn tail a crash legitimately leaves behind.
+    assert report.corrupt == 2 and not report.torn_tail
+    assert report.skipped == 2
+    # read_jsonl stays the tolerant thin wrapper.
+    assert read_jsonl(path) == [{"ok": 1}, {"ok": 2}]
+
+
+def test_read_jsonl_report_torn_tail_is_not_corruption(tmp_path):
+    from repro.io.jsonl import read_jsonl_report
+
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"ok": 1}\n{"torn": ', encoding="utf-8")
+    report = read_jsonl_report(path)
+    assert report.records == [{"ok": 1}]
+    assert report.torn_tail and report.corrupt == 0
+    assert report.skipped == 1
+
+
+def test_read_jsonl_report_clean_and_missing(tmp_path):
+    from repro.io.jsonl import read_jsonl_report
+
+    path = tmp_path / "log.jsonl"
+    append_jsonl(path, [{"i": 0}])
+    report = read_jsonl_report(path)
+    assert report.records == [{"i": 0}]
+    assert report.corrupt == 0 and not report.torn_tail
+    missing = read_jsonl_report(tmp_path / "absent.jsonl")
+    assert missing.records == [] and missing.corrupt == 0
+
+
+def test_partial_write_fault_tears_the_append(tmp_path):
+    from repro.faults import FaultPlan, FaultRule, clear_fault_plan, install_fault_plan
+    from repro.io.jsonl import read_jsonl_report
+
+    path = tmp_path / "ledger.jsonl"
+    append_jsonl(path, [{"i": 0}])
+    install_fault_plan(
+        FaultPlan(
+            [
+                FaultRule(
+                    site="jsonl.append",
+                    kind="partial_write",
+                    nth=1,
+                    where="ledger",
+                    fraction=0.5,
+                )
+            ]
+        )
+    )
+    try:
+        append_jsonl(path, [{"i": 1, "pad": "x" * 64}])
+    finally:
+        clear_fault_plan()
+    report = read_jsonl_report(path)
+    assert report.records == [{"i": 0}]
+    assert report.torn_tail  # the truncated append is the (benign) tail
