@@ -1,0 +1,115 @@
+"""Fair-share scheduler benchmarks: small-job latency under a live sweep.
+
+The headline claim of the scheduler is *fairness under load*: a small job
+submitted while a large sweep saturates the worker pool must complete in
+roughly its uncontended time, not after the sweep.
+``test_scheduler_fairness_proof`` pins that ordering unconditionally; the
+timed benchmarks put numbers on the cold submit-to-complete path and on
+small-job latency while a sweep is actually occupying the pool, and are
+gated by the CI baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import pytest
+
+from repro.campaign import CampaignSpec, stream_campaign
+from repro.service import CampaignService, ServiceClient
+
+#: Cheapest valid unit: one measured level plus active idle, no noise draws.
+FAST_BASE = {"load_levels": [1.0, 0.0], "measurement_noise": False}
+
+#: Distinct seed ranges per submission so no job ever hits the service's
+#: shared results cache: every benchmarked job does real simulation work.
+_SEED_BLOCKS = itertools.count(start=1)
+
+
+def fresh_payload(name: str, units: int) -> dict:
+    start = next(_SEED_BLOCKS) * 100_000
+    return CampaignSpec(
+        name=name,
+        sweep={"cpu_model": ["EPYC 9654"], "seed": list(range(start, start + units))},
+        base=FAST_BASE,
+    ).to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# Fairness proof (not a timed benchmark: one interleaving, one ordering)
+# --------------------------------------------------------------------------- #
+def test_scheduler_fairness_proof(tmp_path):
+    """A 16-unit job overtakes a 4096-unit sweep; its result stays serial."""
+    service = CampaignService(tmp_path / "root", shard_size=64, pool=2)
+    host, port = service.start()
+    try:
+        client = ServiceClient(host, port, timeout=300.0)
+        sweep = client.submit(fresh_payload("bench-sweep", 4096))
+        deadline = time.monotonic() + 60.0
+        while client.status(sweep["job"])["state"] != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+
+        small_payload = fresh_payload("bench-small", 16)
+        start = time.perf_counter()
+        small = client.submit(small_payload, shard_size=4)
+        result = client.wait(small["job"])
+        small_s = time.perf_counter() - start
+
+        sweep_state = client.status(sweep["job"])["state"]
+        print(
+            f"\n16-unit job under a 4096-unit sweep: {small_s:.2f}s "
+            f"(sweep still {sweep_state})"
+        )
+        assert result["state"] == "complete" and result["completed"] == 16
+        assert sweep_state in {"queued", "running", "finalizing"}
+
+        serial = stream_campaign(
+            CampaignSpec.from_dict(small_payload), tmp_path / "serial", shard_size=4
+        )
+        assert result["aggregate"] == serial.aggregate.to_dict()
+        assert client.wait(sweep["job"])["completed"] == 4096
+    finally:
+        service.stop()
+
+
+# --------------------------------------------------------------------------- #
+# Timed benchmarks (gated by the CI baseline)
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="scheduler")
+def test_bench_scheduler_cold_job(benchmark, tmp_path):
+    """Uncontended submit-to-complete: 64 fresh units through the pool."""
+    service = CampaignService(tmp_path / "root", shard_size=16, pool=2)
+    host, port = service.start()
+    try:
+        client = ServiceClient(host, port, timeout=300.0)
+
+        def cold():
+            job = client.submit(fresh_payload("bench-cold", 64))
+            return client.wait(job["job"])
+
+        result = benchmark(cold)
+        assert result["state"] == "complete" and result["completed"] == 64
+    finally:
+        service.stop()
+
+
+@pytest.mark.benchmark(group="scheduler")
+def test_bench_scheduler_small_latency_under_sweep(benchmark, tmp_path):
+    """Small-job latency while a mega-sweep occupies the whole pool."""
+    service = CampaignService(tmp_path / "root", shard_size=32, pool=2)
+    host, port = service.start()
+    try:
+        client = ServiceClient(host, port, timeout=300.0)
+        sweep = client.submit(fresh_payload("bench-bg-sweep", 40_000))
+
+        def contended():
+            job = client.submit(fresh_payload("bench-latency", 16), shard_size=4)
+            return client.wait(job["job"])
+
+        result = benchmark(contended)
+        assert result["state"] == "complete" and result["completed"] == 16
+        client.cancel(sweep["job"])
+    finally:
+        service.stop()

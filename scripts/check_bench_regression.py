@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -100,6 +101,46 @@ def write_baseline(path: Path, minima: dict[str, float]) -> None:
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
+def write_step_summary(
+    rows: list[tuple[str, float, float | None, float | None]],
+    threshold: float,
+    machine_factor: float,
+    summary_path: str | None = None,
+) -> None:
+    """On gate failure, publish a per-benchmark delta table to the GitHub
+    step summary so the offending benchmark is visible without digging
+    through the job log.  A no-op outside Actions (no summary file)."""
+    path = summary_path or os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        "## Benchmark regression gate failed",
+        "",
+        f"Threshold {threshold:.1f}x; machine-speed factor "
+        f"{machine_factor:.2f}x (normalised out).",
+        "",
+        "| benchmark | baseline | current | ratio | verdict |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for name, base_min, current_min, ratio in rows:
+        if current_min is None or ratio is None:
+            lines.append(
+                f"| `{name}` | {base_min * 1000:.2f} ms | *missing* | - "
+                "| :x: missing |"
+            )
+            continue
+        verdict = ":x: regression" if ratio > threshold else ":white_check_mark: ok"
+        lines.append(
+            f"| `{name}` | {base_min * 1000:.2f} ms "
+            f"| {current_min * 1000:.2f} ms | {ratio:.2f}x | {verdict} |"
+        )
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+    except OSError as exc:  # the gate verdict must not depend on the summary
+        print(f"warning: cannot write step summary: {exc}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, required=True,
@@ -133,14 +174,17 @@ def main(argv: list[str] | None = None) -> int:
         print("baseline has no machine probe; comparing absolute times")
 
     regressions: list[str] = []
+    rows: list[tuple[str, float, float | None, float | None]] = []
     width = max((len(name) for name in baseline), default=10)
     print(f"{'benchmark':{width}}  {'baseline':>10}  {'current':>10}  {'ratio':>6}")
     for name, base_min in sorted(baseline.items()):
         if name not in current:
             regressions.append(f"{name}: missing from the current run")
+            rows.append((name, base_min, None, None))
             print(f"{name:{width}}  {base_min * 1000:>8.2f}ms  {'MISSING':>10}  {'-':>6}")
             continue
         ratio = (current[name] / base_min) / machine_factor
+        rows.append((name, base_min, current[name], ratio))
         flag = "  <-- regression" if ratio > args.threshold else ""
         print(f"{name:{width}}  {base_min * 1000:>8.2f}ms  "
               f"{current[name] * 1000:>8.2f}ms  {ratio:>5.2f}x{flag}")
@@ -155,6 +199,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"ungated (no baseline entry): {', '.join(extra)}")
 
     if regressions:
+        write_step_summary(rows, args.threshold, machine_factor)
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)
         for line in regressions:
             print(f"  {line}", file=sys.stderr)

@@ -63,6 +63,8 @@ SPEC = CampaignSpec(
     },
     base={"load_levels": [1.0, 0.5, 0.0]},
 )
+#: Defaults; both are CLI-overridable (--shard-size / --retries) so the
+#: nightly matrix can sweep layouts and retry budgets.
 SHARD_SIZE = 2  # 18 units -> 9 shards: plenty of claim/flush cycles to crash into
 
 #: Fast retry schedule for injected transients: keep CI wall time honest.
@@ -119,6 +121,18 @@ def run_fault_matrix(root: Path, reference) -> None:
             policy=ExecutionPolicy(faults=plan, retry=FAST_RETRY),
             retry=FAST_RETRY,
         )
+        store = CampaignStore(store_dir)
+        if store.quarantine_keys():
+            # A unit may legitimately exhaust a *swept-down* retry budget
+            # while the injected fault still has charges left; lifting the
+            # quarantine must then heal to bit-identical.  At the default
+            # budget (>= 3) the transients always recover within retries,
+            # so any quarantine there is a regression.
+            assert FAST_RETRY.max_attempts < 3, f"{label}: spurious quarantine"
+            store.quarantine_path.rename(
+                store.quarantine_path.with_suffix(".jsonl.lifted")
+            )
+            print(f"   {label}: retry budget exhausted, quarantine lifted")
         healed = resume_streaming(store_dir, retry=FAST_RETRY)
         assert healed.is_complete, f"{label}: resume did not complete"
         assert not healed.failures, f"{label}: failures survived: {healed.failures}"
@@ -206,6 +220,9 @@ def run_fault_matrix(root: Path, reference) -> None:
 
 
 def main() -> int:
+    # The helpers above read the module globals; main rebinds them to the
+    # CLI choice so one knob steers every store in the gate.
+    global SHARD_SIZE, FAST_RETRY
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", required=True, help="scratch directory for the gate")
     parser.add_argument(
@@ -214,7 +231,27 @@ def main() -> int:
         default=0.4,
         help="seconds before the victim worker is SIGKILLed",
     )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=SHARD_SIZE,
+        help="shard layout for every store in the gate (default "
+             f"{SHARD_SIZE}; the nightly matrix sweeps this)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=FAST_RETRY.max_attempts,
+        help="max attempts per faulted unit (default "
+             f"{FAST_RETRY.max_attempts}; the nightly matrix sweeps this)",
+    )
     args = parser.parse_args()
+    SHARD_SIZE = args.shard_size
+    FAST_RETRY = RetryPolicy(
+        max_attempts=args.retries,
+        backoff_base=FAST_RETRY.backoff_base,
+        backoff_cap=FAST_RETRY.backoff_cap,
+    )
     root = Path(args.root)
 
     print("== reference: clean serial streamed run")

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""CI concurrency gate for the fair-share campaign scheduler.
+
+Proves, against a **live** service socket with a real worker pool, the
+scheduler's two load-bearing promises:
+
+1. **Fairness** — small jobs submitted while a large sweep saturates the
+   pool complete *before* the sweep (checked both live and against the
+   ``scheduler.jsonl`` ledger's ``job_complete`` order),
+2. **Bit-identity under interleaving + crash** — one pool worker is
+   SIGKILLed mid-interleave, and every job's aggregate must still equal
+   its clean serial reference, bit for bit.
+
+The scheduler ledger and the per-job event streams are left in place for
+CI to upload as forensic artifacts.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_fairness_smoke.py --root /tmp/fair
+
+    # nightly extended variant
+    PYTHONPATH=src python scripts/service_fairness_smoke.py \
+        --root /tmp/fair --sweep-units 10000 --shard-size 4 --small-jobs 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.campaign import CampaignSpec, stream_campaign
+from repro.io.jsonl import read_jsonl
+from repro.service import CampaignService, ServiceClient
+
+FAST_BASE = {"load_levels": [1.0, 0.0], "measurement_noise": False}
+
+#: Small jobs draw seeds far from the sweep's range so they never ride the
+#: service's shared unit cache: the fairness proof must be about
+#: scheduling, not about cache luck.
+SMALL_SEED_BASE = 1_000_000
+SMALL_UNITS = 16
+
+
+def sweep_spec(units: int) -> CampaignSpec:
+    return CampaignSpec(
+        name="fairness-sweep",
+        sweep={"cpu_model": ["EPYC 9654"], "seed": list(range(units))},
+        base=FAST_BASE,
+    )
+
+
+def small_spec(index: int) -> CampaignSpec:
+    start = SMALL_SEED_BASE + index * SMALL_UNITS
+    return CampaignSpec(
+        name=f"fairness-small-{index}",
+        sweep={
+            "cpu_model": ["EPYC 9654"],
+            "seed": list(range(start, start + SMALL_UNITS)),
+        },
+        base=FAST_BASE,
+    )
+
+
+def wait_until(predicate, timeout: float, what: str):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.05)
+    raise AssertionError(f"timed out after {timeout:.0f}s waiting for {what}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", required=True, help="scratch directory for the gate")
+    parser.add_argument("--sweep-units", type=int, default=2000,
+                        help="size of the saturating sweep (default 2000)")
+    parser.add_argument("--small-jobs", type=int, default=3,
+                        help="number of 16-unit jobs submitted mid-sweep")
+    parser.add_argument("--shard-size", type=int, default=8,
+                        help="service default shard layout (default 8)")
+    parser.add_argument("--pool", type=int, default=2,
+                        help="worker pool size (default 2)")
+    args = parser.parse_args()
+    root = Path(args.root)
+
+    print("== serial references: the ground-truth aggregates")
+    sweep = sweep_spec(args.sweep_units)
+    sweep_ref = stream_campaign(
+        sweep, root / "reference" / "sweep", shard_size=args.shard_size
+    )
+    assert sweep_ref.is_complete
+    small_refs = []
+    for index in range(args.small_jobs):
+        ref = stream_campaign(
+            small_spec(index), root / "reference" / f"small-{index}", shard_size=4
+        )
+        assert ref.is_complete
+        small_refs.append(ref)
+
+    print(f"== live service: pool={args.pool} shard_size={args.shard_size}")
+    service = CampaignService(
+        root / "service", shard_size=args.shard_size, pool=args.pool
+    )
+    host, port = service.start()
+    try:
+        client = ServiceClient(host, port, timeout=600.0)
+
+        sweep_job = client.submit(sweep.to_dict())
+        wait_until(
+            lambda: client.status(sweep_job["job"])
+            .get("shards", {})
+            .get("rows_flushed", 0)
+            > 0,
+            timeout=120.0,
+            what="the sweep to start flushing shards",
+        )
+        print(f"   sweep {sweep_job['job']}: running, pool saturated")
+
+        small_jobs = [
+            client.submit(small_spec(index).to_dict(), shard_size=4)
+            for index in range(args.small_jobs)
+        ]
+
+        # Mid-interleave chaos: SIGKILL one pool worker.  The scheduler
+        # must requeue its in-flight shard and respawn a replacement
+        # without costing any job its result.
+        victim = client.stats()["pool"][0]["pid"]
+        os.kill(victim, signal.SIGKILL)
+        print(f"   SIGKILLed pool worker pid {victim} mid-interleave")
+
+        for index, job in enumerate(small_jobs):
+            result = client.wait(job["job"])
+            assert result["state"] == "complete", result
+            assert result["aggregate"] == small_refs[index].aggregate.to_dict(), (
+                f"small job {index} diverged from its serial reference"
+            )
+        sweep_state = client.status(sweep_job["job"])["state"]
+        print(
+            f"   {args.small_jobs} small jobs complete + bit-identical "
+            f"(sweep still {sweep_state})"
+        )
+        assert sweep_state != "complete", (
+            "the sweep finished before the small jobs — fairness gate broken "
+            "(either the sweep is too small for this runner or the "
+            "scheduler starved the small jobs)"
+        )
+
+        sweep_result = client.wait(sweep_job["job"])
+        assert sweep_result["state"] == "complete", sweep_result
+        assert sweep_result["completed"] == args.sweep_units
+        assert sweep_result["aggregate"] == sweep_ref.aggregate.to_dict(), (
+            "sweep aggregate diverged from the serial reference after the "
+            "worker kill"
+        )
+        print(f"   sweep complete: {sweep_result['completed']} units, bit-identical")
+    finally:
+        service.stop()
+
+    print("== scheduler ledger: completion order + crash forensics")
+    records = read_jsonl(root / "service" / "scheduler.jsonl")
+    completions = [
+        r["job"] for r in records if r.get("record") == "job_complete"
+    ]
+    sweep_done = completions.index(sweep_job["job"])
+    for job in small_jobs:
+        assert completions.index(job["job"]) < sweep_done, (
+            f"ledger disagrees: {job['job']} completed after the sweep"
+        )
+    kinds = {r["record"] for r in records}
+    assert "worker_exit" in kinds, "the SIGKILL never reached the ledger"
+    assert "respawn" in kinds, "no replacement worker was spawned"
+    dispatched = sum(1 for r in records if r.get("record") == "dispatch")
+    print(
+        f"   {dispatched} dispatches, {len(completions)} completions, "
+        "small jobs first; worker_exit + respawn recorded"
+    )
+
+    print("fairness gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -202,6 +202,39 @@ class LeaseLedger:
         """Whether the shard has no live claim (expired, dead, or none)."""
         return self.holder(index) is None
 
+    # -- bulk teardown ---------------------------------------------------- #
+    def outstanding(self) -> list[Lease]:
+        """Live leases not yet superseded by a completed shard result.
+
+        The set a cancellation must hand back: shards some worker still
+        claims but whose result record has not landed.  Completed shards
+        are excluded — their results supersede any lease — so releasing
+        the outstanding set never discards finished work.
+        """
+        completed = set(self.store.shard_entries())
+        return [
+            lease
+            for index, lease in sorted(self.leases().items())
+            if index not in completed and lease.valid()
+        ]
+
+    def release_outstanding(self) -> list[int]:
+        """Release every live, incomplete lease; returns the shard indices.
+
+        Used by job cancellation: after the scheduler stops dispatching a
+        job's shards, any claims its workers still hold are handed back so
+        a resubmit (or ``campaign resume``) can reclaim them immediately
+        instead of waiting out TTLs.  Releasing a lease held by another
+        pid is safe here — release is a born-expired append, and the
+        superseded holder's eventual result record still wins if its flush
+        was already in flight.
+        """
+        released = []
+        for lease in self.outstanding():
+            self.release(lease.index)
+            released.append(lease.index)
+        return released
+
 
 class LeaseHeartbeat:
     """Background renewal of one shard's lease while its flush runs.

@@ -78,6 +78,7 @@ __all__ = [
     "stream_campaign",
     "resume_streaming",
     "run_worker",
+    "execute_shard",
 ]
 
 #: Default units per shard: large enough to keep the batch kernel saturated
@@ -692,6 +693,48 @@ def _shard_recorded_complete(shard: Shard, entry: dict[str, Any] | None) -> bool
         and entry.get("status") == "complete"
         and entry.get("keys_digest") == shard.keys_digest()
     )
+
+
+def execute_shard(
+    store: CampaignStore,
+    shard: Shard,
+    batch: bool = True,
+    catalog: Catalog | None = None,
+    retry: RetryPolicy | None = None,
+) -> ShardOutcome:
+    """Bring one shard to "complete artifact + result record", idempotently.
+
+    The single-shard primitive behind the service scheduler's pool workers:
+    each dispatched :class:`Shard` goes through exactly the probes the
+    worker sweep loop uses — serve a recorded complete result, adopt a
+    flushed-but-unrecorded artifact, else execute and flush through the
+    same serial :func:`_flush_shard` path every other runner shares.  The
+    resulting artifact is content-addressed by the shard's unit keys, so
+    *who* executed it (and interleaved with what) can never change the
+    bytes a later reload sees — which is what keeps scheduler-interleaved
+    jobs bit-identical to their clean serial runs.
+    """
+    entry = store.shard_entries().get(shard.index)
+    if _shard_recorded_complete(shard, entry):
+        reloaded = _reload_shard(shard, store, entry)
+        if reloaded is not None:
+            outcome, _ = reloaded
+            return outcome
+    recovered = _recover_shard(shard, store)
+    if recovered is not None:
+        outcome, _ = recovered
+        return outcome
+    outcome, _ = _flush_shard(
+        shard,
+        store,
+        ParallelConfig(backend="serial"),
+        batch,
+        catalog,
+        None,
+        retry=retry,
+        quarantined=store.quarantine_keys(),
+    )
+    return outcome
 
 
 def run_worker(

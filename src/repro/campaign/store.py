@@ -51,7 +51,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from ..errors import CampaignError
-from ..io.jsonl import append_jsonl, read_jsonl
+from ..io.jsonl import JsonlFollower, append_jsonl, read_jsonl
 from .cache import ResultCache
 from .spec import CampaignSpec, CampaignUnit
 
@@ -483,6 +483,15 @@ class CampaignStore:
     def event_entries(self) -> list[dict[str, Any]]:
         """All telemetry events in append order (torn tail lines skipped)."""
         return self._jsonl_entries(self.events_path)
+
+    def events_follower(self) -> "JsonlFollower":
+        """Offset-tracking incremental reader over ``events.jsonl``.
+
+        Each ``poll()`` parses only bytes appended since the last call —
+        the service event streamer holds one follower per connection
+        instead of re-reading the whole log every tick.
+        """
+        return JsonlFollower(self.events_path)
 
     def shard_progress(self) -> "ShardProgress | None":
         """Shard-level progress from the manifest + shard log (or ``None``).

@@ -318,6 +318,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="apply conservative repairs (atomic log rewrites, "
                               "damaged-artifact deletion + re-execution markers, "
                               "stale-lease release)")
+    csubmit = csub.add_parser(
+        "submit", help="submit a spec to a running campaign service "
+                       "(fair-share scheduled against every other live job)"
+    )
+    csubmit.add_argument("--root", required=True,
+                         help="service root directory (reads service.json "
+                              "for the address)")
+    csubmit.add_argument("--spec", required=True, help="JSON campaign spec file")
+    csubmit.add_argument("--shard-size", type=_positive_int, default=None,
+                         help="shard layout for the job (default: the "
+                              "service's; part of the job identity)")
+    csubmit.add_argument("--workers", type=_positive_int, default=None,
+                         help="cap on the job's concurrently in-flight "
+                              "shards (default: the whole pool)")
+    csubmit.add_argument("--priority", choices=("high", "normal", "low"),
+                         default=None,
+                         help="fair-share class: deficit-round-robin weight "
+                              "4/2/1 (default: normal)")
+    csubmit.add_argument("--ttl", type=float, default=None,
+                         help="seconds to retain the finished job's store "
+                              "before eviction (default: the service's)")
+    csubmit.add_argument("--wait", action="store_true",
+                         help="stream events until the job is terminal and "
+                              "print its result summary")
+    ccancel = csub.add_parser(
+        "cancel", help="cancel a queued/running service job: in-flight "
+                       "shards drain, leases release, the partial store "
+                       "stays resumable"
+    )
+    ccancel.add_argument("--root", required=True, help="service root directory")
+    ccancel.add_argument("--job", required=True, help="job id to cancel")
+    cjobs = csub.add_parser(
+        "jobs", help="list a running campaign service's jobs and states"
+    )
+    cjobs.add_argument("--root", required=True, help="service root directory")
 
     serve = sub.add_parser(
         "serve",
@@ -334,9 +369,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="port to bind (default: 0 = OS-assigned; the "
                             "bound address is printed on startup)")
     serve.add_argument("--workers", type=_positive_int, default=None,
-                       help="worker processes per job (default: serial)")
+                       help="default per-job cap on concurrently in-flight "
+                            "shards (default: the whole pool)")
     serve.add_argument("--shard-size", type=_positive_int, default=None,
                        help="shard layout for submitted jobs (default: 256)")
+    serve.add_argument("--pool", type=_positive_int, default=None,
+                       help="shared campaign-worker processes all jobs are "
+                            "fair-share scheduled over (default: cpu count, "
+                            "clamped to [2, 8])")
+    serve.add_argument("--job-ttl", type=float, default=None,
+                       help="seconds to retain a finished job's store before "
+                            "evicting it from the service root (default: "
+                            "keep forever)")
 
     profile = sub.add_parser(
         "profile", help="inspect span telemetry captured with REPRO_PROFILE=1"
@@ -444,6 +488,54 @@ def _dispatch(session, args: argparse.Namespace) -> int:
         # A missing or corrupt store is an operator mistake, not a crash:
         # report it as one line on stderr instead of a traceback.
         try:
+            if args.campaign_command in ("submit", "cancel", "jobs"):
+                from ..service import ServiceClient
+
+                client = ServiceClient.for_root(args.root)
+                if args.campaign_command == "submit":
+                    import json
+                    from pathlib import Path
+
+                    payload = json.loads(
+                        Path(args.spec).read_text(encoding="utf-8")
+                    )
+                    job = client.submit(
+                        payload,
+                        shard_size=args.shard_size,
+                        workers=args.workers,
+                        priority=args.priority,
+                        ttl=args.ttl,
+                    )
+                    print(
+                        f"job {job['job']}: state={job['state']} "
+                        f"n_units={job['n_units']} "
+                        f"priority={job['priority']} "
+                        f"deduped={str(job['deduped']).lower()}"
+                    )
+                    if args.wait:
+                        result = client.wait(job["job"])
+                        print(
+                            f"completed {result['completed']}"
+                            f"/{result['total_units']} units in "
+                            f"{result['total_shards']} shard(s) "
+                            f"(cache hits {result['cache_hits']}, "
+                            f"simulated {result['simulated']}, "
+                            f"reloaded {result.get('reloaded', 0)})"
+                        )
+                    return 0
+                if args.campaign_command == "cancel":
+                    response = client.cancel(args.job)
+                    print(f"job {response['job']}: {response['state']}")
+                    return 0
+                for job in client.jobs():
+                    line = (
+                        f"{job['job']}  {job['state']:<11} "
+                        f"units={job['n_units']} priority={job['priority']}"
+                    )
+                    if job.get("evicted"):
+                        line += " evicted"
+                    print(line)
+                return 0
             if args.campaign_command == "status":
                 from ..campaign import CampaignStore
 
@@ -600,6 +692,8 @@ def _dispatch(session, args: argparse.Namespace) -> int:
             port=args.port,
             workers=args.workers,
             shard_size=args.shard_size,
+            pool=args.pool,
+            job_ttl=args.job_ttl,
         )
 
     if args.command == "profile":

@@ -34,6 +34,7 @@ __all__ = [
     "read_jsonl",
     "read_jsonl_report",
     "JsonlReport",
+    "JsonlFollower",
 ]
 
 
@@ -135,6 +136,60 @@ def read_jsonl_report(path: str | os.PathLike) -> JsonlReport:
             lines=bad_line_nos[:16],
         )
     return report
+
+
+class JsonlFollower:
+    """Incremental reader for a growing JSONL file, safe against torn tails.
+
+    The service's event streamer used to re-read and re-parse the whole
+    ``events.jsonl`` on every poll tick — O(file) work per tick per follower.
+    A follower instead remembers its byte offset and each :meth:`poll` parses
+    only the bytes appended since the last call.
+
+    Torn-tail safety: a writer killed mid-``write(2)`` can leave a final
+    line without its ``\\n``.  The follower only consumes up to the last
+    newline it has seen — an incomplete tail stays unread (and un-advanced)
+    until the next append completes it, so a record is never emitted twice
+    and never emitted half-parsed.  Unparseable *complete* lines are counted
+    in :attr:`corrupt` and skipped, matching :func:`read_jsonl`'s tolerance.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.offset = 0
+        self.corrupt = 0
+
+    def poll(self) -> list[dict[str, Any]]:
+        """Records appended since the last poll (empty if nothing new)."""
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(self.offset)
+                data = fh.read()
+        except FileNotFoundError:
+            return []
+        if not data:
+            return []
+        # Consume only whole lines; an unterminated tail is a write in
+        # flight (or a torn final line) — leave it for the next poll.
+        end = data.rfind(b"\n")
+        if end < 0:
+            return []
+        chunk = data[: end + 1]
+        self.offset += len(chunk)
+        records: list[dict[str, Any]] = []
+        for raw in chunk.splitlines():
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                record = None
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                self.corrupt += 1
+        return records
 
 
 def read_jsonl(path: str | os.PathLike) -> list[dict[str, Any]]:

@@ -3,9 +3,12 @@
 ``spectrends serve`` turns the sharded campaign runner into a shared
 facility: clients submit :class:`~repro.campaign.CampaignSpec` payloads
 over a local socket line protocol (:mod:`repro.service.protocol`), get
-back job handles, and stream progress events while a background executor
-runs each job through ``stream_campaign`` — optionally fanned out across
-lease-coordinated worker processes.
+back job handles, and stream progress events while a fair-share scheduler
+(:mod:`repro.service.scheduler`) multiplexes every live job over one
+shared pool of campaign worker processes — deficit round-robin at shard
+granularity, so small jobs finish promptly even while a mega-sweep
+streams, with per-job concurrency caps, priority classes, job TTL +
+store eviction, and mid-job cancellation that releases leases.
 
 Two layers of deduplication make the service cheap to share:
 
@@ -20,16 +23,23 @@ Layout of a service root::
 
     <root>/results/           shared content-addressed unit cache
     <root>/jobs/<job-id>/     one campaign store per distinct job
+    <root>/scheduler.jsonl    scheduling ledger (dispatch/result/lifecycle)
     <root>/service.json       bound address, pid (written on startup)
 """
 
-from .client import ServiceClient
+from .client import EventStream, ServiceClient
 from .protocol import recv_message, send_message
+from .scheduler import PRIORITY_WEIGHTS, FairScheduler, Job, WorkerPool
 from .server import CampaignService, serve_forever
 
 __all__ = [
     "CampaignService",
+    "EventStream",
+    "FairScheduler",
+    "Job",
+    "PRIORITY_WEIGHTS",
     "ServiceClient",
+    "WorkerPool",
     "recv_message",
     "send_message",
     "serve_forever",

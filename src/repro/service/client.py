@@ -19,13 +19,106 @@ from __future__ import annotations
 
 import os
 import socket
+import threading
 import time
-from typing import Any, Iterator
+from collections import deque
+from typing import Any, Iterable, Iterator
 
 from ..errors import CampaignError
 from .protocol import recv_message, send_message
 
-__all__ = ["ServiceClient"]
+__all__ = ["ServiceClient", "EventStream"]
+
+
+class EventStream:
+    """Bounded, thread-fed event buffer: async-friendly consumption with
+    client-side backpressure.
+
+    A background thread drains ``source`` (typically
+    :meth:`ServiceClient.events`) into a bounded deque as fast as the
+    server produces — so the *connection* never stalls on a slow consumer
+    — while the consumer iterates at its own pace.  When the buffer is
+    full the **oldest** event is dropped and counted in :attr:`drops`:
+    telemetry is a progress signal, not campaign state, so the newest
+    events are always the ones worth keeping.  An exception raised by the
+    source (a dropped connection, say) is re-raised to the consumer once
+    the buffered events are drained.
+
+    Usable as an iterator and as a context manager (``close()`` abandons
+    the source and unblocks the feeder).
+    """
+
+    def __init__(self, source: Iterable[dict[str, Any]], buffer: int = 256):
+        if buffer < 1:
+            raise CampaignError(f"EventStream buffer must be >= 1, got {buffer}")
+        self.buffer = buffer
+        self.drops = 0
+        self._events: deque[dict[str, Any]] = deque()
+        self._cond = threading.Condition()
+        self._finished = False
+        self._closed = False
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._feed, args=(iter(source),), name="event-stream", daemon=True
+        )
+        self._thread.start()
+
+    def _feed(self, source: Iterator[dict[str, Any]]) -> None:
+        try:
+            for event in source:
+                with self._cond:
+                    if self._closed:
+                        return
+                    if len(self._events) >= self.buffer:
+                        self._events.popleft()
+                        self.drops += 1
+                    self._events.append(event)
+                    self._cond.notify()
+        except BaseException as exc:  # surfaced to the consumer on drain
+            with self._cond:
+                self._error = exc
+        finally:
+            with self._cond:
+                self._finished = True
+                self._cond.notify_all()
+
+    def get(self, timeout: float | None = None) -> dict[str, Any] | None:
+        """Next event, blocking up to ``timeout``; ``None`` when exhausted."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._events:
+                    return self._events.popleft()
+                if self._finished or self._closed:
+                    if self._error is not None:
+                        error, self._error = self._error, None
+                        raise error
+                    return None
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+
+    def close(self) -> None:
+        """Stop buffering; the feeder abandons the source at its next event."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        while True:
+            event = self.get()
+            if event is None:
+                return
+            yield event
+
+    def __enter__(self) -> "EventStream":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class ServiceClient:
@@ -105,13 +198,25 @@ class ServiceClient:
         spec: dict[str, Any],
         shard_size: int | None = None,
         workers: int | None = None,
+        priority: str | None = None,
+        ttl: float | None = None,
     ) -> dict[str, Any]:
-        """Submit a spec payload; returns the job description (+ dedup flag)."""
+        """Submit a spec payload; returns the job description (+ dedup flag).
+
+        ``workers`` caps the job's concurrently in-flight shards,
+        ``priority`` picks its fair-share class (``high``/``normal``/
+        ``low``) and ``ttl`` bounds how long the finished job's store is
+        retained — all scheduling knobs, none part of the job identity.
+        """
         request: dict[str, Any] = {"op": "submit", "spec": spec}
         if shard_size is not None:
             request["shard_size"] = shard_size
         if workers is not None:
             request["workers"] = workers
+        if priority is not None:
+            request["priority"] = priority
+        if ttl is not None:
+            request["ttl"] = ttl
         return self._checked(self._roundtrip(request))
 
     def status(self, job_id: str) -> dict[str, Any]:
@@ -124,12 +229,31 @@ class ServiceClient:
     def jobs(self) -> list[dict[str, Any]]:
         return self._checked(self._roundtrip({"op": "jobs"}))["jobs"]
 
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Request cancellation of a queued/running job (idempotent once
+        terminal); the scheduler drains its in-flight shards and releases
+        its leases."""
+        return self._checked(self._roundtrip({"op": "cancel", "job": job_id}))
+
+    def stats(self) -> dict[str, Any]:
+        """The scheduler's live snapshot: pool workers, active jobs, states."""
+        return self._checked(self._roundtrip({"op": "stats"}))
+
     def shutdown(self) -> None:
         self._checked(self._roundtrip({"op": "shutdown"}))
 
-    def events(self, job_id: str, follow: bool = False) -> Iterator[dict[str, Any]]:
-        """Yield a job's telemetry events; with ``follow``, until terminal."""
-        request = {"op": "events", "job": job_id, "follow": follow}
+    def events(
+        self, job_id: str, follow: bool = False, buffer: int | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """Yield a job's telemetry events; with ``follow``, until terminal.
+
+        ``buffer`` sets the server-side per-poll send window: a consumer
+        that falls further behind gets the newest ``buffer`` events per
+        poll and a drop count instead of an unbounded backlog.
+        """
+        request: dict[str, Any] = {"op": "events", "job": job_id, "follow": follow}
+        if buffer is not None:
+            request["buffer"] = buffer
         with self._connect() as conn:
             stream = conn.makefile("rwb")
             send_message(stream, request)
@@ -140,7 +264,17 @@ class ServiceClient:
                 self._checked(response)
                 if response.get("done"):
                     return
-                yield response["event"]
+                if "event" in response:
+                    yield response["event"]
+                # a bare {"dropped": n} notice carries no event to yield
+
+    def stream(
+        self, job_id: str, follow: bool = True, buffer: int = 256
+    ) -> EventStream:
+        """An :class:`EventStream` over :meth:`events`: a background thread
+        keeps the connection drained while the caller consumes at its own
+        pace from a bounded, drop-oldest buffer."""
+        return EventStream(self.events(job_id, follow=follow), buffer=buffer)
 
     def wait(self, job_id: str) -> dict[str, Any]:
         """Drain the event stream until the job is terminal; return result."""

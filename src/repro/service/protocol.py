@@ -11,14 +11,22 @@ Requests
 ``{"op": ..., ...}`` — operations:
 
 * ``ping`` — liveness probe,
-* ``submit`` — ``{"spec": {...}, "shard_size"?: int, "workers"?: int}``;
-  returns the job id (deduplicated: an identical submission returns the
-  existing job),
+* ``submit`` — ``{"spec": {...}, "shard_size"?: int, "workers"?: int,
+  "priority"?: "high"|"normal"|"low", "ttl"?: seconds}``; returns the job
+  id (deduplicated: an identical submission returns the existing job;
+  ``workers`` caps the job's in-flight shards, ``priority`` its
+  fair-share weight, ``ttl`` how long its finished store is retained),
 * ``status`` — ``{"job": id}``; job state + store progress,
 * ``result`` — ``{"job": id}``; summary + aggregate frame of a complete job,
-* ``events`` — ``{"job": id, "follow"?: bool}``; streams the job store's
-  telemetry events as ``{"event": {...}}`` lines (``follow`` keeps
-  streaming until the job reaches a terminal state),
+* ``cancel`` — ``{"job": id}``; stop scheduling the job's shards, drain
+  its in-flight ones and release its leases (idempotent once terminal),
+* ``events`` — ``{"job": id, "follow"?: bool, "buffer"?: int}``; streams
+  the job store's telemetry events as ``{"event": {...}}`` lines
+  (``follow`` keeps streaming until the job reaches a terminal state;
+  ``buffer`` bounds the per-poll send window — a slow consumer gets the
+  newest ``buffer`` events plus a ``{"dropped": n}`` notice, and the
+  closing line reports the total as ``events_dropped``),
+* ``stats`` — scheduler snapshot: pool workers, active jobs + deficits,
 * ``jobs`` — list all jobs,
 * ``shutdown`` — stop the server after responding.
 

@@ -41,6 +41,8 @@ _KERNELS = ("auto", "batch", "scalar")
 
 _BACKENDS = {"serial": "serial", "batch": "serial", "thread": "thread", "process": "process"}
 
+_PRIORITIES = ("high", "normal", "low")
+
 
 @dataclass(frozen=True)
 class ExecutionPolicy:
@@ -91,6 +93,15 @@ class ExecutionPolicy:
         ``profile``, retry/faults are execution knobs: they are excluded
         from artifact content hashes, and the non-quarantined results are
         bit-identical with or without them.
+    priority:
+        Fair-share class a service submission runs under: ``"high"``,
+        ``"normal"`` (default) or ``"low"``.  Maps to the scheduler's
+        deficit-round-robin weights — a scheduling knob only, so like
+        every policy field it can never change the computed bytes.
+    job_ttl:
+        Seconds a *finished* service job's store is retained before the
+        scheduler evicts it from the service root (``None`` = keep
+        forever).  A resubmit after eviction simply recomputes.
     """
 
     mode: str = "batch"
@@ -103,6 +114,8 @@ class ExecutionPolicy:
     profile: bool = False
     retry: RetryPolicy | None = None
     faults: Any = None
+    priority: str = "normal"
+    job_ttl: float | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -125,6 +138,12 @@ class ExecutionPolicy:
             raise SessionError("max_resident_results must be >= 1")
         if self.retry is not None and not isinstance(self.retry, RetryPolicy):
             raise SessionError("retry must be a repro.faults.RetryPolicy or None")
+        if self.priority not in _PRIORITIES:
+            raise SessionError(
+                f"unknown priority {self.priority!r}; valid priorities: {_PRIORITIES}"
+            )
+        if self.job_ttl is not None and self.job_ttl <= 0:
+            raise SessionError("job_ttl must be > 0 seconds")
 
     # ------------------------------------------------------------------ #
     def parallel_config(self) -> ParallelConfig:
@@ -210,6 +229,8 @@ class ExecutionPolicy:
         batch: bool = True,
         shard_size: int | None = None,
         retry: RetryPolicy | None = None,
+        priority: str = "normal",
+        job_ttl: float | None = None,
     ) -> "ExecutionPolicy":
         """The policy behind CLI ``--jobs N`` / ``--shard-size N`` flags."""
         kernel = "batch" if batch else "scalar"
@@ -220,10 +241,14 @@ class ExecutionPolicy:
                 kernel=kernel,
                 shard_size=shard_size,
                 retry=retry,
+                priority=priority,
+                job_ttl=job_ttl,
             )
         return cls(
             mode="batch" if batch else "serial",
             kernel=kernel,
             shard_size=shard_size,
             retry=retry,
+            priority=priority,
+            job_ttl=job_ttl,
         )

@@ -105,6 +105,46 @@ class TestGate:
         # The refreshed baseline immediately gates its own report.
         assert run_gate(baseline, current) == 0
 
+    def test_failure_publishes_step_summary_table(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # On a failed gate inside GitHub Actions, a per-benchmark delta
+        # table lands in $GITHUB_STEP_SUMMARY — regressed, ok, and missing
+        # rows alike.
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        baseline = write_baseline(
+            tmp_path / "base.json",
+            {"bench_slow": 0.010, "bench_ok": 0.010, "bench_gone": 0.020},
+        )
+        current = write_report(
+            tmp_path / "cur.json", {"bench_slow": 0.050, "bench_ok": 0.011}
+        )
+        assert run_gate(baseline, current) == 1
+        capsys.readouterr()
+        text = summary.read_text(encoding="utf-8")
+        assert "| benchmark | baseline | current | ratio | verdict |" in text
+        assert "`bench_slow`" in text and "regression" in text
+        assert "`bench_ok`" in text and "ok" in text
+        assert "`bench_gone`" in text and "missing" in text
+
+    def test_pass_writes_no_step_summary(self, tmp_path, monkeypatch, capsys):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        baseline = write_baseline(tmp_path / "base.json", {"bench_a": 0.010})
+        current = write_report(tmp_path / "cur.json", {"bench_a": 0.011})
+        assert run_gate(baseline, current) == 0
+        capsys.readouterr()
+        assert not summary.exists()
+
+    def test_step_summary_is_noop_outside_actions(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline = write_baseline(tmp_path / "base.json", {"bench_a": 0.010})
+        current = write_report(tmp_path / "cur.json", {"bench_a": 0.500})
+        assert run_gate(baseline, current) == 1  # fails, but no file I/O
+
     def test_unreadable_report_exits_with_error(self, tmp_path):
         baseline = write_baseline(tmp_path / "base.json", {"bench_a": 0.010})
         broken = tmp_path / "cur.json"

@@ -575,48 +575,42 @@ class TestServiceHardening:
         with pytest.raises(CampaignError, match="after 3 attempt"):
             client.ping()
 
-    def test_graceful_drain_cancels_queued_jobs(self, hardened_service):
+    def test_graceful_drain_gives_unfinished_jobs_a_terminal_answer(
+        self, hardened_service
+    ):
+        # The drain contract under the fair-share scheduler: finished work
+        # stays finished, a job still mid-run flips to ``cancelled`` with
+        # its partial store intact (never left hanging in a live state).
         from repro.service import ServiceClient
 
         host, port = hardened_service.address
         client = ServiceClient(host, port, timeout=30.0)
-        # Slow the in-flight job down so the queued one is still queued
-        # when the drain begins.
-        install_fault_plan(
-            FaultPlan(
-                [
-                    FaultRule(
-                        site="unit.execute",
-                        kind="delay",
-                        probability=1.0,
-                        delay_s=0.05,
-                    )
-                ]
-            )
+        finished = client.submit(fault_spec(name="drain-finished").to_dict())
+        client.wait(finished["job"])
+        big = client.submit(
+            fault_spec(name="drain-big", seeds=range(500)).to_dict()
         )
-        try:
-            first = client.submit(fault_spec(name="drain-first").to_dict())
-            second = client.submit(fault_spec(name="drain-second").to_dict())
-            client.shutdown()
-            deadline = time.time() + 60
-            while time.time() < deadline:
-                jobs = {
-                    j.job_id: j
-                    for j in [
-                        hardened_service.get_job(first["job"]),
-                        hardened_service.get_job(second["job"]),
-                    ]
-                }
-                if all(j.done for j in jobs.values()):
-                    break
-                time.sleep(0.02)
-        finally:
-            clear_fault_plan()
-        running = hardened_service.get_job(first["job"])
-        queued = hardened_service.get_job(second["job"])
-        assert running.state == "complete"  # in-flight work finishes
-        assert queued.state == "cancelled"  # queued work gets a terminal answer
-        assert "shut down before the job ran" in queued.error
+        big_job = hardened_service.get_job(big["job"])
+        store = CampaignStore(big_job.store_dir)
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if big_job.state == "running" and store.shard_entries():
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("big job never started landing shards")
+        client.shutdown()
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if big_job.done:
+                break
+            time.sleep(0.02)
+        done = hardened_service.get_job(finished["job"])
+        interrupted = hardened_service.get_job(big["job"])
+        assert done.state == "complete"  # finished work survives the drain
+        assert interrupted.state == "cancelled"  # terminal, not hanging
+        assert "resume" in interrupted.error
+        assert store.shard_entries()  # partial store kept for resumption
 
     def test_serve_forever_drains_on_sigterm(self, tmp_path):
         snippet = (
